@@ -1,0 +1,74 @@
+/// Ablation: the re-hash domain D (Fig. 7 / Theorem 4.1). Small D adds a
+/// 1/D collision error but shortens postings lists per bucket are longer —
+/// this sweep shows the approximation-ratio / match-time trade-off on the
+/// SIFT stand-in.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "lsh/lsh_searcher.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+constexpr uint32_t kNumQueries = 128;
+constexpr uint32_t kTopK = 10;
+
+int Run() {
+  const PointsBench& bench = SiftBench();
+  data::PointMatrix queries(kNumQueries, bench.query_points.dim());
+  for (uint32_t q = 0; q < kNumQueries; ++q) {
+    auto from = bench.query_points.row(q);
+    std::copy(from.begin(), from.end(), queries.mutable_row(q).begin());
+  }
+
+  std::printf("Ablation: re-hash domain D (SIFT stand-in, k = %u)\n", kTopK);
+  std::printf("%-8s %-14s %-12s %-14s\n", "D", "approx-ratio", "search-s",
+              "postings/list");
+  for (uint32_t domain : {16u, 67u, 256u, 1024u, 8192u}) {
+    lsh::LshSearchOptions options;
+    options.transform.rehash_domain = domain;
+    options.engine.k = 128;
+    options.engine.device = BenchDevice();
+    auto searcher = lsh::LshSearcher::Create(&bench.dataset.points,
+                                             bench.family, options);
+    GENIE_CHECK(searcher.ok());
+    WallTimer timer;
+    auto knn = (*searcher)->KnnBatch(queries, kTopK, 2);
+    GENIE_CHECK(knn.ok());
+    const double elapsed = timer.Seconds();
+
+    double ratio = 0;
+    uint32_t evaluated = 0;
+    for (uint32_t q = 0; q < kNumQueries; ++q) {
+      if ((*knn)[q].size() < kTopK) continue;
+      const auto truth =
+          data::BruteForceKnn(bench.dataset.points, queries.row(q), kTopK, 2);
+      double sum = 0;
+      for (uint32_t i = 0; i < kTopK; ++i) {
+        const double d_got = data::L2Distance(
+            bench.dataset.points.row((*knn)[q][i]), queries.row(q));
+        const double d_true = data::L2Distance(
+            bench.dataset.points.row(truth[i]), queries.row(q));
+        sum += d_true > 1e-12 ? d_got / d_true : 1.0;
+      }
+      ratio += sum / kTopK;
+      ++evaluated;
+    }
+    const InvertedIndex& index = (*searcher)->index();
+    std::printf("%-8u %-14.4f %-12.3f %-14.1f\n", domain,
+                evaluated > 0 ? ratio / evaluated : 0.0, elapsed,
+                static_cast<double>(index.postings().size()) /
+                    std::max(1u, index.num_lists()));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main() { return genie::bench::Run(); }

@@ -1,0 +1,347 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "index/index_builder.h"
+#include "lsh/e2lsh.h"
+#include "lsh/random_binning.h"
+#include "sa/ngram.h"
+
+namespace genie {
+namespace bench {
+
+double ScaleFactor() {
+  static const double scale = [] {
+    const char* env = std::getenv("GENIE_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+uint32_t Scaled(uint32_t base) {
+  return std::max<uint32_t>(
+      64, static_cast<uint32_t>(static_cast<double>(base) * ScaleFactor()));
+}
+
+sim::Device* BenchDevice() {
+  static sim::Device* device = [] {
+    sim::Device::Options options;  // defaults: hw workers, 12 GB capacity
+    return new sim::Device(options);
+  }();
+  return device;
+}
+
+namespace {
+
+constexpr uint32_t kNumQueries = 1024;
+constexpr uint32_t kLshFunctions = 64;  // scaled-down m (paper: 237)
+
+PointsBench MakePointsBench(uint32_t n, uint32_t dim, uint32_t metric_p,
+                            uint32_t rehash_domain, uint64_t seed) {
+  PointsBench bench;
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = n;
+  data_options.dim = dim;
+  data_options.num_clusters = 64;
+  data_options.cluster_stddev = 0.6;
+  data_options.seed = seed;
+  bench.dataset = data::MakeClusteredPoints(data_options);
+  bench.query_points =
+      data::MakeQueriesNear(bench.dataset.points, kNumQueries, 0.3, seed + 1);
+  bench.metric_p = metric_p;
+
+  if (metric_p == 1) {
+    // OCR case study: RBH for the Laplacian kernel. The paper derives the
+    // kernel width from the mean pairwise L1 distance (Section VI-D1); on
+    // strongly clustered synthetic data that over-smooths (a third of all
+    // points would collide on every function), so the bench sharpens it so
+    // that only near neighbours collide.
+    const double sigma = lsh::EstimateLaplacianKernelWidth(
+                             bench.dataset.points.values(), dim, n, 2000,
+                             seed + 2) /
+                         5.0;
+    lsh::RandomBinningOptions options;
+    options.dim = dim;
+    options.num_functions = kLshFunctions;
+    options.kernel_width = sigma;
+    options.seed = seed + 3;
+    bench.family = std::shared_ptr<const lsh::VectorLshFamily>(
+        lsh::RandomBinningFamily::Create(options).ValueOrDie().release());
+    options.num_functions = 256;
+    options.seed = seed + 13;
+    bench.gpu_lsh_family = std::shared_ptr<const lsh::VectorLshFamily>(
+        lsh::RandomBinningFamily::Create(options).ValueOrDie().release());
+  } else {
+    lsh::E2LshOptions options;
+    options.dim = dim;
+    options.num_functions = kLshFunctions;
+    options.bucket_width = 4.0;
+    options.p = 2;
+    options.seed = seed + 3;
+    bench.family = std::shared_ptr<const lsh::VectorLshFamily>(
+        lsh::E2LshFamily::Create(options).ValueOrDie().release());
+    options.num_functions = 256;
+    options.seed = seed + 13;
+    bench.gpu_lsh_family = std::shared_ptr<const lsh::VectorLshFamily>(
+        lsh::E2LshFamily::Create(options).ValueOrDie().release());
+  }
+  lsh::LshTransformOptions transform;
+  transform.rehash_domain = rehash_domain;
+  transform.seed = seed + 4;
+  bench.transformer =
+      std::make_unique<lsh::LshTransformer>(bench.family, transform);
+  bench.index =
+      bench.transformer->BuildIndex(bench.dataset.points).ValueOrDie();
+  bench.queries.reserve(kNumQueries);
+  for (uint32_t q = 0; q < kNumQueries; ++q) {
+    bench.queries.push_back(
+        bench.transformer->MakeQuery(bench.query_points.row(q)));
+  }
+  return bench;
+}
+
+}  // namespace
+
+const PointsBench& OcrBench() {
+  static const PointsBench* bench = [] {
+    // Stand-in for OCR (3.5M x 1156-d): Laplacian kernel space, D = 1024.
+    auto* b = new PointsBench(
+        MakePointsBench(Scaled(60000), 64, /*metric_p=*/1,
+                        /*rehash_domain=*/1024, /*seed=*/101));
+    return b;
+  }();
+  return *bench;
+}
+
+const PointsBench& SiftBench() {
+  static const PointsBench* bench = [] {
+    // Stand-in for SIFT (4.5M x 128-d): E2LSH with 67 buckets per function.
+    auto* b = new PointsBench(
+        MakePointsBench(Scaled(60000), 32, /*metric_p=*/2,
+                        /*rehash_domain=*/67, /*seed=*/202));
+    return b;
+  }();
+  return *bench;
+}
+
+const SequenceBench& DblpBench() {
+  static const SequenceBench* bench = [] {
+    auto* b = new SequenceBench();
+    data::SequenceDatasetOptions options;
+    options.num_sequences = Scaled(30000);
+    options.min_length = 30;
+    options.max_length = 50;
+    // A small alphabet makes n-grams collide across sequences (as words do
+    // in real titles), so the count filter is imperfect and accuracy
+    // genuinely depends on K and the modification rate (Tables VI/VII).
+    options.alphabet = 6;
+    options.seed = 303;
+    b->sequences = data::MakeSequences(options);
+    Rng rng(304);
+    b->queries.reserve(kNumQueries);
+    for (uint32_t q = 0; q < kNumQueries; ++q) {
+      b->queries.push_back(data::MutateSequence(
+          b->sequences[rng.UniformU64(b->sequences.size())], 0.2,
+          options.alphabet, &rng));
+    }
+    return b;
+  }();
+  return *bench;
+}
+
+const DocumentBench& TweetsBench() {
+  static const DocumentBench* bench = [] {
+    auto* b = new DocumentBench();
+    data::DocumentDatasetOptions options;
+    options.num_documents = Scaled(60000);
+    options.vocabulary = 20000;
+    options.seed = 405;
+    b->docs = data::MakeDocuments(options);
+    b->queries = data::MakeDocumentQueries(b->docs, kNumQueries, 0.3, 20000,
+                                           1.05, 406);
+    return b;
+  }();
+  return *bench;
+}
+
+const RelationalBench& AdultBench() {
+  static const RelationalBench* bench = [] {
+    auto* b = new RelationalBench();
+    data::RelationalDatasetOptions options;
+    options.num_rows = Scaled(60000);
+    options.numeric_columns = 6;
+    options.numeric_buckets = 1024;
+    options.categorical_columns = 8;
+    options.categorical_cardinality = 16;
+    options.seed = 507;
+    b->table = data::MakeRelationalTable(options);
+    // Paper protocol: numeric items [v-50, v+50], categorical exact.
+    b->queries = data::MakeRangeQueries(b->table, kNumQueries, 6, 50, 508);
+    return b;
+  }();
+  return *bench;
+}
+
+std::vector<Query> CompileSequenceQueries(const SequenceBench& bench,
+                                          uint32_t ngram) {
+  // Build the same vocabulary the index uses.
+  StringVocabulary vocab;
+  for (const auto& seq : bench.sequences) {
+    for (const auto& g : sa::OrderedNgrams(seq, ngram)) {
+      vocab.GetOrAdd(g.ToToken());
+    }
+  }
+  std::vector<Query> queries;
+  queries.reserve(bench.queries.size());
+  for (const auto& q : bench.queries) {
+    Query compiled;
+    for (const auto& g : sa::OrderedNgrams(q, ngram)) {
+      const Keyword kw = vocab.Find(g.ToToken());
+      if (kw != kInvalidKeyword) compiled.AddItem(kw);
+    }
+    queries.push_back(std::move(compiled));
+  }
+  return queries;
+}
+
+InvertedIndex BuildSequenceIndex(const SequenceBench& bench, uint32_t ngram) {
+  StringVocabulary vocab;
+  std::vector<std::vector<Keyword>> per_object(bench.sequences.size());
+  for (size_t i = 0; i < bench.sequences.size(); ++i) {
+    for (const auto& g : sa::OrderedNgrams(bench.sequences[i], ngram)) {
+      per_object[i].push_back(vocab.GetOrAdd(g.ToToken()));
+    }
+  }
+  InvertedIndexBuilder builder(
+      std::max<uint32_t>(1, static_cast<uint32_t>(vocab.size())));
+  for (size_t i = 0; i < per_object.size(); ++i) {
+    builder.AddObject(static_cast<ObjectId>(i), per_object[i]);
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+InvertedIndex BuildDocumentIndex(const DocumentBench& bench,
+                                 uint32_t* vocab_size) {
+  uint32_t max_token = 0;
+  for (const auto& d : bench.docs) {
+    for (uint32_t t : d) max_token = std::max(max_token, t);
+  }
+  *vocab_size = max_token + 1;
+  InvertedIndexBuilder builder(*vocab_size);
+  for (size_t i = 0; i < bench.docs.size(); ++i) {
+    data::TokenDocument dedup = bench.docs[i];
+    std::sort(dedup.begin(), dedup.end());
+    dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+    for (uint32_t t : dedup) builder.Add(static_cast<ObjectId>(i), t);
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+std::vector<Query> CompileDocumentQueries(const DocumentBench& bench,
+                                          uint32_t vocab_size) {
+  std::vector<Query> queries;
+  queries.reserve(bench.queries.size());
+  for (const auto& doc : bench.queries) {
+    data::TokenDocument dedup = doc;
+    std::sort(dedup.begin(), dedup.end());
+    dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+    Query q;
+    for (uint32_t t : dedup) {
+      if (t < vocab_size) q.AddItem(static_cast<Keyword>(t));
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+const std::vector<NamedWorkload>& AllWorkloads() {
+  static const std::vector<NamedWorkload>* workloads = [] {
+    auto* w = new std::vector<NamedWorkload>();
+
+    w->push_back({"OCR", &OcrBench().index, &OcrBench().queries,
+                  kLshFunctions});
+    w->push_back({"SIFT", &SiftBench().index, &SiftBench().queries,
+                  kLshFunctions});
+
+    static const InvertedIndex* dblp_index =
+        new InvertedIndex(BuildSequenceIndex(DblpBench(), 3));
+    static const std::vector<Query>* dblp_queries =
+        new std::vector<Query>(CompileSequenceQueries(DblpBench(), 3));
+    w->push_back({"DBLP", dblp_index, dblp_queries,
+                  MatchEngine::DeriveMaxCount(*dblp_queries)});
+
+    static uint32_t tweets_vocab = 0;
+    static const InvertedIndex* tweets_index =
+        new InvertedIndex(BuildDocumentIndex(TweetsBench(), &tweets_vocab));
+    static const std::vector<Query>* tweets_queries = new std::vector<Query>(
+        CompileDocumentQueries(TweetsBench(), tweets_vocab));
+    w->push_back({"Tweets", tweets_index, tweets_queries,
+                  MatchEngine::DeriveMaxCount(*tweets_queries)});
+
+    static const sa::RelationalTable* adult_table = &AdultBench().table;
+    static const InvertedIndex* adult_index = [] {
+      std::vector<uint32_t> cards;
+      for (uint32_t c = 0; c < adult_table->num_columns(); ++c) {
+        cards.push_back(adult_table->cardinality(c));
+      }
+      DimValueEncoder enc(cards);
+      InvertedIndexBuilder builder(enc.vocab_size());
+      for (uint32_t r = 0; r < adult_table->num_rows(); ++r) {
+        for (uint32_t c = 0; c < adult_table->num_columns(); ++c) {
+          builder.Add(r, enc.EncodeUnchecked(c, adult_table->value(r, c)));
+        }
+      }
+      return new InvertedIndex(std::move(builder).Build().ValueOrDie());
+    }();
+    static const std::vector<Query>* adult_queries = [] {
+      std::vector<uint32_t> cards;
+      for (uint32_t c = 0; c < adult_table->num_columns(); ++c) {
+        cards.push_back(adult_table->cardinality(c));
+      }
+      DimValueEncoder enc(cards);
+      auto* queries = new std::vector<Query>();
+      for (const auto& rq : AdultBench().queries) {
+        Query q;
+        std::vector<Keyword> kws;
+        for (const auto& item : rq.items) {
+          kws.clear();
+          const uint32_t hi =
+              std::min(item.hi, adult_table->cardinality(item.column) - 1);
+          for (uint32_t v = item.lo; v <= hi; ++v) {
+            kws.push_back(enc.EncodeUnchecked(item.column, v));
+          }
+          q.AddItem(kws);
+        }
+        queries->push_back(std::move(q));
+      }
+      return queries;
+    }();
+    w->push_back({"Adult", adult_index, adult_queries,
+                  adult_table->num_columns()});
+    return w;
+  }();
+  return *workloads;
+}
+
+double RunEngineBatch(const InvertedIndex& index,
+                      const std::vector<Query>& queries, uint32_t num_queries,
+                      const MatchEngineOptions& options) {
+  MatchEngineOptions opts = options;
+  if (opts.device == nullptr) opts.device = BenchDevice();
+  auto engine = MatchEngine::Create(&index, opts);
+  GENIE_CHECK(engine.ok()) << engine.status().ToString();
+  const uint32_t count =
+      std::min<uint32_t>(num_queries, static_cast<uint32_t>(queries.size()));
+  std::span<const Query> batch(queries.data(), count);
+  WallTimer timer;
+  auto results = (*engine)->ExecuteBatch(batch);
+  GENIE_CHECK(results.ok()) << results.status().ToString();
+  return timer.Seconds();
+}
+
+}  // namespace bench
+}  // namespace genie

@@ -1,0 +1,100 @@
+#pragma once
+
+/// Shared workloads for the benchmark harness. Every dataset of Section
+/// VI-A1 has a synthetic stand-in here (DESIGN.md §2); sizes scale with the
+/// GENIE_BENCH_SCALE environment variable (default 1.0) so the whole suite
+/// runs in minutes on a workstation. EXPERIMENTS.md records the mapping to
+/// the paper's full-size datasets.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/match_engine.h"
+#include "core/query.h"
+#include "data/documents.h"
+#include "data/points.h"
+#include "data/relational_data.h"
+#include "data/sequences.h"
+#include "index/inverted_index.h"
+#include "lsh/lsh_family.h"
+#include "lsh/lsh_transformer.h"
+#include "sa/relational.h"
+#include "sim/device.h"
+
+namespace genie {
+namespace bench {
+
+/// GENIE_BENCH_SCALE (e.g. "0.2" for a quick run, "4" for a longer one).
+double ScaleFactor();
+uint32_t Scaled(uint32_t base);
+
+/// The simulated GPU all benches share.
+sim::Device* BenchDevice();
+
+/// Vector-data workload (OCR / SIFT stand-ins): points, an LSH family, the
+/// transformed inverted index, and a pre-compiled query pool.
+struct PointsBench {
+  data::ClusteredPoints dataset;
+  data::PointMatrix query_points;
+  std::shared_ptr<const lsh::VectorLshFamily> family;
+  /// Larger family for the GPU-LSH baseline (64 tables x 4 functions; the
+  /// paper tunes GPU-LSH's table count for comparable result quality).
+  std::shared_ptr<const lsh::VectorLshFamily> gpu_lsh_family;
+  std::unique_ptr<lsh::LshTransformer> transformer;
+  InvertedIndex index;
+  std::vector<Query> queries;  // compiled, one per query point
+  uint32_t metric_p = 2;
+};
+
+/// OCR stand-in: Laplacian-kernel space, Random Binning Hashing re-hashed
+/// into 1024 buckets, L1 metric.
+const PointsBench& OcrBench();
+/// SIFT stand-in: E2LSH (Gaussian p-stable), 67 buckets as in the paper.
+const PointsBench& SiftBench();
+
+struct SequenceBench {
+  std::vector<std::string> sequences;
+  std::vector<std::string> queries;  // 20% modified (paper protocol)
+};
+const SequenceBench& DblpBench();
+
+struct DocumentBench {
+  std::vector<data::TokenDocument> docs;
+  std::vector<data::TokenDocument> queries;
+};
+const DocumentBench& TweetsBench();
+
+struct RelationalBench {
+  sa::RelationalTable table;
+  std::vector<sa::RangeQuery> queries;
+};
+const RelationalBench& AdultBench();
+
+/// Compiled engine queries for the SA workloads.
+std::vector<Query> CompileSequenceQueries(const SequenceBench& bench,
+                                          uint32_t ngram);
+std::vector<Query> CompileDocumentQueries(const DocumentBench& bench,
+                                          uint32_t vocab_size);
+InvertedIndex BuildSequenceIndex(const SequenceBench& bench, uint32_t ngram);
+InvertedIndex BuildDocumentIndex(const DocumentBench& bench,
+                                 uint32_t* vocab_size);
+
+/// Named access for sweep benches: the five datasets with a uniform
+/// (index, compiled queries, count bound) interface.
+struct NamedWorkload {
+  std::string name;
+  const InvertedIndex* index;
+  const std::vector<Query>* queries;
+  uint32_t max_count;
+};
+const std::vector<NamedWorkload>& AllWorkloads();
+
+/// Runs one GENIE batch and returns the wall seconds.
+double RunEngineBatch(const InvertedIndex& index,
+                      const std::vector<Query>& queries, uint32_t num_queries,
+                      const MatchEngineOptions& options);
+
+}  // namespace bench
+}  // namespace genie

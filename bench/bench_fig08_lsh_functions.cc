@@ -1,0 +1,28 @@
+/// Figure 8: similarity s vs the minimum number of LSH functions m subject
+/// to Pr[|c/m - s| <= eps] >= 1 - delta with eps = delta = 0.06 (Eqn. 9),
+/// plus the Hoeffding bound of Theorem 4.1 for contrast.
+
+#include <cstdio>
+
+#include "lsh/tau_ann.h"
+
+int main() {
+  using genie::lsh::HoeffdingNumHashFunctions;
+  using genie::lsh::MinHashFunctions;
+  using genie::lsh::MinHashFunctionsForSimilarity;
+
+  const double eps = 0.06, delta = 0.06;
+  std::printf("Figure 8: minimum required LSH functions, eps = delta = %.2f\n",
+              eps);
+  std::printf("%-12s %-10s\n", "similarity", "min m");
+  for (int i = 1; i <= 19; ++i) {
+    const double s = 0.05 * i;
+    std::printf("%-12.2f %-10u\n", s,
+                MinHashFunctionsForSimilarity(s, eps, delta));
+  }
+  std::printf("\nworst case over s (the paper reports 237): m = %u\n",
+              MinHashFunctions(eps, delta));
+  std::printf("Hoeffding bound of Theorem 4.1 (the paper reports 2174): %u\n",
+              HoeffdingNumHashFunctions(eps, delta));
+  return 0;
+}

@@ -1,0 +1,185 @@
+/// Figure 9: total running time for multiple queries (32..1024) on the five
+/// dataset stand-ins, GENIE vs its competitors. Per the paper, GPU-SPQ runs
+/// at most 256 queries per batch, GPU-LSH/CPU-LSH appear on the point
+/// datasets, and AppGram on the sequence dataset.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/appgram_engine.h"
+#include "baselines/cpu_idx_engine.h"
+#include "baselines/cpu_lsh_engine.h"
+#include "baselines/gpu_lsh_engine.h"
+#include "baselines/gpu_spq_engine.h"
+#include "bench_common.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+constexpr uint32_t kK = 100;
+
+void BM_Genie(benchmark::State& state, const NamedWorkload* w) {
+  const uint32_t nq = static_cast<uint32_t>(state.range(0));
+  MatchEngineOptions options;
+  options.k = kK;
+  options.max_count = w->max_count;
+  options.device = BenchDevice();
+  auto engine = MatchEngine::Create(w->index, options);
+  GENIE_CHECK(engine.ok());
+  std::span<const Query> batch(w->queries->data(), nq);
+  for (auto _ : state) {
+    auto results = (*engine)->ExecuteBatch(batch);
+    GENIE_CHECK(results.ok()) << results.status().ToString();
+    benchmark::DoNotOptimize(results);
+  }
+}
+
+void BM_GpuSpq(benchmark::State& state, const NamedWorkload* w) {
+  const uint32_t nq = static_cast<uint32_t>(state.range(0));
+  baselines::GpuSpqOptions options;
+  options.k = kK;
+  options.device = BenchDevice();
+  auto engine = baselines::GpuSpqEngine::Create(w->index, options);
+  GENIE_CHECK(engine.ok());
+  std::span<const Query> batch(w->queries->data(), nq);
+  for (auto _ : state) {
+    auto results = (*engine)->ExecuteBatch(batch);
+    GENIE_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+}
+
+void BM_CpuIdx(benchmark::State& state, const NamedWorkload* w) {
+  const uint32_t nq = static_cast<uint32_t>(state.range(0));
+  baselines::CpuIdxOptions options;
+  options.k = kK;
+  auto engine = baselines::CpuIdxEngine::Create(w->index, options);
+  GENIE_CHECK(engine.ok());
+  std::span<const Query> batch(w->queries->data(), nq);
+  for (auto _ : state) {
+    auto results = (*engine)->ExecuteBatch(batch);
+    GENIE_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+}
+
+void BM_GpuLsh(benchmark::State& state, const PointsBench* bench) {
+  const uint32_t nq = static_cast<uint32_t>(state.range(0));
+  baselines::GpuLshOptions options;
+  // Wide buckets, no early stop: the short-list sort is GPU-LSH's real
+  // cost (the k-selection bottleneck of Section VI-B5).
+  options.num_tables = 128;
+  options.functions_per_table = 2;
+  options.candidate_budget_per_k = 0;
+  options.p = bench->metric_p;
+  options.device = BenchDevice();
+  auto engine = baselines::GpuLshEngine::Create(
+      &bench->dataset.points, bench->gpu_lsh_family, options);
+  GENIE_CHECK(engine.ok());
+  data::PointMatrix queries(nq, bench->query_points.dim());
+  for (uint32_t q = 0; q < nq; ++q) {
+    auto from = bench->query_points.row(q);
+    std::copy(from.begin(), from.end(), queries.mutable_row(q).begin());
+  }
+  for (auto _ : state) {
+    auto results = (*engine)->KnnBatch(queries, kK);
+    GENIE_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+}
+
+void BM_CpuLsh(benchmark::State& state, const PointsBench* bench) {
+  const uint32_t nq = static_cast<uint32_t>(state.range(0));
+  baselines::CpuLshOptions options;
+  options.k = kK;
+  options.p = bench->metric_p;
+  options.rehash_domain = 1024;
+  auto engine = baselines::CpuLshEngine::Create(&bench->dataset.points,
+                                                bench->family, options);
+  GENIE_CHECK(engine.ok());
+  data::PointMatrix queries(nq, bench->query_points.dim());
+  for (uint32_t q = 0; q < nq; ++q) {
+    auto from = bench->query_points.row(q);
+    std::copy(from.begin(), from.end(), queries.mutable_row(q).begin());
+  }
+  for (auto _ : state) {
+    auto results = (*engine)->KnnBatch(queries, kK);
+    GENIE_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+}
+
+void BM_AppGram(benchmark::State& state, const SequenceBench* bench) {
+  const uint32_t nq = static_cast<uint32_t>(state.range(0));
+  baselines::AppGramOptions options;
+  options.k = 1;
+  auto engine = baselines::AppGramEngine::Create(&bench->sequences, options);
+  GENIE_CHECK(engine.ok());
+  std::span<const std::string> batch(bench->queries.data(), nq);
+  for (auto _ : state) {
+    auto results = (*engine)->SearchBatch(batch);
+    GENIE_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+}
+
+void RegisterAll() {
+  const std::vector<int64_t> counts{32, 64, 128, 256, 512, 1024};
+  for (const NamedWorkload& w : AllWorkloads()) {
+    for (int64_t nq : counts) {
+      benchmark::RegisterBenchmark(("Fig9/" + w.name + "/GENIE").c_str(),
+                                   BM_Genie, &w)
+          ->Arg(nq)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+      if (nq <= 256) {  // the paper: GPU-SPQ cannot batch more than 256
+        benchmark::RegisterBenchmark(("Fig9/" + w.name + "/GPU-SPQ").c_str(),
+                                     BM_GpuSpq, &w)
+            ->Arg(nq)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+      if (w.name != "DBLP") {
+        benchmark::RegisterBenchmark(("Fig9/" + w.name + "/CPU-Idx").c_str(),
+                                     BM_CpuIdx, &w)
+            ->Arg(nq)
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+  for (int64_t nq : counts) {
+    benchmark::RegisterBenchmark("Fig9/OCR/GPU-LSH", BM_GpuLsh, &OcrBench())
+        ->Arg(nq)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("Fig9/SIFT/GPU-LSH", BM_GpuLsh, &SiftBench())
+        ->Arg(nq)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("Fig9/OCR/CPU-LSH", BM_CpuLsh, &OcrBench())
+        ->Arg(nq)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("Fig9/SIFT/CPU-LSH", BM_CpuLsh, &SiftBench())
+        ->Arg(nq)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("Fig9/DBLP/AppGram", BM_AppGram,
+                                 &DblpBench())
+        ->Arg(std::min<int64_t>(nq, 256))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  genie::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,127 @@
+/// Figure 10: total running time vs dataset cardinality (the query batch is
+/// fixed at 512, as in the paper; GPU-SPQ capped at 256). Sub-cardinality
+/// indexes are object-id prefixes of the full index.
+
+#include <map>
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/cpu_idx_engine.h"
+#include "baselines/gpu_spq_engine.h"
+#include "bench_common.h"
+#include "index/index_builder.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+constexpr uint32_t kK = 100;
+constexpr uint32_t kQueries = 512;
+
+/// Restriction of `full` to objects with id < n_sub.
+InvertedIndex Prefix(const InvertedIndex& full, uint32_t n_sub) {
+  InvertedIndexBuilder builder(full.vocab_size());
+  for (Keyword kw = 0; kw < full.vocab_size(); ++kw) {
+    auto [first, count] = full.KeywordLists(kw);
+    for (uint32_t l = 0; l < count; ++l) {
+      const auto ref = full.List(first + l);
+      for (uint32_t pos = ref.begin; pos < ref.end; ++pos) {
+        const ObjectId oid = full.postings()[pos];
+        if (oid < n_sub) builder.Add(oid, kw);
+      }
+    }
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+const InvertedIndex* PrefixCached(const NamedWorkload& w, uint32_t percent) {
+  static std::map<std::pair<const InvertedIndex*, uint32_t>,
+                  const InvertedIndex*>
+      cache;
+  auto key = std::make_pair(w.index, percent);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const uint32_t n_sub = w.index->num_objects() * percent / 100;
+  const InvertedIndex* sub = new InvertedIndex(Prefix(*w.index, n_sub));
+  cache.emplace(key, sub);
+  return sub;
+}
+
+void BM_Genie(benchmark::State& state, const NamedWorkload* w) {
+  const auto* index = PrefixCached(*w, static_cast<uint32_t>(state.range(0)));
+  MatchEngineOptions options;
+  options.k = kK;
+  options.max_count = w->max_count;
+  options.device = BenchDevice();
+  auto engine = MatchEngine::Create(index, options);
+  GENIE_CHECK(engine.ok());
+  std::span<const Query> batch(w->queries->data(), kQueries);
+  for (auto _ : state) {
+    auto results = (*engine)->ExecuteBatch(batch);
+    GENIE_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+}
+
+void BM_GpuSpq(benchmark::State& state, const NamedWorkload* w) {
+  const auto* index = PrefixCached(*w, static_cast<uint32_t>(state.range(0)));
+  baselines::GpuSpqOptions options;
+  options.k = kK;
+  options.device = BenchDevice();
+  auto engine = baselines::GpuSpqEngine::Create(index, options);
+  GENIE_CHECK(engine.ok());
+  std::span<const Query> batch(w->queries->data(), 256);  // paper's limit
+  for (auto _ : state) {
+    auto results = (*engine)->ExecuteBatch(batch);
+    GENIE_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+}
+
+void BM_CpuIdx(benchmark::State& state, const NamedWorkload* w) {
+  const auto* index = PrefixCached(*w, static_cast<uint32_t>(state.range(0)));
+  baselines::CpuIdxOptions options;
+  options.k = kK;
+  auto engine = baselines::CpuIdxEngine::Create(index, options);
+  GENIE_CHECK(engine.ok());
+  std::span<const Query> batch(w->queries->data(), kQueries);
+  for (auto _ : state) {
+    auto results = (*engine)->ExecuteBatch(batch);
+    GENIE_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+}
+
+void RegisterAll() {
+  const std::vector<int64_t> percents{25, 50, 75, 100};
+  for (const NamedWorkload& w : AllWorkloads()) {
+    for (int64_t pct : percents) {
+      benchmark::RegisterBenchmark(("Fig10/" + w.name + "/GENIE").c_str(),
+                                   BM_Genie, &w)
+          ->Arg(pct)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+      benchmark::RegisterBenchmark(("Fig10/" + w.name + "/GPU-SPQ").c_str(),
+                                   BM_GpuSpq, &w)
+          ->Arg(pct)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+      benchmark::RegisterBenchmark(("Fig10/" + w.name + "/CPU-Idx").c_str(),
+                                   BM_CpuIdx, &w)
+          ->Arg(pct)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  genie::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

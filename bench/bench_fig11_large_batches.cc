@@ -1,0 +1,89 @@
+/// Figure 11: running time with large query sets on the SIFT stand-in.
+/// GENIE processes them as 1024-query batches (the paper's strategy); the
+/// per-query-thread GPU-LSH baseline takes the whole set in one launch.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/gpu_lsh_engine.h"
+#include "bench_common.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+constexpr uint32_t kK = 100;
+constexpr uint32_t kBatch = 1024;
+
+/// Queries are cycled from the 1024-query pool to reach large counts.
+std::span<const Query> Pool() {
+  return std::span<const Query>(SiftBench().queries);
+}
+
+void BM_GenieChunked(benchmark::State& state) {
+  const uint32_t total = static_cast<uint32_t>(state.range(0));
+  MatchEngineOptions options;
+  options.k = kK;
+  options.max_count = 64;
+  options.device = BenchDevice();
+  auto engine = MatchEngine::Create(&SiftBench().index, options);
+  GENIE_CHECK(engine.ok());
+  for (auto _ : state) {
+    for (uint32_t done = 0; done < total; done += kBatch) {
+      const uint32_t nq = std::min(kBatch, total - done);
+      auto results = (*engine)->ExecuteBatch(Pool().subspan(0, nq));
+      GENIE_CHECK(results.ok());
+      benchmark::DoNotOptimize(results);
+    }
+  }
+}
+
+void BM_GpuLshOneLaunch(benchmark::State& state) {
+  const uint32_t total = static_cast<uint32_t>(state.range(0));
+  const PointsBench& bench = SiftBench();
+  baselines::GpuLshOptions options;
+  // Wide buckets, no early stop: the short-list sort is GPU-LSH's real
+  // cost (the k-selection bottleneck of Section VI-B5).
+  options.num_tables = 128;
+  options.functions_per_table = 2;
+  options.candidate_budget_per_k = 0;
+  options.p = 2;
+  options.device = BenchDevice();
+  auto engine = baselines::GpuLshEngine::Create(
+      &bench.dataset.points, bench.gpu_lsh_family, options);
+  GENIE_CHECK(engine.ok());
+  data::PointMatrix queries(total, bench.query_points.dim());
+  for (uint32_t q = 0; q < total; ++q) {
+    auto from = bench.query_points.row(q % bench.query_points.num_points());
+    std::copy(from.begin(), from.end(), queries.mutable_row(q).begin());
+  }
+  for (auto _ : state) {
+    auto results = (*engine)->KnnBatch(queries, kK);
+    GENIE_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+}
+
+void RegisterAll() {
+  for (int64_t total : {2048, 4096, 8192, 16384}) {
+    benchmark::RegisterBenchmark("Fig11/GENIE_1024_batches", BM_GenieChunked)
+        ->Arg(total)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("Fig11/GPU-LSH_one_launch",
+                                 BM_GpuLshOneLaunch)
+        ->Arg(total)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  genie::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+/// Figure 12: the load-balance experiment — exact-match queries over a
+/// duplicated Adult-like table whose skewed categorical columns create
+/// extremely long postings lists. GENIE_LB splits lists to 4K sublists with
+/// two sublists per block; GENIE_noLB scans whole lists, one block per
+/// item. With few queries the split spreads work over many more blocks; as
+/// the query count grows the effect fades (Section VI-B3).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "data/relational_data.h"
+#include "index/index_builder.h"
+#include "index/vocabulary.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+struct Workload {
+  InvertedIndex plain;
+  InvertedIndex balanced;
+  std::vector<Query> queries;
+  uint32_t num_columns;
+};
+
+const Workload& LoadBalanceWorkload() {
+  static const Workload* workload = [] {
+    auto* w = new Workload();
+    data::RelationalDatasetOptions options;
+    options.num_rows = Scaled(1000000);  // the paper duplicates Adult to 100M
+    options.numeric_columns = 2;
+    options.numeric_buckets = 64;
+    options.categorical_columns = 8;
+    options.categorical_cardinality = 6;
+    options.categorical_skew = 1.6;  // sex/race-like dominant values
+    options.seed = 901;
+    auto table = data::MakeRelationalTable(options);
+    w->num_columns = table.num_columns();
+
+    std::vector<uint32_t> cards;
+    for (uint32_t c = 0; c < table.num_columns(); ++c) {
+      cards.push_back(table.cardinality(c));
+    }
+    DimValueEncoder enc(cards);
+    InvertedIndexBuilder plain(enc.vocab_size());
+    InvertedIndexBuilder balanced(enc.vocab_size());
+    for (uint32_t r = 0; r < table.num_rows(); ++r) {
+      for (uint32_t c = 0; c < table.num_columns(); ++c) {
+        const Keyword kw = enc.EncodeUnchecked(c, table.value(r, c));
+        plain.Add(r, kw);
+        balanced.Add(r, kw);
+      }
+    }
+    w->plain = std::move(plain).Build().ValueOrDie();
+    IndexBuildOptions lb;
+    lb.max_list_length = 4096;  // the paper's sublist bound
+    w->balanced = std::move(balanced).Build(lb).ValueOrDie();
+
+    for (const auto& rq : data::MakeExactMatchQueries(table, 16, 902)) {
+      Query q;
+      for (const auto& item : rq.items) {
+        q.AddItem(enc.EncodeUnchecked(item.column, item.lo));
+      }
+      w->queries.push_back(std::move(q));
+    }
+    return w;
+  }();
+  return *workload;
+}
+
+void BM_LoadBalance(benchmark::State& state, bool balanced) {
+  const Workload& w = LoadBalanceWorkload();
+  const uint32_t nq = static_cast<uint32_t>(state.range(0));
+  MatchEngineOptions options;
+  options.k = 1;  // "return the best match candidates"
+  options.max_count = w.num_columns;
+  options.max_lists_per_block = balanced ? 2 : 0;
+  options.device = BenchDevice();
+  auto engine =
+      MatchEngine::Create(balanced ? &w.balanced : &w.plain, options);
+  GENIE_CHECK(engine.ok());
+  std::span<const Query> batch(w.queries.data(), nq);
+  for (auto _ : state) {
+    auto results = (*engine)->ExecuteBatch(batch);
+    GENIE_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+}
+
+void RegisterAll() {
+  for (int64_t nq : {1, 2, 4, 8, 16}) {
+    benchmark::RegisterBenchmark("Fig12/GENIE_LB", BM_LoadBalance, true)
+        ->Arg(nq)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("Fig12/GENIE_noLB", BM_LoadBalance, false)
+        ->Arg(nq)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  genie::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

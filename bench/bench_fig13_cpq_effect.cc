@@ -1,0 +1,61 @@
+/// Figure 13: the effectiveness of c-PQ — GENIE vs GEN-SPQ (the same
+/// inverted-index scan, but counting into a full Count Table and selecting
+/// with SPQ bucket selection instead of the c-PQ hash-table scan).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+constexpr uint32_t kK = 100;
+
+void BM_Selector(benchmark::State& state, const NamedWorkload* w,
+                 MatchEngineOptions::Selector selector) {
+  const uint32_t nq = static_cast<uint32_t>(state.range(0));
+  MatchEngineOptions options;
+  options.k = kK;
+  options.max_count = w->max_count;
+  options.selector = selector;
+  options.device = BenchDevice();
+  auto engine = MatchEngine::Create(w->index, options);
+  GENIE_CHECK(engine.ok());
+  std::span<const Query> batch(w->queries->data(), nq);
+  for (auto _ : state) {
+    auto results = (*engine)->ExecuteBatch(batch);
+    GENIE_CHECK(results.ok()) << results.status().ToString();
+    benchmark::DoNotOptimize(results);
+  }
+}
+
+void RegisterAll() {
+  for (const NamedWorkload& w : AllWorkloads()) {
+    for (int64_t nq : {32, 64, 128, 256, 512, 1024}) {
+      benchmark::RegisterBenchmark(("Fig13/" + w.name + "/GENIE").c_str(),
+                                   BM_Selector, &w,
+                                   MatchEngineOptions::Selector::kCpq)
+          ->Arg(nq)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+      benchmark::RegisterBenchmark(
+          ("Fig13/" + w.name + "/GEN-SPQ").c_str(), BM_Selector, &w,
+          MatchEngineOptions::Selector::kCountTableSpq)
+          ->Arg(nq)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  genie::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+/// Figure 14: approximation ratio (Eqn. 13) vs k on the SIFT stand-in —
+/// GENIE (LSH match count + exact re-rank of the top candidates) against
+/// the multi-table GPU-LSH baseline. GENIE's ratio should be low and stable
+/// across k; GPU-LSH degrades at small k (its candidate short-list is not
+/// count-ranked).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/gpu_lsh_engine.h"
+#include "bench_common.h"
+#include "lsh/lsh_searcher.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+constexpr uint32_t kNumQueries = 128;
+
+double ApproxRatio(const data::PointMatrix& points,
+                   const data::PointMatrix& queries,
+                   const std::vector<std::vector<ObjectId>>& results,
+                   uint32_t k, uint32_t p) {
+  double total = 0;
+  uint32_t evaluated = 0;
+  for (uint32_t q = 0; q < queries.num_points(); ++q) {
+    if (results[q].size() < k) continue;
+    const auto truth = data::BruteForceKnn(points, queries.row(q), k, p);
+    double ratio_sum = 0;
+    for (uint32_t i = 0; i < k; ++i) {
+      const double d_got =
+          p == 1 ? data::L1Distance(points.row(results[q][i]), queries.row(q))
+                 : data::L2Distance(points.row(results[q][i]), queries.row(q));
+      const double d_true =
+          p == 1 ? data::L1Distance(points.row(truth[i]), queries.row(q))
+                 : data::L2Distance(points.row(truth[i]), queries.row(q));
+      ratio_sum += d_true > 1e-12 ? d_got / d_true : 1.0;
+    }
+    total += ratio_sum / k;
+    ++evaluated;
+  }
+  return evaluated > 0 ? total / evaluated : 0.0;
+}
+
+int Run() {
+  const PointsBench& bench = SiftBench();
+  data::PointMatrix queries(kNumQueries, bench.query_points.dim());
+  for (uint32_t q = 0; q < kNumQueries; ++q) {
+    auto from = bench.query_points.row(q);
+    std::copy(from.begin(), from.end(), queries.mutable_row(q).begin());
+  }
+
+  // GENIE: keep 128 match-count candidates, re-rank exactly.
+  lsh::LshSearchOptions options;
+  options.transform.rehash_domain = 67;
+  options.engine.k = 128;
+  options.engine.device = BenchDevice();
+  auto searcher =
+      lsh::LshSearcher::Create(&bench.dataset.points, bench.family, options);
+  GENIE_CHECK(searcher.ok());
+
+  baselines::GpuLshOptions lsh_options;
+  lsh_options.num_tables = 64;
+  lsh_options.functions_per_table = 4;
+  lsh_options.p = 2;
+  lsh_options.device = BenchDevice();
+  auto gpu_lsh = baselines::GpuLshEngine::Create(
+      &bench.dataset.points, bench.gpu_lsh_family, lsh_options);
+  GENIE_CHECK(gpu_lsh.ok());
+
+  std::printf("Figure 14: approximation ratio vs k (SIFT stand-in, L2)\n");
+  std::printf("%-6s %-12s %-12s\n", "k", "GENIE", "GPU-LSH");
+  for (uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    auto genie_knn = (*searcher)->KnnBatch(queries, k, 2);
+    GENIE_CHECK(genie_knn.ok());
+    auto lsh_knn = (*gpu_lsh)->KnnBatch(queries, k);
+    GENIE_CHECK(lsh_knn.ok());
+    std::printf("%-6u %-12.4f %-12.4f\n", k,
+                ApproxRatio(bench.dataset.points, queries, *genie_knn, k, 2),
+                ApproxRatio(bench.dataset.points, queries, *lsh_knn, k, 2));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main() { return genie::bench::Run(); }

@@ -1,0 +1,66 @@
+/// Table I: time profiling of the GENIE stages for 1024 queries on each
+/// dataset stand-in — index build (host, one-off), index transfer, query
+/// transfer, match, select.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "index/index_builder.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+int Run() {
+  std::printf(
+      "Table I: per-stage time for 1024 queries (seconds; index build is a "
+      "one-off host cost)\n");
+  std::printf("%-10s %-12s %-14s %-14s %-10s %-10s\n", "dataset",
+              "index-build", "index-transfer", "query-transfer", "match",
+              "select");
+  for (const NamedWorkload& w : AllWorkloads()) {
+    // Index build time: measured on the already-synthesized postings by
+    // rebuilding the CSR (the transformation costs are workload-specific
+    // one-off host work and are included in EXPERIMENTS.md notes).
+    WallTimer build_timer;
+    {
+      InvertedIndexBuilder builder(w.index->vocab_size());
+      for (Keyword kw = 0; kw < w.index->vocab_size(); ++kw) {
+        auto [first, count] = w.index->KeywordLists(kw);
+        for (uint32_t l = 0; l < count; ++l) {
+          const auto ref = w.index->List(first + l);
+          for (uint32_t pos = ref.begin; pos < ref.end; ++pos) {
+            builder.Add(w.index->postings()[pos], kw);
+          }
+        }
+      }
+      auto rebuilt = std::move(builder).Build();
+      GENIE_CHECK(rebuilt.ok());
+    }
+    const double build_s = build_timer.Seconds();
+
+    MatchEngineOptions options;
+    options.k = 100;
+    options.max_count = w.max_count;
+    options.device = BenchDevice();
+    auto engine = MatchEngine::Create(w.index, options);
+    GENIE_CHECK(engine.ok());
+    const uint32_t nq = std::min<uint32_t>(
+        1024, static_cast<uint32_t>(w.queries->size()));
+    auto results =
+        (*engine)->ExecuteBatch(std::span<const Query>(w.queries->data(), nq));
+    GENIE_CHECK(results.ok());
+    const MatchProfile& p = (*engine)->profile();
+    std::printf("%-10s %-12.4f %-14.4f %-14.4f %-10.4f %-10.4f\n",
+                w.name.c_str(), build_s, p.index_transfer_s,
+                p.query_transfer_s, p.match_s, p.select_s);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main() { return genie::bench::Run(); }

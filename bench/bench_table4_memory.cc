@@ -1,0 +1,64 @@
+/// Table IV: device-memory consumption per query — GENIE's c-PQ layout
+/// versus GEN-SPQ's full Count Table row, on each dataset stand-in, plus
+/// the maximum batch a 12 GB device could hold.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+int Run() {
+  std::printf("Table IV: device memory per query (MB) and max batch on a 12 "
+              "GB device\n");
+  std::printf("%-10s %-12s %-12s %-8s %-14s %-14s\n", "dataset", "GENIE-MB",
+              "GEN-SPQ-MB", "ratio", "GENIE-batch", "GEN-SPQ-batch");
+  const uint64_t capacity = 12ULL << 30;
+  for (const NamedWorkload& w : AllWorkloads()) {
+    MatchEngineOptions cpq;
+    cpq.k = 100;
+    MatchEngineOptions spq;
+    spq.k = 100;
+    spq.selector = MatchEngineOptions::Selector::kCountTableSpq;
+    const uint64_t cpq_bytes = MatchEngine::DeviceBytesPerQuery(
+        w.index->num_objects(), cpq, w.max_count);
+    const uint64_t spq_bytes = MatchEngine::DeviceBytesPerQuery(
+        w.index->num_objects(), spq, w.max_count);
+    const uint64_t budget = capacity - w.index->postings_bytes();
+    std::printf("%-10s %-12.3f %-12.3f %-8.2f %-14llu %-14llu\n",
+                w.name.c_str(), cpq_bytes / 1048576.0,
+                spq_bytes / 1048576.0,
+                static_cast<double>(spq_bytes) / cpq_bytes,
+                static_cast<unsigned long long>(budget / cpq_bytes),
+                static_cast<unsigned long long>(budget / spq_bytes));
+  }
+  // At bench-scale n the c-PQ's k*max_count hash table is a visible
+  // fraction; the paper's datasets are 50-600x larger, where the bitmap
+  // dominates and the ratio approaches the paper's 5-10x. Show that scale:
+  std::printf("\npaper-scale projection (count bound 32):\n");
+  for (uint32_t n : {1000000u, 10000000u}) {
+    MatchEngineOptions cpq;
+    cpq.k = 100;
+    MatchEngineOptions spq;
+    spq.k = 100;
+    spq.selector = MatchEngineOptions::Selector::kCountTableSpq;
+    const uint64_t cpq_bytes = MatchEngine::DeviceBytesPerQuery(n, cpq, 32);
+    const uint64_t spq_bytes = MatchEngine::DeviceBytesPerQuery(n, spq, 32);
+    std::printf("n = %-9u GENIE %.2f MB/query, GEN-SPQ %.2f MB/query, "
+                "ratio %.1fx\n",
+                n, cpq_bytes / 1048576.0, spq_bytes / 1048576.0,
+                static_cast<double>(spq_bytes) / cpq_bytes);
+  }
+  std::printf("Paper's example: 1k queries x 10M points x 4 bytes = 40 GB "
+              "for the Count Table;\nthe c-PQ bitmap packs the count bound "
+              "into a few bits per object instead.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main() { return genie::bench::Run(); }

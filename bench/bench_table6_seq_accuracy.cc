@@ -1,0 +1,73 @@
+/// Table VI: sequence top-1 accuracy and latency vs modification rate
+/// (0.1..0.4), K = 32, k = 1 — the typo-correction workload. Accuracy is
+/// measured against the exact kNN engine (the AppGram stand-in): a query is
+/// correct when GENIE's top-1 edit distance equals the true minimum.
+
+#include <cstdio>
+
+#include "baselines/appgram_engine.h"
+#include "bench_common.h"
+#include "common/timer.h"
+#include "data/sequences.h"
+#include "sa/sequence_searcher.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+constexpr uint32_t kNumQueries = 256;
+
+int Run() {
+  const auto& sequences = DblpBench().sequences;
+
+  sa::SequenceSearchOptions options;
+  options.k = 1;
+  options.candidate_k = 32;
+  options.engine.device = BenchDevice();
+  auto searcher = sa::SequenceSearcher::Create(&sequences, options);
+  GENIE_CHECK(searcher.ok());
+
+  baselines::AppGramOptions exact_options;
+  exact_options.k = 1;
+  auto exact = baselines::AppGramEngine::Create(&sequences, exact_options);
+  GENIE_CHECK(exact.ok());
+
+  std::printf("Table VI: top-1 accuracy on the DBLP stand-in (K = 32, "
+              "%u queries)\n",
+              kNumQueries);
+  std::printf("%-16s %-10s %-12s %-12s\n", "modified-frac", "accuracy",
+              "certified", "latency-s");
+  Rng rng(1201);
+  for (double rate : {0.1, 0.2, 0.3, 0.4}) {
+    std::vector<std::string> queries;
+    queries.reserve(kNumQueries);
+    for (uint32_t q = 0; q < kNumQueries; ++q) {
+      queries.push_back(data::MutateSequence(
+          sequences[rng.UniformU64(sequences.size())], rate, 6, &rng));
+    }
+    WallTimer timer;
+    auto outcomes = (*searcher)->SearchBatch(queries);
+    GENIE_CHECK(outcomes.ok());
+    const double latency = timer.Seconds();
+
+    auto truth = (*exact)->SearchBatch(queries);
+    GENIE_CHECK(truth.ok());
+    uint32_t correct = 0, certified = 0;
+    for (uint32_t q = 0; q < kNumQueries; ++q) {
+      certified += (*outcomes)[q].certified_exact;
+      if ((*outcomes)[q].knn.empty()) continue;
+      correct += (*outcomes)[q].knn[0].edit_distance ==
+                 (*truth)[q][0].edit_distance;
+    }
+    std::printf("%-16.1f %-10.4f %-12.4f %-12.3f\n", rate,
+                static_cast<double>(correct) / kNumQueries,
+                static_cast<double>(certified) / kNumQueries, latency);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main() { return genie::bench::Run(); }

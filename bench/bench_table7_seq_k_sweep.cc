@@ -1,0 +1,86 @@
+/// Table VII: sequence-search accuracy and running time as the candidate
+/// count K varies (8..256) for each modification rate — the K-vs-quality
+/// trade-off behind the paper's recommendation of K = 32.
+
+#include <cstdio>
+#include <map>
+
+#include "baselines/appgram_engine.h"
+#include "bench_common.h"
+#include "common/timer.h"
+#include "data/sequences.h"
+#include "sa/sequence_searcher.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+constexpr uint32_t kNumQueries = 256;
+
+int Run() {
+  const auto& sequences = DblpBench().sequences;
+
+  baselines::AppGramOptions exact_options;
+  exact_options.k = 1;
+  auto exact = baselines::AppGramEngine::Create(&sequences, exact_options);
+  GENIE_CHECK(exact.ok());
+
+  // Query sets and ground truth per modification rate, computed once.
+  const std::vector<double> rates{0.1, 0.2, 0.3, 0.4};
+  std::map<double, std::vector<std::string>> query_sets;
+  std::map<double, std::vector<uint32_t>> truths;
+  Rng rng(1301);
+  for (double rate : rates) {
+    auto& queries = query_sets[rate];
+    for (uint32_t q = 0; q < kNumQueries; ++q) {
+      queries.push_back(data::MutateSequence(
+          sequences[rng.UniformU64(sequences.size())], rate, 6, &rng));
+    }
+    auto result = (*exact)->SearchBatch(queries);
+    GENIE_CHECK(result.ok());
+    auto& t = truths[rate];
+    for (const auto& matches : *result) {
+      t.push_back(matches[0].edit_distance);
+    }
+  }
+
+  std::printf("Table VII: accuracy / time vs candidate count K (k = 1, %u "
+              "queries per cell)\n",
+              kNumQueries);
+  std::printf("%-6s", "K");
+  for (double rate : rates) std::printf(" acc@%.1f", rate);
+  for (double rate : rates) std::printf(" time@%.1f", rate);
+  std::printf("\n");
+  for (uint32_t candidate_k : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    sa::SequenceSearchOptions options;
+    options.k = 1;
+    options.candidate_k = candidate_k;
+    options.engine.device = BenchDevice();
+    auto searcher = sa::SequenceSearcher::Create(&sequences, options);
+    GENIE_CHECK(searcher.ok());
+    std::printf("%-6u", candidate_k);
+    std::vector<double> times;
+    for (double rate : rates) {
+      WallTimer timer;
+      auto outcomes = (*searcher)->SearchBatch(query_sets[rate]);
+      GENIE_CHECK(outcomes.ok());
+      times.push_back(timer.Seconds());
+      uint32_t correct = 0;
+      for (uint32_t q = 0; q < kNumQueries; ++q) {
+        if ((*outcomes)[q].knn.empty()) continue;
+        correct +=
+            (*outcomes)[q].knn[0].edit_distance == truths[rate][q];
+      }
+      std::printf(" %7.4f", static_cast<double>(correct) / kNumQueries);
+    }
+    for (double t : times) std::printf(" %8.3f", t);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main() { return genie::bench::Run(); }

@@ -1,0 +1,146 @@
+#include "baselines/appgram_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sa/edit_distance.h"
+#include "sa/ngram.h"
+
+namespace genie {
+namespace baselines {
+
+AppGramEngine::AppGramEngine(const std::vector<std::string>* sequences,
+                             const AppGramOptions& options)
+    : sequences_(sequences), options_(options) {
+  BuildIndex();
+  counts_.assign(sequences_->size(), 0);
+}
+
+Result<std::unique_ptr<AppGramEngine>> AppGramEngine::Create(
+    const std::vector<std::string>* sequences, const AppGramOptions& options) {
+  if (sequences == nullptr) {
+    return Status::InvalidArgument("sequences is null");
+  }
+  if (options.ngram == 0) return Status::InvalidArgument("ngram must be >= 1");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  return std::unique_ptr<AppGramEngine>(
+      new AppGramEngine(sequences, options));
+}
+
+void AppGramEngine::BuildIndex() {
+  for (size_t i = 0; i < sequences_->size(); ++i) {
+    for (const sa::OrderedNgram& g :
+         sa::OrderedNgrams((*sequences_)[i], options_.ngram)) {
+      const Keyword kw = vocab_.GetOrAdd(g.ToToken());
+      if (kw >= postings_.size()) postings_.resize(kw + 1);
+      postings_[kw].push_back(static_cast<ObjectId>(i));
+    }
+  }
+}
+
+std::vector<AppGramMatch> AppGramEngine::SearchOne(const std::string& query) {
+  const uint32_t n = options_.ngram;
+  const uint32_t k = options_.k;
+  const int64_t q_len = static_cast<int64_t>(query.size());
+
+  touched_.clear();
+  for (const sa::OrderedNgram& g : sa::OrderedNgrams(query, n)) {
+    const Keyword kw = vocab_.Find(g.ToToken());
+    if (kw == kInvalidKeyword) continue;
+    for (ObjectId oid : postings_[kw]) {
+      if (counts_[oid] == 0) touched_.push_back(oid);
+      ++counts_[oid];
+    }
+  }
+  std::sort(touched_.begin(), touched_.end(), [&](ObjectId a, ObjectId b) {
+    if (counts_[a] != counts_[b]) return counts_[a] > counts_[b];
+    return a < b;
+  });
+
+  std::vector<AppGramMatch> best;
+  auto insert_match = [&](AppGramMatch match) {
+    best.insert(std::upper_bound(best.begin(), best.end(), match,
+                                 [](const AppGramMatch& a,
+                                    const AppGramMatch& b) {
+                                   if (a.edit_distance != b.edit_distance)
+                                     return a.edit_distance < b.edit_distance;
+                                   return a.id < b.id;
+                                 }),
+                match);
+    if (best.size() > k) best.pop_back();
+  };
+  auto worst_tau = [&]() -> uint32_t {
+    return best.size() < k ? std::numeric_limits<uint32_t>::max()
+                           : best.back().edit_distance;
+  };
+
+  bool pruned = false;  // true once the count filter cut the candidate list
+  for (ObjectId oid : touched_) {
+    const std::string& seq = (*sequences_)[oid];
+    const uint32_t tau_star = worst_tau();
+    if (best.size() == k) {
+      if (tau_star == 0) {
+        pruned = true;
+        break;
+      }
+      const int64_t theta =
+          q_len - static_cast<int64_t>(n) + 1 -
+          static_cast<int64_t>(n) * (static_cast<int64_t>(tau_star) - 1);
+      if (theta > static_cast<int64_t>(counts_[oid])) {
+        pruned = theta > 0;  // a positive bound also rules out count-0 items
+        break;
+      }
+      const int64_t len_diff =
+          std::abs(q_len - static_cast<int64_t>(seq.size()));
+      if (len_diff > static_cast<int64_t>(tau_star) - 1) continue;
+      const uint32_t tau = sa::BandedEditDistance(query, seq, tau_star - 1);
+      if (tau <= tau_star - 1) insert_match({oid, tau});
+    } else {
+      insert_match({oid, sa::EditDistance(query, seq)});
+    }
+  }
+
+  // Exactness: if the count filter never became strong enough to exclude
+  // zero-count sequences, fall back to scanning them (AppGram's guarantee).
+  if (!pruned || best.size() < k) {
+    const uint32_t tau_star_now = worst_tau();
+    const int64_t theta_zero =
+        best.size() == k
+            ? q_len - static_cast<int64_t>(n) + 1 -
+                  static_cast<int64_t>(n) *
+                      (static_cast<int64_t>(tau_star_now) - 1)
+            : std::numeric_limits<int64_t>::min();
+    if (theta_zero <= 0) {
+      for (ObjectId oid = 0; oid < sequences_->size(); ++oid) {
+        if (counts_[oid] > 0) continue;  // already considered above
+        const std::string& seq = (*sequences_)[oid];
+        const uint32_t tau_star = worst_tau();
+        if (best.size() == k) {
+          if (tau_star == 0) break;
+          const int64_t len_diff =
+              std::abs(q_len - static_cast<int64_t>(seq.size()));
+          if (len_diff > static_cast<int64_t>(tau_star) - 1) continue;
+          const uint32_t tau = sa::BandedEditDistance(query, seq, tau_star - 1);
+          if (tau <= tau_star - 1) insert_match({oid, tau});
+        } else {
+          insert_match({oid, sa::EditDistance(query, seq)});
+        }
+      }
+    }
+  }
+
+  for (ObjectId oid : touched_) counts_[oid] = 0;
+  return best;
+}
+
+Result<std::vector<std::vector<AppGramMatch>>> AppGramEngine::SearchBatch(
+    std::span<const std::string> queries) {
+  std::vector<std::vector<AppGramMatch>> results(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    results[i] = SearchOne(queries[i]);
+  }
+  return results;
+}
+
+}  // namespace baselines
+}  // namespace genie

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file appgram_engine.h
+/// An exact CPU sequence-kNN baseline standing in for AppGram (Wang et
+/// al.; DESIGN.md §2): n-gram counting with the Theorem 5.1 filter, then
+/// verification in descending count order until the filter bound proves no
+/// unverified sequence can improve — "AppGram tries its best to find the
+/// true kNNs", so unlike GENIE's one-round search this engine never
+/// returns an uncertified result (and pays for it in running time).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/types.h"
+#include "index/vocabulary.h"
+
+namespace genie {
+namespace baselines {
+
+struct AppGramOptions {
+  uint32_t ngram = 3;
+  uint32_t k = 1;
+};
+
+struct AppGramMatch {
+  ObjectId id = kInvalidObjectId;
+  uint32_t edit_distance = 0;
+};
+
+class AppGramEngine {
+ public:
+  static Result<std::unique_ptr<AppGramEngine>> Create(
+      const std::vector<std::string>* sequences,
+      const AppGramOptions& options);
+
+  /// Exact kNN under edit distance, per query (ascending distance, ties by
+  /// ascending id).
+  Result<std::vector<std::vector<AppGramMatch>>> SearchBatch(
+      std::span<const std::string> queries);
+
+ private:
+  AppGramEngine(const std::vector<std::string>* sequences,
+                const AppGramOptions& options);
+  void BuildIndex();
+  std::vector<AppGramMatch> SearchOne(const std::string& query);
+
+  const std::vector<std::string>* sequences_;
+  AppGramOptions options_;
+  StringVocabulary vocab_;  // ordered n-gram tokens
+  std::vector<std::vector<ObjectId>> postings_;
+  std::vector<uint32_t> counts_;   // reused per query
+  std::vector<ObjectId> touched_;  // reset list
+};
+
+}  // namespace baselines
+}  // namespace genie

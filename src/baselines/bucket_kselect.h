@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file bucket_kselect.h
+/// SPQ — the paper's Appendix-A k-selection: a GPU bucket-selection
+/// algorithm (after Alabi et al.) that repeatedly partitions the value
+/// range into buckets, keeps everything above the bucket holding the k-th
+/// value, and recurses into that bucket until k items are isolated
+/// (Fig. 15). One block handles one count array; the GEN-SPQ and GPU-SPQ
+/// configurations run it as their selection stage.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "index/types.h"
+
+namespace genie {
+namespace baselines {
+
+struct BucketKSelectOptions {
+  uint32_t num_buckets = 256;
+  /// Safety bound; the paper observes 2-3 iterations in practice.
+  uint32_t max_iterations = 64;
+};
+
+struct BucketKSelectStats {
+  uint32_t iterations = 0;
+  uint64_t elements_scanned = 0;
+};
+
+/// Returns the k largest (id, count) pairs of counts[0..n), sorted by
+/// descending count (ties by ascending id). Zero counts are still eligible,
+/// matching a raw selection over the count table.
+std::vector<TopKEntry> BucketKSelect(const uint32_t* counts, uint32_t n,
+                                     uint32_t k,
+                                     const BucketKSelectOptions& options = {},
+                                     BucketKSelectStats* stats = nullptr);
+
+}  // namespace baselines
+}  // namespace genie

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file cpu_idx_engine.h
+/// CPU-Idx (Section VI-A2): the same inverted index scanned on the CPU,
+/// one query at a time, with an array of match counts and a partial quick
+/// selection for the top-k — the paper's single-threaded CPU baseline.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/query.h"
+#include "index/inverted_index.h"
+
+namespace genie {
+namespace baselines {
+
+struct CpuIdxOptions {
+  uint32_t k = 100;
+};
+
+class CpuIdxEngine {
+ public:
+  static Result<std::unique_ptr<CpuIdxEngine>> Create(
+      const InvertedIndex* index, const CpuIdxOptions& options);
+
+  /// Sequential execution, as in the paper's baseline.
+  Result<std::vector<QueryResult>> ExecuteBatch(
+      std::span<const Query> queries);
+
+ private:
+  CpuIdxEngine(const InvertedIndex* index, const CpuIdxOptions& options);
+
+  const InvertedIndex* index_;
+  CpuIdxOptions options_;
+  std::vector<uint32_t> counts_;      // reused across queries
+  std::vector<ObjectId> touched_;     // ids to reset after each query
+};
+
+}  // namespace baselines
+}  // namespace genie

@@ -1,0 +1,97 @@
+#include "baselines/cpu_lsh_engine.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "lsh/murmur3.h"
+
+namespace genie {
+namespace baselines {
+
+CpuLshEngine::CpuLshEngine(const data::PointMatrix* points,
+                           std::shared_ptr<const lsh::VectorLshFamily> family,
+                           const CpuLshOptions& options)
+    : points_(points), family_(std::move(family)), options_(options) {
+  Rng rng(options_.seed);
+  rehash_seeds_.resize(family_->num_functions());
+  for (auto& s : rehash_seeds_) s = rng.Next64();
+  BuildTables();
+  counts_.assign(points_->num_points(), 0);
+}
+
+Result<std::unique_ptr<CpuLshEngine>> CpuLshEngine::Create(
+    const data::PointMatrix* points,
+    std::shared_ptr<const lsh::VectorLshFamily> family,
+    const CpuLshOptions& options) {
+  if (points == nullptr) return Status::InvalidArgument("points is null");
+  if (family == nullptr) return Status::InvalidArgument("family is null");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  return std::unique_ptr<CpuLshEngine>(
+      new CpuLshEngine(points, std::move(family), options));
+}
+
+void CpuLshEngine::BuildTables() {
+  const uint32_t m = family_->num_functions();
+  tables_.resize(m);
+  for (uint32_t f = 0; f < m; ++f) {
+    for (uint32_t i = 0; i < points_->num_points(); ++i) {
+      const uint32_t bucket = static_cast<uint32_t>(
+          lsh::Murmur3_64(family_->RawHash(f, points_->row(i)),
+                          rehash_seeds_[f]) %
+          options_.rehash_domain);
+      tables_[f][bucket].push_back(i);
+    }
+  }
+}
+
+Result<std::vector<std::vector<ObjectId>>> CpuLshEngine::KnnBatch(
+    const data::PointMatrix& queries, uint32_t k_nn) {
+  std::vector<std::vector<ObjectId>> results(queries.num_points());
+  const uint32_t m = family_->num_functions();
+  for (uint32_t q = 0; q < queries.num_points(); ++q) {
+    const auto query_row = queries.row(q);
+    touched_.clear();
+    // Dynamic collision counting over all m functions.
+    for (uint32_t f = 0; f < m; ++f) {
+      const uint32_t bucket = static_cast<uint32_t>(
+          lsh::Murmur3_64(family_->RawHash(f, query_row), rehash_seeds_[f]) %
+          options_.rehash_domain);
+      auto it = tables_[f].find(bucket);
+      if (it == tables_[f].end()) continue;
+      for (ObjectId oid : it->second) {
+        if (counts_[oid] == 0) touched_.push_back(oid);
+        ++counts_[oid];
+      }
+    }
+    // Frequent candidates first, then exact-distance verification.
+    const uint32_t num_candidates = std::min<uint32_t>(
+        static_cast<uint32_t>(touched_.size()),
+        std::max(k_nn, options_.candidate_multiplier * options_.k));
+    std::partial_sort(touched_.begin(), touched_.begin() + num_candidates,
+                      touched_.end(), [&](ObjectId a, ObjectId b) {
+                        if (counts_[a] != counts_[b])
+                          return counts_[a] > counts_[b];
+                        return a < b;
+                      });
+    std::vector<std::pair<double, ObjectId>> verified;
+    verified.reserve(num_candidates);
+    for (uint32_t c = 0; c < num_candidates; ++c) {
+      const ObjectId oid = touched_[c];
+      const double d = options_.p == 1
+                           ? data::L1Distance(points_->row(oid), query_row)
+                           : data::L2Distance(points_->row(oid), query_row);
+      verified.emplace_back(d, oid);
+    }
+    std::sort(verified.begin(), verified.end());
+    auto& out = results[q];
+    out.reserve(std::min<size_t>(k_nn, verified.size()));
+    for (size_t i = 0; i < verified.size() && i < k_nn; ++i) {
+      out.push_back(verified[i].second);
+    }
+    for (ObjectId oid : touched_) counts_[oid] = 0;
+  }
+  return results;
+}
+
+}  // namespace baselines
+}  // namespace genie

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file cpu_lsh_engine.h
+/// CPU-LSH: a collision-counting LSH baseline in the spirit of C2LSH (Gan
+/// et al.), which the paper both compares against and cites as
+/// corroboration of GENIE's counting view ("the more collision functions
+/// between points, the more likely that they would be near each other").
+/// Per query it counts, over m single hash functions, how many buckets the
+/// query shares with each point, takes the most-colliding candidates and
+/// verifies them by exact distance. Single-threaded CPU cost shape.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/points.h"
+#include "index/types.h"
+#include "lsh/lsh_family.h"
+
+namespace genie {
+namespace baselines {
+
+struct CpuLshOptions {
+  uint32_t k = 100;
+  /// Collision-count candidates fetched before distance verification.
+  uint32_t candidate_multiplier = 4;  // candidates = multiplier * k
+  uint32_t rehash_domain = 8192;
+  uint64_t seed = 7;
+  uint32_t p = 2;  // verification metric
+};
+
+class CpuLshEngine {
+ public:
+  static Result<std::unique_ptr<CpuLshEngine>> Create(
+      const data::PointMatrix* points,
+      std::shared_ptr<const lsh::VectorLshFamily> family,
+      const CpuLshOptions& options);
+
+  /// kNN ids per query (ascending exact distance among verified
+  /// candidates).
+  Result<std::vector<std::vector<ObjectId>>> KnnBatch(
+      const data::PointMatrix& queries, uint32_t k_nn);
+
+ private:
+  CpuLshEngine(const data::PointMatrix* points,
+               std::shared_ptr<const lsh::VectorLshFamily> family,
+               const CpuLshOptions& options);
+  void BuildTables();
+
+  const data::PointMatrix* points_;
+  std::shared_ptr<const lsh::VectorLshFamily> family_;
+  CpuLshOptions options_;
+  std::vector<uint64_t> rehash_seeds_;
+  // tables_[f][bucket] = points hashed there by function f.
+  std::vector<std::unordered_map<uint32_t, std::vector<ObjectId>>> tables_;
+  std::vector<uint32_t> counts_;   // reused per query
+  std::vector<ObjectId> touched_;  // reset list
+};
+
+}  // namespace baselines
+}  // namespace genie

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file gpu_lsh_engine.h
+/// GPU-LSH: a multi-table LSH ANN baseline on the device, standing in for
+/// Pan & Manocha's bi-level LSH (DESIGN.md §2). It keeps the two traits the
+/// paper's comparison hinges on: (1) one thread processes one query — which
+/// is why its running time is flat in the batch size until 1024 queries
+/// (Fig. 9) — and (2) selection is a sort over the gathered candidate
+/// short-list, the k-selection bottleneck c-PQ avoids.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/points.h"
+#include "index/types.h"
+#include "lsh/lsh_family.h"
+#include "sim/device.h"
+
+namespace genie {
+namespace baselines {
+
+struct GpuLshOptions {
+  uint32_t num_tables = 16;          // L
+  uint32_t functions_per_table = 4;  // h (concatenated per table key)
+  uint32_t p = 2;                    // verification metric
+  uint64_t seed = 7;
+  uint32_t block_dim = 1024;  // threads per block; 1 query per thread
+  /// Early-stop emulation (Pan & Manocha stop probing once enough
+  /// candidates are gathered): at most candidate_budget_per_k * k_nn
+  /// candidates enter the short-list, so small k degrades the
+  /// approximation ratio exactly as the paper observes for GPU-LSH
+  /// (Section VI-D1). 0 = unlimited.
+  uint32_t candidate_budget_per_k = 16;
+  sim::Device* device = nullptr;
+};
+
+class GpuLshEngine {
+ public:
+  /// `family` must provide at least num_tables * functions_per_table
+  /// functions.
+  static Result<std::unique_ptr<GpuLshEngine>> Create(
+      const data::PointMatrix* points,
+      std::shared_ptr<const lsh::VectorLshFamily> family,
+      const GpuLshOptions& options);
+
+  /// kNN ids per query (ascending exact distance over the gathered
+  /// candidates).
+  Result<std::vector<std::vector<ObjectId>>> KnnBatch(
+      const data::PointMatrix& queries, uint32_t k_nn);
+
+ private:
+  GpuLshEngine(const data::PointMatrix* points,
+               std::shared_ptr<const lsh::VectorLshFamily> family,
+               const GpuLshOptions& options, sim::Device* device);
+  void BuildTables();
+  uint64_t TableKey(uint32_t table, std::span<const float> point) const;
+
+  const data::PointMatrix* points_;
+  std::shared_ptr<const lsh::VectorLshFamily> family_;
+  GpuLshOptions options_;
+  sim::Device* device_;
+  std::vector<std::unordered_map<uint64_t, std::vector<ObjectId>>> tables_;
+};
+
+}  // namespace baselines
+}  // namespace genie

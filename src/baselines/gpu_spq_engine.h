@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file gpu_spq_engine.h
+/// GPU-SPQ (Section VI-A2): the paper's scan-everything baseline. It does
+/// not use an inverted index at query time: match counts between every
+/// query and every object are computed by scanning the whole dataset into a
+/// per-query count array, then SPQ bucket k-selection (Appendix A) extracts
+/// the top-k. Memory per query is a full count row, which is why the paper
+/// observes GPU-SPQ cannot run more than 256 queries per batch.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/match_engine.h"
+#include "core/query.h"
+#include "index/inverted_index.h"
+#include "sim/device.h"
+
+namespace genie {
+namespace baselines {
+
+/// Object -> keywords CSR, derived from an inverted index (the "original
+/// data" GPU-SPQ scans).
+struct ForwardIndex {
+  std::vector<uint32_t> offsets;  // num_objects + 1
+  std::vector<Keyword> keywords;
+
+  static ForwardIndex FromInvertedIndex(const InvertedIndex& index);
+  uint32_t num_objects() const {
+    return static_cast<uint32_t>(offsets.size() - 1);
+  }
+};
+
+struct GpuSpqOptions {
+  uint32_t k = 100;
+  uint32_t block_dim = 32;
+  /// Objects per scanning block (grid = queries x ceil(n / this)).
+  uint32_t objects_per_block = 8192;
+  sim::Device* device = nullptr;
+};
+
+class GpuSpqEngine {
+ public:
+  static Result<std::unique_ptr<GpuSpqEngine>> Create(
+      const InvertedIndex* index, const GpuSpqOptions& options);
+
+  Result<std::vector<QueryResult>> ExecuteBatch(
+      std::span<const Query> queries);
+
+  const MatchProfile& profile() const { return profile_; }
+
+ private:
+  GpuSpqEngine(ForwardIndex forward, uint32_t vocab_size,
+               const GpuSpqOptions& options, sim::Device* device);
+
+  ForwardIndex forward_;
+  uint32_t vocab_size_;
+  GpuSpqOptions options_;
+  sim::Device* device_;
+  MatchProfile profile_;
+};
+
+}  // namespace baselines
+}  // namespace genie

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file bit_util.h
+/// Small bit-manipulation helpers shared by the packed bitmap counter and
+/// the hash tables.
+
+#include <cstdint>
+
+namespace genie {
+namespace bit_util {
+
+/// Smallest power of two >= v (v <= 2^63).
+constexpr uint64_t NextPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  return 1ULL << (64 - __builtin_clzll(v - 1));
+}
+
+constexpr bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Number of bits needed to represent values in [0, v] (v >= 0).
+constexpr uint32_t BitsFor(uint64_t v) {
+  return v == 0 ? 1 : 64 - __builtin_clzll(v);
+}
+
+/// Ceil(a / b) for b > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// 64-bit finalizer (from MurmurHash3) — a cheap, well-mixed integer hash.
+constexpr uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace bit_util
+}  // namespace genie

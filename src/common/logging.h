@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file logging.h
+/// Minimal logging and checked-invariant machinery. GENIE_CHECK is used for
+/// programming errors (contract violations); recoverable conditions go
+/// through Status (see status.h).
+
+#include <ostream>
+#include <sstream>
+
+namespace genie {
+namespace internal {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // Emits the message; aborts if level is kFatal.
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// `Voidify() & stream` gives the whole expression type void while keeping
+/// `<<` chains after a GENIE_CHECK legal (operator& binds looser than <<).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace genie
+
+#define GENIE_LOG(level)                                               \
+  ::genie::internal::LogMessage(::genie::internal::LogLevel::k##level, \
+                                __FILE__, __LINE__)                    \
+      .stream()
+
+#define GENIE_CHECK(cond)                                            \
+  (cond) ? static_cast<void>(0)                                      \
+         : ::genie::internal::Voidify() &                            \
+               ::genie::internal::LogMessage(                        \
+                   ::genie::internal::LogLevel::kFatal, __FILE__,    \
+                   __LINE__)                                         \
+                       .stream()                                     \
+                   << "Check failed: " #cond " "
+
+#define GENIE_DCHECK(cond) GENIE_CHECK(cond)

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file thread_pool.h
+/// Fixed-size worker pool used by the GPU simulator to execute blocks of a
+/// kernel grid in parallel, and by data generators for parallel synthesis.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace genie {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs body(i) for i in [0, n), partitioned into contiguous chunks across
+  /// the pool, and blocks until completion. Safe to call from a non-worker
+  /// thread only.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Like ParallelFor but hands each worker a contiguous [begin, end) range,
+  /// avoiding per-index dispatch overhead.
+  void ParallelForRange(
+      size_t n, const std::function<void(size_t, size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_has_work_;
+  std::condition_variable cv_idle_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Process-wide default pool sized to the hardware concurrency.
+ThreadPool* DefaultThreadPool();
+
+}  // namespace genie

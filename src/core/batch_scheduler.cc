@@ -1,0 +1,40 @@
+#include "core/batch_scheduler.h"
+
+#include <algorithm>
+
+namespace genie {
+
+Result<std::vector<QueryResult>> ExecuteLargeBatch(
+    MatchEngine* engine, std::span<const Query> queries,
+    const LargeBatchOptions& options) {
+  if (engine == nullptr) return Status::InvalidArgument("engine is null");
+  uint32_t batch_size = options.batch_size;
+  if (batch_size == 0) {
+    // Size batches from the remaining device memory.
+    const uint32_t max_count =
+        engine->options().max_count > 0
+            ? engine->options().max_count
+            : MatchEngine::DeriveMaxCount(queries);
+    const uint64_t per_query = MatchEngine::DeviceBytesPerQuery(
+        engine->index().num_objects(), engine->options(), max_count);
+    const uint64_t free_bytes =
+        engine->device()->memory_capacity_bytes() -
+        engine->device()->allocated_bytes();
+    const uint64_t budget = static_cast<uint64_t>(
+        static_cast<double>(free_bytes) * options.memory_fraction);
+    batch_size = static_cast<uint32_t>(
+        std::clamp<uint64_t>(budget / std::max<uint64_t>(per_query, 1), 1,
+                             1u << 20));
+  }
+  std::vector<QueryResult> results;
+  results.reserve(queries.size());
+  for (size_t done = 0; done < queries.size(); done += batch_size) {
+    const size_t count = std::min<size_t>(batch_size, queries.size() - done);
+    GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> part,
+                           engine->ExecuteBatch(queries.subspan(done, count)));
+    for (auto& r : part) results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace genie

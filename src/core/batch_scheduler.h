@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file batch_scheduler.h
+/// Large query sets: the paper processes 65536 queries as 64 batches of
+/// 1024 (Fig. 11, "GENIE can also support such large number of queries
+/// with breaking query set into several small batches"). ExecuteLargeBatch
+/// packages that strategy: it chunks the query set so each batch's device
+/// footprint stays inside the budget and concatenates the results.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/match_engine.h"
+#include "core/query.h"
+
+namespace genie {
+
+struct LargeBatchOptions {
+  /// Queries per device batch (the paper's 1024). 0 = derive from the
+  /// device memory budget below.
+  uint32_t batch_size = 1024;
+  /// When batch_size is 0: the largest batch whose per-query device memory
+  /// (MatchEngine::DeviceBytesPerQuery) fits in this fraction of the free
+  /// device capacity.
+  double memory_fraction = 0.5;
+};
+
+/// Runs `queries` through `engine` in batches. Results are in input order,
+/// exactly as a single ExecuteBatch of everything would return them.
+Result<std::vector<QueryResult>> ExecuteLargeBatch(
+    MatchEngine* engine, std::span<const Query> queries,
+    const LargeBatchOptions& options = {});
+
+}  // namespace genie

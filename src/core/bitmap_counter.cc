@@ -1,0 +1,6 @@
+#include "core/bitmap_counter.h"
+
+// Header-only view; this translation unit exists to give the target a home
+// for the class and to verify the header is self-contained.
+
+namespace genie {}  // namespace genie

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file bitmap_counter.h
+/// The lower level of c-PQ (Section III-C): a Bitmap Counter that packs one
+/// small saturating counter per object into 32-bit words — "we only need to
+/// allocate several (instead of 32) bits to encode the count for each
+/// object" — updated with atomic compare-and-swap so concurrent blocks can
+/// increment safely.
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+#include "index/types.h"
+
+namespace genie {
+
+/// Non-owning view over a word array holding packed counters. Counter width
+/// is a power of two in {1,2,4,8,16,32} so no counter straddles a word.
+class BitmapCounterView {
+ public:
+  BitmapCounterView() = default;
+  /// `cap` is the saturation point (<= field max). Counters stop at the cap
+  /// so a workload that violates its declared count bound degrades to
+  /// truncated counts instead of corrupting the Gate; 0 means "field max".
+  explicit BitmapCounterView(uint32_t* words, uint32_t bits_per_counter,
+                             uint32_t cap = 0)
+      : words_(words), bits_(bits_per_counter) {
+    GENIE_DCHECK(bit_util::IsPow2(bits_) && bits_ <= 32);
+    log_per_word_ = 5 - __builtin_ctz(bits_);  // log2(32 / bits)
+    mask_ = (bits_ == 32) ? ~0u : ((1u << bits_) - 1u);
+    cap_ = (cap == 0 || cap > mask_) ? mask_ : cap;
+  }
+
+  /// Counter width needed to represent counts up to max_count exactly.
+  static uint32_t ChooseBits(uint32_t max_count) {
+    uint32_t bits = bit_util::NextPow2(bit_util::BitsFor(max_count));
+    return static_cast<uint32_t>(bits > 32 ? 32 : bits);
+  }
+
+  /// Number of 32-bit words needed for n counters of the given width.
+  static uint64_t WordsRequired(uint64_t n, uint32_t bits) {
+    const uint64_t per_word = 32 / bits;
+    return bit_util::CeilDiv(n, per_word);
+  }
+
+  /// Atomically increments the counter of `oid` and returns the
+  /// post-increment value, or 0 (counts start at 1) when the counter is
+  /// already saturated at the cap and was left unchanged.
+  uint32_t Increment(ObjectId oid) {
+    const uint64_t word_idx = oid >> log_per_word_;
+    const uint32_t shift =
+        (oid & ((1u << log_per_word_) - 1u)) * bits_;
+    std::atomic_ref<uint32_t> word(words_[word_idx]);
+    uint32_t cur = word.load(std::memory_order_relaxed);
+    while (true) {
+      const uint32_t field = (cur >> shift) & mask_;
+      if (field >= cap_) return 0;  // saturated
+      const uint32_t next = cur + (1u << shift);
+      if (word.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+        return field + 1;
+      }
+    }
+  }
+
+  /// Reads the current value of a counter (racy by nature; exact once the
+  /// kernel has quiesced).
+  uint32_t Get(ObjectId oid) const {
+    const uint64_t word_idx = oid >> log_per_word_;
+    const uint32_t shift = (oid & ((1u << log_per_word_) - 1u)) * bits_;
+    std::atomic_ref<const uint32_t> word(words_[word_idx]);
+    return (word.load(std::memory_order_relaxed) >> shift) & mask_;
+  }
+
+  uint32_t bits() const { return bits_; }
+  uint32_t max_value() const { return cap_; }
+
+ private:
+  uint32_t* words_ = nullptr;
+  uint32_t bits_ = 32;
+  uint32_t log_per_word_ = 0;
+  uint32_t mask_ = ~0u;
+  uint32_t cap_ = ~0u;
+};
+
+}  // namespace genie

@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file count_priority_queue.h
+/// Count Priority Queue (c-PQ, Section III-C): the composition of Bitmap
+/// Counter (lower level), Gate (ZipperArray + AuditThreshold) and Hash
+/// Table (upper level), with Algorithm 1 as the per-posting update and the
+/// Theorem 3.1 extraction rule (scan the hash table once; the k-th match
+/// count equals AT - 1).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/bitmap_counter.h"
+#include "core/gate.h"
+#include "core/hash_table.h"
+#include "core/query.h"
+#include "index/types.h"
+
+namespace genie {
+
+/// Sizes of the per-query device allocations of one c-PQ instance; used by
+/// the engine to carve large batch buffers and by the Table-IV memory
+/// accounting.
+struct CpqLayout {
+  uint32_t num_objects = 0;
+  uint32_t k = 0;
+  uint32_t max_count = 0;
+  uint32_t counter_bits = 0;
+  uint64_t bitmap_words = 0;    // uint32 words
+  uint64_t zipper_entries = 0;  // uint32 entries (incl. sentinel)
+  uint32_t ht_capacity = 0;     // uint64 slots
+
+  static CpqLayout Make(uint32_t num_objects, uint32_t k, uint32_t max_count,
+                        uint32_t ht_slack);
+
+  /// Device bytes of one query's c-PQ (bitmap + gate + hash table).
+  uint64_t DeviceBytes() const {
+    return bitmap_words * sizeof(uint32_t) +
+           zipper_entries * sizeof(uint32_t) + sizeof(uint32_t) /*AT*/ +
+           static_cast<uint64_t>(ht_capacity) * sizeof(uint64_t);
+  }
+};
+
+/// Non-owning composition of the three c-PQ components for one query.
+class CpqView {
+ public:
+  CpqView() = default;
+  CpqView(BitmapCounterView bitmap, GateView gate, CpqHashTableView table,
+          bool robin_hood_expire = true)
+      : bitmap_(bitmap),
+        gate_(gate),
+        table_(table),
+        robin_hood_expire_(robin_hood_expire) {}
+
+  /// Algorithm 1: the per-thread update when a posting of `oid` is scanned.
+  /// Returns false on hash-table overflow (propagated as an engine error).
+  bool Update(ObjectId oid, HashTableStats* stats = nullptr) {
+    const uint32_t val = bitmap_.Increment(oid);
+    if (val == 0) return true;  // saturated: count bound was undersized
+    const uint32_t at = gate_.audit_threshold();
+    if (val >= at) {
+      const uint32_t expire_below = ExpireThreshold();
+      if (!table_.Upsert(oid, val, expire_below, robin_hood_expire_, stats)) {
+        return false;
+      }
+      gate_.OnPromoted(val);
+    }
+    return true;
+  }
+
+  /// Entries with count < AT - 1 are expired (Theorem 3.1).
+  uint32_t ExpireThreshold() const {
+    const uint32_t at = gate_.audit_threshold();
+    return at > 0 ? at - 1 : 0;
+  }
+
+  const BitmapCounterView& bitmap() const { return bitmap_; }
+  const GateView& gate() const { return gate_; }
+  const CpqHashTableView& table() const { return table_; }
+
+ private:
+  BitmapCounterView bitmap_;
+  GateView gate_;
+  CpqHashTableView table_;
+  bool robin_hood_expire_ = true;
+};
+
+/// Scans the hash table once and returns the top-k (Theorem 3.1): all
+/// entries with count > AT - 1, then ties at AT - 1 in arbitrary order.
+/// Duplicate keys left by concurrent displacement are combined with max().
+QueryResult ExtractTopK(const CpqView& cpq);
+
+/// Host-owned c-PQ storage for a single query (tests, CPU-side use). The
+/// engine instead carves views out of batch device buffers.
+class CpqHostStorage {
+ public:
+  CpqHostStorage(uint32_t num_objects, uint32_t k, uint32_t max_count,
+                 uint32_t ht_slack = 4, bool robin_hood_expire = true);
+
+  CpqView view() { return view_; }
+  const CpqLayout& layout() const { return layout_; }
+
+ private:
+  CpqLayout layout_;
+  std::vector<uint32_t> bitmap_words_;
+  std::vector<uint32_t> zipper_;
+  uint32_t audit_threshold_ = GateView::kInitialAuditThreshold;
+  std::vector<uint64_t> slots_;
+  CpqView view_;
+};
+
+}  // namespace genie

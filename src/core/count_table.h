@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file count_table.h
+/// The plain Count Table that c-PQ replaces: one full-width counter per
+/// object per query ("1k(queries) x 10M(points) x 4(bytes) = 40GB" in the
+/// paper's motivating example). Retained as the GEN-SPQ configuration of
+/// the engine (Fig. 13, Table IV) and for the GPU-SPQ baseline.
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/query.h"
+#include "index/types.h"
+
+namespace genie {
+
+/// Non-owning view over one query's count row.
+class CountTableView {
+ public:
+  CountTableView() = default;
+  CountTableView(uint32_t* counts, uint32_t num_objects)
+      : counts_(counts), num_objects_(num_objects) {}
+
+  /// Atomically increments the count of `oid` and returns the new value.
+  uint32_t Increment(ObjectId oid) {
+    return std::atomic_ref<uint32_t>(counts_[oid])
+               .fetch_add(1, std::memory_order_relaxed) +
+           1;
+  }
+
+  uint32_t Get(ObjectId oid) const {
+    return std::atomic_ref<const uint32_t>(counts_[oid])
+        .load(std::memory_order_relaxed);
+  }
+
+  const uint32_t* data() const { return counts_; }
+  uint32_t num_objects() const { return num_objects_; }
+
+  /// Device bytes for one query's row (Table IV accounting).
+  static uint64_t DeviceBytes(uint32_t num_objects) {
+    return static_cast<uint64_t>(num_objects) * sizeof(uint32_t);
+  }
+
+ private:
+  uint32_t* counts_ = nullptr;
+  uint32_t num_objects_ = 0;
+};
+
+/// Exact host-side top-k over a count row (reference selection used by
+/// tests and the CPU baseline; the device path uses SPQ bucket selection).
+QueryResult ExtractTopKFromCounts(const uint32_t* counts, uint32_t n,
+                                  uint32_t k);
+
+}  // namespace genie

@@ -1,0 +1,3 @@
+#include "core/gate.h"
+
+namespace genie {}  // namespace genie

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file gate.h
+/// The Gate of c-PQ (Section III-C1): a ZipperArray ZA and an
+/// AuditThreshold AT. ZA[v] counts promotions whose new count reached v; AT
+/// is the smallest index with ZA[AT] < k. Only objects whose count reaches
+/// AT pass from the Bitmap Counter to the Hash Table, and at quiescence
+/// Lemma 3.1 holds: ZA[AT] < k and ZA[AT-1] >= k.
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace genie {
+
+/// Non-owning view over one query's Gate state.
+///
+/// Memory layout: `zipper` has max_count + 2 entries. ZA is 1-based in the
+/// paper; index 0 is unused and index max_count + 1 is a permanent-zero
+/// sentinel so the AT advance loop terminates when AT walks past the count
+/// bound (Example 3.1 ends with AT = max_count + 1).
+class GateView {
+ public:
+  GateView() = default;
+  GateView(uint32_t* zipper, uint32_t* audit_threshold, uint32_t k,
+           uint32_t max_count)
+      : zipper_(zipper),
+        audit_threshold_(audit_threshold),
+        k_(k),
+        max_count_(max_count) {}
+
+  static uint64_t ZipperEntries(uint32_t max_count) {
+    return static_cast<uint64_t>(max_count) + 2;
+  }
+
+  /// Initial AT value (counts start passing the gate at 1).
+  static constexpr uint32_t kInitialAuditThreshold = 1;
+
+  uint32_t audit_threshold() const {
+    return std::atomic_ref<const uint32_t>(*audit_threshold_)
+        .load(std::memory_order_relaxed);
+  }
+
+  uint32_t zipper(uint32_t value) const {
+    GENIE_DCHECK(value >= 1 && value <= max_count_ + 1);
+    return std::atomic_ref<const uint32_t>(zipper_[value])
+        .load(std::memory_order_relaxed);
+  }
+
+  /// Records that an object's count reached `value` and was promoted into
+  /// the Hash Table (Algorithm 1 lines 5-7): ZA[value]++ then advance AT
+  /// while ZA[AT] >= k.
+  void OnPromoted(uint32_t value) {
+    GENIE_DCHECK(value >= 1 && value <= max_count_);
+    std::atomic_ref<uint32_t>(zipper_[value])
+        .fetch_add(1, std::memory_order_relaxed);
+    std::atomic_ref<uint32_t> at(*audit_threshold_);
+    uint32_t cur = at.load(std::memory_order_relaxed);
+    while (cur <= max_count_ &&
+           std::atomic_ref<uint32_t>(zipper_[cur])
+                   .load(std::memory_order_relaxed) >= k_) {
+      if (at.compare_exchange_weak(cur, cur + 1,
+                                   std::memory_order_relaxed)) {
+        cur = cur + 1;
+      }
+      // On CAS failure another thread advanced AT; `cur` was reloaded by
+      // compare_exchange_weak and the loop re-checks ZA at the new AT.
+    }
+  }
+
+  uint32_t k() const { return k_; }
+  uint32_t max_count() const { return max_count_; }
+
+ private:
+  uint32_t* zipper_ = nullptr;
+  uint32_t* audit_threshold_ = nullptr;
+  uint32_t k_ = 0;
+  uint32_t max_count_ = 0;
+};
+
+}  // namespace genie

@@ -1,0 +1,3 @@
+#include "core/hash_table.h"
+
+namespace genie {}  // namespace genie

@@ -1,0 +1,416 @@
+#include "core/match_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+#include "baselines/bucket_kselect.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/count_table.h"
+
+namespace genie {
+
+namespace {
+
+/// Flattened block work list: task t owns ranges
+/// [range_offsets[t], range_offsets[t+1]) of the (begin, end) arrays and
+/// contributes to query task_query[t].
+struct TaskList {
+  std::vector<uint32_t> task_query;
+  std::vector<uint32_t> range_offsets;  // task count + 1
+  std::vector<uint32_t> range_begin;
+  std::vector<uint32_t> range_end;
+
+  uint32_t num_tasks() const {
+    return static_cast<uint32_t>(task_query.size());
+  }
+  uint64_t SizeBytes() const {
+    return (task_query.size() + range_offsets.size() + range_begin.size() +
+            range_end.size()) *
+           sizeof(uint32_t);
+  }
+};
+
+/// Resolves every query item through the Position Map (host side, as in the
+/// paper) into the block work list. One task per item, unless
+/// max_lists_per_block splits an item's lists across several blocks.
+TaskList BuildTasks(const InvertedIndex& index,
+                    std::span<const Query> queries,
+                    uint32_t max_lists_per_block) {
+  TaskList tasks;
+  tasks.range_offsets.push_back(0);
+  std::vector<InvertedIndex::ListRef> item_lists;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    const Query& query = queries[q];
+    for (uint32_t i = 0; i < query.num_items(); ++i) {
+      item_lists.clear();
+      for (Keyword kw : query.item(i)) {
+        auto [first, count] = index.KeywordLists(kw);
+        for (uint32_t l = 0; l < count; ++l) {
+          const auto ref = index.List(first + l);
+          if (ref.length() > 0) item_lists.push_back(ref);
+        }
+      }
+      if (item_lists.empty()) continue;
+      const uint32_t chunk = max_lists_per_block > 0
+                                 ? max_lists_per_block
+                                 : static_cast<uint32_t>(item_lists.size());
+      for (size_t pos = 0; pos < item_lists.size(); pos += chunk) {
+        const size_t end = std::min(pos + chunk, item_lists.size());
+        tasks.task_query.push_back(q);
+        for (size_t l = pos; l < end; ++l) {
+          tasks.range_begin.push_back(item_lists[l].begin);
+          tasks.range_end.push_back(item_lists[l].end);
+        }
+        tasks.range_offsets.push_back(
+            static_cast<uint32_t>(tasks.range_begin.size()));
+      }
+    }
+  }
+  return tasks;
+}
+
+}  // namespace
+
+void MatchProfile::Accumulate(const MatchProfile& other) {
+  index_transfer_s += other.index_transfer_s;
+  query_transfer_s += other.query_transfer_s;
+  match_s += other.match_s;
+  select_s += other.select_s;
+  index_bytes += other.index_bytes;
+  query_bytes += other.query_bytes;
+  result_bytes += other.result_bytes;
+  ht_stats.upserts += other.ht_stats.upserts;
+  ht_stats.probes += other.ht_stats.probes;
+  ht_stats.displacements += other.ht_stats.displacements;
+  ht_stats.expired_overwrites += other.ht_stats.expired_overwrites;
+  ht_stats.overflows += other.ht_stats.overflows;
+}
+
+MatchEngine::MatchEngine(const InvertedIndex* index,
+                         const MatchEngineOptions& options,
+                         sim::Device* device)
+    : index_(index), options_(options), device_(device) {}
+
+Result<std::unique_ptr<MatchEngine>> MatchEngine::Create(
+    const InvertedIndex* index, const MatchEngineOptions& options) {
+  if (index == nullptr) return Status::InvalidArgument("index is null");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (options.block_dim == 0) {
+    return Status::InvalidArgument("block_dim must be >= 1");
+  }
+  sim::Device* device =
+      options.device != nullptr ? options.device : sim::Device::Default();
+  std::unique_ptr<MatchEngine> engine(
+      new MatchEngine(index, options, device));
+  GENIE_RETURN_NOT_OK(engine->TransferIndex());
+  return engine;
+}
+
+Status MatchEngine::TransferIndex() {
+  ScopedTimer timer(&profile_.index_transfer_s);
+  auto postings = index_->postings();
+  GENIE_ASSIGN_OR_RETURN(
+      device_postings_,
+      sim::DeviceBuffer<ObjectId>::Allocate(device_, postings.size()));
+  GENIE_RETURN_NOT_OK(
+      device_postings_.CopyFromHost(postings.data(), postings.size()));
+  profile_.index_bytes += postings.size() * sizeof(ObjectId);
+  return Status::OK();
+}
+
+uint32_t MatchEngine::DeriveMaxCount(std::span<const Query> queries) {
+  uint32_t bound = 1;
+  for (const Query& q : queries) bound = std::max(bound, q.num_items());
+  return bound;
+}
+
+uint64_t MatchEngine::DeviceBytesPerQuery(uint32_t num_objects,
+                                          const MatchEngineOptions& options,
+                                          uint32_t max_count) {
+  if (options.selector == MatchEngineOptions::Selector::kCpq) {
+    const CpqLayout layout =
+        CpqLayout::Make(num_objects, options.k, max_count, options.ht_slack);
+    // Selection also stages candidates + a cursor on the device.
+    return layout.DeviceBytes() +
+           static_cast<uint64_t>(layout.ht_capacity) * sizeof(uint64_t) +
+           sizeof(uint32_t);
+  }
+  // GEN-SPQ: a full count-table row plus the k output slots.
+  return CountTableView::DeviceBytes(num_objects) +
+         static_cast<uint64_t>(options.k) * sizeof(uint64_t) +
+         sizeof(uint32_t);
+}
+
+Result<std::vector<QueryResult>> MatchEngine::ExecuteBatch(
+    std::span<const Query> queries) {
+  const uint32_t num_queries = static_cast<uint32_t>(queries.size());
+  std::vector<QueryResult> results(num_queries);
+  if (num_queries == 0) return results;
+
+  const uint32_t n = index_->num_objects();
+  const uint32_t max_count =
+      options_.max_count > 0 ? options_.max_count : DeriveMaxCount(queries);
+
+  // --- Stage: query transfer (host -> device task list). -------------------
+  TaskList tasks;
+  sim::DeviceBuffer<uint32_t> d_task_query, d_range_offsets, d_range_begin,
+      d_range_end;
+  {
+    ScopedTimer timer(&profile_.query_transfer_s);
+    tasks = BuildTasks(*index_, queries, options_.max_lists_per_block);
+    profile_.query_bytes += tasks.SizeBytes();
+    GENIE_ASSIGN_OR_RETURN(d_task_query,
+                           sim::DeviceBuffer<uint32_t>::Allocate(
+                               device_, tasks.task_query.size()));
+    GENIE_RETURN_NOT_OK(d_task_query.CopyFromHost(tasks.task_query));
+    GENIE_ASSIGN_OR_RETURN(d_range_offsets,
+                           sim::DeviceBuffer<uint32_t>::Allocate(
+                               device_, tasks.range_offsets.size()));
+    GENIE_RETURN_NOT_OK(d_range_offsets.CopyFromHost(tasks.range_offsets));
+    GENIE_ASSIGN_OR_RETURN(d_range_begin,
+                           sim::DeviceBuffer<uint32_t>::Allocate(
+                               device_, tasks.range_begin.size()));
+    GENIE_RETURN_NOT_OK(d_range_begin.CopyFromHost(tasks.range_begin));
+    GENIE_ASSIGN_OR_RETURN(d_range_end,
+                           sim::DeviceBuffer<uint32_t>::Allocate(
+                               device_, tasks.range_end.size()));
+    GENIE_RETURN_NOT_OK(d_range_end.CopyFromHost(tasks.range_end));
+  }
+
+  const ObjectId* postings = device_postings_.data();
+  const uint32_t* task_query = d_task_query.data();
+  const uint32_t* range_offsets = d_range_offsets.data();
+  const uint32_t* range_begin = d_range_begin.data();
+  const uint32_t* range_end = d_range_end.data();
+  const uint32_t block_dim = options_.block_dim;
+  std::atomic<bool> overflow{false};
+  HashTableStats* stats =
+      options_.collect_ht_stats ? &profile_.ht_stats : nullptr;
+
+  if (options_.selector == MatchEngineOptions::Selector::kCpq) {
+    const CpqLayout layout =
+        CpqLayout::Make(n, options_.k, max_count, options_.ht_slack);
+
+    // Per-query c-PQ arenas, carved from batch-wide device buffers.
+    sim::DeviceBuffer<uint32_t> d_bitmap, d_zipper, d_audit;
+    sim::DeviceBuffer<uint64_t> d_slots;
+    {
+      ScopedTimer timer(&profile_.match_s);
+      GENIE_ASSIGN_OR_RETURN(
+          d_bitmap, sim::DeviceBuffer<uint32_t>::Allocate(
+                        device_, layout.bitmap_words * num_queries));
+      GENIE_ASSIGN_OR_RETURN(
+          d_zipper, sim::DeviceBuffer<uint32_t>::Allocate(
+                        device_, layout.zipper_entries * num_queries));
+      GENIE_ASSIGN_OR_RETURN(
+          d_audit, sim::DeviceBuffer<uint32_t>::Allocate(device_, num_queries));
+      GENIE_ASSIGN_OR_RETURN(
+          d_slots, sim::DeviceBuffer<uint64_t>::Allocate(
+                       device_, static_cast<uint64_t>(layout.ht_capacity) *
+                                    num_queries));
+      const std::vector<uint32_t> initial_at(
+          num_queries, GateView::kInitialAuditThreshold);
+      GENIE_RETURN_NOT_OK(d_audit.CopyFromHost(initial_at));
+    }
+    uint32_t* bitmap_base = d_bitmap.data();
+    uint32_t* zipper_base = d_zipper.data();
+    uint32_t* audit_base = d_audit.data();
+    uint64_t* slots_base = d_slots.data();
+    const bool rh_expire = options_.robin_hood_expire;
+    const uint32_t k = options_.k;
+    auto cpq_for = [=](uint32_t q) {
+      return CpqView(
+          BitmapCounterView(bitmap_base + q * layout.bitmap_words,
+                            layout.counter_bits, max_count),
+          GateView(zipper_base + q * layout.zipper_entries, audit_base + q,
+                   k, max_count),
+          CpqHashTableView(slots_base +
+                               static_cast<uint64_t>(q) * layout.ht_capacity,
+                           layout.ht_capacity),
+          rh_expire);
+    };
+
+    // --- Stage: match (scan postings lists, Algorithm 1 per posting). ------
+    {
+      ScopedTimer timer(&profile_.match_s);
+      GENIE_RETURN_NOT_OK(device_->Launch(
+          {tasks.num_tasks(), block_dim}, [&](const sim::ThreadCtx& ctx) {
+            const uint32_t t = ctx.block_idx;
+            CpqView cpq = cpq_for(task_query[t]);
+            for (uint32_t r = range_offsets[t]; r < range_offsets[t + 1];
+                 ++r) {
+              for (uint32_t pos = range_begin[r] + ctx.thread_idx;
+                   pos < range_end[r]; pos += ctx.block_dim) {
+                if (!cpq.Update(postings[pos], stats)) {
+                  overflow.store(true, std::memory_order_relaxed);
+                }
+              }
+            }
+          }));
+    }
+    if (overflow.load()) {
+      return Status::ResourceExhausted(
+          "c-PQ hash table overflow; increase MatchEngineOptions::ht_slack");
+    }
+
+    // --- Stage: select (single scan of each hash table, Theorem 3.1). ------
+    {
+      ScopedTimer timer(&profile_.select_s);
+      sim::DeviceBuffer<uint64_t> d_cand;
+      sim::DeviceBuffer<uint32_t> d_cursor;
+      GENIE_ASSIGN_OR_RETURN(
+          d_cand,
+          sim::DeviceBuffer<uint64_t>::Allocate(
+              device_,
+              static_cast<uint64_t>(layout.ht_capacity) * num_queries,
+              /*zero_init=*/false));
+      GENIE_ASSIGN_OR_RETURN(d_cursor, sim::DeviceBuffer<uint32_t>::Allocate(
+                                           device_, num_queries));
+      uint64_t* cand_base = d_cand.data();
+      uint32_t* cursor_base = d_cursor.data();
+      GENIE_RETURN_NOT_OK(device_->Launch(
+          {num_queries, block_dim}, [&](const sim::ThreadCtx& ctx) {
+            const uint32_t q = ctx.block_idx;
+            CpqView cpq = cpq_for(q);
+            const uint32_t at = cpq.gate().audit_threshold();
+            const uint32_t threshold = at > 0 ? at - 1 : 0;
+            const CpqHashTableView& ht = cpq.table();
+            uint64_t* out =
+                cand_base + static_cast<uint64_t>(q) * layout.ht_capacity;
+            std::atomic_ref<uint32_t> cursor(cursor_base[q]);
+            for (uint32_t slot = ctx.thread_idx; slot < ht.capacity();
+                 slot += ctx.block_dim) {
+              const uint64_t e = ht.LoadSlot(slot);
+              if (e == CpqHashTableView::kEmpty) continue;
+              if (CpqHashTableView::EntryCount(e) < threshold) continue;
+              out[cursor.fetch_add(1, std::memory_order_relaxed)] = e;
+            }
+          }));
+
+      // Ship candidates back and finalize on the host (dedupe + order),
+      // parallelized over queries.
+      std::vector<uint32_t> cursors(num_queries);
+      GENIE_RETURN_NOT_OK(d_cursor.CopyToHost(cursors.data(), num_queries));
+      profile_.result_bytes += num_queries * sizeof(uint32_t);
+      std::atomic<uint64_t> result_bytes{0};
+      const uint32_t engine_k = options_.k;
+      DefaultThreadPool()->ParallelFor(num_queries, [&](size_t q) {
+        std::vector<uint64_t> cand(cursors[q]);
+        GENIE_CHECK(d_cand
+                        .CopyToHost(cand.data(), cursors[q],
+                                    static_cast<uint64_t>(q) *
+                                        layout.ht_capacity)
+                        .ok());
+        result_bytes.fetch_add(cursors[q] * sizeof(uint64_t),
+                               std::memory_order_relaxed);
+        std::unordered_map<ObjectId, uint32_t> best;
+        best.reserve(cand.size());
+        for (uint64_t e : cand) {
+          auto [it, inserted] = best.emplace(
+              CpqHashTableView::EntryId(e), CpqHashTableView::EntryCount(e));
+          if (!inserted && it->second < CpqHashTableView::EntryCount(e)) {
+            it->second = CpqHashTableView::EntryCount(e);
+          }
+        }
+        QueryResult& result = results[q];
+        result.entries.reserve(best.size());
+        for (const auto& [id, count] : best) {
+          result.entries.push_back({id, count});
+        }
+        std::sort(result.entries.begin(), result.entries.end(),
+                  [](const TopKEntry& a, const TopKEntry& b) {
+                    if (a.count != b.count) return a.count > b.count;
+                    return a.id < b.id;
+                  });
+        if (result.entries.size() > engine_k) {
+          result.entries.resize(engine_k);
+        }
+        std::atomic_ref<uint32_t> at_ref(audit_base[q]);
+        const uint32_t at = at_ref.load(std::memory_order_relaxed);
+        result.threshold = result.entries.size() == engine_k
+                               ? at - 1
+                               : (result.entries.empty()
+                                      ? 0
+                                      : result.entries.back().count);
+      });
+      profile_.result_bytes += result_bytes.load();
+    }
+    return results;
+  }
+
+  // ---- GEN-SPQ configuration: Count Table + SPQ bucket selection. ---------
+  sim::DeviceBuffer<uint32_t> d_counts;
+  {
+    ScopedTimer timer(&profile_.match_s);
+    GENIE_ASSIGN_OR_RETURN(d_counts,
+                           sim::DeviceBuffer<uint32_t>::Allocate(
+                               device_, static_cast<uint64_t>(n) *
+                                            num_queries));
+    uint32_t* counts_base = d_counts.data();
+    GENIE_RETURN_NOT_OK(device_->Launch(
+        {tasks.num_tasks(), block_dim}, [&](const sim::ThreadCtx& ctx) {
+          const uint32_t t = ctx.block_idx;
+          CountTableView table(
+              counts_base + static_cast<uint64_t>(task_query[t]) * n, n);
+          for (uint32_t r = range_offsets[t]; r < range_offsets[t + 1]; ++r) {
+            for (uint32_t pos = range_begin[r] + ctx.thread_idx;
+                 pos < range_end[r]; pos += ctx.block_dim) {
+              table.Increment(postings[pos]);
+            }
+          }
+        }));
+  }
+
+  {
+    ScopedTimer timer(&profile_.select_s);
+    // SPQ: one block per count table (Appendix A).
+    sim::DeviceBuffer<uint64_t> d_out;
+    sim::DeviceBuffer<uint32_t> d_out_size;
+    GENIE_ASSIGN_OR_RETURN(
+        d_out, sim::DeviceBuffer<uint64_t>::Allocate(
+                   device_, static_cast<uint64_t>(options_.k) * num_queries,
+                   /*zero_init=*/false));
+    GENIE_ASSIGN_OR_RETURN(
+        d_out_size, sim::DeviceBuffer<uint32_t>::Allocate(device_, num_queries));
+    uint32_t* counts_base = d_counts.data();
+    uint64_t* out_base = d_out.data();
+    uint32_t* out_size_base = d_out_size.data();
+    const uint32_t k = options_.k;
+    GENIE_RETURN_NOT_OK(
+        device_->Launch({num_queries, 1}, [&](const sim::ThreadCtx& ctx) {
+          const uint32_t q = ctx.block_idx;
+          auto top = baselines::BucketKSelect(
+              counts_base + static_cast<uint64_t>(q) * n, n, k);
+          uint64_t* out = out_base + static_cast<uint64_t>(q) * k;
+          for (size_t i = 0; i < top.size(); ++i) {
+            out[i] = CpqHashTableView::MakeEntry(top[i].id, top[i].count);
+          }
+          out_size_base[q] = static_cast<uint32_t>(top.size());
+        }));
+    std::vector<uint32_t> sizes(num_queries);
+    GENIE_RETURN_NOT_OK(d_out_size.CopyToHost(sizes.data(), num_queries));
+    std::vector<uint64_t> row(options_.k);
+    for (uint32_t q = 0; q < num_queries; ++q) {
+      GENIE_RETURN_NOT_OK(d_out.CopyToHost(
+          row.data(), sizes[q], static_cast<uint64_t>(q) * options_.k));
+      profile_.result_bytes += sizes[q] * sizeof(uint64_t);
+      QueryResult& result = results[q];
+      for (uint32_t i = 0; i < sizes[q]; ++i) {
+        result.entries.push_back({CpqHashTableView::EntryId(row[i]),
+                                  CpqHashTableView::EntryCount(row[i])});
+      }
+      // Drop trailing zero-count padding so semantics match the c-PQ path
+      // (objects that matched nothing are not results).
+      while (!result.entries.empty() && result.entries.back().count == 0) {
+        result.entries.pop_back();
+      }
+      result.threshold =
+          result.entries.empty() ? 0 : result.entries.back().count;
+    }
+  }
+  return results;
+}
+
+}  // namespace genie

@@ -1,0 +1,70 @@
+#include "core/multi_load_engine.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace genie {
+
+MultiLoadEngine::MultiLoadEngine(std::vector<IndexPart> parts,
+                                 const MatchEngineOptions& options)
+    : parts_(std::move(parts)), options_(options) {}
+
+Result<std::unique_ptr<MultiLoadEngine>> MultiLoadEngine::Create(
+    std::vector<IndexPart> parts, const MatchEngineOptions& options) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("multiple loading needs >= 1 part");
+  }
+  for (const IndexPart& part : parts) {
+    if (part.index == nullptr) {
+      return Status::InvalidArgument("null index part");
+    }
+  }
+  return std::unique_ptr<MultiLoadEngine>(
+      new MultiLoadEngine(std::move(parts), options));
+}
+
+Result<std::vector<QueryResult>> MultiLoadEngine::ExecuteBatch(
+    std::span<const Query> queries) {
+  const size_t num_queries = queries.size();
+  // Per-query pool of candidates across parts; ids already global.
+  std::vector<std::vector<TopKEntry>> pools(num_queries);
+
+  for (const IndexPart& part : parts_) {
+    // Swap this part in: engine construction performs the index transfer
+    // and its destruction at scope end releases the device memory before
+    // the next part is loaded.
+    GENIE_ASSIGN_OR_RETURN(std::unique_ptr<MatchEngine> engine,
+                           MatchEngine::Create(part.index, options_));
+    GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> part_results,
+                           engine->ExecuteBatch(queries));
+    const MatchProfile& p = engine->profile();
+    profile_.index_transfer_s += p.index_transfer_s;
+    profile_.per_part.Accumulate(p);
+    ScopedTimer merge_timer(&profile_.merge_s);
+    for (size_t q = 0; q < num_queries; ++q) {
+      for (const TopKEntry& e : part_results[q].entries) {
+        pools[q].push_back(TopKEntry{e.id + part.id_offset, e.count});
+      }
+    }
+  }
+
+  // Final merge: top-k of the pooled candidates (Fig. 6 "Merge").
+  ScopedTimer merge_timer(&profile_.merge_s);
+  std::vector<QueryResult> results(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    auto& pool = pools[q];
+    std::sort(pool.begin(), pool.end(),
+              [](const TopKEntry& a, const TopKEntry& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.id < b.id;
+              });
+    if (pool.size() > options_.k) pool.resize(options_.k);
+    results[q].entries = std::move(pool);
+    results[q].threshold =
+        results[q].entries.empty() ? 0 : results[q].entries.back().count;
+  }
+  return results;
+}
+
+}  // namespace genie

@@ -1,0 +1,10 @@
+#include "core/query.h"
+
+namespace genie {
+
+void Query::AddItem(std::span<const Keyword> keywords) {
+  keywords_.insert(keywords_.end(), keywords.begin(), keywords.end());
+  item_offsets_.push_back(static_cast<uint32_t>(keywords_.size()));
+}
+
+}  // namespace genie

@@ -1,0 +1,45 @@
+#include "data/documents.h"
+
+#include "common/logging.h"
+
+namespace genie {
+namespace data {
+
+std::vector<TokenDocument> MakeDocuments(
+    const DocumentDatasetOptions& options) {
+  GENIE_CHECK(options.vocabulary >= 2);
+  GENIE_CHECK(options.min_tokens >= 1 &&
+              options.min_tokens <= options.max_tokens);
+  Rng rng(options.seed);
+  ZipfSampler zipf(options.vocabulary, options.zipf_exponent);
+  std::vector<TokenDocument> docs(options.num_documents);
+  for (auto& doc : docs) {
+    const uint32_t len = static_cast<uint32_t>(
+        rng.UniformInt(options.min_tokens, options.max_tokens));
+    doc.resize(len);
+    for (auto& t : doc) t = static_cast<uint32_t>(zipf.Sample(&rng));
+  }
+  return docs;
+}
+
+std::vector<TokenDocument> MakeDocumentQueries(
+    const std::vector<TokenDocument>& docs, uint32_t count,
+    double replace_rate, uint32_t vocabulary, double zipf_exponent,
+    uint64_t seed) {
+  GENIE_CHECK(!docs.empty());
+  Rng rng(seed);
+  ZipfSampler zipf(vocabulary, zipf_exponent);
+  std::vector<TokenDocument> queries(count);
+  for (auto& q : queries) {
+    q = docs[rng.UniformU64(docs.size())];
+    for (auto& t : q) {
+      if (rng.Bernoulli(replace_rate)) {
+        t = static_cast<uint32_t>(zipf.Sample(&rng));
+      }
+    }
+  }
+  return queries;
+}
+
+}  // namespace data
+}  // namespace genie

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file documents.h
+/// Synthetic short documents standing in for the Tweets dataset (DESIGN.md
+/// §2): token ids drawn from a Zipfian vocabulary (stop words removed in
+/// the paper, so rank-0 mass is moderate), short lengths as in tweets.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace genie {
+namespace data {
+
+using TokenDocument = std::vector<uint32_t>;
+
+struct DocumentDatasetOptions {
+  uint32_t num_documents = 10000;
+  uint32_t vocabulary = 20000;
+  double zipf_exponent = 1.05;
+  uint32_t min_tokens = 5;
+  uint32_t max_tokens = 16;
+  uint64_t seed = 42;
+};
+
+std::vector<TokenDocument> MakeDocuments(
+    const DocumentDatasetOptions& options);
+
+/// Query protocol: sample existing documents and randomly replace a
+/// fraction of their tokens, mirroring held-out tweets.
+std::vector<TokenDocument> MakeDocumentQueries(
+    const std::vector<TokenDocument>& docs, uint32_t count,
+    double replace_rate, uint32_t vocabulary, double zipf_exponent,
+    uint64_t seed);
+
+}  // namespace data
+}  // namespace genie

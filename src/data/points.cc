@@ -1,0 +1,95 @@
+#include "data/points.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace genie {
+namespace data {
+
+double L2Distance(std::span<const float> a, std::span<const float> b) {
+  GENIE_DCHECK(a.size() == b.size());
+  double acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double L1Distance(std::span<const float> a, std::span<const float> b) {
+  GENIE_DCHECK(a.size() == b.size());
+  double acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += std::abs(static_cast<double>(a[i]) - b[i]);
+  }
+  return acc;
+}
+
+std::vector<uint32_t> BruteForceKnn(const PointMatrix& data,
+                                    std::span<const float> query, uint32_t k,
+                                    uint32_t p) {
+  std::vector<uint32_t> ids(data.num_points());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::vector<double> dist(data.num_points());
+  for (uint32_t i = 0; i < data.num_points(); ++i) {
+    dist[i] = p == 1 ? L1Distance(data.row(i), query)
+                     : L2Distance(data.row(i), query);
+  }
+  const uint32_t kk = std::min<uint32_t>(k, data.num_points());
+  std::partial_sort(ids.begin(), ids.begin() + kk, ids.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      if (dist[a] != dist[b]) return dist[a] < dist[b];
+                      return a < b;
+                    });
+  ids.resize(kk);
+  return ids;
+}
+
+ClusteredPoints MakeClusteredPoints(const ClusteredPointsOptions& options) {
+  GENIE_CHECK(options.num_clusters >= 1 && options.dim >= 1);
+  Rng rng(options.seed);
+  ClusteredPoints out;
+  out.centers = PointMatrix(options.num_clusters, options.dim);
+  for (uint32_t c = 0; c < options.num_clusters; ++c) {
+    auto row = out.centers.mutable_row(c);
+    for (auto& v : row) {
+      v = static_cast<float>(
+          rng.UniformDouble(-options.center_range, options.center_range));
+    }
+  }
+  out.points = PointMatrix(options.num_points, options.dim);
+  out.labels.resize(options.num_points);
+  for (uint32_t i = 0; i < options.num_points; ++i) {
+    const uint32_t c =
+        static_cast<uint32_t>(rng.UniformU64(options.num_clusters));
+    out.labels[i] = c;
+    auto center = out.centers.row(c);
+    auto row = out.points.mutable_row(i);
+    for (uint32_t d = 0; d < options.dim; ++d) {
+      row[d] = center[d] +
+               static_cast<float>(rng.Gaussian(0.0, options.cluster_stddev));
+    }
+  }
+  return out;
+}
+
+PointMatrix MakeQueriesNear(const PointMatrix& data, uint32_t count,
+                            double noise_stddev, uint64_t seed) {
+  GENIE_CHECK(data.num_points() > 0);
+  Rng rng(seed);
+  PointMatrix queries(count, data.dim());
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t src =
+        static_cast<uint32_t>(rng.UniformU64(data.num_points()));
+    auto from = data.row(src);
+    auto to = queries.mutable_row(i);
+    for (uint32_t d = 0; d < data.dim(); ++d) {
+      to[d] = from[d] + static_cast<float>(rng.Gaussian(0.0, noise_stddev));
+    }
+  }
+  return queries;
+}
+
+}  // namespace data
+}  // namespace genie

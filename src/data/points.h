@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file points.h
+/// Dense point datasets and their generators — the stand-ins for the
+/// paper's OCR (1156-d, L1/Laplacian-kernel) and SIFT (128-d, L2) feature
+/// collections (DESIGN.md §2). Points are drawn from labelled Gaussian
+/// clusters so nearest-neighbour structure and classification labels
+/// (Table V) exist by construction.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace genie {
+namespace data {
+
+/// Row-major dense float matrix.
+class PointMatrix {
+ public:
+  PointMatrix() = default;
+  PointMatrix(uint32_t num_points, uint32_t dim)
+      : num_points_(num_points), dim_(dim),
+        values_(static_cast<size_t>(num_points) * dim) {}
+
+  uint32_t num_points() const { return num_points_; }
+  uint32_t dim() const { return dim_; }
+
+  std::span<const float> row(uint32_t i) const {
+    GENIE_DCHECK(i < num_points_);
+    return std::span<const float>(values_).subspan(
+        static_cast<size_t>(i) * dim_, dim_);
+  }
+  std::span<float> mutable_row(uint32_t i) {
+    GENIE_DCHECK(i < num_points_);
+    return std::span<float>(values_).subspan(static_cast<size_t>(i) * dim_,
+                                             dim_);
+  }
+  std::span<const float> values() const { return values_; }
+
+ private:
+  uint32_t num_points_ = 0;
+  uint32_t dim_ = 0;
+  std::vector<float> values_;
+};
+
+/// L2 (Euclidean) distance.
+double L2Distance(std::span<const float> a, std::span<const float> b);
+/// L1 (Manhattan) distance.
+double L1Distance(std::span<const float> a, std::span<const float> b);
+
+/// Exhaustive k-nearest-neighbour ground truth (ids sorted by ascending
+/// distance). `p` selects the metric: 1 or 2.
+std::vector<uint32_t> BruteForceKnn(const PointMatrix& data,
+                                    std::span<const float> query, uint32_t k,
+                                    uint32_t p);
+
+struct ClusteredPointsOptions {
+  uint32_t num_points = 10000;
+  uint32_t dim = 32;
+  uint32_t num_clusters = 50;
+  double cluster_stddev = 0.5;
+  double center_range = 10.0;  // centers ~ U[-range, range]^dim
+  uint64_t seed = 42;
+};
+
+struct ClusteredPoints {
+  PointMatrix points;
+  std::vector<uint32_t> labels;  // cluster id per point
+  PointMatrix centers;
+};
+
+/// Gaussian mixture with uniformly placed centers; labels record the
+/// generating cluster (used as the class label of the Table-V experiment).
+ClusteredPoints MakeClusteredPoints(const ClusteredPointsOptions& options);
+
+/// Draws `count` query points by perturbing random data points — mirroring
+/// the paper's protocol of holding out data points as the query set.
+PointMatrix MakeQueriesNear(const PointMatrix& data, uint32_t count,
+                            double noise_stddev, uint64_t seed);
+
+}  // namespace data
+}  // namespace genie

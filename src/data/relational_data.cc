@@ -1,0 +1,74 @@
+#include "data/relational_data.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace genie {
+namespace data {
+
+sa::RelationalTable MakeRelationalTable(
+    const RelationalDatasetOptions& options) {
+  GENIE_CHECK(options.numeric_columns + options.categorical_columns >= 1);
+  Rng rng(options.seed);
+  std::vector<std::vector<uint32_t>> columns;
+  std::vector<uint32_t> cardinalities;
+
+  for (uint32_t c = 0; c < options.numeric_columns; ++c) {
+    std::vector<uint32_t> col(options.num_rows);
+    // Gaussian-ish numeric attribute discretized over the bucket range.
+    const double mean = options.numeric_buckets / 2.0;
+    const double stddev = options.numeric_buckets / 8.0;
+    for (auto& v : col) {
+      const double x = rng.Gaussian(mean, stddev);
+      v = static_cast<uint32_t>(std::clamp(
+          x, 0.0, static_cast<double>(options.numeric_buckets - 1)));
+    }
+    columns.push_back(std::move(col));
+    cardinalities.push_back(options.numeric_buckets);
+  }
+  for (uint32_t c = 0; c < options.categorical_columns; ++c) {
+    ZipfSampler zipf(options.categorical_cardinality,
+                     options.categorical_skew);
+    std::vector<uint32_t> col(options.num_rows);
+    for (auto& v : col) v = static_cast<uint32_t>(zipf.Sample(&rng));
+    columns.push_back(std::move(col));
+    cardinalities.push_back(options.categorical_cardinality);
+  }
+  return sa::RelationalTable(std::move(columns), std::move(cardinalities));
+}
+
+std::vector<sa::RangeQuery> MakeRangeQueries(const sa::RelationalTable& table,
+                                             uint32_t count,
+                                             uint32_t numeric_columns,
+                                             uint32_t numeric_halfwidth,
+                                             uint64_t seed) {
+  GENIE_CHECK(table.num_rows() > 0);
+  Rng rng(seed);
+  std::vector<sa::RangeQuery> queries(count);
+  for (auto& query : queries) {
+    const uint32_t row =
+        static_cast<uint32_t>(rng.UniformU64(table.num_rows()));
+    for (uint32_t col = 0; col < table.num_columns(); ++col) {
+      const uint32_t v = table.value(row, col);
+      if (col < numeric_columns) {
+        const uint32_t lo = v > numeric_halfwidth ? v - numeric_halfwidth : 0;
+        const uint32_t hi =
+            std::min(v + numeric_halfwidth, table.cardinality(col) - 1);
+        query.Add(col, lo, hi);
+      } else {
+        query.Add(col, v, v);
+      }
+    }
+  }
+  return queries;
+}
+
+std::vector<sa::RangeQuery> MakeExactMatchQueries(
+    const sa::RelationalTable& table, uint32_t count, uint64_t seed) {
+  return MakeRangeQueries(table, count, /*numeric_columns=*/0,
+                          /*numeric_halfwidth=*/0, seed);
+}
+
+}  // namespace data
+}  // namespace genie

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file relational_data.h
+/// Synthetic relational table standing in for the Adult census dataset
+/// (DESIGN.md §2): a mix of numeric columns (discretized to 1024 equal
+/// intervals, as the paper does) and low-cardinality skewed categorical
+/// columns (sex, race, ... — the source of the extremely long postings
+/// lists in the load-balance experiment of Fig. 12).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sa/relational.h"
+
+namespace genie {
+namespace data {
+
+struct RelationalDatasetOptions {
+  uint32_t num_rows = 10000;
+  uint32_t numeric_columns = 6;
+  uint32_t numeric_buckets = 1024;
+  uint32_t categorical_columns = 8;
+  uint32_t categorical_cardinality = 8;
+  /// Zipf exponent of categorical value frequencies; higher = longer
+  /// dominant postings lists.
+  double categorical_skew = 1.2;
+  uint64_t seed = 42;
+};
+
+sa::RelationalTable MakeRelationalTable(
+    const RelationalDatasetOptions& options);
+
+/// The paper's Adult query protocol: take rows as query centers, numeric
+/// items get the range [v - 50, v + 50] (clamped), categorical items exact
+/// match.
+std::vector<sa::RangeQuery> MakeRangeQueries(
+    const sa::RelationalTable& table, uint32_t count, uint32_t numeric_columns,
+    uint32_t numeric_halfwidth, uint64_t seed);
+
+/// Exact-match queries on every column (the Fig. 12 load-balance workload:
+/// "we exert exact match for all attributes and return the best match").
+std::vector<sa::RangeQuery> MakeExactMatchQueries(
+    const sa::RelationalTable& table, uint32_t count, uint64_t seed);
+
+}  // namespace data
+}  // namespace genie

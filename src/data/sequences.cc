@@ -1,0 +1,50 @@
+#include "data/sequences.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace genie {
+namespace data {
+
+std::vector<std::string> MakeSequences(const SequenceDatasetOptions& options) {
+  GENIE_CHECK(options.alphabet >= 2 && options.alphabet <= 26);
+  GENIE_CHECK(options.min_length >= 1 &&
+              options.min_length <= options.max_length);
+  Rng rng(options.seed);
+  std::vector<std::string> out(options.num_sequences);
+  for (auto& seq : out) {
+    const uint32_t len = static_cast<uint32_t>(
+        rng.UniformInt(options.min_length, options.max_length));
+    seq.resize(len);
+    for (auto& ch : seq) {
+      ch = static_cast<char>('a' + rng.UniformU64(options.alphabet));
+    }
+  }
+  return out;
+}
+
+std::string MutateSequence(const std::string& seq, double rate,
+                           uint32_t alphabet, Rng* rng) {
+  GENIE_CHECK(rate >= 0 && alphabet >= 2);
+  std::string out = seq;
+  const uint32_t edits = static_cast<uint32_t>(
+      std::ceil(rate * static_cast<double>(seq.size())));
+  for (uint32_t e = 0; e < edits && !out.empty(); ++e) {
+    const uint64_t kind = rng->UniformU64(4);
+    const size_t pos = static_cast<size_t>(rng->UniformU64(out.size()));
+    const char ch = static_cast<char>('a' + rng->UniformU64(alphabet));
+    if (kind <= 1) {
+      out[pos] = ch;  // substitution (2x weight)
+    } else if (kind == 2) {
+      out.insert(out.begin() + pos, ch);
+    } else {
+      out.erase(out.begin() + pos);
+    }
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace genie

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file sequences.h
+/// Synthetic sequence data standing in for the DBLP title dataset
+/// (DESIGN.md §2): random strings over a small alphabet plus the paper's
+/// query protocol — take data sequences and modify a fraction of their
+/// characters ("modify 20% of the characters of the sequences").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace genie {
+namespace data {
+
+struct SequenceDatasetOptions {
+  uint32_t num_sequences = 10000;
+  uint32_t min_length = 30;
+  uint32_t max_length = 50;
+  uint32_t alphabet = 26;  // 'a' .. 'a'+alphabet-1
+  uint64_t seed = 42;
+};
+
+std::vector<std::string> MakeSequences(const SequenceDatasetOptions& options);
+
+/// Applies ceil(rate * |seq|) random edits (substitute/insert/delete in
+/// ratio 2:1:1) — the modification protocol of Tables VI/VII.
+std::string MutateSequence(const std::string& seq, double rate,
+                           uint32_t alphabet, Rng* rng);
+
+}  // namespace data
+}  // namespace genie

@@ -1,0 +1,79 @@
+#include "index/index_builder.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+
+namespace genie {
+
+InvertedIndexBuilder::InvertedIndexBuilder(uint32_t vocab_size)
+    : vocab_size_(vocab_size) {
+  GENIE_CHECK(vocab_size >= 1);
+}
+
+void InvertedIndexBuilder::Add(ObjectId object, Keyword keyword) {
+  GENIE_CHECK(keyword < vocab_size_) << "keyword outside vocabulary";
+  entries_.push_back(Entry{keyword, object});
+  max_object_ = any_ ? std::max(max_object_, object) : object;
+  any_ = true;
+}
+
+void InvertedIndexBuilder::AddObject(ObjectId object,
+                                     std::span<const Keyword> keywords) {
+  for (Keyword kw : keywords) Add(object, kw);
+}
+
+Result<InvertedIndex> InvertedIndexBuilder::Build(
+    const IndexBuildOptions& options) && {
+  InvertedIndex index;
+  index.num_objects_ = any_ ? max_object_ + 1 : 0;
+
+  // Counting sort by keyword keeps per-list object order stable in object
+  // insertion order (postings of one list stay contiguous and sorted if the
+  // caller added objects in id order).
+  std::vector<uint32_t> freq(vocab_size_ + 1, 0);
+  for (const Entry& e : entries_) ++freq[e.keyword + 1];
+  std::vector<uint32_t> keyword_begin(vocab_size_ + 1, 0);
+  for (uint32_t kw = 0; kw < vocab_size_; ++kw) {
+    keyword_begin[kw + 1] = keyword_begin[kw] + freq[kw + 1];
+  }
+  index.postings_.resize(entries_.size());
+  {
+    std::vector<uint32_t> cursor(keyword_begin.begin(),
+                                 keyword_begin.end() - 1);
+    for (const Entry& e : entries_) {
+      index.postings_[cursor[e.keyword]++] = e.object;
+    }
+  }
+  entries_.clear();
+  entries_.shrink_to_fit();
+
+  // Carve the keyword ranges into (sub)lists. Without load balancing every
+  // keyword becomes exactly one list; with it, long lists split into chunks
+  // of at most max_list_length (Fig. 4).
+  const uint32_t max_len = options.max_list_length;
+  index.keyword_first_list_.resize(vocab_size_ + 1);
+  index.list_offsets_.clear();
+  index.list_offsets_.push_back(0);
+  index.max_list_length_ = 0;
+  for (uint32_t kw = 0; kw < vocab_size_; ++kw) {
+    index.keyword_first_list_[kw] =
+        static_cast<uint32_t>(index.list_offsets_.size() - 1);
+    const uint32_t begin = keyword_begin[kw];
+    const uint32_t end = keyword_begin[kw + 1];
+    const uint32_t len = end - begin;
+    if (len == 0) continue;
+    const uint32_t chunk = (max_len > 0) ? max_len : len;
+    for (uint32_t pos = begin; pos < end; pos += chunk) {
+      const uint32_t sub_end = std::min(pos + chunk, end);
+      index.list_offsets_.push_back(sub_end);
+      index.max_list_length_ = std::max(index.max_list_length_, sub_end - pos);
+    }
+  }
+  index.keyword_first_list_[vocab_size_] =
+      static_cast<uint32_t>(index.list_offsets_.size() - 1);
+  return index;
+}
+
+}  // namespace genie

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file index_builder.h
+/// Builds InvertedIndex instances from (object, keyword) postings, with
+/// optional load-balance splitting of long lists (Section III-B1).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "index/inverted_index.h"
+#include "index/types.h"
+
+namespace genie {
+
+struct IndexBuildOptions {
+  /// When > 0, postings lists longer than this are split into sublists of at
+  /// most this length and the position map becomes one-to-many (the paper
+  /// uses 4K). 0 disables load balancing.
+  uint32_t max_list_length = 0;
+};
+
+class InvertedIndexBuilder {
+ public:
+  /// `vocab_size` fixes the keyword universe; keywords must be < vocab_size.
+  explicit InvertedIndexBuilder(uint32_t vocab_size);
+
+  /// Appends one posting. Duplicate (object, keyword) pairs are kept: the
+  /// match-count model counts every matched element of an object (e.g. a
+  /// repeated ordered n-gram id never repeats, but a relational object never
+  /// adds the same keyword twice either; dedup is the caller's call).
+  void Add(ObjectId object, Keyword keyword);
+
+  /// Appends all keywords of one object.
+  void AddObject(ObjectId object, std::span<const Keyword> keywords);
+
+  size_t num_postings() const { return entries_.size(); }
+
+  /// Assembles the CSR index. The builder can be reused afterwards only via
+  /// a fresh instance.
+  Result<InvertedIndex> Build(const IndexBuildOptions& options = {}) &&;
+
+ private:
+  struct Entry {
+    Keyword keyword;
+    ObjectId object;
+  };
+
+  uint32_t vocab_size_;
+  ObjectId max_object_ = 0;
+  bool any_ = false;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace genie

@@ -1,0 +1,219 @@
+#include "index/index_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "index/varint.h"
+#include "lsh/murmur3.h"
+
+namespace genie {
+
+namespace {
+
+constexpr char kMagicV1[8] = {'G', 'N', 'I', 'E', 'I', 'D', 'X', '1'};
+constexpr char kMagicV2[8] = {'G', 'N', 'I', 'E', 'I', 'D', 'X', '2'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WritePod(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+template <typename T>
+bool WriteArray(std::FILE* f, const std::vector<T>& v) {
+  return v.empty() || std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
+}
+template <typename T>
+bool ReadPod(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+template <typename T>
+bool ReadArray(std::FILE* f, std::vector<T>* v, uint64_t count) {
+  v->resize(count);
+  return count == 0 ||
+         std::fread(v->data(), sizeof(T), count, f) == count;
+}
+
+template <typename T>
+uint64_t ArrayDigest(const std::vector<T>& v, uint64_t seed) {
+  return lsh::Murmur3_64(v.data(), v.size() * sizeof(T), seed);
+}
+
+uint64_t IndexChecksum(const std::vector<ObjectId>& postings,
+                       const std::vector<uint32_t>& list_offsets,
+                       const std::vector<uint32_t>& keyword_first_list) {
+  uint64_t digest = ArrayDigest(postings, 0x47454E4945ULL);
+  digest = ArrayDigest(list_offsets, digest);
+  return ArrayDigest(keyword_first_list, digest);
+}
+
+struct Header {
+  uint32_t num_objects = 0;
+  uint32_t max_list_length = 0;
+  uint64_t postings_count = 0;
+  uint64_t offsets_count = 0;
+  uint64_t keyword_count = 0;
+};
+
+bool WriteHeader(std::FILE* f, const char* magic, const Header& h) {
+  return std::fwrite(magic, 1, 8, f) == 8 && WritePod(f, h.num_objects) &&
+         WritePod(f, h.max_list_length) && WritePod(f, h.postings_count) &&
+         WritePod(f, h.offsets_count) && WritePod(f, h.keyword_count);
+}
+
+Status ValidateStructure(const InvertedIndex& index, const std::string& path,
+                         const std::vector<uint32_t>& list_offsets,
+                         const std::vector<uint32_t>& keyword_first_list,
+                         size_t postings_count) {
+  if (list_offsets.front() != 0 || list_offsets.back() != postings_count) {
+    return Status::InvalidArgument("inconsistent list offsets: " + path);
+  }
+  for (size_t i = 1; i < list_offsets.size(); ++i) {
+    if (list_offsets[i] < list_offsets[i - 1]) {
+      return Status::InvalidArgument("non-monotone list offsets: " + path);
+    }
+  }
+  if (keyword_first_list.back() != index.num_lists()) {
+    return Status::InvalidArgument("inconsistent keyword map: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveIndex(const InvertedIndex& index, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  Header h;
+  h.num_objects = index.num_objects_;
+  h.max_list_length = index.max_list_length_;
+  h.postings_count = index.postings_.size();
+  h.offsets_count = index.list_offsets_.size();
+  h.keyword_count = index.keyword_first_list_.size();
+  bool ok = WriteHeader(f.get(), kMagicV1, h);
+  ok = ok && WriteArray(f.get(), index.postings_);
+  ok = ok && WriteArray(f.get(), index.list_offsets_);
+  ok = ok && WriteArray(f.get(), index.keyword_first_list_);
+  ok = ok && WritePod(f.get(),
+                      IndexChecksum(index.postings_, index.list_offsets_,
+                                    index.keyword_first_list_));
+  if (!ok) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Status SaveIndexCompressed(const InvertedIndex& index,
+                           const std::string& path) {
+  // Compress per (sub)list so decoding can re-delimit via list_offsets.
+  std::vector<uint8_t> blob;
+  blob.reserve(index.postings_.size());  // postings rarely expand past 1B/id
+  for (uint32_t l = 0; l < index.num_lists(); ++l) {
+    const auto ref = index.List(l);
+    GENIE_RETURN_NOT_OK(varint::EncodeDeltaAscending(
+        std::span<const uint32_t>(index.postings_)
+            .subspan(ref.begin, ref.length()),
+        &blob));
+  }
+
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  Header h;
+  h.num_objects = index.num_objects_;
+  h.max_list_length = index.max_list_length_;
+  h.postings_count = index.postings_.size();
+  h.offsets_count = index.list_offsets_.size();
+  h.keyword_count = index.keyword_first_list_.size();
+  bool ok = WriteHeader(f.get(), kMagicV2, h);
+  ok = ok && WritePod(f.get(), static_cast<uint64_t>(blob.size()));
+  ok = ok && WriteArray(f.get(), blob);
+  ok = ok && WriteArray(f.get(), index.list_offsets_);
+  ok = ok && WriteArray(f.get(), index.keyword_first_list_);
+  ok = ok && WritePod(f.get(),
+                      IndexChecksum(index.postings_, index.list_offsets_,
+                                    index.keyword_first_list_));
+  if (!ok) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Result<InvertedIndex> LoadIndex(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::NotFound("cannot open: " + path);
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic)) {
+    return Status::InvalidArgument("not a GENIE index file: " + path);
+  }
+  const bool compressed = std::memcmp(magic, kMagicV2, 8) == 0;
+  if (!compressed && std::memcmp(magic, kMagicV1, 8) != 0) {
+    return Status::InvalidArgument("not a GENIE index file: " + path);
+  }
+
+  InvertedIndex index;
+  Header h;
+  bool ok = ReadPod(f.get(), &h.num_objects) &&
+            ReadPod(f.get(), &h.max_list_length) &&
+            ReadPod(f.get(), &h.postings_count) &&
+            ReadPod(f.get(), &h.offsets_count) &&
+            ReadPod(f.get(), &h.keyword_count);
+  if (!ok) return Status::InvalidArgument("truncated header: " + path);
+  if (h.offsets_count == 0 || h.keyword_count == 0) {
+    return Status::InvalidArgument("malformed header counts: " + path);
+  }
+  index.num_objects_ = h.num_objects;
+  index.max_list_length_ = h.max_list_length;
+
+  if (compressed) {
+    uint64_t blob_size = 0;
+    std::vector<uint8_t> blob;
+    ok = ReadPod(f.get(), &blob_size) &&
+         ReadArray(f.get(), &blob, blob_size) &&
+         ReadArray(f.get(), &index.list_offsets_, h.offsets_count) &&
+         ReadArray(f.get(), &index.keyword_first_list_, h.keyword_count);
+    if (!ok) return Status::InvalidArgument("truncated index data: " + path);
+    index.postings_.reserve(h.postings_count);
+    size_t pos = 0;
+    std::vector<uint32_t> list;
+    for (size_t l = 0; l + 1 < index.list_offsets_.size(); ++l) {
+      if (index.list_offsets_[l + 1] < index.list_offsets_[l]) {
+        return Status::InvalidArgument("non-monotone list offsets: " + path);
+      }
+      const size_t count =
+          index.list_offsets_[l + 1] - index.list_offsets_[l];
+      GENIE_RETURN_NOT_OK(
+          varint::DecodeDeltaAscending(blob, &pos, count, &list));
+      index.postings_.insert(index.postings_.end(), list.begin(), list.end());
+    }
+    if (index.postings_.size() != h.postings_count) {
+      return Status::InvalidArgument("postings count mismatch: " + path);
+    }
+  } else {
+    ok = ReadArray(f.get(), &index.postings_, h.postings_count) &&
+         ReadArray(f.get(), &index.list_offsets_, h.offsets_count) &&
+         ReadArray(f.get(), &index.keyword_first_list_, h.keyword_count);
+    if (!ok) return Status::InvalidArgument("truncated index data: " + path);
+  }
+
+  uint64_t checksum = 0;
+  if (!ReadPod(f.get(), &checksum)) {
+    return Status::InvalidArgument("truncated checksum: " + path);
+  }
+  if (checksum != IndexChecksum(index.postings_, index.list_offsets_,
+                                index.keyword_first_list_)) {
+    return Status::InvalidArgument("checksum mismatch (corrupted): " + path);
+  }
+  GENIE_RETURN_NOT_OK(ValidateStructure(index, path, index.list_offsets_,
+                                        index.keyword_first_list_,
+                                        index.postings_.size()));
+  return index;
+}
+
+}  // namespace genie

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file index_io.h
+/// Binary serialization of InvertedIndex — build the index once on a
+/// beefy host, ship the file, mmap-or-load and serve (the paper treats
+/// index building as an offline, one-time cost; this makes that workflow
+/// concrete for library users).
+///
+/// Format (little-endian):
+///   magic "GNIEIDX1" | u32 num_objects | u32 max_list_length
+///   | u64 postings_count | u64 list_offsets_count | u64 keyword_count
+///   | postings[] u32 | list_offsets[] u32 | keyword_first_list[] u32
+///   | u64 checksum (murmur3 of the three arrays)
+
+#include <string>
+
+#include "common/result.h"
+#include "index/inverted_index.h"
+
+namespace genie {
+
+/// Writes `index` to `path`, replacing any existing file.
+Status SaveIndex(const InvertedIndex& index, const std::string& path);
+
+/// Like SaveIndex but with varint-delta compressed postings (format
+/// "GNIEIDX2"), typically 2-4x smaller. Requires every (sub)list's postings
+/// to be ascending — true for every GENIE pipeline, which indexes objects
+/// in id order; fails with InvalidArgument otherwise (fall back to
+/// SaveIndex).
+Status SaveIndexCompressed(const InvertedIndex& index,
+                           const std::string& path);
+
+/// Loads an index previously written by SaveIndex or SaveIndexCompressed
+/// (the format is detected from the header). Fails with InvalidArgument on
+/// a malformed or corrupted file.
+Result<InvertedIndex> LoadIndex(const std::string& path);
+
+}  // namespace genie

@@ -1,0 +1,6 @@
+#include "index/inverted_index.h"
+
+// InvertedIndex is a passive container; its construction logic lives in
+// index_builder.cc. This translation unit anchors the class for the build.
+
+namespace genie {}  // namespace genie

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file inverted_index.h
+/// The host-side inverted index of Section III-B: all postings lists stored
+/// back-to-back in one List Array, plus a Position Map from keyword to its
+/// (possibly several, after load-balance splitting — Fig. 4) sublists. The
+/// Position Map always stays in CPU memory; only the List Array is shipped
+/// to the device (DeviceIndex in match_engine.h).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "index/types.h"
+
+namespace genie {
+
+class InvertedIndex;
+Status SaveIndex(const InvertedIndex& index, const std::string& path);
+Status SaveIndexCompressed(const InvertedIndex& index,
+                           const std::string& path);
+Result<InvertedIndex> LoadIndex(const std::string& path);
+
+/// Immutable CSR inverted index. Build through InvertedIndexBuilder or load
+/// a serialized one with LoadIndex (index_io.h).
+class InvertedIndex {
+ public:
+  /// Half-open range of positions in the List Array.
+  struct ListRef {
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    uint32_t length() const { return end - begin; }
+  };
+
+  uint32_t num_objects() const { return num_objects_; }
+  uint32_t vocab_size() const {
+    return static_cast<uint32_t>(keyword_first_list_.size() - 1);
+  }
+  uint32_t num_lists() const {
+    return static_cast<uint32_t>(list_offsets_.size() - 1);
+  }
+
+  /// The whole List Array (concatenated postings).
+  std::span<const ObjectId> postings() const { return postings_; }
+  uint64_t postings_bytes() const { return postings_.size() * sizeof(ObjectId); }
+
+  /// Position-map lookup: the (sub)lists of a keyword occupy the contiguous
+  /// list-id range [first, first+count). Unknown keywords map to an empty
+  /// range.
+  std::pair<uint32_t, uint32_t> KeywordLists(Keyword kw) const {
+    if (kw >= vocab_size()) return {0, 0};
+    uint32_t first = keyword_first_list_[kw];
+    return {first, keyword_first_list_[kw + 1] - first};
+  }
+
+  ListRef List(uint32_t list_id) const {
+    GENIE_DCHECK(list_id < num_lists());
+    return {list_offsets_[list_id], list_offsets_[list_id + 1]};
+  }
+
+  /// Total postings of a keyword across its sublists.
+  uint32_t KeywordFrequency(Keyword kw) const {
+    auto [first, count] = KeywordLists(kw);
+    if (count == 0) return 0;
+    return list_offsets_[first + count] - list_offsets_[first];
+  }
+
+  /// Longest single (sub)list — bounded by max_list_length when load
+  /// balancing is on.
+  uint32_t max_list_length() const { return max_list_length_; }
+
+ private:
+  friend class InvertedIndexBuilder;
+  friend Status SaveIndex(const InvertedIndex& index, const std::string& path);
+  friend Status SaveIndexCompressed(const InvertedIndex& index,
+                                    const std::string& path);
+  friend Result<InvertedIndex> LoadIndex(const std::string& path);
+
+  uint32_t num_objects_ = 0;
+  uint32_t max_list_length_ = 0;
+  std::vector<ObjectId> postings_;
+  std::vector<uint32_t> list_offsets_;        // num_lists + 1
+  std::vector<uint32_t> keyword_first_list_;  // vocab_size + 1
+};
+
+}  // namespace genie

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file types.h
+/// Fundamental identifier types shared across the index and engines.
+
+#include <cstdint>
+
+namespace genie {
+
+/// Dense id of a data object (paper: O_i). 32 bits match the paper's count
+/// table layout and the GPU-side postings encoding.
+using ObjectId = uint32_t;
+
+/// Dense id of an inverted-index keyword, i.e. an encoded (dimension, value)
+/// pair (Example 2.1) or a vocabulary token (Section V).
+using Keyword = uint32_t;
+
+inline constexpr ObjectId kInvalidObjectId = ~ObjectId{0};
+inline constexpr Keyword kInvalidKeyword = ~Keyword{0};
+
+}  // namespace genie

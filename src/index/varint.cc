@@ -1,0 +1,68 @@
+#include "index/varint.h"
+
+namespace genie {
+namespace varint {
+
+void Encode(uint32_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+Result<uint32_t> Decode(std::span<const uint8_t> buf, size_t* pos) {
+  uint32_t value = 0;
+  for (uint32_t shift = 0; shift < 35; shift += 7) {
+    if (*pos >= buf.size()) {
+      return Status::InvalidArgument("truncated varint");
+    }
+    const uint8_t byte = buf[(*pos)++];
+    value |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      if (shift == 28 && (byte >> 4) != 0) {
+        return Status::InvalidArgument("varint overflows uint32");
+      }
+      return value;
+    }
+  }
+  return Status::InvalidArgument("varint too long");
+}
+
+Status EncodeDeltaAscending(std::span<const uint32_t> values,
+                            std::vector<uint8_t>* out) {
+  uint32_t prev = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i == 0) {
+      Encode(values[0], out);
+    } else {
+      if (values[i] < prev) {
+        return Status::InvalidArgument(
+            "delta coding requires ascending values");
+      }
+      Encode(values[i] - prev, out);
+    }
+    prev = values[i];
+  }
+  return Status::OK();
+}
+
+Status DecodeDeltaAscending(std::span<const uint8_t> buf, size_t* pos,
+                            size_t count, std::vector<uint32_t>* out) {
+  out->clear();
+  out->reserve(count);
+  uint32_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    GENIE_ASSIGN_OR_RETURN(const uint32_t delta, Decode(buf, pos));
+    const uint32_t value = i == 0 ? delta : prev + delta;
+    if (i > 0 && value < prev) {
+      return Status::InvalidArgument("delta decoding overflowed uint32");
+    }
+    out->push_back(value);
+    prev = value;
+  }
+  return Status::OK();
+}
+
+}  // namespace varint
+}  // namespace genie

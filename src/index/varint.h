@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file varint.h
+/// LEB128 variable-length integers and delta coding for postings lists.
+/// Postings within a (sub)list are ascending object ids (the builder emits
+/// them in insertion order, which is id order for all GENIE pipelines), so
+/// gaps are small and varint-delta typically shrinks the List Array 2-4x —
+/// the standard inverted-index compression the paper's related work applies
+/// on the GPU (Ao et al. [34]).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace genie {
+namespace varint {
+
+/// Appends v as LEB128 (1-5 bytes for uint32).
+void Encode(uint32_t v, std::vector<uint8_t>* out);
+
+/// Decodes one LEB128 value starting at `pos`; advances pos. Errors on
+/// truncated or overlong input.
+Result<uint32_t> Decode(std::span<const uint8_t> buf, size_t* pos);
+
+/// Encodes an ascending sequence as first value + deltas. Fails on
+/// descending input (the caller's contract).
+Status EncodeDeltaAscending(std::span<const uint32_t> values,
+                            std::vector<uint8_t>* out);
+
+/// Inverse of EncodeDeltaAscending: decodes exactly `count` values
+/// starting at `pos`, advancing pos.
+Status DecodeDeltaAscending(std::span<const uint8_t> buf, size_t* pos,
+                            size_t count, std::vector<uint32_t>* out);
+
+}  // namespace varint
+}  // namespace genie

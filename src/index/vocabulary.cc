@@ -1,0 +1,54 @@
+#include "index/vocabulary.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace genie {
+
+DimValueEncoder::DimValueEncoder(std::vector<uint32_t> buckets_per_dim)
+    : buckets_(std::move(buckets_per_dim)) {
+  GENIE_CHECK(!buckets_.empty());
+  offsets_.resize(buckets_.size() + 1);
+  offsets_[0] = 0;
+  for (size_t d = 0; d < buckets_.size(); ++d) {
+    GENIE_CHECK(buckets_[d] >= 1);
+    offsets_[d + 1] = offsets_[d] + buckets_[d];
+  }
+}
+
+DimValueEncoder::DimValueEncoder(uint32_t dims, uint32_t buckets)
+    : DimValueEncoder(std::vector<uint32_t>(dims, buckets)) {}
+
+Result<Keyword> DimValueEncoder::Encode(uint32_t dim, uint32_t value) const {
+  if (dim >= num_dims()) {
+    return Status::OutOfRange("dimension out of range");
+  }
+  if (value >= buckets_[dim]) {
+    return Status::OutOfRange("value out of range for dimension");
+  }
+  return offsets_[dim] + value;
+}
+
+std::pair<uint32_t, uint32_t> DimValueEncoder::Decode(Keyword kw) const {
+  GENIE_CHECK(kw < vocab_size());
+  // Dimensions are few (attributes / hash functions); linear scan suffices.
+  uint32_t dim = 0;
+  while (offsets_[dim + 1] <= kw) ++dim;
+  return {dim, kw - offsets_[dim]};
+}
+
+Keyword StringVocabulary::GetOrAdd(std::string_view token) {
+  auto it = map_.find(std::string(token));
+  if (it != map_.end()) return it->second;
+  Keyword kw = static_cast<Keyword>(map_.size());
+  map_.emplace(std::string(token), kw);
+  return kw;
+}
+
+Keyword StringVocabulary::Find(std::string_view token) const {
+  auto it = map_.find(std::string(token));
+  return it == map_.end() ? kInvalidKeyword : it->second;
+}
+
+}  // namespace genie

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file vocabulary.h
+/// Keyword encoders: GENIE keywords are dense integers. Structured data
+/// (relational tuples, LSH signatures) uses DimValueEncoder — the ordered
+/// pair (dimension, value) of Example 2.1 — while SA data (n-grams, words)
+/// uses StringVocabulary.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "index/types.h"
+
+namespace genie {
+
+/// Encodes (dimension d, discrete value v) pairs into dense keywords by
+/// laying dimensions out contiguously: keyword = offset[d] + v with
+/// v in [0, buckets_per_dim[d]).
+class DimValueEncoder {
+ public:
+  /// One entry per dimension giving the number of discrete values (buckets)
+  /// of that dimension. All entries must be >= 1.
+  explicit DimValueEncoder(std::vector<uint32_t> buckets_per_dim);
+
+  /// Convenience: `dims` dimensions with a uniform bucket count.
+  DimValueEncoder(uint32_t dims, uint32_t buckets);
+
+  uint32_t num_dims() const {
+    return static_cast<uint32_t>(buckets_.size());
+  }
+  uint32_t buckets(uint32_t dim) const { return buckets_[dim]; }
+  /// Total keyword universe size (Σ buckets).
+  uint32_t vocab_size() const { return offsets_.back(); }
+
+  /// Encodes one pair; errors when dim or value is out of range.
+  Result<Keyword> Encode(uint32_t dim, uint32_t value) const;
+
+  /// Precondition-checked fast path (GENIE_DCHECK only).
+  Keyword EncodeUnchecked(uint32_t dim, uint32_t value) const {
+    GENIE_DCHECK(dim < num_dims() && value < buckets_[dim]);
+    return offsets_[dim] + value;
+  }
+
+  /// Inverse of Encode.
+  std::pair<uint32_t, uint32_t> Decode(Keyword kw) const;
+
+ private:
+  std::vector<uint32_t> buckets_;
+  std::vector<uint32_t> offsets_;  // size num_dims + 1
+};
+
+/// Incrementally built token vocabulary for SA decompositions.
+class StringVocabulary {
+ public:
+  /// Returns the keyword for `token`, creating it when unseen.
+  Keyword GetOrAdd(std::string_view token);
+
+  /// Returns the keyword or kInvalidKeyword when the token is unknown.
+  /// Queries with unknown tokens simply match no postings list.
+  Keyword Find(std::string_view token) const;
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::string, Keyword> map_;
+};
+
+}  // namespace genie

@@ -1,0 +1,93 @@
+#include "lsh/e2lsh.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace genie {
+namespace lsh {
+
+namespace {
+double LpDistance(std::span<const float> a, std::span<const float> b,
+                  uint32_t p) {
+  GENIE_CHECK(a.size() == b.size());
+  double acc = 0;
+  if (p == 1) {
+    for (size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+    return acc;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double StdNormalCdf(double x) { return 0.5 * std::erfc(-x / M_SQRT2); }
+}  // namespace
+
+E2LshFamily::E2LshFamily(const E2LshOptions& options) : options_(options) {
+  Rng rng(options_.seed);
+  projections_.resize(static_cast<size_t>(options_.num_functions) *
+                      options_.dim);
+  offsets_.resize(options_.num_functions);
+  for (uint32_t f = 0; f < options_.num_functions; ++f) {
+    for (uint32_t d = 0; d < options_.dim; ++d) {
+      const double v = options_.p == 1 ? rng.Cauchy() : rng.Gaussian();
+      projections_[static_cast<size_t>(f) * options_.dim + d] =
+          static_cast<float>(v);
+    }
+    offsets_[f] = rng.UniformDouble(0.0, options_.bucket_width);
+  }
+}
+
+Result<std::unique_ptr<E2LshFamily>> E2LshFamily::Create(
+    const E2LshOptions& options) {
+  if (options.dim == 0) return Status::InvalidArgument("dim must be >= 1");
+  if (options.num_functions == 0) {
+    return Status::InvalidArgument("num_functions must be >= 1");
+  }
+  if (options.bucket_width <= 0) {
+    return Status::InvalidArgument("bucket_width must be positive");
+  }
+  if (options.p != 1 && options.p != 2) {
+    return Status::InvalidArgument("p must be 1 or 2");
+  }
+  return std::unique_ptr<E2LshFamily>(new E2LshFamily(options));
+}
+
+uint64_t E2LshFamily::RawHash(uint32_t i,
+                              std::span<const float> point) const {
+  GENIE_DCHECK(i < options_.num_functions);
+  GENIE_DCHECK(point.size() == options_.dim);
+  const float* a = &projections_[static_cast<size_t>(i) * options_.dim];
+  double dot = 0;
+  for (uint32_t d = 0; d < options_.dim; ++d) {
+    dot += static_cast<double>(a[d]) * point[d];
+  }
+  const double h = std::floor((dot + offsets_[i]) / options_.bucket_width);
+  return static_cast<uint64_t>(static_cast<int64_t>(h));
+}
+
+double E2LshFamily::CollisionProbabilityForDistance(double distance) const {
+  const double w = options_.bucket_width;
+  if (distance <= 0) return 1.0;
+  const double r = distance / w;
+  if (options_.p == 2) {
+    // psi_2(delta) = 1 - 2*Phi(-1/r) - (2r/sqrt(2pi)) (1 - exp(-1/(2 r^2)))
+    return 1.0 - 2.0 * StdNormalCdf(-1.0 / r) -
+           (2.0 * r / std::sqrt(2.0 * M_PI)) *
+               (1.0 - std::exp(-1.0 / (2.0 * r * r)));
+  }
+  // Cauchy (p = 1): psi_1(delta) = 2 atan(1/r)/pi - (r/pi) ln(1 + 1/r^2)
+  return 2.0 * std::atan(1.0 / r) / M_PI -
+         (r / M_PI) * std::log(1.0 + 1.0 / (r * r));
+}
+
+double E2LshFamily::CollisionProbability(std::span<const float> p,
+                                         std::span<const float> q) const {
+  return CollisionProbabilityForDistance(LpDistance(p, q, options_.p));
+}
+
+}  // namespace lsh
+}  // namespace genie

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file e2lsh.h
+/// The p-stable LSH family of Datar et al. (Eqn. 10):
+///     h(q) = floor((a . q + b) / w)
+/// with `a` drawn from a p-stable distribution (Gaussian for L2, Cauchy for
+/// L1) and b ~ U[0, w). Its collision probability psi_p(delta) (Eqn. 11) is
+/// strictly decreasing in the l_p distance, so it defines the similarity
+/// measure sim_lp of Eqn. 12 that GENIE's tau-ANN search operates under
+/// (Section IV-B3).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "lsh/lsh_family.h"
+
+namespace genie {
+namespace lsh {
+
+struct E2LshOptions {
+  uint32_t num_functions = 237;  // paper default from eps = delta = 0.06
+  uint32_t dim = 0;              // required
+  double bucket_width = 4.0;     // w; trade-off discussed in Section VI-D1
+  /// p of the l_p norm; 1 (Cauchy projections) or 2 (Gaussian projections).
+  uint32_t p = 2;
+  uint64_t seed = 42;
+};
+
+class E2LshFamily : public VectorLshFamily {
+ public:
+  static Result<std::unique_ptr<E2LshFamily>> Create(
+      const E2LshOptions& options);
+
+  uint32_t num_functions() const override { return options_.num_functions; }
+  uint64_t RawHash(uint32_t i, std::span<const float> point) const override;
+
+  /// psi_p(||p - q||_p): the closed form for p = 2 uses the Gaussian CDF;
+  /// p = 1 uses the Cauchy integral form.
+  double CollisionProbability(std::span<const float> p,
+                              std::span<const float> q) const override;
+
+  /// The similarity measure as a function of distance (Eqn. 11/12),
+  /// exposed for tests of monotonicity.
+  double CollisionProbabilityForDistance(double distance) const;
+
+  const E2LshOptions& options() const { return options_; }
+
+ private:
+  explicit E2LshFamily(const E2LshOptions& options);
+
+  E2LshOptions options_;
+  std::vector<float> projections_;  // num_functions x dim
+  std::vector<double> offsets_;     // num_functions
+};
+
+}  // namespace lsh
+}  // namespace genie

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file lsh_family.h
+/// Interfaces for locality-sensitive hash families (Section IV). A family
+/// provides m functions; function i maps a point to a raw 64-bit signature
+/// (for families whose true signature is larger — e.g. Random Binning over
+/// d dimensions — the implementation digests it, which is itself the first
+/// half of the paper's re-hashing step). The re-hashing mechanism
+/// (Fig. 7) then projects raw signatures into a finite domain [0, D).
+
+#include <cstdint>
+#include <span>
+
+namespace genie {
+namespace lsh {
+
+/// An LSH family over dense float vectors.
+class VectorLshFamily {
+ public:
+  virtual ~VectorLshFamily() = default;
+
+  /// Number of hash functions m.
+  virtual uint32_t num_functions() const = 0;
+
+  /// Raw signature of `point` under function `i` (i < num_functions()).
+  virtual uint64_t RawHash(uint32_t i, std::span<const float> point) const = 0;
+
+  /// The similarity measure this family is sensitive to: the model value of
+  /// Pr[h(p) = h(q)] (Eqn. 1). Used by τ-ANN theory tests and by searchers
+  /// that re-rank by the family's own similarity.
+  virtual double CollisionProbability(std::span<const float> p,
+                                      std::span<const float> q) const = 0;
+};
+
+/// An LSH family over sets of element ids (Jaccard similarity).
+class SetLshFamily {
+ public:
+  virtual ~SetLshFamily() = default;
+
+  virtual uint32_t num_functions() const = 0;
+
+  /// Raw signature of a set (elements need not be sorted or unique).
+  virtual uint64_t RawHash(uint32_t i,
+                           std::span<const uint32_t> set) const = 0;
+
+  virtual double CollisionProbability(std::span<const uint32_t> a,
+                                      std::span<const uint32_t> b) const = 0;
+};
+
+}  // namespace lsh
+}  // namespace genie

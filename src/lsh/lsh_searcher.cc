@@ -1,0 +1,77 @@
+#include "lsh/lsh_searcher.h"
+
+#include <algorithm>
+
+namespace genie {
+namespace lsh {
+
+LshSearcher::LshSearcher(const data::PointMatrix* points,
+                         LshTransformer transformer, InvertedIndex index)
+    : points_(points),
+      transformer_(std::move(transformer)),
+      index_(std::move(index)) {}
+
+Result<std::unique_ptr<LshSearcher>> LshSearcher::Create(
+    const data::PointMatrix* points,
+    std::shared_ptr<const VectorLshFamily> family,
+    const LshSearchOptions& options) {
+  if (points == nullptr) return Status::InvalidArgument("points is null");
+  LshTransformer transformer(std::move(family), options.transform);
+  GENIE_ASSIGN_OR_RETURN(InvertedIndex index,
+                         transformer.BuildIndex(*points, options.build));
+  std::unique_ptr<LshSearcher> searcher(
+      new LshSearcher(points, std::move(transformer), std::move(index)));
+  MatchEngineOptions engine_options = options.engine;
+  // Every item is one hash function; an object collides with an item at
+  // most once, so the count bound is exactly m.
+  engine_options.max_count = searcher->transformer_.family().num_functions();
+  GENIE_ASSIGN_OR_RETURN(
+      searcher->engine_,
+      MatchEngine::Create(&searcher->index_, engine_options));
+  return searcher;
+}
+
+Result<std::vector<std::vector<AnnMatch>>> LshSearcher::MatchBatch(
+    const data::PointMatrix& queries) {
+  std::vector<Query> compiled(queries.num_points());
+  for (uint32_t i = 0; i < queries.num_points(); ++i) {
+    compiled[i] = transformer_.MakeQuery(queries.row(i));
+  }
+  GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> raw,
+                         engine_->ExecuteBatch(compiled));
+  const double m = transformer_.family().num_functions();
+  std::vector<std::vector<AnnMatch>> results(raw.size());
+  for (size_t q = 0; q < raw.size(); ++q) {
+    results[q].reserve(raw[q].entries.size());
+    for (const TopKEntry& e : raw[q].entries) {
+      results[q].push_back(AnnMatch{e.id, e.count, e.count / m});
+    }
+  }
+  return results;
+}
+
+Result<std::vector<std::vector<ObjectId>>> LshSearcher::KnnBatch(
+    const data::PointMatrix& queries, uint32_t k_nn, uint32_t p) {
+  GENIE_ASSIGN_OR_RETURN(std::vector<std::vector<AnnMatch>> matches,
+                         MatchBatch(queries));
+  std::vector<std::vector<ObjectId>> results(matches.size());
+  for (size_t q = 0; q < matches.size(); ++q) {
+    auto query_row = queries.row(static_cast<uint32_t>(q));
+    std::vector<std::pair<double, ObjectId>> ranked;
+    ranked.reserve(matches[q].size());
+    for (const AnnMatch& m : matches[q]) {
+      const double d = p == 1 ? data::L1Distance(points_->row(m.id), query_row)
+                              : data::L2Distance(points_->row(m.id), query_row);
+      ranked.emplace_back(d, m.id);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    results[q].reserve(std::min<size_t>(k_nn, ranked.size()));
+    for (size_t i = 0; i < ranked.size() && i < k_nn; ++i) {
+      results[q].push_back(ranked[i].second);
+    }
+  }
+  return results;
+}
+
+}  // namespace lsh
+}  // namespace genie

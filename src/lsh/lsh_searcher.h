@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file lsh_searcher.h
+/// End-to-end tau-ANN search (Section IV): transform the dataset with an
+/// LSH family + re-hashing, build the inverted index on the device, and
+/// answer query batches by match count. The top match-count result is the
+/// tau-ANN (Theorem 4.2); c/m estimates the similarity (Eqn. 7). For the
+/// approximation-ratio evaluation (Fig. 14) a kNN mode re-ranks the top-K
+/// match-count candidates by exact distance.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/match_engine.h"
+#include "data/points.h"
+#include "lsh/lsh_transformer.h"
+
+namespace genie {
+namespace lsh {
+
+struct LshSearchOptions {
+  LshTransformOptions transform;
+  MatchEngineOptions engine;  // engine.k = number of candidates kept
+  IndexBuildOptions build;
+};
+
+/// One ANN answer with its match count and similarity estimate.
+struct AnnMatch {
+  ObjectId id = kInvalidObjectId;
+  uint32_t match_count = 0;
+  double estimated_similarity = 0;  // c / m (Eqn. 7)
+};
+
+class LshSearcher {
+ public:
+  /// Builds the LSH inverted index over `points` (which must outlive the
+  /// searcher) and ships it to the device.
+  static Result<std::unique_ptr<LshSearcher>> Create(
+      const data::PointMatrix* points,
+      std::shared_ptr<const VectorLshFamily> family,
+      const LshSearchOptions& options);
+
+  /// tau-ANN by match count: per query, candidates in descending count
+  /// order (entry 0 is the tau-ANN of Theorem 4.2).
+  Result<std::vector<std::vector<AnnMatch>>> MatchBatch(
+      const data::PointMatrix& queries);
+
+  /// kNN: takes the engine's top candidates and re-ranks by exact l_p
+  /// distance, returning `k_nn` ids per query (ascending distance).
+  Result<std::vector<std::vector<ObjectId>>> KnnBatch(
+      const data::PointMatrix& queries, uint32_t k_nn, uint32_t p);
+
+  const MatchProfile& profile() const { return engine_->profile(); }
+  const LshTransformer& transformer() const { return transformer_; }
+  const InvertedIndex& index() const { return index_; }
+
+ private:
+  LshSearcher(const data::PointMatrix* points, LshTransformer transformer,
+              InvertedIndex index);
+
+  const data::PointMatrix* points_;
+  LshTransformer transformer_;
+  InvertedIndex index_;
+  std::unique_ptr<MatchEngine> engine_;
+};
+
+}  // namespace lsh
+}  // namespace genie

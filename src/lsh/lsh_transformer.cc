@@ -1,0 +1,57 @@
+#include "lsh/lsh_transformer.h"
+
+#include "common/rng.h"
+#include "lsh/murmur3.h"
+
+namespace genie {
+namespace lsh {
+
+LshTransformer::LshTransformer(std::shared_ptr<const VectorLshFamily> family,
+                               const LshTransformOptions& options)
+    : family_(std::move(family)),
+      options_(options),
+      encoder_(family_->num_functions(), options.rehash_domain) {
+  GENIE_CHECK(options_.rehash_domain >= 1);
+  Rng rng(options_.seed);
+  rehash_seeds_.resize(family_->num_functions());
+  for (auto& s : rehash_seeds_) s = rng.Next64();
+}
+
+uint32_t LshTransformer::Bucket(uint32_t function, uint64_t raw) const {
+  if (options_.rehash) {
+    return static_cast<uint32_t>(Murmur3_64(raw, rehash_seeds_[function]) %
+                                 options_.rehash_domain);
+  }
+  return static_cast<uint32_t>(raw % options_.rehash_domain);
+}
+
+std::vector<Keyword> LshTransformer::Transform(
+    std::span<const float> point) const {
+  const uint32_t m = family_->num_functions();
+  std::vector<Keyword> keywords(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    keywords[i] =
+        encoder_.EncodeUnchecked(i, Bucket(i, family_->RawHash(i, point)));
+  }
+  return keywords;
+}
+
+Query LshTransformer::MakeQuery(std::span<const float> point) const {
+  Query query;
+  for (Keyword kw : Transform(point)) query.AddItem(kw);
+  return query;
+}
+
+Result<InvertedIndex> LshTransformer::BuildIndex(
+    const data::PointMatrix& points,
+    const IndexBuildOptions& build_options) const {
+  InvertedIndexBuilder builder(encoder_.vocab_size());
+  for (uint32_t i = 0; i < points.num_points(); ++i) {
+    const auto keywords = Transform(points.row(i));
+    builder.AddObject(i, keywords);
+  }
+  return std::move(builder).Build(build_options);
+}
+
+}  // namespace lsh
+}  // namespace genie

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file lsh_transformer.h
+/// Lowers points into the match-count model under an LSH scheme (Section
+/// IV-A1): each hash function i is an attribute, the re-hashed signature
+/// r_i(h_i(p)) its value, so the keyword of point p under function i is the
+/// ordered pair (i, r_i(h_i(p))). The inverted index then supports tau-ANN
+/// by match count.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/query.h"
+#include "data/points.h"
+#include "index/index_builder.h"
+#include "index/vocabulary.h"
+#include "lsh/lsh_family.h"
+
+namespace genie {
+namespace lsh {
+
+struct LshTransformOptions {
+  /// Re-hash domain D (Fig. 7): buckets per hash function. The 1/D term of
+  /// Theorem 4.1 is the price of the projection. The paper uses 8192 for
+  /// RBH signatures on OCR and 67 buckets for E2LSH on SIFT.
+  uint32_t rehash_domain = 8192;
+  /// Seed of the per-function random projections r_i.
+  uint64_t seed = 7;
+  /// When false, RawHash values are used directly modulo rehash_domain
+  /// (for families whose signature domain is already small, re-hashing "is
+  /// not necessary" per Section IV-A2).
+  bool rehash = true;
+};
+
+/// Transformer for dense-vector families.
+class LshTransformer {
+ public:
+  LshTransformer(std::shared_ptr<const VectorLshFamily> family,
+                 const LshTransformOptions& options);
+
+  /// Keywords of one point: one per hash function.
+  std::vector<Keyword> Transform(std::span<const float> point) const;
+
+  /// The query-side transformation: one single-keyword item per function.
+  Query MakeQuery(std::span<const float> point) const;
+
+  /// Builds the inverted index of a whole dataset.
+  Result<InvertedIndex> BuildIndex(
+      const data::PointMatrix& points,
+      const IndexBuildOptions& build_options = {}) const;
+
+  const DimValueEncoder& encoder() const { return encoder_; }
+  const VectorLshFamily& family() const { return *family_; }
+  uint32_t rehash_domain() const { return options_.rehash_domain; }
+
+ private:
+  uint32_t Bucket(uint32_t function, uint64_t raw) const;
+
+  std::shared_ptr<const VectorLshFamily> family_;
+  LshTransformOptions options_;
+  DimValueEncoder encoder_;
+  std::vector<uint64_t> rehash_seeds_;
+};
+
+}  // namespace lsh
+}  // namespace genie

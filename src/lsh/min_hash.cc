@@ -1,0 +1,65 @@
+#include "lsh/min_hash.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace genie {
+namespace lsh {
+
+MinHashFamily::MinHashFamily(const MinHashOptions& options)
+    : options_(options) {
+  Rng rng(options_.seed);
+  seeds_.resize(options_.num_functions);
+  for (auto& s : seeds_) s = rng.Next64();
+}
+
+Result<std::unique_ptr<MinHashFamily>> MinHashFamily::Create(
+    const MinHashOptions& options) {
+  if (options.num_functions == 0) {
+    return Status::InvalidArgument("num_functions must be >= 1");
+  }
+  return std::unique_ptr<MinHashFamily>(new MinHashFamily(options));
+}
+
+uint64_t MinHashFamily::RawHash(uint32_t i,
+                                std::span<const uint32_t> set) const {
+  GENIE_DCHECK(i < options_.num_functions);
+  uint64_t best = ~0ULL;
+  for (uint32_t e : set) {
+    best = std::min(best, bit_util::Mix64(seeds_[i] ^ e));
+  }
+  return best;
+}
+
+double MinHashFamily::CollisionProbability(std::span<const uint32_t> a,
+                                           std::span<const uint32_t> b) const {
+  std::vector<uint32_t> sa(a.begin(), a.end());
+  std::vector<uint32_t> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
+  std::sort(sb.begin(), sb.end());
+  sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  size_t i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    if (sa[i] == sb[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (sa[i] < sb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace lsh
+}  // namespace genie

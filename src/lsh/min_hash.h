@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file min_hash.h
+/// MinHash — the LSH family for the Jaccard kernel over sets, cited by the
+/// paper among the kernelized similarity functions GENIE supports
+/// (Section II-B1). Collision probability equals the Jaccard similarity.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "lsh/lsh_family.h"
+
+namespace genie {
+namespace lsh {
+
+struct MinHashOptions {
+  uint32_t num_functions = 237;
+  uint64_t seed = 42;
+};
+
+class MinHashFamily : public SetLshFamily {
+ public:
+  static Result<std::unique_ptr<MinHashFamily>> Create(
+      const MinHashOptions& options);
+
+  uint32_t num_functions() const override { return options_.num_functions; }
+
+  /// min over elements of a seeded 64-bit mix (one virtual permutation per
+  /// function). Empty sets hash to a sentinel.
+  uint64_t RawHash(uint32_t i, std::span<const uint32_t> set) const override;
+
+  /// Jaccard similarity |a n b| / |a u b| (inputs treated as sets).
+  double CollisionProbability(std::span<const uint32_t> a,
+                              std::span<const uint32_t> b) const override;
+
+ private:
+  explicit MinHashFamily(const MinHashOptions& options);
+
+  MinHashOptions options_;
+  std::vector<uint64_t> seeds_;
+};
+
+}  // namespace lsh
+}  // namespace genie

@@ -1,0 +1,150 @@
+#include "lsh/murmur3.h"
+
+#include <cstring>
+
+namespace genie {
+namespace lsh {
+
+namespace {
+inline uint32_t Rotl32(uint32_t x, int8_t r) {
+  return (x << r) | (x >> (32 - r));
+}
+inline uint64_t Rotl64(uint64_t x, int8_t r) {
+  return (x << r) | (x >> (64 - r));
+}
+inline uint32_t Fmix32(uint32_t h) {
+  h ^= h >> 16;
+  h *= 0x85EBCA6B;
+  h ^= h >> 13;
+  h *= 0xC2B2AE35;
+  h ^= h >> 16;
+  return h;
+}
+inline uint64_t Fmix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDULL;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ULL;
+  k ^= k >> 33;
+  return k;
+}
+inline uint32_t GetBlock32(const uint8_t* p, size_t i) {
+  uint32_t v;
+  std::memcpy(&v, p + i * 4, 4);
+  return v;
+}
+inline uint64_t GetBlock64(const uint8_t* p, size_t i) {
+  uint64_t v;
+  std::memcpy(&v, p + i * 8, 8);
+  return v;
+}
+}  // namespace
+
+uint32_t Murmur3_32(const void* data, size_t len, uint32_t seed) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  const size_t nblocks = len / 4;
+  uint32_t h1 = seed;
+  const uint32_t c1 = 0xCC9E2D51;
+  const uint32_t c2 = 0x1B873593;
+
+  for (size_t i = 0; i < nblocks; ++i) {
+    uint32_t k1 = GetBlock32(bytes, i);
+    k1 *= c1;
+    k1 = Rotl32(k1, 15);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = Rotl32(h1, 13);
+    h1 = h1 * 5 + 0xE6546B64;
+  }
+
+  const uint8_t* tail = bytes + nblocks * 4;
+  uint32_t k1 = 0;
+  switch (len & 3) {
+    case 3:
+      k1 ^= static_cast<uint32_t>(tail[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      k1 ^= static_cast<uint32_t>(tail[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      k1 ^= tail[0];
+      k1 *= c1;
+      k1 = Rotl32(k1, 15);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+  h1 ^= static_cast<uint32_t>(len);
+  return Fmix32(h1);
+}
+
+uint64_t Murmur3_64(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  const size_t nblocks = len / 16;
+  uint64_t h1 = seed;
+  uint64_t h2 = seed;
+  const uint64_t c1 = 0x87C37B91114253D5ULL;
+  const uint64_t c2 = 0x4CF5AD432745937FULL;
+
+  for (size_t i = 0; i < nblocks; ++i) {
+    uint64_t k1 = GetBlock64(bytes, i * 2 + 0);
+    uint64_t k2 = GetBlock64(bytes, i * 2 + 1);
+    k1 *= c1;
+    k1 = Rotl64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = Rotl64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52DCE729;
+    k2 *= c2;
+    k2 = Rotl64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = Rotl64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495AB5;
+  }
+
+  const uint8_t* tail = bytes + nblocks * 16;
+  uint64_t k1 = 0;
+  uint64_t k2 = 0;
+  switch (len & 15) {
+    case 15: k2 ^= static_cast<uint64_t>(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= static_cast<uint64_t>(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= static_cast<uint64_t>(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= static_cast<uint64_t>(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= static_cast<uint64_t>(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= static_cast<uint64_t>(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= static_cast<uint64_t>(tail[8]);
+      k2 *= c2;
+      k2 = Rotl64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= static_cast<uint64_t>(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= static_cast<uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= static_cast<uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= static_cast<uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= static_cast<uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= static_cast<uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<uint64_t>(tail[0]);
+      k1 *= c1;
+      k1 = Rotl64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+
+  h1 ^= static_cast<uint64_t>(len);
+  h2 ^= static_cast<uint64_t>(len);
+  h1 += h2;
+  h2 += h1;
+  h1 = Fmix64(h1);
+  h2 = Fmix64(h2);
+  h1 += h2;
+  return h1;
+}
+
+}  // namespace lsh
+}  // namespace genie

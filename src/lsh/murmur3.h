@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file murmur3.h
+/// MurmurHash3 (Appleby, public domain algorithm), the random projection
+/// function the paper selects for the re-hashing mechanism (Section IV-A2):
+/// LSH signatures with huge domains are projected into a finite bucket set.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace genie {
+namespace lsh {
+
+/// MurmurHash3_x86_32 over an arbitrary byte buffer.
+uint32_t Murmur3_32(const void* data, size_t len, uint32_t seed);
+
+/// 64-bit variant: the low half of MurmurHash3_x64_128.
+uint64_t Murmur3_64(const void* data, size_t len, uint64_t seed);
+
+/// Convenience for hashing a single 64-bit signature value.
+inline uint64_t Murmur3_64(uint64_t value, uint64_t seed) {
+  return Murmur3_64(&value, sizeof(value), seed);
+}
+
+}  // namespace lsh
+}  // namespace genie

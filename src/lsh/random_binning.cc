@@ -1,0 +1,85 @@
+#include "lsh/random_binning.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "lsh/murmur3.h"
+
+namespace genie {
+namespace lsh {
+
+RandomBinningFamily::RandomBinningFamily(const RandomBinningOptions& options)
+    : options_(options) {
+  Rng rng(options_.seed);
+  const size_t total =
+      static_cast<size_t>(options_.num_functions) * options_.dim;
+  pitches_.resize(total);
+  shifts_.resize(total);
+  for (size_t i = 0; i < total; ++i) {
+    // p(g) = g * k''(g) = g exp(-g/sigma) / sigma^2 = Gamma(2, sigma).
+    const double g = rng.Gamma(2.0, options_.kernel_width);
+    pitches_[i] = g;
+    shifts_[i] = rng.UniformDouble(0.0, g);
+  }
+}
+
+Result<std::unique_ptr<RandomBinningFamily>> RandomBinningFamily::Create(
+    const RandomBinningOptions& options) {
+  if (options.dim == 0) return Status::InvalidArgument("dim must be >= 1");
+  if (options.num_functions == 0) {
+    return Status::InvalidArgument("num_functions must be >= 1");
+  }
+  if (options.kernel_width <= 0) {
+    return Status::InvalidArgument("kernel_width must be positive");
+  }
+  return std::unique_ptr<RandomBinningFamily>(
+      new RandomBinningFamily(options));
+}
+
+uint64_t RandomBinningFamily::RawHash(uint32_t i,
+                                      std::span<const float> point) const {
+  GENIE_DCHECK(i < options_.num_functions);
+  GENIE_DCHECK(point.size() == options_.dim);
+  const size_t base = static_cast<size_t>(i) * options_.dim;
+  // Digest the d-dimensional bin-index vector incrementally: the "thousands
+  // of bits" signature (Section IV-A2) never materializes.
+  uint64_t digest = 0x9E3779B97F4A7C15ULL ^ i;
+  for (uint32_t d = 0; d < options_.dim; ++d) {
+    const double bin =
+        std::floor((point[d] - shifts_[base + d]) / pitches_[base + d]);
+    const uint64_t b = static_cast<uint64_t>(static_cast<int64_t>(bin));
+    digest = Murmur3_64(b ^ digest, digest);
+  }
+  return digest;
+}
+
+double RandomBinningFamily::CollisionProbability(
+    std::span<const float> p, std::span<const float> q) const {
+  GENIE_CHECK(p.size() == q.size());
+  double l1 = 0;
+  for (size_t i = 0; i < p.size(); ++i) l1 += std::abs(p[i] - q[i]);
+  return std::exp(-l1 / options_.kernel_width);
+}
+
+double EstimateLaplacianKernelWidth(std::span<const float> data, uint32_t dim,
+                                    uint32_t num_points,
+                                    uint32_t sample_pairs, uint64_t seed) {
+  GENIE_CHECK(num_points >= 2 && dim >= 1);
+  Rng rng(seed);
+  double total = 0;
+  for (uint32_t s = 0; s < sample_pairs; ++s) {
+    const uint32_t a = static_cast<uint32_t>(rng.UniformU64(num_points));
+    uint32_t b = static_cast<uint32_t>(rng.UniformU64(num_points - 1));
+    if (b >= a) ++b;
+    double l1 = 0;
+    for (uint32_t d = 0; d < dim; ++d) {
+      l1 += std::abs(data[static_cast<size_t>(a) * dim + d] -
+                     data[static_cast<size_t>(b) * dim + d]);
+    }
+    total += l1;
+  }
+  return total / sample_pairs;
+}
+
+}  // namespace lsh
+}  // namespace genie

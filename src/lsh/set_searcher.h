@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file set_searcher.h
+/// tau-ANN search over *sets* under Jaccard similarity (Section II-B1 lists
+/// the Jaccard kernel among the kernelized measures GENIE supports): the
+/// set-LSH analogue of LshSearcher, using a SetLshFamily (MinHash) plus the
+/// same re-hashing and match-count machinery.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/match_engine.h"
+#include "index/vocabulary.h"
+#include "lsh/lsh_family.h"
+#include "lsh/lsh_searcher.h"
+
+namespace genie {
+namespace lsh {
+
+/// A dataset of element-id sets (need not be sorted or deduplicated).
+using SetDataset = std::vector<std::vector<uint32_t>>;
+
+struct SetSearchOptions {
+  LshTransformOptions transform;
+  MatchEngineOptions engine;  // engine.k = candidates kept per query
+  IndexBuildOptions build;
+};
+
+class SetLshSearcher {
+ public:
+  /// Builds the index over `sets` (must outlive the searcher).
+  static Result<std::unique_ptr<SetLshSearcher>> Create(
+      const SetDataset* sets, std::shared_ptr<const SetLshFamily> family,
+      const SetSearchOptions& options);
+
+  /// Candidates per query in descending match-count order; entry 0 is the
+  /// tau-ANN under the family's similarity (Jaccard for MinHash), and
+  /// count/m estimates that similarity (Eqn. 7).
+  Result<std::vector<std::vector<AnnMatch>>> MatchBatch(
+      std::span<const std::vector<uint32_t>> queries);
+
+  /// kNN by exact Jaccard similarity over the top match-count candidates
+  /// (descending similarity).
+  Result<std::vector<std::vector<ObjectId>>> KnnBatch(
+      std::span<const std::vector<uint32_t>> queries, uint32_t k_nn);
+
+  const MatchProfile& profile() const { return engine_->profile(); }
+  const InvertedIndex& index() const { return index_; }
+
+ private:
+  SetLshSearcher(const SetDataset* sets,
+                 std::shared_ptr<const SetLshFamily> family,
+                 const SetSearchOptions& options);
+  Status Init();
+
+  std::vector<Keyword> Transform(std::span<const uint32_t> set) const;
+
+  const SetDataset* sets_;
+  std::shared_ptr<const SetLshFamily> family_;
+  SetSearchOptions options_;
+  DimValueEncoder encoder_;
+  std::vector<uint64_t> rehash_seeds_;
+  InvertedIndex index_;
+  std::unique_ptr<MatchEngine> engine_;
+};
+
+}  // namespace lsh
+}  // namespace genie

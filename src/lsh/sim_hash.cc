@@ -1,0 +1,55 @@
+#include "lsh/sim_hash.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace genie {
+namespace lsh {
+
+SimHashFamily::SimHashFamily(const SimHashOptions& options)
+    : options_(options) {
+  Rng rng(options_.seed);
+  projections_.resize(static_cast<size_t>(options_.num_functions) *
+                      options_.dim);
+  for (auto& v : projections_) v = static_cast<float>(rng.Gaussian());
+}
+
+Result<std::unique_ptr<SimHashFamily>> SimHashFamily::Create(
+    const SimHashOptions& options) {
+  if (options.dim == 0) return Status::InvalidArgument("dim must be >= 1");
+  if (options.num_functions == 0) {
+    return Status::InvalidArgument("num_functions must be >= 1");
+  }
+  return std::unique_ptr<SimHashFamily>(new SimHashFamily(options));
+}
+
+uint64_t SimHashFamily::RawHash(uint32_t i,
+                                std::span<const float> point) const {
+  GENIE_DCHECK(i < options_.num_functions);
+  GENIE_DCHECK(point.size() == options_.dim);
+  const float* a = &projections_[static_cast<size_t>(i) * options_.dim];
+  double dot = 0;
+  for (uint32_t d = 0; d < options_.dim; ++d) {
+    dot += static_cast<double>(a[d]) * point[d];
+  }
+  return dot >= 0 ? 1 : 0;
+}
+
+double SimHashFamily::CollisionProbability(std::span<const float> p,
+                                           std::span<const float> q) const {
+  GENIE_CHECK(p.size() == q.size());
+  double dot = 0, np = 0, nq = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    dot += static_cast<double>(p[i]) * q[i];
+    np += static_cast<double>(p[i]) * p[i];
+    nq += static_cast<double>(q[i]) * q[i];
+  }
+  if (np == 0 || nq == 0) return 1.0;
+  double c = dot / std::sqrt(np * nq);
+  c = std::min(1.0, std::max(-1.0, c));
+  return 1.0 - std::acos(c) / M_PI;
+}
+
+}  // namespace lsh
+}  // namespace genie

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file sim_hash.h
+/// Sign-random-projection LSH (Charikar): h(p) = sign(a . p) with Gaussian
+/// a. Collision probability 1 - theta(p,q)/pi — the angular similarity the
+/// paper cites among the kernelized measures GENIE supports.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "lsh/lsh_family.h"
+
+namespace genie {
+namespace lsh {
+
+struct SimHashOptions {
+  uint32_t num_functions = 237;
+  uint32_t dim = 0;  // required
+  uint64_t seed = 42;
+};
+
+class SimHashFamily : public VectorLshFamily {
+ public:
+  static Result<std::unique_ptr<SimHashFamily>> Create(
+      const SimHashOptions& options);
+
+  uint32_t num_functions() const override { return options_.num_functions; }
+  uint64_t RawHash(uint32_t i, std::span<const float> point) const override;
+
+  /// 1 - angle(p, q) / pi.
+  double CollisionProbability(std::span<const float> p,
+                              std::span<const float> q) const override;
+
+ private:
+  explicit SimHashFamily(const SimHashOptions& options);
+
+  SimHashOptions options_;
+  std::vector<float> projections_;  // num_functions x dim
+};
+
+}  // namespace lsh
+}  // namespace genie

@@ -1,0 +1,74 @@
+#include "lsh/tau_ann.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace genie {
+namespace lsh {
+
+uint32_t HoeffdingNumHashFunctions(double eps, double delta) {
+  GENIE_CHECK(eps > 0 && eps < 1 && delta > 0 && delta < 1);
+  return static_cast<uint32_t>(
+      std::ceil(2.0 * std::log(3.0 / delta) / (eps * eps)));
+}
+
+namespace {
+/// log C(m, c) via lgamma.
+double LogChoose(uint32_t m, uint32_t c) {
+  return std::lgamma(m + 1.0) - std::lgamma(c + 1.0) -
+         std::lgamma(m - c + 1.0);
+}
+}  // namespace
+
+double BinomialDeviationProbability(uint32_t m, double s, double eps) {
+  GENIE_CHECK(m >= 1 && s >= 0 && s <= 1 && eps > 0);
+  // Sum of the binomial pmf for c in [ceil((s-eps)m), floor((s+eps)m)].
+  const int64_t lo = std::max<int64_t>(
+      0, static_cast<int64_t>(std::ceil((s - eps) * m - 1e-12)));
+  const int64_t hi = std::min<int64_t>(
+      m, static_cast<int64_t>(std::floor((s + eps) * m + 1e-12)));
+  if (lo > hi) return 0.0;
+  if (s <= 0.0) return lo == 0 ? 1.0 : 0.0;
+  if (s >= 1.0) return static_cast<uint32_t>(hi) == m ? 1.0 : 0.0;
+  const double log_s = std::log(s);
+  const double log_1ms = std::log1p(-s);
+  double total = 0;
+  for (int64_t c = lo; c <= hi; ++c) {
+    const double log_p = LogChoose(m, static_cast<uint32_t>(c)) +
+                         c * log_s + (m - c) * log_1ms;
+    total += std::exp(log_p);
+  }
+  return std::min(total, 1.0);
+}
+
+uint32_t MinHashFunctionsForSimilarity(double s, double eps, double delta,
+                                       uint32_t max_m) {
+  // The probability is not monotone in m (integer boundary effects), so a
+  // candidate m must be verified directly; scan with growing stride and
+  // refine. A simple linear scan is fine at these magnitudes.
+  for (uint32_t m = 1; m <= max_m; ++m) {
+    if (BinomialDeviationProbability(m, s, eps) >= 1.0 - delta) return m;
+  }
+  return 0;
+}
+
+uint32_t MinHashFunctions(double eps, double delta, uint32_t grid,
+                          uint32_t max_m) {
+  uint32_t worst = 1;
+  for (uint32_t i = 1; i <= grid; ++i) {
+    const double s = static_cast<double>(i) / (grid + 1);
+    worst = std::max(worst, MinHashFunctionsForSimilarity(s, eps, delta,
+                                                          max_m));
+  }
+  return worst;
+}
+
+double TauBound(double eps, uint32_t rehash_domain) {
+  GENIE_CHECK(rehash_domain >= 1);
+  return 2.0 * (eps + 1.0 / rehash_domain);
+}
+
+}  // namespace lsh
+}  // namespace genie

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file tau_ann.h
+/// Tolerance-ANN theory (Section IV-B): sizing the number of LSH functions
+/// m so that |MC(Q_q, O_p)/m - sim(p, q)| <= eps with probability >= 1-delta
+/// — both the worst-case Hoeffding bound of Theorem 4.1 and the much
+/// tighter data-independent binomial-tail simulation of Eqn. 9 that the
+/// paper visualizes in Fig. 8 (max m = 237 at s = 0.5 for eps = delta =
+/// 0.06, versus 2174 from the Hoeffding bound).
+
+#include <cstdint>
+
+namespace genie {
+namespace lsh {
+
+/// Theorem 4.1: m = ceil(2 ln(3/delta) / eps^2).
+uint32_t HoeffdingNumHashFunctions(double eps, double delta);
+
+/// P[|c/m - s| <= eps] for c ~ Binomial(m, s) (Eqn. 9).
+double BinomialDeviationProbability(uint32_t m, double s, double eps);
+
+/// Smallest m with P[|c/m - s| <= eps] >= 1 - delta for one similarity
+/// value s (one point of the Fig. 8 curve). Returns 0 if no m <= max_m
+/// suffices.
+uint32_t MinHashFunctionsForSimilarity(double s, double eps, double delta,
+                                       uint32_t max_m = 100000);
+
+/// The practical rule (Section IV-B2): the worst case of the curve over all
+/// similarities, max_s MinHashFunctionsForSimilarity(s) evaluated on a grid
+/// of `grid` points in (0, 1). With eps = delta = 0.06 this returns 237.
+uint32_t MinHashFunctions(double eps, double delta, uint32_t grid = 99,
+                          uint32_t max_m = 100000);
+
+/// The tau of tau-ANN achieved by a correctly sized index: Theorem 4.2
+/// bounds |sim(p*, q) - sim(p, q)| by 2*eps (probability >= 1 - 2*delta),
+/// plus the 1/D re-hashing error of Theorem 4.1.
+double TauBound(double eps, uint32_t rehash_domain);
+
+}  // namespace lsh
+}  // namespace genie

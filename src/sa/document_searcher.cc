@@ -1,0 +1,69 @@
+#include "sa/document_searcher.h"
+
+#include <algorithm>
+#include "index/index_builder.h"
+
+namespace genie {
+namespace sa {
+
+namespace {
+Document Dedup(const Document& doc) {
+  Document out(doc);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+}  // namespace
+
+DocumentSearcher::DocumentSearcher(const std::vector<Document>* docs,
+                                   const DocumentSearchOptions& options)
+    : docs_(docs), options_(options) {}
+
+Result<std::unique_ptr<DocumentSearcher>> DocumentSearcher::Create(
+    const std::vector<Document>* docs, const DocumentSearchOptions& options) {
+  if (docs == nullptr) return Status::InvalidArgument("docs is null");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  std::unique_ptr<DocumentSearcher> searcher(
+      new DocumentSearcher(docs, options));
+  GENIE_RETURN_NOT_OK(searcher->Init());
+  return searcher;
+}
+
+Status DocumentSearcher::Init() {
+  uint32_t max_token = 0;
+  for (const Document& doc : *docs_) {
+    for (uint32_t t : doc) max_token = std::max(max_token, t);
+  }
+  vocab_size_ = max_token + 1;
+  InvertedIndexBuilder builder(vocab_size_);
+  for (size_t i = 0; i < docs_->size(); ++i) {
+    for (uint32_t t : Dedup((*docs_)[i])) {
+      builder.Add(static_cast<ObjectId>(i), t);
+    }
+  }
+  GENIE_ASSIGN_OR_RETURN(index_, std::move(builder).Build());
+  MatchEngineOptions engine_options = options_.engine;
+  engine_options.k = options_.k;
+  GENIE_ASSIGN_OR_RETURN(engine_, MatchEngine::Create(&index_, engine_options));
+  return Status::OK();
+}
+
+Query DocumentSearcher::Compile(const Document& query) const {
+  Query compiled;
+  for (uint32_t t : Dedup(query)) {
+    if (t < vocab_size_) compiled.AddItem(static_cast<Keyword>(t));
+  }
+  return compiled;
+}
+
+Result<std::vector<QueryResult>> DocumentSearcher::SearchBatch(
+    std::span<const Document> queries) {
+  std::vector<Query> compiled(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    compiled[i] = Compile(queries[i]);
+  }
+  return engine_->ExecuteBatch(compiled);
+}
+
+}  // namespace sa
+}  // namespace genie

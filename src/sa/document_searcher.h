@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file document_searcher.h
+/// Short-document search (Section V-B): documents are decomposed into
+/// words (token ids); under the binary vector space model the match count
+/// between a query document and an object document is exactly their inner
+/// product, so the engine's top-k is the inner-product top-k.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/match_engine.h"
+
+namespace genie {
+namespace sa {
+
+/// A document is a bag of token ids (the generator in data/documents.h
+/// produces these directly; a real deployment would tokenize text).
+using Document = std::vector<uint32_t>;
+
+struct DocumentSearchOptions {
+  uint32_t k = 100;
+  MatchEngineOptions engine;  // k / max_count managed by the searcher
+};
+
+class DocumentSearcher {
+ public:
+  /// Indexes `docs` (must outlive the searcher). Duplicate tokens within a
+  /// document are collapsed (binary model).
+  static Result<std::unique_ptr<DocumentSearcher>> Create(
+      const std::vector<Document>* docs, const DocumentSearchOptions& options);
+
+  /// Per query: top-k documents by word-overlap (inner product).
+  Result<std::vector<QueryResult>> SearchBatch(
+      std::span<const Document> queries);
+
+  Query Compile(const Document& query) const;
+
+  const MatchProfile& profile() const { return engine_->profile(); }
+  const InvertedIndex& index() const { return index_; }
+
+ private:
+  DocumentSearcher(const std::vector<Document>* docs,
+                   const DocumentSearchOptions& options);
+  Status Init();
+
+  const std::vector<Document>* docs_;
+  DocumentSearchOptions options_;
+  uint32_t vocab_size_ = 0;
+  InvertedIndex index_;
+  std::unique_ptr<MatchEngine> engine_;
+};
+
+}  // namespace sa
+}  // namespace genie

@@ -1,0 +1,68 @@
+#include "sa/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace genie {
+namespace sa {
+
+uint32_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter
+  const size_t m = b.size();
+  std::vector<uint32_t> row(m + 1);
+  for (size_t j = 0; j <= m; ++j) row[j] = static_cast<uint32_t>(j);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    uint32_t diag = row[0];
+    row[0] = static_cast<uint32_t>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const uint32_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+    }
+  }
+  return row[m];
+}
+
+uint32_t BandedEditDistance(std::string_view a, std::string_view b,
+                            uint32_t bound) {
+  if (a.size() < b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n - m > bound) return bound + 1;  // length gap alone exceeds the bound
+  const uint32_t kInf = bound + 1;
+
+  // Two-row DP restricted to the band |i - j| <= bound; cells outside the
+  // band stay at kInf so min() never picks them.
+  std::vector<uint32_t> prev(m + 1, kInf);
+  std::vector<uint32_t> cur(m + 1, kInf);
+  for (size_t j = 0; j <= std::min<size_t>(m, bound); ++j) {
+    prev[j] = static_cast<uint32_t>(j);
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const size_t lo = i > bound ? i - bound : 0;
+    const size_t hi = std::min<size_t>(m, i + bound);
+    uint32_t row_min = kInf;
+    if (lo == 0) {
+      cur[0] = i <= bound ? static_cast<uint32_t>(i) : kInf;
+      row_min = cur[0];
+    }
+    for (size_t j = std::max<size_t>(lo, 1); j <= hi; ++j) {
+      uint32_t best = kInf;
+      if (prev[j - 1] != kInf) {
+        best = std::min(best, prev[j - 1] + (a[i - 1] == b[j - 1] ? 0u : 1u));
+      }
+      if (prev[j] != kInf) best = std::min(best, prev[j] + 1);
+      if (cur[j - 1] != kInf) best = std::min(best, cur[j - 1] + 1);
+      best = std::min(best, kInf);
+      cur[j] = best;
+      row_min = std::min(row_min, best);
+    }
+    if (row_min >= kInf) return kInf;  // the whole band exceeded the bound
+    prev.swap(cur);
+  }
+  return std::min(prev[m], kInf);
+}
+
+}  // namespace sa
+}  // namespace genie

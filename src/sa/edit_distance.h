@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file edit_distance.h
+/// Levenshtein edit distance: the verification metric of the sequence
+/// search (Section V-A2). Besides the full DP, a banded variant prunes
+/// verification once a candidate provably exceeds the current best
+/// (Ukkonen's band).
+
+#include <cstdint>
+#include <string_view>
+
+namespace genie {
+namespace sa {
+
+/// Full O(|a|*|b|) Levenshtein distance (unit costs).
+uint32_t EditDistance(std::string_view a, std::string_view b);
+
+/// Banded edit distance: returns the exact distance when it is <= bound,
+/// otherwise returns bound + 1 ("greater than bound"). O(min(|a|,|b|) *
+/// bound) time.
+uint32_t BandedEditDistance(std::string_view a, std::string_view b,
+                            uint32_t bound);
+
+}  // namespace sa
+}  // namespace genie

@@ -1,0 +1,55 @@
+#include "sa/ngram.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace genie {
+namespace sa {
+
+std::string OrderedNgram::ToToken() const {
+  std::string token = gram;
+  token.push_back('\x01');
+  token += std::to_string(occurrence);
+  return token;
+}
+
+std::vector<OrderedNgram> OrderedNgrams(std::string_view seq, uint32_t n) {
+  std::vector<OrderedNgram> grams;
+  if (n == 0 || seq.size() < n) return grams;
+  grams.reserve(seq.size() - n + 1);
+  std::unordered_map<std::string_view, uint32_t> seen;
+  for (size_t i = 0; i + n <= seq.size(); ++i) {
+    const std::string_view g = seq.substr(i, n);
+    const uint32_t occurrence = seen[g]++;
+    grams.push_back(OrderedNgram{std::string(g), occurrence});
+  }
+  return grams;
+}
+
+uint32_t NgramMatchCount(std::string_view a, std::string_view b, uint32_t n) {
+  if (n == 0 || a.size() < n || b.size() < n) return 0;
+  std::unordered_map<std::string_view, uint32_t> counts;
+  for (size_t i = 0; i + n <= a.size(); ++i) ++counts[a.substr(i, n)];
+  uint32_t match = 0;
+  std::unordered_map<std::string_view, uint32_t> used;
+  for (size_t i = 0; i + n <= b.size(); ++i) {
+    const std::string_view g = b.substr(i, n);
+    auto it = counts.find(g);
+    if (it != counts.end() && used[g] < it->second) {
+      ++used[g];
+      ++match;
+    }
+  }
+  return match;
+}
+
+int64_t CountLowerBound(size_t query_len, size_t seq_len, uint32_t n,
+                        uint32_t tau) {
+  const int64_t longer =
+      static_cast<int64_t>(std::max(query_len, seq_len));
+  return longer - static_cast<int64_t>(n) + 1 -
+         static_cast<int64_t>(tau) * static_cast<int64_t>(n);
+}
+
+}  // namespace sa
+}  // namespace genie

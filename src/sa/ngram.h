@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file ngram.h
+/// Ordered n-gram decomposition (Section V-A1): the sequence "shotgun". An
+/// ordered n-gram is the pair (gram, i) where i counts repetitions of the
+/// same gram within the sequence, so the match count between two
+/// decompositions is Sum_g min(c_s, c_q) (Lemma 5.1).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace genie {
+namespace sa {
+
+/// One ordered n-gram: `gram` plus its occurrence ordinal within the
+/// sequence (0-based; Example 5.1 writes (aab, 0), (aab, 1)).
+struct OrderedNgram {
+  std::string gram;
+  uint32_t occurrence = 0;
+
+  bool operator==(const OrderedNgram&) const = default;
+
+  /// Token form for vocabulary lookup: gram bytes, 0x01, ordinal digits.
+  /// 0x01 cannot appear in the synthetic alphabets, so tokens are unique.
+  std::string ToToken() const;
+};
+
+/// Decomposes `seq` with a length-n sliding window. Sequences shorter than
+/// n produce an empty decomposition.
+std::vector<OrderedNgram> OrderedNgrams(std::string_view seq, uint32_t n);
+
+/// Lemma 5.1 reference: match count between two decompositions,
+/// Sum_g min(count_a(g), count_b(g)). Used by tests and the verification
+/// bound.
+uint32_t NgramMatchCount(std::string_view a, std::string_view b, uint32_t n);
+
+/// Theorem 5.1: the count filter lower bound for candidates at edit
+/// distance tau: max(|Q|,|S|) - n + 1 - tau*n (can be negative; returned as
+/// int64).
+int64_t CountLowerBound(size_t query_len, size_t seq_len, uint32_t n,
+                        uint32_t tau);
+
+}  // namespace sa
+}  // namespace genie

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file sequence_searcher.h
+/// Sequence similarity search under edit distance (Section V-A): decompose
+/// sequences into ordered n-grams, retrieve the K largest match-count
+/// candidates with the engine, then verify with Algorithm 2 (count filter
+/// of Theorem 5.1 + length filter + banded edit distance). Theorem 5.2
+/// tells whether the returned kNN is provably the true kNN; the optional
+/// escalation mode doubles K and retries until it is (the multi-round
+/// search of Section VI-D3).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/match_engine.h"
+#include "index/index_builder.h"
+#include "index/vocabulary.h"
+
+namespace genie {
+namespace sa {
+
+struct SequenceSearchOptions {
+  uint32_t ngram = 3;        // sliding-window length n
+  uint32_t k = 1;            // kNN size (paper default k=1)
+  uint32_t candidate_k = 32; // K candidates fetched per round (paper K=32)
+  /// When true, re-run with K doubled until Theorem 5.2 certifies the
+  /// result (bounded by max_candidate_k).
+  bool escalate_until_exact = false;
+  uint32_t max_candidate_k = 256;
+  MatchEngineOptions engine;  // k/max_count are managed by the searcher
+};
+
+struct SequenceMatch {
+  ObjectId id = kInvalidObjectId;
+  uint32_t edit_distance = 0;
+  uint32_t match_count = 0;
+};
+
+struct SequenceSearchOutcome {
+  /// Up to k matches by ascending edit distance.
+  std::vector<SequenceMatch> knn;
+  /// True when Theorem 5.2's condition c_K < |Q| - n + 1 - tau_k' * n held,
+  /// i.e. the kNN is provably the true kNN.
+  bool certified_exact = false;
+  uint32_t rounds = 1;  // escalation rounds executed
+};
+
+class SequenceSearcher {
+ public:
+  /// Indexes `sequences` (must outlive the searcher).
+  static Result<std::unique_ptr<SequenceSearcher>> Create(
+      const std::vector<std::string>* sequences,
+      const SequenceSearchOptions& options);
+
+  Result<std::vector<SequenceSearchOutcome>> SearchBatch(
+      std::span<const std::string> queries);
+
+  /// Compiles a query sequence: one single-keyword item per ordered n-gram
+  /// known to the vocabulary.
+  Query Compile(const std::string& query) const;
+
+  const MatchProfile& profile() const { return engine_->profile(); }
+  double verify_seconds() const { return verify_seconds_; }
+  const InvertedIndex& index() const { return index_; }
+
+ private:
+  SequenceSearcher(const std::vector<std::string>* sequences,
+                   const SequenceSearchOptions& options);
+
+  Status Init();
+
+  /// Algorithm 2 over one query's candidate list.
+  SequenceSearchOutcome Verify(const std::string& query,
+                               const QueryResult& candidates) const;
+
+  const std::vector<std::string>* sequences_;
+  SequenceSearchOptions options_;
+  StringVocabulary vocab_;
+  InvertedIndex index_;
+  std::unique_ptr<MatchEngine> engine_;
+  double verify_seconds_ = 0;
+};
+
+}  // namespace sa
+}  // namespace genie

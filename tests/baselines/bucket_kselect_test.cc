@@ -1,0 +1,127 @@
+#include "baselines/bucket_kselect.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace genie {
+namespace baselines {
+namespace {
+
+std::vector<TopKEntry> Reference(const std::vector<uint32_t>& counts,
+                                 uint32_t k) {
+  std::vector<TopKEntry> all;
+  for (ObjectId i = 0; i < counts.size(); ++i) all.push_back({i, counts[i]});
+  std::sort(all.begin(), all.end(), [](const TopKEntry& a, const TopKEntry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.id < b.id;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(BucketKSelectTest, SimpleCase) {
+  std::vector<uint32_t> counts{5, 1, 9, 3, 7};
+  auto top = BucketKSelect(counts.data(), 5, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], (TopKEntry{2, 9}));
+  EXPECT_EQ(top[1], (TopKEntry{4, 7}));
+}
+
+TEST(BucketKSelectTest, KZeroAndEmpty) {
+  std::vector<uint32_t> counts{1, 2};
+  EXPECT_TRUE(BucketKSelect(counts.data(), 2, 0).empty());
+  EXPECT_TRUE(BucketKSelect(counts.data(), 0, 3).empty());
+}
+
+TEST(BucketKSelectTest, KGreaterOrEqualN) {
+  std::vector<uint32_t> counts{4, 4, 1};
+  auto top = BucketKSelect(counts.data(), 3, 5);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].count, 4u);
+  EXPECT_EQ(top[2].count, 1u);
+}
+
+TEST(BucketKSelectTest, AllEqualValues) {
+  std::vector<uint32_t> counts(100, 7);
+  auto top = BucketKSelect(counts.data(), 100, 10);
+  ASSERT_EQ(top.size(), 10u);
+  for (const auto& e : top) EXPECT_EQ(e.count, 7u);
+}
+
+TEST(BucketKSelectTest, CountProfileMatchesReferenceOnTies) {
+  std::vector<uint32_t> counts{3, 3, 3, 2, 2, 5, 5, 1};
+  auto top = BucketKSelect(counts.data(), 8, 4);
+  auto ref = Reference(counts, 4);
+  ASSERT_EQ(top.size(), ref.size());
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].count, ref[i].count) << "rank " << i;
+  }
+}
+
+TEST(BucketKSelectTest, StatsReportIterations) {
+  Rng rng(1);
+  std::vector<uint32_t> counts(10000);
+  for (auto& c : counts) c = static_cast<uint32_t>(rng.UniformU64(1000));
+  BucketKSelectStats stats;
+  auto top = BucketKSelect(counts.data(), 10000, 100, {}, &stats);
+  EXPECT_EQ(top.size(), 100u);
+  EXPECT_GE(stats.iterations, 1u);
+  // "the algorithm usually finishes in two or three iterations" (App. A).
+  EXPECT_LE(stats.iterations, 6u);
+  EXPECT_GE(stats.elements_scanned, 10000u);
+}
+
+struct SelectSweep {
+  uint32_t n;
+  uint32_t k;
+  uint32_t value_range;
+  uint32_t num_buckets;
+  uint64_t seed;
+};
+
+class BucketKSelectSweep : public ::testing::TestWithParam<SelectSweep> {};
+
+TEST_P(BucketKSelectSweep, MatchesPartialSort) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  std::vector<uint32_t> counts(p.n);
+  for (auto& c : counts) {
+    c = static_cast<uint32_t>(rng.UniformU64(p.value_range));
+  }
+  BucketKSelectOptions options;
+  options.num_buckets = p.num_buckets;
+  auto top = BucketKSelect(counts.data(), p.n, p.k, options);
+  auto ref = Reference(counts, p.k);
+  ASSERT_EQ(top.size(), ref.size());
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].count, ref[i].count) << "rank " << i;
+  }
+  // The ids must be a valid top-k set: every selected count >= every
+  // unselected count.
+  std::vector<bool> selected(p.n, false);
+  for (const auto& e : top) selected[e.id] = true;
+  const uint32_t kth = ref.empty() ? 0 : ref.back().count;
+  for (ObjectId i = 0; i < p.n; ++i) {
+    if (!selected[i]) {
+      EXPECT_LE(counts[i], kth);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BucketKSelectSweep,
+    ::testing::Values(SelectSweep{100, 10, 50, 256, 1},
+                      SelectSweep{1000, 100, 10, 256, 2},    // heavy ties
+                      SelectSweep{1000, 1, 1000000, 256, 3},  // wide range
+                      SelectSweep{5000, 500, 3, 256, 4},      // tiny range
+                      SelectSweep{777, 77, 777, 4, 5},        // few buckets
+                      SelectSweep{64, 64, 8, 256, 6},         // k == n
+                      SelectSweep{10000, 100, 100000, 2, 7}));
+
+}  // namespace
+}  // namespace baselines
+}  // namespace genie

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_idx_engine.h"
+#include "baselines/gpu_spq_engine.h"
+#include "core/match_engine.h"
+#include "test_util.h"
+
+namespace genie {
+namespace {
+
+sim::Device* TestDevice() {
+  static sim::Device* device = [] {
+    sim::Device::Options options;
+    options.num_workers = 8;
+    return new sim::Device(options);
+  }();
+  return device;
+}
+
+struct AgreementSweep {
+  uint32_t num_objects;
+  uint32_t vocab;
+  uint32_t keywords_per_object;
+  uint32_t num_queries;
+  uint32_t items_per_query;
+  uint32_t k;
+  uint64_t seed;
+};
+
+class EnginesAgreementTest : public ::testing::TestWithParam<AgreementSweep> {
+};
+
+/// GENIE (c-PQ), GEN-SPQ (count table + SPQ), GPU-SPQ (full scan + SPQ) and
+/// CPU-Idx must all produce the same top-k count multiset — they implement
+/// the same match-count model with different machinery.
+TEST_P(EnginesAgreementTest, AllEnginesSameCountProfile) {
+  const auto p = GetParam();
+  auto workload = test::MakeRandomWorkload(p.num_objects, p.vocab,
+                                           p.keywords_per_object,
+                                           p.num_queries, p.items_per_query,
+                                           p.seed);
+
+  MatchEngineOptions genie_options;
+  genie_options.k = p.k;
+  genie_options.device = TestDevice();
+  auto genie_engine = MatchEngine::Create(&workload.index, genie_options);
+  ASSERT_TRUE(genie_engine.ok());
+  auto genie_results = (*genie_engine)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(genie_results.ok());
+
+  MatchEngineOptions gen_spq_options = genie_options;
+  gen_spq_options.selector = MatchEngineOptions::Selector::kCountTableSpq;
+  auto gen_spq_engine = MatchEngine::Create(&workload.index, gen_spq_options);
+  ASSERT_TRUE(gen_spq_engine.ok());
+  auto gen_spq_results = (*gen_spq_engine)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(gen_spq_results.ok());
+
+  baselines::GpuSpqOptions gpu_spq_options;
+  gpu_spq_options.k = p.k;
+  gpu_spq_options.device = TestDevice();
+  auto gpu_spq = baselines::GpuSpqEngine::Create(&workload.index, gpu_spq_options);
+  ASSERT_TRUE(gpu_spq.ok());
+  auto gpu_spq_results = (*gpu_spq)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(gpu_spq_results.ok());
+
+  baselines::CpuIdxOptions cpu_options;
+  cpu_options.k = p.k;
+  auto cpu = baselines::CpuIdxEngine::Create(&workload.index, cpu_options);
+  ASSERT_TRUE(cpu.ok());
+  auto cpu_results = (*cpu)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(cpu_results.ok());
+
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    const auto counts =
+        test::BruteForceCounts(workload.index, workload.queries[q]);
+    const auto expected = test::TopKCountMultiset(counts, p.k);
+    EXPECT_EQ(test::EntryCountMultiset((*genie_results)[q]), expected)
+        << "GENIE, query " << q;
+    EXPECT_EQ(test::EntryCountMultiset((*gen_spq_results)[q]), expected)
+        << "GEN-SPQ, query " << q;
+    EXPECT_EQ(test::EntryCountMultiset((*gpu_spq_results)[q]), expected)
+        << "GPU-SPQ, query " << q;
+    EXPECT_EQ(test::EntryCountMultiset((*cpu_results)[q]), expected)
+        << "CPU-Idx, query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnginesAgreementTest,
+    ::testing::Values(AgreementSweep{300, 60, 8, 8, 6, 5, 41},
+                      AgreementSweep{1000, 150, 10, 12, 8, 20, 42},
+                      AgreementSweep{100, 10, 4, 6, 4, 1, 43},
+                      AgreementSweep{800, 400, 16, 8, 12, 50, 44}));
+
+using baselines::ForwardIndex;
+
+TEST(ForwardIndexTest, InvertsTheInvertedIndex) {
+  auto workload = test::MakeRandomWorkload(50, 10, 5, 1, 1, 45);
+  const ForwardIndex fwd =
+      ForwardIndex::FromInvertedIndex(workload.index);
+  EXPECT_EQ(fwd.num_objects(), workload.index.num_objects());
+  // Total postings conserved.
+  EXPECT_EQ(fwd.keywords.size(), workload.index.postings().size());
+  // Per-keyword frequency conserved.
+  std::vector<uint32_t> freq(workload.index.vocab_size(), 0);
+  for (Keyword kw : fwd.keywords) ++freq[kw];
+  for (Keyword kw = 0; kw < workload.index.vocab_size(); ++kw) {
+    EXPECT_EQ(freq[kw], workload.index.KeywordFrequency(kw));
+  }
+}
+
+TEST(CpuIdxEngineTest, CreateValidates) {
+  EXPECT_FALSE(baselines::CpuIdxEngine::Create(nullptr, {}).ok());
+  auto workload = test::MakeRandomWorkload(10, 5, 2, 1, 1, 46);
+  baselines::CpuIdxOptions zero_k;
+  zero_k.k = 0;
+  EXPECT_FALSE(
+      baselines::CpuIdxEngine::Create(&workload.index, zero_k).ok());
+}
+
+TEST(CpuIdxEngineTest, StateResetsBetweenQueries) {
+  // Two identical queries in one batch must return identical results (the
+  // count array is reused and must be cleared).
+  auto workload = test::MakeRandomWorkload(200, 20, 6, 1, 5, 47);
+  std::vector<Query> queries{workload.queries[0], workload.queries[0]};
+  baselines::CpuIdxOptions options;
+  options.k = 10;
+  auto engine = baselines::CpuIdxEngine::Create(&workload.index, options);
+  ASSERT_TRUE(engine.ok());
+  auto results = (*engine)->ExecuteBatch(queries);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ((*results)[0].entries.size(), (*results)[1].entries.size());
+  for (size_t i = 0; i < (*results)[0].entries.size(); ++i) {
+    EXPECT_EQ((*results)[0].entries[i], (*results)[1].entries[i]);
+  }
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,188 @@
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_lsh_engine.h"
+#include "baselines/gpu_lsh_engine.h"
+#include "data/points.h"
+#include "lsh/e2lsh.h"
+
+namespace genie {
+namespace baselines {
+namespace {
+
+sim::Device* TestDevice() {
+  static sim::Device* device = [] {
+    sim::Device::Options options;
+    options.num_workers = 8;
+    return new sim::Device(options);
+  }();
+  return device;
+}
+
+std::shared_ptr<const lsh::VectorLshFamily> MakeFamily(uint32_t dim,
+                                                       uint32_t m,
+                                                       uint64_t seed) {
+  lsh::E2LshOptions options;
+  options.dim = dim;
+  options.num_functions = m;
+  options.bucket_width = 8.0;
+  options.seed = seed;
+  return std::shared_ptr<const lsh::VectorLshFamily>(
+      lsh::E2LshFamily::Create(options).ValueOrDie().release());
+}
+
+double RecallAtK(const data::PointMatrix& points,
+                 const data::PointMatrix& queries,
+                 const std::vector<std::vector<ObjectId>>& results,
+                 uint32_t k) {
+  double total = 0;
+  for (uint32_t q = 0; q < queries.num_points(); ++q) {
+    const auto truth = data::BruteForceKnn(points, queries.row(q), k, 2);
+    uint32_t hit = 0;
+    for (ObjectId id : results[q]) {
+      hit += std::find(truth.begin(), truth.end(), id) != truth.end();
+    }
+    total += static_cast<double>(hit) / truth.size();
+  }
+  return total / queries.num_points();
+}
+
+TEST(CpuLshEngineTest, CreateValidates) {
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 10;
+  data_options.dim = 4;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  auto family = MakeFamily(4, 8, 1);
+  EXPECT_FALSE(CpuLshEngine::Create(nullptr, family, {}).ok());
+  EXPECT_FALSE(CpuLshEngine::Create(&dataset.points, nullptr, {}).ok());
+  CpuLshOptions zero_k;
+  zero_k.k = 0;
+  EXPECT_FALSE(CpuLshEngine::Create(&dataset.points, family, zero_k).ok());
+}
+
+TEST(CpuLshEngineTest, SelfQueriesReturnThemselves) {
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 300;
+  data_options.dim = 8;
+  data_options.seed = 2;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  auto family = MakeFamily(8, 48, 3);
+  CpuLshOptions options;
+  options.k = 10;
+  auto engine = CpuLshEngine::Create(&dataset.points, family, options);
+  ASSERT_TRUE(engine.ok());
+  data::PointMatrix queries(5, 8);
+  for (uint32_t i = 0; i < 5; ++i) {
+    auto row = dataset.points.row(i * 13);
+    std::copy(row.begin(), row.end(), queries.mutable_row(i).begin());
+  }
+  auto results = (*engine)->KnnBatch(queries, 1);
+  ASSERT_TRUE(results.ok());
+  for (uint32_t i = 0; i < 5; ++i) {
+    ASSERT_EQ((*results)[i].size(), 1u);
+    EXPECT_EQ((*results)[i][0], i * 13);
+  }
+}
+
+TEST(CpuLshEngineTest, ReasonableRecall) {
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 800;
+  data_options.dim = 16;
+  data_options.seed = 4;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  auto family = MakeFamily(16, 64, 5);
+  CpuLshOptions options;
+  options.k = 40;
+  auto engine = CpuLshEngine::Create(&dataset.points, family, options);
+  ASSERT_TRUE(engine.ok());
+  data::PointMatrix queries =
+      data::MakeQueriesNear(dataset.points, 10, 0.2, 6);
+  auto results = (*engine)->KnnBatch(queries, 10);
+  ASSERT_TRUE(results.ok());
+  EXPECT_GT(RecallAtK(dataset.points, queries, *results, 10), 0.5);
+}
+
+TEST(GpuLshEngineTest, CreateValidates) {
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 10;
+  data_options.dim = 4;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  auto family = MakeFamily(4, 8, 7);
+  GpuLshOptions options;
+  options.num_tables = 4;
+  options.functions_per_table = 4;  // needs 16 > 8 provided
+  EXPECT_FALSE(GpuLshEngine::Create(&dataset.points, family, options).ok());
+  options.functions_per_table = 2;
+  options.device = TestDevice();
+  EXPECT_TRUE(GpuLshEngine::Create(&dataset.points, family, options).ok());
+}
+
+TEST(GpuLshEngineTest, SelfQueriesReturnThemselves) {
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 400;
+  data_options.dim = 8;
+  data_options.seed = 8;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  auto family = MakeFamily(8, 64, 9);
+  GpuLshOptions options;
+  options.num_tables = 16;
+  options.functions_per_table = 4;
+  options.device = TestDevice();
+  auto engine = GpuLshEngine::Create(&dataset.points, family, options);
+  ASSERT_TRUE(engine.ok());
+  data::PointMatrix queries(4, 8);
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto row = dataset.points.row(i * 31);
+    std::copy(row.begin(), row.end(), queries.mutable_row(i).begin());
+  }
+  auto results = (*engine)->KnnBatch(queries, 1);
+  ASSERT_TRUE(results.ok());
+  for (uint32_t i = 0; i < 4; ++i) {
+    ASSERT_FALSE((*results)[i].empty());
+    EXPECT_EQ((*results)[i][0], i * 31);
+  }
+}
+
+TEST(GpuLshEngineTest, ReasonableRecallOnNearQueries) {
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 800;
+  data_options.dim = 16;
+  data_options.seed = 10;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  auto family = MakeFamily(16, 128, 11);
+  GpuLshOptions options;
+  options.num_tables = 32;
+  options.functions_per_table = 4;
+  options.device = TestDevice();
+  auto engine = GpuLshEngine::Create(&dataset.points, family, options);
+  ASSERT_TRUE(engine.ok());
+  data::PointMatrix queries =
+      data::MakeQueriesNear(dataset.points, 10, 0.1, 12);
+  auto results = (*engine)->KnnBatch(queries, 10);
+  ASSERT_TRUE(results.ok());
+  EXPECT_GT(RecallAtK(dataset.points, queries, *results, 10), 0.4);
+}
+
+TEST(GpuLshEngineTest, EmptyBatch) {
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 20;
+  data_options.dim = 4;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  auto family = MakeFamily(4, 8, 13);
+  GpuLshOptions options;
+  options.num_tables = 2;
+  options.functions_per_table = 2;
+  options.device = TestDevice();
+  auto engine = GpuLshEngine::Create(&dataset.points, family, options);
+  ASSERT_TRUE(engine.ok());
+  data::PointMatrix queries(0, 4);
+  auto results = (*engine)->KnnBatch(queries, 5);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace genie

@@ -1,0 +1,56 @@
+#include "common/bit_util.h"
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+TEST(BitUtilTest, NextPow2) {
+  EXPECT_EQ(bit_util::NextPow2(0), 1u);
+  EXPECT_EQ(bit_util::NextPow2(1), 1u);
+  EXPECT_EQ(bit_util::NextPow2(2), 2u);
+  EXPECT_EQ(bit_util::NextPow2(3), 4u);
+  EXPECT_EQ(bit_util::NextPow2(17), 32u);
+  EXPECT_EQ(bit_util::NextPow2(1024), 1024u);
+  EXPECT_EQ(bit_util::NextPow2(1025), 2048u);
+  EXPECT_EQ(bit_util::NextPow2(1ULL << 62), 1ULL << 62);
+}
+
+TEST(BitUtilTest, IsPow2) {
+  EXPECT_FALSE(bit_util::IsPow2(0));
+  EXPECT_TRUE(bit_util::IsPow2(1));
+  EXPECT_TRUE(bit_util::IsPow2(2));
+  EXPECT_FALSE(bit_util::IsPow2(3));
+  EXPECT_TRUE(bit_util::IsPow2(1ULL << 40));
+  EXPECT_FALSE(bit_util::IsPow2((1ULL << 40) + 1));
+}
+
+TEST(BitUtilTest, BitsFor) {
+  EXPECT_EQ(bit_util::BitsFor(0), 1u);
+  EXPECT_EQ(bit_util::BitsFor(1), 1u);
+  EXPECT_EQ(bit_util::BitsFor(2), 2u);
+  EXPECT_EQ(bit_util::BitsFor(3), 2u);
+  EXPECT_EQ(bit_util::BitsFor(4), 3u);
+  EXPECT_EQ(bit_util::BitsFor(255), 8u);
+  EXPECT_EQ(bit_util::BitsFor(256), 9u);
+}
+
+TEST(BitUtilTest, CeilDiv) {
+  EXPECT_EQ(bit_util::CeilDiv(0, 4), 0u);
+  EXPECT_EQ(bit_util::CeilDiv(1, 4), 1u);
+  EXPECT_EQ(bit_util::CeilDiv(4, 4), 1u);
+  EXPECT_EQ(bit_util::CeilDiv(5, 4), 2u);
+}
+
+TEST(BitUtilTest, Mix64IsBijectiveish) {
+  // Distinct small inputs must produce distinct, well-spread outputs.
+  uint64_t prev = bit_util::Mix64(0);
+  for (uint64_t i = 1; i < 1000; ++i) {
+    uint64_t h = bit_util::Mix64(i);
+    EXPECT_NE(h, prev);
+    prev = h;
+  }
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,65 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto f = [](int v) -> Status {
+    GENIE_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+    (void)parsed;
+    return Status::OK();
+  };
+  EXPECT_TRUE(f(3).ok());
+  EXPECT_EQ(f(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnAssignsValue) {
+  auto f = [](int v) -> Result<int> {
+    GENIE_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+    return parsed * 2;
+  };
+  EXPECT_EQ(*f(21), 42);
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "ValueOrDie");
+}
+
+}  // namespace
+}  // namespace genie

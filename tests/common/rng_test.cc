@@ -1,0 +1,174 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+  bool all_equal = true;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) all_equal &= (a2.Next64() == c.Next64());
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(RngTest, UniformU64InRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformU64(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformU64CoversRange) {
+  Rng rng(2);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[rng.UniformU64(8)];
+  for (int h : hits) {
+    EXPECT_GT(h, 700);
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(4);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  const int n = 50000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(6);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Gaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / 20000, 3.0, 0.02);
+}
+
+TEST(RngTest, CauchyMedianIsZero) {
+  Rng rng(7);
+  int below = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Cauchy() < 0) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(8);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, GammaMeanAndVariance) {
+  // Gamma(2, sigma) drives Random Binning pitches; mean = 2 sigma,
+  // variance = 2 sigma^2.
+  Rng rng(9);
+  const double shape = 2.0, scale = 1.5;
+  const int n = 50000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gamma(shape, scale);
+    EXPECT_GT(v, 0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, shape * scale, 0.05);
+  EXPECT_NEAR(var, shape * scale * scale, 0.2);
+}
+
+TEST(RngTest, GammaSmallShape) {
+  Rng rng(10);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Gamma(0.5, 2.0);
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(12);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(13);
+  Rng b = a.Fork();
+  EXPECT_NE(a.Next64(), b.Next64());
+}
+
+TEST(ZipfSamplerTest, RankZeroMostFrequent) {
+  Rng rng(14);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> hits(100, 0);
+  for (int i = 0; i < 50000; ++i) ++hits[zipf.Sample(&rng)];
+  EXPECT_GT(hits[0], hits[1]);
+  EXPECT_GT(hits[1], hits[10]);
+  EXPECT_GT(hits[0], 5000);
+}
+
+TEST(ZipfSamplerTest, SingleItem) {
+  Rng rng(15);
+  ZipfSampler zipf(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,94 @@
+#include "core/batch_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace genie {
+namespace {
+
+sim::Device* TestDevice() {
+  static sim::Device* device = [] {
+    sim::Device::Options options;
+    options.num_workers = 4;
+    return new sim::Device(options);
+  }();
+  return device;
+}
+
+TEST(BatchSchedulerTest, NullEngineRejected) {
+  std::vector<Query> queries(1);
+  EXPECT_FALSE(ExecuteLargeBatch(nullptr, queries).ok());
+}
+
+TEST(BatchSchedulerTest, ChunkedEqualsSingleBatch) {
+  auto workload = test::MakeRandomWorkload(500, 60, 8, 37, 5, 81);
+  MatchEngineOptions options;
+  options.k = 10;
+  options.max_count = MatchEngine::DeriveMaxCount(workload.queries);
+  options.device = TestDevice();
+  auto engine = MatchEngine::Create(&workload.index, options);
+  ASSERT_TRUE(engine.ok());
+
+  auto single = (*engine)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(single.ok());
+  LargeBatchOptions large;
+  large.batch_size = 8;  // 37 queries -> 5 uneven batches
+  auto chunked = ExecuteLargeBatch(engine->get(), workload.queries, large);
+  ASSERT_TRUE(chunked.ok());
+  ASSERT_EQ(chunked->size(), single->size());
+  for (size_t q = 0; q < single->size(); ++q) {
+    EXPECT_EQ(test::EntryCountMultiset((*chunked)[q]),
+              test::EntryCountMultiset((*single)[q]))
+        << "query " << q;
+  }
+}
+
+TEST(BatchSchedulerTest, EmptyQuerySet) {
+  auto workload = test::MakeRandomWorkload(50, 10, 3, 1, 2, 82);
+  MatchEngineOptions options;
+  options.k = 3;
+  options.device = TestDevice();
+  auto engine = MatchEngine::Create(&workload.index, options);
+  ASSERT_TRUE(engine.ok());
+  auto results = ExecuteLargeBatch(engine->get(), {});
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST(BatchSchedulerTest, AutoBatchSizeFromMemoryBudget) {
+  // A tiny device forces small auto-derived batches; results must still
+  // match a reference run on a large device.
+  auto workload = test::MakeRandomWorkload(2000, 40, 6, 24, 4, 83);
+  MatchEngineOptions reference_options;
+  reference_options.k = 5;
+  reference_options.max_count = MatchEngine::DeriveMaxCount(workload.queries);
+  reference_options.device = TestDevice();
+  auto reference_engine =
+      MatchEngine::Create(&workload.index, reference_options);
+  ASSERT_TRUE(reference_engine.ok());
+  auto reference = (*reference_engine)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(reference.ok());
+
+  sim::Device::Options small;
+  small.num_workers = 2;
+  small.memory_capacity_bytes = 4 << 20;  // 4 MiB
+  sim::Device small_device(small);
+  MatchEngineOptions options = reference_options;
+  options.device = &small_device;
+  auto engine = MatchEngine::Create(&workload.index, options);
+  ASSERT_TRUE(engine.ok());
+  LargeBatchOptions large;
+  large.batch_size = 0;  // derive from memory
+  large.memory_fraction = 0.5;
+  auto results = ExecuteLargeBatch(engine->get(), workload.queries, large);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), reference->size());
+  for (size_t q = 0; q < results->size(); ++q) {
+    EXPECT_EQ(test::EntryCountMultiset((*results)[q]),
+              test::EntryCountMultiset((*reference)[q]));
+  }
+}
+
+}  // namespace
+}  // namespace genie

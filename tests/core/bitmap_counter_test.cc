@@ -1,0 +1,111 @@
+#include "core/bitmap_counter.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace genie {
+namespace {
+
+TEST(BitmapCounterTest, ChooseBits) {
+  EXPECT_EQ(BitmapCounterView::ChooseBits(1), 1u);
+  EXPECT_EQ(BitmapCounterView::ChooseBits(2), 2u);
+  EXPECT_EQ(BitmapCounterView::ChooseBits(3), 2u);
+  EXPECT_EQ(BitmapCounterView::ChooseBits(4), 4u);
+  EXPECT_EQ(BitmapCounterView::ChooseBits(15), 4u);
+  EXPECT_EQ(BitmapCounterView::ChooseBits(16), 8u);
+  EXPECT_EQ(BitmapCounterView::ChooseBits(255), 8u);
+  EXPECT_EQ(BitmapCounterView::ChooseBits(256), 16u);
+  EXPECT_EQ(BitmapCounterView::ChooseBits(100000), 32u);
+}
+
+TEST(BitmapCounterTest, WordsRequired) {
+  EXPECT_EQ(BitmapCounterView::WordsRequired(32, 1), 1u);
+  EXPECT_EQ(BitmapCounterView::WordsRequired(33, 1), 2u);
+  EXPECT_EQ(BitmapCounterView::WordsRequired(8, 4), 1u);
+  EXPECT_EQ(BitmapCounterView::WordsRequired(9, 4), 2u);
+  EXPECT_EQ(BitmapCounterView::WordsRequired(4, 32), 4u);
+  EXPECT_EQ(BitmapCounterView::WordsRequired(0, 8), 0u);
+}
+
+class BitmapCounterParamTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BitmapCounterParamTest, IncrementAndGetAllWidths) {
+  const uint32_t bits = GetParam();
+  const uint32_t n = 67;  // not word aligned
+  std::vector<uint32_t> words(BitmapCounterView::WordsRequired(n, bits), 0);
+  BitmapCounterView view(words.data(), bits);
+  const uint32_t reps = std::min<uint32_t>(view.max_value(), 5);
+  for (uint32_t r = 1; r <= reps; ++r) {
+    for (uint32_t i = 0; i < n; i += 3) {
+      EXPECT_EQ(view.Increment(i), r);
+    }
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(view.Get(i), i % 3 == 0 ? reps : 0u) << "i=" << i;
+  }
+}
+
+TEST_P(BitmapCounterParamTest, NeighborsDoNotInterfere) {
+  const uint32_t bits = GetParam();
+  const uint32_t n = 64;
+  std::vector<uint32_t> words(BitmapCounterView::WordsRequired(n, bits), 0);
+  BitmapCounterView view(words.data(), bits);
+  view.Increment(10);
+  EXPECT_EQ(view.Get(9), 0u);
+  EXPECT_EQ(view.Get(10), 1u);
+  EXPECT_EQ(view.Get(11), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitmapCounterParamTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+TEST(BitmapCounterTest, SaturatesAtFieldMax) {
+  std::vector<uint32_t> words(BitmapCounterView::WordsRequired(8, 2), 0);
+  BitmapCounterView view(words.data(), 2);
+  EXPECT_EQ(view.Increment(3), 1u);
+  EXPECT_EQ(view.Increment(3), 2u);
+  EXPECT_EQ(view.Increment(3), 3u);
+  EXPECT_EQ(view.Increment(3), 0u);  // saturated: no-op signalled as 0
+  EXPECT_EQ(view.Get(3), 3u);
+  EXPECT_EQ(view.Get(2), 0u);
+}
+
+TEST(BitmapCounterTest, ExplicitCapBelowFieldMax) {
+  // An 8-bit field capped at 5: counts freeze at the declared bound.
+  std::vector<uint32_t> words(BitmapCounterView::WordsRequired(8, 8), 0);
+  BitmapCounterView view(words.data(), 8, 5);
+  EXPECT_EQ(view.max_value(), 5u);
+  for (uint32_t i = 1; i <= 5; ++i) EXPECT_EQ(view.Increment(0), i);
+  EXPECT_EQ(view.Increment(0), 0u);
+  EXPECT_EQ(view.Get(0), 5u);
+}
+
+TEST(BitmapCounterTest, ConcurrentIncrementsAreExact) {
+  const uint32_t n = 256;
+  std::vector<uint32_t> words(BitmapCounterView::WordsRequired(n, 16), 0);
+  BitmapCounterView view(words.data(), 16);
+  const int threads = 8;
+  const int reps = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(t);
+      for (int r = 0; r < reps; ++r) {
+        // All threads hammer a small id range to force CAS contention
+        // within shared words.
+        view.Increment(static_cast<ObjectId>(rng.UniformU64(4)));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  uint32_t total = 0;
+  for (uint32_t i = 0; i < 4; ++i) total += view.Get(i);
+  EXPECT_EQ(total, static_cast<uint32_t>(threads * reps));
+}
+
+}  // namespace
+}  // namespace genie

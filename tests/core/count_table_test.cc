@@ -1,0 +1,70 @@
+#include "core/count_table.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+TEST(CountTableTest, IncrementAndGet) {
+  std::vector<uint32_t> counts(10, 0);
+  CountTableView view(counts.data(), 10);
+  EXPECT_EQ(view.Increment(3), 1u);
+  EXPECT_EQ(view.Increment(3), 2u);
+  EXPECT_EQ(view.Get(3), 2u);
+  EXPECT_EQ(view.Get(4), 0u);
+}
+
+TEST(CountTableTest, ConcurrentIncrementsExact) {
+  std::vector<uint32_t> counts(4, 0);
+  CountTableView view(counts.data(), 4);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) view.Increment(i % 4);
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(view.Get(i), 2000u);
+}
+
+TEST(CountTableTest, DeviceBytes) {
+  EXPECT_EQ(CountTableView::DeviceBytes(10'000'000), 40'000'000u);
+}
+
+TEST(ExtractTopKFromCountsTest, SortedDescending) {
+  std::vector<uint32_t> counts{0, 5, 2, 9, 2, 0};
+  const QueryResult r = ExtractTopKFromCounts(counts.data(), 6, 3);
+  ASSERT_EQ(r.entries.size(), 3u);
+  EXPECT_EQ(r.entries[0], (TopKEntry{3, 9}));
+  EXPECT_EQ(r.entries[1], (TopKEntry{1, 5}));
+  EXPECT_EQ(r.entries[2], (TopKEntry{2, 2}));
+  EXPECT_EQ(r.threshold, 2u);
+}
+
+TEST(ExtractTopKFromCountsTest, SkipsZeros) {
+  std::vector<uint32_t> counts{0, 0, 1};
+  const QueryResult r = ExtractTopKFromCounts(counts.data(), 3, 5);
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].id, 2u);
+}
+
+TEST(ExtractTopKFromCountsTest, TieBreaksById) {
+  std::vector<uint32_t> counts{3, 3, 3, 3};
+  const QueryResult r = ExtractTopKFromCounts(counts.data(), 4, 2);
+  ASSERT_EQ(r.entries.size(), 2u);
+  EXPECT_EQ(r.entries[0].id, 0u);
+  EXPECT_EQ(r.entries[1].id, 1u);
+}
+
+TEST(ExtractTopKFromCountsTest, AllZeroYieldsEmpty) {
+  std::vector<uint32_t> counts(8, 0);
+  const QueryResult r = ExtractTopKFromCounts(counts.data(), 8, 3);
+  EXPECT_TRUE(r.entries.empty());
+  EXPECT_EQ(r.threshold, 0u);
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,207 @@
+#include "core/count_priority_queue.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace genie {
+namespace {
+
+/// Feeds a stream of object-id observations through Algorithm 1.
+void Feed(CpqView* cpq, const std::vector<ObjectId>& stream) {
+  for (ObjectId oid : stream) {
+    ASSERT_TRUE(cpq->Update(oid));
+  }
+}
+
+/// The example of Section III-C1 run literally: data of Fig. 1, query Q1,
+/// k = 1, postings scanned in the order (A,[1,2]), (B,[1,1]), (C,[2,3]).
+TEST(CpqTest, PaperExample31) {
+  CpqHostStorage storage(/*num_objects=*/3, /*k=*/1, /*max_count=*/3);
+  CpqView cpq = storage.view();
+  // (A,[1,2]) matches O1, O2, O3; (B,[1,1]) matches O2; (C,[2,3]) matches
+  // O2 and O3 (object ids 0-based here).
+  Feed(&cpq, {0, 1, 2});  // after this: AT moved 1 -> 2, HT(O1)=1
+  EXPECT_EQ(cpq.gate().audit_threshold(), 2u);
+  Feed(&cpq, {1});        // BC(O2)=2 >= AT: HT(O2)=2, ZA[2]=1, AT=3
+  EXPECT_EQ(cpq.gate().audit_threshold(), 3u);
+  Feed(&cpq, {1, 2});     // BC(O2)=3 >= AT: HT(O2)=3, AT=4; BC(O3)=2 < AT
+  EXPECT_EQ(cpq.gate().audit_threshold(), 4u);
+
+  // Theorem 3.1: MC_1 = AT - 1 = 3, and the top-1 is O2 with count 3.
+  const QueryResult result = ExtractTopK(cpq);
+  EXPECT_EQ(result.threshold, 3u);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].id, 1u);
+  EXPECT_EQ(result.entries[0].count, 3u);
+}
+
+TEST(CpqTest, EmptyStreamYieldsNothing) {
+  CpqHostStorage storage(10, 3, 4);
+  CpqView cpq = storage.view();
+  const QueryResult result = ExtractTopK(cpq);
+  EXPECT_TRUE(result.entries.empty());
+  EXPECT_EQ(result.threshold, 0u);
+}
+
+TEST(CpqTest, FewerMatchesThanK) {
+  CpqHostStorage storage(10, 5, 4);
+  CpqView cpq = storage.view();
+  Feed(&cpq, {1, 1, 7});
+  const QueryResult result = ExtractTopK(cpq);
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.entries[0].id, 1u);
+  EXPECT_EQ(result.entries[0].count, 2u);
+  EXPECT_EQ(result.entries[1].id, 7u);
+  EXPECT_EQ(result.entries[1].count, 1u);
+}
+
+TEST(CpqTest, SingleObjectDataset) {
+  CpqHostStorage storage(1, 1, 8);
+  CpqView cpq = storage.view();
+  Feed(&cpq, {0, 0, 0});
+  const QueryResult result = ExtractTopK(cpq);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].count, 3u);
+  EXPECT_EQ(result.threshold, 3u);
+}
+
+TEST(CpqTest, OneBitCounters) {
+  // max_count = 1 forces the narrowest bitmap (edge case).
+  CpqHostStorage storage(64, 3, 1);
+  CpqView cpq = storage.view();
+  Feed(&cpq, {5, 9, 13, 21});
+  const QueryResult result = ExtractTopK(cpq);
+  EXPECT_EQ(result.entries.size(), 3u);
+  EXPECT_EQ(result.threshold, 1u);
+  for (const auto& e : result.entries) EXPECT_EQ(e.count, 1u);
+}
+
+struct CpqPropertyParams {
+  uint32_t num_objects;
+  uint32_t k;
+  uint32_t max_count;
+  uint64_t seed;
+};
+
+class CpqPropertyTest : public ::testing::TestWithParam<CpqPropertyParams> {};
+
+/// Theorem 3.1 as a property: for random observation streams, (1) the k-th
+/// match count equals AT - 1, (2) the hash table holds every object whose
+/// count strictly exceeds AT - 1, (3) the extracted top-k count multiset
+/// matches brute force.
+TEST_P(CpqPropertyTest, Theorem31HoldsOnRandomStreams) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  CpqHostStorage storage(p.num_objects, p.k, p.max_count);
+  CpqView cpq = storage.view();
+
+  std::vector<uint32_t> truth(p.num_objects, 0);
+  // Build a stream where no object exceeds max_count.
+  const uint32_t observations = p.num_objects * 3;
+  std::vector<ObjectId> stream;
+  for (uint32_t i = 0; i < observations; ++i) {
+    const ObjectId oid =
+        static_cast<ObjectId>(rng.UniformU64(p.num_objects));
+    if (truth[oid] >= p.max_count) continue;
+    ++truth[oid];
+    stream.push_back(oid);
+  }
+  Feed(&cpq, stream);
+
+  std::vector<uint32_t> sorted(truth);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const uint32_t matched =
+      static_cast<uint32_t>(std::count_if(truth.begin(), truth.end(),
+                                          [](uint32_t c) { return c > 0; }));
+
+  const QueryResult result = ExtractTopK(cpq);
+  if (matched >= p.k) {
+    // (1) MC_k = AT - 1.
+    EXPECT_EQ(result.threshold, sorted[p.k - 1]);
+    EXPECT_EQ(cpq.gate().audit_threshold() - 1, sorted[p.k - 1]);
+    ASSERT_EQ(result.entries.size(), p.k);
+  } else {
+    EXPECT_EQ(result.entries.size(), matched);
+  }
+  // (3) top-k count multiset matches brute force.
+  for (size_t i = 0; i < result.entries.size(); ++i) {
+    EXPECT_EQ(result.entries[i].count, sorted[i]) << "rank " << i;
+  }
+  // (2) entries report exact counts.
+  for (const auto& e : result.entries) {
+    EXPECT_EQ(e.count, truth[e.id]) << "object " << e.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CpqPropertyTest,
+    ::testing::Values(CpqPropertyParams{100, 1, 4, 1},
+                      CpqPropertyParams{100, 10, 4, 2},
+                      CpqPropertyParams{1000, 10, 16, 3},
+                      CpqPropertyParams{1000, 100, 8, 4},
+                      CpqPropertyParams{5000, 50, 32, 5},
+                      CpqPropertyParams{37, 5, 3, 6},
+                      CpqPropertyParams{64, 64, 7, 7},
+                      CpqPropertyParams{2000, 1, 64, 8}));
+
+TEST(CpqTest, ConcurrentUpdatesMatchBruteForce) {
+  // The multi-threaded version of Theorem 3.1: 8 threads feed disjoint
+  // slices of the same stream.
+  const uint32_t n = 2000, k = 25, max_count = 32;
+  Rng rng(42);
+  std::vector<uint32_t> truth(n, 0);
+  std::vector<ObjectId> stream;
+  for (uint32_t i = 0; i < n * 4; ++i) {
+    const ObjectId oid = static_cast<ObjectId>(rng.UniformU64(n));
+    if (truth[oid] >= max_count) continue;
+    ++truth[oid];
+    stream.push_back(oid);
+  }
+  CpqHostStorage storage(n, k, max_count);
+  CpqView cpq = storage.view();
+  const int threads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t i = t; i < stream.size(); i += threads) {
+        ASSERT_TRUE(cpq.Update(stream[i]));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::vector<uint32_t> sorted(truth);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const QueryResult result = ExtractTopK(cpq);
+  ASSERT_EQ(result.entries.size(), k);
+  EXPECT_EQ(result.threshold, sorted[k - 1]);
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(result.entries[i].count, sorted[i]) << "rank " << i;
+    EXPECT_EQ(result.entries[i].count, truth[result.entries[i].id]);
+  }
+}
+
+TEST(CpqLayoutTest, DeviceBytesComposition) {
+  const CpqLayout layout = CpqLayout::Make(1000, 10, 15, 4);
+  EXPECT_EQ(layout.counter_bits, 4u);
+  EXPECT_EQ(layout.bitmap_words, 125u);  // 1000 / 8 per word
+  EXPECT_EQ(layout.zipper_entries, 17u);
+  EXPECT_EQ(layout.DeviceBytes(),
+            125 * 4 + 17 * 4 + 4 + uint64_t{layout.ht_capacity} * 8);
+}
+
+TEST(CpqLayoutTest, MuchSmallerThanCountTable) {
+  // The paper's motivation: a count table for 10M objects needs 40 MB per
+  // query; the c-PQ layout must be far below that.
+  const CpqLayout layout = CpqLayout::Make(10'000'000, 100, 15, 4);
+  EXPECT_LT(layout.DeviceBytes(), 10'000'000ull * 4 / 5);
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,121 @@
+#include "core/gate.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+struct GateFixture {
+  explicit GateFixture(uint32_t k, uint32_t max_count)
+      : zipper(GateView::ZipperEntries(max_count), 0),
+        at(GateView::kInitialAuditThreshold),
+        view(zipper.data(), &at, k, max_count) {}
+
+  std::vector<uint32_t> zipper;
+  uint32_t at;
+  GateView view;
+};
+
+TEST(GateTest, InitialThresholdIsOne) {
+  GateFixture g(3, 5);
+  EXPECT_EQ(g.view.audit_threshold(), 1u);
+}
+
+TEST(GateTest, AdvancesWhenKPromotionsReachThreshold) {
+  GateFixture g(2, 5);
+  g.view.OnPromoted(1);
+  EXPECT_EQ(g.view.audit_threshold(), 1u);  // ZA[1] = 1 < k
+  g.view.OnPromoted(1);
+  EXPECT_EQ(g.view.audit_threshold(), 2u);  // ZA[1] = 2 >= k
+}
+
+TEST(GateTest, SkipsAcrossFilledValues) {
+  GateFixture g(1, 5);
+  // Promotions at 1, 2, 3 each immediately fill their level for k=1.
+  g.view.OnPromoted(1);
+  EXPECT_EQ(g.view.audit_threshold(), 2u);
+  g.view.OnPromoted(2);
+  EXPECT_EQ(g.view.audit_threshold(), 3u);
+  g.view.OnPromoted(3);
+  EXPECT_EQ(g.view.audit_threshold(), 4u);
+}
+
+TEST(GateTest, AdvancesThroughMultipleLevelsAtOnce) {
+  GateFixture g(1, 5);
+  // Fill ZA[2] while AT = 1; then a promotion at 1 pushes AT past both.
+  g.view.OnPromoted(2);
+  EXPECT_EQ(g.view.audit_threshold(), 1u);  // ZA[1] = 0 still blocks
+  g.view.OnPromoted(1);
+  EXPECT_EQ(g.view.audit_threshold(), 3u);
+}
+
+TEST(GateTest, StopsAtMaxCountPlusOne) {
+  GateFixture g(1, 2);
+  g.view.OnPromoted(1);
+  g.view.OnPromoted(2);
+  EXPECT_EQ(g.view.audit_threshold(), 3u);  // max_count + 1 (Example 3.1)
+  // Further promotions at max value cannot push beyond the sentinel.
+  g.view.OnPromoted(2);
+  EXPECT_EQ(g.view.audit_threshold(), 3u);
+}
+
+TEST(GateTest, ZipperAccessors) {
+  GateFixture g(4, 3);
+  g.view.OnPromoted(2);
+  g.view.OnPromoted(2);
+  EXPECT_EQ(g.view.zipper(2), 2u);
+  EXPECT_EQ(g.view.zipper(1), 0u);
+  EXPECT_EQ(g.view.k(), 4u);
+  EXPECT_EQ(g.view.max_count(), 3u);
+}
+
+TEST(GateTest, Lemma31InvariantAfterRandomPromotions) {
+  // Lemma 3.1: after all updates, ZA[AT] < k and ZA[AT-1] >= k (when AT>1).
+  GateFixture g(3, 8);
+  uint64_t state = 12345;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const uint32_t at = g.view.audit_threshold();
+    if (at > g.view.max_count()) break;
+    // Promotions must be for values >= AT (gate semantics).
+    const uint32_t val =
+        at + static_cast<uint32_t>((state >> 33) % (g.view.max_count() - at + 1));
+    g.view.OnPromoted(val);
+  }
+  const uint32_t at = g.view.audit_threshold();
+  if (at <= g.view.max_count()) {
+    EXPECT_LT(g.view.zipper(at), 3u);
+  }
+  if (at > 1) {
+    EXPECT_GE(g.view.zipper(at - 1), 3u);
+  }
+}
+
+TEST(GateTest, ConcurrentPromotionsKeepInvariant) {
+  GateFixture g(8, 16);
+  const int threads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        const uint32_t at = g.view.audit_threshold();
+        if (at > 16) return;
+        g.view.OnPromoted(std::min<uint32_t>(16, at));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const uint32_t at = g.view.audit_threshold();
+  if (at <= 16) {
+    EXPECT_LT(g.view.zipper(at), 8u);
+  }
+  if (at > 1 && at <= 17) {
+    EXPECT_GE(g.view.zipper(at - 1), 8u);
+  }
+}
+
+}  // namespace
+}  // namespace genie

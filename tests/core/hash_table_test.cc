@@ -1,0 +1,200 @@
+#include "core/hash_table.h"
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace genie {
+namespace {
+
+struct TableFixture {
+  explicit TableFixture(uint32_t capacity)
+      : slots(capacity, CpqHashTableView::kEmpty),
+        view(slots.data(), capacity) {}
+
+  /// Combined view of resident entries: key -> max count.
+  std::map<ObjectId, uint32_t> Contents() const {
+    std::map<ObjectId, uint32_t> out;
+    for (uint32_t i = 0; i < view.capacity(); ++i) {
+      const uint64_t e = view.LoadSlot(i);
+      if (e == CpqHashTableView::kEmpty) continue;
+      const ObjectId id = CpqHashTableView::EntryId(e);
+      const uint32_t c = CpqHashTableView::EntryCount(e);
+      auto [it, inserted] = out.emplace(id, c);
+      if (!inserted && it->second < c) it->second = c;
+    }
+    return out;
+  }
+
+  std::vector<uint64_t> slots;
+  CpqHashTableView view;
+};
+
+TEST(CpqHashTableTest, EntryPacking) {
+  const uint64_t e = CpqHashTableView::MakeEntry(0, 0);
+  EXPECT_NE(e, CpqHashTableView::kEmpty);  // id 0 must not look empty
+  EXPECT_EQ(CpqHashTableView::EntryId(e), 0u);
+  EXPECT_EQ(CpqHashTableView::EntryCount(e), 0u);
+  const uint64_t f = CpqHashTableView::MakeEntry(12345, 678);
+  EXPECT_EQ(CpqHashTableView::EntryId(f), 12345u);
+  EXPECT_EQ(CpqHashTableView::EntryCount(f), 678u);
+}
+
+TEST(CpqHashTableTest, InsertAndRead) {
+  TableFixture t(16);
+  EXPECT_TRUE(t.view.Upsert(7, 3, 0));
+  EXPECT_TRUE(t.view.Upsert(9, 1, 0));
+  auto contents = t.Contents();
+  EXPECT_EQ(contents.size(), 2u);
+  EXPECT_EQ(contents[7], 3u);
+  EXPECT_EQ(contents[9], 1u);
+}
+
+TEST(CpqHashTableTest, UpsertRaisesCount) {
+  TableFixture t(16);
+  EXPECT_TRUE(t.view.Upsert(7, 1, 0));
+  EXPECT_TRUE(t.view.Upsert(7, 5, 0));
+  EXPECT_TRUE(t.view.Upsert(7, 3, 0));  // stale update is a no-op
+  EXPECT_EQ(t.Contents()[7], 5u);
+  // Only one resident slot for the key in single-threaded use.
+  int occupied = 0;
+  for (uint32_t i = 0; i < t.view.capacity(); ++i) {
+    occupied += t.view.LoadSlot(i) != CpqHashTableView::kEmpty;
+  }
+  EXPECT_EQ(occupied, 1);
+}
+
+TEST(CpqHashTableTest, CollidingKeysBothSurvive) {
+  TableFixture t(8);
+  // With capacity 8, several of these keys must collide.
+  for (ObjectId id = 0; id < 6; ++id) {
+    EXPECT_TRUE(t.view.Upsert(id, id + 1, 0));
+  }
+  auto contents = t.Contents();
+  EXPECT_EQ(contents.size(), 6u);
+  for (ObjectId id = 0; id < 6; ++id) EXPECT_EQ(contents[id], id + 1);
+}
+
+TEST(CpqHashTableTest, ExpiredOverwriteReclaimsSlots) {
+  TableFixture t(8);
+  for (ObjectId id = 0; id < 6; ++id) {
+    ASSERT_TRUE(t.view.Upsert(id, 1, 0));
+  }
+  // All existing entries have count 1 < expire_below = 3, so six new keys
+  // fit even though the table would otherwise be nearly full.
+  HashTableStats stats;
+  for (ObjectId id = 100; id < 106; ++id) {
+    ASSERT_TRUE(t.view.Upsert(id, 5, 3, true, &stats));
+  }
+  EXPECT_GT(stats.expired_overwrites, 0u);
+  auto contents = t.Contents();
+  for (ObjectId id = 100; id < 106; ++id) EXPECT_EQ(contents[id], 5u);
+}
+
+TEST(CpqHashTableTest, OverflowWithoutExpiry) {
+  TableFixture t(4);
+  for (ObjectId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(t.view.Upsert(id, 10, 0));
+  }
+  HashTableStats stats;
+  EXPECT_FALSE(t.view.Upsert(99, 10, 0, true, &stats));
+  EXPECT_EQ(stats.overflows, 1u);
+}
+
+TEST(CpqHashTableTest, RobinHoodDisplacementKeepsAllEntries) {
+  TableFixture t(32);
+  HashTableStats stats;
+  for (ObjectId id = 0; id < 24; ++id) {
+    ASSERT_TRUE(t.view.Upsert(id, id + 1, 0, true, &stats));
+  }
+  auto contents = t.Contents();
+  ASSERT_EQ(contents.size(), 24u);
+  for (ObjectId id = 0; id < 24; ++id) EXPECT_EQ(contents[id], id + 1);
+}
+
+TEST(CpqHashTableTest, CapacityForSizing) {
+  const uint32_t cap = CpqHashTableView::CapacityFor(10, 4, 1u << 20, 4);
+  EXPECT_GE(cap, 4u * 10 * 5);
+  EXPECT_TRUE((cap & (cap - 1)) == 0);  // power of two
+  // Tiny datasets cap the table near 2n.
+  const uint32_t small = CpqHashTableView::CapacityFor(100, 64, 16, 4);
+  EXPECT_LE(small, 256u);
+}
+
+TEST(CpqHashTableTest, ProbeDistanceWraps) {
+  TableFixture t(8);
+  const ObjectId id = 3;
+  const uint32_t home = CpqHashTableView::Hash(id) & 7u;
+  EXPECT_EQ(t.view.ProbeDistance(id, home), 0u);
+  EXPECT_EQ(t.view.ProbeDistance(id, (home + 3) & 7u), 3u);
+  EXPECT_EQ(t.view.ProbeDistance(id, (home + 7) & 7u), 7u);
+}
+
+TEST(CpqHashTableTest, StatsCountProbesAndUpserts) {
+  TableFixture t(64);
+  HashTableStats stats;
+  for (ObjectId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(t.view.Upsert(id, 1, 0, true, &stats));
+  }
+  EXPECT_EQ(stats.upserts, 10u);
+  EXPECT_GE(stats.probes, 10u);
+}
+
+TEST(CpqHashTableTest, ConcurrentUpsertsKeepMaxCounts) {
+  TableFixture t(1024);
+  const int threads = 8;
+  const uint32_t keys = 64;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(w + 1);
+      for (int i = 0; i < 5000; ++i) {
+        const ObjectId id = static_cast<ObjectId>(rng.UniformU64(keys));
+        const uint32_t count = 1 + static_cast<uint32_t>(rng.UniformU64(50));
+        ASSERT_TRUE(t.view.Upsert(id, count, 0));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Every key's combined count must be the max ever upserted for it; we
+  // can't know the max per key here, but every resident count must be one
+  // that was inserted (<= 50) and every key in [0, keys).
+  auto contents = t.Contents();
+  EXPECT_LE(contents.size(), keys);
+  for (const auto& [id, count] : contents) {
+    EXPECT_LT(id, keys);
+    EXPECT_GE(count, 1u);
+    EXPECT_LE(count, 50u);
+  }
+}
+
+TEST(CpqHashTableTest, ConcurrentMonotoneCountsConverge) {
+  // Counts that only grow (the c-PQ pattern): the final combined value for
+  // each key must equal the global maximum inserted.
+  TableFixture t(512);
+  const uint32_t keys = 32;
+  const int threads = 8;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&] {
+      for (uint32_t c = 1; c <= 40; ++c) {
+        for (ObjectId id = 0; id < keys; ++id) {
+          ASSERT_TRUE(t.view.Upsert(id, c, 0));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  auto contents = t.Contents();
+  ASSERT_EQ(contents.size(), keys);
+  for (const auto& [id, count] : contents) {
+    EXPECT_EQ(count, 40u) << "key " << id;
+  }
+}
+
+}  // namespace
+}  // namespace genie

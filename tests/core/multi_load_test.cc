@@ -1,0 +1,170 @@
+#include "core/multi_load_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "test_util.h"
+
+namespace genie {
+namespace {
+
+sim::Device* TestDevice() {
+  static sim::Device* device = [] {
+    sim::Device::Options options;
+    options.num_workers = 4;
+    return new sim::Device(options);
+  }();
+  return device;
+}
+
+/// Splits a workload's objects into `parts` contiguous shards and builds a
+/// local-id index per shard.
+std::vector<InvertedIndex> Shard(const InvertedIndex& full, uint32_t parts,
+                                 std::vector<ObjectId>* offsets) {
+  const uint32_t n = full.num_objects();
+  const uint32_t per = (n + parts - 1) / parts;
+  std::vector<InvertedIndexBuilder> builders;
+  for (uint32_t p = 0; p < parts; ++p) builders.emplace_back(full.vocab_size());
+  for (Keyword kw = 0; kw < full.vocab_size(); ++kw) {
+    auto [first, count] = full.KeywordLists(kw);
+    for (uint32_t l = 0; l < count; ++l) {
+      const auto ref = full.List(first + l);
+      for (uint32_t pos = ref.begin; pos < ref.end; ++pos) {
+        const ObjectId oid = full.postings()[pos];
+        builders[oid / per].Add(oid % per, kw);
+      }
+    }
+  }
+  std::vector<InvertedIndex> shards;
+  offsets->clear();
+  for (uint32_t p = 0; p < parts; ++p) {
+    shards.push_back(std::move(builders[p]).Build().ValueOrDie());
+    offsets->push_back(p * per);
+  }
+  return shards;
+}
+
+TEST(MultiLoadEngineTest, CreateRejectsBadParts) {
+  MatchEngineOptions options;
+  options.device = TestDevice();
+  EXPECT_FALSE(MultiLoadEngine::Create({}, options).ok());
+  EXPECT_FALSE(
+      MultiLoadEngine::Create({IndexPart{nullptr, 0}}, options).ok());
+}
+
+TEST(MultiLoadEngineTest, MergedResultEqualsSingleEngine) {
+  auto workload = test::MakeRandomWorkload(900, 80, 8, 12, 6, 31);
+  std::vector<ObjectId> offsets;
+  auto shards = Shard(workload.index, 3, &offsets);
+
+  MatchEngineOptions options;
+  options.k = 15;
+  options.device = TestDevice();
+  // The derived count bound differs per shard batch; pin it globally so
+  // thresholds match across parts.
+  options.max_count = MatchEngine::DeriveMaxCount(workload.queries);
+
+  std::vector<IndexPart> parts;
+  for (size_t p = 0; p < shards.size(); ++p) {
+    parts.push_back(IndexPart{&shards[p], offsets[p]});
+  }
+  auto multi = MultiLoadEngine::Create(parts, options);
+  ASSERT_TRUE(multi.ok());
+  auto merged = (*multi)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(merged.ok());
+
+  auto single = MatchEngine::Create(&workload.index, options);
+  ASSERT_TRUE(single.ok());
+  auto reference = (*single)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(reference.ok());
+
+  ASSERT_EQ(merged->size(), reference->size());
+  for (size_t q = 0; q < merged->size(); ++q) {
+    EXPECT_EQ(test::EntryCountMultiset((*merged)[q]),
+              test::EntryCountMultiset((*reference)[q]))
+        << "query " << q;
+  }
+}
+
+TEST(MultiLoadEngineTest, GlobalIdsMappedThroughOffsets) {
+  auto workload = test::MakeRandomWorkload(400, 40, 6, 6, 5, 32);
+  std::vector<ObjectId> offsets;
+  auto shards = Shard(workload.index, 4, &offsets);
+  MatchEngineOptions options;
+  options.k = 10;
+  options.device = TestDevice();
+  options.max_count = MatchEngine::DeriveMaxCount(workload.queries);
+  std::vector<IndexPart> parts;
+  for (size_t p = 0; p < shards.size(); ++p) {
+    parts.push_back(IndexPart{&shards[p], offsets[p]});
+  }
+  auto multi = MultiLoadEngine::Create(parts, options);
+  ASSERT_TRUE(multi.ok());
+  auto results = (*multi)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(results.ok());
+  for (size_t q = 0; q < results->size(); ++q) {
+    const auto counts =
+        test::BruteForceCounts(workload.index, workload.queries[q]);
+    for (const TopKEntry& e : (*results)[q].entries) {
+      ASSERT_LT(e.id, workload.index.num_objects());
+      EXPECT_EQ(e.count, counts[e.id]) << "query " << q;
+    }
+  }
+}
+
+TEST(MultiLoadEngineTest, WorksWhenDeviceFitsOnlyOnePart) {
+  // A device too small for the whole index but large enough per part: the
+  // single-engine path must fail, multiple loading must succeed.
+  auto workload = test::MakeRandomWorkload(4000, 30, 8, 4, 4, 33);
+  sim::Device::Options small;
+  small.num_workers = 4;
+  small.memory_capacity_bytes = 120 << 10;  // 120 KiB
+  sim::Device device(small);
+
+  MatchEngineOptions options;
+  options.k = 5;
+  options.device = &device;
+  options.max_count = MatchEngine::DeriveMaxCount(workload.queries);
+  ASSERT_FALSE(MatchEngine::Create(&workload.index, options).ok());
+
+  std::vector<ObjectId> offsets;
+  auto shards = Shard(workload.index, 8, &offsets);
+  std::vector<IndexPart> parts;
+  for (size_t p = 0; p < shards.size(); ++p) {
+    parts.push_back(IndexPart{&shards[p], offsets[p]});
+  }
+  auto multi = MultiLoadEngine::Create(parts, options);
+  ASSERT_TRUE(multi.ok());
+  auto results = (*multi)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  for (size_t q = 0; q < results->size(); ++q) {
+    const auto counts =
+        test::BruteForceCounts(workload.index, workload.queries[q]);
+    EXPECT_EQ(test::EntryCountMultiset((*results)[q]),
+              test::TopKCountMultiset(counts, 5));
+  }
+  EXPECT_EQ(device.allocated_bytes(), 0u);  // everything swapped back out
+}
+
+TEST(MultiLoadEngineTest, ProfileAccumulatesAcrossParts) {
+  auto workload = test::MakeRandomWorkload(600, 50, 6, 4, 4, 34);
+  std::vector<ObjectId> offsets;
+  auto shards = Shard(workload.index, 3, &offsets);
+  MatchEngineOptions options;
+  options.k = 5;
+  options.device = TestDevice();
+  std::vector<IndexPart> parts;
+  for (size_t p = 0; p < shards.size(); ++p) {
+    parts.push_back(IndexPart{&shards[p], offsets[p]});
+  }
+  auto multi = MultiLoadEngine::Create(parts, options);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE((*multi)->ExecuteBatch(workload.queries).ok());
+  const MultiLoadProfile& p = (*multi)->profile();
+  EXPECT_GT(p.index_transfer_s, 0.0);
+  EXPECT_GT(p.per_part.index_bytes, 0u);
+  EXPECT_GE(p.merge_s, 0.0);
+}
+
+}  // namespace
+}  // namespace genie

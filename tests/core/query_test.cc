@@ -1,0 +1,48 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+TEST(QueryTest, EmptyQuery) {
+  Query q;
+  EXPECT_EQ(q.num_items(), 0u);
+  EXPECT_EQ(q.total_keywords(), 0u);
+}
+
+TEST(QueryTest, SingleKeywordItems) {
+  Query q;
+  q.AddItem(Keyword{5});
+  q.AddItem(Keyword{9});
+  ASSERT_EQ(q.num_items(), 2u);
+  ASSERT_EQ(q.item(0).size(), 1u);
+  EXPECT_EQ(q.item(0)[0], 5u);
+  EXPECT_EQ(q.item(1)[0], 9u);
+}
+
+TEST(QueryTest, MultiKeywordItem) {
+  // A range item expands to several keywords (Fig. 1: (A, [1,2])).
+  Query q;
+  q.AddItem({1u, 2u});
+  q.AddItem({7u});
+  ASSERT_EQ(q.num_items(), 2u);
+  EXPECT_EQ(q.item(0).size(), 2u);
+  EXPECT_EQ(q.item(0)[1], 2u);
+  EXPECT_EQ(q.total_keywords(), 3u);
+}
+
+TEST(QueryTest, EmptyItemAllowed) {
+  Query q;
+  q.AddItem(std::span<const Keyword>{});
+  EXPECT_EQ(q.num_items(), 1u);
+  EXPECT_EQ(q.item(0).size(), 0u);
+}
+
+TEST(TopKEntryTest, Equality) {
+  EXPECT_EQ((TopKEntry{1, 2}), (TopKEntry{1, 2}));
+  EXPECT_FALSE((TopKEntry{1, 2}) == (TopKEntry{1, 3}));
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,141 @@
+/// Multi-keyword items (range predicates, Fig. 1): an item that expands to
+/// several keywords of the same attribute. These exercise task building and
+/// count bounds differently from the single-keyword LSH/SA sweeps.
+
+#include <gtest/gtest.h>
+
+#include "core/match_engine.h"
+#include "index/index_builder.h"
+#include "index/vocabulary.h"
+#include "test_util.h"
+
+namespace genie {
+namespace {
+
+sim::Device* TestDevice() {
+  static sim::Device* device = [] {
+    sim::Device::Options options;
+    options.num_workers = 8;
+    return new sim::Device(options);
+  }();
+  return device;
+}
+
+struct RangeWorkload {
+  InvertedIndex index;
+  std::vector<Query> queries;
+};
+
+/// Relational-style workload: `cols` attributes with `buckets` values each;
+/// queries are random ranges per attribute.
+RangeWorkload MakeRangeWorkload(uint32_t rows, uint32_t cols,
+                                uint32_t buckets, uint32_t num_queries,
+                                uint64_t seed) {
+  Rng rng(seed);
+  DimValueEncoder enc(cols, buckets);
+  InvertedIndexBuilder builder(enc.vocab_size());
+  for (ObjectId r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      builder.Add(r, enc.EncodeUnchecked(
+                         c, static_cast<uint32_t>(rng.UniformU64(buckets))));
+    }
+  }
+  RangeWorkload w;
+  w.index = std::move(builder).Build().ValueOrDie();
+  w.queries.resize(num_queries);
+  for (auto& q : w.queries) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      const uint32_t lo = static_cast<uint32_t>(rng.UniformU64(buckets));
+      const uint32_t hi = std::min<uint32_t>(
+          buckets - 1, lo + static_cast<uint32_t>(rng.UniformU64(8)));
+      std::vector<Keyword> kws;
+      for (uint32_t v = lo; v <= hi; ++v) {
+        kws.push_back(enc.EncodeUnchecked(c, v));
+      }
+      q.AddItem(kws);
+    }
+  }
+  return w;
+}
+
+struct RangeSweep {
+  uint32_t rows, cols, buckets, queries, k;
+  uint64_t seed;
+};
+
+class RangeItemsTest : public ::testing::TestWithParam<RangeSweep> {};
+
+TEST_P(RangeItemsTest, MatchesBruteForceWithRangeItems) {
+  const auto p = GetParam();
+  auto w = MakeRangeWorkload(p.rows, p.cols, p.buckets, p.queries, p.seed);
+  MatchEngineOptions options;
+  options.k = p.k;
+  options.device = TestDevice();
+  auto engine = MatchEngine::Create(&w.index, options);
+  ASSERT_TRUE(engine.ok());
+  auto results = (*engine)->ExecuteBatch(w.queries);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  for (size_t q = 0; q < w.queries.size(); ++q) {
+    const auto counts = test::BruteForceCounts(w.index, w.queries[q]);
+    EXPECT_EQ(test::EntryCountMultiset((*results)[q]),
+              test::TopKCountMultiset(counts, p.k))
+        << "query " << q;
+    for (const TopKEntry& e : (*results)[q].entries) {
+      EXPECT_EQ(e.count, counts[e.id]);
+      EXPECT_LE(e.count, p.cols);  // one value per attribute: count <= cols
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RangeItemsTest,
+                         ::testing::Values(RangeSweep{400, 3, 16, 8, 5, 91},
+                                           RangeSweep{1000, 8, 32, 12, 10, 92},
+                                           RangeSweep{200, 14, 64, 6, 3, 93},
+                                           RangeSweep{800, 5, 8, 10, 50, 94}));
+
+TEST(RangeItemsTest, OverlappingItemsCountPerItem) {
+  // Two items covering the same keyword: an object matching it counts
+  // twice (Definition 2.1 sums per-item contributions).
+  InvertedIndexBuilder builder(4);
+  builder.Add(0, 2);
+  builder.Add(1, 3);
+  auto index = std::move(builder).Build().ValueOrDie();
+  Query q;
+  q.AddItem({1u, 2u});
+  q.AddItem({2u, 3u});  // keyword 2 appears in both items
+  MatchEngineOptions options;
+  options.k = 2;
+  options.max_count = 2;
+  options.device = TestDevice();
+  auto engine = MatchEngine::Create(&index, options);
+  ASSERT_TRUE(engine.ok());
+  std::vector<Query> queries{q};
+  auto results = (*engine)->ExecuteBatch(queries);
+  ASSERT_TRUE(results.ok());
+  const auto& entries = (*results)[0].entries;
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0], (TopKEntry{0, 2}));  // object 0 matched twice
+  EXPECT_EQ(entries[1], (TopKEntry{1, 1}));
+}
+
+TEST(RangeItemsTest, WholeDomainRangeMatchesEverything) {
+  auto w = MakeRangeWorkload(300, 4, 8, 1, 95);
+  DimValueEncoder enc(4, 8);
+  Query q;
+  std::vector<Keyword> all;
+  for (uint32_t v = 0; v < 8; ++v) all.push_back(enc.EncodeUnchecked(0, v));
+  q.AddItem(all);  // column 0 unconstrained: every row matches once
+  MatchEngineOptions options;
+  options.k = 300;
+  options.device = TestDevice();
+  auto engine = MatchEngine::Create(&w.index, options);
+  ASSERT_TRUE(engine.ok());
+  std::vector<Query> queries{q};
+  auto results = (*engine)->ExecuteBatch(queries);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ((*results)[0].entries.size(), 300u);
+  for (const TopKEntry& e : (*results)[0].entries) EXPECT_EQ(e.count, 1u);
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,260 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/documents.h"
+#include "data/points.h"
+#include "data/relational_data.h"
+#include "data/sequences.h"
+#include "sa/edit_distance.h"
+
+namespace genie {
+namespace data {
+namespace {
+
+TEST(PointsTest, Distances) {
+  std::vector<float> a{0, 0, 0};
+  std::vector<float> b{1, 2, 2};
+  EXPECT_DOUBLE_EQ(L2Distance(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(L2Distance(a, a), 0.0);
+}
+
+TEST(PointsTest, ClusteredPointsShape) {
+  ClusteredPointsOptions options;
+  options.num_points = 500;
+  options.dim = 12;
+  options.num_clusters = 7;
+  auto dataset = MakeClusteredPoints(options);
+  EXPECT_EQ(dataset.points.num_points(), 500u);
+  EXPECT_EQ(dataset.points.dim(), 12u);
+  EXPECT_EQ(dataset.labels.size(), 500u);
+  EXPECT_EQ(dataset.centers.num_points(), 7u);
+  for (uint32_t label : dataset.labels) EXPECT_LT(label, 7u);
+}
+
+TEST(PointsTest, ClustersAreCompact) {
+  // A point must usually be closer to its own center than to others.
+  ClusteredPointsOptions options;
+  options.num_points = 300;
+  options.dim = 8;
+  options.num_clusters = 5;
+  options.cluster_stddev = 0.3;
+  options.center_range = 20.0;
+  options.seed = 2;
+  auto dataset = MakeClusteredPoints(options);
+  uint32_t correct = 0;
+  for (uint32_t i = 0; i < 300; ++i) {
+    double best = 1e300;
+    uint32_t best_c = 0;
+    for (uint32_t c = 0; c < 5; ++c) {
+      const double d = L2Distance(dataset.points.row(i),
+                                  dataset.centers.row(c));
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    correct += best_c == dataset.labels[i];
+  }
+  EXPECT_GT(correct, 290u);
+}
+
+TEST(PointsTest, Deterministic) {
+  ClusteredPointsOptions options;
+  options.num_points = 50;
+  options.dim = 4;
+  auto a = MakeClusteredPoints(options);
+  auto b = MakeClusteredPoints(options);
+  for (uint32_t i = 0; i < 50; ++i) {
+    const auto ra = a.points.row(i);
+    const auto rb = b.points.row(i);
+    EXPECT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin()));
+  }
+}
+
+TEST(PointsTest, BruteForceKnnSorted) {
+  ClusteredPointsOptions options;
+  options.num_points = 100;
+  options.dim = 6;
+  options.seed = 3;
+  auto dataset = MakeClusteredPoints(options);
+  const auto knn = BruteForceKnn(dataset.points, dataset.points.row(0), 5, 2);
+  ASSERT_EQ(knn.size(), 5u);
+  EXPECT_EQ(knn[0], 0u);  // self is nearest
+  for (size_t i = 1; i < knn.size(); ++i) {
+    EXPECT_LE(L2Distance(dataset.points.row(knn[i - 1]),
+                         dataset.points.row(0)),
+              L2Distance(dataset.points.row(knn[i]), dataset.points.row(0)));
+  }
+}
+
+TEST(PointsTest, QueriesNearDataAreClose) {
+  ClusteredPointsOptions options;
+  options.num_points = 100;
+  options.dim = 8;
+  options.seed = 4;
+  auto dataset = MakeClusteredPoints(options);
+  auto queries = MakeQueriesNear(dataset.points, 20, 0.1, 5);
+  EXPECT_EQ(queries.num_points(), 20u);
+  for (uint32_t q = 0; q < 20; ++q) {
+    const auto nn = BruteForceKnn(dataset.points, queries.row(q), 1, 2);
+    EXPECT_LT(L2Distance(dataset.points.row(nn[0]), queries.row(q)), 1.0);
+  }
+}
+
+TEST(SequencesTest, ShapeAndAlphabet) {
+  SequenceDatasetOptions options;
+  options.num_sequences = 200;
+  options.min_length = 10;
+  options.max_length = 20;
+  options.alphabet = 4;
+  auto seqs = MakeSequences(options);
+  EXPECT_EQ(seqs.size(), 200u);
+  for (const auto& s : seqs) {
+    EXPECT_GE(s.size(), 10u);
+    EXPECT_LE(s.size(), 20u);
+    for (char c : s) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LT(c, 'a' + 4);
+    }
+  }
+}
+
+TEST(SequencesTest, MutationRateControlsDistance) {
+  SequenceDatasetOptions options;
+  options.num_sequences = 30;
+  options.min_length = 40;
+  options.max_length = 40;
+  options.seed = 6;
+  auto seqs = MakeSequences(options);
+  Rng rng(7);
+  double d_low = 0, d_high = 0;
+  for (const auto& s : seqs) {
+    d_low += sa::EditDistance(s, MutateSequence(s, 0.1, 26, &rng));
+    d_high += sa::EditDistance(s, MutateSequence(s, 0.4, 26, &rng));
+  }
+  EXPECT_LT(d_low / 30, d_high / 30);
+  EXPECT_LE(d_low / 30, 4.0 + 1.0);       // ~rate * len edits
+  EXPECT_LE(d_high / 30, 16.0 + 2.0);
+  EXPECT_GT(d_high / 30, 6.0);
+}
+
+TEST(SequencesTest, ZeroMutationIsIdentity) {
+  Rng rng(8);
+  EXPECT_EQ(MutateSequence("abcdef", 0.0, 26, &rng), "abcdef");
+}
+
+TEST(DocumentsTest, ShapeAndVocabulary) {
+  DocumentDatasetOptions options;
+  options.num_documents = 300;
+  options.vocabulary = 100;
+  options.min_tokens = 3;
+  options.max_tokens = 9;
+  auto docs = MakeDocuments(options);
+  EXPECT_EQ(docs.size(), 300u);
+  for (const auto& d : docs) {
+    EXPECT_GE(d.size(), 3u);
+    EXPECT_LE(d.size(), 9u);
+    for (uint32_t t : d) EXPECT_LT(t, 100u);
+  }
+}
+
+TEST(DocumentsTest, ZipfSkewVisible) {
+  DocumentDatasetOptions options;
+  options.num_documents = 2000;
+  options.vocabulary = 1000;
+  options.zipf_exponent = 1.2;
+  options.seed = 9;
+  auto docs = MakeDocuments(options);
+  std::vector<uint32_t> freq(1000, 0);
+  for (const auto& d : docs) {
+    for (uint32_t t : d) ++freq[t];
+  }
+  // Rank-0 token much more frequent than mid-rank tokens.
+  EXPECT_GT(freq[0], freq[500] * 5 + 1);
+}
+
+TEST(DocumentsTest, QueriesDeriveFromCorpus) {
+  DocumentDatasetOptions options;
+  options.num_documents = 100;
+  options.vocabulary = 50;
+  options.seed = 10;
+  auto docs = MakeDocuments(options);
+  auto queries = MakeDocumentQueries(docs, 10, 0.0, 50, 1.05, 11);
+  ASSERT_EQ(queries.size(), 10u);
+  // With replace_rate 0 every query is an exact corpus document.
+  for (const auto& q : queries) {
+    EXPECT_TRUE(std::find(docs.begin(), docs.end(), q) != docs.end());
+  }
+}
+
+TEST(RelationalDataTest, ShapeAndDomains) {
+  RelationalDatasetOptions options;
+  options.num_rows = 400;
+  options.numeric_columns = 3;
+  options.numeric_buckets = 256;
+  options.categorical_columns = 2;
+  options.categorical_cardinality = 6;
+  auto table = MakeRelationalTable(options);
+  EXPECT_EQ(table.num_rows(), 400u);
+  EXPECT_EQ(table.num_columns(), 5u);
+  EXPECT_EQ(table.cardinality(0), 256u);
+  EXPECT_EQ(table.cardinality(3), 6u);
+}
+
+TEST(RelationalDataTest, CategoricalSkewProducesLongLists) {
+  RelationalDatasetOptions options;
+  options.num_rows = 2000;
+  options.numeric_columns = 0;
+  options.categorical_columns = 1;
+  options.categorical_cardinality = 8;
+  options.categorical_skew = 1.5;
+  options.seed = 12;
+  auto table = MakeRelationalTable(options);
+  std::vector<uint32_t> freq(8, 0);
+  for (uint32_t r = 0; r < 2000; ++r) ++freq[table.value(r, 0)];
+  const uint32_t max_freq = *std::max_element(freq.begin(), freq.end());
+  EXPECT_GT(max_freq, 2000u / 3);  // dominant category = long postings list
+}
+
+TEST(RelationalDataTest, ExactMatchQueriesReferenceRealRows) {
+  RelationalDatasetOptions options;
+  options.num_rows = 100;
+  options.numeric_columns = 2;
+  options.categorical_columns = 2;
+  options.seed = 13;
+  auto table = MakeRelationalTable(options);
+  auto queries = MakeExactMatchQueries(table, 5, 14);
+  ASSERT_EQ(queries.size(), 5u);
+  for (const auto& q : queries) {
+    ASSERT_EQ(q.items.size(), 4u);
+    for (const auto& item : q.items) {
+      EXPECT_EQ(item.lo, item.hi);
+      EXPECT_LT(item.lo, table.cardinality(item.column));
+    }
+  }
+}
+
+TEST(RelationalDataTest, RangeQueriesClampToDomain) {
+  RelationalDatasetOptions options;
+  options.num_rows = 100;
+  options.numeric_columns = 2;
+  options.numeric_buckets = 64;
+  options.categorical_columns = 0;
+  options.seed = 15;
+  auto table = MakeRelationalTable(options);
+  auto queries = MakeRangeQueries(table, 20, 2, 50, 16);
+  for (const auto& q : queries) {
+    for (const auto& item : q.items) {
+      EXPECT_LE(item.lo, item.hi);
+      EXPECT_LT(item.hi, 64u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace genie

@@ -1,0 +1,166 @@
+#include "index/index_builder.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/inverted_index.h"
+
+namespace genie {
+namespace {
+
+TEST(IndexBuilderTest, BuildsSimplePostings) {
+  InvertedIndexBuilder builder(4);
+  builder.Add(0, 1);
+  builder.Add(1, 1);
+  builder.Add(2, 3);
+  auto index = std::move(builder).Build();
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_objects(), 3u);
+  EXPECT_EQ(index->vocab_size(), 4u);
+  EXPECT_EQ(index->KeywordFrequency(0), 0u);
+  EXPECT_EQ(index->KeywordFrequency(1), 2u);
+  EXPECT_EQ(index->KeywordFrequency(3), 1u);
+
+  auto [first, count] = index->KeywordLists(1);
+  ASSERT_EQ(count, 1u);
+  const auto ref = index->List(first);
+  EXPECT_EQ(ref.length(), 2u);
+  EXPECT_EQ(index->postings()[ref.begin], 0u);
+  EXPECT_EQ(index->postings()[ref.begin + 1], 1u);
+}
+
+TEST(IndexBuilderTest, EmptyBuilderProducesEmptyIndex) {
+  InvertedIndexBuilder builder(5);
+  auto index = std::move(builder).Build();
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_objects(), 0u);
+  EXPECT_EQ(index->num_lists(), 0u);
+  EXPECT_EQ(index->postings().size(), 0u);
+  EXPECT_EQ(index->KeywordLists(2).second, 0u);
+}
+
+TEST(IndexBuilderTest, UnknownKeywordLookupIsEmpty) {
+  InvertedIndexBuilder builder(2);
+  builder.Add(0, 0);
+  auto index = std::move(builder).Build();
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->KeywordLists(99).second, 0u);
+  EXPECT_EQ(index->KeywordFrequency(99), 0u);
+}
+
+TEST(IndexBuilderTest, PreservesInsertionOrderWithinList) {
+  InvertedIndexBuilder builder(1);
+  for (ObjectId o = 0; o < 100; ++o) builder.Add(o, 0);
+  auto index = std::move(builder).Build();
+  ASSERT_TRUE(index.ok());
+  const auto ref = index->List(0);
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(index->postings()[ref.begin + i], i);
+  }
+}
+
+TEST(IndexBuilderTest, AddObjectSpan) {
+  InvertedIndexBuilder builder(10);
+  std::vector<Keyword> kws{1, 5, 7};
+  builder.AddObject(3, kws);
+  EXPECT_EQ(builder.num_postings(), 3u);
+  auto index = std::move(builder).Build();
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_objects(), 4u);  // ids 0..3
+  EXPECT_EQ(index->KeywordFrequency(5), 1u);
+}
+
+TEST(IndexBuilderLoadBalanceTest, SplitsLongLists) {
+  // Fig. 4: a long postings list becomes several bounded sublists under a
+  // one-to-many position map.
+  InvertedIndexBuilder builder(2);
+  for (ObjectId o = 0; o < 10; ++o) builder.Add(o, 0);
+  builder.Add(0, 1);
+  IndexBuildOptions options;
+  options.max_list_length = 4;
+  auto index = std::move(builder).Build(options);
+  ASSERT_TRUE(index.ok());
+
+  auto [first, count] = index->KeywordLists(0);
+  EXPECT_EQ(count, 3u);  // 4 + 4 + 2
+  EXPECT_EQ(index->List(first).length(), 4u);
+  EXPECT_EQ(index->List(first + 1).length(), 4u);
+  EXPECT_EQ(index->List(first + 2).length(), 2u);
+  EXPECT_EQ(index->KeywordFrequency(0), 10u);
+  EXPECT_EQ(index->max_list_length(), 4u);
+
+  // Sublists cover the same postings, in order.
+  std::vector<ObjectId> seen;
+  for (uint32_t l = 0; l < count; ++l) {
+    const auto ref = index->List(first + l);
+    for (uint32_t pos = ref.begin; pos < ref.end; ++pos) {
+      seen.push_back(index->postings()[pos]);
+    }
+  }
+  for (uint32_t i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(IndexBuilderLoadBalanceTest, ExactMultipleSplitsEvenly) {
+  InvertedIndexBuilder builder(1);
+  for (ObjectId o = 0; o < 8; ++o) builder.Add(o, 0);
+  IndexBuildOptions options;
+  options.max_list_length = 4;
+  auto index = std::move(builder).Build(options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->KeywordLists(0).second, 2u);
+}
+
+TEST(IndexBuilderLoadBalanceTest, ShortListsUntouched) {
+  InvertedIndexBuilder builder(3);
+  builder.Add(0, 0);
+  builder.Add(1, 0);
+  builder.Add(0, 2);
+  IndexBuildOptions options;
+  options.max_list_length = 4096;
+  auto index = std::move(builder).Build(options);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->KeywordLists(0).second, 1u);
+  EXPECT_EQ(index->KeywordLists(1).second, 0u);
+  EXPECT_EQ(index->KeywordLists(2).second, 1u);
+}
+
+TEST(IndexBuilderTest, RandomizedFrequencyConsistency) {
+  Rng rng(99);
+  const uint32_t vocab = 50;
+  const uint32_t objects = 500;
+  std::vector<uint32_t> expected(vocab, 0);
+  InvertedIndexBuilder builder(vocab);
+  for (ObjectId o = 0; o < objects; ++o) {
+    const uint32_t kws = 1 + rng.UniformU64(8);
+    for (uint32_t j = 0; j < kws; ++j) {
+      const Keyword kw = static_cast<Keyword>(rng.UniformU64(vocab));
+      builder.Add(o, kw);
+      ++expected[kw];
+    }
+  }
+  IndexBuildOptions options;
+  options.max_list_length = 16;
+  auto index = std::move(builder).Build(options);
+  ASSERT_TRUE(index.ok());
+  uint64_t total = 0;
+  for (Keyword kw = 0; kw < vocab; ++kw) {
+    EXPECT_EQ(index->KeywordFrequency(kw), expected[kw]) << "kw=" << kw;
+    total += expected[kw];
+    // Every sublist respects the bound.
+    auto [first, count] = index->KeywordLists(kw);
+    for (uint32_t l = 0; l < count; ++l) {
+      EXPECT_LE(index->List(first + l).length(), 16u);
+    }
+  }
+  EXPECT_EQ(index->postings().size(), total);
+}
+
+TEST(IndexBuilderDeathTest, KeywordOutsideVocabularyAborts) {
+  InvertedIndexBuilder builder(4);
+  EXPECT_DEATH(builder.Add(0, 4), "keyword outside vocabulary");
+}
+
+}  // namespace
+}  // namespace genie

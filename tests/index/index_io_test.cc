@@ -1,0 +1,155 @@
+#include "index/index_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace genie {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(IndexIoTest, RoundTripPreservesEverything) {
+  auto workload = test::MakeRandomWorkload(500, 80, 8, 4, 6, 71);
+  const std::string path = TempPath("genie_index_roundtrip.idx");
+  ASSERT_TRUE(SaveIndex(workload.index, path).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->num_objects(), workload.index.num_objects());
+  EXPECT_EQ(loaded->vocab_size(), workload.index.vocab_size());
+  EXPECT_EQ(loaded->num_lists(), workload.index.num_lists());
+  EXPECT_EQ(loaded->max_list_length(), workload.index.max_list_length());
+  for (Keyword kw = 0; kw < workload.index.vocab_size(); ++kw) {
+    EXPECT_EQ(loaded->KeywordFrequency(kw),
+              workload.index.KeywordFrequency(kw));
+  }
+  // The loaded index answers queries identically.
+  for (const Query& q : workload.queries) {
+    EXPECT_EQ(test::BruteForceCounts(*loaded, q),
+              test::BruteForceCounts(workload.index, q));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, RoundTripLoadBalancedIndex) {
+  InvertedIndexBuilder builder(3);
+  for (ObjectId o = 0; o < 100; ++o) builder.Add(o, o % 2);
+  IndexBuildOptions options;
+  options.max_list_length = 8;
+  auto index = std::move(builder).Build(options).ValueOrDie();
+  const std::string path = TempPath("genie_index_lb.idx");
+  ASSERT_TRUE(SaveIndex(index, path).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->KeywordLists(0).second, index.KeywordLists(0).second);
+  EXPECT_EQ(loaded->max_list_length(), 8u);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, CompressedRoundTrip) {
+  auto workload = test::MakeRandomWorkload(800, 60, 10, 4, 6, 74);
+  const std::string raw_path = TempPath("genie_index_raw.idx");
+  const std::string packed_path = TempPath("genie_index_packed.idx");
+  ASSERT_TRUE(SaveIndex(workload.index, raw_path).ok());
+  ASSERT_TRUE(SaveIndexCompressed(workload.index, packed_path).ok());
+  // Compression must actually shrink dense ascending postings.
+  EXPECT_LT(std::filesystem::file_size(packed_path),
+            std::filesystem::file_size(raw_path));
+  auto loaded = LoadIndex(packed_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_objects(), workload.index.num_objects());
+  for (const Query& q : workload.queries) {
+    EXPECT_EQ(test::BruteForceCounts(*loaded, q),
+              test::BruteForceCounts(workload.index, q));
+  }
+  std::remove(raw_path.c_str());
+  std::remove(packed_path.c_str());
+}
+
+TEST(IndexIoTest, CompressedRejectsDescendingPostings) {
+  // Objects added out of id order produce a descending list.
+  InvertedIndexBuilder builder(1);
+  builder.Add(9, 0);
+  builder.Add(3, 0);
+  auto index = std::move(builder).Build().ValueOrDie();
+  const std::string path = TempPath("genie_desc.idx");
+  EXPECT_EQ(SaveIndexCompressed(index, path).code(),
+            StatusCode::kInvalidArgument);
+  // The raw format handles it fine.
+  ASSERT_TRUE(SaveIndex(index, path).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->KeywordFrequency(0), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, CompressedLoadBalancedRoundTrip) {
+  InvertedIndexBuilder builder(2);
+  for (ObjectId o = 0; o < 300; ++o) builder.Add(o, o % 2);
+  IndexBuildOptions options;
+  options.max_list_length = 32;
+  auto index = std::move(builder).Build(options).ValueOrDie();
+  const std::string path = TempPath("genie_lb_packed.idx");
+  ASSERT_TRUE(SaveIndexCompressed(index, path).ok());
+  auto loaded = LoadIndex(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->KeywordLists(0).second, index.KeywordLists(0).second);
+  EXPECT_EQ(loaded->KeywordFrequency(1), index.KeywordFrequency(1));
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, MissingFileIsNotFound) {
+  auto loaded = LoadIndex(TempPath("genie_does_not_exist.idx"));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IndexIoTest, GarbageFileRejected) {
+  const std::string path = TempPath("genie_garbage.idx");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not an index";
+  }
+  auto loaded = LoadIndex(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, TruncatedFileRejected) {
+  auto workload = test::MakeRandomWorkload(100, 20, 4, 1, 2, 72);
+  const std::string path = TempPath("genie_trunc.idx");
+  ASSERT_TRUE(SaveIndex(workload.index, path).ok());
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  auto loaded = LoadIndex(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, BitFlipDetectedByChecksum) {
+  auto workload = test::MakeRandomWorkload(100, 20, 4, 1, 2, 73);
+  const std::string path = TempPath("genie_bitflip.idx");
+  ASSERT_TRUE(SaveIndex(workload.index, path).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(64);  // somewhere inside the postings array
+    char byte;
+    f.seekg(64);
+    f.read(&byte, 1);
+    byte ^= 0x40;
+    f.seekp(64);
+    f.write(&byte, 1);
+  }
+  auto loaded = LoadIndex(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,123 @@
+#include "index/varint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace genie {
+namespace varint {
+namespace {
+
+TEST(VarintTest, EncodeSizes) {
+  std::vector<uint8_t> out;
+  Encode(0, &out);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  Encode(127, &out);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  Encode(128, &out);
+  EXPECT_EQ(out.size(), 2u);
+  out.clear();
+  Encode(~0u, &out);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(VarintTest, RoundTripBoundaryValues) {
+  for (uint32_t v : {0u, 1u, 127u, 128u, 16383u, 16384u, 2097151u,
+                     2097152u, 268435455u, 268435456u, ~0u}) {
+    std::vector<uint8_t> buf;
+    Encode(v, &buf);
+    size_t pos = 0;
+    auto decoded = Decode(buf, &pos);
+    ASSERT_TRUE(decoded.ok()) << v;
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, RoundTripRandom) {
+  Rng rng(1);
+  std::vector<uint8_t> buf;
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t v = rng.Next32() >> (rng.UniformU64(32));
+    values.push_back(v);
+    Encode(v, &buf);
+  }
+  size_t pos = 0;
+  for (uint32_t expected : values) {
+    auto v = Decode(buf, &pos);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, expected);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, TruncatedInputRejected) {
+  std::vector<uint8_t> buf;
+  Encode(1u << 20, &buf);
+  buf.pop_back();
+  size_t pos = 0;
+  EXPECT_FALSE(Decode(buf, &pos).ok());
+  size_t pos2 = 0;
+  EXPECT_FALSE(Decode(std::span<const uint8_t>(), &pos2).ok());
+}
+
+TEST(VarintTest, OverflowingVarintRejected) {
+  // 5 continuation bytes = > 32 bits of payload.
+  std::vector<uint8_t> buf{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  size_t pos = 0;
+  EXPECT_FALSE(Decode(buf, &pos).ok());
+}
+
+TEST(DeltaCodingTest, RoundTripAscending) {
+  std::vector<uint32_t> values{3, 3, 7, 100, 100, 4000000000u};
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(EncodeDeltaAscending(values, &buf).ok());
+  size_t pos = 0;
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(DecodeDeltaAscending(buf, &pos, values.size(), &decoded).ok());
+  EXPECT_EQ(decoded, values);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(DeltaCodingTest, EmptySequence) {
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(
+      EncodeDeltaAscending(std::span<const uint32_t>(), &buf).ok());
+  EXPECT_TRUE(buf.empty());
+  size_t pos = 0;
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(DecodeDeltaAscending(buf, &pos, 0, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(DeltaCodingTest, DescendingRejected) {
+  std::vector<uint32_t> values{5, 3};
+  std::vector<uint8_t> buf;
+  EXPECT_FALSE(EncodeDeltaAscending(values, &buf).ok());
+}
+
+TEST(DeltaCodingTest, CompressesDensePostings) {
+  // Ascending ids with small gaps: ~1 byte per posting vs 4 raw.
+  Rng rng(2);
+  std::vector<uint32_t> postings;
+  uint32_t v = 0;
+  for (int i = 0; i < 10000; ++i) {
+    v += 1 + static_cast<uint32_t>(rng.UniformU64(30));
+    postings.push_back(v);
+  }
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(EncodeDeltaAscending(postings, &buf).ok());
+  EXPECT_LT(buf.size(), postings.size() * 4 / 3);  // >= 3x compression
+  size_t pos = 0;
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(
+      DecodeDeltaAscending(buf, &pos, postings.size(), &decoded).ok());
+  EXPECT_EQ(decoded, postings);
+}
+
+}  // namespace
+}  // namespace varint
+}  // namespace genie

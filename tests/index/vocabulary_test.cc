@@ -1,0 +1,76 @@
+#include "index/vocabulary.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace {
+
+TEST(DimValueEncoderTest, UniformLayout) {
+  DimValueEncoder enc(3, 4);
+  EXPECT_EQ(enc.num_dims(), 3u);
+  EXPECT_EQ(enc.vocab_size(), 12u);
+  EXPECT_EQ(*enc.Encode(0, 0), 0u);
+  EXPECT_EQ(*enc.Encode(0, 3), 3u);
+  EXPECT_EQ(*enc.Encode(1, 0), 4u);
+  EXPECT_EQ(*enc.Encode(2, 3), 11u);
+}
+
+TEST(DimValueEncoderTest, HeterogeneousLayout) {
+  DimValueEncoder enc(std::vector<uint32_t>{2, 5, 3});
+  EXPECT_EQ(enc.vocab_size(), 10u);
+  EXPECT_EQ(*enc.Encode(1, 4), 6u);
+  EXPECT_EQ(*enc.Encode(2, 0), 7u);
+  EXPECT_EQ(enc.buckets(1), 5u);
+}
+
+TEST(DimValueEncoderTest, OutOfRangeRejected) {
+  DimValueEncoder enc(std::vector<uint32_t>{2, 5});
+  EXPECT_EQ(enc.Encode(2, 0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(enc.Encode(0, 2).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(enc.Encode(1, 5).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DimValueEncoderTest, DecodeRoundTrips) {
+  DimValueEncoder enc(std::vector<uint32_t>{3, 1, 7, 2});
+  for (uint32_t d = 0; d < enc.num_dims(); ++d) {
+    for (uint32_t v = 0; v < enc.buckets(d); ++v) {
+      const Keyword kw = *enc.Encode(d, v);
+      const auto [dd, vv] = enc.Decode(kw);
+      EXPECT_EQ(dd, d);
+      EXPECT_EQ(vv, v);
+    }
+  }
+}
+
+TEST(DimValueEncoderTest, RunningExampleFigure1) {
+  // Fig. 1: attributes A, B, C with small domains; O1 = {(A,1),(B,2),(C,1)}.
+  DimValueEncoder enc(3, 4);
+  const Keyword a1 = *enc.Encode(0, 1);
+  const Keyword b2 = *enc.Encode(1, 2);
+  const Keyword c1 = *enc.Encode(2, 1);
+  EXPECT_NE(a1, b2);
+  EXPECT_NE(b2, c1);
+  EXPECT_EQ(enc.Decode(a1).first, 0u);
+  EXPECT_EQ(enc.Decode(b2).second, 2u);
+  EXPECT_EQ(enc.Decode(c1).first, 2u);
+}
+
+TEST(StringVocabularyTest, GetOrAddAssignsDenseIds) {
+  StringVocabulary vocab;
+  EXPECT_EQ(vocab.GetOrAdd("aab"), 0u);
+  EXPECT_EQ(vocab.GetOrAdd("aba"), 1u);
+  EXPECT_EQ(vocab.GetOrAdd("aab"), 0u);  // stable
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(StringVocabularyTest, FindUnknownReturnsInvalid) {
+  StringVocabulary vocab;
+  vocab.GetOrAdd("x");
+  EXPECT_EQ(vocab.Find("x"), 0u);
+  EXPECT_EQ(vocab.Find("y"), kInvalidKeyword);
+}
+
+}  // namespace
+}  // namespace genie

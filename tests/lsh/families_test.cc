@@ -1,0 +1,230 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/points.h"
+#include "lsh/e2lsh.h"
+#include "lsh/min_hash.h"
+#include "lsh/random_binning.h"
+#include "lsh/sim_hash.h"
+
+namespace genie {
+namespace lsh {
+namespace {
+
+std::vector<float> RandomPoint(Rng* rng, uint32_t dim, double scale) {
+  std::vector<float> p(dim);
+  for (auto& v : p) {
+    v = static_cast<float>(rng->UniformDouble(-scale, scale));
+  }
+  return p;
+}
+
+/// Empirical collision rate of a family over its m functions.
+template <typename Family>
+double EmpiricalCollision(const Family& family, std::span<const float> a,
+                          std::span<const float> b) {
+  uint32_t collisions = 0;
+  for (uint32_t i = 0; i < family.num_functions(); ++i) {
+    collisions += family.RawHash(i, a) == family.RawHash(i, b);
+  }
+  return static_cast<double>(collisions) / family.num_functions();
+}
+
+TEST(E2LshTest, CreateValidatesOptions) {
+  E2LshOptions bad;
+  bad.dim = 0;
+  EXPECT_FALSE(E2LshFamily::Create(bad).ok());
+  bad.dim = 4;
+  bad.p = 3;
+  EXPECT_FALSE(E2LshFamily::Create(bad).ok());
+  bad.p = 2;
+  bad.bucket_width = 0;
+  EXPECT_FALSE(E2LshFamily::Create(bad).ok());
+  bad.bucket_width = 1;
+  bad.num_functions = 0;
+  EXPECT_FALSE(E2LshFamily::Create(bad).ok());
+}
+
+TEST(E2LshTest, IdenticalPointsAlwaysCollide) {
+  E2LshOptions options;
+  options.dim = 8;
+  options.num_functions = 64;
+  auto family = E2LshFamily::Create(options);
+  ASSERT_TRUE(family.ok());
+  Rng rng(1);
+  const auto p = RandomPoint(&rng, 8, 5.0);
+  EXPECT_EQ(EmpiricalCollision(**family, p, p), 1.0);
+  EXPECT_EQ((*family)->CollisionProbability(p, p), 1.0);
+}
+
+TEST(E2LshTest, CollisionProbabilityDecreasesWithDistance) {
+  // psi_p is strictly monotonically decreasing (Section IV-B3).
+  E2LshOptions options;
+  options.dim = 4;
+  options.bucket_width = 4.0;
+  auto family = E2LshFamily::Create(options);
+  ASSERT_TRUE(family.ok());
+  double prev = 1.0;
+  for (double d = 0.5; d < 20; d += 0.5) {
+    const double psi = (*family)->CollisionProbabilityForDistance(d);
+    EXPECT_LT(psi, prev);
+    EXPECT_GE(psi, 0.0);
+    prev = psi;
+  }
+}
+
+TEST(E2LshTest, EmpiricalCollisionTracksModel) {
+  E2LshOptions options;
+  options.dim = 16;
+  options.num_functions = 2000;
+  options.bucket_width = 4.0;
+  options.seed = 5;
+  auto family = E2LshFamily::Create(options);
+  ASSERT_TRUE(family.ok());
+  Rng rng(2);
+  for (double offset : {0.5, 1.5, 4.0}) {
+    auto p = RandomPoint(&rng, 16, 3.0);
+    auto q = p;
+    q[0] += static_cast<float>(offset);  // L2 distance = offset
+    const double model = (*family)->CollisionProbability(p, q);
+    const double empirical = EmpiricalCollision(**family, p, q);
+    EXPECT_NEAR(empirical, model, 0.05) << "offset " << offset;
+  }
+}
+
+TEST(E2LshTest, CauchyVariantForL1) {
+  E2LshOptions options;
+  options.dim = 16;
+  options.num_functions = 2000;
+  options.bucket_width = 4.0;
+  options.p = 1;
+  auto family = E2LshFamily::Create(options);
+  ASSERT_TRUE(family.ok());
+  Rng rng(3);
+  auto p = RandomPoint(&rng, 16, 3.0);
+  auto q = p;
+  q[3] += 2.0f;  // L1 distance = 2
+  const double model = (*family)->CollisionProbability(p, q);
+  EXPECT_NEAR(EmpiricalCollision(**family, p, q), model, 0.05);
+}
+
+TEST(RandomBinningTest, CreateValidatesOptions) {
+  RandomBinningOptions bad;
+  bad.dim = 0;
+  EXPECT_FALSE(RandomBinningFamily::Create(bad).ok());
+  bad.dim = 2;
+  bad.kernel_width = 0;
+  EXPECT_FALSE(RandomBinningFamily::Create(bad).ok());
+}
+
+TEST(RandomBinningTest, CollisionMatchesLaplacianKernel) {
+  // E[collision] = exp(-||p-q||_1 / sigma) (Section IV-A3).
+  RandomBinningOptions options;
+  options.dim = 8;
+  options.num_functions = 3000;
+  options.kernel_width = 4.0;
+  options.seed = 11;
+  auto family = RandomBinningFamily::Create(options);
+  ASSERT_TRUE(family.ok());
+  Rng rng(4);
+  for (double l1 : {0.5, 1.0, 2.0, 4.0}) {
+    auto p = RandomPoint(&rng, 8, 2.0);
+    auto q = p;
+    // Spread the L1 budget over all dimensions.
+    for (uint32_t d = 0; d < 8; ++d) q[d] += static_cast<float>(l1 / 8);
+    const double kernel = std::exp(-l1 / options.kernel_width);
+    EXPECT_NEAR((*family)->CollisionProbability(p, q), kernel, 1e-6);
+    EXPECT_NEAR(EmpiricalCollision(**family, p, q), kernel, 0.05)
+        << "l1 " << l1;
+  }
+}
+
+TEST(RandomBinningTest, KernelWidthEstimatorApproximatesMeanL1) {
+  data::ClusteredPointsOptions options;
+  options.num_points = 400;
+  options.dim = 6;
+  options.seed = 12;
+  auto dataset = data::MakeClusteredPoints(options);
+  const double sigma = EstimateLaplacianKernelWidth(
+      dataset.points.values(), 6, 400, 2000, 13);
+  // Compare against the exact mean over a smaller exhaustive sample.
+  double total = 0;
+  int pairs = 0;
+  for (uint32_t i = 0; i < 60; ++i) {
+    for (uint32_t j = i + 1; j < 60; ++j) {
+      total += data::L1Distance(dataset.points.row(i), dataset.points.row(j));
+      ++pairs;
+    }
+  }
+  EXPECT_NEAR(sigma, total / pairs, total / pairs * 0.15);
+}
+
+TEST(SimHashTest, CollisionMatchesAngularSimilarity) {
+  SimHashOptions options;
+  options.dim = 12;
+  options.num_functions = 4000;
+  options.seed = 21;
+  auto family = SimHashFamily::Create(options);
+  ASSERT_TRUE(family.ok());
+  std::vector<float> p(12, 0.0f), q(12, 0.0f);
+  p[0] = 1.0f;
+  q[0] = 1.0f;
+  q[1] = 1.0f;  // 45 degrees
+  const double model = (*family)->CollisionProbability(p, q);
+  EXPECT_NEAR(model, 1.0 - (M_PI / 4) / M_PI, 1e-9);
+  EXPECT_NEAR(EmpiricalCollision(**family, p, q), model, 0.03);
+  // Orthogonal vectors collide half the time.
+  std::vector<float> r(12, 0.0f);
+  r[1] = 1.0f;
+  EXPECT_NEAR(EmpiricalCollision(**family, p, r), 0.5, 0.03);
+}
+
+TEST(SimHashTest, HashIsSignBit) {
+  SimHashOptions options;
+  options.dim = 3;
+  options.num_functions = 16;
+  auto family = SimHashFamily::Create(options);
+  ASSERT_TRUE(family.ok());
+  std::vector<float> p{1.0f, -2.0f, 0.5f};
+  for (uint32_t i = 0; i < 16; ++i) {
+    const uint64_t h = (*family)->RawHash(i, p);
+    EXPECT_TRUE(h == 0 || h == 1);
+  }
+}
+
+TEST(MinHashTest, CollisionMatchesJaccard) {
+  MinHashOptions options;
+  options.num_functions = 4000;
+  options.seed = 31;
+  auto family = MinHashFamily::Create(options);
+  ASSERT_TRUE(family.ok());
+  std::vector<uint32_t> a{1, 2, 3, 4, 5, 6};
+  std::vector<uint32_t> b{4, 5, 6, 7, 8, 9};  // Jaccard = 3 / 9
+  EXPECT_NEAR((*family)->CollisionProbability(a, b), 1.0 / 3, 1e-9);
+  uint32_t collisions = 0;
+  for (uint32_t i = 0; i < options.num_functions; ++i) {
+    collisions += (*family)->RawHash(i, a) == (*family)->RawHash(i, b);
+  }
+  EXPECT_NEAR(collisions / 4000.0, 1.0 / 3, 0.03);
+}
+
+TEST(MinHashTest, DuplicatesIgnored) {
+  MinHashOptions options;
+  options.num_functions = 8;
+  auto family = MinHashFamily::Create(options);
+  ASSERT_TRUE(family.ok());
+  std::vector<uint32_t> a{1, 2, 3};
+  std::vector<uint32_t> b{3, 2, 1, 1, 2, 3};
+  EXPECT_EQ((*family)->CollisionProbability(a, b), 1.0);
+  for (uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ((*family)->RawHash(i, a), (*family)->RawHash(i, b));
+  }
+}
+
+}  // namespace
+}  // namespace lsh
+}  // namespace genie

@@ -1,0 +1,59 @@
+#include "lsh/murmur3.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace lsh {
+namespace {
+
+TEST(Murmur3Test, KnownVectors32) {
+  // Reference values of MurmurHash3_x86_32.
+  EXPECT_EQ(Murmur3_32("", 0, 0), 0u);
+  EXPECT_EQ(Murmur3_32("", 0, 1), 0x514E28B7u);
+  const std::string hello = "hello";
+  EXPECT_EQ(Murmur3_32(hello.data(), hello.size(), 0), 0x248BFA47u);
+  const std::string s = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(Murmur3_32(s.data(), s.size(), 0x9747B28Cu), 0x2FA826CDu);
+}
+
+TEST(Murmur3Test, Deterministic) {
+  const std::string s = "abcdefgh";
+  EXPECT_EQ(Murmur3_64(s.data(), s.size(), 7),
+            Murmur3_64(s.data(), s.size(), 7));
+  EXPECT_NE(Murmur3_64(s.data(), s.size(), 7),
+            Murmur3_64(s.data(), s.size(), 8));
+}
+
+TEST(Murmur3Test, TailLengthsAllDiffer) {
+  // Exercise every tail-length branch of the 64-bit variant.
+  std::set<uint64_t> hashes;
+  std::string s;
+  for (int len = 0; len <= 33; ++len) {
+    hashes.insert(Murmur3_64(s.data(), s.size(), 0));
+    s.push_back(static_cast<char>('a' + (len % 26)));
+  }
+  EXPECT_EQ(hashes.size(), 34u);
+}
+
+TEST(Murmur3Test, SingleValueOverloadMatchesBuffer) {
+  const uint64_t v = 0xDEADBEEFCAFEF00DULL;
+  EXPECT_EQ(Murmur3_64(v, 9), Murmur3_64(&v, sizeof(v), 9));
+}
+
+TEST(Murmur3Test, SpreadsSequentialValues) {
+  // Re-hashing quality: consecutive signatures must land in different
+  // buckets most of the time.
+  const uint32_t domain = 64;
+  std::set<uint64_t> buckets;
+  for (uint64_t v = 0; v < 64; ++v) {
+    buckets.insert(Murmur3_64(v, 5) % domain);
+  }
+  EXPECT_GT(buckets.size(), 35u);  // near-uniform occupancy
+}
+
+}  // namespace
+}  // namespace lsh
+}  // namespace genie

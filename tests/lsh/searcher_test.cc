@@ -1,0 +1,190 @@
+#include "lsh/lsh_searcher.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/points.h"
+#include "lsh/e2lsh.h"
+#include "lsh/sim_hash.h"
+#include "lsh/tau_ann.h"
+
+namespace genie {
+namespace lsh {
+namespace {
+
+sim::Device* TestDevice() {
+  static sim::Device* device = [] {
+    sim::Device::Options options;
+    options.num_workers = 8;
+    return new sim::Device(options);
+  }();
+  return device;
+}
+
+struct AnnFixture {
+  data::ClusteredPoints dataset;
+  std::unique_ptr<LshSearcher> searcher;
+};
+
+AnnFixture MakeSetup(uint32_t n, uint32_t dim, uint32_t m, uint32_t k,
+                uint32_t rehash_domain, uint64_t seed) {
+  AnnFixture s;
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = n;
+  data_options.dim = dim;
+  data_options.num_clusters = 20;
+  data_options.seed = seed;
+  s.dataset = data::MakeClusteredPoints(data_options);
+
+  E2LshOptions lsh_options;
+  lsh_options.dim = dim;
+  lsh_options.num_functions = m;
+  lsh_options.bucket_width = 4.0;
+  lsh_options.seed = seed + 1;
+  auto family = std::shared_ptr<const VectorLshFamily>(
+      E2LshFamily::Create(lsh_options).ValueOrDie().release());
+
+  LshSearchOptions options;
+  options.transform.rehash_domain = rehash_domain;
+  options.engine.k = k;
+  options.engine.device = TestDevice();
+  s.searcher =
+      LshSearcher::Create(&s.dataset.points, family, options).ValueOrDie();
+  return s;
+}
+
+TEST(LshSearcherTest, SelfQueryHasFullMatchCount) {
+  AnnFixture s = MakeSetup(500, 16, 32, 5, 1024, 1);
+  // Query with the data points themselves: the point must be its own top
+  // match with count m.
+  data::PointMatrix queries(3, 16);
+  for (uint32_t i = 0; i < 3; ++i) {
+    auto row = s.dataset.points.row(i * 7);
+    std::copy(row.begin(), row.end(), queries.mutable_row(i).begin());
+  }
+  auto results = s.searcher->MatchBatch(queries);
+  ASSERT_TRUE(results.ok());
+  for (uint32_t i = 0; i < 3; ++i) {
+    ASSERT_FALSE((*results)[i].empty());
+    EXPECT_EQ((*results)[i][0].id, i * 7);
+    EXPECT_EQ((*results)[i][0].match_count, 32u);
+    EXPECT_DOUBLE_EQ((*results)[i][0].estimated_similarity, 1.0);
+  }
+}
+
+TEST(LshSearcherTest, SimilarityEstimateTracksModel) {
+  // Eqn. 7: c/m estimates sim(p, q); with enough functions the top match's
+  // estimate must be close to the family's model similarity.
+  AnnFixture s = MakeSetup(300, 8, 400, 10, 8192, 2);
+  data::PointMatrix queries =
+      data::MakeQueriesNear(s.dataset.points, 10, 0.3, 3);
+  auto results = s.searcher->MatchBatch(queries);
+  ASSERT_TRUE(results.ok());
+  uint32_t checked = 0;
+  for (uint32_t q = 0; q < 10; ++q) {
+    if ((*results)[q].empty()) continue;
+    const AnnMatch& top = (*results)[q][0];
+    const double model = s.searcher->transformer().family().CollisionProbability(
+        s.dataset.points.row(top.id), queries.row(q));
+    // eps = 0.06-style tolerance plus rehash error.
+    EXPECT_NEAR(top.estimated_similarity, model, 0.12) << "query " << q;
+    ++checked;
+  }
+  EXPECT_GT(checked, 5u);
+}
+
+TEST(LshSearcherTest, TauAnnProperty) {
+  // Theorem 4.2: |sim(p*, q) - sim(p, q)| <= 2 eps with high probability.
+  // With m = 237 (eps = delta = 0.06) over many queries, the average
+  // violation rate must be small.
+  const uint32_t m = MinHashFunctions(0.06, 0.06);
+  ASSERT_NEAR(m, 237.0, 3.0);  // the paper's value, modulo rounding
+  AnnFixture s = MakeSetup(400, 8, m, 1, 8192, 4);
+  const uint32_t num_queries = 40;
+  data::PointMatrix queries =
+      data::MakeQueriesNear(s.dataset.points, num_queries, 0.5, 5);
+  auto results = s.searcher->MatchBatch(queries);
+  ASSERT_TRUE(results.ok());
+
+  const double tau = TauBound(0.06, 8192);
+  uint32_t violations = 0, evaluated = 0;
+  for (uint32_t q = 0; q < num_queries; ++q) {
+    if ((*results)[q].empty()) continue;
+    const ObjectId top = (*results)[q][0].id;
+    // True NN under the family's similarity measure.
+    double best_sim = -1;
+    for (uint32_t i = 0; i < s.dataset.points.num_points(); ++i) {
+      best_sim = std::max(
+          best_sim, s.searcher->transformer().family().CollisionProbability(
+                        s.dataset.points.row(i), queries.row(q)));
+    }
+    const double top_sim =
+        s.searcher->transformer().family().CollisionProbability(
+            s.dataset.points.row(top), queries.row(q));
+    evaluated++;
+    if (best_sim - top_sim > tau) ++violations;
+  }
+  ASSERT_GT(evaluated, 20u);
+  // delta = 0.06 per Theorem 4.2 gives 2*delta = 12% failure budget; allow
+  // sampling slack on top.
+  EXPECT_LE(static_cast<double>(violations) / evaluated, 0.25);
+}
+
+TEST(LshSearcherTest, KnnRecallAgainstBruteForce) {
+  AnnFixture s = MakeSetup(600, 16, 128, 50, 2048, 6);
+  const uint32_t num_queries = 15;
+  data::PointMatrix queries =
+      data::MakeQueriesNear(s.dataset.points, num_queries, 0.2, 7);
+  auto knn = s.searcher->KnnBatch(queries, 10, 2);
+  ASSERT_TRUE(knn.ok());
+  double recall_sum = 0;
+  for (uint32_t q = 0; q < num_queries; ++q) {
+    const auto truth = data::BruteForceKnn(s.dataset.points, queries.row(q),
+                                           10, 2);
+    uint32_t hit = 0;
+    for (ObjectId id : (*knn)[q]) {
+      hit += std::find(truth.begin(), truth.end(), id) != truth.end();
+    }
+    recall_sum += static_cast<double>(hit) / truth.size();
+  }
+  EXPECT_GT(recall_sum / num_queries, 0.6);  // ANN-grade recall
+}
+
+TEST(LshSearcherTest, CreateRejectsNullPoints) {
+  E2LshOptions lsh_options;
+  lsh_options.dim = 4;
+  auto family = std::shared_ptr<const VectorLshFamily>(
+      E2LshFamily::Create(lsh_options).ValueOrDie().release());
+  EXPECT_FALSE(LshSearcher::Create(nullptr, family, {}).ok());
+}
+
+TEST(LshSearcherTest, WorksWithSimHashFamily) {
+  // Genericity: any VectorLshFamily plugs into the same searcher.
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 200;
+  data_options.dim = 8;
+  data_options.seed = 8;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  SimHashOptions sim_options;
+  sim_options.dim = 8;
+  sim_options.num_functions = 64;
+  auto family = std::shared_ptr<const VectorLshFamily>(
+      SimHashFamily::Create(sim_options).ValueOrDie().release());
+  LshSearchOptions options;
+  options.transform.rehash_domain = 2;  // sign bits need only two buckets
+  options.transform.rehash = false;
+  options.engine.k = 5;
+  options.engine.device = TestDevice();
+  auto searcher = LshSearcher::Create(&dataset.points, family, options);
+  ASSERT_TRUE(searcher.ok());
+  data::PointMatrix queries = data::MakeQueriesNear(dataset.points, 5, 0.1, 9);
+  auto results = (*searcher)->MatchBatch(queries);
+  ASSERT_TRUE(results.ok());
+  for (const auto& r : *results) EXPECT_FALSE(r.empty());
+}
+
+}  // namespace
+}  // namespace lsh
+}  // namespace genie

@@ -1,0 +1,154 @@
+#include "lsh/set_searcher.h"
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lsh/min_hash.h"
+
+namespace genie {
+namespace lsh {
+namespace {
+
+sim::Device* TestDevice() {
+  static sim::Device* device = [] {
+    sim::Device::Options options;
+    options.num_workers = 8;
+    return new sim::Device(options);
+  }();
+  return device;
+}
+
+std::shared_ptr<const SetLshFamily> MakeFamily(uint32_t m, uint64_t seed) {
+  MinHashOptions options;
+  options.num_functions = m;
+  options.seed = seed;
+  return std::shared_ptr<const SetLshFamily>(
+      MinHashFamily::Create(options).ValueOrDie().release());
+}
+
+/// Random sets plus near-duplicates (overlap-controlled), so Jaccard
+/// structure exists by construction.
+SetDataset MakeSets(uint32_t n, uint32_t universe, uint32_t set_size,
+                    uint64_t seed) {
+  Rng rng(seed);
+  SetDataset sets(n);
+  for (auto& s : sets) {
+    while (s.size() < set_size) {
+      s.push_back(static_cast<uint32_t>(rng.UniformU64(universe)));
+    }
+  }
+  return sets;
+}
+
+std::vector<uint32_t> PerturbSet(const std::vector<uint32_t>& base,
+                                 uint32_t replace, uint32_t universe,
+                                 Rng* rng) {
+  std::vector<uint32_t> out = base;
+  for (uint32_t i = 0; i < replace && !out.empty(); ++i) {
+    out[rng->UniformU64(out.size())] =
+        static_cast<uint32_t>(rng->UniformU64(universe));
+  }
+  return out;
+}
+
+SetSearchOptions BaseOptions(uint32_t k) {
+  SetSearchOptions options;
+  options.transform.rehash_domain = 512;
+  options.engine.k = k;
+  options.engine.device = TestDevice();
+  return options;
+}
+
+TEST(SetLshSearcherTest, CreateValidates) {
+  SetDataset sets{{1, 2, 3}};
+  auto family = MakeFamily(8, 1);
+  EXPECT_FALSE(SetLshSearcher::Create(nullptr, family, BaseOptions(1)).ok());
+  EXPECT_FALSE(SetLshSearcher::Create(&sets, nullptr, BaseOptions(1)).ok());
+  auto bad = BaseOptions(1);
+  bad.transform.rehash_domain = 0;
+  EXPECT_FALSE(SetLshSearcher::Create(&sets, family, bad).ok());
+}
+
+TEST(SetLshSearcherTest, SelfQueryFullCount) {
+  SetDataset sets = MakeSets(300, 5000, 12, 2);
+  auto searcher =
+      SetLshSearcher::Create(&sets, MakeFamily(32, 3), BaseOptions(5));
+  ASSERT_TRUE(searcher.ok());
+  std::vector<std::vector<uint32_t>> queries{sets[7], sets[42]};
+  auto results = (*searcher)->MatchBatch(queries);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ((*results)[0][0].id, 7u);
+  EXPECT_EQ((*results)[0][0].match_count, 32u);
+  EXPECT_EQ((*results)[1][0].id, 42u);
+  EXPECT_DOUBLE_EQ((*results)[1][0].estimated_similarity, 1.0);
+}
+
+TEST(SetLshSearcherTest, PerturbedQueriesRecoverSource) {
+  const uint32_t universe = 5000;
+  SetDataset sets = MakeSets(400, universe, 16, 4);
+  auto searcher =
+      SetLshSearcher::Create(&sets, MakeFamily(64, 5), BaseOptions(10));
+  ASSERT_TRUE(searcher.ok());
+  Rng rng(6);
+  std::vector<std::vector<uint32_t>> queries;
+  std::vector<ObjectId> sources;
+  for (int i = 0; i < 20; ++i) {
+    const ObjectId src = static_cast<ObjectId>(rng.UniformU64(sets.size()));
+    sources.push_back(src);
+    queries.push_back(PerturbSet(sets[src], 4, universe, &rng));  // ~75% kept
+  }
+  auto knn = (*searcher)->KnnBatch(queries, 1);
+  ASSERT_TRUE(knn.ok());
+  uint32_t recovered = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_FALSE((*knn)[i].empty());
+    recovered += (*knn)[i][0] == sources[i];
+  }
+  // Random 16-element sets over a 5000 universe barely overlap; the
+  // perturbed source (Jaccard ~0.6) must dominate.
+  EXPECT_GE(recovered, 18u);
+}
+
+TEST(SetLshSearcherTest, SimilarityEstimateTracksJaccard) {
+  const uint32_t universe = 2000;
+  SetDataset sets = MakeSets(200, universe, 20, 7);
+  auto family = MakeFamily(400, 8);
+  auto searcher = SetLshSearcher::Create(&sets, family, BaseOptions(5));
+  ASSERT_TRUE(searcher.ok());
+  Rng rng(9);
+  std::vector<std::vector<uint32_t>> queries;
+  std::vector<ObjectId> sources;
+  for (int i = 0; i < 10; ++i) {
+    const ObjectId src = static_cast<ObjectId>(rng.UniformU64(sets.size()));
+    sources.push_back(src);
+    queries.push_back(PerturbSet(sets[src], 6, universe, &rng));
+  }
+  auto results = (*searcher)->MatchBatch(queries);
+  ASSERT_TRUE(results.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_FALSE((*results)[i].empty());
+    const AnnMatch& top = (*results)[i][0];
+    const double jaccard =
+        family->CollisionProbability(sets[top.id], queries[i]);
+    EXPECT_NEAR(top.estimated_similarity, jaccard, 0.12) << "query " << i;
+  }
+}
+
+TEST(SetLshSearcherTest, EmptyQuerySet) {
+  SetDataset sets = MakeSets(50, 100, 5, 10);
+  auto searcher =
+      SetLshSearcher::Create(&sets, MakeFamily(16, 11), BaseOptions(3));
+  ASSERT_TRUE(searcher.ok());
+  std::vector<std::vector<uint32_t>> queries{{}};
+  auto results = (*searcher)->MatchBatch(queries);
+  // An empty set still hashes (to the sentinel signature) — the search
+  // completes and returns whatever shares those buckets.
+  ASSERT_TRUE(results.ok());
+}
+
+}  // namespace
+}  // namespace lsh
+}  // namespace genie

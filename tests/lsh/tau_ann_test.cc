@@ -1,0 +1,77 @@
+#include "lsh/tau_ann.h"
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace lsh {
+namespace {
+
+TEST(TauAnnTest, HoeffdingBoundMatchesPaper) {
+  // Theorem 4.1 with eps = delta = 0.06: m = 2 ln(3/0.06) / 0.06^2 = 2174.
+  EXPECT_EQ(HoeffdingNumHashFunctions(0.06, 0.06), 2174u);
+}
+
+TEST(TauAnnTest, HoeffdingBoundShrinksWithLooserTolerance) {
+  EXPECT_LT(HoeffdingNumHashFunctions(0.1, 0.1),
+            HoeffdingNumHashFunctions(0.06, 0.06));
+  EXPECT_LT(HoeffdingNumHashFunctions(0.06, 0.1),
+            HoeffdingNumHashFunctions(0.06, 0.01));
+}
+
+TEST(TauAnnTest, BinomialDeviationBasics) {
+  // m=1: c is 0 or 1; for s=0.5, eps=0.6 every outcome is within eps.
+  EXPECT_NEAR(BinomialDeviationProbability(1, 0.5, 0.6), 1.0, 1e-12);
+  // Degenerate similarities.
+  EXPECT_NEAR(BinomialDeviationProbability(10, 0.0, 0.05), 1.0, 1e-12);
+  EXPECT_NEAR(BinomialDeviationProbability(10, 1.0, 0.05), 1.0, 1e-12);
+  // Probability grows with m for fixed s, eps (law of large numbers).
+  EXPECT_GT(BinomialDeviationProbability(500, 0.5, 0.06),
+            BinomialDeviationProbability(20, 0.5, 0.06));
+}
+
+TEST(TauAnnTest, BinomialDeviationIsAProbability) {
+  for (uint32_t m : {1u, 7u, 64u, 237u}) {
+    for (double s : {0.05, 0.3, 0.5, 0.9}) {
+      const double p = BinomialDeviationProbability(m, s, 0.06);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(TauAnnTest, Figure8WorstCaseIs237) {
+  // The paper: "the largest required number of hash functions, being
+  // m=237, appears at s = 0.5" for eps = delta = 0.06.
+  // Our simulation lands within a couple of functions of the paper's 237
+  // (the exact value depends on the inclusive/exclusive convention at the
+  // +-eps interval endpoints).
+  EXPECT_NEAR(MinHashFunctionsForSimilarity(0.5, 0.06, 0.06), 237.0, 3.0);
+  EXPECT_NEAR(MinHashFunctions(0.06, 0.06), 237.0, 3.0);
+}
+
+TEST(TauAnnTest, Figure8CurveShape) {
+  // The curve is low near s = 0 and s = 1 and peaks in the middle.
+  const uint32_t at_01 = MinHashFunctionsForSimilarity(0.1, 0.06, 0.06);
+  const uint32_t at_05 = MinHashFunctionsForSimilarity(0.5, 0.06, 0.06);
+  const uint32_t at_09 = MinHashFunctionsForSimilarity(0.9, 0.06, 0.06);
+  EXPECT_LT(at_01, at_05);
+  EXPECT_LT(at_09, at_05);
+}
+
+TEST(TauAnnTest, SimulationFarBelowHoeffding) {
+  EXPECT_LT(MinHashFunctions(0.06, 0.06),
+            HoeffdingNumHashFunctions(0.06, 0.06) / 5);
+}
+
+TEST(TauAnnTest, MinFunctionsReturnsZeroWhenCapTooSmall) {
+  EXPECT_EQ(MinHashFunctionsForSimilarity(0.5, 0.06, 0.06, 100), 0u);
+}
+
+TEST(TauAnnTest, TauBound) {
+  EXPECT_DOUBLE_EQ(TauBound(0.06, 8192), 2.0 * (0.06 + 1.0 / 8192));
+  EXPECT_GT(TauBound(0.06, 67), TauBound(0.06, 8192));
+}
+
+}  // namespace
+}  // namespace lsh
+}  // namespace genie

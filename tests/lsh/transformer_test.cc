@@ -1,0 +1,111 @@
+#include "lsh/lsh_transformer.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/points.h"
+#include "lsh/e2lsh.h"
+
+namespace genie {
+namespace lsh {
+namespace {
+
+std::shared_ptr<const VectorLshFamily> MakeFamily(uint32_t dim, uint32_t m) {
+  E2LshOptions options;
+  options.dim = dim;
+  options.num_functions = m;
+  options.bucket_width = 4.0;
+  return std::shared_ptr<const VectorLshFamily>(
+      E2LshFamily::Create(options).ValueOrDie().release());
+}
+
+TEST(LshTransformerTest, KeywordPerFunctionWithinDomain) {
+  auto family = MakeFamily(8, 16);
+  LshTransformOptions options;
+  options.rehash_domain = 32;
+  LshTransformer transformer(family, options);
+  EXPECT_EQ(transformer.encoder().num_dims(), 16u);
+  EXPECT_EQ(transformer.encoder().vocab_size(), 16u * 32);
+
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 10;
+  data_options.dim = 8;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  const auto keywords = transformer.Transform(dataset.points.row(0));
+  ASSERT_EQ(keywords.size(), 16u);
+  for (uint32_t i = 0; i < 16; ++i) {
+    const auto [dim, bucket] = transformer.encoder().Decode(keywords[i]);
+    EXPECT_EQ(dim, i);  // function i is attribute i (Section IV-A1)
+    EXPECT_LT(bucket, 32u);
+  }
+}
+
+TEST(LshTransformerTest, DeterministicTransform) {
+  auto family = MakeFamily(4, 8);
+  LshTransformer t1(family, {});
+  LshTransformer t2(family, {});
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 5;
+  data_options.dim = 4;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(t1.Transform(dataset.points.row(i)),
+              t2.Transform(dataset.points.row(i)));
+  }
+}
+
+TEST(LshTransformerTest, QueryMirrorsObjectTransformation) {
+  // Identical point => query keywords equal object keywords, so the match
+  // count of a point with itself is m.
+  auto family = MakeFamily(4, 12);
+  LshTransformer transformer(family, {});
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 3;
+  data_options.dim = 4;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  const auto keywords = transformer.Transform(dataset.points.row(1));
+  const Query query = transformer.MakeQuery(dataset.points.row(1));
+  ASSERT_EQ(query.num_items(), 12u);
+  for (uint32_t i = 0; i < 12; ++i) {
+    ASSERT_EQ(query.item(i).size(), 1u);
+    EXPECT_EQ(query.item(i)[0], keywords[i]);
+  }
+}
+
+TEST(LshTransformerTest, BuildIndexIndexesAllPoints) {
+  auto family = MakeFamily(6, 10);
+  LshTransformOptions options;
+  options.rehash_domain = 64;
+  LshTransformer transformer(family, options);
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 200;
+  data_options.dim = 6;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  auto index = transformer.BuildIndex(dataset.points);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_objects(), 200u);
+  // Every point contributes exactly m postings.
+  EXPECT_EQ(index->postings().size(), 200u * 10);
+}
+
+TEST(LshTransformerTest, NoRehashUsesRawModulo) {
+  auto family = MakeFamily(4, 4);
+  LshTransformOptions rehash_on;
+  LshTransformOptions rehash_off;
+  rehash_off.rehash = false;
+  LshTransformer on(family, rehash_on);
+  LshTransformer off(family, rehash_off);
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 4;
+  data_options.dim = 4;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  // Both are valid transformations; they just differ (with overwhelming
+  // probability) because one applies murmur re-hashing.
+  EXPECT_NE(on.Transform(dataset.points.row(0)),
+            off.Transform(dataset.points.row(0)));
+}
+
+}  // namespace
+}  // namespace lsh
+}  // namespace genie

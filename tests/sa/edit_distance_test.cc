@@ -1,0 +1,97 @@
+#include "sa/edit_distance.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/sequences.h"
+
+namespace genie {
+namespace sa {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "xyz"), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("abc", "acb"), 2u);  // no transposition op
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("intention", "execution"),
+            EditDistance("execution", "intention"));
+}
+
+TEST(EditDistanceTest, TriangleInequalityOnRandomTriples) {
+  Rng rng(1);
+  data::SequenceDatasetOptions options;
+  options.num_sequences = 20;
+  options.min_length = 5;
+  options.max_length = 15;
+  options.alphabet = 3;
+  options.seed = 2;
+  auto seqs = data::MakeSequences(options);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto& a = seqs[rng.UniformU64(seqs.size())];
+    const auto& b = seqs[rng.UniformU64(seqs.size())];
+    const auto& c = seqs[rng.UniformU64(seqs.size())];
+    EXPECT_LE(EditDistance(a, c),
+              EditDistance(a, b) + EditDistance(b, c));
+  }
+}
+
+TEST(BandedEditDistanceTest, ExactWhenWithinBound) {
+  EXPECT_EQ(BandedEditDistance("kitten", "sitting", 3), 3u);
+  EXPECT_EQ(BandedEditDistance("kitten", "sitting", 5), 3u);
+  EXPECT_EQ(BandedEditDistance("abc", "abc", 0), 0u);
+}
+
+TEST(BandedEditDistanceTest, CapsWhenExceedingBound) {
+  EXPECT_EQ(BandedEditDistance("kitten", "sitting", 2), 3u);  // bound + 1
+  EXPECT_EQ(BandedEditDistance("aaaa", "bbbb", 1), 2u);
+  EXPECT_EQ(BandedEditDistance("abcdefgh", "x", 3), 4u);  // length gap
+}
+
+TEST(BandedEditDistanceTest, EmptyStrings) {
+  EXPECT_EQ(BandedEditDistance("", "", 0), 0u);
+  EXPECT_EQ(BandedEditDistance("abc", "", 3), 3u);
+  EXPECT_EQ(BandedEditDistance("abc", "", 2), 3u);  // bound + 1
+}
+
+class BandedSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BandedSweepTest, AgreesWithFullDpOnRandomPairs) {
+  const uint32_t bound = GetParam();
+  Rng rng(bound * 17 + 3);
+  data::SequenceDatasetOptions options;
+  options.num_sequences = 30;
+  options.min_length = 4;
+  options.max_length = 24;
+  options.alphabet = 3;
+  options.seed = bound + 11;
+  auto seqs = data::MakeSequences(options);
+  for (int trial = 0; trial < 150; ++trial) {
+    const auto& a = seqs[rng.UniformU64(seqs.size())];
+    std::string b = trial % 3 == 0
+                        ? seqs[rng.UniformU64(seqs.size())]
+                        : data::MutateSequence(a, 0.15, 3, &rng);
+    const uint32_t full = EditDistance(a, b);
+    const uint32_t banded = BandedEditDistance(a, b, bound);
+    if (full <= bound) {
+      EXPECT_EQ(banded, full) << a << " vs " << b << " bound " << bound;
+    } else {
+      EXPECT_EQ(banded, bound + 1) << a << " vs " << b << " bound " << bound;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, BandedSweepTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 5u, 8u, 16u));
+
+}  // namespace
+}  // namespace sa
+}  // namespace genie

@@ -1,0 +1,108 @@
+#include "sa/ngram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/sequences.h"
+#include "sa/edit_distance.h"
+
+namespace genie {
+namespace sa {
+namespace {
+
+TEST(OrderedNgramsTest, PaperExample51) {
+  // G("aabaab") with n=3 = {(aab,0), (aba,0), (baa,0), (aab,1)}.
+  const auto grams = OrderedNgrams("aabaab", 3);
+  ASSERT_EQ(grams.size(), 4u);
+  EXPECT_EQ(grams[0], (OrderedNgram{"aab", 0}));
+  EXPECT_EQ(grams[1], (OrderedNgram{"aba", 0}));
+  EXPECT_EQ(grams[2], (OrderedNgram{"baa", 0}));
+  EXPECT_EQ(grams[3], (OrderedNgram{"aab", 1}));
+}
+
+TEST(OrderedNgramsTest, ShortSequenceEmpty) {
+  EXPECT_TRUE(OrderedNgrams("ab", 3).empty());
+  EXPECT_TRUE(OrderedNgrams("", 3).empty());
+  EXPECT_TRUE(OrderedNgrams("abc", 0).empty());
+}
+
+TEST(OrderedNgramsTest, ExactLengthOneGram) {
+  const auto grams = OrderedNgrams("abc", 3);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0].gram, "abc");
+}
+
+TEST(OrderedNgramsTest, TokensDistinguishOccurrences) {
+  const auto grams = OrderedNgrams("aaaa", 2);  // (aa,0),(aa,1),(aa,2)
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_NE(grams[0].ToToken(), grams[1].ToToken());
+  EXPECT_NE(grams[1].ToToken(), grams[2].ToToken());
+}
+
+TEST(NgramMatchCountTest, Lemma51MinOfOccurrenceCounts) {
+  // "aabaab" has aab x2; "aab" has aab x1 -> min contributes 1.
+  EXPECT_EQ(NgramMatchCount("aabaab", "aab", 3), 1u);
+  EXPECT_EQ(NgramMatchCount("aabaab", "aabaab", 3), 4u);
+  EXPECT_EQ(NgramMatchCount("abc", "xyz", 3), 0u);
+}
+
+TEST(NgramMatchCountTest, MatchesOrderedGramIntersection) {
+  // Lemma 5.1 cross-check: counting via ordered-gram token intersection
+  // must equal sum of min occurrence counts.
+  Rng rng(5);
+  data::SequenceDatasetOptions options;
+  options.num_sequences = 40;
+  options.min_length = 8;
+  options.max_length = 20;
+  options.alphabet = 3;  // small alphabet forces repeated grams
+  options.seed = 6;
+  auto seqs = data::MakeSequences(options);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto& a = seqs[rng.UniformU64(seqs.size())];
+    const auto& b = seqs[rng.UniformU64(seqs.size())];
+    // Reference: intersect ordered-gram token multisets (which are sets).
+    std::vector<std::string> ta, tb;
+    for (const auto& g : OrderedNgrams(a, 3)) ta.push_back(g.ToToken());
+    for (const auto& g : OrderedNgrams(b, 3)) tb.push_back(g.ToToken());
+    uint32_t inter = 0;
+    for (const auto& t : ta) {
+      inter += std::find(tb.begin(), tb.end(), t) != tb.end();
+    }
+    EXPECT_EQ(NgramMatchCount(a, b, 3), inter) << a << " vs " << b;
+  }
+}
+
+TEST(CountLowerBoundTest, Theorem51Formula) {
+  EXPECT_EQ(CountLowerBound(10, 8, 3, 2), 10 - 3 + 1 - 2 * 3);
+  EXPECT_EQ(CountLowerBound(5, 9, 3, 0), 9 - 3 + 1);
+  EXPECT_LT(CountLowerBound(5, 5, 3, 4), 0);  // can go negative
+}
+
+TEST(CountLowerBoundTest, Theorem51HoldsOnRandomPairs) {
+  // MC(G(S), G(Q)) >= max(|Q|,|S|) - n + 1 - ed(Q,S) * n.
+  Rng rng(7);
+  data::SequenceDatasetOptions options;
+  options.num_sequences = 30;
+  options.min_length = 10;
+  options.max_length = 30;
+  options.alphabet = 4;
+  options.seed = 8;
+  auto seqs = data::MakeSequences(options);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto& s = seqs[rng.UniformU64(seqs.size())];
+    // Mix random pairs and mutated pairs (small true distances).
+    std::string q = trial % 2 == 0
+                        ? seqs[rng.UniformU64(seqs.size())]
+                        : data::MutateSequence(s, 0.2, 4, &rng);
+    const uint32_t tau = EditDistance(s, q);
+    for (uint32_t n : {2u, 3u, 4u}) {
+      const int64_t bound = CountLowerBound(q.size(), s.size(), n, tau);
+      EXPECT_GE(static_cast<int64_t>(NgramMatchCount(s, q, n)), bound)
+          << "S=" << s << " Q=" << q << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sa
+}  // namespace genie

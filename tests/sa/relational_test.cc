@@ -1,0 +1,163 @@
+#include "sa/relational.h"
+
+#include <gtest/gtest.h>
+
+#include "data/relational_data.h"
+
+namespace genie {
+namespace sa {
+namespace {
+
+sim::Device* TestDevice() {
+  static sim::Device* device = [] {
+    sim::Device::Options options;
+    options.num_workers = 8;
+    return new sim::Device(options);
+  }();
+  return device;
+}
+
+MatchEngineOptions EngineOptions() {
+  MatchEngineOptions options;
+  options.device = TestDevice();
+  return options;
+}
+
+TEST(DiscretizerTest, EqualWidthBuckets) {
+  Discretizer d(0.0, 100.0, 10);
+  EXPECT_EQ(d.Bucket(-5.0), 0u);
+  EXPECT_EQ(d.Bucket(0.0), 0u);
+  EXPECT_EQ(d.Bucket(9.99), 0u);
+  EXPECT_EQ(d.Bucket(10.0), 1u);
+  EXPECT_EQ(d.Bucket(99.9), 9u);
+  EXPECT_EQ(d.Bucket(1000.0), 9u);  // clamped
+}
+
+TEST(DiscretizerTest, DegenerateRange) {
+  Discretizer d(5.0, 5.0, 4);
+  EXPECT_EQ(d.Bucket(5.0), 0u);
+  EXPECT_EQ(d.Bucket(100.0), 3u);  // clamp only
+}
+
+RelationalTable Figure1Table() {
+  // Fig. 1: O1 = (1,2,1), O2 = (2,1,2), O3 = (1,3,3) on attributes A, B, C.
+  return RelationalTable({{1, 2, 1}, {2, 1, 3}, {1, 2, 3}}, {4, 4, 4});
+}
+
+TEST(RelationalSearcherTest, RunningExampleQ1) {
+  const RelationalTable table = Figure1Table();
+  auto searcher = RelationalSearcher::Create(&table, 3, EngineOptions());
+  ASSERT_TRUE(searcher.ok());
+  RangeQuery q1;  // 1<=A<=2, 1<=B<=1, 2<=C<=3
+  q1.Add(0, 1, 2).Add(1, 1, 1).Add(2, 2, 3);
+  std::vector<RangeQuery> queries{q1};
+  auto results = (*searcher)->SearchBatch(queries);
+  ASSERT_TRUE(results.ok());
+  const auto& entries = (*results)[0].entries;
+  ASSERT_EQ(entries.size(), 3u);
+  // MC(Q1, O1) = 1, MC(Q1, O2) = 3, MC(Q1, O3) = 2.
+  EXPECT_EQ(entries[0], (TopKEntry{1, 3}));
+  EXPECT_EQ(entries[1], (TopKEntry{2, 2}));
+  EXPECT_EQ(entries[2], (TopKEntry{0, 1}));
+}
+
+TEST(RelationalSearcherTest, CompileValidatesQuery) {
+  const RelationalTable table = Figure1Table();
+  auto searcher = RelationalSearcher::Create(&table, 1, EngineOptions());
+  ASSERT_TRUE(searcher.ok());
+  RangeQuery bad_col;
+  bad_col.Add(9, 0, 1);
+  EXPECT_FALSE((*searcher)->Compile(bad_col).ok());
+  RangeQuery inverted;
+  inverted.Add(0, 3, 1);
+  EXPECT_FALSE((*searcher)->Compile(inverted).ok());
+  RangeQuery clamped;
+  clamped.Add(0, 2, 999);  // hi beyond domain is clamped
+  EXPECT_TRUE((*searcher)->Compile(clamped).ok());
+}
+
+TEST(RelationalSearcherTest, CreateValidates) {
+  const RelationalTable table = Figure1Table();
+  EXPECT_FALSE(RelationalSearcher::Create(nullptr, 1, EngineOptions()).ok());
+  EXPECT_FALSE(RelationalSearcher::Create(&table, 0, EngineOptions()).ok());
+}
+
+TEST(RelationalSearcherTest, ExactMatchQueriesFindSourceRow) {
+  data::RelationalDatasetOptions data_options;
+  data_options.num_rows = 500;
+  data_options.numeric_columns = 3;
+  data_options.numeric_buckets = 64;
+  data_options.categorical_columns = 3;
+  data_options.seed = 5;
+  auto table = data::MakeRelationalTable(data_options);
+  auto searcher = RelationalSearcher::Create(&table, 5, EngineOptions());
+  ASSERT_TRUE(searcher.ok());
+  auto queries = data::MakeExactMatchQueries(table, 10, 6);
+  auto results = (*searcher)->SearchBatch(queries);
+  ASSERT_TRUE(results.ok());
+  for (const QueryResult& r : *results) {
+    ASSERT_FALSE(r.entries.empty());
+    // An exact-match query is derived from a real row, so the top match
+    // satisfies all attributes.
+    EXPECT_EQ(r.entries[0].count, table.num_columns());
+  }
+}
+
+TEST(RelationalSearcherTest, RangeQueriesCountSatisfiedAttributes) {
+  data::RelationalDatasetOptions data_options;
+  data_options.num_rows = 300;
+  data_options.numeric_columns = 4;
+  data_options.numeric_buckets = 128;
+  data_options.categorical_columns = 2;
+  data_options.seed = 7;
+  auto table = data::MakeRelationalTable(data_options);
+  auto searcher = RelationalSearcher::Create(&table, 10, EngineOptions());
+  ASSERT_TRUE(searcher.ok());
+  auto queries = data::MakeRangeQueries(table, 5, 4, 10, 8);
+  auto results = (*searcher)->SearchBatch(queries);
+  ASSERT_TRUE(results.ok());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    for (const TopKEntry& e : (*results)[q].entries) {
+      // Recompute the satisfied-range count directly.
+      uint32_t satisfied = 0;
+      for (const auto& item : queries[q].items) {
+        const uint32_t v = table.value(e.id, item.column);
+        const uint32_t hi =
+            std::min(item.hi, table.cardinality(item.column) - 1);
+        satisfied += v >= item.lo && v <= hi;
+      }
+      EXPECT_EQ(e.count, satisfied) << "query " << q << " row " << e.id;
+    }
+  }
+}
+
+TEST(RelationalSearcherTest, LoadBalancedIndexSameTopK) {
+  data::RelationalDatasetOptions data_options;
+  data_options.num_rows = 2000;
+  data_options.numeric_columns = 0;
+  data_options.categorical_columns = 4;
+  data_options.categorical_cardinality = 4;  // long lists
+  data_options.seed = 9;
+  auto table = data::MakeRelationalTable(data_options);
+  auto plain = RelationalSearcher::Create(&table, 10, EngineOptions());
+  IndexBuildOptions lb;
+  lb.max_list_length = 64;
+  MatchEngineOptions lb_engine = EngineOptions();
+  lb_engine.max_lists_per_block = 2;
+  auto balanced = RelationalSearcher::Create(&table, 10, lb_engine, lb);
+  ASSERT_TRUE(plain.ok() && balanced.ok());
+  auto queries = data::MakeExactMatchQueries(table, 6, 10);
+  auto r1 = (*plain)->SearchBatch(queries);
+  auto r2 = (*balanced)->SearchBatch(queries);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_EQ((*r1)[q].entries.size(), (*r2)[q].entries.size());
+    for (size_t i = 0; i < (*r1)[q].entries.size(); ++i) {
+      EXPECT_EQ((*r1)[q].entries[i].count, (*r2)[q].entries[i].count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sa
+}  // namespace genie

@@ -1,0 +1,199 @@
+#include "sa/sequence_searcher.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/sequences.h"
+#include "sa/edit_distance.h"
+
+namespace genie {
+namespace sa {
+namespace {
+
+sim::Device* TestDevice() {
+  static sim::Device* device = [] {
+    sim::Device::Options options;
+    options.num_workers = 8;
+    return new sim::Device(options);
+  }();
+  return device;
+}
+
+SequenceSearchOptions BaseOptions(uint32_t k, uint32_t candidate_k) {
+  SequenceSearchOptions options;
+  options.k = k;
+  options.candidate_k = candidate_k;
+  options.engine.device = TestDevice();
+  return options;
+}
+
+/// Brute-force kNN under edit distance (ties by id).
+std::vector<SequenceMatch> BruteForceKnn(
+    const std::vector<std::string>& seqs, const std::string& query,
+    uint32_t k) {
+  std::vector<SequenceMatch> all;
+  for (ObjectId i = 0; i < seqs.size(); ++i) {
+    all.push_back({i, EditDistance(query, seqs[i]), 0});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const SequenceMatch& a, const SequenceMatch& b) {
+              if (a.edit_distance != b.edit_distance)
+                return a.edit_distance < b.edit_distance;
+              return a.id < b.id;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(SequenceSearcherTest, CreateValidatesOptions) {
+  std::vector<std::string> seqs{"abcde"};
+  EXPECT_FALSE(SequenceSearcher::Create(nullptr, BaseOptions(1, 8)).ok());
+  auto bad = BaseOptions(1, 8);
+  bad.ngram = 0;
+  EXPECT_FALSE(SequenceSearcher::Create(&seqs, bad).ok());
+  auto bad2 = BaseOptions(0, 8);
+  EXPECT_FALSE(SequenceSearcher::Create(&seqs, bad2).ok());
+  auto bad3 = BaseOptions(5, 2);  // candidate_k < k
+  EXPECT_FALSE(SequenceSearcher::Create(&seqs, bad3).ok());
+}
+
+TEST(SequenceSearcherTest, ExactCopyIsTop1) {
+  data::SequenceDatasetOptions data_options;
+  data_options.num_sequences = 300;
+  data_options.min_length = 20;
+  data_options.max_length = 40;
+  data_options.seed = 1;
+  auto seqs = data::MakeSequences(data_options);
+  auto searcher = SequenceSearcher::Create(&seqs, BaseOptions(1, 16));
+  ASSERT_TRUE(searcher.ok());
+  std::vector<std::string> queries{seqs[17], seqs[42], seqs[199]};
+  auto outcomes = (*searcher)->SearchBatch(queries);
+  ASSERT_TRUE(outcomes.ok());
+  const ObjectId expected[] = {17, 42, 199};
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_FALSE((*outcomes)[i].knn.empty());
+    EXPECT_EQ((*outcomes)[i].knn[0].id, expected[i]);
+    EXPECT_EQ((*outcomes)[i].knn[0].edit_distance, 0u);
+  }
+}
+
+TEST(SequenceSearcherTest, CertifiedResultsMatchBruteForce) {
+  // Theorem 5.2: whenever the searcher certifies exactness, the kNN must
+  // equal the brute-force kNN distance profile.
+  data::SequenceDatasetOptions data_options;
+  data_options.num_sequences = 250;
+  data_options.min_length = 25;
+  data_options.max_length = 45;
+  data_options.seed = 2;
+  auto seqs = data::MakeSequences(data_options);
+  auto searcher = SequenceSearcher::Create(&seqs, BaseOptions(1, 32));
+  ASSERT_TRUE(searcher.ok());
+
+  Rng rng(3);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 30; ++i) {
+    queries.push_back(data::MutateSequence(
+        seqs[rng.UniformU64(seqs.size())], 0.15, 26, &rng));
+  }
+  auto outcomes = (*searcher)->SearchBatch(queries);
+  ASSERT_TRUE(outcomes.ok());
+  uint32_t certified = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!(*outcomes)[i].certified_exact) continue;
+    ++certified;
+    const auto truth = BruteForceKnn(seqs, queries[i], 1);
+    ASSERT_EQ((*outcomes)[i].knn.size(), truth.size());
+    for (size_t j = 0; j < truth.size(); ++j) {
+      EXPECT_EQ((*outcomes)[i].knn[j].edit_distance,
+                truth[j].edit_distance)
+          << "query " << i << " rank " << j;
+    }
+  }
+  // With 15% modification almost everything should certify (Table VI shows
+  // ~100% accuracy at 0.1-0.2 modification).
+  EXPECT_GT(certified, 20u);
+}
+
+TEST(SequenceSearcherTest, ReportedDistancesAreExact) {
+  data::SequenceDatasetOptions data_options;
+  data_options.num_sequences = 150;
+  data_options.seed = 4;
+  auto seqs = data::MakeSequences(data_options);
+  auto searcher = SequenceSearcher::Create(&seqs, BaseOptions(2, 16));
+  ASSERT_TRUE(searcher.ok());
+  Rng rng(5);
+  std::vector<std::string> queries{
+      data::MutateSequence(seqs[3], 0.2, 26, &rng),
+      data::MutateSequence(seqs[77], 0.3, 26, &rng)};
+  auto outcomes = (*searcher)->SearchBatch(queries);
+  ASSERT_TRUE(outcomes.ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (const SequenceMatch& m : (*outcomes)[i].knn) {
+      EXPECT_EQ(m.edit_distance, EditDistance(queries[i], seqs[m.id]));
+    }
+  }
+}
+
+TEST(SequenceSearcherTest, EscalationImprovesCertification) {
+  data::SequenceDatasetOptions data_options;
+  data_options.num_sequences = 200;
+  data_options.min_length = 15;
+  data_options.max_length = 25;
+  data_options.seed = 6;
+  auto seqs = data::MakeSequences(data_options);
+
+  auto one_round = BaseOptions(1, 2);  // tiny K: many uncertified
+  auto escalating = BaseOptions(1, 2);
+  escalating.escalate_until_exact = true;
+  escalating.max_candidate_k = 64;
+
+  auto s1 = SequenceSearcher::Create(&seqs, one_round);
+  auto s2 = SequenceSearcher::Create(&seqs, escalating);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+
+  Rng rng(7);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 20; ++i) {
+    queries.push_back(data::MutateSequence(
+        seqs[rng.UniformU64(seqs.size())], 0.4, 26, &rng));
+  }
+  auto r1 = (*s1)->SearchBatch(queries);
+  auto r2 = (*s2)->SearchBatch(queries);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  uint32_t certified1 = 0, certified2 = 0, multi_round = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    certified1 += (*r1)[i].certified_exact;
+    certified2 += (*r2)[i].certified_exact;
+    multi_round += (*r2)[i].rounds > 1;
+  }
+  EXPECT_GE(certified2, certified1);
+  EXPECT_GT(multi_round, 0u);
+}
+
+TEST(SequenceSearcherTest, QueryShorterThanNgram) {
+  std::vector<std::string> seqs{"abcdef", "ghijkl"};
+  auto searcher = SequenceSearcher::Create(&seqs, BaseOptions(1, 4));
+  ASSERT_TRUE(searcher.ok());
+  std::vector<std::string> queries{"ab"};  // no 3-grams
+  auto outcomes = (*searcher)->SearchBatch(queries);
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_TRUE((*outcomes)[0].knn.empty());
+  EXPECT_FALSE((*outcomes)[0].certified_exact);
+}
+
+TEST(SequenceSearcherTest, DatasetSmallerThanK) {
+  std::vector<std::string> seqs{"abcdef", "abcxyz"};
+  auto searcher = SequenceSearcher::Create(&seqs, BaseOptions(5, 8));
+  ASSERT_TRUE(searcher.ok());
+  std::vector<std::string> queries{"abcdef"};
+  auto outcomes = (*searcher)->SearchBatch(queries);
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_EQ((*outcomes)[0].knn.size(), 2u);
+  EXPECT_TRUE((*outcomes)[0].certified_exact);
+}
+
+}  // namespace
+}  // namespace sa
+}  // namespace genie

@@ -1,0 +1,193 @@
+#include "sim/device.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace genie {
+namespace sim {
+namespace {
+
+Device::Options SmallDevice() {
+  Device::Options options;
+  options.num_workers = 4;
+  options.memory_capacity_bytes = 1 << 20;  // 1 MiB
+  return options;
+}
+
+TEST(DeviceTest, LaunchCoversGrid) {
+  Device device(SmallDevice());
+  std::vector<std::atomic<uint32_t>> hits(8 * 16);
+  ASSERT_TRUE(device
+                  .Launch({8, 16},
+                          [&](const ThreadCtx& ctx) {
+                            hits[ctx.global_idx()].fetch_add(1);
+                          })
+                  .ok());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1u);
+}
+
+TEST(DeviceTest, ThreadCtxCoordinates) {
+  Device device(SmallDevice());
+  std::atomic<bool> bad{false};
+  ASSERT_TRUE(device
+                  .Launch({4, 8},
+                          [&](const ThreadCtx& ctx) {
+                            if (ctx.block_idx >= 4 || ctx.thread_idx >= 8 ||
+                                ctx.block_dim != 8 || ctx.grid_dim != 4 ||
+                                ctx.global_size() != 32) {
+                              bad.store(true);
+                            }
+                          })
+                  .ok());
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(DeviceTest, EmptyGridIsNoop) {
+  Device device(SmallDevice());
+  EXPECT_TRUE(device.Launch({0, 32}, [](const ThreadCtx&) {
+    FAIL() << "kernel must not run";
+  }).ok());
+}
+
+TEST(DeviceTest, ZeroBlockDimRejected) {
+  Device device(SmallDevice());
+  EXPECT_EQ(device.Launch({1, 0}, [](const ThreadCtx&) {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DeviceTest, BlockDimLimitEnforced) {
+  Device::Options options = SmallDevice();
+  options.max_block_dim = 64;
+  Device device(options);
+  EXPECT_TRUE(device.Launch({1, 64}, [](const ThreadCtx&) {}).ok());
+  EXPECT_EQ(device.Launch({1, 65}, [](const ThreadCtx&) {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DeviceTest, DeterministicModeRunsBlocksInOrder) {
+  Device::Options options = SmallDevice();
+  options.deterministic = true;
+  Device device(options);
+  std::vector<uint32_t> order;
+  ASSERT_TRUE(device
+                  .Launch({16, 1},
+                          [&](const ThreadCtx& ctx) {
+                            order.push_back(ctx.block_idx);  // safe: serial
+                          })
+                  .ok());
+  std::vector<uint32_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(DeviceTest, StatsCountLaunches) {
+  Device device(SmallDevice());
+  device.ResetStats();
+  ASSERT_TRUE(device.Launch({3, 5}, [](const ThreadCtx&) {}).ok());
+  ASSERT_TRUE(device.Launch({2, 7}, [](const ThreadCtx&) {}).ok());
+  const DeviceStats stats = device.stats();
+  EXPECT_EQ(stats.kernel_launches, 2u);
+  EXPECT_EQ(stats.blocks_executed, 5u);
+  EXPECT_EQ(stats.threads_executed, 3u * 5 + 2u * 7);
+}
+
+TEST(DeviceBufferTest, AllocateAndTransfer) {
+  Device device(SmallDevice());
+  auto buf = DeviceBuffer<uint32_t>::Allocate(&device, 100);
+  ASSERT_TRUE(buf.ok());
+  std::vector<uint32_t> host(100);
+  std::iota(host.begin(), host.end(), 0);
+  ASSERT_TRUE(buf->CopyFromHost(host).ok());
+  std::vector<uint32_t> back(100, 0);
+  ASSERT_TRUE(buf->CopyToHost(back.data(), 100).ok());
+  EXPECT_EQ(host, back);
+  const DeviceStats stats = device.stats();
+  EXPECT_EQ(stats.bytes_h2d, 400u);
+  EXPECT_EQ(stats.bytes_d2h, 400u);
+}
+
+TEST(DeviceBufferTest, ZeroInitialized) {
+  Device device(SmallDevice());
+  auto buf = DeviceBuffer<uint64_t>::Allocate(&device, 64);
+  ASSERT_TRUE(buf.ok());
+  std::vector<uint64_t> back(64, 1);
+  ASSERT_TRUE(buf->CopyToHost(back.data(), 64).ok());
+  for (uint64_t v : back) EXPECT_EQ(v, 0u);
+}
+
+TEST(DeviceBufferTest, CapacityEnforced) {
+  Device device(SmallDevice());  // 1 MiB
+  auto big = DeviceBuffer<uint8_t>::Allocate(&device, (1 << 20) + 1);
+  EXPECT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DeviceBufferTest, FreeingAllowsReallocation) {
+  Device device(SmallDevice());
+  {
+    auto a = DeviceBuffer<uint8_t>::Allocate(&device, 1 << 19);
+    ASSERT_TRUE(a.ok());
+    auto b = DeviceBuffer<uint8_t>::Allocate(&device, 1 << 19);
+    ASSERT_TRUE(b.ok());
+    auto c = DeviceBuffer<uint8_t>::Allocate(&device, 1 << 19);
+    EXPECT_FALSE(c.ok());  // full
+  }
+  // Buffers released at scope exit.
+  EXPECT_EQ(device.allocated_bytes(), 0u);
+  auto d = DeviceBuffer<uint8_t>::Allocate(&device, 1 << 19);
+  EXPECT_TRUE(d.ok());
+}
+
+TEST(DeviceBufferTest, PeakAllocationTracked) {
+  Device device(SmallDevice());
+  device.ResetStats();
+  {
+    auto a = DeviceBuffer<uint8_t>::Allocate(&device, 1000);
+    ASSERT_TRUE(a.ok());
+  }
+  EXPECT_EQ(device.stats().peak_allocated_bytes, 1000u);
+  EXPECT_EQ(device.stats().allocated_bytes, 0u);
+}
+
+TEST(DeviceBufferTest, OutOfRangeTransfersRejected) {
+  Device device(SmallDevice());
+  auto buf = DeviceBuffer<uint32_t>::Allocate(&device, 10);
+  ASSERT_TRUE(buf.ok());
+  std::vector<uint32_t> host(11);
+  EXPECT_EQ(buf->CopyFromHost(host.data(), 11).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(buf->CopyToHost(host.data(), 5, 6).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(DeviceBufferTest, MoveTransfersOwnership) {
+  Device device(SmallDevice());
+  auto a = DeviceBuffer<uint32_t>::Allocate(&device, 10);
+  ASSERT_TRUE(a.ok());
+  DeviceBuffer<uint32_t> b = std::move(a).ValueOrDie();
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(device.allocated_bytes(), 40u);
+  DeviceBuffer<uint32_t> c = std::move(b);
+  EXPECT_EQ(c.size(), 10u);
+  EXPECT_EQ(device.allocated_bytes(), 40u);  // no double count
+}
+
+TEST(DeviceTest, AtomicsAcrossBlocks) {
+  // Cross-block atomic increments must not lose updates.
+  Device device(SmallDevice());
+  uint32_t counter = 0;
+  ASSERT_TRUE(device
+                  .Launch({64, 32},
+                          [&](const ThreadCtx&) {
+                            std::atomic_ref<uint32_t>(counter).fetch_add(1);
+                          })
+                  .ok());
+  EXPECT_EQ(counter, 64u * 32);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace genie

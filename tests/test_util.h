@@ -1,0 +1,96 @@
+#pragma once
+
+/// Shared test helpers: reference (brute force) implementations of the
+/// match-count model and top-k selection, plus random workload builders.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/query.h"
+#include "index/index_builder.h"
+#include "index/inverted_index.h"
+
+namespace genie {
+namespace test {
+
+/// Definition 2.1 evaluated naively: count per object of postings covered
+/// by the query's items.
+inline std::vector<uint32_t> BruteForceCounts(const InvertedIndex& index,
+                                              const Query& query) {
+  std::vector<uint32_t> counts(index.num_objects(), 0);
+  for (uint32_t i = 0; i < query.num_items(); ++i) {
+    for (Keyword kw : query.item(i)) {
+      auto [first, num] = index.KeywordLists(kw);
+      for (uint32_t l = 0; l < num; ++l) {
+        const auto ref = index.List(first + l);
+        for (uint32_t pos = ref.begin; pos < ref.end; ++pos) {
+          ++counts[index.postings()[pos]];
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+/// Descending multiset of the k largest nonzero counts (the value profile a
+/// correct top-k must reproduce; ids may differ on ties).
+inline std::vector<uint32_t> TopKCountMultiset(
+    const std::vector<uint32_t>& counts, uint32_t k) {
+  std::vector<uint32_t> nonzero;
+  for (uint32_t c : counts) {
+    if (c > 0) nonzero.push_back(c);
+  }
+  std::sort(nonzero.begin(), nonzero.end(), std::greater<>());
+  if (nonzero.size() > k) nonzero.resize(k);
+  return nonzero;
+}
+
+inline std::vector<uint32_t> EntryCountMultiset(const QueryResult& result) {
+  std::vector<uint32_t> counts;
+  counts.reserve(result.entries.size());
+  for (const TopKEntry& e : result.entries) counts.push_back(e.count);
+  return counts;  // already descending
+}
+
+/// A synthetic match-count workload: `num_objects` objects, each holding
+/// `keywords_per_object` keywords from a `vocab_size` universe, plus
+/// `num_queries` queries of `items_per_query` single-keyword items.
+struct RandomWorkload {
+  InvertedIndex index;
+  std::vector<Query> queries;
+};
+
+inline RandomWorkload MakeRandomWorkload(uint32_t num_objects,
+                                         uint32_t vocab_size,
+                                         uint32_t keywords_per_object,
+                                         uint32_t num_queries,
+                                         uint32_t items_per_query,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  InvertedIndexBuilder builder(vocab_size);
+  for (uint32_t o = 0; o < num_objects; ++o) {
+    // Distinct keywords per object: one query item then matches an object
+    // at most once, which is what the engine's derived count bound assumes.
+    std::set<Keyword> keywords;
+    while (keywords.size() < std::min(keywords_per_object, vocab_size)) {
+      keywords.insert(static_cast<Keyword>(rng.UniformU64(vocab_size)));
+    }
+    for (Keyword kw : keywords) builder.Add(o, kw);
+  }
+  RandomWorkload workload;
+  workload.index = std::move(builder).Build().ValueOrDie();
+  workload.queries.resize(num_queries);
+  for (auto& query : workload.queries) {
+    for (uint32_t i = 0; i < items_per_query; ++i) {
+      query.AddItem(static_cast<Keyword>(rng.UniformU64(vocab_size)));
+    }
+  }
+  return workload;
+}
+
+}  // namespace test
+}  // namespace genie
