@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "api/genie.h"
 #include "baselines/appgram_engine.h"
 #include "baselines/cpu_idx_engine.h"
 #include "baselines/cpu_lsh_engine.h"
@@ -20,15 +21,15 @@ constexpr uint32_t kK = 100;
 
 void BM_Genie(benchmark::State& state, const NamedWorkload* w) {
   const uint32_t nq = static_cast<uint32_t>(state.range(0));
-  MatchEngineOptions options;
-  options.k = kK;
-  options.max_count = w->max_count;
-  options.device = BenchDevice();
-  auto engine = MatchEngine::Create(w->index, options);
+  auto engine = Engine::Create(EngineConfig()
+                                   .Index(w->index)
+                                   .K(kK)
+                                   .MaxCount(w->max_count)
+                                   .Device(BenchDevice()));
   GENIE_CHECK(engine.ok());
   std::span<const Query> batch(w->queries->data(), nq);
   for (auto _ : state) {
-    auto results = (*engine)->ExecuteBatch(batch);
+    auto results = (*engine)->Search(SearchRequest::Compiled(batch));
     GENIE_CHECK(results.ok()) << results.status().ToString();
     benchmark::DoNotOptimize(results);
   }

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "api/genie.h"
 #include "baselines/cpu_idx_engine.h"
 #include "baselines/gpu_spq_engine.h"
 #include "bench_common.h"
@@ -49,15 +50,15 @@ const InvertedIndex* PrefixCached(const NamedWorkload& w, uint32_t percent) {
 
 void BM_Genie(benchmark::State& state, const NamedWorkload* w) {
   const auto* index = PrefixCached(*w, static_cast<uint32_t>(state.range(0)));
-  MatchEngineOptions options;
-  options.k = kK;
-  options.max_count = w->max_count;
-  options.device = BenchDevice();
-  auto engine = MatchEngine::Create(index, options);
+  auto engine = Engine::Create(EngineConfig()
+                                   .Index(index)
+                                   .K(kK)
+                                   .MaxCount(w->max_count)
+                                   .Device(BenchDevice()));
   GENIE_CHECK(engine.ok());
   std::span<const Query> batch(w->queries->data(), kQueries);
   for (auto _ : state) {
-    auto results = (*engine)->ExecuteBatch(batch);
+    auto results = (*engine)->Search(SearchRequest::Compiled(batch));
     GENIE_CHECK(results.ok());
     benchmark::DoNotOptimize(results);
   }

@@ -1,20 +1,19 @@
 /// Tables II & III: multiple-loading scalability on a large point dataset
-/// (the SIFT_LARGE stand-in). The dataset is built in fixed-size parts; the
-/// engine swaps each part's index through the simulated device and merges
-/// per-part top-k on the host. Table II reports total time vs cardinality
-/// against CPU-LSH; Table III breaks out the extra multiple-loading costs
-/// (index transfer, result merge).
+/// (the SIFT_LARGE stand-in), driven through the genie::Engine facade. The
+/// engine is forced into the multiple-loading backend with a swept part
+/// count; it shards the index, swaps each part's List Array through the
+/// simulated device and merges per-part top-k on the host. Table II reports
+/// total time vs cardinality against CPU-LSH; Table III breaks out the
+/// extra multiple-loading costs (index transfer, result merge).
 
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "api/genie.h"
 #include "baselines/cpu_lsh_engine.h"
 #include "bench_common.h"
 #include "common/timer.h"
-#include "core/multi_load_engine.h"
-#include "lsh/e2lsh.h"
-#include "lsh/lsh_transformer.h"
 
 namespace genie {
 namespace bench {
@@ -27,7 +26,8 @@ int Run() {
   const uint32_t part_size = Scaled(50000);  // the paper loads 6M per part
   const uint32_t max_parts = 4;
 
-  // One big dataset, split into parts with a per-part LSH index.
+  // One big dataset; each sweep step serves a prefix of it, sharded into
+  // `parts` device loads by the facade.
   data::ClusteredPointsOptions data_options;
   data_options.num_points = part_size * max_parts;
   data_options.dim = 32;
@@ -42,27 +42,9 @@ int Run() {
   lsh_options.seed = 1002;
   auto family = std::shared_ptr<const lsh::VectorLshFamily>(
       lsh::E2LshFamily::Create(lsh_options).ValueOrDie().release());
-  lsh::LshTransformOptions transform;
-  transform.rehash_domain = 67;
-  lsh::LshTransformer transformer(family, transform);
-
-  std::vector<InvertedIndex> part_indexes;
-  for (uint32_t p = 0; p < max_parts; ++p) {
-    data::PointMatrix part(part_size, 32);
-    for (uint32_t i = 0; i < part_size; ++i) {
-      auto from = dataset.points.row(p * part_size + i);
-      std::copy(from.begin(), from.end(), part.mutable_row(i).begin());
-    }
-    part_indexes.push_back(transformer.BuildIndex(part).ValueOrDie());
-  }
 
   auto query_points = data::MakeQueriesNear(dataset.points, kQueries, 0.3,
                                             1003);
-  std::vector<Query> queries;
-  queries.reserve(kQueries);
-  for (uint32_t q = 0; q < kQueries; ++q) {
-    queries.push_back(transformer.MakeQuery(query_points.row(q)));
-  }
 
   std::printf(
       "Tables II & III: multiple loading, %u queries, parts of %u points\n",
@@ -71,29 +53,30 @@ int Run() {
               "GENIE-total-s", "index-transfer-s", "result-merge-s",
               "CPU-LSH-s(extr.)");
   for (uint32_t parts = 1; parts <= max_parts; ++parts) {
-    MatchEngineOptions engine_options;
-    engine_options.k = 100;
-    engine_options.max_count = 64;
-    engine_options.device = BenchDevice();
-    std::vector<IndexPart> index_parts;
-    for (uint32_t p = 0; p < parts; ++p) {
-      index_parts.push_back(IndexPart{&part_indexes[p], p * part_size});
-    }
-    auto engine = MultiLoadEngine::Create(index_parts, engine_options);
-    GENIE_CHECK(engine.ok());
-    WallTimer timer;
-    auto results = (*engine)->ExecuteBatch(queries);
-    GENIE_CHECK(results.ok());
-    const double total_s = timer.Seconds();
-    const MultiLoadProfile& profile = (*engine)->profile();
-
-    // CPU-LSH on the same cardinality, measured on a small batch and
-    // linearly extrapolated (it is single-threaded and per-query).
-    data::PointMatrix prefix(parts * part_size, 32);
-    for (uint32_t i = 0; i < parts * part_size; ++i) {
+    const uint32_t cardinality = parts * part_size;
+    data::PointMatrix prefix(cardinality, 32);
+    for (uint32_t i = 0; i < cardinality; ++i) {
       auto from = dataset.points.row(i);
       std::copy(from.begin(), from.end(), prefix.mutable_row(i).begin());
     }
+
+    auto engine = Engine::Create(EngineConfig()
+                                     .Points(&prefix)
+                                     .VectorFamily(family)
+                                     .K(100)
+                                     .RehashDomain(67)
+                                     .Device(BenchDevice())
+                                     .ForceParts(parts));
+    GENIE_CHECK(engine.ok()) << engine.status().ToString();
+    WallTimer timer;
+    auto results = (*engine)->Search(SearchRequest::Points(query_points));
+    GENIE_CHECK(results.ok()) << results.status().ToString();
+    const double total_s = timer.Seconds();
+    const SearchProfile& profile = results->profile;
+    GENIE_CHECK(profile.parts == parts);
+
+    // CPU-LSH on the same cardinality, measured on a small batch and
+    // linearly extrapolated (it is single-threaded and per-query).
     baselines::CpuLshOptions cpu_options;
     cpu_options.k = 100;
     cpu_options.rehash_domain = 1024;
@@ -110,9 +93,8 @@ int Run() {
     const double cpu_s =
         cpu_timer.Seconds() * kQueries / kCpuLshQueries;
 
-    std::printf("%-12u %-14.3f %-16.3f %-14.3f %-16.3f\n",
-                parts * part_size, total_s, profile.index_transfer_s,
-                profile.merge_s, cpu_s);
+    std::printf("%-12u %-14.3f %-16.3f %-14.3f %-16.3f\n", cardinality,
+                total_s, profile.index_transfer_s, profile.merge_s, cpu_s);
   }
   return 0;
 }

@@ -1,14 +1,12 @@
 /// Approximate nearest neighbour search on high-dimensional feature vectors
-/// (the paper's SIFT scenario): E2LSH p-stable hashing lowered into GENIE's
-/// inverted index, tau-ANN by match count, and exact re-ranking for kNN.
+/// (the paper's SIFT scenario) through the genie::Engine facade: E2LSH
+/// p-stable hashing lowered into GENIE's inverted index, tau-ANN by match
+/// count, and exact re-ranking for kNN.
 
 #include <cstdio>
-#include <memory>
 
+#include "api/genie.h"
 #include "data/points.h"
-#include "lsh/e2lsh.h"
-#include "lsh/lsh_searcher.h"
-#include "lsh/tau_ann.h"
 
 int main() {
   // Stand-in for a SIFT feature collection: 100k 32-d points.
@@ -24,50 +22,55 @@ int main() {
   const uint32_t m = genie::lsh::MinHashFunctions(0.10, 0.10);
   std::printf("using m = %u hash functions (eps = delta = 0.10)\n", m);
 
-  genie::lsh::E2LshOptions lsh_options;
-  lsh_options.dim = 32;
-  lsh_options.num_functions = m;
-  lsh_options.bucket_width = 4.0;
-  lsh_options.p = 2;
-  auto family = std::shared_ptr<const genie::lsh::VectorLshFamily>(
-      genie::lsh::E2LshFamily::Create(lsh_options).ValueOrDie().release());
-
-  genie::lsh::LshSearchOptions options;
-  options.transform.rehash_domain = 67;  // the paper's SIFT bucket count
-  options.engine.k = 64;                 // candidates kept per query
-  auto searcher =
-      genie::lsh::LshSearcher::Create(&dataset.points, family, options);
-  if (!searcher.ok()) {
-    std::fprintf(stderr, "%s\n", searcher.status().ToString().c_str());
+  // kNN mode: 64 match-count candidates per query, exact-l2 re-ranked to
+  // the 5 nearest. The default family is E2LSH over the dataset dimension;
+  // RehashDomain(67) is the paper's SIFT bucket count.
+  auto engine = genie::Engine::Create(genie::EngineConfig()
+                                          .Points(&dataset.points)
+                                          .K(5)
+                                          .CandidateK(64)
+                                          .HashFunctions(m)
+                                          .RehashDomain(67)
+                                          .MetricP(2)
+                                          .ExactRerank(true));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
   }
 
-  // Query with perturbed data points; ask for the 5 nearest neighbours.
+  // Query with perturbed data points.
   auto queries = genie::data::MakeQueriesNear(dataset.points, 8, 0.2, 12);
-  auto knn = (*searcher)->KnnBatch(queries, /*k_nn=*/5, /*p=*/2);
+  auto knn = (*engine)->Search(genie::SearchRequest::Points(queries));
   if (!knn.ok()) {
     std::fprintf(stderr, "%s\n", knn.status().ToString().c_str());
     return 1;
   }
   for (uint32_t q = 0; q < queries.num_points(); ++q) {
     std::printf("query %u nearest neighbours:", q);
-    for (genie::ObjectId id : (*knn)[q]) {
-      std::printf(" %u (d=%.3f)", id,
-                  genie::data::L2Distance(dataset.points.row(id),
+    for (const genie::Hit& hit : knn->queries[q].hits) {
+      std::printf(" %u (d=%.3f)", hit.id,
+                  genie::data::L2Distance(dataset.points.row(hit.id),
                                           queries.row(q)));
     }
     std::printf("\n");
   }
 
-  // The match-count view: the top count over m functions estimates the
-  // similarity (Eqn. 7).
-  auto matches = (*searcher)->MatchBatch(queries);
-  if (matches.ok() && !(*matches)[0].empty()) {
-    const auto& top = (*matches)[0][0];
-    std::printf(
-        "query 0 tau-ANN: object %u, match count %u/%u, estimated "
-        "similarity %.3f\n",
-        top.id, top.match_count, m, top.estimated_similarity);
+  // The match-count view: an engine without re-ranking returns candidates
+  // in match-count order, and count/m estimates the similarity (Eqn. 7).
+  auto estimator = genie::Engine::Create(genie::EngineConfig()
+                                             .Points(&dataset.points)
+                                             .K(1)
+                                             .HashFunctions(m)
+                                             .RehashDomain(67));
+  if (estimator.ok()) {
+    auto matches = (*estimator)->Search(genie::SearchRequest::Points(queries));
+    if (matches.ok() && !matches->queries[0].hits.empty()) {
+      const genie::Hit& top = matches->queries[0].hits[0];
+      std::printf(
+          "query 0 tau-ANN: object %u, match count %u/%u, estimated "
+          "similarity %.3f\n",
+          top.id, top.match_count, m, top.score);
+    }
   }
   return 0;
 }

@@ -1,12 +1,12 @@
-/// Short-document similarity search (Section V-B): tweets-like documents
-/// under the binary vector-space model, where GENIE's match count is
-/// exactly the inner product between query and document.
+/// Short-document similarity search (Section V-B) through the genie::Engine
+/// facade: tweets-like documents under the binary vector-space model, where
+/// GENIE's match count is exactly the inner product between query and
+/// document.
 
-#include <algorithm>
 #include <cstdio>
 
+#include "api/genie.h"
 #include "data/documents.h"
-#include "sa/document_searcher.h"
 
 int main() {
   // A tweets-like corpus: 80k short documents over a Zipfian vocabulary.
@@ -18,29 +18,28 @@ int main() {
   data_options.seed = 31;
   auto corpus = genie::data::MakeDocuments(data_options);
 
-  genie::sa::DocumentSearchOptions options;
-  options.k = 5;
-  auto searcher = genie::sa::DocumentSearcher::Create(&corpus, options);
-  if (!searcher.ok()) {
-    std::fprintf(stderr, "%s\n", searcher.status().ToString().c_str());
+  auto engine =
+      genie::Engine::Create(genie::EngineConfig().Documents(&corpus).K(5));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
   }
 
   // Queries: held-out documents with 30% of their tokens replaced.
   auto queries =
       genie::data::MakeDocumentQueries(corpus, 4, 0.3, 20000, 1.05, 32);
-  auto results = (*searcher)->SearchBatch(queries);
-  if (!results.ok()) {
-    std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+  auto result = (*engine)->Search(genie::SearchRequest::Documents(queries));
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
 
   for (size_t q = 0; q < queries.size(); ++q) {
     std::printf("query %zu (%zu tokens): top documents by word overlap\n", q,
                 queries[q].size());
-    for (const genie::TopKEntry& e : (*results)[q].entries) {
-      std::printf("  doc %-8u inner product %u (doc length %zu)\n", e.id,
-                  e.count, corpus[e.id].size());
+    for (const genie::Hit& hit : result->queries[q].hits) {
+      std::printf("  doc %-8u inner product %u (doc length %zu)\n", hit.id,
+                  hit.match_count, corpus[hit.id].size());
     }
   }
   return 0;

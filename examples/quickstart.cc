@@ -1,18 +1,15 @@
 /// Quickstart: top-k selection on a relational table (the paper's running
-/// example of Fig. 1, scaled up). Shows the minimal GENIE workflow:
+/// example of Fig. 1, scaled up). Shows the minimal GENIE workflow through
+/// the genie::Engine facade:
 ///   1. put your data in a RelationalTable (discrete values per column),
-///   2. create a RelationalSearcher (builds the inverted index and ships it
-///      to the device),
+///   2. create an Engine from an EngineConfig (builds the inverted index,
+///      ships it to the device, picks the backend automatically),
 ///   3. submit a batch of range queries and read back ranked rows.
 
 #include <cstdio>
 
+#include "api/genie.h"
 #include "data/relational_data.h"
-#include "sa/relational.h"
-
-using genie::MatchEngineOptions;
-using genie::QueryResult;
-using genie::TopKEntry;
 
 int main() {
   // A synthetic census-like table: 4 numeric columns discretized into 128
@@ -27,11 +24,12 @@ int main() {
   genie::sa::RelationalTable table =
       genie::data::MakeRelationalTable(data_options);
 
-  // Build the searcher: k = 5 best-matching rows per query.
-  auto searcher = genie::sa::RelationalSearcher::Create(&table, /*k=*/5);
-  if (!searcher.ok()) {
+  // One fluent config: bind the table, ask for the 5 best rows per query.
+  auto engine =
+      genie::Engine::Create(genie::EngineConfig().Table(&table).K(5));
+  if (!engine.ok()) {
     std::fprintf(stderr, "create failed: %s\n",
-                 searcher.status().ToString().c_str());
+                 engine.status().ToString().c_str());
     return 1;
   }
 
@@ -44,21 +42,21 @@ int main() {
       .Add(/*column=*/4, /*lo=*/2, /*hi=*/2);
 
   std::vector<genie::sa::RangeQuery> batch{query};
-  auto results = (*searcher)->SearchBatch(batch);
-  if (!results.ok()) {
+  auto result = (*engine)->Search(genie::SearchRequest::Ranges(batch));
+  if (!result.ok()) {
     std::fprintf(stderr, "search failed: %s\n",
-                 results.status().ToString().c_str());
+                 result.status().ToString().c_str());
     return 1;
   }
 
-  const QueryResult& top = (*results)[0];
+  const genie::QueryHits& top = result->queries[0];
   std::printf("top-%zu rows (of %u) by satisfied predicates:\n",
-              top.entries.size(), table.num_rows());
-  for (const TopKEntry& e : top.entries) {
-    std::printf("  row %-8u satisfies %u / 3 predicates  (values:", e.id,
-                e.count);
+              top.hits.size(), table.num_rows());
+  for (const genie::Hit& hit : top.hits) {
+    std::printf("  row %-8u satisfies %u / 3 predicates  (values:", hit.id,
+                hit.match_count);
     for (uint32_t c = 0; c < table.num_columns(); ++c) {
-      std::printf(" %u", table.value(e.id, c));
+      std::printf(" %u", table.value(hit.id, c));
     }
     std::printf(")\n");
   }

@@ -1,13 +1,14 @@
-/// Sequence similarity search under edit distance (Section V-A), in the
-/// paper's motivating shape: typing-error correction. Mutated strings are
-/// matched against a dictionary through ordered n-grams; candidates are
-/// verified with Algorithm 2 and the result is certified by Theorem 5.2.
+/// Sequence similarity search under edit distance (Section V-A) through the
+/// genie::Engine facade, in the paper's motivating shape: typing-error
+/// correction. Mutated strings are matched against a dictionary through
+/// ordered n-grams; candidates are verified with Algorithm 2 and the result
+/// is certified by Theorem 5.2.
 
 #include <cstdio>
 
+#include "api/genie.h"
 #include "common/rng.h"
 #include "data/sequences.h"
-#include "sa/sequence_searcher.h"
 
 int main() {
   // The "dictionary": 50k random title-like sequences.
@@ -18,15 +19,18 @@ int main() {
   data_options.seed = 21;
   auto dictionary = genie::data::MakeSequences(data_options);
 
-  genie::sa::SequenceSearchOptions options;
-  options.ngram = 3;
-  options.k = 1;             // the best correction
-  options.candidate_k = 32;  // the paper's K
-  options.escalate_until_exact = true;  // multi-round search (Sec. VI-D3)
-  options.max_candidate_k = 128;
-  auto searcher = genie::sa::SequenceSearcher::Create(&dictionary, options);
-  if (!searcher.ok()) {
-    std::fprintf(stderr, "%s\n", searcher.status().ToString().c_str());
+  // k = 1: the best correction. 32 candidates per round (the paper's K),
+  // escalating with doubled K until Theorem 5.2 certifies exactness
+  // (the multi-round search of Section VI-D3).
+  auto engine = genie::Engine::Create(genie::EngineConfig()
+                                          .Sequences(&dictionary)
+                                          .K(1)
+                                          .CandidateK(32)
+                                          .Ngram(3)
+                                          .EscalateUntilExact(true)
+                                          .MaxCandidateK(128));
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
   }
 
@@ -42,25 +46,26 @@ int main() {
         genie::data::MutateSequence(dictionary[src], 0.2, 26, &rng));
   }
 
-  auto outcomes = (*searcher)->SearchBatch(queries);
-  if (!outcomes.ok()) {
-    std::fprintf(stderr, "%s\n", outcomes.status().ToString().c_str());
+  auto result = (*engine)->Search(genie::SearchRequest::Sequences(queries));
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
   for (size_t i = 0; i < queries.size(); ++i) {
-    const auto& outcome = (*outcomes)[i];
+    const genie::QueryHits& answer = result->queries[i];
     std::printf("typed   : %s\n", queries[i].c_str());
-    if (outcome.knn.empty()) {
+    if (answer.hits.empty()) {
       std::printf("  no correction found\n");
       continue;
     }
-    const auto& best = outcome.knn[0];
+    const genie::Hit& best = answer.hits[0];
+    const uint32_t edit_distance = static_cast<uint32_t>(-best.score);
     std::printf("corrected: %s\n", dictionary[best.id].c_str());
     std::printf(
         "  edit distance %u, recovered source: %s, certified exact: %s, "
         "rounds: %u\n\n",
-        best.edit_distance, best.id == sources[i] ? "yes" : "no",
-        outcome.certified_exact ? "yes" : "no", outcome.rounds);
+        edit_distance, best.id == sources[i] ? "yes" : "no",
+        answer.certified_exact ? "yes" : "no", answer.rounds);
   }
   return 0;
 }

@@ -1,0 +1,280 @@
+#include "api/engine.h"
+
+#include <utility>
+
+#include "api/searcher.h"
+
+namespace genie {
+
+const char* ModalityToString(Modality modality) {
+  switch (modality) {
+    case Modality::kPoints: return "points";
+    case Modality::kSets: return "sets";
+    case Modality::kSequences: return "sequences";
+    case Modality::kDocuments: return "documents";
+    case Modality::kRelational: return "relational";
+    case Modality::kCompiled: return "compiled";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// SearchRequest
+// ---------------------------------------------------------------------------
+
+SearchRequest SearchRequest::Points(const data::PointMatrix& queries) {
+  SearchRequest request;
+  request.modality = Modality::kPoints;
+  request.points = &queries;
+  return request;
+}
+
+SearchRequest SearchRequest::Sets(
+    std::span<const std::vector<uint32_t>> queries) {
+  SearchRequest request;
+  request.modality = Modality::kSets;
+  request.sets = queries;
+  return request;
+}
+
+SearchRequest SearchRequest::Sequences(std::span<const std::string> queries) {
+  SearchRequest request;
+  request.modality = Modality::kSequences;
+  request.sequences = queries;
+  return request;
+}
+
+SearchRequest SearchRequest::Documents(
+    std::span<const std::vector<uint32_t>> queries) {
+  SearchRequest request;
+  request.modality = Modality::kDocuments;
+  request.documents = queries;
+  return request;
+}
+
+SearchRequest SearchRequest::Ranges(std::span<const sa::RangeQuery> queries) {
+  SearchRequest request;
+  request.modality = Modality::kRelational;
+  request.ranges = queries;
+  return request;
+}
+
+SearchRequest SearchRequest::Compiled(std::span<const Query> queries) {
+  SearchRequest request;
+  request.modality = Modality::kCompiled;
+  request.compiled = queries;
+  return request;
+}
+
+size_t SearchRequest::num_queries() const {
+  switch (modality) {
+    case Modality::kPoints: return points != nullptr ? points->num_points() : 0;
+    case Modality::kSets: return sets.size();
+    case Modality::kSequences: return sequences.size();
+    case Modality::kDocuments: return documents.size();
+    case Modality::kRelational: return ranges.size();
+    case Modality::kCompiled: return compiled.size();
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// EngineConfig
+// ---------------------------------------------------------------------------
+
+EngineConfig& EngineConfig::Bind(Modality modality) {
+  has_modality_ = true;
+  modality_ = modality;
+  return *this;
+}
+
+EngineConfig& EngineConfig::Points(const data::PointMatrix* points) {
+  points_ = points;
+  return Bind(Modality::kPoints);
+}
+EngineConfig& EngineConfig::Sets(
+    const std::vector<std::vector<uint32_t>>* sets) {
+  sets_ = sets;
+  return Bind(Modality::kSets);
+}
+EngineConfig& EngineConfig::Sequences(
+    const std::vector<std::string>* sequences) {
+  sequences_ = sequences;
+  return Bind(Modality::kSequences);
+}
+EngineConfig& EngineConfig::Documents(
+    const std::vector<std::vector<uint32_t>>* documents) {
+  documents_ = documents;
+  return Bind(Modality::kDocuments);
+}
+EngineConfig& EngineConfig::Table(const sa::RelationalTable* table) {
+  table_ = table;
+  return Bind(Modality::kRelational);
+}
+EngineConfig& EngineConfig::Index(const InvertedIndex* index) {
+  index_ = index;
+  return Bind(Modality::kCompiled);
+}
+
+EngineConfig& EngineConfig::K(uint32_t k) {
+  k_ = k;
+  return *this;
+}
+EngineConfig& EngineConfig::CandidateK(uint32_t candidate_k) {
+  candidate_k_ = candidate_k;
+  return *this;
+}
+EngineConfig& EngineConfig::Selector(SelectorKind selector) {
+  selector_ = selector;
+  return *this;
+}
+EngineConfig& EngineConfig::Device(sim::Device* device) {
+  device_ = device;
+  return *this;
+}
+EngineConfig& EngineConfig::MaxCount(uint32_t max_count) {
+  max_count_ = max_count;
+  return *this;
+}
+EngineConfig& EngineConfig::MaxListLength(uint32_t max_list_length) {
+  max_list_length_ = max_list_length;
+  return *this;
+}
+EngineConfig& EngineConfig::BlockDim(uint32_t block_dim) {
+  block_dim_ = block_dim;
+  return *this;
+}
+EngineConfig& EngineConfig::MaxListsPerBlock(uint32_t max_lists) {
+  max_lists_per_block_ = max_lists;
+  return *this;
+}
+EngineConfig& EngineConfig::CollectHtStats(bool collect) {
+  collect_ht_stats_ = collect;
+  return *this;
+}
+EngineConfig& EngineConfig::Seed(uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+EngineConfig& EngineConfig::VectorFamily(
+    std::shared_ptr<const lsh::VectorLshFamily> family) {
+  vector_family_ = std::move(family);
+  return *this;
+}
+EngineConfig& EngineConfig::SetFamily(
+    std::shared_ptr<const lsh::SetLshFamily> family) {
+  set_family_ = std::move(family);
+  return *this;
+}
+EngineConfig& EngineConfig::HashFunctions(uint32_t m) {
+  hash_functions_ = m;
+  return *this;
+}
+EngineConfig& EngineConfig::RehashDomain(uint32_t domain) {
+  rehash_domain_ = domain;
+  return *this;
+}
+EngineConfig& EngineConfig::MetricP(uint32_t p) {
+  metric_p_ = p;
+  return *this;
+}
+EngineConfig& EngineConfig::ExactRerank(bool rerank) {
+  exact_rerank_ = rerank;
+  return *this;
+}
+
+EngineConfig& EngineConfig::Ngram(uint32_t n) {
+  ngram_ = n;
+  return *this;
+}
+EngineConfig& EngineConfig::EscalateUntilExact(bool escalate) {
+  escalate_until_exact_ = escalate;
+  return *this;
+}
+EngineConfig& EngineConfig::MaxCandidateK(uint32_t max_candidate_k) {
+  max_candidate_k_ = max_candidate_k;
+  return *this;
+}
+
+EngineConfig& EngineConfig::AllowMultiLoad(bool allow) {
+  allow_multi_load_ = allow;
+  return *this;
+}
+EngineConfig& EngineConfig::MaxParts(uint32_t max_parts) {
+  max_parts_ = max_parts;
+  return *this;
+}
+EngineConfig& EngineConfig::ForceParts(uint32_t parts) {
+  force_parts_ = parts;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine::Engine(EngineConfig config, std::unique_ptr<Searcher> searcher)
+    : config_(std::move(config)), searcher_(std::move(searcher)) {}
+
+Engine::~Engine() = default;
+
+Result<std::unique_ptr<Engine>> Engine::Create(const EngineConfig& config) {
+  if (!config.has_modality()) {
+    return Status::InvalidArgument(
+        "EngineConfig has no dataset binding; call one of Points / Sets / "
+        "Sequences / Documents / Table / Index");
+  }
+  if (config.k() == 0) return Status::InvalidArgument("k must be >= 1");
+  if (config.candidate_k() != 0 && config.candidate_k() < config.k()) {
+    return Status::InvalidArgument("candidate_k must be >= k");
+  }
+  if (config.block_dim() == 0) {
+    return Status::InvalidArgument("block_dim must be >= 1");
+  }
+  if (config.metric_p() != 1 && config.metric_p() != 2) {
+    return Status::InvalidArgument("metric_p must be 1 or 2");
+  }
+
+  Result<std::unique_ptr<Searcher>> searcher = [&] {
+    switch (config.modality()) {
+      case Modality::kPoints: return MakePointsSearcher(config);
+      case Modality::kSets: return MakeSetsSearcher(config);
+      case Modality::kSequences: return MakeSequencesSearcher(config);
+      case Modality::kDocuments: return MakeDocumentsSearcher(config);
+      case Modality::kRelational: return MakeRelationalSearcher(config);
+      case Modality::kCompiled: return MakeCompiledSearcher(config);
+    }
+    return Result<std::unique_ptr<Searcher>>(
+        Status::InvalidArgument("unknown modality"));
+  }();
+  if (!searcher.ok()) return searcher.status();
+  return std::unique_ptr<Engine>(
+      new Engine(config, std::move(searcher).ValueOrDie()));
+}
+
+Modality Engine::modality() const { return searcher_->modality(); }
+
+uint32_t Engine::num_objects() const { return searcher_->num_objects(); }
+
+Result<SearchResult> Engine::Search(const SearchRequest& request) {
+  if (request.modality != modality()) {
+    return Status::InvalidArgument(
+        std::string("request payload is '") +
+        ModalityToString(request.modality) + "' but the engine serves '" +
+        ModalityToString(modality()) + "'");
+  }
+  if (request.num_queries() == 0) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  if (request.modality == Modality::kPoints &&
+      request.points->dim() != config_.points()->dim()) {
+    return Status::InvalidArgument(
+        "query dimension " + std::to_string(request.points->dim()) +
+        " does not match dataset dimension " +
+        std::to_string(config_.points()->dim()));
+  }
+  return searcher_->Search(request);
+}
+
+}  // namespace genie

@@ -1,0 +1,199 @@
+#pragma once
+
+/// \file engine.h
+/// The single entry point to GENIE: a fluent EngineConfig binds one dataset
+/// (any modality), Engine::Create builds the transform + inverted index and
+/// picks the backend, and Engine::Search answers batches with the unified
+/// SearchResult shape. Backend selection is automatic — when the index
+/// exceeds device memory the engine transparently shards it and answers
+/// through multiple loading (Section III-D); no caller intervention.
+///
+///   auto engine = genie::Engine::Create(
+///       genie::EngineConfig().Table(&table).K(5));
+///   auto result = (*engine)->Search(genie::SearchRequest::Ranges(batch));
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "api/types.h"
+#include "common/result.h"
+#include "index/inverted_index.h"
+#include "lsh/lsh_family.h"
+#include "sim/device.h"
+
+namespace genie {
+
+class Searcher;
+
+/// Fluent configuration. Exactly one dataset binding selects the modality;
+/// everything else has workload-appropriate defaults. Bound datasets must
+/// outlive the Engine.
+class EngineConfig {
+ public:
+  // --- Dataset bindings (each selects the modality). -----------------------
+  EngineConfig& Points(const data::PointMatrix* points);
+  EngineConfig& Sets(const std::vector<std::vector<uint32_t>>* sets);
+  EngineConfig& Sequences(const std::vector<std::string>* sequences);
+  EngineConfig& Documents(const std::vector<std::vector<uint32_t>>* documents);
+  EngineConfig& Table(const sa::RelationalTable* table);
+  EngineConfig& Index(const InvertedIndex* index);
+
+  // --- Common knobs. -------------------------------------------------------
+  /// Results returned per query (default 10).
+  EngineConfig& K(uint32_t k);
+  /// Candidates fetched from the match-count engine before re-ranking /
+  /// verification (points, sets, sequences). 0 = max(k, 32).
+  EngineConfig& CandidateK(uint32_t candidate_k);
+  /// c-PQ (GENIE) vs Count Table + SPQ (GEN-SPQ) selection.
+  EngineConfig& Selector(SelectorKind selector);
+  /// Device to run on; nullptr = sim::Device::Default().
+  EngineConfig& Device(sim::Device* device);
+  /// Match-count upper bound; 0 = derive per batch / per modality.
+  EngineConfig& MaxCount(uint32_t max_count);
+  /// Load-balance split threshold for long postings lists (Section III-B1);
+  /// 0 disables splitting.
+  EngineConfig& MaxListLength(uint32_t max_list_length);
+  EngineConfig& BlockDim(uint32_t block_dim);
+  EngineConfig& MaxListsPerBlock(uint32_t max_lists);
+  EngineConfig& CollectHtStats(bool collect);
+  EngineConfig& Seed(uint64_t seed);
+
+  // --- LSH knobs (points / sets). ------------------------------------------
+  /// Family override; when unset, points default to E2LSH over the dataset
+  /// dimension and sets default to MinHash.
+  EngineConfig& VectorFamily(std::shared_ptr<const lsh::VectorLshFamily> family);
+  EngineConfig& SetFamily(std::shared_ptr<const lsh::SetLshFamily> family);
+  /// Hash-function count m for the default families (0 = 64; size via
+  /// lsh::MinHashFunctions(eps, delta) for a principled m).
+  EngineConfig& HashFunctions(uint32_t m);
+  /// Re-hash domain D of Fig. 7 (0 = modality default: 8192 points,
+  /// 1024 sets).
+  EngineConfig& RehashDomain(uint32_t domain);
+  /// l_p metric of the default E2LSH family and of exact re-ranking.
+  EngineConfig& MetricP(uint32_t p);
+  /// Re-rank the match-count candidates by exact distance (points) or exact
+  /// Jaccard similarity (sets) before returning the top k.
+  EngineConfig& ExactRerank(bool rerank);
+
+  // --- Sequence knobs. -----------------------------------------------------
+  EngineConfig& Ngram(uint32_t n);
+  /// Multi-round search: double K until Theorem 5.2 certifies exactness.
+  EngineConfig& EscalateUntilExact(bool escalate);
+  EngineConfig& MaxCandidateK(uint32_t max_candidate_k);
+
+  // --- Backend knobs. ------------------------------------------------------
+  /// Permit the automatic multiple-loading fallback (default true).
+  EngineConfig& AllowMultiLoad(bool allow);
+  /// Cap on fallback parts.
+  EngineConfig& MaxParts(uint32_t max_parts);
+  /// Force multiple loading with exactly this many parts (0 = automatic).
+  EngineConfig& ForceParts(uint32_t parts);
+
+  // --- Getters. ------------------------------------------------------------
+  bool has_modality() const { return has_modality_; }
+  Modality modality() const { return modality_; }
+  const data::PointMatrix* points() const { return points_; }
+  const std::vector<std::vector<uint32_t>>* sets() const { return sets_; }
+  const std::vector<std::string>* sequences() const { return sequences_; }
+  const std::vector<std::vector<uint32_t>>* documents() const {
+    return documents_;
+  }
+  const sa::RelationalTable* table() const { return table_; }
+  const InvertedIndex* index() const { return index_; }
+
+  uint32_t k() const { return k_; }
+  uint32_t candidate_k() const { return candidate_k_; }
+  SelectorKind selector() const { return selector_; }
+  sim::Device* device() const { return device_; }
+  uint32_t max_count() const { return max_count_; }
+  uint32_t max_list_length() const { return max_list_length_; }
+  uint32_t block_dim() const { return block_dim_; }
+  uint32_t max_lists_per_block() const { return max_lists_per_block_; }
+  bool collect_ht_stats() const { return collect_ht_stats_; }
+  uint64_t seed() const { return seed_; }
+
+  const std::shared_ptr<const lsh::VectorLshFamily>& vector_family() const {
+    return vector_family_;
+  }
+  const std::shared_ptr<const lsh::SetLshFamily>& set_family() const {
+    return set_family_;
+  }
+  uint32_t hash_functions() const { return hash_functions_; }
+  uint32_t rehash_domain() const { return rehash_domain_; }
+  uint32_t metric_p() const { return metric_p_; }
+  bool exact_rerank() const { return exact_rerank_; }
+
+  uint32_t ngram() const { return ngram_; }
+  bool escalate_until_exact() const { return escalate_until_exact_; }
+  uint32_t max_candidate_k() const { return max_candidate_k_; }
+
+  bool allow_multi_load() const { return allow_multi_load_; }
+  uint32_t max_parts() const { return max_parts_; }
+  uint32_t force_parts() const { return force_parts_; }
+
+ private:
+  EngineConfig& Bind(Modality modality);
+
+  bool has_modality_ = false;
+  Modality modality_ = Modality::kPoints;
+  const data::PointMatrix* points_ = nullptr;
+  const std::vector<std::vector<uint32_t>>* sets_ = nullptr;
+  const std::vector<std::string>* sequences_ = nullptr;
+  const std::vector<std::vector<uint32_t>>* documents_ = nullptr;
+  const sa::RelationalTable* table_ = nullptr;
+  const InvertedIndex* index_ = nullptr;
+
+  uint32_t k_ = 10;
+  uint32_t candidate_k_ = 0;
+  SelectorKind selector_ = SelectorKind::kCpq;
+  sim::Device* device_ = nullptr;
+  uint32_t max_count_ = 0;
+  uint32_t max_list_length_ = 0;
+  uint32_t block_dim_ = 8;
+  uint32_t max_lists_per_block_ = 0;
+  bool collect_ht_stats_ = false;
+  uint64_t seed_ = 7;
+
+  std::shared_ptr<const lsh::VectorLshFamily> vector_family_;
+  std::shared_ptr<const lsh::SetLshFamily> set_family_;
+  uint32_t hash_functions_ = 0;
+  uint32_t rehash_domain_ = 0;
+  uint32_t metric_p_ = 2;
+  bool exact_rerank_ = false;
+
+  uint32_t ngram_ = 3;
+  bool escalate_until_exact_ = false;
+  uint32_t max_candidate_k_ = 256;
+
+  bool allow_multi_load_ = true;
+  uint32_t max_parts_ = 256;
+  uint32_t force_parts_ = 0;
+};
+
+/// The facade. One Engine serves one indexed dataset; Search() accepts
+/// batches of the matching request kind and returns the unified result
+/// shape. Thread-compatible: concurrent Search() calls require external
+/// synchronization (profiles are accumulated).
+class Engine {
+ public:
+  static Result<std::unique_ptr<Engine>> Create(const EngineConfig& config);
+  ~Engine();
+
+  /// Validates the request (payload kind, non-empty batch, dimensions)
+  /// and answers it. Every modality reports errors through the same
+  /// Status contract.
+  Result<SearchResult> Search(const SearchRequest& request);
+
+  Modality modality() const;
+  uint32_t num_objects() const;
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  Engine(EngineConfig config, std::unique_ptr<Searcher> searcher);
+
+  EngineConfig config_;
+  std::unique_ptr<Searcher> searcher_;
+};
+
+}  // namespace genie

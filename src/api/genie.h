@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file genie.h
+/// Umbrella header of the GENIE public API. Most programs need only this:
+///
+///   #include "api/genie.h"
+///
+///   auto engine = genie::Engine::Create(
+///       genie::EngineConfig().Table(&table).K(5));
+///   auto result = (*engine)->Search(genie::SearchRequest::Ranges(batch));
+///
+/// The facade serves all the paper's workloads — tau-ANN on dense vectors,
+/// set similarity, sequence edit distance, document inner product and
+/// relational top-k selection — through one Engine / SearchRequest /
+/// SearchResult contract, with automatic single-load vs multiple-loading
+/// backend selection. The domain layers below (lsh::*, sa::*, core::*)
+/// remain public for callers that need the unwrapped machinery.
+
+#include "api/engine.h"
+#include "api/searcher.h"
+#include "api/types.h"
+
+// Supporting vocabulary commonly needed alongside the facade: status
+// handling, LSH theory helpers (sizing m), and the LSH families that can be
+// plugged into EngineConfig::VectorFamily / SetFamily.
+#include "common/result.h"
+#include "common/status.h"
+#include "lsh/e2lsh.h"
+#include "lsh/min_hash.h"
+#include "lsh/random_binning.h"
+#include "lsh/sim_hash.h"
+#include "lsh/tau_ann.h"

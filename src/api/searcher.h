@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file searcher.h
+/// The polymorphic searcher seam of the facade: one implementation per
+/// modality, each wrapping its domain searcher (LshSearcher, SetLshSearcher,
+/// SequenceSearcher, DocumentSearcher, RelationalSearcher) or the raw
+/// EngineBackend (compiled queries), all behind factory functions keyed by
+/// EngineConfig. genie::Engine holds exactly one of these.
+
+#include <memory>
+
+#include "api/engine.h"
+#include "api/types.h"
+#include "common/result.h"
+
+namespace genie {
+
+/// Modality-erased search over one indexed dataset.
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  virtual Modality modality() const = 0;
+  virtual uint32_t num_objects() const = 0;
+
+  /// Answers one batch; the request's payload kind has already been
+  /// validated by Engine::Search.
+  virtual Result<SearchResult> Search(const SearchRequest& request) = 0;
+};
+
+/// Factory per modality; each reads its dataset binding and knobs from the
+/// config (which Engine::Create has validated).
+Result<std::unique_ptr<Searcher>> MakePointsSearcher(const EngineConfig& config);
+Result<std::unique_ptr<Searcher>> MakeSetsSearcher(const EngineConfig& config);
+Result<std::unique_ptr<Searcher>> MakeSequencesSearcher(
+    const EngineConfig& config);
+Result<std::unique_ptr<Searcher>> MakeDocumentsSearcher(
+    const EngineConfig& config);
+Result<std::unique_ptr<Searcher>> MakeRelationalSearcher(
+    const EngineConfig& config);
+Result<std::unique_ptr<Searcher>> MakeCompiledSearcher(
+    const EngineConfig& config);
+
+}  // namespace genie

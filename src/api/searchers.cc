@@ -1,0 +1,498 @@
+#include "api/searcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/engine_backend.h"
+#include "lsh/e2lsh.h"
+#include "lsh/lsh_searcher.h"
+#include "lsh/min_hash.h"
+#include "lsh/set_searcher.h"
+#include "sa/document_searcher.h"
+#include "sa/relational.h"
+#include "sa/sequence_searcher.h"
+
+namespace genie {
+namespace {
+
+constexpr uint32_t kDefaultHashFunctions = 64;
+constexpr uint32_t kDefaultPointsRehashDomain = 8192;
+constexpr uint32_t kDefaultSetsRehashDomain = 1024;
+
+MatchEngineOptions BaseEngineOptions(const EngineConfig& config) {
+  MatchEngineOptions options;
+  options.k = config.k();
+  options.max_count = config.max_count();
+  options.selector = config.selector() == SelectorKind::kCpq
+                         ? MatchEngineOptions::Selector::kCpq
+                         : MatchEngineOptions::Selector::kCountTableSpq;
+  options.block_dim = config.block_dim();
+  options.max_lists_per_block = config.max_lists_per_block();
+  options.collect_ht_stats = config.collect_ht_stats();
+  options.device = config.device();
+  return options;
+}
+
+EngineBackendOptions BackendOptions(const EngineConfig& config) {
+  EngineBackendOptions options;
+  options.allow_multi_load = config.allow_multi_load();
+  options.max_parts = config.max_parts();
+  options.force_parts = config.force_parts();
+  options.shard_build.max_list_length = config.max_list_length();
+  return options;
+}
+
+IndexBuildOptions BuildOptions(const EngineConfig& config) {
+  IndexBuildOptions options;
+  options.max_list_length = config.max_list_length();
+  return options;
+}
+
+/// Candidates to fetch per query for the re-rank / verify modalities.
+uint32_t CandidatePoolSize(const EngineConfig& config) {
+  return config.candidate_k() > 0 ? config.candidate_k()
+                                  : std::max(config.k(), 32u);
+}
+
+SearchProfile MakeProfile(const MatchProfile& p, const EngineBackend& backend,
+                          double verify_s = 0) {
+  SearchProfile profile;
+  profile.index_transfer_s = p.index_transfer_s;
+  profile.query_transfer_s = p.query_transfer_s;
+  profile.match_s = p.match_s;
+  profile.select_s = p.select_s;
+  profile.merge_s = backend.merge_seconds();
+  profile.verify_s = verify_s;
+  profile.index_bytes = p.index_bytes;
+  profile.query_bytes = p.query_bytes;
+  profile.result_bytes = p.result_bytes;
+  profile.used_multi_load = backend.multi_load();
+  profile.parts = backend.num_parts();
+  return profile;
+}
+
+/// MC_k of one answer list: the k-th match count when k answers exist.
+/// Precondition: `hits` is in descending match-count order.
+uint32_t ThresholdOf(const std::vector<Hit>& hits, uint32_t k) {
+  return hits.size() >= k ? hits[k - 1].match_count : 0;
+}
+
+/// MC_k of a list in arbitrary order (verified / re-ranked answers).
+uint32_t KthLargestCount(const std::vector<Hit>& hits, uint32_t k) {
+  if (hits.size() < k) return 0;
+  std::vector<uint32_t> counts;
+  counts.reserve(hits.size());
+  for (const Hit& hit : hits) counts.push_back(hit.match_count);
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  return counts[k - 1];
+}
+
+// ---------------------------------------------------------------------------
+// Points (tau-ANN under an LSH family, Section IV)
+// ---------------------------------------------------------------------------
+
+class PointsSearcherImpl : public Searcher {
+ public:
+  PointsSearcherImpl(const data::PointMatrix* points,
+                     std::unique_ptr<lsh::LshSearcher> searcher, uint32_t k,
+                     bool rerank, uint32_t p)
+      : points_(points), searcher_(std::move(searcher)), k_(k),
+        rerank_(rerank), p_(p) {}
+
+  Modality modality() const override { return Modality::kPoints; }
+  uint32_t num_objects() const override { return points_->num_points(); }
+
+  Result<SearchResult> Search(const SearchRequest& request) override {
+    GENIE_ASSIGN_OR_RETURN(std::vector<std::vector<lsh::AnnMatch>> matches,
+                           searcher_->MatchBatch(*request.points));
+    SearchResult result;
+    result.queries.resize(matches.size());
+    for (size_t q = 0; q < matches.size(); ++q) {
+      QueryHits& out = result.queries[q];
+      out.hits.reserve(matches[q].size());
+      for (const lsh::AnnMatch& m : matches[q]) {
+        out.hits.push_back(Hit{m.id, m.match_count, m.estimated_similarity});
+      }
+      // MC_k over the match-count ordering, before any re-rank disturbs it.
+      out.threshold = ThresholdOf(out.hits, k_);
+      if (rerank_) {
+        const auto query_row = request.points->row(static_cast<uint32_t>(q));
+        for (Hit& hit : out.hits) {
+          const double d =
+              p_ == 1 ? data::L1Distance(points_->row(hit.id), query_row)
+                      : data::L2Distance(points_->row(hit.id), query_row);
+          hit.score = -d;
+        }
+        std::sort(out.hits.begin(), out.hits.end(),
+                  [](const Hit& a, const Hit& b) { return a.score > b.score; });
+      }
+      if (out.hits.size() > k_) out.hits.resize(k_);
+    }
+    result.profile = MakeProfile(searcher_->profile(), searcher_->backend());
+    return result;
+  }
+
+ private:
+  const data::PointMatrix* points_;
+  std::unique_ptr<lsh::LshSearcher> searcher_;
+  uint32_t k_;
+  bool rerank_;
+  uint32_t p_;
+};
+
+// ---------------------------------------------------------------------------
+// Sets (Jaccard via MinHash, Section II-B1)
+// ---------------------------------------------------------------------------
+
+class SetsSearcherImpl : public Searcher {
+ public:
+  SetsSearcherImpl(const std::vector<std::vector<uint32_t>>* sets,
+                   std::shared_ptr<const lsh::SetLshFamily> family,
+                   std::unique_ptr<lsh::SetLshSearcher> searcher, uint32_t k,
+                   bool rerank)
+      : sets_(sets), family_(std::move(family)), searcher_(std::move(searcher)),
+        k_(k), rerank_(rerank) {}
+
+  Modality modality() const override { return Modality::kSets; }
+  uint32_t num_objects() const override {
+    return static_cast<uint32_t>(sets_->size());
+  }
+
+  Result<SearchResult> Search(const SearchRequest& request) override {
+    GENIE_ASSIGN_OR_RETURN(std::vector<std::vector<lsh::AnnMatch>> matches,
+                           searcher_->MatchBatch(request.sets));
+    SearchResult result;
+    result.queries.resize(matches.size());
+    for (size_t q = 0; q < matches.size(); ++q) {
+      QueryHits& out = result.queries[q];
+      out.hits.reserve(matches[q].size());
+      for (const lsh::AnnMatch& m : matches[q]) {
+        out.hits.push_back(Hit{m.id, m.match_count, m.estimated_similarity});
+      }
+      // MC_k over the match-count ordering, before any re-rank disturbs it.
+      out.threshold = ThresholdOf(out.hits, k_);
+      if (rerank_) {
+        for (Hit& hit : out.hits) {
+          hit.score =
+              family_->CollisionProbability((*sets_)[hit.id], request.sets[q]);
+        }
+        std::sort(out.hits.begin(), out.hits.end(),
+                  [](const Hit& a, const Hit& b) { return a.score > b.score; });
+      }
+      if (out.hits.size() > k_) out.hits.resize(k_);
+    }
+    result.profile = MakeProfile(searcher_->profile(), searcher_->backend());
+    return result;
+  }
+
+ private:
+  const std::vector<std::vector<uint32_t>>* sets_;
+  std::shared_ptr<const lsh::SetLshFamily> family_;
+  std::unique_ptr<lsh::SetLshSearcher> searcher_;
+  uint32_t k_;
+  bool rerank_;
+};
+
+// ---------------------------------------------------------------------------
+// Sequences (edit distance via ordered n-grams, Section V-A)
+// ---------------------------------------------------------------------------
+
+class SequencesSearcherImpl : public Searcher {
+ public:
+  SequencesSearcherImpl(const std::vector<std::string>* sequences,
+                        std::unique_ptr<sa::SequenceSearcher> searcher,
+                        uint32_t k)
+      : sequences_(sequences), searcher_(std::move(searcher)), k_(k) {}
+
+  Modality modality() const override { return Modality::kSequences; }
+  uint32_t num_objects() const override {
+    return static_cast<uint32_t>(sequences_->size());
+  }
+
+  Result<SearchResult> Search(const SearchRequest& request) override {
+    GENIE_ASSIGN_OR_RETURN(std::vector<sa::SequenceSearchOutcome> outcomes,
+                           searcher_->SearchBatch(request.sequences));
+    SearchResult result;
+    result.queries.resize(outcomes.size());
+    for (size_t q = 0; q < outcomes.size(); ++q) {
+      QueryHits& out = result.queries[q];
+      out.hits.reserve(outcomes[q].knn.size());
+      for (const sa::SequenceMatch& m : outcomes[q].knn) {
+        out.hits.push_back(Hit{m.id, m.match_count,
+                               -static_cast<double>(m.edit_distance)});
+      }
+      // Hits are ordered by edit distance; MC_k comes from their counts.
+      out.threshold = KthLargestCount(out.hits, k_);
+      out.certified_exact = outcomes[q].certified_exact;
+      out.rounds = outcomes[q].rounds;
+    }
+    result.profile = MakeProfile(searcher_->profile(), searcher_->backend(),
+                                 searcher_->verify_seconds());
+    return result;
+  }
+
+ private:
+  const std::vector<std::string>* sequences_;
+  std::unique_ptr<sa::SequenceSearcher> searcher_;
+  uint32_t k_;
+};
+
+// ---------------------------------------------------------------------------
+// Documents (inner product on word sets, Section V-B)
+// ---------------------------------------------------------------------------
+
+class DocumentsSearcherImpl : public Searcher {
+ public:
+  DocumentsSearcherImpl(const std::vector<std::vector<uint32_t>>* documents,
+                        std::unique_ptr<sa::DocumentSearcher> searcher)
+      : documents_(documents), searcher_(std::move(searcher)) {}
+
+  Modality modality() const override { return Modality::kDocuments; }
+  uint32_t num_objects() const override {
+    return static_cast<uint32_t>(documents_->size());
+  }
+
+  Result<SearchResult> Search(const SearchRequest& request) override {
+    GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> raw,
+                           searcher_->SearchBatch(request.documents));
+    SearchResult result;
+    result.queries.resize(raw.size());
+    for (size_t q = 0; q < raw.size(); ++q) {
+      QueryHits& out = result.queries[q];
+      out.hits.reserve(raw[q].entries.size());
+      for (const TopKEntry& e : raw[q].entries) {
+        out.hits.push_back(Hit{e.id, e.count, static_cast<double>(e.count)});
+      }
+      out.threshold = raw[q].threshold;
+    }
+    result.profile = MakeProfile(searcher_->profile(), searcher_->backend());
+    return result;
+  }
+
+ private:
+  const std::vector<std::vector<uint32_t>>* documents_;
+  std::unique_ptr<sa::DocumentSearcher> searcher_;
+};
+
+// ---------------------------------------------------------------------------
+// Relational (top-k selection on range predicates, Section V-C)
+// ---------------------------------------------------------------------------
+
+class RelationalSearcherImpl : public Searcher {
+ public:
+  RelationalSearcherImpl(const sa::RelationalTable* table,
+                         std::unique_ptr<sa::RelationalSearcher> searcher)
+      : table_(table), searcher_(std::move(searcher)) {}
+
+  Modality modality() const override { return Modality::kRelational; }
+  uint32_t num_objects() const override { return table_->num_rows(); }
+
+  Result<SearchResult> Search(const SearchRequest& request) override {
+    GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> raw,
+                           searcher_->SearchBatch(request.ranges));
+    SearchResult result;
+    result.queries.resize(raw.size());
+    for (size_t q = 0; q < raw.size(); ++q) {
+      QueryHits& out = result.queries[q];
+      out.hits.reserve(raw[q].entries.size());
+      for (const TopKEntry& e : raw[q].entries) {
+        out.hits.push_back(Hit{e.id, e.count, static_cast<double>(e.count)});
+      }
+      out.threshold = raw[q].threshold;
+    }
+    result.profile = MakeProfile(searcher_->profile(), searcher_->backend());
+    return result;
+  }
+
+ private:
+  const sa::RelationalTable* table_;
+  std::unique_ptr<sa::RelationalSearcher> searcher_;
+};
+
+// ---------------------------------------------------------------------------
+// Compiled (raw Definition-2.1 queries over a caller-built index)
+// ---------------------------------------------------------------------------
+
+class CompiledSearcherImpl : public Searcher {
+ public:
+  CompiledSearcherImpl(const InvertedIndex* index,
+                       std::unique_ptr<EngineBackend> backend)
+      : index_(index), backend_(std::move(backend)) {}
+
+  Modality modality() const override { return Modality::kCompiled; }
+  uint32_t num_objects() const override { return index_->num_objects(); }
+
+  Result<SearchResult> Search(const SearchRequest& request) override {
+    GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> raw,
+                           backend_->ExecuteBatch(request.compiled));
+    SearchResult result;
+    result.queries.resize(raw.size());
+    for (size_t q = 0; q < raw.size(); ++q) {
+      QueryHits& out = result.queries[q];
+      out.hits.reserve(raw[q].entries.size());
+      for (const TopKEntry& e : raw[q].entries) {
+        out.hits.push_back(Hit{e.id, e.count, static_cast<double>(e.count)});
+      }
+      out.threshold = raw[q].threshold;
+    }
+    result.profile = MakeProfile(backend_->profile(), *backend_);
+    return result;
+  }
+
+ private:
+  const InvertedIndex* index_;
+  std::unique_ptr<EngineBackend> backend_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Searcher>> MakePointsSearcher(
+    const EngineConfig& config) {
+  const data::PointMatrix* points = config.points();
+  if (points == nullptr) return Status::InvalidArgument("points is null");
+  if (points->num_points() == 0) {
+    return Status::InvalidArgument("points dataset is empty");
+  }
+
+  std::shared_ptr<const lsh::VectorLshFamily> family = config.vector_family();
+  if (family == nullptr) {
+    lsh::E2LshOptions lsh_options;
+    lsh_options.dim = points->dim();
+    lsh_options.num_functions = config.hash_functions() > 0
+                                    ? config.hash_functions()
+                                    : kDefaultHashFunctions;
+    lsh_options.p = config.metric_p();
+    lsh_options.seed = config.seed();
+    GENIE_ASSIGN_OR_RETURN(std::unique_ptr<lsh::E2LshFamily> e2lsh,
+                           lsh::E2LshFamily::Create(lsh_options));
+    family = std::shared_ptr<const lsh::VectorLshFamily>(std::move(e2lsh));
+  }
+
+  lsh::LshSearchOptions options;
+  options.transform.rehash_domain = config.rehash_domain() > 0
+                                        ? config.rehash_domain()
+                                        : kDefaultPointsRehashDomain;
+  options.transform.seed = config.seed();
+  options.engine = BaseEngineOptions(config);
+  options.engine.k =
+      config.exact_rerank() ? CandidatePoolSize(config) : config.k();
+  options.build = BuildOptions(config);
+  options.backend = BackendOptions(config);
+  GENIE_ASSIGN_OR_RETURN(std::unique_ptr<lsh::LshSearcher> searcher,
+                         lsh::LshSearcher::Create(points, family, options));
+  return std::unique_ptr<Searcher>(new PointsSearcherImpl(
+      points, std::move(searcher), config.k(), config.exact_rerank(),
+      config.metric_p()));
+}
+
+Result<std::unique_ptr<Searcher>> MakeSetsSearcher(const EngineConfig& config) {
+  const std::vector<std::vector<uint32_t>>* sets = config.sets();
+  if (sets == nullptr) return Status::InvalidArgument("sets is null");
+  if (sets->empty()) return Status::InvalidArgument("sets dataset is empty");
+
+  std::shared_ptr<const lsh::SetLshFamily> family = config.set_family();
+  if (family == nullptr) {
+    lsh::MinHashOptions minhash;
+    minhash.num_functions = config.hash_functions() > 0
+                                ? config.hash_functions()
+                                : kDefaultHashFunctions;
+    minhash.seed = config.seed();
+    GENIE_ASSIGN_OR_RETURN(std::unique_ptr<lsh::MinHashFamily> min_hash,
+                           lsh::MinHashFamily::Create(minhash));
+    family = std::shared_ptr<const lsh::SetLshFamily>(std::move(min_hash));
+  }
+
+  lsh::SetSearchOptions options;
+  options.transform.rehash_domain = config.rehash_domain() > 0
+                                        ? config.rehash_domain()
+                                        : kDefaultSetsRehashDomain;
+  options.transform.seed = config.seed();
+  options.engine = BaseEngineOptions(config);
+  options.engine.k =
+      config.exact_rerank() ? CandidatePoolSize(config) : config.k();
+  options.build = BuildOptions(config);
+  options.backend = BackendOptions(config);
+  GENIE_ASSIGN_OR_RETURN(std::unique_ptr<lsh::SetLshSearcher> searcher,
+                         lsh::SetLshSearcher::Create(sets, family, options));
+  return std::unique_ptr<Searcher>(
+      new SetsSearcherImpl(sets, std::move(family), std::move(searcher),
+                           config.k(), config.exact_rerank()));
+}
+
+Result<std::unique_ptr<Searcher>> MakeSequencesSearcher(
+    const EngineConfig& config) {
+  const std::vector<std::string>* sequences = config.sequences();
+  if (sequences == nullptr) {
+    return Status::InvalidArgument("sequences is null");
+  }
+  if (sequences->empty()) {
+    return Status::InvalidArgument("sequences dataset is empty");
+  }
+
+  sa::SequenceSearchOptions options;
+  options.ngram = config.ngram();
+  options.k = config.k();
+  options.candidate_k = CandidatePoolSize(config);
+  options.escalate_until_exact = config.escalate_until_exact();
+  options.max_candidate_k =
+      std::max(config.max_candidate_k(), options.candidate_k);
+  options.engine = BaseEngineOptions(config);
+  options.backend = BackendOptions(config);
+  GENIE_ASSIGN_OR_RETURN(std::unique_ptr<sa::SequenceSearcher> searcher,
+                         sa::SequenceSearcher::Create(sequences, options));
+  return std::unique_ptr<Searcher>(
+      new SequencesSearcherImpl(sequences, std::move(searcher), config.k()));
+}
+
+Result<std::unique_ptr<Searcher>> MakeDocumentsSearcher(
+    const EngineConfig& config) {
+  const std::vector<std::vector<uint32_t>>* documents = config.documents();
+  if (documents == nullptr) {
+    return Status::InvalidArgument("documents is null");
+  }
+  if (documents->empty()) {
+    return Status::InvalidArgument("documents dataset is empty");
+  }
+
+  sa::DocumentSearchOptions options;
+  options.k = config.k();
+  options.engine = BaseEngineOptions(config);
+  options.backend = BackendOptions(config);
+  GENIE_ASSIGN_OR_RETURN(std::unique_ptr<sa::DocumentSearcher> searcher,
+                         sa::DocumentSearcher::Create(documents, options));
+  return std::unique_ptr<Searcher>(
+      new DocumentsSearcherImpl(documents, std::move(searcher)));
+}
+
+Result<std::unique_ptr<Searcher>> MakeRelationalSearcher(
+    const EngineConfig& config) {
+  const sa::RelationalTable* table = config.table();
+  if (table == nullptr) return Status::InvalidArgument("table is null");
+  GENIE_ASSIGN_OR_RETURN(
+      std::unique_ptr<sa::RelationalSearcher> searcher,
+      sa::RelationalSearcher::Create(table, config.k(),
+                                     BaseEngineOptions(config),
+                                     BuildOptions(config),
+                                     BackendOptions(config)));
+  return std::unique_ptr<Searcher>(
+      new RelationalSearcherImpl(table, std::move(searcher)));
+}
+
+Result<std::unique_ptr<Searcher>> MakeCompiledSearcher(
+    const EngineConfig& config) {
+  const InvertedIndex* index = config.index();
+  if (index == nullptr) return Status::InvalidArgument("index is null");
+  GENIE_ASSIGN_OR_RETURN(
+      std::unique_ptr<EngineBackend> backend,
+      EngineBackend::Create(index, BaseEngineOptions(config),
+                            BackendOptions(config)));
+  return std::unique_ptr<Searcher>(
+      new CompiledSearcherImpl(index, std::move(backend)));
+}
+
+}  // namespace genie

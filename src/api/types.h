@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file types.h
+/// Unified request/response types of the genie::Engine facade. The paper's
+/// point is that one match-count inverted index serves many similarity
+/// workloads; these types give every workload (modality) the same request,
+/// result, and profile shape, normalizing the per-domain return types
+/// (QueryResult, AnnMatch, SequenceSearchOutcome) of the lower layers.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "data/points.h"
+#include "index/types.h"
+#include "sa/relational.h"
+
+namespace genie {
+
+/// The similarity workloads of Sections IV & V, plus a pass-through for
+/// pre-compiled match-count queries over a caller-built index.
+enum class Modality {
+  kPoints,      // tau-ANN on dense vectors under an LSH family (Section IV)
+  kSets,        // Jaccard similarity via MinHash (Section II-B1)
+  kSequences,   // edit distance via ordered n-grams (Section V-A)
+  kDocuments,   // inner product on word sets (Section V-B)
+  kRelational,  // top-k selection on range predicates (Section V-C)
+  kCompiled,    // raw Definition-2.1 queries over a prebuilt InvertedIndex
+};
+
+const char* ModalityToString(Modality modality);
+
+/// c-PQ vs Count-Table selection (MatchEngineOptions::Selector re-exported
+/// so facade users need no core include).
+enum class SelectorKind {
+  kCpq,            // GENIE: c-PQ + single hash-table scan (Algorithm 1)
+  kCountTableSpq,  // GEN-SPQ: full Count Table + bucket k-selection
+};
+
+/// One batch of queries. Construct with the factory matching the engine's
+/// modality; the payload spans are only borrowed for the Search() call.
+struct SearchRequest {
+  Modality modality = Modality::kPoints;
+
+  const data::PointMatrix* points = nullptr;
+  std::span<const std::vector<uint32_t>> sets;
+  std::span<const std::string> sequences;
+  std::span<const std::vector<uint32_t>> documents;
+  std::span<const sa::RangeQuery> ranges;
+  std::span<const Query> compiled;
+
+  static SearchRequest Points(const data::PointMatrix& queries);
+  static SearchRequest Sets(std::span<const std::vector<uint32_t>> queries);
+  static SearchRequest Sequences(std::span<const std::string> queries);
+  static SearchRequest Documents(std::span<const std::vector<uint32_t>> queries);
+  static SearchRequest Ranges(std::span<const sa::RangeQuery> queries);
+  static SearchRequest Compiled(std::span<const Query> queries);
+
+  size_t num_queries() const;
+};
+
+/// One ranked answer. `score` ranks hits in descending order; its meaning
+/// per modality:
+///   points/sets  match mode: estimated similarity c/m (Eqn. 7);
+///                rerank mode: exact similarity (sets) or negated exact
+///                l_p distance (points);
+///   sequences    negated edit distance;
+///   documents    inner product (= match count);
+///   relational   number of satisfied predicates (= match count);
+///   compiled     match count.
+struct Hit {
+  ObjectId id = kInvalidObjectId;
+  uint32_t match_count = 0;
+  double score = 0;
+};
+
+/// Answers of one query, best first.
+struct QueryHits {
+  std::vector<Hit> hits;
+  /// The k-th match count MC_k (Theorem 3.1's AT - 1); 0 when fewer than k
+  /// objects matched.
+  uint32_t threshold = 0;
+  /// Sequences only: Theorem 5.2 certified the kNN as the true kNN.
+  bool certified_exact = false;
+  /// Sequences only: escalation rounds executed (Section VI-D3).
+  uint32_t rounds = 1;
+};
+
+/// Stage costs and backend facts, cumulative since engine creation
+/// (Table I / Table III shapes, unified across single- and multi-load).
+struct SearchProfile {
+  double index_transfer_s = 0;
+  double query_transfer_s = 0;
+  double match_s = 0;
+  double select_s = 0;
+  double merge_s = 0;   // multi-load host merge
+  double verify_s = 0;  // sequence verification (Algorithm 2)
+  uint64_t index_bytes = 0;
+  uint64_t query_bytes = 0;
+  uint64_t result_bytes = 0;
+  /// True when the index did not fit and MultiLoadEngine answered.
+  bool used_multi_load = false;
+  /// Device loads per batch (1 on the single-load path).
+  uint32_t parts = 1;
+
+  double total_query_s() const {
+    return query_transfer_s + match_s + select_s + merge_s + verify_s;
+  }
+};
+
+/// One result per query of the request, in request order.
+struct SearchResult {
+  std::vector<QueryHits> queries;
+  SearchProfile profile;
+};
+
+}  // namespace genie

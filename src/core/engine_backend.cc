@@ -1,0 +1,137 @@
+#include "core/engine_backend.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genie {
+
+EngineBackend::EngineBackend(const InvertedIndex* index,
+                             const MatchEngineOptions& options,
+                             const EngineBackendOptions& backend_options)
+    : index_(index), options_(options), backend_options_(backend_options) {}
+
+sim::Device* EngineBackend::device() const {
+  return options_.device != nullptr ? options_.device : sim::Device::Default();
+}
+
+uint32_t EngineBackend::EstimateParts() const {
+  const double budget =
+      static_cast<double>(device()->memory_capacity_bytes()) *
+      std::clamp(backend_options_.part_capacity_fraction, 0.05, 1.0);
+  const double bytes = static_cast<double>(index_->postings_bytes());
+  const uint32_t parts =
+      budget > 0 ? static_cast<uint32_t>(std::ceil(bytes / budget)) : 2;
+  return std::clamp(parts, 2u, backend_options_.max_parts);
+}
+
+Status EngineBackend::SetUpMultiLoad(uint32_t parts) {
+  if (parts > backend_options_.max_parts) {
+    return Status::ResourceExhausted(
+        "index does not fit in device memory even at max_parts");
+  }
+  // Build the replacement fully before touching the live engine, so an
+  // error here leaves the backend in its previous (still valid) state.
+  // Moving a ShardedIndex moves its vector buffer without relocating the
+  // InvertedIndex elements, so the IndexParts stay valid after the commit.
+  GENIE_ASSIGN_OR_RETURN(
+      ShardedIndex sharded,
+      ShardByObjectRange(*index_, parts, backend_options_.shard_build));
+  std::vector<IndexPart> index_parts;
+  index_parts.reserve(sharded.shards.size());
+  for (size_t p = 0; p < sharded.shards.size(); ++p) {
+    index_parts.push_back(IndexPart{&sharded.shards[p], sharded.offsets[p]});
+  }
+  GENIE_ASSIGN_OR_RETURN(std::unique_ptr<MultiLoadEngine> multi,
+                         MultiLoadEngine::Create(index_parts, options_));
+
+  // Commit: fold the retiring engine's stage costs into the carried
+  // profile, then swap. The old multi engine is destroyed before the
+  // shards it points into.
+  if (single_ != nullptr) {
+    carried_profile_.Accumulate(single_->profile());
+    single_.reset();
+  }
+  if (multi_ != nullptr) {
+    carried_profile_.Accumulate(multi_->profile().per_part);
+    carried_merge_s_ += multi_->profile().merge_s;
+    multi_.reset();
+  }
+  sharded_ = std::move(sharded);
+  multi_ = std::move(multi);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<EngineBackend>> EngineBackend::Create(
+    const InvertedIndex* index, const MatchEngineOptions& options,
+    const EngineBackendOptions& backend_options) {
+  if (index == nullptr) return Status::InvalidArgument("index is null");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  std::unique_ptr<EngineBackend> backend(
+      new EngineBackend(index, options, backend_options));
+
+  if (backend_options.force_parts > 0) {
+    GENIE_RETURN_NOT_OK(backend->SetUpMultiLoad(backend_options.force_parts));
+    return backend;
+  }
+
+  auto single = MatchEngine::Create(index, options);
+  if (single.ok()) {
+    backend->single_ = std::move(single).ValueOrDie();
+    return backend;
+  }
+  if (single.status().code() != StatusCode::kResourceExhausted ||
+      !backend_options.allow_multi_load) {
+    return single.status();
+  }
+  // The List Array alone exceeded device memory: shard and multiple-load.
+  GENIE_RETURN_NOT_OK(backend->SetUpMultiLoad(backend->EstimateParts()));
+  return backend;
+}
+
+Result<std::vector<QueryResult>> EngineBackend::ExecuteBatch(
+    std::span<const Query> queries) {
+  if (single_ != nullptr) {
+    auto results = single_->ExecuteBatch(queries);
+    if (results.ok() ||
+        results.status().code() != StatusCode::kResourceExhausted ||
+        !backend_options_.allow_multi_load) {
+      return results;
+    }
+    // Batch working memory did not fit beside the index (or the per-query
+    // hash table overflowed): retire the single engine — freeing the
+    // device-resident index — and escalate through multiple loading.
+    GENIE_RETURN_NOT_OK(SetUpMultiLoad(
+        std::max(2u, std::min(EstimateParts(), backend_options_.max_parts))));
+  }
+
+  while (true) {
+    auto results = multi_->ExecuteBatch(queries);
+    if (results.ok()) return results;
+    if (results.status().code() != StatusCode::kResourceExhausted) {
+      return results;
+    }
+    const uint32_t parts = num_parts();
+    if (parts >= backend_options_.max_parts ||
+        parts >= index_->num_objects()) {
+      return results;
+    }
+    GENIE_RETURN_NOT_OK(
+        SetUpMultiLoad(std::min(parts * 2, backend_options_.max_parts)));
+  }
+}
+
+const MatchProfile& EngineBackend::profile() const {
+  profile_cache_ = carried_profile_;
+  if (single_ != nullptr) {
+    profile_cache_.Accumulate(single_->profile());
+  } else {
+    profile_cache_.Accumulate(multi_->profile().per_part);
+  }
+  return profile_cache_;
+}
+
+double EngineBackend::merge_seconds() const {
+  return carried_merge_s_ + (multi_ ? multi_->profile().merge_s : 0.0);
+}
+
+}  // namespace genie

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file engine_backend.h
+/// Backend selection for match-count execution: run on a single-load
+/// MatchEngine when the index fits in device memory, and transparently fall
+/// back to MultiLoadEngine (Section III-D) when it does not. Callers no
+/// longer hand-roll the ResourceExhausted -> shard -> multiple-loading
+/// dance; every domain searcher and the genie::Engine facade route through
+/// this class.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/match_engine.h"
+#include "core/multi_load_engine.h"
+#include "index/shard.h"
+
+namespace genie {
+
+struct EngineBackendOptions {
+  /// When false, ResourceExhausted from the single-load engine is returned
+  /// to the caller instead of triggering the multiple-loading fallback.
+  bool allow_multi_load = true;
+  /// Upper bound on fallback parts; escalation past it fails.
+  uint32_t max_parts = 256;
+  /// Force multiple loading with exactly this many parts (0 = automatic:
+  /// single load first, fallback only on ResourceExhausted). Used by the
+  /// Table II/III bench to sweep part counts.
+  uint32_t force_parts = 0;
+  /// Fraction of device capacity one part's List Array may occupy in the
+  /// initial fallback estimate (the rest is working memory for c-PQ /
+  /// Count Table arenas).
+  double part_capacity_fraction = 0.5;
+  /// Build options applied when re-sharding for multiple loading, so the
+  /// fallback path keeps the caller's load-balance splitting (Fig. 4).
+  IndexBuildOptions shard_build;
+};
+
+/// A MatchEngine-shaped executor that owns the backend decision. Exposes an
+/// aggregated MatchProfile so existing profile consumers work unchanged on
+/// both paths.
+class EngineBackend {
+ public:
+  /// `index` must outlive the backend.
+  static Result<std::unique_ptr<EngineBackend>> Create(
+      const InvertedIndex* index, const MatchEngineOptions& options,
+      const EngineBackendOptions& backend_options = {});
+
+  /// Executes one batch, escalating to (more) parts on ResourceExhausted.
+  Result<std::vector<QueryResult>> ExecuteBatch(std::span<const Query> queries);
+
+  /// Aggregated stage costs. On the multi-load path this is the accumulated
+  /// per-part profile (index transfer counts every swap-in).
+  const MatchProfile& profile() const;
+  /// Host-side merge seconds (multi-load path only; 0 on single load).
+  double merge_seconds() const;
+
+  bool multi_load() const { return multi_ != nullptr; }
+  uint32_t num_parts() const {
+    return multi_ ? static_cast<uint32_t>(multi_->num_parts()) : 1;
+  }
+
+  const InvertedIndex& index() const { return *index_; }
+  const MatchEngineOptions& options() const { return options_; }
+
+ private:
+  EngineBackend(const InvertedIndex* index, const MatchEngineOptions& options,
+                const EngineBackendOptions& backend_options);
+
+  /// Shards the full index into `parts` and rebuilds the multi-load engine.
+  Status SetUpMultiLoad(uint32_t parts);
+  /// Initial part-count estimate from the List Array size vs device budget.
+  uint32_t EstimateParts() const;
+  sim::Device* device() const;
+
+  const InvertedIndex* index_;
+  MatchEngineOptions options_;
+  EngineBackendOptions backend_options_;
+
+  std::unique_ptr<MatchEngine> single_;
+  ShardedIndex sharded_;
+  std::unique_ptr<MultiLoadEngine> multi_;
+  /// Stage costs of retired engines (single-load before a fallback, or
+  /// earlier multi-load generations before a part escalation), so profile()
+  /// stays cumulative across backend switches.
+  MatchProfile carried_profile_;
+  double carried_merge_s_ = 0;
+  mutable MatchProfile profile_cache_;  // carried + live, built on demand
+};
+
+}  // namespace genie

@@ -145,9 +145,12 @@ uint64_t MatchEngine::DeviceBytesPerQuery(uint32_t num_objects,
 
 Result<std::vector<QueryResult>> MatchEngine::ExecuteBatch(
     std::span<const Query> queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  if (options_.k == 0) return Status::InvalidArgument("k must be >= 1");
   const uint32_t num_queries = static_cast<uint32_t>(queries.size());
   std::vector<QueryResult> results(num_queries);
-  if (num_queries == 0) return results;
 
   const uint32_t n = index_->num_objects();
   const uint32_t max_count =

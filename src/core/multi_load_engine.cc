@@ -15,6 +15,7 @@ Result<std::unique_ptr<MultiLoadEngine>> MultiLoadEngine::Create(
   if (parts.empty()) {
     return Status::InvalidArgument("multiple loading needs >= 1 part");
   }
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
   for (const IndexPart& part : parts) {
     if (part.index == nullptr) {
       return Status::InvalidArgument("null index part");
@@ -26,6 +27,10 @@ Result<std::unique_ptr<MultiLoadEngine>> MultiLoadEngine::Create(
 
 Result<std::vector<QueryResult>> MultiLoadEngine::ExecuteBatch(
     std::span<const Query> queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  if (options_.k == 0) return Status::InvalidArgument("k must be >= 1");
   const size_t num_queries = queries.size();
   // Per-query pool of candidates across parts; ids already global.
   std::vector<std::vector<TopKEntry>> pools(num_queries);

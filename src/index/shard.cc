@@ -1,0 +1,47 @@
+#include "index/shard.h"
+
+#include <algorithm>
+
+#include "index/index_builder.h"
+
+namespace genie {
+
+Result<ShardedIndex> ShardByObjectRange(
+    const InvertedIndex& index, uint32_t num_parts,
+    const IndexBuildOptions& build_options) {
+  if (num_parts == 0) {
+    return Status::InvalidArgument("num_parts must be >= 1");
+  }
+  const uint32_t n = index.num_objects();
+  num_parts = std::max(1u, std::min(num_parts, n));
+  const uint32_t per = (n + num_parts - 1) / num_parts;
+
+  std::vector<InvertedIndexBuilder> builders;
+  builders.reserve(num_parts);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    builders.emplace_back(index.vocab_size());
+  }
+  for (Keyword kw = 0; kw < index.vocab_size(); ++kw) {
+    auto [first, count] = index.KeywordLists(kw);
+    for (uint32_t l = 0; l < count; ++l) {
+      const auto ref = index.List(first + l);
+      for (uint32_t pos = ref.begin; pos < ref.end; ++pos) {
+        const ObjectId oid = index.postings()[pos];
+        builders[oid / per].Add(oid % per, kw);
+      }
+    }
+  }
+
+  ShardedIndex sharded;
+  sharded.shards.reserve(num_parts);
+  sharded.offsets.reserve(num_parts);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    GENIE_ASSIGN_OR_RETURN(InvertedIndex shard,
+                           std::move(builders[p]).Build(build_options));
+    sharded.shards.push_back(std::move(shard));
+    sharded.offsets.push_back(static_cast<ObjectId>(p) * per);
+  }
+  return sharded;
+}
+
+}  // namespace genie

@@ -25,9 +25,12 @@ Result<std::unique_ptr<LshSearcher>> LshSearcher::Create(
   // Every item is one hash function; an object collides with an item at
   // most once, so the count bound is exactly m.
   engine_options.max_count = searcher->transformer_.family().num_functions();
+  EngineBackendOptions backend_options = options.backend;
+  backend_options.shard_build = options.build;
   GENIE_ASSIGN_OR_RETURN(
       searcher->engine_,
-      MatchEngine::Create(&searcher->index_, engine_options));
+      EngineBackend::Create(&searcher->index_, engine_options,
+                            backend_options));
   return searcher;
 }
 

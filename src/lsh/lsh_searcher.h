@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "core/match_engine.h"
+#include "core/engine_backend.h"
 #include "data/points.h"
 #include "lsh/lsh_transformer.h"
 
@@ -25,6 +25,9 @@ struct LshSearchOptions {
   LshTransformOptions transform;
   MatchEngineOptions engine;  // engine.k = number of candidates kept
   IndexBuildOptions build;
+  /// Backend selection: when the index exceeds device memory the searcher
+  /// transparently shards it and answers through MultiLoadEngine.
+  EngineBackendOptions backend;
 };
 
 /// One ANN answer with its match count and similarity estimate.
@@ -56,6 +59,7 @@ class LshSearcher {
   const MatchProfile& profile() const { return engine_->profile(); }
   const LshTransformer& transformer() const { return transformer_; }
   const InvertedIndex& index() const { return index_; }
+  const EngineBackend& backend() const { return *engine_; }
 
  private:
   LshSearcher(const data::PointMatrix* points, LshTransformer transformer,
@@ -64,7 +68,7 @@ class LshSearcher {
   const data::PointMatrix* points_;
   LshTransformer transformer_;
   InvertedIndex index_;
-  std::unique_ptr<MatchEngine> engine_;
+  std::unique_ptr<EngineBackend> engine_;
 };
 
 }  // namespace lsh

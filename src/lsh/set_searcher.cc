@@ -61,7 +61,11 @@ Status SetLshSearcher::Init() {
   GENIE_ASSIGN_OR_RETURN(index_, std::move(builder).Build(options_.build));
   MatchEngineOptions engine_options = options_.engine;
   engine_options.max_count = family_->num_functions();
-  GENIE_ASSIGN_OR_RETURN(engine_, MatchEngine::Create(&index_, engine_options));
+  EngineBackendOptions backend_options = options_.backend;
+  backend_options.shard_build = options_.build;
+  GENIE_ASSIGN_OR_RETURN(
+      engine_, EngineBackend::Create(&index_, engine_options,
+                                     backend_options));
   return Status::OK();
 }
 

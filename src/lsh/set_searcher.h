@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "core/match_engine.h"
+#include "core/engine_backend.h"
 #include "index/vocabulary.h"
 #include "lsh/lsh_family.h"
 #include "lsh/lsh_searcher.h"
@@ -27,6 +27,7 @@ struct SetSearchOptions {
   LshTransformOptions transform;
   MatchEngineOptions engine;  // engine.k = candidates kept per query
   IndexBuildOptions build;
+  EngineBackendOptions backend;
 };
 
 class SetLshSearcher {
@@ -49,6 +50,7 @@ class SetLshSearcher {
 
   const MatchProfile& profile() const { return engine_->profile(); }
   const InvertedIndex& index() const { return index_; }
+  const EngineBackend& backend() const { return *engine_; }
 
  private:
   SetLshSearcher(const SetDataset* sets,
@@ -64,7 +66,7 @@ class SetLshSearcher {
   DimValueEncoder encoder_;
   std::vector<uint64_t> rehash_seeds_;
   InvertedIndex index_;
-  std::unique_ptr<MatchEngine> engine_;
+  std::unique_ptr<EngineBackend> engine_;
 };
 
 }  // namespace lsh

@@ -44,7 +44,9 @@ Status DocumentSearcher::Init() {
   GENIE_ASSIGN_OR_RETURN(index_, std::move(builder).Build());
   MatchEngineOptions engine_options = options_.engine;
   engine_options.k = options_.k;
-  GENIE_ASSIGN_OR_RETURN(engine_, MatchEngine::Create(&index_, engine_options));
+  GENIE_ASSIGN_OR_RETURN(
+      engine_, EngineBackend::Create(&index_, engine_options,
+                                     options_.backend));
   return Status::OK();
 }
 

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "core/match_engine.h"
+#include "core/engine_backend.h"
 
 namespace genie {
 namespace sa {
@@ -24,6 +24,7 @@ using Document = std::vector<uint32_t>;
 struct DocumentSearchOptions {
   uint32_t k = 100;
   MatchEngineOptions engine;  // k / max_count managed by the searcher
+  EngineBackendOptions backend;
 };
 
 class DocumentSearcher {
@@ -41,6 +42,7 @@ class DocumentSearcher {
 
   const MatchProfile& profile() const { return engine_->profile(); }
   const InvertedIndex& index() const { return index_; }
+  const EngineBackend& backend() const { return *engine_; }
 
  private:
   DocumentSearcher(const std::vector<Document>* docs,
@@ -51,7 +53,7 @@ class DocumentSearcher {
   DocumentSearchOptions options_;
   uint32_t vocab_size_ = 0;
   InvertedIndex index_;
-  std::unique_ptr<MatchEngine> engine_;
+  std::unique_ptr<EngineBackend> engine_;
 };
 
 }  // namespace sa

@@ -39,7 +39,8 @@ RelationalSearcher::RelationalSearcher(const RelationalTable* table,
 Result<std::unique_ptr<RelationalSearcher>> RelationalSearcher::Create(
     const RelationalTable* table, uint32_t k,
     const MatchEngineOptions& engine_options,
-    const IndexBuildOptions& build_options) {
+    const IndexBuildOptions& build_options,
+    const EngineBackendOptions& backend_options) {
   if (table == nullptr) return Status::InvalidArgument("table is null");
   if (table->num_columns() == 0) {
     return Status::InvalidArgument("table has no columns");
@@ -47,12 +48,14 @@ Result<std::unique_ptr<RelationalSearcher>> RelationalSearcher::Create(
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   std::unique_ptr<RelationalSearcher> searcher(
       new RelationalSearcher(table, k));
-  GENIE_RETURN_NOT_OK(searcher->Init(engine_options, build_options));
+  GENIE_RETURN_NOT_OK(
+      searcher->Init(engine_options, build_options, backend_options));
   return searcher;
 }
 
 Status RelationalSearcher::Init(const MatchEngineOptions& engine_options,
-                                const IndexBuildOptions& build_options) {
+                                const IndexBuildOptions& build_options,
+                                const EngineBackendOptions& backend_options) {
   std::vector<uint32_t> cardinalities(table_->num_columns());
   for (uint32_t c = 0; c < table_->num_columns(); ++c) {
     cardinalities[c] = table_->cardinality(c);
@@ -71,7 +74,10 @@ Status RelationalSearcher::Init(const MatchEngineOptions& engine_options,
   opts.k = k_;
   // One value per attribute => an object matches each item at most once.
   opts.max_count = table_->num_columns();
-  GENIE_ASSIGN_OR_RETURN(engine_, MatchEngine::Create(&index_, opts));
+  EngineBackendOptions backend = backend_options;
+  backend.shard_build = build_options;
+  GENIE_ASSIGN_OR_RETURN(engine_,
+                         EngineBackend::Create(&index_, opts, backend));
   return Status::OK();
 }
 

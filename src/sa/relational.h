@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "core/match_engine.h"
+#include "core/engine_backend.h"
 #include "index/index_builder.h"
 #include "index/vocabulary.h"
 
@@ -87,7 +87,8 @@ class RelationalSearcher {
   static Result<std::unique_ptr<RelationalSearcher>> Create(
       const RelationalTable* table, uint32_t k,
       const MatchEngineOptions& engine_options = {},
-      const IndexBuildOptions& build_options = {});
+      const IndexBuildOptions& build_options = {},
+      const EngineBackendOptions& backend_options = {});
 
   /// Top-k rows by number of satisfied ranges.
   Result<std::vector<QueryResult>> SearchBatch(
@@ -99,17 +100,19 @@ class RelationalSearcher {
   const MatchProfile& profile() const { return engine_->profile(); }
   const InvertedIndex& index() const { return index_; }
   const DimValueEncoder& encoder() const { return *encoder_; }
+  const EngineBackend& backend() const { return *engine_; }
 
  private:
   RelationalSearcher(const RelationalTable* table, uint32_t k);
   Status Init(const MatchEngineOptions& engine_options,
-              const IndexBuildOptions& build_options);
+              const IndexBuildOptions& build_options,
+              const EngineBackendOptions& backend_options);
 
   const RelationalTable* table_;
   uint32_t k_;
   std::unique_ptr<DimValueEncoder> encoder_;
   InvertedIndex index_;
-  std::unique_ptr<MatchEngine> engine_;
+  std::unique_ptr<EngineBackend> engine_;
 };
 
 }  // namespace sa

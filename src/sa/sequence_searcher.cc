@@ -51,7 +51,9 @@ Status SequenceSearcher::Init() {
 
   MatchEngineOptions engine_options = options_.engine;
   engine_options.k = options_.candidate_k;
-  GENIE_ASSIGN_OR_RETURN(engine_, MatchEngine::Create(&index_, engine_options));
+  GENIE_ASSIGN_OR_RETURN(
+      engine_, EngineBackend::Create(&index_, engine_options,
+                                     options_.backend));
   return Status::OK();
 }
 
@@ -156,8 +158,9 @@ Result<std::vector<SequenceSearchOutcome>> SequenceSearcher::SearchBatch(
     if (pending.empty()) break;
     MatchEngineOptions engine_options = options_.engine;
     engine_options.k = big_k;
-    GENIE_ASSIGN_OR_RETURN(std::unique_ptr<MatchEngine> engine,
-                           MatchEngine::Create(&index_, engine_options));
+    GENIE_ASSIGN_OR_RETURN(
+        std::unique_ptr<EngineBackend> engine,
+        EngineBackend::Create(&index_, engine_options, options_.backend));
     std::vector<Query> retry;
     retry.reserve(pending.size());
     for (size_t i : pending) retry.push_back(Compile(queries[i]));

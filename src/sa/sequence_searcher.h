@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "core/match_engine.h"
+#include "core/engine_backend.h"
 #include "index/index_builder.h"
 #include "index/vocabulary.h"
 
@@ -32,6 +32,7 @@ struct SequenceSearchOptions {
   bool escalate_until_exact = false;
   uint32_t max_candidate_k = 256;
   MatchEngineOptions engine;  // k/max_count are managed by the searcher
+  EngineBackendOptions backend;
 };
 
 struct SequenceMatch {
@@ -66,6 +67,7 @@ class SequenceSearcher {
   const MatchProfile& profile() const { return engine_->profile(); }
   double verify_seconds() const { return verify_seconds_; }
   const InvertedIndex& index() const { return index_; }
+  const EngineBackend& backend() const { return *engine_; }
 
  private:
   SequenceSearcher(const std::vector<std::string>* sequences,
@@ -81,7 +83,7 @@ class SequenceSearcher {
   SequenceSearchOptions options_;
   StringVocabulary vocab_;
   InvertedIndex index_;
-  std::unique_ptr<MatchEngine> engine_;
+  std::unique_ptr<EngineBackend> engine_;
   double verify_seconds_ = 0;
 };
 

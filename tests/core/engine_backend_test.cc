@@ -1,0 +1,129 @@
+#include "core/engine_backend.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace genie {
+namespace {
+
+sim::Device* TestDevice() {
+  static sim::Device* device = [] {
+    sim::Device::Options options;
+    options.num_workers = 4;
+    return new sim::Device(options);
+  }();
+  return device;
+}
+
+TEST(EngineBackendTest, SingleLoadWhenIndexFits) {
+  auto workload = test::MakeRandomWorkload(800, 60, 6, 6, 5, 41);
+  MatchEngineOptions options;
+  options.k = 10;
+  options.device = TestDevice();
+  auto backend = EngineBackend::Create(&workload.index, options);
+  ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+  EXPECT_FALSE((*backend)->multi_load());
+  EXPECT_EQ((*backend)->num_parts(), 1u);
+
+  auto results = (*backend)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(results.ok());
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    const auto counts =
+        test::BruteForceCounts(workload.index, workload.queries[q]);
+    EXPECT_EQ(test::EntryCountMultiset((*results)[q]),
+              test::TopKCountMultiset(counts, 10));
+  }
+}
+
+TEST(EngineBackendTest, FallsBackWhenIndexExceedsDeviceMemory) {
+  auto workload = test::MakeRandomWorkload(4000, 30, 8, 4, 4, 42);
+  sim::Device::Options small;
+  small.num_workers = 4;
+  small.memory_capacity_bytes = 120 << 10;
+  sim::Device device(small);
+
+  MatchEngineOptions options;
+  options.k = 5;
+  options.device = &device;
+  options.max_count = MatchEngine::DeriveMaxCount(workload.queries);
+  // Sanity: the single-load engine cannot be built at all.
+  ASSERT_FALSE(MatchEngine::Create(&workload.index, options).ok());
+
+  auto backend = EngineBackend::Create(&workload.index, options);
+  ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+  EXPECT_TRUE((*backend)->multi_load());
+  EXPECT_GT((*backend)->num_parts(), 1u);
+
+  auto results = (*backend)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    const auto counts =
+        test::BruteForceCounts(workload.index, workload.queries[q]);
+    EXPECT_EQ(test::EntryCountMultiset((*results)[q]),
+              test::TopKCountMultiset(counts, 5));
+  }
+  EXPECT_EQ(device.allocated_bytes(), 0u);
+  EXPECT_GT((*backend)->profile().index_transfer_s, 0.0);
+}
+
+TEST(EngineBackendTest, FallbackDisabledSurfacesResourceExhausted) {
+  auto workload = test::MakeRandomWorkload(4000, 30, 8, 4, 4, 43);
+  sim::Device::Options small;
+  small.num_workers = 4;
+  small.memory_capacity_bytes = 120 << 10;
+  sim::Device device(small);
+
+  MatchEngineOptions options;
+  options.k = 5;
+  options.device = &device;
+  EngineBackendOptions backend_options;
+  backend_options.allow_multi_load = false;
+  auto backend =
+      EngineBackend::Create(&workload.index, options, backend_options);
+  ASSERT_FALSE(backend.ok());
+  EXPECT_EQ(backend.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineBackendTest, ForcePartsShardsEvenWhenIndexFits) {
+  auto workload = test::MakeRandomWorkload(900, 50, 6, 5, 4, 44);
+  MatchEngineOptions options;
+  options.k = 8;
+  options.device = TestDevice();
+  options.max_count = MatchEngine::DeriveMaxCount(workload.queries);
+  EngineBackendOptions backend_options;
+  backend_options.force_parts = 3;
+  auto backend =
+      EngineBackend::Create(&workload.index, options, backend_options);
+  ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+  EXPECT_TRUE((*backend)->multi_load());
+  EXPECT_EQ((*backend)->num_parts(), 3u);
+
+  auto results = (*backend)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(results.ok());
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    const auto counts =
+        test::BruteForceCounts(workload.index, workload.queries[q]);
+    EXPECT_EQ(test::EntryCountMultiset((*results)[q]),
+              test::TopKCountMultiset(counts, 8));
+  }
+}
+
+TEST(EngineBackendTest, RejectsEmptyBatchAndBadOptions) {
+  auto workload = test::MakeRandomWorkload(200, 20, 4, 2, 3, 45);
+  MatchEngineOptions options;
+  options.k = 5;
+  options.device = TestDevice();
+  auto backend = EngineBackend::Create(&workload.index, options);
+  ASSERT_TRUE(backend.ok());
+  auto empty = (*backend)->ExecuteBatch({});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  EXPECT_FALSE(EngineBackend::Create(nullptr, options).ok());
+  options.k = 0;
+  EXPECT_FALSE(EngineBackend::Create(&workload.index, options).ok());
+}
+
+}  // namespace
+}  // namespace genie

@@ -95,13 +95,13 @@ TEST(MatchEngineTest, CreateRejectsBadArguments) {
   EXPECT_FALSE(MatchEngine::Create(&index, zero_block).ok());
 }
 
-TEST(MatchEngineTest, EmptyBatch) {
+TEST(MatchEngineTest, EmptyBatchIsInvalidArgument) {
   const InvertedIndex index = Figure1Index();
   auto engine = MatchEngine::Create(&index, BaseOptions(1));
   ASSERT_TRUE(engine.ok());
   auto results = (*engine)->ExecuteBatch({});
-  ASSERT_TRUE(results.ok());
-  EXPECT_TRUE(results->empty());
+  ASSERT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(MatchEngineTest, EmptyQueryProducesEmptyResult) {

@@ -1,0 +1,61 @@
+#include "index/shard.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace genie {
+namespace {
+
+TEST(ShardTest, PreservesEveryPosting) {
+  auto workload = test::MakeRandomWorkload(500, 40, 6, 1, 1, 51);
+  auto sharded = ShardByObjectRange(workload.index, 3);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_EQ(sharded->shards.size(), 3u);
+  ASSERT_EQ(sharded->offsets.size(), 3u);
+
+  size_t total_postings = 0;
+  for (const InvertedIndex& shard : sharded->shards) {
+    total_postings += shard.postings().size();
+  }
+  EXPECT_EQ(total_postings, workload.index.postings().size());
+
+  // Per-keyword frequency is preserved across the shards.
+  for (Keyword kw = 0; kw < workload.index.vocab_size(); ++kw) {
+    uint32_t freq = 0;
+    for (const InvertedIndex& shard : sharded->shards) {
+      freq += shard.KeywordFrequency(kw);
+    }
+    EXPECT_EQ(freq, workload.index.KeywordFrequency(kw)) << "keyword " << kw;
+  }
+}
+
+TEST(ShardTest, LocalIdsMapBackThroughOffsets) {
+  auto workload = test::MakeRandomWorkload(300, 30, 5, 4, 4, 52);
+  auto sharded = ShardByObjectRange(workload.index, 4);
+  ASSERT_TRUE(sharded.ok());
+
+  for (const Query& query : workload.queries) {
+    const auto full_counts = test::BruteForceCounts(workload.index, query);
+    std::vector<uint32_t> merged(workload.index.num_objects(), 0);
+    for (size_t p = 0; p < sharded->shards.size(); ++p) {
+      const auto part_counts =
+          test::BruteForceCounts(sharded->shards[p], query);
+      for (size_t local = 0; local < part_counts.size(); ++local) {
+        merged[sharded->offsets[p] + local] += part_counts[local];
+      }
+    }
+    EXPECT_EQ(merged, full_counts);
+  }
+}
+
+TEST(ShardTest, ClampsPartsToObjectCount) {
+  auto workload = test::MakeRandomWorkload(5, 10, 3, 1, 1, 53);
+  auto sharded = ShardByObjectRange(workload.index, 50);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_LE(sharded->shards.size(), 5u);
+  EXPECT_FALSE(ShardByObjectRange(workload.index, 0).ok());
+}
+
+}  // namespace
+}  // namespace genie
