@@ -1,10 +1,59 @@
 #include "api/engine.h"
 
+#include <algorithm>
+#include <condition_variable>
 #include <utility>
 
 #include "api/searcher.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace genie {
+
+namespace {
+
+constexpr uint32_t kDefaultStreamChunk = 1024;
+
+/// Sub-request over queries [offset, offset + count). Span payloads are
+/// sliced in place; the points payload is materialized into `scratch`
+/// (PointMatrix has no row-range view) — a copy of chunk_size * dim floats,
+/// negligible beside the search itself.
+SearchRequest SliceRequest(const SearchRequest& request, size_t offset,
+                           size_t count, data::PointMatrix* scratch) {
+  SearchRequest chunk = request;
+  switch (request.modality) {
+    case Modality::kPoints: {
+      *scratch = data::PointMatrix(static_cast<uint32_t>(count),
+                                   request.points->dim());
+      for (size_t i = 0; i < count; ++i) {
+        const auto from =
+            request.points->row(static_cast<uint32_t>(offset + i));
+        std::copy(from.begin(), from.end(),
+                  scratch->mutable_row(static_cast<uint32_t>(i)).begin());
+      }
+      chunk.points = scratch;
+      break;
+    }
+    case Modality::kSets:
+      chunk.sets = request.sets.subspan(offset, count);
+      break;
+    case Modality::kSequences:
+      chunk.sequences = request.sequences.subspan(offset, count);
+      break;
+    case Modality::kDocuments:
+      chunk.documents = request.documents.subspan(offset, count);
+      break;
+    case Modality::kRelational:
+      chunk.ranges = request.ranges.subspan(offset, count);
+      break;
+    case Modality::kCompiled:
+      chunk.compiled = request.compiled.subspan(offset, count);
+      break;
+  }
+  return chunk;
+}
+
+}  // namespace
 
 const char* ModalityToString(Modality modality) {
   switch (modality) {
@@ -214,10 +263,32 @@ EngineConfig& EngineConfig::ForceParts(uint32_t parts) {
 // Engine
 // ---------------------------------------------------------------------------
 
-Engine::Engine(EngineConfig config, std::unique_ptr<Searcher> searcher)
-    : config_(std::move(config)), searcher_(std::move(searcher)) {}
+/// Outlives the Engine via shared ownership with the async tasks, so the
+/// destructor's wait and a finishing task never race on a dying mutex.
+struct Engine::AsyncTracker {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t inflight = 0;
+};
 
-Engine::~Engine() = default;
+Engine::Engine(EngineConfig config, std::unique_ptr<Searcher> searcher)
+    : config_(std::move(config)), searcher_(std::move(searcher)),
+      async_(std::make_shared<AsyncTracker>()) {}
+
+Engine::~Engine() {
+  // A queued or running SearchAsync task dereferences this engine; freeing
+  // it mid-stream would be a use-after-free. Block until they drain.
+  std::unique_lock<std::mutex> lock(async_->mu);
+  if (async_->inflight > 0) {
+    // Waiting from a pool worker could starve the very tasks being waited
+    // on (they need a free worker to start); fail loudly instead of
+    // hanging. Resolve the futures before dropping the engine.
+    GENIE_CHECK(!DefaultThreadPool()->InWorker())
+        << "~Engine with outstanding SearchAsync work on a thread-pool "
+           "worker would deadlock; wait on the futures first";
+  }
+  async_->cv.wait(lock, [this] { return async_->inflight == 0; });
+}
 
 Result<std::unique_ptr<Engine>> Engine::Create(const EngineConfig& config) {
   if (!config.has_modality()) {
@@ -257,12 +328,12 @@ Modality Engine::modality() const { return searcher_->modality(); }
 
 uint32_t Engine::num_objects() const { return searcher_->num_objects(); }
 
-Result<SearchResult> Engine::Search(const SearchRequest& request) {
-  if (request.modality != modality()) {
+Status Engine::ValidateRequest(const SearchRequest& request) const {
+  if (request.modality != searcher_->modality()) {
     return Status::InvalidArgument(
         std::string("request payload is '") +
         ModalityToString(request.modality) + "' but the engine serves '" +
-        ModalityToString(modality()) + "'");
+        ModalityToString(searcher_->modality()) + "'");
   }
   if (request.num_queries() == 0) {
     return Status::InvalidArgument("empty query batch");
@@ -274,7 +345,93 @@ Result<SearchResult> Engine::Search(const SearchRequest& request) {
         " does not match dataset dimension " +
         std::to_string(config_.points()->dim()));
   }
+  return Status::OK();
+}
+
+Result<SearchResult> Engine::SearchLocked(const SearchRequest& request) {
+  std::lock_guard<std::mutex> lock(search_mu_);
   return searcher_->Search(request);
+}
+
+Result<SearchResult> Engine::Search(const SearchRequest& request) {
+  GENIE_RETURN_NOT_OK(ValidateRequest(request));
+  return SearchLocked(request);
+}
+
+Result<SearchResult> Engine::SearchStream(const SearchRequest& request,
+                                          const SearchStreamOptions& options,
+                                          const SearchChunkCallback& on_chunk) {
+  GENIE_RETURN_NOT_OK(ValidateRequest(request));
+  const size_t total = request.num_queries();
+  size_t chunk_size = options.chunk_size;
+  if (chunk_size == 0) {
+    chunk_size = searcher_->DeriveChunkSize(request, options.memory_fraction);
+  }
+  if (chunk_size == 0) chunk_size = kDefaultStreamChunk;
+
+  SearchResult aggregate;
+  aggregate.queries.reserve(total);
+  size_t index = 0;
+  for (size_t done = 0; done < total; done += chunk_size, ++index) {
+    const size_t count = std::min(chunk_size, total - done);
+    data::PointMatrix scratch;
+    const SearchRequest chunk_request =
+        SliceRequest(request, done, count, &scratch);
+    // The lock covers one chunk, not the stream: concurrent streams on one
+    // engine interleave chunk-by-chunk, and each chunk's profile delta is
+    // computed atomically with its batch.
+    Result<SearchResult> chunk = SearchLocked(chunk_request);
+    // Cancellation on first error: remaining chunks are never submitted.
+    if (!chunk.ok()) return chunk.status();
+
+    aggregate.profile.Accumulate(chunk->profile);
+    aggregate.cumulative = chunk->cumulative;
+    if (on_chunk) {
+      SearchChunk delivery;
+      delivery.index = index;
+      delivery.first_query = done;
+      delivery.result = std::move(*chunk);
+      GENIE_RETURN_NOT_OK(on_chunk(delivery));
+      chunk = std::move(delivery.result);
+    }
+    for (QueryHits& hits : chunk->queries) {
+      aggregate.queries.push_back(std::move(hits));
+    }
+  }
+  return aggregate;
+}
+
+std::future<Result<SearchResult>> Engine::SearchAsync(
+    SearchRequest request, SearchStreamOptions options,
+    SearchChunkCallback on_chunk) {
+  {
+    std::lock_guard<std::mutex> lock(async_->mu);
+    ++async_->inflight;
+  }
+  // Decrements on scope exit — normal return or unwind — so a throwing
+  // callback cannot leave inflight stuck and hang the destructor. After it
+  // fires the destructor may proceed; the tracker itself is co-owned, and
+  // nothing below touches the engine past that point.
+  struct InflightGuard {
+    std::shared_ptr<AsyncTracker> tracker;
+    ~InflightGuard() {
+      std::lock_guard<std::mutex> lock(tracker->mu);
+      --tracker->inflight;
+      tracker->cv.notify_all();
+    }
+  };
+  auto task = std::make_shared<std::packaged_task<Result<SearchResult>()>>(
+      [this, tracker = async_, request = std::move(request), options,
+       on_chunk = std::move(on_chunk)] {
+        InflightGuard guard{tracker};
+        return SearchStream(request, options, on_chunk);
+      });
+  std::future<Result<SearchResult>> future = task->get_future();
+  // The pool's ParallelFor has caller participation, so a pool saturated
+  // with async searches cannot deadlock the nested parallelism inside the
+  // multi-load merge (or another caller's ParallelFor).
+  DefaultThreadPool()->Submit([task] { (*task)(); });
+  return future;
 }
 
 }  // namespace genie

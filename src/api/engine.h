@@ -13,7 +13,9 @@
 ///   auto result = (*engine)->Search(genie::SearchRequest::Ranges(batch));
 
 #include <cstdint>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "api/types.h"
@@ -173,8 +175,10 @@ class EngineConfig {
 
 /// The facade. One Engine serves one indexed dataset; Search() accepts
 /// batches of the matching request kind and returns the unified result
-/// shape. Thread-compatible: concurrent Search() calls require external
-/// synchronization (profiles are accumulated).
+/// shape. Thread-safe: Search, SearchStream and SearchAsync may be called
+/// concurrently — batches (and the chunks of concurrent streams) are
+/// serialized internally, and each call's SearchProfile delta covers
+/// exactly its own work.
 class Engine {
  public:
   static Result<std::unique_ptr<Engine>> Create(const EngineConfig& config);
@@ -185,15 +189,52 @@ class Engine {
   /// Status contract.
   Result<SearchResult> Search(const SearchRequest& request);
 
+  /// Streaming pipeline over large query sets (Fig. 11): splits the request
+  /// into chunks of options.chunk_size queries, answers each through the
+  /// backend (composing with the single-load -> multiple-loading
+  /// escalation), and delivers per-chunk results in input order through
+  /// `on_chunk` (optional). The first error — from the backend or a non-OK
+  /// callback return — cancels the remaining chunks. On success the
+  /// returned SearchResult concatenates all chunks, identical to one
+  /// blocking Search of the whole request; its `profile` sums the chunk
+  /// deltas.
+  Result<SearchResult> SearchStream(const SearchRequest& request,
+                                    const SearchStreamOptions& options = {},
+                                    const SearchChunkCallback& on_chunk = {});
+
+  /// SearchStream running on the process-wide thread pool. The request's
+  /// payload spans must stay alive until the future resolves. Concurrent
+  /// async streams on one engine interleave chunk-by-chunk; each stream's
+  /// chunks are still delivered in its own input order. The destructor
+  /// blocks until every outstanding async search has finished, so the
+  /// engine cannot be freed out from under a running stream.
+  std::future<Result<SearchResult>> SearchAsync(
+      SearchRequest request, SearchStreamOptions options = {},
+      SearchChunkCallback on_chunk = {});
+
   Modality modality() const;
   uint32_t num_objects() const;
   const EngineConfig& config() const { return config_; }
 
  private:
+  struct AsyncTracker;
+
   Engine(EngineConfig config, std::unique_ptr<Searcher> searcher);
+
+  /// Shared request validation of Search / SearchStream.
+  Status ValidateRequest(const SearchRequest& request) const;
+  /// One serialized searcher call (the unit both Search and stream chunks
+  /// go through).
+  Result<SearchResult> SearchLocked(const SearchRequest& request);
 
   EngineConfig config_;
   std::unique_ptr<Searcher> searcher_;
+  /// Serializes searcher access: the domain searchers accumulate profiles,
+  /// so a batch plus its profile-delta bookkeeping must be atomic.
+  std::mutex search_mu_;
+  /// Counts in-flight SearchAsync tasks; shared with the tasks themselves
+  /// so the destructor can wait for them without lifetime games.
+  std::shared_ptr<AsyncTracker> async_;
 };
 
 }  // namespace genie

@@ -26,6 +26,16 @@ class Searcher {
   /// Answers one batch; the request's payload kind has already been
   /// validated by Engine::Search.
   virtual Result<SearchResult> Search(const SearchRequest& request) = 0;
+
+  /// Queries per stream chunk derived from the free device memory, for
+  /// SearchStream's chunk_size = 0 mode. 0 = no modality-specific
+  /// derivation (the facade falls back to its 1024 default).
+  virtual uint32_t DeriveChunkSize(const SearchRequest& request,
+                                   double memory_fraction) const {
+    (void)request;
+    (void)memory_fraction;
+    return 0;
+  }
 };
 
 /// Factory per modality; each reads its dataset binding and knobs from the

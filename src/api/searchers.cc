@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/batch_scheduler.h"
 #include "core/engine_backend.h"
 #include "lsh/e2lsh.h"
 #include "lsh/lsh_searcher.h"
@@ -55,14 +56,14 @@ uint32_t CandidatePoolSize(const EngineConfig& config) {
                                   : std::max(config.k(), 32u);
 }
 
-SearchProfile MakeProfile(const MatchProfile& p, const EngineBackend& backend,
-                          double verify_s = 0) {
+SearchProfile MakeProfile(const MatchProfile& p, double merge_s,
+                          const EngineBackend& backend, double verify_s) {
   SearchProfile profile;
   profile.index_transfer_s = p.index_transfer_s;
   profile.query_transfer_s = p.query_transfer_s;
   profile.match_s = p.match_s;
   profile.select_s = p.select_s;
-  profile.merge_s = backend.merge_seconds();
+  profile.merge_s = merge_s;
   profile.verify_s = verify_s;
   profile.index_bytes = p.index_bytes;
   profile.query_bytes = p.query_bytes;
@@ -70,6 +71,31 @@ SearchProfile MakeProfile(const MatchProfile& p, const EngineBackend& backend,
   profile.used_multi_load = backend.multi_load();
   profile.parts = backend.num_parts();
   return profile;
+}
+
+/// Backend stage costs captured before a batch, so the batch's own costs
+/// can be isolated afterwards (profiles are cumulative below the facade).
+struct BackendSnapshot {
+  MatchProfile match;
+  double merge_s = 0;
+  double verify_s = 0;
+};
+
+BackendSnapshot Snapshot(const EngineBackend& backend, double verify_s = 0) {
+  return BackendSnapshot{backend.profile(), backend.merge_seconds(), verify_s};
+}
+
+/// Fills result->profile with the delta since `before` and
+/// result->cumulative with the running totals.
+void FillProfiles(SearchResult* result, const BackendSnapshot& before,
+                  const EngineBackend& backend, double verify_total = 0) {
+  MatchProfile delta = backend.profile();
+  delta.Subtract(before.match);
+  result->profile =
+      MakeProfile(delta, backend.merge_seconds() - before.merge_s, backend,
+                  verify_total - before.verify_s);
+  result->cumulative = MakeProfile(backend.profile(), backend.merge_seconds(),
+                                   backend, verify_total);
 }
 
 /// MC_k of one answer list: the k-th match count when k answers exist.
@@ -104,6 +130,7 @@ class PointsSearcherImpl : public Searcher {
   uint32_t num_objects() const override { return points_->num_points(); }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
+    const BackendSnapshot before = Snapshot(searcher_->backend());
     GENIE_ASSIGN_OR_RETURN(std::vector<std::vector<lsh::AnnMatch>> matches,
                            searcher_->MatchBatch(*request.points));
     SearchResult result;
@@ -129,7 +156,7 @@ class PointsSearcherImpl : public Searcher {
       }
       if (out.hits.size() > k_) out.hits.resize(k_);
     }
-    result.profile = MakeProfile(searcher_->profile(), searcher_->backend());
+    FillProfiles(&result, before, searcher_->backend());
     return result;
   }
 
@@ -160,6 +187,7 @@ class SetsSearcherImpl : public Searcher {
   }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
+    const BackendSnapshot before = Snapshot(searcher_->backend());
     GENIE_ASSIGN_OR_RETURN(std::vector<std::vector<lsh::AnnMatch>> matches,
                            searcher_->MatchBatch(request.sets));
     SearchResult result;
@@ -182,7 +210,7 @@ class SetsSearcherImpl : public Searcher {
       }
       if (out.hits.size() > k_) out.hits.resize(k_);
     }
-    result.profile = MakeProfile(searcher_->profile(), searcher_->backend());
+    FillProfiles(&result, before, searcher_->backend());
     return result;
   }
 
@@ -211,6 +239,8 @@ class SequencesSearcherImpl : public Searcher {
   }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
+    const BackendSnapshot before =
+        Snapshot(searcher_->backend(), searcher_->verify_seconds());
     GENIE_ASSIGN_OR_RETURN(std::vector<sa::SequenceSearchOutcome> outcomes,
                            searcher_->SearchBatch(request.sequences));
     SearchResult result;
@@ -227,8 +257,8 @@ class SequencesSearcherImpl : public Searcher {
       out.certified_exact = outcomes[q].certified_exact;
       out.rounds = outcomes[q].rounds;
     }
-    result.profile = MakeProfile(searcher_->profile(), searcher_->backend(),
-                                 searcher_->verify_seconds());
+    FillProfiles(&result, before, searcher_->backend(),
+                 searcher_->verify_seconds());
     return result;
   }
 
@@ -254,6 +284,7 @@ class DocumentsSearcherImpl : public Searcher {
   }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
+    const BackendSnapshot before = Snapshot(searcher_->backend());
     GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> raw,
                            searcher_->SearchBatch(request.documents));
     SearchResult result;
@@ -266,7 +297,7 @@ class DocumentsSearcherImpl : public Searcher {
       }
       out.threshold = raw[q].threshold;
     }
-    result.profile = MakeProfile(searcher_->profile(), searcher_->backend());
+    FillProfiles(&result, before, searcher_->backend());
     return result;
   }
 
@@ -289,6 +320,7 @@ class RelationalSearcherImpl : public Searcher {
   uint32_t num_objects() const override { return table_->num_rows(); }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
+    const BackendSnapshot before = Snapshot(searcher_->backend());
     GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> raw,
                            searcher_->SearchBatch(request.ranges));
     SearchResult result;
@@ -301,7 +333,7 @@ class RelationalSearcherImpl : public Searcher {
       }
       out.threshold = raw[q].threshold;
     }
-    result.profile = MakeProfile(searcher_->profile(), searcher_->backend());
+    FillProfiles(&result, before, searcher_->backend());
     return result;
   }
 
@@ -324,6 +356,7 @@ class CompiledSearcherImpl : public Searcher {
   uint32_t num_objects() const override { return index_->num_objects(); }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
+    const BackendSnapshot before = Snapshot(*backend_);
     GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> raw,
                            backend_->ExecuteBatch(request.compiled));
     SearchResult result;
@@ -336,8 +369,21 @@ class CompiledSearcherImpl : public Searcher {
       }
       out.threshold = raw[q].threshold;
     }
-    result.profile = MakeProfile(backend_->profile(), *backend_);
+    FillProfiles(&result, before, *backend_);
     return result;
+  }
+
+  uint32_t DeriveChunkSize(const SearchRequest& request,
+                           double memory_fraction) const override {
+    const uint32_t max_count =
+        backend_->options().max_count > 0
+            ? backend_->options().max_count
+            : MatchEngine::DeriveMaxCount(request.compiled);
+    const uint64_t per_query = MatchEngine::DeviceBytesPerQuery(
+        backend_->index().num_objects(), backend_->options(), max_count);
+    return DeriveLargeBatchSize(backend_->device()->memory_capacity_bytes(),
+                                backend_->device()->allocated_bytes(),
+                                per_query, memory_fraction);
   }
 
  private:

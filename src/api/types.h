@@ -8,10 +8,12 @@
 /// (QueryResult, AnnMatch, SequenceSearchOutcome) of the lower layers.
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/query.h"
 #include "data/points.h"
 #include "index/types.h"
@@ -88,8 +90,10 @@ struct QueryHits {
   uint32_t rounds = 1;
 };
 
-/// Stage costs and backend facts, cumulative since engine creation
-/// (Table I / Table III shapes, unified across single- and multi-load).
+/// Stage costs and backend facts (Table I / Table III shapes, unified
+/// across single- and multi-load). SearchResult carries two of these: the
+/// costs of that Search call alone (`profile`) and the running total since
+/// engine creation (`cumulative`).
 struct SearchProfile {
   double index_transfer_s = 0;
   double query_transfer_s = 0;
@@ -108,12 +112,58 @@ struct SearchProfile {
   double total_query_s() const {
     return query_transfer_s + match_s + select_s + merge_s + verify_s;
   }
+
+  /// Folds another profile's costs in (summing stages; backend facts take
+  /// the other's values, which chronologically later deltas carry). Used by
+  /// the streaming pipeline to aggregate per-chunk deltas.
+  void Accumulate(const SearchProfile& other) {
+    index_transfer_s += other.index_transfer_s;
+    query_transfer_s += other.query_transfer_s;
+    match_s += other.match_s;
+    select_s += other.select_s;
+    merge_s += other.merge_s;
+    verify_s += other.verify_s;
+    index_bytes += other.index_bytes;
+    query_bytes += other.query_bytes;
+    result_bytes += other.result_bytes;
+    used_multi_load = used_multi_load || other.used_multi_load;
+    parts = other.parts;
+  }
 };
 
 /// One result per query of the request, in request order.
 struct SearchResult {
   std::vector<QueryHits> queries;
+  /// Costs of this Search / SearchStream call alone (the per-call delta).
   SearchProfile profile;
+  /// Running totals since engine creation.
+  SearchProfile cumulative;
 };
+
+/// Chunking knobs of Engine::SearchStream / SearchAsync.
+struct SearchStreamOptions {
+  /// Queries submitted to the backend per chunk (the paper's Fig. 11 runs
+  /// 65536 queries as 64 chunks of 1024). 0 = derive from the free device
+  /// memory where the modality allows it (compiled queries, via
+  /// DeriveLargeBatchSize — oversubscription-safe), else 1024.
+  uint32_t chunk_size = 1024;
+  /// When chunk_size is 0: fraction of the free device capacity the
+  /// per-chunk working memory may occupy.
+  double memory_fraction = 0.5;
+};
+
+/// One delivered chunk of a streaming search: `result.queries` holds the
+/// answers of queries [first_query, first_query + result.queries.size())
+/// of the request, and `result.profile` is the delta of this chunk alone.
+struct SearchChunk {
+  size_t index = 0;        // chunk ordinal, starting at 0
+  size_t first_query = 0;  // offset of the chunk's first query
+  SearchResult result;
+};
+
+/// Per-chunk delivery hook of SearchStream. Chunks arrive in input order.
+/// Returning a non-OK status cancels the remaining chunks and surfaces that
+/// status from SearchStream / the SearchAsync future.
+using SearchChunkCallback = std::function<Status(const SearchChunk&)>;
 
 }  // namespace genie

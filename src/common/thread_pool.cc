@@ -1,10 +1,69 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
 
 #include "common/logging.h"
 
 namespace genie {
+
+namespace {
+/// Which pool (if any) owns the calling thread; lets Wait() catch the
+/// self-deadlocking wait-from-own-worker case.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::InWorker() const { return t_worker_pool == this; }
+
+/// Completion state of one ParallelForRange call. Chunks are claimed through
+/// `next` by workers and by the calling thread alike; the caller waits on
+/// `done` reaching `chunks` instead of pool-wide idleness, so concurrent
+/// ParallelForRange calls and unrelated Submit() tasks never extend each
+/// other's waits.
+struct ThreadPool::ForGroup {
+  ForGroup(size_t n_, size_t chunk_, size_t chunks_,
+           const std::function<void(size_t, size_t)>& body_)
+      : n(n_), chunk(chunk_), chunks(chunks_), body(body_) {}
+
+  /// Claims and runs chunks until none are left. Never throws: a body
+  /// exception (on a worker or the caller) is captured for the calling
+  /// thread to rethrow, the chunk still counts as done, and the remaining
+  /// chunks run — so `done` always reaches `chunks`, the caller's wait
+  /// terminates, and `body` plus whatever it captures stay alive for every
+  /// helper still using them.
+  void Drain() {
+    while (true) {
+      const size_t c = next.fetch_add(1);
+      if (c >= chunks) return;
+      const size_t begin = c * chunk;
+      const size_t end = std::min(begin + chunk, n);
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      size_t finished;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        finished = ++done;
+      }
+      if (finished == chunks) cv.notify_all();
+    }
+  }
+
+  const size_t n;
+  const size_t chunk;
+  const size_t chunks;
+  const std::function<void(size_t, size_t)>& body;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+  std::exception_ptr error;  // first body exception, rethrown by the caller
+};
 
 ThreadPool::ThreadPool(size_t num_threads) {
   GENIE_CHECK(num_threads >= 1);
@@ -33,6 +92,9 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  GENIE_CHECK(!InWorker())
+      << "ThreadPool::Wait() from one of this pool's own workers would "
+         "deadlock (the waiting task counts as in flight)";
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
@@ -44,20 +106,41 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) 
 }
 
 void ThreadPool::ParallelForRange(
-    size_t n, const std::function<void(size_t, size_t)>& body) {
+    size_t n, const std::function<void(size_t, size_t)>& body,
+    bool caller_participates) {
   if (n == 0) return;
+  // From one of this pool's own workers, waiting without participating
+  // could deadlock (every worker may be occupied by a waiting caller), so
+  // participation wins over the caller's preference.
+  if (InWorker()) caller_participates = true;
   const size_t workers = num_threads();
   // Over-decompose 4x for dynamic balance on skewed work.
   const size_t chunks = std::min(n, workers * 4);
   const size_t chunk = (n + chunks - 1) / chunks;
-  for (size_t begin = 0; begin < n; begin += chunk) {
-    const size_t end = std::min(begin + chunk, n);
-    Submit([&body, begin, end] { body(begin, end); });
+  if (chunks == 1 && caller_participates) {
+    body(0, n);
+    return;
   }
-  Wait();
+  auto group = std::make_shared<ForGroup>(n, chunk, chunks, body);
+  // Helpers drain the shared claim counter, so enough to saturate the pool
+  // suffices — submitting one per chunk would only queue no-ops past
+  // num_threads, and kernel launches run this path on every multi-block
+  // grid.
+  const size_t helpers =
+      std::min(chunks - (caller_participates ? 1 : 0), workers);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([group] { group->Drain(); });
+  }
+  if (caller_participates) group->Drain();
+  {
+    std::unique_lock<std::mutex> lock(group->mu);
+    group->cv.wait(lock, [&group] { return group->done == group->chunks; });
+  }
+  if (group->error) std::rethrow_exception(group->error);
 }
 
 void ThreadPool::WorkerLoop() {
+  t_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {

@@ -28,20 +28,38 @@ class ThreadPool {
   /// Enqueues a task for asynchronous execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Covers all tasks in
+  /// flight pool-wide (including unrelated Submit() callers). Calling it
+  /// from one of this pool's own workers would self-deadlock and is
+  /// checked; waiting on a different pool is fine.
   void Wait();
 
   /// Runs body(i) for i in [0, n), partitioned into contiguous chunks across
-  /// the pool, and blocks until completion. Safe to call from a non-worker
-  /// thread only.
+  /// the pool, and blocks until completion. Safe from any thread: the
+  /// calling thread participates in executing chunks, so completion does not
+  /// depend on a free worker (no deadlock when every worker is blocked or
+  /// when called from inside a worker of this or another pool). A body
+  /// exception — thrown on a worker or on the caller — is captured, the
+  /// remaining chunks still run, and the first exception is rethrown on the
+  /// calling thread after all chunks finish.
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
 
   /// Like ParallelFor but hands each worker a contiguous [begin, end) range,
-  /// avoiding per-index dispatch overhead.
+  /// avoiding per-index dispatch overhead. `caller_participates` = false
+  /// keeps every chunk on pool workers — the simulated GPU needs its block
+  /// parallelism bounded by exactly num_threads "SMs" — at the cost of
+  /// requiring a free worker for progress; it is forced back on when called
+  /// from one of this pool's own workers, where waiting idle could deadlock.
   void ParallelForRange(
-      size_t n, const std::function<void(size_t, size_t)>& body);
+      size_t n, const std::function<void(size_t, size_t)>& body,
+      bool caller_participates = true);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool InWorker() const;
 
  private:
+  struct ForGroup;
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;

@@ -4,34 +4,47 @@
 
 namespace genie {
 
+uint32_t DeriveLargeBatchSize(uint64_t capacity_bytes,
+                              uint64_t allocated_bytes,
+                              uint64_t per_query_bytes,
+                              double memory_fraction) {
+  // Oversubscribed device: capacity - allocated would underflow (both are
+  // unsigned), deriving an absurd batch size. Treat it as no free memory
+  // and degrade to one query per batch.
+  const uint64_t free_bytes =
+      capacity_bytes > allocated_bytes ? capacity_bytes - allocated_bytes : 0;
+  const uint64_t budget = static_cast<uint64_t>(
+      static_cast<double>(free_bytes) * std::clamp(memory_fraction, 0.0, 1.0));
+  return static_cast<uint32_t>(
+      std::clamp<uint64_t>(budget / std::max<uint64_t>(per_query_bytes, 1), 1,
+                           1u << 20));
+}
+
 Result<std::vector<QueryResult>> ExecuteLargeBatch(
-    MatchEngine* engine, std::span<const Query> queries,
+    EngineBackend* backend, std::span<const Query> queries,
     const LargeBatchOptions& options) {
-  if (engine == nullptr) return Status::InvalidArgument("engine is null");
+  if (backend == nullptr) return Status::InvalidArgument("backend is null");
+  if (queries.empty()) return Status::InvalidArgument("empty query batch");
   uint32_t batch_size = options.batch_size;
   if (batch_size == 0) {
     // Size batches from the remaining device memory.
     const uint32_t max_count =
-        engine->options().max_count > 0
-            ? engine->options().max_count
+        backend->options().max_count > 0
+            ? backend->options().max_count
             : MatchEngine::DeriveMaxCount(queries);
     const uint64_t per_query = MatchEngine::DeviceBytesPerQuery(
-        engine->index().num_objects(), engine->options(), max_count);
-    const uint64_t free_bytes =
-        engine->device()->memory_capacity_bytes() -
-        engine->device()->allocated_bytes();
-    const uint64_t budget = static_cast<uint64_t>(
-        static_cast<double>(free_bytes) * options.memory_fraction);
-    batch_size = static_cast<uint32_t>(
-        std::clamp<uint64_t>(budget / std::max<uint64_t>(per_query, 1), 1,
-                             1u << 20));
+        backend->index().num_objects(), backend->options(), max_count);
+    batch_size = DeriveLargeBatchSize(
+        backend->device()->memory_capacity_bytes(),
+        backend->device()->allocated_bytes(), per_query,
+        options.memory_fraction);
   }
   std::vector<QueryResult> results;
   results.reserve(queries.size());
   for (size_t done = 0; done < queries.size(); done += batch_size) {
     const size_t count = std::min<size_t>(batch_size, queries.size() - done);
     GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> part,
-                           engine->ExecuteBatch(queries.subspan(done, count)));
+                           backend->ExecuteBatch(queries.subspan(done, count)));
     for (auto& r : part) results.push_back(std::move(r));
   }
   return results;

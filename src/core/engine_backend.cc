@@ -120,14 +120,14 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteBatch(
   }
 }
 
-const MatchProfile& EngineBackend::profile() const {
-  profile_cache_ = carried_profile_;
+MatchProfile EngineBackend::profile() const {
+  MatchProfile profile = carried_profile_;
   if (single_ != nullptr) {
-    profile_cache_.Accumulate(single_->profile());
+    profile.Accumulate(single_->profile());
   } else {
-    profile_cache_.Accumulate(multi_->profile().per_part);
+    profile.Accumulate(multi_->profile().per_part);
   }
-  return profile_cache_;
+  return profile;
 }
 
 double EngineBackend::merge_seconds() const {

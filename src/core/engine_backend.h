@@ -52,9 +52,12 @@ class EngineBackend {
   /// Executes one batch, escalating to (more) parts on ResourceExhausted.
   Result<std::vector<QueryResult>> ExecuteBatch(std::span<const Query> queries);
 
-  /// Aggregated stage costs. On the multi-load path this is the accumulated
-  /// per-part profile (index transfer counts every swap-in).
-  const MatchProfile& profile() const;
+  /// Aggregated stage costs since creation, returned as a snapshot. On the
+  /// multi-load path this is the accumulated per-part profile (index
+  /// transfer counts every swap-in). Callers wanting per-batch deltas
+  /// snapshot before and after ExecuteBatch and subtract
+  /// (MatchProfile::Subtract); the accessor itself never mutates state.
+  MatchProfile profile() const;
   /// Host-side merge seconds (multi-load path only; 0 on single load).
   double merge_seconds() const;
 
@@ -65,6 +68,8 @@ class EngineBackend {
 
   const InvertedIndex& index() const { return *index_; }
   const MatchEngineOptions& options() const { return options_; }
+  /// The device batches execute on (options.device or the process default).
+  sim::Device* device() const;
 
  private:
   EngineBackend(const InvertedIndex* index, const MatchEngineOptions& options,
@@ -74,7 +79,6 @@ class EngineBackend {
   Status SetUpMultiLoad(uint32_t parts);
   /// Initial part-count estimate from the List Array size vs device budget.
   uint32_t EstimateParts() const;
-  sim::Device* device() const;
 
   const InvertedIndex* index_;
   MatchEngineOptions options_;
@@ -88,7 +92,6 @@ class EngineBackend {
   /// stays cumulative across backend switches.
   MatchProfile carried_profile_;
   double carried_merge_s_ = 0;
-  mutable MatchProfile profile_cache_;  // carried + live, built on demand
 };
 
 }  // namespace genie

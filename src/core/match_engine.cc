@@ -88,6 +88,21 @@ void MatchProfile::Accumulate(const MatchProfile& other) {
   ht_stats.overflows += other.ht_stats.overflows;
 }
 
+void MatchProfile::Subtract(const MatchProfile& earlier) {
+  index_transfer_s -= earlier.index_transfer_s;
+  query_transfer_s -= earlier.query_transfer_s;
+  match_s -= earlier.match_s;
+  select_s -= earlier.select_s;
+  index_bytes -= earlier.index_bytes;
+  query_bytes -= earlier.query_bytes;
+  result_bytes -= earlier.result_bytes;
+  ht_stats.upserts -= earlier.ht_stats.upserts;
+  ht_stats.probes -= earlier.ht_stats.probes;
+  ht_stats.displacements -= earlier.ht_stats.displacements;
+  ht_stats.expired_overwrites -= earlier.ht_stats.expired_overwrites;
+  ht_stats.overflows -= earlier.ht_stats.overflows;
+}
+
 MatchEngine::MatchEngine(const InvertedIndex* index,
                          const MatchEngineOptions& options,
                          sim::Device* device)

@@ -73,6 +73,9 @@ struct MatchProfile {
 
   double total_query_s() const { return query_transfer_s + match_s + select_s; }
   void Accumulate(const MatchProfile& other);
+  /// Inverse of Accumulate: removes an earlier snapshot, leaving the costs
+  /// incurred since it was taken (per-batch / per-Search deltas).
+  void Subtract(const MatchProfile& earlier);
 };
 
 /// Executes batches of match-count queries against one inverted index that

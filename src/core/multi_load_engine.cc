@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace genie {
@@ -46,18 +47,22 @@ Result<std::vector<QueryResult>> MultiLoadEngine::ExecuteBatch(
     const MatchProfile& p = engine->profile();
     profile_.index_transfer_s += p.index_transfer_s;
     profile_.per_part.Accumulate(p);
+    // Fold this part's top-k into the per-query pools across the worker
+    // pool: pools are per-query, so queries partition cleanly. The 65536-
+    // query sets of Fig. 11 make this host-side stage scale with
+    // num_queries * parts * k, which is worth parallelizing.
     ScopedTimer merge_timer(&profile_.merge_s);
-    for (size_t q = 0; q < num_queries; ++q) {
+    DefaultThreadPool()->ParallelFor(num_queries, [&](size_t q) {
       for (const TopKEntry& e : part_results[q].entries) {
         pools[q].push_back(TopKEntry{e.id + part.id_offset, e.count});
       }
-    }
+    });
   }
 
   // Final merge: top-k of the pooled candidates (Fig. 6 "Merge").
   ScopedTimer merge_timer(&profile_.merge_s);
   std::vector<QueryResult> results(num_queries);
-  for (size_t q = 0; q < num_queries; ++q) {
+  DefaultThreadPool()->ParallelFor(num_queries, [&](size_t q) {
     auto& pool = pools[q];
     std::sort(pool.begin(), pool.end(),
               [](const TopKEntry& a, const TopKEntry& b) {
@@ -68,7 +73,7 @@ Result<std::vector<QueryResult>> MultiLoadEngine::ExecuteBatch(
     results[q].entries = std::move(pool);
     results[q].threshold =
         results[q].entries.empty() ? 0 : results[q].entries.back().count;
-  }
+  });
   return results;
 }
 

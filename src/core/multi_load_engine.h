@@ -5,7 +5,9 @@
 /// device memory, the dataset is split into parts with an inverted index
 /// per part in host memory. A query batch is run against each part in turn
 /// (index transfer -> match -> select), and the per-part top-k results are
-/// merged on the host into the final top-k.
+/// merged on the host into the final top-k. The merge parallelizes across
+/// queries on the process-wide ThreadPool; part loads stay sequential
+/// because device memory only fits one part at a time.
 
 #include <cstdint>
 #include <memory>

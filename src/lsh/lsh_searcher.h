@@ -56,7 +56,7 @@ class LshSearcher {
   Result<std::vector<std::vector<ObjectId>>> KnnBatch(
       const data::PointMatrix& queries, uint32_t k_nn, uint32_t p);
 
-  const MatchProfile& profile() const { return engine_->profile(); }
+  MatchProfile profile() const { return engine_->profile(); }
   const LshTransformer& transformer() const { return transformer_; }
   const InvertedIndex& index() const { return index_; }
   const EngineBackend& backend() const { return *engine_; }

@@ -48,7 +48,7 @@ class SetLshSearcher {
   Result<std::vector<std::vector<ObjectId>>> KnnBatch(
       std::span<const std::vector<uint32_t>> queries, uint32_t k_nn);
 
-  const MatchProfile& profile() const { return engine_->profile(); }
+  MatchProfile profile() const { return engine_->profile(); }
   const InvertedIndex& index() const { return index_; }
   const EngineBackend& backend() const { return *engine_; }
 

@@ -40,7 +40,7 @@ class DocumentSearcher {
 
   Query Compile(const Document& query) const;
 
-  const MatchProfile& profile() const { return engine_->profile(); }
+  MatchProfile profile() const { return engine_->profile(); }
   const InvertedIndex& index() const { return index_; }
   const EngineBackend& backend() const { return *engine_; }
 

@@ -97,7 +97,7 @@ class RelationalSearcher {
   /// Lowers a range query: one item per attribute covering the bucket run.
   Result<Query> Compile(const RangeQuery& query) const;
 
-  const MatchProfile& profile() const { return engine_->profile(); }
+  MatchProfile profile() const { return engine_->profile(); }
   const InvertedIndex& index() const { return index_; }
   const DimValueEncoder& encoder() const { return *encoder_; }
   const EngineBackend& backend() const { return *engine_; }

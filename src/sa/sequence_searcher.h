@@ -64,7 +64,7 @@ class SequenceSearcher {
   /// known to the vocabulary.
   Query Compile(const std::string& query) const;
 
-  const MatchProfile& profile() const { return engine_->profile(); }
+  MatchProfile profile() const { return engine_->profile(); }
   double verify_seconds() const { return verify_seconds_; }
   const InvertedIndex& index() const { return index_; }
   const EngineBackend& backend() const { return *engine_; }

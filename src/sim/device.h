@@ -104,9 +104,17 @@ class Device {
     if (options_.deterministic || cfg.grid_dim == 1) {
       for (uint32_t b = 0; b < cfg.grid_dim; ++b) run_block(b);
     } else {
-      pool_->ParallelForRange(cfg.grid_dim, [&](size_t lo, size_t hi) {
-        for (size_t b = lo; b < hi; ++b) run_block(static_cast<uint32_t>(b));
-      });
+      // Blocks stay on the pool's workers (the launching host thread does
+      // not participate): num_workers stands in for the GPU's SM count, so
+      // block parallelism must not exceed it.
+      pool_->ParallelForRange(
+          cfg.grid_dim,
+          [&](size_t lo, size_t hi) {
+            for (size_t b = lo; b < hi; ++b) {
+              run_block(static_cast<uint32_t>(b));
+            }
+          },
+          /*caller_participates=*/false);
     }
     FinishLaunch(cfg);
     return Status::OK();
@@ -196,6 +204,7 @@ class DeviceBuffer {
     if (dst_offset + n > size_) {
       return Status::OutOfRange("CopyFromHost past end of device buffer");
     }
+    if (n == 0) return Status::OK();  // memcpy forbids null src even for 0
     std::memcpy(data_.get() + dst_offset, src, n * sizeof(T));
     device_->RecordH2D(n * sizeof(T));
     return Status::OK();
@@ -208,6 +217,7 @@ class DeviceBuffer {
     if (src_offset + n > size_) {
       return Status::OutOfRange("CopyToHost past end of device buffer");
     }
+    if (n == 0) return Status::OK();  // memcpy forbids null dst even for 0
     std::memcpy(dst, data_.get() + src_offset, n * sizeof(T));
     device_->RecordD2H(n * sizeof(T));
     return Status::OK();

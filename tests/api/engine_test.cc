@@ -21,15 +21,6 @@
 namespace genie {
 namespace {
 
-sim::Device* TestDevice() {
-  static sim::Device* device = [] {
-    sim::Device::Options options;
-    options.num_workers = 4;
-    return new sim::Device(options);
-  }();
-  return device;
-}
-
 data::PointMatrix RowsOf(const data::PointMatrix& points,
                          std::span<const uint32_t> ids) {
   data::PointMatrix out(static_cast<uint32_t>(ids.size()), points.dim());
@@ -53,7 +44,7 @@ TEST(EngineTest, PointsRoundTrip) {
                                    .K(3)
                                    .HashFunctions(16)
                                    .RehashDomain(64)
-                                   .Device(TestDevice()));
+                                   .Device(test::SharedTestDevice(4)));
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   EXPECT_EQ((*engine)->modality(), Modality::kPoints);
   EXPECT_EQ((*engine)->num_objects(), 500u);
@@ -89,7 +80,7 @@ TEST(EngineTest, PointsExactRerankOrdersByDistance) {
                                    .HashFunctions(16)
                                    .RehashDomain(64)
                                    .ExactRerank(true)
-                                   .Device(TestDevice()));
+                                   .Device(test::SharedTestDevice(4)));
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   auto queries = data::MakeQueriesNear(dataset.points, 4, 0.1, 7);
   auto result = (*engine)->Search(SearchRequest::Points(queries));
@@ -114,7 +105,7 @@ TEST(EngineTest, SetsRoundTrip) {
                                    .K(4)
                                    .HashFunctions(24)
                                    .RehashDomain(256)
-                                   .Device(TestDevice()));
+                                   .Device(test::SharedTestDevice(4)));
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   EXPECT_EQ((*engine)->modality(), Modality::kSets);
 
@@ -144,7 +135,7 @@ TEST(EngineTest, SequencesRoundTrip) {
                                    .K(1)
                                    .CandidateK(16)
                                    .Ngram(3)
-                                   .Device(TestDevice()));
+                                   .Device(test::SharedTestDevice(4)));
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   EXPECT_EQ((*engine)->modality(), Modality::kSequences);
 
@@ -170,7 +161,7 @@ TEST(EngineTest, DocumentsRoundTrip) {
 
   auto engine =
       Engine::Create(EngineConfig().Documents(&corpus).K(3).Device(
-          TestDevice()));
+          test::SharedTestDevice(4)));
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   EXPECT_EQ((*engine)->modality(), Modality::kDocuments);
 
@@ -200,7 +191,8 @@ TEST(EngineTest, RelationalRoundTrip) {
   auto table = data::MakeRelationalTable(data_options);
 
   auto engine =
-      Engine::Create(EngineConfig().Table(&table).K(5).Device(TestDevice()));
+      Engine::Create(EngineConfig().Table(&table).K(5).Device(
+          test::SharedTestDevice(4)));
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   EXPECT_EQ((*engine)->modality(), Modality::kRelational);
 
@@ -230,7 +222,8 @@ TEST(EngineTest, RelationalRoundTrip) {
 TEST(EngineTest, CompiledRoundTrip) {
   auto workload = test::MakeRandomWorkload(600, 60, 6, 8, 5, 13);
   auto engine = Engine::Create(
-      EngineConfig().Index(&workload.index).K(7).Device(TestDevice()));
+      EngineConfig().Index(&workload.index).K(7).Device(
+          test::SharedTestDevice(4)));
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   EXPECT_EQ((*engine)->modality(), Modality::kCompiled);
 
@@ -286,7 +279,7 @@ TEST(EngineTest, SearchRejectsEmptyBatchEverywhere) {
                                    .Points(&dataset.points)
                                    .K(2)
                                    .HashFunctions(8)
-                                   .Device(TestDevice()));
+                                   .Device(test::SharedTestDevice(4)));
   ASSERT_TRUE(engine.ok());
 
   data::PointMatrix empty(0, 4);
@@ -304,7 +297,7 @@ TEST(EngineTest, SearchRejectsWrongPayloadAndDimensionMismatch) {
                                    .Points(&dataset.points)
                                    .K(2)
                                    .HashFunctions(8)
-                                   .Device(TestDevice()));
+                                   .Device(test::SharedTestDevice(4)));
   ASSERT_TRUE(engine.ok());
 
   std::vector<std::string> sequences{"abc"};
@@ -316,6 +309,30 @@ TEST(EngineTest, SearchRejectsWrongPayloadAndDimensionMismatch) {
   auto mismatched = (*engine)->Search(SearchRequest::Points(wrong_dim));
   ASSERT_FALSE(mismatched.ok());
   EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, ProfilesCarryPerCallDeltasAndCumulativeTotals) {
+  auto workload = test::MakeRandomWorkload(600, 60, 6, 12, 5, 16);
+  auto engine = Engine::Create(
+      EngineConfig().Index(&workload.index).K(5).Device(
+          test::SharedTestDevice(4)));
+  ASSERT_TRUE(engine.ok());
+
+  auto first = (*engine)->Search(SearchRequest::Compiled(workload.queries));
+  ASSERT_TRUE(first.ok());
+  auto second = (*engine)->Search(SearchRequest::Compiled(workload.queries));
+  ASSERT_TRUE(second.ok());
+
+  // Each call's delta covers its own batch; the byte counters are
+  // deterministic, so the deltas of two identical batches are equal and
+  // cumulative is their running sum.
+  EXPECT_GT(first->profile.query_bytes, 0u);
+  EXPECT_EQ(second->profile.query_bytes, first->profile.query_bytes);
+  EXPECT_EQ(second->cumulative.query_bytes, 2 * first->profile.query_bytes);
+  // The index transfer happened at engine creation, before either call.
+  EXPECT_EQ(first->profile.index_bytes, 0u);
+  EXPECT_GT(first->cumulative.index_bytes, 0u);
+  EXPECT_EQ(second->cumulative.index_bytes, first->cumulative.index_bytes);
 }
 
 // ---------------------------------------------------------------------------
@@ -378,7 +395,7 @@ TEST(EngineTest, PointsFallbackMatchesLargeDeviceAnswers) {
         .Seed(99)
         .Device(device);
   };
-  auto big_engine = Engine::Create(make_config(TestDevice()));
+  auto big_engine = Engine::Create(make_config(test::SharedTestDevice(4)));
   ASSERT_TRUE(big_engine.ok()) << big_engine.status().ToString();
   auto small_engine = Engine::Create(make_config(&tiny));
   ASSERT_TRUE(small_engine.ok()) << small_engine.status().ToString();

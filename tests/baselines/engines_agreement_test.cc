@@ -8,15 +8,6 @@
 namespace genie {
 namespace {
 
-sim::Device* TestDevice() {
-  static sim::Device* device = [] {
-    sim::Device::Options options;
-    options.num_workers = 8;
-    return new sim::Device(options);
-  }();
-  return device;
-}
-
 struct AgreementSweep {
   uint32_t num_objects;
   uint32_t vocab;
@@ -42,7 +33,7 @@ TEST_P(EnginesAgreementTest, AllEnginesSameCountProfile) {
 
   MatchEngineOptions genie_options;
   genie_options.k = p.k;
-  genie_options.device = TestDevice();
+  genie_options.device = test::SharedTestDevice(8);
   auto genie_engine = MatchEngine::Create(&workload.index, genie_options);
   ASSERT_TRUE(genie_engine.ok());
   auto genie_results = (*genie_engine)->ExecuteBatch(workload.queries);
@@ -57,7 +48,7 @@ TEST_P(EnginesAgreementTest, AllEnginesSameCountProfile) {
 
   baselines::GpuSpqOptions gpu_spq_options;
   gpu_spq_options.k = p.k;
-  gpu_spq_options.device = TestDevice();
+  gpu_spq_options.device = test::SharedTestDevice(8);
   auto gpu_spq = baselines::GpuSpqEngine::Create(&workload.index, gpu_spq_options);
   ASSERT_TRUE(gpu_spq.ok());
   auto gpu_spq_results = (*gpu_spq)->ExecuteBatch(workload.queries);

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "baselines/cpu_lsh_engine.h"
 #include "baselines/gpu_lsh_engine.h"
 #include "data/points.h"
@@ -11,15 +13,6 @@
 namespace genie {
 namespace baselines {
 namespace {
-
-sim::Device* TestDevice() {
-  static sim::Device* device = [] {
-    sim::Device::Options options;
-    options.num_workers = 8;
-    return new sim::Device(options);
-  }();
-  return device;
-}
 
 std::shared_ptr<const lsh::VectorLshFamily> MakeFamily(uint32_t dim,
                                                        uint32_t m,
@@ -115,7 +108,7 @@ TEST(GpuLshEngineTest, CreateValidates) {
   options.functions_per_table = 4;  // needs 16 > 8 provided
   EXPECT_FALSE(GpuLshEngine::Create(&dataset.points, family, options).ok());
   options.functions_per_table = 2;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(8);
   EXPECT_TRUE(GpuLshEngine::Create(&dataset.points, family, options).ok());
 }
 
@@ -129,7 +122,7 @@ TEST(GpuLshEngineTest, SelfQueriesReturnThemselves) {
   GpuLshOptions options;
   options.num_tables = 16;
   options.functions_per_table = 4;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(8);
   auto engine = GpuLshEngine::Create(&dataset.points, family, options);
   ASSERT_TRUE(engine.ok());
   data::PointMatrix queries(4, 8);
@@ -155,7 +148,7 @@ TEST(GpuLshEngineTest, ReasonableRecallOnNearQueries) {
   GpuLshOptions options;
   options.num_tables = 32;
   options.functions_per_table = 4;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(8);
   auto engine = GpuLshEngine::Create(&dataset.points, family, options);
   ASSERT_TRUE(engine.ok());
   data::PointMatrix queries =
@@ -174,7 +167,7 @@ TEST(GpuLshEngineTest, EmptyBatch) {
   GpuLshOptions options;
   options.num_tables = 2;
   options.functions_per_table = 2;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(8);
   auto engine = GpuLshEngine::Create(&dataset.points, family, options);
   ASSERT_TRUE(engine.ok());
   data::PointMatrix queries(0, 4);

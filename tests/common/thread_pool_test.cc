@@ -63,6 +63,35 @@ TEST(ThreadPoolTest, ReuseAcrossBatches) {
   }
 }
 
+TEST(ThreadPoolTest, NestedParallelForInsideWorkerCompletes) {
+  // A task running on a pool worker may itself call ParallelFor on the same
+  // pool (the streaming pipeline does: an async search task reaches the
+  // multi-load merge). Caller participation must guarantee completion even
+  // when every other worker is busy.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&pool, &inner_total] {
+      pool.ParallelFor(100, [&](size_t) { inner_total.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(inner_total.load(), 400);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsDoNotCrossWait) {
+  // Two threads issuing ParallelFor on one pool: each call waits only for
+  // its own chunks, and both complete.
+  ThreadPool pool(4);
+  std::atomic<int> a{0}, b{0};
+  std::thread other(
+      [&] { pool.ParallelFor(500, [&](size_t) { a.fetch_add(1); }); });
+  pool.ParallelFor(500, [&](size_t) { b.fetch_add(1); });
+  other.join();
+  EXPECT_EQ(a.load(), 500);
+  EXPECT_EQ(b.load(), 500);
+}
+
 TEST(ThreadPoolTest, DefaultPoolExists) {
   ThreadPool* pool = DefaultThreadPool();
   ASSERT_NE(pool, nullptr);

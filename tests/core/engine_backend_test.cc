@@ -7,20 +7,11 @@
 namespace genie {
 namespace {
 
-sim::Device* TestDevice() {
-  static sim::Device* device = [] {
-    sim::Device::Options options;
-    options.num_workers = 4;
-    return new sim::Device(options);
-  }();
-  return device;
-}
-
 TEST(EngineBackendTest, SingleLoadWhenIndexFits) {
   auto workload = test::MakeRandomWorkload(800, 60, 6, 6, 5, 41);
   MatchEngineOptions options;
   options.k = 10;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(4);
   auto backend = EngineBackend::Create(&workload.index, options);
   ASSERT_TRUE(backend.ok()) << backend.status().ToString();
   EXPECT_FALSE((*backend)->multi_load());
@@ -89,7 +80,7 @@ TEST(EngineBackendTest, ForcePartsShardsEvenWhenIndexFits) {
   auto workload = test::MakeRandomWorkload(900, 50, 6, 5, 4, 44);
   MatchEngineOptions options;
   options.k = 8;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(4);
   options.max_count = MatchEngine::DeriveMaxCount(workload.queries);
   EngineBackendOptions backend_options;
   backend_options.force_parts = 3;
@@ -113,7 +104,7 @@ TEST(EngineBackendTest, RejectsEmptyBatchAndBadOptions) {
   auto workload = test::MakeRandomWorkload(200, 20, 4, 2, 3, 45);
   MatchEngineOptions options;
   options.k = 5;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(4);
   auto backend = EngineBackend::Create(&workload.index, options);
   ASSERT_TRUE(backend.ok());
   auto empty = (*backend)->ExecuteBatch({});

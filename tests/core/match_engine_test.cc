@@ -12,19 +12,10 @@
 namespace genie {
 namespace {
 
-sim::Device* TestDevice() {
-  static sim::Device* device = [] {
-    sim::Device::Options options;
-    options.num_workers = 8;
-    return new sim::Device(options);
-  }();
-  return device;
-}
-
 MatchEngineOptions BaseOptions(uint32_t k) {
   MatchEngineOptions options;
   options.k = k;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(8);
   return options;
 }
 

@@ -8,15 +8,6 @@
 namespace genie {
 namespace {
 
-sim::Device* TestDevice() {
-  static sim::Device* device = [] {
-    sim::Device::Options options;
-    options.num_workers = 4;
-    return new sim::Device(options);
-  }();
-  return device;
-}
-
 /// Splits a workload's objects into `parts` contiguous shards and builds a
 /// local-id index per shard.
 std::vector<InvertedIndex> Shard(const InvertedIndex& full, uint32_t parts,
@@ -46,7 +37,7 @@ std::vector<InvertedIndex> Shard(const InvertedIndex& full, uint32_t parts,
 
 TEST(MultiLoadEngineTest, CreateRejectsBadParts) {
   MatchEngineOptions options;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(4);
   EXPECT_FALSE(MultiLoadEngine::Create({}, options).ok());
   EXPECT_FALSE(
       MultiLoadEngine::Create({IndexPart{nullptr, 0}}, options).ok());
@@ -59,7 +50,7 @@ TEST(MultiLoadEngineTest, MergedResultEqualsSingleEngine) {
 
   MatchEngineOptions options;
   options.k = 15;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(4);
   // The derived count bound differs per shard batch; pin it globally so
   // thresholds match across parts.
   options.max_count = MatchEngine::DeriveMaxCount(workload.queries);
@@ -92,7 +83,7 @@ TEST(MultiLoadEngineTest, GlobalIdsMappedThroughOffsets) {
   auto shards = Shard(workload.index, 4, &offsets);
   MatchEngineOptions options;
   options.k = 10;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(4);
   options.max_count = MatchEngine::DeriveMaxCount(workload.queries);
   std::vector<IndexPart> parts;
   for (size_t p = 0; p < shards.size(); ++p) {
@@ -152,7 +143,7 @@ TEST(MultiLoadEngineTest, ProfileAccumulatesAcrossParts) {
   auto shards = Shard(workload.index, 3, &offsets);
   MatchEngineOptions options;
   options.k = 5;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(4);
   std::vector<IndexPart> parts;
   for (size_t p = 0; p < shards.size(); ++p) {
     parts.push_back(IndexPart{&shards[p], offsets[p]});

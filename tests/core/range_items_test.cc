@@ -12,15 +12,6 @@
 namespace genie {
 namespace {
 
-sim::Device* TestDevice() {
-  static sim::Device* device = [] {
-    sim::Device::Options options;
-    options.num_workers = 8;
-    return new sim::Device(options);
-  }();
-  return device;
-}
-
 struct RangeWorkload {
   InvertedIndex index;
   std::vector<Query> queries;
@@ -70,7 +61,7 @@ TEST_P(RangeItemsTest, MatchesBruteForceWithRangeItems) {
   auto w = MakeRangeWorkload(p.rows, p.cols, p.buckets, p.queries, p.seed);
   MatchEngineOptions options;
   options.k = p.k;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(8);
   auto engine = MatchEngine::Create(&w.index, options);
   ASSERT_TRUE(engine.ok());
   auto results = (*engine)->ExecuteBatch(w.queries);
@@ -106,7 +97,7 @@ TEST(RangeItemsTest, OverlappingItemsCountPerItem) {
   MatchEngineOptions options;
   options.k = 2;
   options.max_count = 2;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(8);
   auto engine = MatchEngine::Create(&index, options);
   ASSERT_TRUE(engine.ok());
   std::vector<Query> queries{q};
@@ -127,7 +118,7 @@ TEST(RangeItemsTest, WholeDomainRangeMatchesEverything) {
   q.AddItem(all);  // column 0 unconstrained: every row matches once
   MatchEngineOptions options;
   options.k = 300;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(8);
   auto engine = MatchEngine::Create(&w.index, options);
   ASSERT_TRUE(engine.ok());
   std::vector<Query> queries{q};

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "baselines/appgram_engine.h"
 #include "core/multi_load_engine.h"
 #include "data/documents.h"
@@ -22,15 +24,6 @@
 
 namespace genie {
 namespace {
-
-sim::Device* TestDevice() {
-  static sim::Device* device = [] {
-    sim::Device::Options options;
-    options.num_workers = 8;
-    return new sim::Device(options);
-  }();
-  return device;
-}
 
 TEST(EndToEndTest, AnnPipelineLaplacianKernel) {
   // The OCR case study in miniature: RBH + re-hashing + tau-ANN + 1NN
@@ -55,7 +48,7 @@ TEST(EndToEndTest, AnnPipelineLaplacianKernel) {
   lsh::LshSearchOptions options;
   options.transform.rehash_domain = 8192;  // the paper's OCR setting
   options.engine.k = 5;
-  options.engine.device = TestDevice();
+  options.engine.device = test::SharedTestDevice(8);
   auto searcher =
       lsh::LshSearcher::Create(&dataset.points, family, options);
   ASSERT_TRUE(searcher.ok());
@@ -98,7 +91,7 @@ TEST(EndToEndTest, SequencePipelineTypoCorrection) {
   sa::SequenceSearchOptions options;
   options.k = 1;
   options.candidate_k = 32;
-  options.engine.device = TestDevice();
+  options.engine.device = test::SharedTestDevice(8);
   auto searcher = sa::SequenceSearcher::Create(&seqs, options);
   ASSERT_TRUE(searcher.ok());
 
@@ -135,7 +128,7 @@ TEST(EndToEndTest, SequenceSearchAgreesWithAppGram) {
   sa::SequenceSearchOptions options;
   options.k = 1;
   options.candidate_k = 32;
-  options.engine.device = TestDevice();
+  options.engine.device = test::SharedTestDevice(8);
   auto genie_searcher = sa::SequenceSearcher::Create(&seqs, options);
   ASSERT_TRUE(genie_searcher.ok());
 
@@ -172,7 +165,7 @@ TEST(EndToEndTest, DocumentPipeline) {
   auto docs = data::MakeDocuments(data_options);
   sa::DocumentSearchOptions options;
   options.k = 20;
-  options.engine.device = TestDevice();
+  options.engine.device = test::SharedTestDevice(8);
   auto searcher = sa::DocumentSearcher::Create(&docs, options);
   ASSERT_TRUE(searcher.ok());
   // Unmodified held-out docs: the source must be among the top matches
@@ -202,7 +195,7 @@ TEST(EndToEndTest, RelationalPipelineWithMultiLoad) {
   auto table = data::MakeRelationalTable(data_options);
 
   MatchEngineOptions engine_options;
-  engine_options.device = TestDevice();
+  engine_options.device = test::SharedTestDevice(8);
   auto single = sa::RelationalSearcher::Create(&table, 10, engine_options);
   ASSERT_TRUE(single.ok());
   auto queries = data::MakeRangeQueries(table, 16, 4, 8, 11);

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "data/points.h"
 #include "lsh/e2lsh.h"
 #include "lsh/sim_hash.h"
@@ -13,15 +15,6 @@
 namespace genie {
 namespace lsh {
 namespace {
-
-sim::Device* TestDevice() {
-  static sim::Device* device = [] {
-    sim::Device::Options options;
-    options.num_workers = 8;
-    return new sim::Device(options);
-  }();
-  return device;
-}
 
 struct AnnFixture {
   data::ClusteredPoints dataset;
@@ -49,7 +42,7 @@ AnnFixture MakeSetup(uint32_t n, uint32_t dim, uint32_t m, uint32_t k,
   LshSearchOptions options;
   options.transform.rehash_domain = rehash_domain;
   options.engine.k = k;
-  options.engine.device = TestDevice();
+  options.engine.device = test::SharedTestDevice(8);
   s.searcher =
       LshSearcher::Create(&s.dataset.points, family, options).ValueOrDie();
   return s;
@@ -176,7 +169,7 @@ TEST(LshSearcherTest, WorksWithSimHashFamily) {
   options.transform.rehash_domain = 2;  // sign bits need only two buckets
   options.transform.rehash = false;
   options.engine.k = 5;
-  options.engine.device = TestDevice();
+  options.engine.device = test::SharedTestDevice(8);
   auto searcher = LshSearcher::Create(&dataset.points, family, options);
   ASSERT_TRUE(searcher.ok());
   data::PointMatrix queries = data::MakeQueriesNear(dataset.points, 5, 0.1, 9);

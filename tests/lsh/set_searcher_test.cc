@@ -5,21 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "common/rng.h"
 #include "lsh/min_hash.h"
 
 namespace genie {
 namespace lsh {
 namespace {
-
-sim::Device* TestDevice() {
-  static sim::Device* device = [] {
-    sim::Device::Options options;
-    options.num_workers = 8;
-    return new sim::Device(options);
-  }();
-  return device;
-}
 
 std::shared_ptr<const SetLshFamily> MakeFamily(uint32_t m, uint64_t seed) {
   MinHashOptions options;
@@ -58,7 +51,7 @@ SetSearchOptions BaseOptions(uint32_t k) {
   SetSearchOptions options;
   options.transform.rehash_domain = 512;
   options.engine.k = k;
-  options.engine.device = TestDevice();
+  options.engine.device = test::SharedTestDevice(8);
   return options;
 }
 

@@ -4,25 +4,18 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "data/documents.h"
 
 namespace genie {
 namespace sa {
 namespace {
 
-sim::Device* TestDevice() {
-  static sim::Device* device = [] {
-    sim::Device::Options options;
-    options.num_workers = 8;
-    return new sim::Device(options);
-  }();
-  return device;
-}
-
 DocumentSearchOptions BaseOptions(uint32_t k) {
   DocumentSearchOptions options;
   options.k = k;
-  options.engine.device = TestDevice();
+  options.engine.device = test::SharedTestDevice(8);
   return options;
 }
 

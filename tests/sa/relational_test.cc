@@ -2,24 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "data/relational_data.h"
 
 namespace genie {
 namespace sa {
 namespace {
 
-sim::Device* TestDevice() {
-  static sim::Device* device = [] {
-    sim::Device::Options options;
-    options.num_workers = 8;
-    return new sim::Device(options);
-  }();
-  return device;
-}
-
 MatchEngineOptions EngineOptions() {
   MatchEngineOptions options;
-  options.device = TestDevice();
+  options.device = test::SharedTestDevice(8);
   return options;
 }
 

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "common/rng.h"
 #include "data/sequences.h"
 #include "sa/edit_distance.h"
@@ -12,20 +14,11 @@ namespace genie {
 namespace sa {
 namespace {
 
-sim::Device* TestDevice() {
-  static sim::Device* device = [] {
-    sim::Device::Options options;
-    options.num_workers = 8;
-    return new sim::Device(options);
-  }();
-  return device;
-}
-
 SequenceSearchOptions BaseOptions(uint32_t k, uint32_t candidate_k) {
   SequenceSearchOptions options;
   options.k = k;
   options.candidate_k = candidate_k;
-  options.engine.device = TestDevice();
+  options.engine.device = test::SharedTestDevice(8);
   return options;
 }
 

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -13,9 +14,26 @@
 #include "core/query.h"
 #include "index/index_builder.h"
 #include "index/inverted_index.h"
+#include "sim/device.h"
 
 namespace genie {
 namespace test {
+
+/// Process-wide simulated devices shared by tests, one per worker count
+/// (kept smaller than the default so suites stay fast under parallel
+/// ctest). Never freed: gtest cases may hold engines across the run.
+inline sim::Device* SharedTestDevice(size_t num_workers = 4) {
+  static std::mutex mu;
+  static auto* devices = new std::map<size_t, sim::Device*>;
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = devices->emplace(num_workers, nullptr);
+  if (inserted) {
+    sim::Device::Options options;
+    options.num_workers = num_workers;
+    it->second = new sim::Device(options);
+  }
+  return it->second;
+}
 
 /// Definition 2.1 evaluated naively: count per object of postings covered
 /// by the query's items.
