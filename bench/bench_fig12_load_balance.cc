@@ -4,13 +4,24 @@
 /// two sublists per block; GENIE_noLB scans whole lists, one block per
 /// item. With few queries the split spreads work over many more blocks; as
 /// the query count grows the effect fades (Section VI-B3).
+///
+/// The MultiDevice sweep extends the load-balance story to space
+/// multiplexing: the same balanced index sharded across 1/2/4 simulated
+/// devices (each with a fixed quarter-host worker budget, so adding
+/// devices adds hardware instead of inflating one device), batches
+/// executing on all devices in parallel through EngineBackend.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "bench_common.h"
+#include "core/engine_backend.h"
 #include "data/relational_data.h"
 #include "index/index_builder.h"
 #include "index/vocabulary.h"
+#include "sim/device_set.h"
 
 namespace genie {
 namespace bench {
@@ -87,6 +98,39 @@ void BM_LoadBalance(benchmark::State& state, bool balanced) {
   }
 }
 
+void BM_MultiDevice(benchmark::State& state) {
+  const Workload& w = LoadBalanceWorkload();
+  const uint32_t num_devices = static_cast<uint32_t>(state.range(0));
+  // Fixed per-device hardware: every device gets a quarter of the host's
+  // workers regardless of the sweep point, so the 4-device run models four
+  // GPUs rather than one GPU with four times the SMs.
+  sim::DeviceSet::Options set_options;
+  set_options.num_devices = num_devices;
+  set_options.device.num_workers = std::max(
+      1u, std::thread::hardware_concurrency() / 4);
+  auto devices = sim::DeviceSet::Create(set_options);
+  GENIE_CHECK(devices.ok());
+
+  MatchEngineOptions options;
+  options.k = 1;
+  options.max_count = w.num_columns;
+  options.max_lists_per_block = 2;
+  EngineBackendOptions backend_options;
+  backend_options.device_set = devices->get();
+  auto backend = EngineBackend::Create(&w.balanced, options, backend_options);
+  GENIE_CHECK(backend.ok());
+
+  std::span<const Query> batch(w.queries.data(), w.queries.size());
+  for (auto _ : state) {
+    auto results = (*backend)->ExecuteBatch(batch);
+    GENIE_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+  state.counters["devices"] = num_devices;
+}
+
 void RegisterAll() {
   for (int64_t nq : {1, 2, 4, 8, 16}) {
     benchmark::RegisterBenchmark("Fig12/GENIE_LB", BM_LoadBalance, true)
@@ -97,6 +141,12 @@ void RegisterAll() {
         ->Arg(nq)
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
+  }
+  for (int64_t devices : {1, 2, 4}) {
+    benchmark::RegisterBenchmark("Fig12/MultiDevice", BM_MultiDevice)
+        ->Arg(devices)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <mutex>
 #include <utility>
 
 #include "api/searcher.h"
@@ -258,6 +259,10 @@ EngineConfig& EngineConfig::ForceParts(uint32_t parts) {
   force_parts_ = parts;
   return *this;
 }
+EngineConfig& EngineConfig::Devices(uint32_t n) {
+  num_devices_ = n;
+  return *this;
+}
 
 // ---------------------------------------------------------------------------
 // Engine
@@ -306,6 +311,9 @@ Result<std::unique_ptr<Engine>> Engine::Create(const EngineConfig& config) {
   if (config.metric_p() != 1 && config.metric_p() != 2) {
     return Status::InvalidArgument("metric_p must be 1 or 2");
   }
+  if (config.num_devices() == 0) {
+    return Status::InvalidArgument("num_devices must be >= 1");
+  }
 
   Result<std::unique_ptr<Searcher>> searcher = [&] {
     switch (config.modality()) {
@@ -348,14 +356,9 @@ Status Engine::ValidateRequest(const SearchRequest& request) const {
   return Status::OK();
 }
 
-Result<SearchResult> Engine::SearchLocked(const SearchRequest& request) {
-  std::lock_guard<std::mutex> lock(search_mu_);
-  return searcher_->Search(request);
-}
-
 Result<SearchResult> Engine::Search(const SearchRequest& request) {
   GENIE_RETURN_NOT_OK(ValidateRequest(request));
-  return SearchLocked(request);
+  return searcher_->Search(request);
 }
 
 Result<SearchResult> Engine::SearchStream(const SearchRequest& request,
@@ -377,10 +380,12 @@ Result<SearchResult> Engine::SearchStream(const SearchRequest& request,
     data::PointMatrix scratch;
     const SearchRequest chunk_request =
         SliceRequest(request, done, count, &scratch);
-    // The lock covers one chunk, not the stream: concurrent streams on one
-    // engine interleave chunk-by-chunk, and each chunk's profile delta is
-    // computed atomically with its batch.
-    Result<SearchResult> chunk = SearchLocked(chunk_request);
+    // The searcher serializes one chunk's backend execution, not the
+    // stream: concurrent streams on one engine interleave chunk-by-chunk,
+    // each chunk's profile delta is computed atomically with its batch, and
+    // a chunk's host-side result shaping overlaps the next chunk's device
+    // work.
+    Result<SearchResult> chunk = searcher_->Search(chunk_request);
     // Cancellation on first error: remaining chunks are never submitted.
     if (!chunk.ok()) return chunk.status();
 

@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "api/types.h"
@@ -91,6 +90,12 @@ class EngineConfig {
   EngineConfig& MaxParts(uint32_t max_parts);
   /// Force multiple loading with exactly this many parts (0 = automatic).
   EngineConfig& ForceParts(uint32_t parts);
+  /// Shard the index across n simulated devices and execute batches on all
+  /// of them in parallel (space multiplexing; default 1 = the classic
+  /// single-device tiers). Each device is configured like the device bound
+  /// with Device() — or the process default — with its own worker pool and
+  /// memory accounting. Results are identical for every n.
+  EngineConfig& Devices(uint32_t n);
 
   // --- Getters. ------------------------------------------------------------
   bool has_modality() const { return has_modality_; }
@@ -133,6 +138,7 @@ class EngineConfig {
   bool allow_multi_load() const { return allow_multi_load_; }
   uint32_t max_parts() const { return max_parts_; }
   uint32_t force_parts() const { return force_parts_; }
+  uint32_t num_devices() const { return num_devices_; }
 
  private:
   EngineConfig& Bind(Modality modality);
@@ -171,14 +177,18 @@ class EngineConfig {
   bool allow_multi_load_ = true;
   uint32_t max_parts_ = 256;
   uint32_t force_parts_ = 0;
+  uint32_t num_devices_ = 1;
 };
 
 /// The facade. One Engine serves one indexed dataset; Search() accepts
 /// batches of the matching request kind and returns the unified result
 /// shape. Thread-safe: Search, SearchStream and SearchAsync may be called
-/// concurrently — batches (and the chunks of concurrent streams) are
-/// serialized internally, and each call's SearchProfile delta covers
-/// exactly its own work.
+/// concurrently — only the backend execution of a batch (and its
+/// profile-delta bookkeeping) is serialized, inside the searcher; host-side
+/// result shaping (re-ranking, hit conversion) runs outside that critical
+/// section, so one stream's post-processing overlaps the next chunk's
+/// device work. Each call's SearchProfile delta covers exactly its own
+/// work.
 class Engine {
  public:
   static Result<std::unique_ptr<Engine>> Create(const EngineConfig& config);
@@ -223,15 +233,11 @@ class Engine {
 
   /// Shared request validation of Search / SearchStream.
   Status ValidateRequest(const SearchRequest& request) const;
-  /// One serialized searcher call (the unit both Search and stream chunks
-  /// go through).
-  Result<SearchResult> SearchLocked(const SearchRequest& request);
 
   EngineConfig config_;
+  /// Thread-safe (each implementation serializes its backend execution
+  /// internally; see searcher.h).
   std::unique_ptr<Searcher> searcher_;
-  /// Serializes searcher access: the domain searchers accumulate profiles,
-  /// so a batch plus its profile-delta bookkeeping must be atomic.
-  std::mutex search_mu_;
   /// Counts in-flight SearchAsync tasks; shared with the tasks themselves
   /// so the destructor can wait for them without lifetime games.
   std::shared_ptr<AsyncTracker> async_;

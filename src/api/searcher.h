@@ -24,7 +24,11 @@ class Searcher {
   virtual uint32_t num_objects() const = 0;
 
   /// Answers one batch; the request's payload kind has already been
-  /// validated by Engine::Search.
+  /// validated by Engine::Search. Implementations must be thread-safe: the
+  /// facade does not serialize Search calls. Each implementation holds its
+  /// own mutex around exactly the backend execution and its profile-delta
+  /// bookkeeping, and shapes results outside that critical section so
+  /// concurrent callers overlap host work with device work.
   virtual Result<SearchResult> Search(const SearchRequest& request) = 0;
 
   /// Queries per stream chunk derived from the free device memory, for

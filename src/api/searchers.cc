@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <utility>
 
 #include "core/batch_scheduler.h"
@@ -41,6 +42,7 @@ EngineBackendOptions BackendOptions(const EngineConfig& config) {
   options.max_parts = config.max_parts();
   options.force_parts = config.force_parts();
   options.shard_build.max_list_length = config.max_list_length();
+  options.num_devices = config.num_devices();
   return options;
 }
 
@@ -56,8 +58,38 @@ uint32_t CandidatePoolSize(const EngineConfig& config) {
                                   : std::max(config.k(), 32u);
 }
 
+/// Backend state captured atomically with a batch — the backend's one-lock
+/// profile snapshot plus the modality's verify seconds — inside the
+/// searcher's critical section. The per-call delta is computed from two of
+/// these after the lock is released, so the facade never reads the backend
+/// live while another thread executes.
+struct BackendSnapshot {
+  EngineBackend::ProfileSnapshot backend;
+  double verify_s = 0;
+};
+
+BackendSnapshot Snapshot(const EngineBackend& backend, double verify_s = 0) {
+  return BackendSnapshot{backend.profile_snapshot(), verify_s};
+}
+
+std::vector<DeviceProfile> DeviceCosts(
+    const std::vector<MatchProfile>& devices) {
+  std::vector<DeviceProfile> costs(devices.size());
+  for (size_t d = 0; d < devices.size(); ++d) {
+    costs[d].index_transfer_s = devices[d].index_transfer_s;
+    costs[d].query_transfer_s = devices[d].query_transfer_s;
+    costs[d].match_s = devices[d].match_s;
+    costs[d].select_s = devices[d].select_s;
+    costs[d].index_bytes = devices[d].index_bytes;
+    costs[d].query_bytes = devices[d].query_bytes;
+    costs[d].result_bytes = devices[d].result_bytes;
+  }
+  return costs;
+}
+
 SearchProfile MakeProfile(const MatchProfile& p, double merge_s,
-                          const EngineBackend& backend, double verify_s) {
+                          double verify_s,
+                          const EngineBackend::ProfileSnapshot& facts) {
   SearchProfile profile;
   profile.index_transfer_s = p.index_transfer_s;
   profile.query_transfer_s = p.query_transfer_s;
@@ -68,34 +100,38 @@ SearchProfile MakeProfile(const MatchProfile& p, double merge_s,
   profile.index_bytes = p.index_bytes;
   profile.query_bytes = p.query_bytes;
   profile.result_bytes = p.result_bytes;
-  profile.used_multi_load = backend.multi_load();
-  profile.parts = backend.num_parts();
+  profile.used_multi_load = facts.multi_load;
+  profile.parts = facts.parts;
+  profile.devices = facts.num_devices;
   return profile;
 }
 
-/// Backend stage costs captured before a batch, so the batch's own costs
-/// can be isolated afterwards (profiles are cumulative below the facade).
-struct BackendSnapshot {
-  MatchProfile match;
-  double merge_s = 0;
-  double verify_s = 0;
-};
-
-BackendSnapshot Snapshot(const EngineBackend& backend, double verify_s = 0) {
-  return BackendSnapshot{backend.profile(), backend.merge_seconds(), verify_s};
-}
-
-/// Fills result->profile with the delta since `before` and
-/// result->cumulative with the running totals.
+/// Fills result->profile with the delta between the two snapshots and
+/// result->cumulative with the `after` totals.
 void FillProfiles(SearchResult* result, const BackendSnapshot& before,
-                  const EngineBackend& backend, double verify_total = 0) {
-  MatchProfile delta = backend.profile();
-  delta.Subtract(before.match);
+                  const BackendSnapshot& after) {
+  MatchProfile delta = after.backend.match;
+  delta.Subtract(before.backend.match);
   result->profile =
-      MakeProfile(delta, backend.merge_seconds() - before.merge_s, backend,
-                  verify_total - before.verify_s);
-  result->cumulative = MakeProfile(backend.profile(), backend.merge_seconds(),
-                                   backend, verify_total);
+      MakeProfile(delta, after.backend.merge_s - before.backend.merge_s,
+                  after.verify_s - before.verify_s, after.backend);
+  result->cumulative = MakeProfile(after.backend.match, after.backend.merge_s,
+                                   after.verify_s, after.backend);
+  result->cumulative.per_device = DeviceCosts(after.backend.devices);
+  if (before.backend.devices.size() == after.backend.devices.size()) {
+    std::vector<MatchProfile> device_delta = after.backend.devices;
+    for (size_t d = 0; d < device_delta.size(); ++d) {
+      device_delta[d].Subtract(before.backend.devices[d]);
+    }
+    result->profile.per_device = DeviceCosts(device_delta);
+  } else {
+    // The multi-device tier appeared during this call: all of its
+    // per-device cost belongs to it. If instead the tier was retired
+    // mid-call (fallback to multi-load), its per-device history was folded
+    // into the aggregate stage costs and no per-device attribution
+    // remains — the delta's scalar fields still carry those costs.
+    result->profile.per_device = DeviceCosts(after.backend.devices);
+  }
 }
 
 /// MC_k of one answer list: the k-th match count when k answers exist.
@@ -130,9 +166,17 @@ class PointsSearcherImpl : public Searcher {
   uint32_t num_objects() const override { return points_->num_points(); }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
-    const BackendSnapshot before = Snapshot(searcher_->backend());
-    GENIE_ASSIGN_OR_RETURN(std::vector<std::vector<lsh::AnnMatch>> matches,
-                           searcher_->MatchBatch(*request.points));
+    std::vector<std::vector<lsh::AnnMatch>> matches;
+    BackendSnapshot before, after;
+    {
+      // Critical section: the backend execution and its profile
+      // bookkeeping. Re-ranking and hit shaping below run outside it.
+      std::lock_guard<std::mutex> lock(mu_);
+      before = Snapshot(searcher_->backend());
+      GENIE_ASSIGN_OR_RETURN(matches,
+                             searcher_->MatchBatch(*request.points));
+      after = Snapshot(searcher_->backend());
+    }
     SearchResult result;
     result.queries.resize(matches.size());
     for (size_t q = 0; q < matches.size(); ++q) {
@@ -156,13 +200,14 @@ class PointsSearcherImpl : public Searcher {
       }
       if (out.hits.size() > k_) out.hits.resize(k_);
     }
-    FillProfiles(&result, before, searcher_->backend());
+    FillProfiles(&result, before, after);
     return result;
   }
 
  private:
   const data::PointMatrix* points_;
   std::unique_ptr<lsh::LshSearcher> searcher_;
+  std::mutex mu_;
   uint32_t k_;
   bool rerank_;
   uint32_t p_;
@@ -187,9 +232,14 @@ class SetsSearcherImpl : public Searcher {
   }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
-    const BackendSnapshot before = Snapshot(searcher_->backend());
-    GENIE_ASSIGN_OR_RETURN(std::vector<std::vector<lsh::AnnMatch>> matches,
-                           searcher_->MatchBatch(request.sets));
+    std::vector<std::vector<lsh::AnnMatch>> matches;
+    BackendSnapshot before, after;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      before = Snapshot(searcher_->backend());
+      GENIE_ASSIGN_OR_RETURN(matches, searcher_->MatchBatch(request.sets));
+      after = Snapshot(searcher_->backend());
+    }
     SearchResult result;
     result.queries.resize(matches.size());
     for (size_t q = 0; q < matches.size(); ++q) {
@@ -210,7 +260,7 @@ class SetsSearcherImpl : public Searcher {
       }
       if (out.hits.size() > k_) out.hits.resize(k_);
     }
-    FillProfiles(&result, before, searcher_->backend());
+    FillProfiles(&result, before, after);
     return result;
   }
 
@@ -218,6 +268,7 @@ class SetsSearcherImpl : public Searcher {
   const std::vector<std::vector<uint32_t>>* sets_;
   std::shared_ptr<const lsh::SetLshFamily> family_;
   std::unique_ptr<lsh::SetLshSearcher> searcher_;
+  std::mutex mu_;
   uint32_t k_;
   bool rerank_;
 };
@@ -239,10 +290,17 @@ class SequencesSearcherImpl : public Searcher {
   }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
-    const BackendSnapshot before =
-        Snapshot(searcher_->backend(), searcher_->verify_seconds());
-    GENIE_ASSIGN_OR_RETURN(std::vector<sa::SequenceSearchOutcome> outcomes,
-                           searcher_->SearchBatch(request.sequences));
+    std::vector<sa::SequenceSearchOutcome> outcomes;
+    BackendSnapshot before, after;
+    {
+      // Verification (Algorithm 2) happens inside SearchBatch, so the
+      // verify-seconds bookkeeping shares the critical section.
+      std::lock_guard<std::mutex> lock(mu_);
+      before = Snapshot(searcher_->backend(), searcher_->verify_seconds());
+      GENIE_ASSIGN_OR_RETURN(outcomes,
+                             searcher_->SearchBatch(request.sequences));
+      after = Snapshot(searcher_->backend(), searcher_->verify_seconds());
+    }
     SearchResult result;
     result.queries.resize(outcomes.size());
     for (size_t q = 0; q < outcomes.size(); ++q) {
@@ -257,14 +315,14 @@ class SequencesSearcherImpl : public Searcher {
       out.certified_exact = outcomes[q].certified_exact;
       out.rounds = outcomes[q].rounds;
     }
-    FillProfiles(&result, before, searcher_->backend(),
-                 searcher_->verify_seconds());
+    FillProfiles(&result, before, after);
     return result;
   }
 
  private:
   const std::vector<std::string>* sequences_;
   std::unique_ptr<sa::SequenceSearcher> searcher_;
+  std::mutex mu_;
   uint32_t k_;
 };
 
@@ -284,9 +342,14 @@ class DocumentsSearcherImpl : public Searcher {
   }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
-    const BackendSnapshot before = Snapshot(searcher_->backend());
-    GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> raw,
-                           searcher_->SearchBatch(request.documents));
+    std::vector<QueryResult> raw;
+    BackendSnapshot before, after;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      before = Snapshot(searcher_->backend());
+      GENIE_ASSIGN_OR_RETURN(raw, searcher_->SearchBatch(request.documents));
+      after = Snapshot(searcher_->backend());
+    }
     SearchResult result;
     result.queries.resize(raw.size());
     for (size_t q = 0; q < raw.size(); ++q) {
@@ -297,13 +360,14 @@ class DocumentsSearcherImpl : public Searcher {
       }
       out.threshold = raw[q].threshold;
     }
-    FillProfiles(&result, before, searcher_->backend());
+    FillProfiles(&result, before, after);
     return result;
   }
 
  private:
   const std::vector<std::vector<uint32_t>>* documents_;
   std::unique_ptr<sa::DocumentSearcher> searcher_;
+  std::mutex mu_;
 };
 
 // ---------------------------------------------------------------------------
@@ -320,9 +384,14 @@ class RelationalSearcherImpl : public Searcher {
   uint32_t num_objects() const override { return table_->num_rows(); }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
-    const BackendSnapshot before = Snapshot(searcher_->backend());
-    GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> raw,
-                           searcher_->SearchBatch(request.ranges));
+    std::vector<QueryResult> raw;
+    BackendSnapshot before, after;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      before = Snapshot(searcher_->backend());
+      GENIE_ASSIGN_OR_RETURN(raw, searcher_->SearchBatch(request.ranges));
+      after = Snapshot(searcher_->backend());
+    }
     SearchResult result;
     result.queries.resize(raw.size());
     for (size_t q = 0; q < raw.size(); ++q) {
@@ -333,13 +402,14 @@ class RelationalSearcherImpl : public Searcher {
       }
       out.threshold = raw[q].threshold;
     }
-    FillProfiles(&result, before, searcher_->backend());
+    FillProfiles(&result, before, after);
     return result;
   }
 
  private:
   const sa::RelationalTable* table_;
   std::unique_ptr<sa::RelationalSearcher> searcher_;
+  std::mutex mu_;
 };
 
 // ---------------------------------------------------------------------------
@@ -356,9 +426,14 @@ class CompiledSearcherImpl : public Searcher {
   uint32_t num_objects() const override { return index_->num_objects(); }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
-    const BackendSnapshot before = Snapshot(*backend_);
-    GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> raw,
-                           backend_->ExecuteBatch(request.compiled));
+    std::vector<QueryResult> raw;
+    BackendSnapshot before, after;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      before = Snapshot(*backend_);
+      GENIE_ASSIGN_OR_RETURN(raw, backend_->ExecuteBatch(request.compiled));
+      after = Snapshot(*backend_);
+    }
     SearchResult result;
     result.queries.resize(raw.size());
     for (size_t q = 0; q < raw.size(); ++q) {
@@ -369,7 +444,7 @@ class CompiledSearcherImpl : public Searcher {
       }
       out.threshold = raw[q].threshold;
     }
-    FillProfiles(&result, before, *backend_);
+    FillProfiles(&result, before, after);
     return result;
   }
 
@@ -381,14 +456,15 @@ class CompiledSearcherImpl : public Searcher {
             : MatchEngine::DeriveMaxCount(request.compiled);
     const uint64_t per_query = MatchEngine::DeviceBytesPerQuery(
         backend_->index().num_objects(), backend_->options(), max_count);
-    return DeriveLargeBatchSize(backend_->device()->memory_capacity_bytes(),
-                                backend_->device()->allocated_bytes(),
+    const EngineBackend::BatchBudget budget = backend_->batch_budget();
+    return DeriveLargeBatchSize(budget.capacity_bytes, budget.allocated_bytes,
                                 per_query, memory_fraction);
   }
 
  private:
   const InvertedIndex* index_;
   std::unique_ptr<EngineBackend> backend_;
+  std::mutex mu_;
 };
 
 }  // namespace

@@ -7,6 +7,7 @@
 /// result, and profile shape, normalizing the per-domain return types
 /// (QueryResult, AnnMatch, SequenceSearchOutcome) of the lower layers.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -90,10 +91,22 @@ struct QueryHits {
   uint32_t rounds = 1;
 };
 
+/// Stage costs of one device of a multi-device backend (the per-device
+/// slice of SearchProfile's transfer/match/select stages).
+struct DeviceProfile {
+  double index_transfer_s = 0;
+  double query_transfer_s = 0;
+  double match_s = 0;
+  double select_s = 0;
+  uint64_t index_bytes = 0;
+  uint64_t query_bytes = 0;
+  uint64_t result_bytes = 0;
+};
+
 /// Stage costs and backend facts (Table I / Table III shapes, unified
-/// across single- and multi-load). SearchResult carries two of these: the
-/// costs of that Search call alone (`profile`) and the running total since
-/// engine creation (`cumulative`).
+/// across single-load, multi-load and multi-device). SearchResult carries
+/// two of these: the costs of that Search call alone (`profile`) and the
+/// running total since engine creation (`cumulative`).
 struct SearchProfile {
   double index_transfer_s = 0;
   double query_transfer_s = 0;
@@ -106,8 +119,16 @@ struct SearchProfile {
   uint64_t result_bytes = 0;
   /// True when the index did not fit and MultiLoadEngine answered.
   bool used_multi_load = false;
-  /// Device loads per batch (1 on the single-load path).
+  /// Index parts per batch (1 on the single-load path).
   uint32_t parts = 1;
+  /// Devices the work executed on (> 1 on the multi-device tier). Under
+  /// Accumulate this is the maximum seen, so it stays consistent with the
+  /// summed per_device breakdown even when a stream's backend falls back
+  /// to a single device mid-way.
+  uint32_t devices = 1;
+  /// Per-device stage costs, indexed by device ordinal (empty on the
+  /// single-device tiers).
+  std::vector<DeviceProfile> per_device;
 
   double total_query_s() const {
     return query_transfer_s + match_s + select_s + merge_s + verify_s;
@@ -128,6 +149,19 @@ struct SearchProfile {
     result_bytes += other.result_bytes;
     used_multi_load = used_multi_load || other.used_multi_load;
     parts = other.parts;
+    devices = std::max(devices, other.devices);
+    if (per_device.size() < other.per_device.size()) {
+      per_device.resize(other.per_device.size());
+    }
+    for (size_t d = 0; d < other.per_device.size(); ++d) {
+      per_device[d].index_transfer_s += other.per_device[d].index_transfer_s;
+      per_device[d].query_transfer_s += other.per_device[d].query_transfer_s;
+      per_device[d].match_s += other.per_device[d].match_s;
+      per_device[d].select_s += other.per_device[d].select_s;
+      per_device[d].index_bytes += other.per_device[d].index_bytes;
+      per_device[d].query_bytes += other.per_device[d].query_bytes;
+      per_device[d].result_bytes += other.per_device[d].result_bytes;
+    }
   }
 };
 

@@ -34,10 +34,10 @@ Result<std::vector<QueryResult>> ExecuteLargeBatch(
             : MatchEngine::DeriveMaxCount(queries);
     const uint64_t per_query = MatchEngine::DeviceBytesPerQuery(
         backend->index().num_objects(), backend->options(), max_count);
-    batch_size = DeriveLargeBatchSize(
-        backend->device()->memory_capacity_bytes(),
-        backend->device()->allocated_bytes(), per_query,
-        options.memory_fraction);
+    const EngineBackend::BatchBudget budget = backend->batch_budget();
+    batch_size =
+        DeriveLargeBatchSize(budget.capacity_bytes, budget.allocated_bytes,
+                             per_query, options.memory_fraction);
   }
   std::vector<QueryResult> results;
   results.reserve(queries.size());

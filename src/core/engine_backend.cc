@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace genie {
 
@@ -22,6 +23,24 @@ uint32_t EngineBackend::EstimateParts() const {
   const uint32_t parts =
       budget > 0 ? static_cast<uint32_t>(std::ceil(bytes / budget)) : 2;
   return std::clamp(parts, 2u, backend_options_.max_parts);
+}
+
+void EngineBackend::RetireEngines() {
+  if (single_ != nullptr) {
+    carried_profile_.Accumulate(single_->profile());
+    single_.reset();
+  }
+  if (multi_ != nullptr) {
+    carried_profile_.Accumulate(multi_->profile().per_part);
+    carried_merge_s_ += multi_->profile().merge_s;
+    multi_.reset();
+  }
+  if (multi_device_ != nullptr) {
+    const MultiDeviceProfile p = multi_device_->profile();
+    carried_profile_.Accumulate(p.Combined());
+    carried_merge_s_ += p.merge_s;
+    multi_device_.reset();
+  }
 }
 
 Status EngineBackend::SetUpMultiLoad(uint32_t parts) {
@@ -45,19 +64,48 @@ Status EngineBackend::SetUpMultiLoad(uint32_t parts) {
                          MultiLoadEngine::Create(index_parts, options_));
 
   // Commit: fold the retiring engine's stage costs into the carried
-  // profile, then swap. The old multi engine is destroyed before the
-  // shards it points into.
-  if (single_ != nullptr) {
-    carried_profile_.Accumulate(single_->profile());
-    single_.reset();
-  }
-  if (multi_ != nullptr) {
-    carried_profile_.Accumulate(multi_->profile().per_part);
-    carried_merge_s_ += multi_->profile().merge_s;
-    multi_.reset();
-  }
+  // profile, then swap. The old engine is destroyed before the shards it
+  // points into. The multi-device tier is never re-established after a
+  // fallback, so the device registry (and its worker pools) goes with it;
+  // an externally owned set is merely unreferenced.
+  RetireEngines();
+  owned_devices_.reset();
+  devices_ = nullptr;
   sharded_ = std::move(sharded);
   multi_ = std::move(multi);
+  return Status::OK();
+}
+
+Status EngineBackend::SetUpMultiDevice(uint32_t parts) {
+  if (devices_ == nullptr) {
+    if (backend_options_.device_set != nullptr) {
+      devices_ = backend_options_.device_set;
+    } else {
+      // Clone the base device's configuration onto N fresh devices, each
+      // with its own worker pool and memory accounting.
+      sim::DeviceSet::Options set_options;
+      set_options.num_devices = backend_options_.num_devices;
+      set_options.device = device()->options();
+      GENIE_ASSIGN_OR_RETURN(owned_devices_,
+                             sim::DeviceSet::Create(set_options));
+      devices_ = owned_devices_.get();
+    }
+  }
+  GENIE_ASSIGN_OR_RETURN(
+      ShardedIndex sharded,
+      ShardByObjectRange(*index_, parts, backend_options_.shard_build));
+  std::vector<IndexPart> index_parts;
+  index_parts.reserve(sharded.shards.size());
+  for (size_t p = 0; p < sharded.shards.size(); ++p) {
+    index_parts.push_back(IndexPart{&sharded.shards[p], sharded.offsets[p]});
+  }
+  GENIE_ASSIGN_OR_RETURN(
+      std::unique_ptr<MultiDeviceEngine> multi_device,
+      MultiDeviceEngine::Create(index_parts, devices_, options_));
+
+  RetireEngines();
+  sharded_ = std::move(sharded);
+  multi_device_ = std::move(multi_device);
   return Status::OK();
 }
 
@@ -66,15 +114,48 @@ Result<std::unique_ptr<EngineBackend>> EngineBackend::Create(
     const EngineBackendOptions& backend_options) {
   if (index == nullptr) return Status::InvalidArgument("index is null");
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (backend_options.num_devices == 0) {
+    return Status::InvalidArgument("num_devices must be >= 1");
+  }
+  const uint32_t num_devices =
+      backend_options.device_set != nullptr
+          ? static_cast<uint32_t>(backend_options.device_set->size())
+          : backend_options.num_devices;
+  MatchEngineOptions effective_options = options;
+  if (backend_options.device_set != nullptr && num_devices == 1) {
+    // A one-device set still names the hardware to run on: bind the
+    // classic single-device tiers to it instead of silently using
+    // options.device / the process default.
+    effective_options.device = backend_options.device_set->device(0);
+  }
   std::unique_ptr<EngineBackend> backend(
-      new EngineBackend(index, options, backend_options));
+      new EngineBackend(index, effective_options, backend_options));
+  backend->backend_options_.num_devices = num_devices;
+
+  // Tier selection: multi-device when N > 1 (space multiplexing), else
+  // single load, falling back to sequential multiple loading when the
+  // index (or the parts' residency) exceeds device memory.
+  if (num_devices > 1) {
+    const uint32_t parts =
+        std::max(num_devices, backend_options.force_parts);
+    Status status = backend->SetUpMultiDevice(parts);
+    if (status.ok()) return backend;
+    if (status.code() != StatusCode::kResourceExhausted ||
+        !backend_options.allow_multi_load) {
+      return status;
+    }
+    // Residency exceeded a device: time-multiplex the base device instead.
+    GENIE_RETURN_NOT_OK(backend->SetUpMultiLoad(
+        std::max(backend->EstimateParts(), backend_options.force_parts)));
+    return backend;
+  }
 
   if (backend_options.force_parts > 0) {
     GENIE_RETURN_NOT_OK(backend->SetUpMultiLoad(backend_options.force_parts));
     return backend;
   }
 
-  auto single = MatchEngine::Create(index, options);
+  auto single = MatchEngine::Create(index, effective_options);
   if (single.ok()) {
     backend->single_ = std::move(single).ValueOrDie();
     return backend;
@@ -90,6 +171,7 @@ Result<std::unique_ptr<EngineBackend>> EngineBackend::Create(
 
 Result<std::vector<QueryResult>> EngineBackend::ExecuteBatch(
     std::span<const Query> queries) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (single_ != nullptr) {
     auto results = single_->ExecuteBatch(queries);
     if (results.ok() ||
@@ -104,13 +186,27 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteBatch(
         std::max(2u, std::min(EstimateParts(), backend_options_.max_parts))));
   }
 
+  if (multi_device_ != nullptr) {
+    auto results = multi_device_->ExecuteBatch(queries);
+    if (results.ok() ||
+        results.status().code() != StatusCode::kResourceExhausted ||
+        !backend_options_.allow_multi_load) {
+      return results;
+    }
+    // Working memory did not fit beside the resident parts on some device;
+    // sharding finer does not reduce per-device residency, so fall back to
+    // time-multiplexing the base device.
+    GENIE_RETURN_NOT_OK(SetUpMultiLoad(
+        std::max(2u, std::min(EstimateParts(), backend_options_.max_parts))));
+  }
+
   while (true) {
     auto results = multi_->ExecuteBatch(queries);
     if (results.ok()) return results;
     if (results.status().code() != StatusCode::kResourceExhausted) {
       return results;
     }
-    const uint32_t parts = num_parts();
+    const uint32_t parts = NumPartsLocked();
     if (parts >= backend_options_.max_parts ||
         parts >= index_->num_objects()) {
       return results;
@@ -120,18 +216,92 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteBatch(
   }
 }
 
-MatchProfile EngineBackend::profile() const {
-  MatchProfile profile = carried_profile_;
-  if (single_ != nullptr) {
-    profile.Accumulate(single_->profile());
-  } else {
-    profile.Accumulate(multi_->profile().per_part);
+uint32_t EngineBackend::NumPartsLocked() const {
+  if (multi_ != nullptr) return static_cast<uint32_t>(multi_->num_parts());
+  if (multi_device_ != nullptr) {
+    return static_cast<uint32_t>(multi_device_->num_parts());
   }
-  return profile;
+  return 1;
+}
+
+EngineBackend::ProfileSnapshot EngineBackend::SnapshotLocked() const {
+  ProfileSnapshot snapshot;
+  snapshot.match = carried_profile_;
+  snapshot.merge_s = carried_merge_s_;
+  if (single_ != nullptr) {
+    snapshot.match.Accumulate(single_->profile());
+  } else if (multi_device_ != nullptr) {
+    const MultiDeviceProfile p = multi_device_->profile();
+    snapshot.match.Accumulate(p.Combined());
+    snapshot.merge_s += p.merge_s;
+    snapshot.devices = p.per_device;
+    snapshot.num_devices = static_cast<uint32_t>(multi_device_->num_devices());
+  } else {
+    snapshot.match.Accumulate(multi_->profile().per_part);
+    snapshot.merge_s += multi_->profile().merge_s;
+    snapshot.multi_load = true;
+  }
+  snapshot.parts = NumPartsLocked();
+  return snapshot;
+}
+
+EngineBackend::ProfileSnapshot EngineBackend::profile_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked();
+}
+
+bool EngineBackend::multi_load() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return multi_ != nullptr;
+}
+
+uint32_t EngineBackend::num_parts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return NumPartsLocked();
+}
+
+uint32_t EngineBackend::num_devices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return multi_device_ != nullptr
+             ? static_cast<uint32_t>(multi_device_->num_devices())
+             : 1;
+}
+
+EngineBackend::BatchBudget EngineBackend::batch_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (multi_device_ != nullptr && devices_ != nullptr) {
+    BatchBudget tightest;
+    uint64_t min_free = std::numeric_limits<uint64_t>::max();
+    for (size_t d = 0; d < devices_->size(); ++d) {
+      const sim::Device* dev = devices_->device(d);
+      const uint64_t capacity = dev->memory_capacity_bytes();
+      const uint64_t allocated = dev->allocated_bytes();
+      const uint64_t free_bytes =
+          capacity > allocated ? capacity - allocated : 0;
+      if (free_bytes < min_free) {
+        min_free = free_bytes;
+        tightest = BatchBudget{capacity, allocated};
+      }
+    }
+    return tightest;
+  }
+  return BatchBudget{device()->memory_capacity_bytes(),
+                     device()->allocated_bytes()};
+}
+
+MatchProfile EngineBackend::profile() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked().match;
 }
 
 double EngineBackend::merge_seconds() const {
-  return carried_merge_s_ + (multi_ ? multi_->profile().merge_s : 0.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked().merge_s;
+}
+
+std::vector<MatchProfile> EngineBackend::device_profiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked().devices;
 }
 
 }  // namespace genie

@@ -2,21 +2,26 @@
 
 /// \file engine_backend.h
 /// Backend selection for match-count execution: run on a single-load
-/// MatchEngine when the index fits in device memory, and transparently fall
-/// back to MultiLoadEngine (Section III-D) when it does not. Callers no
-/// longer hand-roll the ResourceExhausted -> shard -> multiple-loading
-/// dance; every domain searcher and the genie::Engine facade route through
-/// this class.
+/// MatchEngine when the index fits in device memory, shard across the N
+/// devices of a sim::DeviceSet when space multiplexing is requested
+/// (num_devices > 1), and transparently fall back to the sequential
+/// MultiLoadEngine (Section III-D) when the index does not fit resident.
+/// Callers no longer hand-roll the ResourceExhausted -> shard ->
+/// multiple-loading dance; every domain searcher and the genie::Engine
+/// facade route through this class.
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "common/result.h"
 #include "core/match_engine.h"
+#include "core/multi_device_engine.h"
 #include "core/multi_load_engine.h"
 #include "index/shard.h"
+#include "sim/device_set.h"
 
 namespace genie {
 
@@ -28,7 +33,8 @@ struct EngineBackendOptions {
   uint32_t max_parts = 256;
   /// Force multiple loading with exactly this many parts (0 = automatic:
   /// single load first, fallback only on ResourceExhausted). Used by the
-  /// Table II/III bench to sweep part counts.
+  /// Table II/III bench to sweep part counts. With num_devices > 1 it
+  /// instead sets the part count sharded round-robin across the devices.
   uint32_t force_parts = 0;
   /// Fraction of device capacity one part's List Array may occupy in the
   /// initial fallback estimate (the rest is working memory for c-PQ /
@@ -37,13 +43,44 @@ struct EngineBackendOptions {
   /// Build options applied when re-sharding for multiple loading, so the
   /// fallback path keeps the caller's load-balance splitting (Fig. 4).
   IndexBuildOptions shard_build;
+
+  /// Devices to shard across (space multiplexing). 1 = the classic
+  /// single-device tiers. When > 1 the index is sharded into
+  /// max(num_devices, force_parts) object-range parts assigned round-robin
+  /// to the devices, all parts resident; batches execute on every device in
+  /// parallel. If the parts do not fit resident, the backend falls back to
+  /// sequential multiple loading on the base device (when allowed).
+  uint32_t num_devices = 1;
+  /// Externally owned device registry for the multi-device tier; nullptr =
+  /// the backend creates its own set of `num_devices` devices, each
+  /// configured like the base device (options.device or the process
+  /// default). When set, its size overrides num_devices; a one-device set
+  /// runs the classic single-device tiers on its device(0).
+  sim::DeviceSet* device_set = nullptr;
 };
 
 /// A MatchEngine-shaped executor that owns the backend decision. Exposes an
 /// aggregated MatchProfile so existing profile consumers work unchanged on
-/// both paths.
+/// all paths. Thread-safe: ExecuteBatch serializes batches (and any tier
+/// escalation) under a per-backend mutex, and the profile accessors take
+/// the same mutex. Each individual accessor is race-free; a consistent
+/// multi-field snapshot while other threads may be executing must go
+/// through profile_snapshot(), which reads everything under one lock
+/// acquisition (separate accessor calls can interleave with a completing
+/// batch).
 class EngineBackend {
  public:
+  /// All profile state and backend facts, captured atomically.
+  struct ProfileSnapshot {
+    MatchProfile match;
+    /// Per-device stage costs of the multi-device tier (empty otherwise).
+    std::vector<MatchProfile> devices;
+    double merge_s = 0;
+    bool multi_load = false;
+    uint32_t parts = 1;
+    uint32_t num_devices = 1;
+  };
+
   /// `index` must outlive the backend.
   static Result<std::unique_ptr<EngineBackend>> Create(
       const InvertedIndex* index, const MatchEngineOptions& options,
@@ -52,23 +89,45 @@ class EngineBackend {
   /// Executes one batch, escalating to (more) parts on ResourceExhausted.
   Result<std::vector<QueryResult>> ExecuteBatch(std::span<const Query> queries);
 
-  /// Aggregated stage costs since creation, returned as a snapshot. On the
-  /// multi-load path this is the accumulated per-part profile (index
-  /// transfer counts every swap-in). Callers wanting per-batch deltas
-  /// snapshot before and after ExecuteBatch and subtract
-  /// (MatchProfile::Subtract); the accessor itself never mutates state.
-  MatchProfile profile() const;
-  /// Host-side merge seconds (multi-load path only; 0 on single load).
-  double merge_seconds() const;
+  /// Everything profile() / merge_seconds() / device_profiles() /
+  /// multi_load() / num_parts() / num_devices() report, read under a
+  /// single lock acquisition. Callers wanting per-batch deltas snapshot
+  /// before and after ExecuteBatch and subtract (MatchProfile::Subtract).
+  ProfileSnapshot profile_snapshot() const;
 
-  bool multi_load() const { return multi_ != nullptr; }
-  uint32_t num_parts() const {
-    return multi_ ? static_cast<uint32_t>(multi_->num_parts()) : 1;
-  }
+  /// Aggregated stage costs since creation, returned as a snapshot. On the
+  /// multi-part paths this is the accumulated per-part profile (index
+  /// transfer counts every swap-in on the multi-load path, the one-time
+  /// residency transfers on the multi-device path). The accessor never
+  /// mutates state.
+  MatchProfile profile() const;
+  /// Host-side merge seconds (multi-part paths only; 0 on single load).
+  double merge_seconds() const;
+  /// Per-device stage costs of the multi-device tier, indexed by device
+  /// ordinal. Empty on the single-device tiers.
+  std::vector<MatchProfile> device_profiles() const;
+
+  bool multi_load() const;
+  uint32_t num_parts() const;
+  /// Devices batches execute on (1 unless the multi-device tier is active).
+  uint32_t num_devices() const;
+
+  /// Capacity / allocation of the device that bounds the next batch's
+  /// working memory: the base device on the single-device tiers, the
+  /// tightest (least-free) device of the set on the multi-device tier —
+  /// every device stages the whole batch's per-query arenas beside its
+  /// resident parts. Batch / stream-chunk sizing must use this instead of
+  /// device(), which the multi-device tier leaves idle.
+  struct BatchBudget {
+    uint64_t capacity_bytes = 0;
+    uint64_t allocated_bytes = 0;
+  };
+  BatchBudget batch_budget() const;
 
   const InvertedIndex& index() const { return *index_; }
   const MatchEngineOptions& options() const { return options_; }
-  /// The device batches execute on (options.device or the process default).
+  /// The base device (options.device or the process default) — what the
+  /// single-load and multi-load tiers run on.
   sim::Device* device() const;
 
  private:
@@ -77,16 +136,33 @@ class EngineBackend {
 
   /// Shards the full index into `parts` and rebuilds the multi-load engine.
   Status SetUpMultiLoad(uint32_t parts);
+  /// Shards into `parts` round-robin across the device set and builds the
+  /// resident multi-device engine.
+  Status SetUpMultiDevice(uint32_t parts);
+  /// Folds the live engine's stage costs into carried_profile_ and retires
+  /// it (before a tier switch).
+  void RetireEngines();
   /// Initial part-count estimate from the List Array size vs device budget.
   uint32_t EstimateParts() const;
+
+  uint32_t NumPartsLocked() const;
+  ProfileSnapshot SnapshotLocked() const;
 
   const InvertedIndex* index_;
   MatchEngineOptions options_;
   EngineBackendOptions backend_options_;
 
+  /// Serializes batches, tier escalation, and profile snapshots.
+  mutable std::mutex mu_;
+
   std::unique_ptr<MatchEngine> single_;
   ShardedIndex sharded_;
   std::unique_ptr<MultiLoadEngine> multi_;
+  /// Multi-device tier: the device registry (owned unless the caller passed
+  /// one in) and the resident sharded engine.
+  std::unique_ptr<sim::DeviceSet> owned_devices_;
+  sim::DeviceSet* devices_ = nullptr;
+  std::unique_ptr<MultiDeviceEngine> multi_device_;
   /// Stage costs of retired engines (single-load before a fallback, or
   /// earlier multi-load generations before a part escalation), so profile()
   /// stays cumulative across backend switches.

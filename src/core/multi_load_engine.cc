@@ -7,6 +7,58 @@
 
 namespace genie {
 
+Status ValidateDisjointParts(std::span<const IndexPart> parts) {
+  for (const IndexPart& part : parts) {
+    if (part.index == nullptr) {
+      return Status::InvalidArgument("null index part");
+    }
+  }
+  // Sort the ranges by offset and sweep with the running covered end: a
+  // non-empty range starting before it overlaps some earlier range (not
+  // necessarily the immediate predecessor — an empty or short part may
+  // sort in between).
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  ranges.reserve(parts.size());
+  for (const IndexPart& part : parts) {
+    ranges.emplace_back(part.id_offset,
+                        static_cast<uint64_t>(part.id_offset) +
+                            part.index->num_objects());
+  }
+  std::sort(ranges.begin(), ranges.end());
+  std::pair<uint64_t, uint64_t> covering{0, 0};  // range holding the max end
+  for (const auto& range : ranges) {
+    if (range.first == range.second) continue;  // empty parts overlap nothing
+    if (range.first < covering.second) {
+      return Status::InvalidArgument(
+          "index parts have overlapping global id ranges: [" +
+          std::to_string(covering.first) + ", " +
+          std::to_string(covering.second) + ") and [" +
+          std::to_string(range.first) + ", " + std::to_string(range.second) +
+          ")");
+    }
+    if (range.second > covering.second) covering = range;
+  }
+  return Status::OK();
+}
+
+std::vector<QueryResult> MergeCandidatePools(
+    std::vector<std::vector<TopKEntry>> pools, uint32_t k) {
+  std::vector<QueryResult> results(pools.size());
+  DefaultThreadPool()->ParallelFor(pools.size(), [&](size_t q) {
+    auto& pool = pools[q];
+    std::sort(pool.begin(), pool.end(),
+              [](const TopKEntry& a, const TopKEntry& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.id < b.id;
+              });
+    if (pool.size() > k) pool.resize(k);
+    results[q].entries = std::move(pool);
+    results[q].threshold =
+        results[q].entries.empty() ? 0 : results[q].entries.back().count;
+  });
+  return results;
+}
+
 MultiLoadEngine::MultiLoadEngine(std::vector<IndexPart> parts,
                                  const MatchEngineOptions& options)
     : parts_(std::move(parts)), options_(options) {}
@@ -17,11 +69,7 @@ Result<std::unique_ptr<MultiLoadEngine>> MultiLoadEngine::Create(
     return Status::InvalidArgument("multiple loading needs >= 1 part");
   }
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
-  for (const IndexPart& part : parts) {
-    if (part.index == nullptr) {
-      return Status::InvalidArgument("null index part");
-    }
-  }
+  GENIE_RETURN_NOT_OK(ValidateDisjointParts(parts));
   return std::unique_ptr<MultiLoadEngine>(
       new MultiLoadEngine(std::move(parts), options));
 }
@@ -61,20 +109,7 @@ Result<std::vector<QueryResult>> MultiLoadEngine::ExecuteBatch(
 
   // Final merge: top-k of the pooled candidates (Fig. 6 "Merge").
   ScopedTimer merge_timer(&profile_.merge_s);
-  std::vector<QueryResult> results(num_queries);
-  DefaultThreadPool()->ParallelFor(num_queries, [&](size_t q) {
-    auto& pool = pools[q];
-    std::sort(pool.begin(), pool.end(),
-              [](const TopKEntry& a, const TopKEntry& b) {
-                if (a.count != b.count) return a.count > b.count;
-                return a.id < b.id;
-              });
-    if (pool.size() > options_.k) pool.resize(options_.k);
-    results[q].entries = std::move(pool);
-    results[q].threshold =
-        results[q].entries.empty() ? 0 : results[q].entries.back().count;
-  });
-  return results;
+  return MergeCandidatePools(std::move(pools), options_.k);
 }
 
 }  // namespace genie

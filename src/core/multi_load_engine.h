@@ -28,6 +28,21 @@ struct IndexPart {
   ObjectId id_offset = 0;
 };
 
+/// Checks that every part has an index and that the parts' global id ranges
+/// [id_offset, id_offset + num_objects) are pairwise disjoint — the merge
+/// contract both MultiLoadEngine and MultiDeviceEngine rely on (an object
+/// indexed in two parts would be double-counted). Returns InvalidArgument
+/// with the offending pair otherwise.
+Status ValidateDisjointParts(std::span<const IndexPart> parts);
+
+/// Final host-side top-k merge (Fig. 6 "Merge"): per query, sorts the
+/// pooled per-part candidates (ids already global) by descending count with
+/// id tiebreak and keeps the k best. Parallelized over queries on the
+/// process pool. Shared by MultiLoadEngine and MultiDeviceEngine so both
+/// backends rank identically.
+std::vector<QueryResult> MergeCandidatePools(
+    std::vector<std::vector<TopKEntry>> pools, uint32_t k);
+
 /// Stage costs specific to multiple loading (Table III).
 struct MultiLoadProfile {
   double index_transfer_s = 0;  // swapping each part in

@@ -34,11 +34,40 @@ template <typename T>
 bool ReadPod(std::FILE* f, T* v) {
   return std::fread(v, sizeof(T), 1, f) == 1;
 }
+
+/// Reads `count` elements after bounding `count` against the bytes left in
+/// the file. Counts come straight from the (possibly truncated or hostile)
+/// header; resizing first would let a forged multi-terabyte count drive the
+/// vector into a huge allocation / std::bad_alloc before any checksum runs.
 template <typename T>
-bool ReadArray(std::FILE* f, std::vector<T>* v, uint64_t count) {
+Status ReadBoundedArray(std::FILE* f, std::vector<T>* v, uint64_t count,
+                        uint64_t file_bytes, const std::string& path) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || static_cast<uint64_t>(pos) > file_bytes) {
+    return Status::Internal("cannot determine read position: " + path);
+  }
+  const uint64_t remaining = file_bytes - static_cast<uint64_t>(pos);
+  if (count > remaining / sizeof(T)) {
+    return Status::InvalidArgument("header count exceeds file size: " + path);
+  }
   v->resize(count);
-  return count == 0 ||
-         std::fread(v->data(), sizeof(T), count, f) == count;
+  if (count != 0 && std::fread(v->data(), sizeof(T), count, f) != count) {
+    return Status::InvalidArgument("truncated index data: " + path);
+  }
+  return Status::OK();
+}
+
+/// Size of the already-open file, restoring the read position.
+Result<uint64_t> FileBytes(std::FILE* f, const std::string& path) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::Internal("cannot seek: " + path);
+  }
+  const long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) {
+    return Status::Internal("cannot seek: " + path);
+  }
+  return static_cast<uint64_t>(end);
 }
 
 template <typename T>
@@ -157,6 +186,8 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
     return Status::InvalidArgument("not a GENIE index file: " + path);
   }
 
+  GENIE_ASSIGN_OR_RETURN(const uint64_t file_bytes, FileBytes(f.get(), path));
+
   InvertedIndex index;
   Header h;
   bool ok = ReadPod(f.get(), &h.num_objects) &&
@@ -174,11 +205,21 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
   if (compressed) {
     uint64_t blob_size = 0;
     std::vector<uint8_t> blob;
-    ok = ReadPod(f.get(), &blob_size) &&
-         ReadArray(f.get(), &blob, blob_size) &&
-         ReadArray(f.get(), &index.list_offsets_, h.offsets_count) &&
-         ReadArray(f.get(), &index.keyword_first_list_, h.keyword_count);
-    if (!ok) return Status::InvalidArgument("truncated index data: " + path);
+    if (!ReadPod(f.get(), &blob_size)) {
+      return Status::InvalidArgument("truncated index data: " + path);
+    }
+    GENIE_RETURN_NOT_OK(
+        ReadBoundedArray(f.get(), &blob, blob_size, file_bytes, path));
+    GENIE_RETURN_NOT_OK(ReadBoundedArray(f.get(), &index.list_offsets_,
+                                         h.offsets_count, file_bytes, path));
+    GENIE_RETURN_NOT_OK(ReadBoundedArray(f.get(), &index.keyword_first_list_,
+                                         h.keyword_count, file_bytes, path));
+    // Every posting occupies >= 1 varint byte, so a plausible count cannot
+    // exceed the blob size (bounds the reserve below).
+    if (h.postings_count > blob.size()) {
+      return Status::InvalidArgument("header count exceeds file size: " +
+                                     path);
+    }
     index.postings_.reserve(h.postings_count);
     size_t pos = 0;
     std::vector<uint32_t> list;
@@ -188,6 +229,12 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
       }
       const size_t count =
           index.list_offsets_[l + 1] - index.list_offsets_[l];
+      // Each encoded posting takes >= 1 byte, so forged offsets demanding
+      // more values than the blob has left cannot pre-reserve gigabytes
+      // inside the decoder.
+      if (count > blob.size() - pos) {
+        return Status::InvalidArgument("list offsets exceed blob: " + path);
+      }
       GENIE_RETURN_NOT_OK(
           varint::DecodeDeltaAscending(blob, &pos, count, &list));
       index.postings_.insert(index.postings_.end(), list.begin(), list.end());
@@ -196,10 +243,12 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
       return Status::InvalidArgument("postings count mismatch: " + path);
     }
   } else {
-    ok = ReadArray(f.get(), &index.postings_, h.postings_count) &&
-         ReadArray(f.get(), &index.list_offsets_, h.offsets_count) &&
-         ReadArray(f.get(), &index.keyword_first_list_, h.keyword_count);
-    if (!ok) return Status::InvalidArgument("truncated index data: " + path);
+    GENIE_RETURN_NOT_OK(ReadBoundedArray(f.get(), &index.postings_,
+                                         h.postings_count, file_bytes, path));
+    GENIE_RETURN_NOT_OK(ReadBoundedArray(f.get(), &index.list_offsets_,
+                                         h.offsets_count, file_bytes, path));
+    GENIE_RETURN_NOT_OK(ReadBoundedArray(f.get(), &index.keyword_first_list_,
+                                         h.keyword_count, file_bytes, path));
   }
 
   uint64_t checksum = 0;

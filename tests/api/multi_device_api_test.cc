@@ -1,0 +1,286 @@
+/// Multi-device execution through the facade: EngineConfig::Devices(n)
+/// must be invisible in the results — every modality answers identically
+/// for 1, 2 and 4 devices — while the profile reports the per-device
+/// breakdown, and concurrent streams on a multi-device engine stay
+/// correct. The device-count ceiling honours GENIE_TEST_NUM_DEVICES so CI
+/// can sweep the path wider (e.g. under ASan/UBSan).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <future>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/genie.h"
+#include "common/rng.h"
+#include "data/documents.h"
+#include "data/points.h"
+#include "data/relational_data.h"
+#include "data/sequences.h"
+#include "test_util.h"
+
+namespace genie {
+namespace {
+
+uint32_t MaxTestDevices() {
+  const char* env = std::getenv("GENIE_TEST_NUM_DEVICES");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v >= 1) return static_cast<uint32_t>(v);
+  }
+  // Default ceiling 2 keeps the everyday suite light; CI pins
+  // GENIE_TEST_NUM_DEVICES=4 to sweep the wider fan-out (incl. under
+  // ASan/UBSan).
+  return 2;
+}
+
+std::vector<uint32_t> DeviceSweep() {
+  std::vector<uint32_t> sweep{1};
+  for (uint32_t d = 2; d <= MaxTestDevices(); d *= 2) sweep.push_back(d);
+  return sweep;
+}
+
+/// Equality of everything the match-count model determines uniquely:
+/// per-query count profiles, MC_k thresholds, and the identity + score of
+/// every hit strictly above the threshold. Ties at count == MC_k are kept
+/// arrival-order-dependently by the c-PQ (Theorem 3.1 returns *a* top-k;
+/// which tied objects fill the last slots depends on block scheduling,
+/// even between two runs on one device), so boundary ids are exempt.
+void ExpectSameAnswers(const SearchResult& got, const SearchResult& want,
+                       uint32_t devices) {
+  ASSERT_EQ(got.queries.size(), want.queries.size());
+  for (size_t q = 0; q < want.queries.size(); ++q) {
+    const QueryHits& g = got.queries[q];
+    const QueryHits& w = want.queries[q];
+    EXPECT_EQ(g.threshold, w.threshold)
+        << "query " << q << " at " << devices << " devices";
+    ASSERT_EQ(g.hits.size(), w.hits.size())
+        << "query " << q << " at " << devices << " devices";
+
+    auto counts_of = [](const QueryHits& hits) {
+      std::vector<uint32_t> counts;
+      for (const Hit& hit : hits.hits) counts.push_back(hit.match_count);
+      std::sort(counts.begin(), counts.end(), std::greater<>());
+      return counts;
+    };
+    EXPECT_EQ(counts_of(g), counts_of(w))
+        << "query " << q << " at " << devices << " devices";
+
+    auto above_boundary = [](const QueryHits& hits) {
+      std::map<ObjectId, std::pair<uint32_t, double>> above;
+      for (const Hit& hit : hits.hits) {
+        if (hit.match_count > hits.threshold) {
+          above.emplace(hit.id, std::make_pair(hit.match_count, hit.score));
+        }
+      }
+      return above;
+    };
+    const auto g_above = above_boundary(g);
+    const auto w_above = above_boundary(w);
+    ASSERT_EQ(g_above.size(), w_above.size())
+        << "query " << q << " at " << devices << " devices";
+    for (const auto& [id, count_score] : w_above) {
+      const auto it = g_above.find(id);
+      ASSERT_NE(it, g_above.end())
+          << "query " << q << " missing id " << id << " at " << devices
+          << " devices";
+      EXPECT_EQ(it->second.first, count_score.first);
+      EXPECT_DOUBLE_EQ(it->second.second, count_score.second);
+    }
+  }
+}
+
+/// Runs `make_config` at every device count of the sweep and checks the
+/// answers against the single-device run.
+template <typename MakeConfig, typename MakeRequest>
+void CheckDeterministicAcrossDevices(MakeConfig make_config,
+                                     MakeRequest make_request) {
+  Result<SearchResult> reference = Status::Internal("unset");
+  for (uint32_t devices : DeviceSweep()) {
+    auto engine = Engine::Create(make_config().Devices(devices));
+    ASSERT_TRUE(engine.ok())
+        << devices << " devices: " << engine.status().ToString();
+    auto result = (*engine)->Search(make_request());
+    ASSERT_TRUE(result.ok())
+        << devices << " devices: " << result.status().ToString();
+    EXPECT_EQ(result->profile.devices, devices);
+    EXPECT_EQ(result->profile.per_device.size(),
+              devices > 1 ? devices : 0u);
+    if (devices == 1) {
+      reference = std::move(result);
+      continue;
+    }
+    ExpectSameAnswers(*result, *reference, devices);
+  }
+}
+
+TEST(MultiDeviceApiTest, PointsDeterministicAcrossDeviceCounts) {
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 400;
+  data_options.dim = 6;
+  data_options.num_clusters = 8;
+  data_options.seed = 81;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  auto queries = data::MakeQueriesNear(dataset.points, 4, 0.1, 82);
+
+  CheckDeterministicAcrossDevices(
+      [&] {
+        return EngineConfig()
+            .Points(&dataset.points)
+            .K(5)
+            .HashFunctions(16)
+            .RehashDomain(64)
+            .Seed(83)
+            .Device(test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Points(queries); });
+}
+
+TEST(MultiDeviceApiTest, SetsDeterministicAcrossDeviceCounts) {
+  Rng rng(84);
+  std::vector<std::vector<uint32_t>> sets(150);
+  for (auto& set : sets) {
+    for (int i = 0; i < 10; ++i) {
+      set.push_back(static_cast<uint32_t>(rng.UniformU64(3000)));
+    }
+  }
+  std::vector<std::vector<uint32_t>> queries{sets[0], sets[75], sets[149]};
+
+  CheckDeterministicAcrossDevices(
+      [&] {
+        return EngineConfig()
+            .Sets(&sets)
+            .K(4)
+            .HashFunctions(16)
+            .RehashDomain(128)
+            .Seed(85)
+            .Device(test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Sets(queries); });
+}
+
+TEST(MultiDeviceApiTest, SequencesDeterministicAcrossDeviceCounts) {
+  data::SequenceDatasetOptions data_options;
+  data_options.num_sequences = 150;
+  data_options.min_length = 15;
+  data_options.max_length = 25;
+  data_options.seed = 86;
+  auto sequences = data::MakeSequences(data_options);
+  std::vector<std::string> queries{sequences[3], sequences[70],
+                                   sequences[149]};
+
+  CheckDeterministicAcrossDevices(
+      [&] {
+        return EngineConfig()
+            .Sequences(&sequences)
+            .K(2)
+            .CandidateK(16)
+            .Ngram(3)
+            .Device(test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Sequences(queries); });
+}
+
+TEST(MultiDeviceApiTest, DocumentsDeterministicAcrossDeviceCounts) {
+  data::DocumentDatasetOptions data_options;
+  data_options.num_documents = 200;
+  data_options.vocabulary = 1000;
+  data_options.seed = 87;
+  auto corpus = data::MakeDocuments(data_options);
+  std::vector<std::vector<uint32_t>> queries{corpus[7], corpus[100],
+                                             corpus[199]};
+
+  CheckDeterministicAcrossDevices(
+      [&] {
+        return EngineConfig().Documents(&corpus).K(3).Device(
+            test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Documents(queries); });
+}
+
+TEST(MultiDeviceApiTest, RelationalDeterministicAcrossDeviceCounts) {
+  data::RelationalDatasetOptions data_options;
+  data_options.num_rows = 600;
+  data_options.numeric_columns = 3;
+  data_options.numeric_buckets = 32;
+  data_options.categorical_columns = 2;
+  data_options.categorical_cardinality = 5;
+  data_options.seed = 88;
+  auto table = data::MakeRelationalTable(data_options);
+  auto queries = data::MakeRangeQueries(table, 4, 3, 5, 89);
+
+  CheckDeterministicAcrossDevices(
+      [&] {
+        return EngineConfig().Table(&table).K(5).Device(
+            test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Ranges(queries); });
+}
+
+TEST(MultiDeviceApiTest, ProfileReportsPerDeviceCosts) {
+  auto workload = test::MakeRandomWorkload(600, 60, 6, 8, 5, 90);
+  auto engine = Engine::Create(EngineConfig()
+                                   .Index(&workload.index)
+                                   .K(7)
+                                   .Devices(2)
+                                   .Device(test::SharedTestDevice(2)));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto result = (*engine)->Search(SearchRequest::Compiled(workload.queries));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->profile.devices, 2u);
+  EXPECT_FALSE(result->profile.used_multi_load);
+  EXPECT_EQ(result->profile.parts, 2u);
+  ASSERT_EQ(result->profile.per_device.size(), 2u);
+  ASSERT_EQ(result->cumulative.per_device.size(), 2u);
+  uint64_t per_device_query_bytes = 0;
+  for (const DeviceProfile& d : result->profile.per_device) {
+    EXPECT_GT(d.query_bytes, 0u);
+    per_device_query_bytes += d.query_bytes;
+  }
+  // The per-device slices partition the aggregate stage costs.
+  EXPECT_EQ(per_device_query_bytes, result->profile.query_bytes);
+  // The residency transfer happened at creation: cumulative carries it,
+  // the per-call delta does not.
+  EXPECT_EQ(result->profile.index_bytes, 0u);
+  uint64_t cumulative_index_bytes = 0;
+  for (const DeviceProfile& d : result->cumulative.per_device) {
+    EXPECT_GT(d.index_bytes, 0u);
+    cumulative_index_bytes += d.index_bytes;
+  }
+  EXPECT_EQ(cumulative_index_bytes, result->cumulative.index_bytes);
+}
+
+TEST(MultiDeviceApiTest, ConcurrentStreamsOnMultiDeviceEngine) {
+  auto workload = test::MakeRandomWorkload(700, 60, 6, 30, 5, 91);
+  auto engine = Engine::Create(EngineConfig()
+                                   .Index(&workload.index)
+                                   .K(6)
+                                   .Devices(2)
+                                   .Device(test::SharedTestDevice(2)));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto blocking = (*engine)->Search(SearchRequest::Compiled(workload.queries));
+  ASSERT_TRUE(blocking.ok());
+
+  SearchStreamOptions options;
+  options.chunk_size = 8;
+  auto a = (*engine)->SearchAsync(SearchRequest::Compiled(workload.queries),
+                                  options);
+  auto b = (*engine)->SearchAsync(SearchRequest::Compiled(workload.queries),
+                                  options);
+  auto result_a = a.get();
+  auto result_b = b.get();
+  ASSERT_TRUE(result_a.ok()) << result_a.status().ToString();
+  ASSERT_TRUE(result_b.ok()) << result_b.status().ToString();
+  ExpectSameAnswers(*result_a, *blocking, 2);
+  ExpectSameAnswers(*result_b, *blocking, 2);
+}
+
+}  // namespace
+}  // namespace genie

@@ -132,6 +132,100 @@ TEST(IndexIoTest, TruncatedFileRejected) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Hostile / corrupted headers: counts are bounded against the file size
+// before any allocation, so forged multi-terabyte counts fail with
+// InvalidArgument instead of driving resize() into std::bad_alloc.
+// ---------------------------------------------------------------------------
+
+// Header layout: magic(8) u32 num_objects u32 max_list_length
+// u64 postings_count u64 offsets_count u64 keyword_count.
+constexpr size_t kPostingsCountOffset = 16;
+constexpr size_t kKeywordCountOffset = 32;
+
+void OverwriteU64(const std::string& path, size_t offset, uint64_t value) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+TEST(IndexIoTest, ForgedHugePostingsCountRejectedWithoutAllocating) {
+  // A 100-byte file claiming 2^40 postings: the bound check must fire on
+  // the header alone — the 4 TiB resize would abort the process otherwise.
+  const std::string path = TempPath("genie_forged_tiny.idx");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("GNIEIDX1", 8);
+    const uint32_t num_objects = 10, max_list_length = 0;
+    const uint64_t postings_count = 1ULL << 40;
+    const uint64_t offsets_count = 2, keyword_count = 2;
+    out.write(reinterpret_cast<const char*>(&num_objects), 4);
+    out.write(reinterpret_cast<const char*>(&max_list_length), 4);
+    out.write(reinterpret_cast<const char*>(&postings_count), 8);
+    out.write(reinterpret_cast<const char*>(&offsets_count), 8);
+    out.write(reinterpret_cast<const char*>(&keyword_count), 8);
+    const std::vector<char> pad(100 - 40, '\0');
+    out.write(pad.data(), static_cast<std::streamoff>(pad.size()));
+  }
+  ASSERT_EQ(std::filesystem::file_size(path), 100u);
+  auto loaded = LoadIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, ForgedCountsInValidFileRejected) {
+  auto workload = test::MakeRandomWorkload(200, 30, 5, 1, 2, 75);
+  const std::string path = TempPath("genie_forged_counts.idx");
+
+  for (const size_t offset : {kPostingsCountOffset, kKeywordCountOffset}) {
+    for (const uint64_t forged : {uint64_t{1} << 40, uint64_t{1} << 62}) {
+      ASSERT_TRUE(SaveIndex(workload.index, path).ok());
+      OverwriteU64(path, offset, forged);
+      auto loaded = LoadIndex(path);
+      ASSERT_FALSE(loaded.ok()) << "offset " << offset;
+      EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+  // The compressed format bounds its blob size and postings count too.
+  ASSERT_TRUE(SaveIndexCompressed(workload.index, path).ok());
+  OverwriteU64(path, kPostingsCountOffset, uint64_t{1} << 40);
+  auto loaded = LoadIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(SaveIndexCompressed(workload.index, path).ok());
+  OverwriteU64(path, /*blob_size after header=*/40, uint64_t{1} << 40);
+  loaded = LoadIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, EveryTruncationFailsCleanly) {
+  // Fuzz-style sweep: a load of the file cut at any byte boundary must
+  // fail with a Status, never crash or accept the data.
+  auto workload = test::MakeRandomWorkload(60, 15, 4, 1, 2, 76);
+  const std::string path = TempPath("genie_trunc_sweep.idx");
+  const std::string cut_path = TempPath("genie_trunc_sweep_cut.idx");
+  for (const bool compressed : {false, true}) {
+    ASSERT_TRUE((compressed ? SaveIndexCompressed(workload.index, path)
+                            : SaveIndex(workload.index, path))
+                    .ok());
+    const auto size = std::filesystem::file_size(path);
+    for (uintmax_t cut = 0; cut < size; cut += 7) {
+      std::filesystem::copy_file(
+          path, cut_path, std::filesystem::copy_options::overwrite_existing);
+      std::filesystem::resize_file(cut_path, cut);
+      auto loaded = LoadIndex(cut_path);
+      EXPECT_FALSE(loaded.ok())
+          << (compressed ? "compressed" : "raw") << " cut at " << cut;
+    }
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
 TEST(IndexIoTest, BitFlipDetectedByChecksum) {
   auto workload = test::MakeRandomWorkload(100, 20, 4, 1, 2, 73);
   const std::string path = TempPath("genie_bitflip.idx");
