@@ -1,0 +1,122 @@
+/// Bundle persistence payoff: open-to-first-query latency of a saved
+/// engine vs rebuilding the index from the raw dataset (the paper's
+/// build-once / serve-many workflow). Reports, for the tweets-like
+/// document workload: the one-time build + save cost, the bundle sizes of
+/// both postings formats, and the cold-start-to-first-answer time of (a)
+/// rebuild, (b) bundle open on one device, (c) bundle open sharded onto
+/// two devices — the bundle composes with every backend tier.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "api/genie.h"
+#include "bench_common.h"
+#include "common/timer.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+int Run() {
+  const DocumentBench& workload = TweetsBench();
+  const std::string raw_path = "/tmp/genie_bench_index_load_raw.bundle";
+  const std::string packed_path =
+      "/tmp/genie_bench_index_load_packed.bundle";
+
+  const auto config = [&] {
+    return EngineConfig()
+        .Documents(&workload.docs)
+        .K(10)
+        .Device(BenchDevice());
+  };
+  const auto first_query = [&](Engine* engine) -> Result<double> {
+    double seconds = 0;
+    ScopedTimer timer(&seconds);
+    GENIE_ASSIGN_OR_RETURN(
+        SearchResult result,
+        engine->Search(SearchRequest::Documents(workload.queries)));
+    (void)result;
+    return seconds;
+  };
+
+  std::printf("bench_index_load: %zu documents, %zu queries\n",
+              workload.docs.size(), workload.queries.size());
+
+  // (a) Rebuild from the dataset: the cost every process start pays today.
+  double build_s = 0;
+  double save_s = 0;
+  {
+    double total = 0;
+    std::unique_ptr<Engine> engine;
+    {
+      ScopedTimer timer(&total);
+      auto created = Engine::Create(config());
+      if (!created.ok()) {
+        std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+        return 1;
+      }
+      engine = std::move(created).ValueOrDie();
+    }
+    build_s = total;
+    auto rebuild_query = first_query(engine.get());
+    if (!rebuild_query.ok()) {
+      std::fprintf(stderr, "%s\n", rebuild_query.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  rebuild:            build %8.3f s + first batch %.3f s\n",
+                build_s, *rebuild_query);
+
+    ScopedTimer timer(&save_s);
+    BundleSaveOptions packed;
+    packed.compress_postings = true;
+    if (!engine->Save(raw_path).ok() ||
+        !engine->Save(packed_path, packed).ok()) {
+      std::fprintf(stderr, "bundle save failed\n");
+      return 1;
+    }
+  }
+  std::printf("  save (both formats): %7.3f s; bundle bytes raw %ju, "
+              "compressed %ju\n",
+              save_s,
+              static_cast<uintmax_t>(std::filesystem::file_size(raw_path)),
+              static_cast<uintmax_t>(
+                  std::filesystem::file_size(packed_path)));
+
+  // (b, c) Bundle open at 1 and 2 devices, both postings formats.
+  for (const std::string& path : {raw_path, packed_path}) {
+    for (const uint32_t devices : {1u, 2u}) {
+      double open_s = 0;
+      std::unique_ptr<Engine> engine;
+      {
+        ScopedTimer timer(&open_s);
+        auto opened = Engine::Open(path, config().Devices(devices));
+        if (!opened.ok()) {
+          std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+          return 1;
+        }
+        engine = std::move(opened).ValueOrDie();
+      }
+      auto open_query = first_query(engine.get());
+      if (!open_query.ok()) {
+        std::fprintf(stderr, "%s\n", open_query.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "  open %s x%u:  open %8.3f s + first batch %.3f s  (%.1fx vs "
+          "rebuild)\n",
+          path == raw_path ? "raw      " : "compressed", devices, open_s,
+          *open_query, build_s / (open_s > 0 ? open_s : 1e-9));
+    }
+  }
+
+  std::remove(raw_path.c_str());
+  std::remove(packed_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main() { return genie::bench::Run(); }

@@ -295,12 +295,7 @@ Engine::~Engine() {
   async_->cv.wait(lock, [this] { return async_->inflight == 0; });
 }
 
-Result<std::unique_ptr<Engine>> Engine::Create(const EngineConfig& config) {
-  if (!config.has_modality()) {
-    return Status::InvalidArgument(
-        "EngineConfig has no dataset binding; call one of Points / Sets / "
-        "Sequences / Documents / Table / Index");
-  }
+Status Engine::ValidateCommonKnobs(const EngineConfig& config) {
   if (config.k() == 0) return Status::InvalidArgument("k must be >= 1");
   if (config.candidate_k() != 0 && config.candidate_k() < config.k()) {
     return Status::InvalidArgument("candidate_k must be >= k");
@@ -314,6 +309,16 @@ Result<std::unique_ptr<Engine>> Engine::Create(const EngineConfig& config) {
   if (config.num_devices() == 0) {
     return Status::InvalidArgument("num_devices must be >= 1");
   }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Engine>> Engine::Create(const EngineConfig& config) {
+  if (!config.has_modality()) {
+    return Status::InvalidArgument(
+        "EngineConfig has no dataset binding; call one of Points / Sets / "
+        "Sequences / Documents / Table / Index");
+  }
+  GENIE_RETURN_NOT_OK(ValidateCommonKnobs(config));
 
   Result<std::unique_ptr<Searcher>> searcher = [&] {
     switch (config.modality()) {

@@ -27,6 +27,14 @@ namespace genie {
 
 class Searcher;
 
+/// Knobs of Engine::Save.
+struct BundleSaveOptions {
+  /// Persist the postings varint-delta compressed (typically 2-4x smaller;
+  /// requires ascending postings per (sub)list, which holds for every
+  /// facade-built engine — objects are indexed in id order).
+  bool compress_postings = false;
+};
+
 /// Fluent configuration. Exactly one dataset binding selects the modality;
 /// everything else has workload-appropriate defaults. Bound datasets must
 /// outlive the Engine.
@@ -194,6 +202,32 @@ class Engine {
   static Result<std::unique_ptr<Engine>> Create(const EngineConfig& config);
   ~Engine();
 
+  /// Persists this engine as a versioned bundle: the inverted index plus
+  /// the modality-specific query-side state (LSH family coefficients and
+  /// re-hash seeds, n-gram vocabulary, token universe, column layout) that
+  /// Open needs to compile queries exactly like this engine. The paper
+  /// treats index construction as an offline one-time cost; Save/Open make
+  /// that workflow concrete — build once, serve from the bundle. Fails
+  /// with Unimplemented for engines over caller-supplied custom LSH
+  /// families, and with IOError when the file cannot be written in full
+  /// (e.g. a full disk).
+  Status Save(const std::string& path,
+              const BundleSaveOptions& options = {}) const;
+
+  /// Opens a bundle written by Save and serves it without rebuilding the
+  /// index. `config` supplies the dataset binding — which must be the
+  /// dataset the bundle was built from (same modality and shape; it is
+  /// still consulted for re-ranking / verification) — plus the runtime
+  /// knobs (K, CandidateK, Selector, Device, Devices(n), backend knobs...),
+  /// which compose exactly like Create: a bundle opened with Devices(n)
+  /// shards onto the multi-device tier. Transform-side knobs (Seed,
+  /// HashFunctions, RehashDomain, Ngram, VectorFamily / SetFamily) are
+  /// ignored — that state comes from the bundle. Compiled bundles carry
+  /// their own index: open them with a config that has no dataset binding.
+  /// Corrupted or truncated bundles fail with InvalidArgument.
+  static Result<std::unique_ptr<Engine>> Open(const std::string& path,
+                                              EngineConfig config);
+
   /// Validates the request (payload kind, non-empty batch, dimensions)
   /// and answers it. Every modality reports errors through the same
   /// Status contract.
@@ -230,6 +264,10 @@ class Engine {
   struct AsyncTracker;
 
   Engine(EngineConfig config, std::unique_ptr<Searcher> searcher);
+
+  /// Knob validation shared by Create and Open (everything but the
+  /// dataset-binding requirement).
+  static Status ValidateCommonKnobs(const EngineConfig& config);
 
   /// Shared request validation of Search / SearchStream.
   Status ValidateRequest(const SearchRequest& request) const;

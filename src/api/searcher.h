@@ -12,6 +12,8 @@
 #include "api/engine.h"
 #include "api/types.h"
 #include "common/result.h"
+#include "common/serialize.h"
+#include "index/inverted_index.h"
 
 namespace genie {
 
@@ -40,6 +42,20 @@ class Searcher {
     (void)memory_fraction;
     return 0;
   }
+
+  /// Bundle persistence (Engine::Save): writes the modality-specific
+  /// query-side state — LSH family coefficients + re-hash seeds, n-gram
+  /// vocabulary, token universe, column layout — that a reopened engine
+  /// needs to compile queries exactly like this one. Default: this
+  /// searcher cannot be persisted.
+  virtual Status SerializeBundleMeta(serialize::Writer* writer) const {
+    (void)writer;
+    return Status::Unimplemented("this engine does not support Save");
+  }
+
+  /// The inverted index Engine::Save embeds in the bundle; nullptr when
+  /// the searcher cannot be persisted.
+  virtual const InvertedIndex* BundleIndex() const { return nullptr; }
 };
 
 /// Factory per modality; each reads its dataset binding and knobs from the
@@ -54,5 +70,23 @@ Result<std::unique_ptr<Searcher>> MakeRelationalSearcher(
     const EngineConfig& config);
 Result<std::unique_ptr<Searcher>> MakeCompiledSearcher(
     const EngineConfig& config);
+
+/// Bundle-open factories (Engine::Open): reassemble a modality searcher
+/// from the bundle's deserialized meta state + loaded index, re-binding the
+/// config's dataset for re-ranking / verification. Each factory consumes
+/// the whole meta blob (trailing bytes are InvalidArgument) and validates
+/// the rebound dataset against the saved shape.
+Result<std::unique_ptr<Searcher>> OpenPointsSearcher(
+    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index);
+Result<std::unique_ptr<Searcher>> OpenSetsSearcher(
+    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index);
+Result<std::unique_ptr<Searcher>> OpenSequencesSearcher(
+    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index);
+Result<std::unique_ptr<Searcher>> OpenDocumentsSearcher(
+    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index);
+Result<std::unique_ptr<Searcher>> OpenRelationalSearcher(
+    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index);
+Result<std::unique_ptr<Searcher>> OpenCompiledSearcher(
+    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index);
 
 }  // namespace genie

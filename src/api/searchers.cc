@@ -22,6 +22,11 @@ constexpr uint32_t kDefaultHashFunctions = 64;
 constexpr uint32_t kDefaultPointsRehashDomain = 8192;
 constexpr uint32_t kDefaultSetsRehashDomain = 1024;
 
+/// Bundle meta tags for the concrete LSH family types; caller-supplied
+/// custom families cannot be persisted (Save fails with Unimplemented).
+constexpr uint8_t kVectorFamilyE2Lsh = 1;
+constexpr uint8_t kSetFamilyMinHash = 1;
+
 MatchEngineOptions BaseEngineOptions(const EngineConfig& config) {
   MatchEngineOptions options;
   options.k = config.k();
@@ -204,6 +209,25 @@ class PointsSearcherImpl : public Searcher {
     return result;
   }
 
+  Status SerializeBundleMeta(serialize::Writer* writer) const override {
+    const auto* e2lsh = dynamic_cast<const lsh::E2LshFamily*>(
+        &searcher_->transformer().family());
+    if (e2lsh == nullptr) {
+      return Status::Unimplemented(
+          "only engines over the built-in E2LSH family support Save");
+    }
+    writer->U8(kVectorFamilyE2Lsh);
+    e2lsh->Serialize(writer);
+    searcher_->transformer().Serialize(writer);
+    writer->U32(points_->num_points());
+    writer->U32(points_->dim());
+    return Status::OK();
+  }
+
+  const InvertedIndex* BundleIndex() const override {
+    return &searcher_->index();
+  }
+
  private:
   const data::PointMatrix* points_;
   std::unique_ptr<lsh::LshSearcher> searcher_;
@@ -264,6 +288,29 @@ class SetsSearcherImpl : public Searcher {
     return result;
   }
 
+  Status SerializeBundleMeta(serialize::Writer* writer) const override {
+    const auto* min_hash =
+        dynamic_cast<const lsh::MinHashFamily*>(family_.get());
+    if (min_hash == nullptr) {
+      return Status::Unimplemented(
+          "only engines over the built-in MinHash family support Save");
+    }
+    writer->U8(kSetFamilyMinHash);
+    min_hash->Serialize(writer);
+    const lsh::LshTransformOptions& transform =
+        searcher_->transform_options();
+    writer->U32(transform.rehash_domain);
+    writer->U64(transform.seed);
+    writer->U8(transform.rehash ? 1 : 0);
+    writer->Vec(searcher_->rehash_seeds());
+    writer->U32(static_cast<uint32_t>(sets_->size()));
+    return Status::OK();
+  }
+
+  const InvertedIndex* BundleIndex() const override {
+    return &searcher_->index();
+  }
+
  private:
   const std::vector<std::vector<uint32_t>>* sets_;
   std::shared_ptr<const lsh::SetLshFamily> family_;
@@ -319,6 +366,17 @@ class SequencesSearcherImpl : public Searcher {
     return result;
   }
 
+  Status SerializeBundleMeta(serialize::Writer* writer) const override {
+    writer->U32(searcher_->ngram());
+    searcher_->vocabulary().Serialize(writer);
+    writer->U32(static_cast<uint32_t>(sequences_->size()));
+    return Status::OK();
+  }
+
+  const InvertedIndex* BundleIndex() const override {
+    return &searcher_->index();
+  }
+
  private:
   const std::vector<std::string>* sequences_;
   std::unique_ptr<sa::SequenceSearcher> searcher_;
@@ -364,6 +422,16 @@ class DocumentsSearcherImpl : public Searcher {
     return result;
   }
 
+  Status SerializeBundleMeta(serialize::Writer* writer) const override {
+    writer->U32(searcher_->vocab_size());
+    writer->U32(static_cast<uint32_t>(documents_->size()));
+    return Status::OK();
+  }
+
+  const InvertedIndex* BundleIndex() const override {
+    return &searcher_->index();
+  }
+
  private:
   const std::vector<std::vector<uint32_t>>* documents_;
   std::unique_ptr<sa::DocumentSearcher> searcher_;
@@ -406,6 +474,21 @@ class RelationalSearcherImpl : public Searcher {
     return result;
   }
 
+  Status SerializeBundleMeta(serialize::Writer* writer) const override {
+    writer->U32(table_->num_rows());
+    const DimValueEncoder& encoder = searcher_->encoder();
+    std::vector<uint32_t> cardinalities(encoder.num_dims());
+    for (uint32_t d = 0; d < encoder.num_dims(); ++d) {
+      cardinalities[d] = encoder.buckets(d);
+    }
+    writer->Vec(cardinalities);
+    return Status::OK();
+  }
+
+  const InvertedIndex* BundleIndex() const override {
+    return &searcher_->index();
+  }
+
  private:
   const sa::RelationalTable* table_;
   std::unique_ptr<sa::RelationalSearcher> searcher_;
@@ -421,6 +504,18 @@ class CompiledSearcherImpl : public Searcher {
   CompiledSearcherImpl(const InvertedIndex* index,
                        std::unique_ptr<EngineBackend> backend)
       : index_(index), backend_(std::move(backend)) {}
+
+  /// Bundle-open mode: the searcher owns the loaded index (a bundle has no
+  /// caller-held index to borrow). Two-phase: construct, then create the
+  /// backend over index() — the member's address is stable from here on.
+  explicit CompiledSearcherImpl(InvertedIndex owned)
+      : owned_index_(std::move(owned)), index_(&owned_index_) {}
+
+  void AdoptBackend(std::unique_ptr<EngineBackend> backend) {
+    backend_ = std::move(backend);
+  }
+
+  const InvertedIndex& index() const { return *index_; }
 
   Modality modality() const override { return Modality::kCompiled; }
   uint32_t num_objects() const override { return index_->num_objects(); }
@@ -461,11 +556,69 @@ class CompiledSearcherImpl : public Searcher {
                                 per_query, memory_fraction);
   }
 
+  Status SerializeBundleMeta(serialize::Writer* writer) const override {
+    (void)writer;  // the index is the whole state
+    return Status::OK();
+  }
+
+  const InvertedIndex* BundleIndex() const override { return index_; }
+
  private:
+  InvertedIndex owned_index_;
   const InvertedIndex* index_;
   std::unique_ptr<EngineBackend> backend_;
   std::mutex mu_;
 };
+
+/// The runtime (non-transform) LshSearchOptions shared by create and open.
+lsh::LshSearchOptions PointsRuntimeOptions(const EngineConfig& config) {
+  lsh::LshSearchOptions options;
+  options.transform.rehash_domain = config.rehash_domain() > 0
+                                        ? config.rehash_domain()
+                                        : kDefaultPointsRehashDomain;
+  options.transform.seed = config.seed();
+  options.engine = BaseEngineOptions(config);
+  options.engine.k =
+      config.exact_rerank() ? CandidatePoolSize(config) : config.k();
+  options.build = BuildOptions(config);
+  options.backend = BackendOptions(config);
+  return options;
+}
+
+lsh::SetSearchOptions SetsRuntimeOptions(const EngineConfig& config) {
+  lsh::SetSearchOptions options;
+  options.transform.rehash_domain = config.rehash_domain() > 0
+                                        ? config.rehash_domain()
+                                        : kDefaultSetsRehashDomain;
+  options.transform.seed = config.seed();
+  options.engine = BaseEngineOptions(config);
+  options.engine.k =
+      config.exact_rerank() ? CandidatePoolSize(config) : config.k();
+  options.build = BuildOptions(config);
+  options.backend = BackendOptions(config);
+  return options;
+}
+
+sa::SequenceSearchOptions SequencesRuntimeOptions(const EngineConfig& config) {
+  sa::SequenceSearchOptions options;
+  options.ngram = config.ngram();
+  options.k = config.k();
+  options.candidate_k = CandidatePoolSize(config);
+  options.escalate_until_exact = config.escalate_until_exact();
+  options.max_candidate_k =
+      std::max(config.max_candidate_k(), options.candidate_k);
+  options.engine = BaseEngineOptions(config);
+  options.backend = BackendOptions(config);
+  return options;
+}
+
+sa::DocumentSearchOptions DocumentsRuntimeOptions(const EngineConfig& config) {
+  sa::DocumentSearchOptions options;
+  options.k = config.k();
+  options.engine = BaseEngineOptions(config);
+  options.backend = BackendOptions(config);
+  return options;
+}
 
 }  // namespace
 
@@ -495,16 +648,7 @@ Result<std::unique_ptr<Searcher>> MakePointsSearcher(
     family = std::shared_ptr<const lsh::VectorLshFamily>(std::move(e2lsh));
   }
 
-  lsh::LshSearchOptions options;
-  options.transform.rehash_domain = config.rehash_domain() > 0
-                                        ? config.rehash_domain()
-                                        : kDefaultPointsRehashDomain;
-  options.transform.seed = config.seed();
-  options.engine = BaseEngineOptions(config);
-  options.engine.k =
-      config.exact_rerank() ? CandidatePoolSize(config) : config.k();
-  options.build = BuildOptions(config);
-  options.backend = BackendOptions(config);
+  lsh::LshSearchOptions options = PointsRuntimeOptions(config);
   GENIE_ASSIGN_OR_RETURN(std::unique_ptr<lsh::LshSearcher> searcher,
                          lsh::LshSearcher::Create(points, family, options));
   return std::unique_ptr<Searcher>(new PointsSearcherImpl(
@@ -529,16 +673,7 @@ Result<std::unique_ptr<Searcher>> MakeSetsSearcher(const EngineConfig& config) {
     family = std::shared_ptr<const lsh::SetLshFamily>(std::move(min_hash));
   }
 
-  lsh::SetSearchOptions options;
-  options.transform.rehash_domain = config.rehash_domain() > 0
-                                        ? config.rehash_domain()
-                                        : kDefaultSetsRehashDomain;
-  options.transform.seed = config.seed();
-  options.engine = BaseEngineOptions(config);
-  options.engine.k =
-      config.exact_rerank() ? CandidatePoolSize(config) : config.k();
-  options.build = BuildOptions(config);
-  options.backend = BackendOptions(config);
+  lsh::SetSearchOptions options = SetsRuntimeOptions(config);
   GENIE_ASSIGN_OR_RETURN(std::unique_ptr<lsh::SetLshSearcher> searcher,
                          lsh::SetLshSearcher::Create(sets, family, options));
   return std::unique_ptr<Searcher>(
@@ -556,15 +691,7 @@ Result<std::unique_ptr<Searcher>> MakeSequencesSearcher(
     return Status::InvalidArgument("sequences dataset is empty");
   }
 
-  sa::SequenceSearchOptions options;
-  options.ngram = config.ngram();
-  options.k = config.k();
-  options.candidate_k = CandidatePoolSize(config);
-  options.escalate_until_exact = config.escalate_until_exact();
-  options.max_candidate_k =
-      std::max(config.max_candidate_k(), options.candidate_k);
-  options.engine = BaseEngineOptions(config);
-  options.backend = BackendOptions(config);
+  sa::SequenceSearchOptions options = SequencesRuntimeOptions(config);
   GENIE_ASSIGN_OR_RETURN(std::unique_ptr<sa::SequenceSearcher> searcher,
                          sa::SequenceSearcher::Create(sequences, options));
   return std::unique_ptr<Searcher>(
@@ -581,10 +708,7 @@ Result<std::unique_ptr<Searcher>> MakeDocumentsSearcher(
     return Status::InvalidArgument("documents dataset is empty");
   }
 
-  sa::DocumentSearchOptions options;
-  options.k = config.k();
-  options.engine = BaseEngineOptions(config);
-  options.backend = BackendOptions(config);
+  sa::DocumentSearchOptions options = DocumentsRuntimeOptions(config);
   GENIE_ASSIGN_OR_RETURN(std::unique_ptr<sa::DocumentSearcher> searcher,
                          sa::DocumentSearcher::Create(documents, options));
   return std::unique_ptr<Searcher>(
@@ -615,6 +739,193 @@ Result<std::unique_ptr<Searcher>> MakeCompiledSearcher(
                             BackendOptions(config)));
   return std::unique_ptr<Searcher>(
       new CompiledSearcherImpl(index, std::move(backend)));
+}
+
+// ---------------------------------------------------------------------------
+// Bundle-open factories
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Searcher>> OpenPointsSearcher(
+    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index) {
+  const data::PointMatrix* points = config.points();
+  if (points == nullptr) {
+    return Status::InvalidArgument(
+        "opening a points bundle requires the Points dataset binding");
+  }
+
+  uint8_t family_tag = 0;
+  GENIE_RETURN_NOT_OK(meta->U8(&family_tag));
+  if (family_tag != kVectorFamilyE2Lsh) {
+    return Status::InvalidArgument("unknown vector LSH family in bundle");
+  }
+  GENIE_ASSIGN_OR_RETURN(std::unique_ptr<lsh::E2LshFamily> e2lsh,
+                         lsh::E2LshFamily::Deserialize(meta));
+  const uint32_t family_dim = e2lsh->options().dim;
+  std::shared_ptr<const lsh::VectorLshFamily> family(std::move(e2lsh));
+  GENIE_ASSIGN_OR_RETURN(lsh::LshTransformer transformer,
+                         lsh::LshTransformer::Deserialize(family, meta));
+  uint32_t num_objects = 0;
+  uint32_t dim = 0;
+  GENIE_RETURN_NOT_OK(meta->U32(&num_objects));
+  GENIE_RETURN_NOT_OK(meta->U32(&dim));
+  GENIE_RETURN_NOT_OK(meta->ExpectEnd());
+  // A crafted bundle (valid checksum, inconsistent fields) whose family
+  // dimension disagrees with the dataset dimension would otherwise only
+  // surface at query time as a fatal dimension check inside RawHash.
+  if (family_dim != dim) {
+    return Status::InvalidArgument(
+        "bundle LSH family dimension does not match the saved dataset "
+        "dimension");
+  }
+  if (points->num_points() != num_objects || points->dim() != dim) {
+    return Status::InvalidArgument(
+        "rebound points dataset does not match the saved engine");
+  }
+
+  GENIE_ASSIGN_OR_RETURN(
+      std::unique_ptr<lsh::LshSearcher> searcher,
+      lsh::LshSearcher::Restore(points, std::move(transformer),
+                                std::move(index),
+                                PointsRuntimeOptions(config)));
+  return std::unique_ptr<Searcher>(new PointsSearcherImpl(
+      points, std::move(searcher), config.k(), config.exact_rerank(),
+      config.metric_p()));
+}
+
+Result<std::unique_ptr<Searcher>> OpenSetsSearcher(
+    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index) {
+  const std::vector<std::vector<uint32_t>>* sets = config.sets();
+  if (sets == nullptr) {
+    return Status::InvalidArgument(
+        "opening a sets bundle requires the Sets dataset binding");
+  }
+
+  uint8_t family_tag = 0;
+  GENIE_RETURN_NOT_OK(meta->U8(&family_tag));
+  if (family_tag != kSetFamilyMinHash) {
+    return Status::InvalidArgument("unknown set LSH family in bundle");
+  }
+  GENIE_ASSIGN_OR_RETURN(std::unique_ptr<lsh::MinHashFamily> min_hash,
+                         lsh::MinHashFamily::Deserialize(meta));
+  std::shared_ptr<const lsh::SetLshFamily> family(std::move(min_hash));
+
+  // The saved transform state overrides the config's transform knobs: the
+  // reopened engine must hash exactly like the saved one.
+  lsh::SetSearchOptions options = SetsRuntimeOptions(config);
+  uint8_t rehash = 0;
+  GENIE_RETURN_NOT_OK(meta->U32(&options.transform.rehash_domain));
+  GENIE_RETURN_NOT_OK(meta->U64(&options.transform.seed));
+  GENIE_RETURN_NOT_OK(meta->U8(&rehash));
+  options.transform.rehash = rehash != 0;
+  std::vector<uint64_t> rehash_seeds;
+  GENIE_RETURN_NOT_OK(meta->Vec(&rehash_seeds));
+  uint32_t num_objects = 0;
+  GENIE_RETURN_NOT_OK(meta->U32(&num_objects));
+  GENIE_RETURN_NOT_OK(meta->ExpectEnd());
+  if (sets->size() != num_objects) {
+    return Status::InvalidArgument(
+        "rebound sets dataset does not match the saved engine");
+  }
+
+  GENIE_ASSIGN_OR_RETURN(
+      std::unique_ptr<lsh::SetLshSearcher> searcher,
+      lsh::SetLshSearcher::Restore(sets, family, options,
+                                   std::move(rehash_seeds),
+                                   std::move(index)));
+  return std::unique_ptr<Searcher>(
+      new SetsSearcherImpl(sets, std::move(family), std::move(searcher),
+                           config.k(), config.exact_rerank()));
+}
+
+Result<std::unique_ptr<Searcher>> OpenSequencesSearcher(
+    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index) {
+  const std::vector<std::string>* sequences = config.sequences();
+  if (sequences == nullptr) {
+    return Status::InvalidArgument(
+        "opening a sequences bundle requires the Sequences dataset binding");
+  }
+
+  sa::SequenceSearchOptions options = SequencesRuntimeOptions(config);
+  GENIE_RETURN_NOT_OK(meta->U32(&options.ngram));
+  GENIE_ASSIGN_OR_RETURN(StringVocabulary vocab,
+                         StringVocabulary::Deserialize(meta));
+  uint32_t num_objects = 0;
+  GENIE_RETURN_NOT_OK(meta->U32(&num_objects));
+  GENIE_RETURN_NOT_OK(meta->ExpectEnd());
+  if (sequences->size() != num_objects) {
+    return Status::InvalidArgument(
+        "rebound sequences dataset does not match the saved engine");
+  }
+
+  GENIE_ASSIGN_OR_RETURN(
+      std::unique_ptr<sa::SequenceSearcher> searcher,
+      sa::SequenceSearcher::Restore(sequences, options, std::move(vocab),
+                                    std::move(index)));
+  return std::unique_ptr<Searcher>(
+      new SequencesSearcherImpl(sequences, std::move(searcher), config.k()));
+}
+
+Result<std::unique_ptr<Searcher>> OpenDocumentsSearcher(
+    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index) {
+  const std::vector<std::vector<uint32_t>>* documents = config.documents();
+  if (documents == nullptr) {
+    return Status::InvalidArgument(
+        "opening a documents bundle requires the Documents dataset binding");
+  }
+
+  uint32_t vocab_size = 0;
+  uint32_t num_objects = 0;
+  GENIE_RETURN_NOT_OK(meta->U32(&vocab_size));
+  GENIE_RETURN_NOT_OK(meta->U32(&num_objects));
+  GENIE_RETURN_NOT_OK(meta->ExpectEnd());
+  if (documents->size() != num_objects) {
+    return Status::InvalidArgument(
+        "rebound documents dataset does not match the saved engine");
+  }
+
+  GENIE_ASSIGN_OR_RETURN(
+      std::unique_ptr<sa::DocumentSearcher> searcher,
+      sa::DocumentSearcher::Restore(documents, DocumentsRuntimeOptions(config),
+                                    vocab_size, std::move(index)));
+  return std::unique_ptr<Searcher>(
+      new DocumentsSearcherImpl(documents, std::move(searcher)));
+}
+
+Result<std::unique_ptr<Searcher>> OpenRelationalSearcher(
+    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index) {
+  const sa::RelationalTable* table = config.table();
+  if (table == nullptr) {
+    return Status::InvalidArgument(
+        "opening a relational bundle requires the Table dataset binding");
+  }
+
+  uint32_t num_rows = 0;
+  std::vector<uint32_t> cardinalities;
+  GENIE_RETURN_NOT_OK(meta->U32(&num_rows));
+  GENIE_RETURN_NOT_OK(meta->Vec(&cardinalities));
+  GENIE_RETURN_NOT_OK(meta->ExpectEnd());
+
+  GENIE_ASSIGN_OR_RETURN(
+      std::unique_ptr<sa::RelationalSearcher> searcher,
+      sa::RelationalSearcher::Restore(table, config.k(), cardinalities,
+                                      num_rows, std::move(index),
+                                      BaseEngineOptions(config),
+                                      BuildOptions(config),
+                                      BackendOptions(config)));
+  return std::unique_ptr<Searcher>(
+      new RelationalSearcherImpl(table, std::move(searcher)));
+}
+
+Result<std::unique_ptr<Searcher>> OpenCompiledSearcher(
+    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index) {
+  GENIE_RETURN_NOT_OK(meta->ExpectEnd());
+  auto impl = std::make_unique<CompiledSearcherImpl>(std::move(index));
+  GENIE_ASSIGN_OR_RETURN(
+      std::unique_ptr<EngineBackend> backend,
+      EngineBackend::Create(&impl->index(), BaseEngineOptions(config),
+                            BackendOptions(config)));
+  impl->AdoptBackend(std::move(backend));
+  return std::unique_ptr<Searcher>(std::move(impl));
 }
 
 }  // namespace genie

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file file_util.h
+/// Small shared file-IO helpers for the binary (de)serialization paths
+/// (index_io, engine bundles): RAII FILE ownership, size probing, raw POD
+/// reads, and the checked-write sequence that verifies stream health
+/// through the final flush (buffered writes only hit the OS at flush time,
+/// so a full disk would otherwise leave a truncated file behind a clean
+/// return).
+
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace genie {
+namespace file_util {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Size of the already-open file, restoring the read position.
+inline Result<uint64_t> FileBytes(std::FILE* f, const std::string& path) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::Internal("cannot seek: " + path);
+  }
+  const long end = std::ftell(f);
+  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) {
+    return Status::Internal("cannot seek: " + path);
+  }
+  return static_cast<uint64_t>(end);
+}
+
+/// Reads one trivially-copyable value; false on short read.
+template <typename T>
+bool ReadPod(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+/// Writes the concatenation of `pieces` to `path`, replacing any existing
+/// file, and verifies stream health through the final flush. IOError on
+/// any failure (cannot open, short write, full disk).
+inline Status WriteFileChecked(const std::string& path,
+                               std::initializer_list<std::string_view> pieces) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  for (const std::string_view piece : pieces) {
+    if (!piece.empty() &&
+        std::fwrite(piece.data(), 1, piece.size(), f.get()) != piece.size()) {
+      return Status::IOError("short write to " + path);
+    }
+  }
+  if (std::fflush(f.get()) != 0 || std::ferror(f.get())) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace file_util
+}  // namespace genie

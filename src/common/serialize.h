@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file serialize.h
+/// Little-endian byte-blob (de)serialization for persisted engine state
+/// (bundle metadata, LSH parameters, vocabularies). Writer appends into a
+/// growable buffer; Reader is fully bounds-checked and reports malformed or
+/// truncated input through Status — it never reads past the blob, so it is
+/// safe on hostile bytes (the bundle loader verifies a checksum first, but
+/// the reader does not rely on that).
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace genie {
+namespace serialize {
+
+class Writer {
+ public:
+  void U8(uint8_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+
+  /// Unprefixed raw bytes (fixed-layout headers; readers know the length).
+  void Bytes(const void* data, size_t len) { Raw(data, len); }
+
+  /// u64 length prefix + bytes.
+  void String(std::string_view s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+
+  /// u64 element count + raw little-endian elements.
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    U64(v.size());
+    Raw(v.data(), v.size() * sizeof(T));
+  }
+
+  const std::string& data() const { return out_; }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    if (n != 0) out_.append(static_cast<const char*>(p), n);
+  }
+
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view blob) : blob_(blob) {}
+
+  Status U8(uint8_t* v) { return Pod(v); }
+  Status U32(uint32_t* v) { return Pod(v); }
+  Status U64(uint64_t* v) { return Pod(v); }
+  Status F64(double* v) { return Pod(v); }
+
+  Status String(std::string* s) {
+    uint64_t n = 0;
+    GENIE_RETURN_NOT_OK(U64(&n));
+    if (n > remaining()) {
+      return Status::InvalidArgument("serialized string exceeds blob");
+    }
+    s->assign(blob_.data() + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return Status::OK();
+  }
+
+  /// The count is bounded against the bytes left before any allocation, so
+  /// a forged multi-terabyte count cannot drive resize() into bad_alloc.
+  template <typename T>
+  Status Vec(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    GENIE_RETURN_NOT_OK(U64(&n));
+    if (n > remaining() / sizeof(T)) {
+      return Status::InvalidArgument("serialized array exceeds blob");
+    }
+    v->resize(static_cast<size_t>(n));
+    if (n != 0) {
+      std::memcpy(v->data(), blob_.data() + pos_,
+                  static_cast<size_t>(n) * sizeof(T));
+      pos_ += static_cast<size_t>(n) * sizeof(T);
+    }
+    return Status::OK();
+  }
+
+  size_t remaining() const { return blob_.size() - pos_; }
+
+  /// Trailing bytes after the last expected field are a format violation.
+  Status ExpectEnd() const {
+    if (pos_ != blob_.size()) {
+      return Status::InvalidArgument("trailing bytes in serialized blob");
+    }
+    return Status::OK();
+  }
+
+ private:
+  template <typename T>
+  Status Pod(T* v) {
+    if (remaining() < sizeof(T)) {
+      return Status::InvalidArgument("truncated serialized blob");
+    }
+    std::memcpy(v, blob_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  std::string_view blob_;
+  size_t pos_ = 0;
+};
+
+}  // namespace serialize
+}  // namespace genie

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kIOError:
+      return "IOError";
   }
   return "Unknown";
 }
@@ -47,6 +49,9 @@ Status Status::Internal(std::string msg) {
 }
 Status Status::Unimplemented(std::string msg) {
   return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+Status Status::IOError(std::string msg) {
+  return Status(StatusCode::kIOError, std::move(msg));
 }
 
 std::string Status::ToString() const {

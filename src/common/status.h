@@ -21,6 +21,7 @@ enum class StatusCode : uint8_t {
   kResourceExhausted,
   kInternal,
   kUnimplemented,
+  kIOError,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -40,6 +41,7 @@ class Status {
   static Status ResourceExhausted(std::string msg);
   static Status Internal(std::string msg);
   static Status Unimplemented(std::string msg);
+  static Status IOError(std::string msg);
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <memory>
 
+#include "common/file_util.h"
 #include "index/varint.h"
 #include "lsh/murmur3.h"
 
@@ -15,38 +16,52 @@ namespace {
 constexpr char kMagicV1[8] = {'G', 'N', 'I', 'E', 'I', 'D', 'X', '1'};
 constexpr char kMagicV2[8] = {'G', 'N', 'I', 'E', 'I', 'D', 'X', '2'};
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+using file_util::FileBytes;
+using file_util::FilePtr;
 
-template <typename T>
-bool WritePod(std::FILE* f, const T& v) {
-  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+/// A sink is `bool operator()(const void* data, size_t len)` returning
+/// false on a failed write; the one writer implementation below streams
+/// into a FILE (SaveIndex — no full-image buffering) or a std::string
+/// (SaveIndexToBuffer, for embedding in bundles).
+template <typename Sink, typename T>
+bool SinkPod(Sink&& sink, const T& v) {
+  return sink(&v, sizeof(T));
 }
-template <typename T>
-bool WriteArray(std::FILE* f, const std::vector<T>& v) {
-  return v.empty() || std::fwrite(v.data(), sizeof(T), v.size(), f) == v.size();
+template <typename Sink, typename T>
+bool SinkArray(Sink&& sink, const std::vector<T>& v) {
+  return v.empty() || sink(v.data(), v.size() * sizeof(T));
 }
+
+/// Reads sizeof(T) bytes after bounding against the section end, so header
+/// fields of an embedded stream can never read into the enclosing
+/// container's bytes.
 template <typename T>
-bool ReadPod(std::FILE* f, T* v) {
-  return std::fread(v, sizeof(T), 1, f) == 1;
+Status ReadPodBounded(std::FILE* f, T* v, uint64_t end_offset,
+                      const std::string& path) {
+  const long pos = std::ftell(f);
+  if (pos < 0) return Status::Internal("cannot determine read position: " + path);
+  if (static_cast<uint64_t>(pos) + sizeof(T) > end_offset) {
+    return Status::InvalidArgument("truncated index data: " + path);
+  }
+  if (std::fread(v, sizeof(T), 1, f) != 1) {
+    return Status::InvalidArgument("truncated index data: " + path);
+  }
+  return Status::OK();
 }
 
 /// Reads `count` elements after bounding `count` against the bytes left in
-/// the file. Counts come straight from the (possibly truncated or hostile)
-/// header; resizing first would let a forged multi-terabyte count drive the
-/// vector into a huge allocation / std::bad_alloc before any checksum runs.
+/// the section. Counts come straight from the (possibly truncated or
+/// hostile) header; resizing first would let a forged multi-terabyte count
+/// drive the vector into a huge allocation / std::bad_alloc before any
+/// checksum runs.
 template <typename T>
 Status ReadBoundedArray(std::FILE* f, std::vector<T>* v, uint64_t count,
-                        uint64_t file_bytes, const std::string& path) {
+                        uint64_t end_offset, const std::string& path) {
   const long pos = std::ftell(f);
-  if (pos < 0 || static_cast<uint64_t>(pos) > file_bytes) {
+  if (pos < 0 || static_cast<uint64_t>(pos) > end_offset) {
     return Status::Internal("cannot determine read position: " + path);
   }
-  const uint64_t remaining = file_bytes - static_cast<uint64_t>(pos);
+  const uint64_t remaining = end_offset - static_cast<uint64_t>(pos);
   if (count > remaining / sizeof(T)) {
     return Status::InvalidArgument("header count exceeds file size: " + path);
   }
@@ -55,19 +70,6 @@ Status ReadBoundedArray(std::FILE* f, std::vector<T>* v, uint64_t count,
     return Status::InvalidArgument("truncated index data: " + path);
   }
   return Status::OK();
-}
-
-/// Size of the already-open file, restoring the read position.
-Result<uint64_t> FileBytes(std::FILE* f, const std::string& path) {
-  const long pos = std::ftell(f);
-  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) {
-    return Status::Internal("cannot seek: " + path);
-  }
-  const long end = std::ftell(f);
-  if (end < 0 || std::fseek(f, pos, SEEK_SET) != 0) {
-    return Status::Internal("cannot seek: " + path);
-  }
-  return static_cast<uint64_t>(end);
 }
 
 template <typename T>
@@ -91,10 +93,81 @@ struct Header {
   uint64_t keyword_count = 0;
 };
 
-bool WriteHeader(std::FILE* f, const char* magic, const Header& h) {
-  return std::fwrite(magic, 1, 8, f) == 8 && WritePod(f, h.num_objects) &&
-         WritePod(f, h.max_list_length) && WritePod(f, h.postings_count) &&
-         WritePod(f, h.offsets_count) && WritePod(f, h.keyword_count);
+template <typename Sink>
+bool SinkHeader(Sink&& sink, const char* magic, const Header& h) {
+  return sink(magic, 8) && SinkPod(sink, h.num_objects) &&
+         SinkPod(sink, h.max_list_length) && SinkPod(sink, h.postings_count) &&
+         SinkPod(sink, h.offsets_count) && SinkPod(sink, h.keyword_count);
+}
+
+/// The one index writer: streams the exact SaveIndex / SaveIndexCompressed
+/// byte sequence into `sink`. A false return from the sink maps to IOError
+/// (`context` names the destination in the message).
+template <typename Sink>
+Status WriteIndexTo(Sink&& sink, const Header& h,
+                    const std::vector<ObjectId>& postings,
+                    const std::vector<uint32_t>& list_offsets,
+                    const std::vector<uint32_t>& keyword_first_list,
+                    bool compressed, const std::string& context) {
+  bool ok;
+  if (compressed) {
+    // Compress per (sub)list so decoding can re-delimit via list_offsets;
+    // built before the first sink write, so an incompressible index (or
+    // one added out of id order) fails without touching the destination.
+    std::vector<uint8_t> blob;
+    blob.reserve(postings.size());  // postings rarely expand past 1B/id
+    for (size_t l = 0; l + 1 < list_offsets.size(); ++l) {
+      GENIE_RETURN_NOT_OK(varint::EncodeDeltaAscending(
+          std::span<const uint32_t>(postings).subspan(
+              list_offsets[l], list_offsets[l + 1] - list_offsets[l]),
+          &blob));
+    }
+    ok = SinkHeader(sink, kMagicV2, h) &&
+         SinkPod(sink, static_cast<uint64_t>(blob.size())) &&
+         SinkArray(sink, blob);
+  } else {
+    ok = SinkHeader(sink, kMagicV1, h) && SinkArray(sink, postings);
+  }
+  ok = ok && SinkArray(sink, list_offsets) &&
+       SinkArray(sink, keyword_first_list) &&
+       SinkPod(sink,
+               IndexChecksum(postings, list_offsets, keyword_first_list));
+  if (!ok) return Status::IOError("short write to " + context);
+  return Status::OK();
+}
+
+/// File-backed save shared by SaveIndex / SaveIndexCompressed: streams
+/// straight from the index's own buffers (no full-image copy) and verifies
+/// stream health through the final flush, so a full disk reports IOError
+/// instead of leaving a truncated-but-"OK" file. The file is opened
+/// lazily on the first write, so a failed compression never creates it.
+Status SaveIndexToFileImpl(const Header& h,
+                           const std::vector<ObjectId>& postings,
+                           const std::vector<uint32_t>& list_offsets,
+                           const std::vector<uint32_t>& keyword_first_list,
+                           bool compressed, const std::string& path) {
+  FilePtr f;
+  bool open_failed = false;
+  auto sink = [&](const void* data, size_t len) {
+    if (f == nullptr) {
+      f.reset(std::fopen(path.c_str(), "wb"));
+      if (f == nullptr) {
+        open_failed = true;
+        return false;
+      }
+    }
+    return std::fwrite(data, 1, len, f.get()) == len;
+  };
+  const Status written = WriteIndexTo(sink, h, postings, list_offsets,
+                                      keyword_first_list, compressed, path);
+  if (!written.ok()) {
+    return open_failed ? Status::IOError("cannot open for writing: " + path)
+                       : written;
+  }
+  if (std::fflush(f.get()) != 0 || std::ferror(f.get())) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
 }
 
 Status ValidateStructure(const InvertedIndex& index, const std::string& path,
@@ -115,70 +188,64 @@ Status ValidateStructure(const InvertedIndex& index, const std::string& path,
   return Status::OK();
 }
 
+Header HeaderOf(uint32_t num_objects, uint32_t max_list_length,
+                size_t postings_count, size_t offsets_count,
+                size_t keyword_count) {
+  Header h;
+  h.num_objects = num_objects;
+  h.max_list_length = max_list_length;
+  h.postings_count = postings_count;
+  h.offsets_count = offsets_count;
+  h.keyword_count = keyword_count;
+  return h;
+}
+
 }  // namespace
 
+Status SaveIndexToBuffer(const InvertedIndex& index, bool compressed,
+                         std::string* out) {
+  out->clear();
+  auto sink = [out](const void* data, size_t len) {
+    out->append(static_cast<const char*>(data), len);
+    return true;
+  };
+  return WriteIndexTo(
+      sink,
+      HeaderOf(index.num_objects_, index.max_list_length_,
+               index.postings_.size(), index.list_offsets_.size(),
+               index.keyword_first_list_.size()),
+      index.postings_, index.list_offsets_, index.keyword_first_list_,
+      compressed, "<buffer>");
+}
+
 Status SaveIndex(const InvertedIndex& index, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return Status::Internal("cannot open for writing: " + path);
-  }
-  Header h;
-  h.num_objects = index.num_objects_;
-  h.max_list_length = index.max_list_length_;
-  h.postings_count = index.postings_.size();
-  h.offsets_count = index.list_offsets_.size();
-  h.keyword_count = index.keyword_first_list_.size();
-  bool ok = WriteHeader(f.get(), kMagicV1, h);
-  ok = ok && WriteArray(f.get(), index.postings_);
-  ok = ok && WriteArray(f.get(), index.list_offsets_);
-  ok = ok && WriteArray(f.get(), index.keyword_first_list_);
-  ok = ok && WritePod(f.get(),
-                      IndexChecksum(index.postings_, index.list_offsets_,
-                                    index.keyword_first_list_));
-  if (!ok) return Status::Internal("short write to " + path);
-  return Status::OK();
+  return SaveIndexToFileImpl(
+      HeaderOf(index.num_objects_, index.max_list_length_,
+               index.postings_.size(), index.list_offsets_.size(),
+               index.keyword_first_list_.size()),
+      index.postings_, index.list_offsets_, index.keyword_first_list_,
+      /*compressed=*/false, path);
 }
 
 Status SaveIndexCompressed(const InvertedIndex& index,
                            const std::string& path) {
-  // Compress per (sub)list so decoding can re-delimit via list_offsets.
-  std::vector<uint8_t> blob;
-  blob.reserve(index.postings_.size());  // postings rarely expand past 1B/id
-  for (uint32_t l = 0; l < index.num_lists(); ++l) {
-    const auto ref = index.List(l);
-    GENIE_RETURN_NOT_OK(varint::EncodeDeltaAscending(
-        std::span<const uint32_t>(index.postings_)
-            .subspan(ref.begin, ref.length()),
-        &blob));
-  }
-
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return Status::Internal("cannot open for writing: " + path);
-  }
-  Header h;
-  h.num_objects = index.num_objects_;
-  h.max_list_length = index.max_list_length_;
-  h.postings_count = index.postings_.size();
-  h.offsets_count = index.list_offsets_.size();
-  h.keyword_count = index.keyword_first_list_.size();
-  bool ok = WriteHeader(f.get(), kMagicV2, h);
-  ok = ok && WritePod(f.get(), static_cast<uint64_t>(blob.size()));
-  ok = ok && WriteArray(f.get(), blob);
-  ok = ok && WriteArray(f.get(), index.list_offsets_);
-  ok = ok && WriteArray(f.get(), index.keyword_first_list_);
-  ok = ok && WritePod(f.get(),
-                      IndexChecksum(index.postings_, index.list_offsets_,
-                                    index.keyword_first_list_));
-  if (!ok) return Status::Internal("short write to " + path);
-  return Status::OK();
+  return SaveIndexToFileImpl(
+      HeaderOf(index.num_objects_, index.max_list_length_,
+               index.postings_.size(), index.list_offsets_.size(),
+               index.keyword_first_list_.size()),
+      index.postings_, index.list_offsets_, index.keyword_first_list_,
+      /*compressed=*/true, path);
 }
 
-Result<InvertedIndex> LoadIndex(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) return Status::NotFound("cannot open: " + path);
+Result<InvertedIndex> LoadIndexFromStream(std::FILE* f, uint64_t end_offset,
+                                          const std::string& path) {
+  const long stream_start = std::ftell(f);
+  if (stream_start < 0 || static_cast<uint64_t>(stream_start) > end_offset) {
+    return Status::Internal("cannot determine read position: " + path);
+  }
   char magic[8];
-  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic)) {
+  if (static_cast<uint64_t>(stream_start) + sizeof(magic) > end_offset ||
+      std::fread(magic, 1, sizeof(magic), f) != sizeof(magic)) {
     return Status::InvalidArgument("not a GENIE index file: " + path);
   }
   const bool compressed = std::memcmp(magic, kMagicV2, 8) == 0;
@@ -186,15 +253,14 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
     return Status::InvalidArgument("not a GENIE index file: " + path);
   }
 
-  GENIE_ASSIGN_OR_RETURN(const uint64_t file_bytes, FileBytes(f.get(), path));
-
   InvertedIndex index;
   Header h;
-  bool ok = ReadPod(f.get(), &h.num_objects) &&
-            ReadPod(f.get(), &h.max_list_length) &&
-            ReadPod(f.get(), &h.postings_count) &&
-            ReadPod(f.get(), &h.offsets_count) &&
-            ReadPod(f.get(), &h.keyword_count);
+  const bool ok =
+      ReadPodBounded(f, &h.num_objects, end_offset, path).ok() &&
+      ReadPodBounded(f, &h.max_list_length, end_offset, path).ok() &&
+      ReadPodBounded(f, &h.postings_count, end_offset, path).ok() &&
+      ReadPodBounded(f, &h.offsets_count, end_offset, path).ok() &&
+      ReadPodBounded(f, &h.keyword_count, end_offset, path).ok();
   if (!ok) return Status::InvalidArgument("truncated header: " + path);
   if (h.offsets_count == 0 || h.keyword_count == 0) {
     return Status::InvalidArgument("malformed header counts: " + path);
@@ -205,15 +271,13 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
   if (compressed) {
     uint64_t blob_size = 0;
     std::vector<uint8_t> blob;
-    if (!ReadPod(f.get(), &blob_size)) {
-      return Status::InvalidArgument("truncated index data: " + path);
-    }
+    GENIE_RETURN_NOT_OK(ReadPodBounded(f, &blob_size, end_offset, path));
     GENIE_RETURN_NOT_OK(
-        ReadBoundedArray(f.get(), &blob, blob_size, file_bytes, path));
-    GENIE_RETURN_NOT_OK(ReadBoundedArray(f.get(), &index.list_offsets_,
-                                         h.offsets_count, file_bytes, path));
-    GENIE_RETURN_NOT_OK(ReadBoundedArray(f.get(), &index.keyword_first_list_,
-                                         h.keyword_count, file_bytes, path));
+        ReadBoundedArray(f, &blob, blob_size, end_offset, path));
+    GENIE_RETURN_NOT_OK(ReadBoundedArray(f, &index.list_offsets_,
+                                         h.offsets_count, end_offset, path));
+    GENIE_RETURN_NOT_OK(ReadBoundedArray(f, &index.keyword_first_list_,
+                                         h.keyword_count, end_offset, path));
     // Every posting occupies >= 1 varint byte, so a plausible count cannot
     // exceed the blob size (bounds the reserve below).
     if (h.postings_count > blob.size()) {
@@ -243,18 +307,16 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
       return Status::InvalidArgument("postings count mismatch: " + path);
     }
   } else {
-    GENIE_RETURN_NOT_OK(ReadBoundedArray(f.get(), &index.postings_,
-                                         h.postings_count, file_bytes, path));
-    GENIE_RETURN_NOT_OK(ReadBoundedArray(f.get(), &index.list_offsets_,
-                                         h.offsets_count, file_bytes, path));
-    GENIE_RETURN_NOT_OK(ReadBoundedArray(f.get(), &index.keyword_first_list_,
-                                         h.keyword_count, file_bytes, path));
+    GENIE_RETURN_NOT_OK(ReadBoundedArray(f, &index.postings_,
+                                         h.postings_count, end_offset, path));
+    GENIE_RETURN_NOT_OK(ReadBoundedArray(f, &index.list_offsets_,
+                                         h.offsets_count, end_offset, path));
+    GENIE_RETURN_NOT_OK(ReadBoundedArray(f, &index.keyword_first_list_,
+                                         h.keyword_count, end_offset, path));
   }
 
   uint64_t checksum = 0;
-  if (!ReadPod(f.get(), &checksum)) {
-    return Status::InvalidArgument("truncated checksum: " + path);
-  }
+  GENIE_RETURN_NOT_OK(ReadPodBounded(f, &checksum, end_offset, path));
   if (checksum != IndexChecksum(index.postings_, index.list_offsets_,
                                 index.keyword_first_list_)) {
     return Status::InvalidArgument("checksum mismatch (corrupted): " + path);
@@ -262,7 +324,21 @@ Result<InvertedIndex> LoadIndex(const std::string& path) {
   GENIE_RETURN_NOT_OK(ValidateStructure(index, path, index.list_offsets_,
                                         index.keyword_first_list_,
                                         index.postings_.size()));
+  // The stream must account for every byte of its section; leftover bytes
+  // mean the section length and the stream disagree (corrupted container).
+  const long stream_end = std::ftell(f);
+  if (stream_end < 0 ||
+      static_cast<uint64_t>(stream_end) != end_offset) {
+    return Status::InvalidArgument("index stream size mismatch: " + path);
+  }
   return index;
+}
+
+Result<InvertedIndex> LoadIndex(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) return Status::NotFound("cannot open: " + path);
+  GENIE_ASSIGN_OR_RETURN(const uint64_t file_bytes, FileBytes(f.get(), path));
+  return LoadIndexFromStream(f.get(), file_bytes, path);
 }
 
 }  // namespace genie

@@ -12,6 +12,7 @@
 ///   | postings[] u32 | list_offsets[] u32 | keyword_first_list[] u32
 ///   | u64 checksum (murmur3 of the three arrays)
 
+#include <cstdio>
 #include <string>
 
 #include "common/result.h"
@@ -19,7 +20,9 @@
 
 namespace genie {
 
-/// Writes `index` to `path`, replacing any existing file.
+/// Writes `index` to `path`, replacing any existing file. Stream health is
+/// verified through the final flush, so a full disk reports IOError instead
+/// of leaving a truncated-but-"OK" file.
 Status SaveIndex(const InvertedIndex& index, const std::string& path);
 
 /// Like SaveIndex but with varint-delta compressed postings (format
@@ -30,9 +33,24 @@ Status SaveIndex(const InvertedIndex& index, const std::string& path);
 Status SaveIndexCompressed(const InvertedIndex& index,
                            const std::string& path);
 
+/// Serializes the exact SaveIndex / SaveIndexCompressed byte stream into
+/// `out` (replacing its contents) instead of a file, for embedding the
+/// index in a larger container (engine bundles).
+Status SaveIndexToBuffer(const InvertedIndex& index, bool compressed,
+                         std::string* out);
+
 /// Loads an index previously written by SaveIndex or SaveIndexCompressed
 /// (the format is detected from the header). Fails with InvalidArgument on
 /// a malformed or corrupted file.
 Result<InvertedIndex> LoadIndex(const std::string& path);
+
+/// Reads an index stream embedded in a larger open file: the stream starts
+/// at the current read position and must end exactly at `end_offset`. All
+/// header counts are bounded against the section end before any allocation
+/// (the same hardening as LoadIndex); a stream that stops short of
+/// `end_offset` fails with InvalidArgument. `path` is used in error
+/// messages only.
+Result<InvertedIndex> LoadIndexFromStream(std::FILE* f, uint64_t end_offset,
+                                          const std::string& path);
 
 }  // namespace genie

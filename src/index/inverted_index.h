@@ -8,6 +8,7 @@
 /// to the device (DeviceIndex in match_engine.h).
 
 #include <cstdint>
+#include <cstdio>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,12 +19,6 @@
 #include "index/types.h"
 
 namespace genie {
-
-class InvertedIndex;
-Status SaveIndex(const InvertedIndex& index, const std::string& path);
-Status SaveIndexCompressed(const InvertedIndex& index,
-                           const std::string& path);
-Result<InvertedIndex> LoadIndex(const std::string& path);
 
 /// Immutable CSR inverted index. Build through InvertedIndexBuilder or load
 /// a serialized one with LoadIndex (index_io.h).
@@ -74,11 +69,18 @@ class InvertedIndex {
   uint32_t max_list_length() const { return max_list_length_; }
 
  private:
+  // The index_io.h serialization entry points; the friend declarations are
+  // the only declarations here (the public prototypes live in index_io.h).
   friend class InvertedIndexBuilder;
   friend Status SaveIndex(const InvertedIndex& index, const std::string& path);
   friend Status SaveIndexCompressed(const InvertedIndex& index,
                                     const std::string& path);
+  friend Status SaveIndexToBuffer(const InvertedIndex& index, bool compressed,
+                                  std::string* out);
   friend Result<InvertedIndex> LoadIndex(const std::string& path);
+  friend Result<InvertedIndex> LoadIndexFromStream(std::FILE* f,
+                                                   uint64_t end_offset,
+                                                   const std::string& path);
 
   uint32_t num_objects_ = 0;
   uint32_t max_list_length_ = 0;

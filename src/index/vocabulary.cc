@@ -51,4 +51,30 @@ Keyword StringVocabulary::Find(std::string_view token) const {
   return it == map_.end() ? kInvalidKeyword : it->second;
 }
 
+void StringVocabulary::Serialize(serialize::Writer* writer) const {
+  std::vector<const std::string*> tokens(map_.size());
+  for (const auto& [token, kw] : map_) tokens[kw] = &token;
+  writer->U64(tokens.size());
+  for (const std::string* token : tokens) writer->String(*token);
+}
+
+Result<StringVocabulary> StringVocabulary::Deserialize(
+    serialize::Reader* reader) {
+  uint64_t count = 0;
+  GENIE_RETURN_NOT_OK(reader->U64(&count));
+  // Every serialized token costs at least its u64 length prefix.
+  if (count > reader->remaining() / sizeof(uint64_t)) {
+    return Status::InvalidArgument("vocabulary count exceeds blob");
+  }
+  StringVocabulary vocab;
+  std::string token;
+  for (uint64_t kw = 0; kw < count; ++kw) {
+    GENIE_RETURN_NOT_OK(reader->String(&token));
+    if (vocab.GetOrAdd(token) != kw) {
+      return Status::InvalidArgument("duplicate vocabulary token");
+    }
+  }
+  return vocab;
+}
+
 }  // namespace genie

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/serialize.h"
 #include "common/status.h"
 #include "index/types.h"
 
@@ -65,6 +66,11 @@ class StringVocabulary {
   Keyword Find(std::string_view token) const;
 
   size_t size() const { return map_.size(); }
+
+  /// Bundle persistence: tokens are written in keyword order, so the exact
+  /// token -> keyword mapping (not just the token set) round-trips.
+  void Serialize(serialize::Writer* writer) const;
+  static Result<StringVocabulary> Deserialize(serialize::Reader* reader);
 
  private:
   std::unordered_map<std::string, Keyword> map_;

@@ -56,6 +56,40 @@ Result<std::unique_ptr<E2LshFamily>> E2LshFamily::Create(
   return std::unique_ptr<E2LshFamily>(new E2LshFamily(options));
 }
 
+void E2LshFamily::Serialize(serialize::Writer* writer) const {
+  writer->U32(options_.num_functions);
+  writer->U32(options_.dim);
+  writer->F64(options_.bucket_width);
+  writer->U32(options_.p);
+  writer->U64(options_.seed);
+  writer->Vec(projections_);
+  writer->Vec(offsets_);
+}
+
+Result<std::unique_ptr<E2LshFamily>> E2LshFamily::Deserialize(
+    serialize::Reader* reader) {
+  E2LshOptions options;
+  GENIE_RETURN_NOT_OK(reader->U32(&options.num_functions));
+  GENIE_RETURN_NOT_OK(reader->U32(&options.dim));
+  GENIE_RETURN_NOT_OK(reader->F64(&options.bucket_width));
+  GENIE_RETURN_NOT_OK(reader->U32(&options.p));
+  GENIE_RETURN_NOT_OK(reader->U64(&options.seed));
+  if (options.dim == 0 || options.num_functions == 0 ||
+      options.bucket_width <= 0 || (options.p != 1 && options.p != 2)) {
+    return Status::InvalidArgument("malformed E2LSH parameters");
+  }
+  std::unique_ptr<E2LshFamily> family(new E2LshFamily());
+  family->options_ = options;
+  GENIE_RETURN_NOT_OK(reader->Vec(&family->projections_));
+  GENIE_RETURN_NOT_OK(reader->Vec(&family->offsets_));
+  if (family->projections_.size() !=
+          static_cast<size_t>(options.num_functions) * options.dim ||
+      family->offsets_.size() != options.num_functions) {
+    return Status::InvalidArgument("malformed E2LSH coefficients");
+  }
+  return family;
+}
+
 uint64_t E2LshFamily::RawHash(uint32_t i,
                               std::span<const float> point) const {
   GENIE_DCHECK(i < options_.num_functions);

@@ -16,6 +16,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "lsh/lsh_family.h"
 
 namespace genie {
@@ -49,8 +50,16 @@ class E2LshFamily : public VectorLshFamily {
 
   const E2LshOptions& options() const { return options_; }
 
+  /// Bundle persistence: the explicit coefficients (projections + offsets)
+  /// are written alongside the options, so a deserialized family hashes
+  /// queries identically even if the Rng sampling ever changes.
+  void Serialize(serialize::Writer* writer) const;
+  static Result<std::unique_ptr<E2LshFamily>> Deserialize(
+      serialize::Reader* reader);
+
  private:
   explicit E2LshFamily(const E2LshOptions& options);
+  E2LshFamily() = default;
 
   E2LshOptions options_;
   std::vector<float> projections_;  // num_functions x dim

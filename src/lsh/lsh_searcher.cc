@@ -19,6 +19,21 @@ Result<std::unique_ptr<LshSearcher>> LshSearcher::Create(
   LshTransformer transformer(std::move(family), options.transform);
   GENIE_ASSIGN_OR_RETURN(InvertedIndex index,
                          transformer.BuildIndex(*points, options.build));
+  return Restore(points, std::move(transformer), std::move(index), options);
+}
+
+Result<std::unique_ptr<LshSearcher>> LshSearcher::Restore(
+    const data::PointMatrix* points, LshTransformer transformer,
+    InvertedIndex index, const LshSearchOptions& options) {
+  if (points == nullptr) return Status::InvalidArgument("points is null");
+  if (index.num_objects() != points->num_points()) {
+    return Status::InvalidArgument(
+        "index object count does not match the points dataset");
+  }
+  if (index.vocab_size() != transformer.encoder().vocab_size()) {
+    return Status::InvalidArgument(
+        "index vocabulary does not match the LSH transform");
+  }
   std::unique_ptr<LshSearcher> searcher(
       new LshSearcher(points, std::move(transformer), std::move(index)));
   MatchEngineOptions engine_options = options.engine;

@@ -46,6 +46,14 @@ class LshSearcher {
       std::shared_ptr<const VectorLshFamily> family,
       const LshSearchOptions& options);
 
+  /// Reassembles a searcher from persisted state (bundle open): skips the
+  /// dataset transform + index build and serves from the preloaded index.
+  /// The transformer must be the one the index was built with; `points` is
+  /// only consulted for re-ranking and must match the indexed dataset.
+  static Result<std::unique_ptr<LshSearcher>> Restore(
+      const data::PointMatrix* points, LshTransformer transformer,
+      InvertedIndex index, const LshSearchOptions& options);
+
   /// tau-ANN by match count: per query, candidates in descending count
   /// order (entry 0 is the tau-ANN of Theorem 4.2).
   Result<std::vector<std::vector<AnnMatch>>> MatchBatch(

@@ -17,6 +17,35 @@ LshTransformer::LshTransformer(std::shared_ptr<const VectorLshFamily> family,
   for (auto& s : rehash_seeds_) s = rng.Next64();
 }
 
+void LshTransformer::Serialize(serialize::Writer* writer) const {
+  writer->U32(options_.rehash_domain);
+  writer->U64(options_.seed);
+  writer->U8(options_.rehash ? 1 : 0);
+  writer->Vec(rehash_seeds_);
+}
+
+Result<LshTransformer> LshTransformer::Deserialize(
+    std::shared_ptr<const VectorLshFamily> family,
+    serialize::Reader* reader) {
+  LshTransformOptions options;
+  uint8_t rehash = 0;
+  GENIE_RETURN_NOT_OK(reader->U32(&options.rehash_domain));
+  GENIE_RETURN_NOT_OK(reader->U64(&options.seed));
+  GENIE_RETURN_NOT_OK(reader->U8(&rehash));
+  options.rehash = rehash != 0;
+  if (options.rehash_domain == 0) {
+    return Status::InvalidArgument("malformed rehash domain");
+  }
+  std::vector<uint64_t> seeds;
+  GENIE_RETURN_NOT_OK(reader->Vec(&seeds));
+  if (seeds.size() != family->num_functions()) {
+    return Status::InvalidArgument("re-hash seed count mismatch");
+  }
+  LshTransformer transformer(std::move(family), options);
+  transformer.rehash_seeds_ = std::move(seeds);
+  return transformer;
+}
+
 uint32_t LshTransformer::Bucket(uint32_t function, uint64_t raw) const {
   if (options_.rehash) {
     return static_cast<uint32_t>(Murmur3_64(raw, rehash_seeds_[function]) %

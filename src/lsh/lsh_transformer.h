@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/serialize.h"
 #include "core/query.h"
 #include "data/points.h"
 #include "index/index_builder.h"
@@ -55,6 +56,14 @@ class LshTransformer {
   const DimValueEncoder& encoder() const { return encoder_; }
   const VectorLshFamily& family() const { return *family_; }
   uint32_t rehash_domain() const { return options_.rehash_domain; }
+
+  /// Bundle persistence of the query-side transform state: the options and
+  /// the explicit per-function re-hash seeds (the family is serialized
+  /// separately by the caller, which knows its concrete type).
+  void Serialize(serialize::Writer* writer) const;
+  static Result<LshTransformer> Deserialize(
+      std::shared_ptr<const VectorLshFamily> family,
+      serialize::Reader* reader);
 
  private:
   uint32_t Bucket(uint32_t function, uint64_t raw) const;

@@ -25,6 +25,30 @@ Result<std::unique_ptr<MinHashFamily>> MinHashFamily::Create(
   return std::unique_ptr<MinHashFamily>(new MinHashFamily(options));
 }
 
+void MinHashFamily::Serialize(serialize::Writer* writer) const {
+  writer->U32(options_.num_functions);
+  writer->U64(options_.seed);
+  writer->Vec(seeds_);
+}
+
+Result<std::unique_ptr<MinHashFamily>> MinHashFamily::Deserialize(
+    serialize::Reader* reader) {
+  MinHashOptions options;
+  GENIE_RETURN_NOT_OK(reader->U32(&options.num_functions));
+  GENIE_RETURN_NOT_OK(reader->U64(&options.seed));
+  if (options.num_functions == 0) {
+    return Status::InvalidArgument("malformed MinHash parameters");
+  }
+  std::vector<uint64_t> seeds;
+  GENIE_RETURN_NOT_OK(reader->Vec(&seeds));
+  if (seeds.size() != options.num_functions) {
+    return Status::InvalidArgument("malformed MinHash seeds");
+  }
+  std::unique_ptr<MinHashFamily> family(new MinHashFamily(options));
+  family->seeds_ = std::move(seeds);
+  return family;
+}
+
 uint64_t MinHashFamily::RawHash(uint32_t i,
                                 std::span<const uint32_t> set) const {
   GENIE_DCHECK(i < options_.num_functions);

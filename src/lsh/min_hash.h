@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/serialize.h"
 #include "lsh/lsh_family.h"
 
 namespace genie {
@@ -35,6 +36,13 @@ class MinHashFamily : public SetLshFamily {
   /// Jaccard similarity |a n b| / |a u b| (inputs treated as sets).
   double CollisionProbability(std::span<const uint32_t> a,
                               std::span<const uint32_t> b) const override;
+
+  /// Bundle persistence: writes the explicit per-function seeds, so a
+  /// deserialized family hashes sets identically even if the Rng sampling
+  /// ever changes.
+  void Serialize(serialize::Writer* writer) const;
+  static Result<std::unique_ptr<MinHashFamily>> Deserialize(
+      serialize::Reader* reader);
 
  private:
   explicit MinHashFamily(const MinHashOptions& options);

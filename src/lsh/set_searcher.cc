@@ -36,6 +36,34 @@ Result<std::unique_ptr<SetLshSearcher>> SetLshSearcher::Create(
   return searcher;
 }
 
+Result<std::unique_ptr<SetLshSearcher>> SetLshSearcher::Restore(
+    const SetDataset* sets, std::shared_ptr<const SetLshFamily> family,
+    const SetSearchOptions& options, std::vector<uint64_t> rehash_seeds,
+    InvertedIndex index) {
+  if (sets == nullptr) return Status::InvalidArgument("sets is null");
+  if (family == nullptr) return Status::InvalidArgument("family is null");
+  if (options.transform.rehash_domain == 0) {
+    return Status::InvalidArgument("rehash_domain must be >= 1");
+  }
+  if (rehash_seeds.size() != family->num_functions()) {
+    return Status::InvalidArgument("re-hash seed count mismatch");
+  }
+  if (index.num_objects() != sets->size()) {
+    return Status::InvalidArgument(
+        "index object count does not match the sets dataset");
+  }
+  std::unique_ptr<SetLshSearcher> searcher(
+      new SetLshSearcher(sets, std::move(family), options));
+  if (index.vocab_size() != searcher->encoder_.vocab_size()) {
+    return Status::InvalidArgument(
+        "index vocabulary does not match the LSH transform");
+  }
+  searcher->rehash_seeds_ = std::move(rehash_seeds);
+  searcher->index_ = std::move(index);
+  GENIE_RETURN_NOT_OK(searcher->SetUpEngine());
+  return searcher;
+}
+
 std::vector<Keyword> SetLshSearcher::Transform(
     std::span<const uint32_t> set) const {
   const uint32_t m = family_->num_functions();
@@ -59,6 +87,10 @@ Status SetLshSearcher::Init() {
     builder.AddObject(static_cast<ObjectId>(i), keywords);
   }
   GENIE_ASSIGN_OR_RETURN(index_, std::move(builder).Build(options_.build));
+  return SetUpEngine();
+}
+
+Status SetLshSearcher::SetUpEngine() {
   MatchEngineOptions engine_options = options_.engine;
   engine_options.max_count = family_->num_functions();
   EngineBackendOptions backend_options = options_.backend;

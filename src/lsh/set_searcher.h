@@ -37,6 +37,14 @@ class SetLshSearcher {
       const SetDataset* sets, std::shared_ptr<const SetLshFamily> family,
       const SetSearchOptions& options);
 
+  /// Reassembles a searcher from persisted state (bundle open): the
+  /// re-hash seeds and index come from the bundle instead of being derived
+  /// from options.transform.seed / rebuilt from the dataset.
+  static Result<std::unique_ptr<SetLshSearcher>> Restore(
+      const SetDataset* sets, std::shared_ptr<const SetLshFamily> family,
+      const SetSearchOptions& options, std::vector<uint64_t> rehash_seeds,
+      InvertedIndex index);
+
   /// Candidates per query in descending match-count order; entry 0 is the
   /// tau-ANN under the family's similarity (Jaccard for MinHash), and
   /// count/m estimates that similarity (Eqn. 7).
@@ -51,12 +59,19 @@ class SetLshSearcher {
   MatchProfile profile() const { return engine_->profile(); }
   const InvertedIndex& index() const { return index_; }
   const EngineBackend& backend() const { return *engine_; }
+  const SetLshFamily& family() const { return *family_; }
+  const LshTransformOptions& transform_options() const {
+    return options_.transform;
+  }
+  const std::vector<uint64_t>& rehash_seeds() const { return rehash_seeds_; }
 
  private:
   SetLshSearcher(const SetDataset* sets,
                  std::shared_ptr<const SetLshFamily> family,
                  const SetSearchOptions& options);
   Status Init();
+  /// Creates the EngineBackend over the (built or restored) index_.
+  Status SetUpEngine();
 
   std::vector<Keyword> Transform(std::span<const uint32_t> set) const;
 

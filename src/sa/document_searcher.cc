@@ -29,6 +29,27 @@ Result<std::unique_ptr<DocumentSearcher>> DocumentSearcher::Create(
   return searcher;
 }
 
+Result<std::unique_ptr<DocumentSearcher>> DocumentSearcher::Restore(
+    const std::vector<Document>* docs, const DocumentSearchOptions& options,
+    uint32_t vocab_size, InvertedIndex index) {
+  if (docs == nullptr) return Status::InvalidArgument("docs is null");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (index.num_objects() != docs->size()) {
+    return Status::InvalidArgument(
+        "index object count does not match the documents dataset");
+  }
+  if (index.vocab_size() != vocab_size) {
+    return Status::InvalidArgument(
+        "index vocabulary does not match the token universe");
+  }
+  std::unique_ptr<DocumentSearcher> searcher(
+      new DocumentSearcher(docs, options));
+  searcher->vocab_size_ = vocab_size;
+  searcher->index_ = std::move(index);
+  GENIE_RETURN_NOT_OK(searcher->SetUpEngine());
+  return searcher;
+}
+
 Status DocumentSearcher::Init() {
   uint32_t max_token = 0;
   for (const Document& doc : *docs_) {
@@ -42,6 +63,10 @@ Status DocumentSearcher::Init() {
     }
   }
   GENIE_ASSIGN_OR_RETURN(index_, std::move(builder).Build());
+  return SetUpEngine();
+}
+
+Status DocumentSearcher::SetUpEngine() {
   MatchEngineOptions engine_options = options_.engine;
   engine_options.k = options_.k;
   GENIE_ASSIGN_OR_RETURN(

@@ -34,6 +34,13 @@ class DocumentSearcher {
   static Result<std::unique_ptr<DocumentSearcher>> Create(
       const std::vector<Document>* docs, const DocumentSearchOptions& options);
 
+  /// Reassembles a searcher from persisted state (bundle open): the token
+  /// universe bound and index come from the bundle instead of being
+  /// re-derived / rebuilt from the dataset.
+  static Result<std::unique_ptr<DocumentSearcher>> Restore(
+      const std::vector<Document>* docs, const DocumentSearchOptions& options,
+      uint32_t vocab_size, InvertedIndex index);
+
   /// Per query: top-k documents by word-overlap (inner product).
   Result<std::vector<QueryResult>> SearchBatch(
       std::span<const Document> queries);
@@ -43,11 +50,15 @@ class DocumentSearcher {
   MatchProfile profile() const { return engine_->profile(); }
   const InvertedIndex& index() const { return index_; }
   const EngineBackend& backend() const { return *engine_; }
+  /// Token universe bound (keywords are token ids in [0, vocab_size)).
+  uint32_t vocab_size() const { return vocab_size_; }
 
  private:
   DocumentSearcher(const std::vector<Document>* docs,
                    const DocumentSearchOptions& options);
   Status Init();
+  /// Creates the EngineBackend over the (built or restored) index_.
+  Status SetUpEngine();
 
   const std::vector<Document>* docs_;
   DocumentSearchOptions options_;

@@ -53,6 +53,45 @@ Result<std::unique_ptr<RelationalSearcher>> RelationalSearcher::Create(
   return searcher;
 }
 
+Result<std::unique_ptr<RelationalSearcher>> RelationalSearcher::Restore(
+    const RelationalTable* table, uint32_t k,
+    const std::vector<uint32_t>& cardinalities, uint32_t num_rows,
+    InvertedIndex index, const MatchEngineOptions& engine_options,
+    const IndexBuildOptions& build_options,
+    const EngineBackendOptions& backend_options) {
+  if (table == nullptr) return Status::InvalidArgument("table is null");
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (cardinalities.empty()) {
+    return Status::InvalidArgument("saved table has no columns");
+  }
+  if (table->num_columns() != cardinalities.size() ||
+      table->num_rows() != num_rows) {
+    return Status::InvalidArgument(
+        "rebound table shape does not match the saved index");
+  }
+  for (uint32_t c = 0; c < table->num_columns(); ++c) {
+    if (table->cardinality(c) != cardinalities[c] || cardinalities[c] == 0) {
+      return Status::InvalidArgument(
+          "rebound table cardinalities do not match the saved index");
+    }
+  }
+  if (index.num_objects() != num_rows) {
+    return Status::InvalidArgument(
+        "index object count does not match the saved table shape");
+  }
+  std::unique_ptr<RelationalSearcher> searcher(
+      new RelationalSearcher(table, k));
+  searcher->encoder_ = std::make_unique<DimValueEncoder>(cardinalities);
+  if (index.vocab_size() != searcher->encoder_->vocab_size()) {
+    return Status::InvalidArgument(
+        "index vocabulary does not match the column layout");
+  }
+  searcher->index_ = std::move(index);
+  GENIE_RETURN_NOT_OK(
+      searcher->SetUpEngine(engine_options, build_options, backend_options));
+  return searcher;
+}
+
 Status RelationalSearcher::Init(const MatchEngineOptions& engine_options,
                                 const IndexBuildOptions& build_options,
                                 const EngineBackendOptions& backend_options) {
@@ -69,7 +108,13 @@ Status RelationalSearcher::Init(const MatchEngineOptions& engine_options,
     }
   }
   GENIE_ASSIGN_OR_RETURN(index_, std::move(builder).Build(build_options));
+  return SetUpEngine(engine_options, build_options, backend_options);
+}
 
+Status RelationalSearcher::SetUpEngine(
+    const MatchEngineOptions& engine_options,
+    const IndexBuildOptions& build_options,
+    const EngineBackendOptions& backend_options) {
   MatchEngineOptions opts = engine_options;
   opts.k = k_;
   // One value per attribute => an object matches each item at most once.

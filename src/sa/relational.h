@@ -90,6 +90,17 @@ class RelationalSearcher {
       const IndexBuildOptions& build_options = {},
       const EngineBackendOptions& backend_options = {});
 
+  /// Reassembles a searcher from persisted state (bundle open): the column
+  /// layout the index was built with (`cardinalities`, `num_rows`) is
+  /// validated against the rebound table, and the index is served as
+  /// loaded instead of being rebuilt.
+  static Result<std::unique_ptr<RelationalSearcher>> Restore(
+      const RelationalTable* table, uint32_t k,
+      const std::vector<uint32_t>& cardinalities, uint32_t num_rows,
+      InvertedIndex index, const MatchEngineOptions& engine_options = {},
+      const IndexBuildOptions& build_options = {},
+      const EngineBackendOptions& backend_options = {});
+
   /// Top-k rows by number of satisfied ranges.
   Result<std::vector<QueryResult>> SearchBatch(
       std::span<const RangeQuery> queries) const;
@@ -107,6 +118,10 @@ class RelationalSearcher {
   Status Init(const MatchEngineOptions& engine_options,
               const IndexBuildOptions& build_options,
               const EngineBackendOptions& backend_options);
+  /// Creates the EngineBackend over the (built or restored) index_.
+  Status SetUpEngine(const MatchEngineOptions& engine_options,
+                     const IndexBuildOptions& build_options,
+                     const EngineBackendOptions& backend_options);
 
   const RelationalTable* table_;
   uint32_t k_;

@@ -31,6 +31,35 @@ Result<std::unique_ptr<SequenceSearcher>> SequenceSearcher::Create(
   return searcher;
 }
 
+Result<std::unique_ptr<SequenceSearcher>> SequenceSearcher::Restore(
+    const std::vector<std::string>* sequences,
+    const SequenceSearchOptions& options, StringVocabulary vocab,
+    InvertedIndex index) {
+  if (sequences == nullptr) {
+    return Status::InvalidArgument("sequences is null");
+  }
+  if (options.ngram == 0) return Status::InvalidArgument("ngram must be >= 1");
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (options.candidate_k < options.k) {
+    return Status::InvalidArgument("candidate_k must be >= k");
+  }
+  if (index.num_objects() != sequences->size()) {
+    return Status::InvalidArgument(
+        "index object count does not match the sequences dataset");
+  }
+  if (index.vocab_size() !=
+      std::max<uint32_t>(1, static_cast<uint32_t>(vocab.size()))) {
+    return Status::InvalidArgument(
+        "index vocabulary does not match the n-gram vocabulary");
+  }
+  std::unique_ptr<SequenceSearcher> searcher(
+      new SequenceSearcher(sequences, options));
+  searcher->vocab_ = std::move(vocab);
+  searcher->index_ = std::move(index);
+  GENIE_RETURN_NOT_OK(searcher->SetUpEngine());
+  return searcher;
+}
+
 Status SequenceSearcher::Init() {
   // Shotgun: decompose every sequence into ordered n-grams; the token
   // (gram, occurrence) is the index keyword.
@@ -48,7 +77,10 @@ Status SequenceSearcher::Init() {
     builder.AddObject(static_cast<ObjectId>(i), per_object[i]);
   }
   GENIE_ASSIGN_OR_RETURN(index_, std::move(builder).Build());
+  return SetUpEngine();
+}
 
+Status SequenceSearcher::SetUpEngine() {
   MatchEngineOptions engine_options = options_.engine;
   engine_options.k = options_.candidate_k;
   GENIE_ASSIGN_OR_RETURN(

@@ -57,6 +57,16 @@ class SequenceSearcher {
       const std::vector<std::string>* sequences,
       const SequenceSearchOptions& options);
 
+  /// Reassembles a searcher from persisted state (bundle open): the n-gram
+  /// vocabulary and index come from the bundle instead of being rebuilt,
+  /// so queries compile to exactly the saved keywords. `sequences` is
+  /// still consulted for verification (Algorithm 2) and must match the
+  /// indexed dataset.
+  static Result<std::unique_ptr<SequenceSearcher>> Restore(
+      const std::vector<std::string>* sequences,
+      const SequenceSearchOptions& options, StringVocabulary vocab,
+      InvertedIndex index);
+
   Result<std::vector<SequenceSearchOutcome>> SearchBatch(
       std::span<const std::string> queries);
 
@@ -68,12 +78,16 @@ class SequenceSearcher {
   double verify_seconds() const { return verify_seconds_; }
   const InvertedIndex& index() const { return index_; }
   const EngineBackend& backend() const { return *engine_; }
+  uint32_t ngram() const { return options_.ngram; }
+  const StringVocabulary& vocabulary() const { return vocab_; }
 
  private:
   SequenceSearcher(const std::vector<std::string>* sequences,
                    const SequenceSearchOptions& options);
 
   Status Init();
+  /// Creates the EngineBackend over the (built or restored) index_.
+  Status SetUpEngine();
 
   /// Algorithm 2 over one query's candidate list.
   SequenceSearchOutcome Verify(const std::string& query,

@@ -1,0 +1,136 @@
+/// Golden-file compatibility: tiny bundles saved by the version of the
+/// code that introduced each bundle format version are checked into
+/// tests/golden/, and today's Engine::Open must still read them and answer
+/// identically to a freshly built engine over the same dataset. A future
+/// change that breaks this test is changing the on-disk contract: either
+/// restore compatibility or bump kBundleVersion deliberately, save new
+/// fixtures, and keep a loader for the old version's fixtures.
+///
+/// Regenerate after a deliberate format bump with:
+///   GENIE_UPDATE_GOLDEN=1 ./genie_tests --gtest_filter='BundleGolden*'
+///
+/// The fixture datasets are hand-rolled arithmetic (no Rng) and the
+/// fixture modalities (relational, documents, sequences) have no
+/// randomized transform state, so "answers match a fresh build" is a
+/// stable invariant — it can only break through the file format or the
+/// match-count semantics, both of which must never change silently.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/genie.h"
+#include "api_test_util.h"
+#include "test_util.h"
+
+namespace genie {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return (std::filesystem::path(GENIE_TEST_GOLDEN_DIR) / name).string();
+}
+
+bool UpdateGolden() { return std::getenv("GENIE_UPDATE_GOLDEN") != nullptr; }
+
+template <typename MakeConfig, typename MakeRequest>
+void CheckGolden(const std::string& file, bool compressed,
+                 MakeConfig make_config, MakeRequest make_request) {
+  const std::string path = GoldenPath(file);
+  auto fresh = Engine::Create(make_config());
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+
+  if (UpdateGolden()) {
+    std::filesystem::create_directories(GENIE_TEST_GOLDEN_DIR);
+    BundleSaveOptions options;
+    options.compress_postings = compressed;
+    ASSERT_TRUE((*fresh)->Save(path, options).ok());
+  }
+  ASSERT_TRUE(std::filesystem::exists(path))
+      << path << " is missing; regenerate with GENIE_UPDATE_GOLDEN=1";
+
+  auto golden = Engine::Open(path, make_config());
+  ASSERT_TRUE(golden.ok())
+      << file << " no longer opens — the bundle format changed without a "
+      << "version bump: " << golden.status().ToString();
+  EXPECT_EQ((*golden)->modality(), (*fresh)->modality());
+  EXPECT_EQ((*golden)->num_objects(), (*fresh)->num_objects());
+
+  auto want = (*fresh)->Search(make_request());
+  auto got = (*golden)->Search(make_request());
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  test::ExpectSameAnswers(*got, *want, "golden " + file);
+}
+
+TEST(BundleGoldenTest, V1RelationalRawStillOpens) {
+  // 80 rows x (2 numeric columns in [0,8), 1 categorical in [0,3)),
+  // value = arithmetic in the row id.
+  constexpr uint32_t kRows = 80;
+  std::vector<std::vector<uint32_t>> columns(3);
+  for (uint32_t row = 0; row < kRows; ++row) {
+    columns[0].push_back((row * 5 + 1) % 8);
+    columns[1].push_back((row * 3 + 2) % 8);
+    columns[2].push_back(row % 3);
+  }
+  sa::RelationalTable table(std::move(columns), {8, 8, 3});
+
+  std::vector<sa::RangeQuery> queries(3);
+  queries[0].Add(0, 1, 3).Add(1, 0, 2).Add(2, 1, 1);
+  queries[1].Add(0, 4, 7).Add(2, 0, 0);
+  queries[2].Add(1, 2, 5).Add(2, 2, 2);
+
+  CheckGolden(
+      "bundle_v1_relational_raw.gnb", /*compressed=*/false,
+      [&] {
+        return EngineConfig().Table(&table).K(4).Device(
+            test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Ranges(queries); });
+}
+
+TEST(BundleGoldenTest, V1DocumentsCompressedStillOpens) {
+  // 60 documents of 8 tokens each from a 120-token universe.
+  std::vector<std::vector<uint32_t>> corpus(60);
+  for (uint32_t d = 0; d < corpus.size(); ++d) {
+    for (uint32_t t = 0; t < 8; ++t) {
+      corpus[d].push_back((d * 7 + t * 13) % 120);
+    }
+  }
+  std::vector<std::vector<uint32_t>> queries{corpus[1], corpus[30],
+                                             corpus[59]};
+
+  CheckGolden(
+      "bundle_v1_documents_packed.gnb", /*compressed=*/true,
+      [&] {
+        return EngineConfig().Documents(&corpus).K(3).Device(
+            test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Documents(queries); });
+}
+
+TEST(BundleGoldenTest, V1SequencesCompressedStillOpens) {
+  // 40 sequences of length 12 over {a..e}, walked arithmetically.
+  std::vector<std::string> sequences(40);
+  for (uint32_t s = 0; s < sequences.size(); ++s) {
+    for (uint32_t i = 0; i < 12; ++i) {
+      sequences[s].push_back(
+          static_cast<char>('a' + (s * 11 + i * i + (i >> 2)) % 5));
+    }
+  }
+  std::vector<std::string> queries{sequences[0], sequences[20],
+                                   sequences[39]};
+
+  CheckGolden(
+      "bundle_v1_sequences_packed.gnb", /*compressed=*/true,
+      [&] {
+        return EngineConfig().Sequences(&sequences).K(2).CandidateK(8).Device(
+            test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Sequences(queries); });
+}
+
+}  // namespace
+}  // namespace genie

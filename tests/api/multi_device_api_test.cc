@@ -7,16 +7,12 @@
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <cstdlib>
-#include <functional>
 #include <future>
-#include <map>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "api/genie.h"
+#include "api_test_util.h"
 #include "common/rng.h"
 #include "data/documents.h"
 #include "data/points.h"
@@ -27,72 +23,14 @@
 namespace genie {
 namespace {
 
-uint32_t MaxTestDevices() {
-  const char* env = std::getenv("GENIE_TEST_NUM_DEVICES");
-  if (env != nullptr) {
-    const int v = std::atoi(env);
-    if (v >= 1) return static_cast<uint32_t>(v);
-  }
-  // Default ceiling 2 keeps the everyday suite light; CI pins
-  // GENIE_TEST_NUM_DEVICES=4 to sweep the wider fan-out (incl. under
-  // ASan/UBSan).
-  return 2;
-}
+using test::DeviceSweep;
 
-std::vector<uint32_t> DeviceSweep() {
-  std::vector<uint32_t> sweep{1};
-  for (uint32_t d = 2; d <= MaxTestDevices(); d *= 2) sweep.push_back(d);
-  return sweep;
-}
-
-/// Equality of everything the match-count model determines uniquely:
-/// per-query count profiles, MC_k thresholds, and the identity + score of
-/// every hit strictly above the threshold. Ties at count == MC_k are kept
-/// arrival-order-dependently by the c-PQ (Theorem 3.1 returns *a* top-k;
-/// which tied objects fill the last slots depends on block scheduling,
-/// even between two runs on one device), so boundary ids are exempt.
+/// Answer-equality contract (api_test_util.h) with the device count in
+/// failure messages.
 void ExpectSameAnswers(const SearchResult& got, const SearchResult& want,
                        uint32_t devices) {
-  ASSERT_EQ(got.queries.size(), want.queries.size());
-  for (size_t q = 0; q < want.queries.size(); ++q) {
-    const QueryHits& g = got.queries[q];
-    const QueryHits& w = want.queries[q];
-    EXPECT_EQ(g.threshold, w.threshold)
-        << "query " << q << " at " << devices << " devices";
-    ASSERT_EQ(g.hits.size(), w.hits.size())
-        << "query " << q << " at " << devices << " devices";
-
-    auto counts_of = [](const QueryHits& hits) {
-      std::vector<uint32_t> counts;
-      for (const Hit& hit : hits.hits) counts.push_back(hit.match_count);
-      std::sort(counts.begin(), counts.end(), std::greater<>());
-      return counts;
-    };
-    EXPECT_EQ(counts_of(g), counts_of(w))
-        << "query " << q << " at " << devices << " devices";
-
-    auto above_boundary = [](const QueryHits& hits) {
-      std::map<ObjectId, std::pair<uint32_t, double>> above;
-      for (const Hit& hit : hits.hits) {
-        if (hit.match_count > hits.threshold) {
-          above.emplace(hit.id, std::make_pair(hit.match_count, hit.score));
-        }
-      }
-      return above;
-    };
-    const auto g_above = above_boundary(g);
-    const auto w_above = above_boundary(w);
-    ASSERT_EQ(g_above.size(), w_above.size())
-        << "query " << q << " at " << devices << " devices";
-    for (const auto& [id, count_score] : w_above) {
-      const auto it = g_above.find(id);
-      ASSERT_NE(it, g_above.end())
-          << "query " << q << " missing id " << id << " at " << devices
-          << " devices";
-      EXPECT_EQ(it->second.first, count_score.first);
-      EXPECT_DOUBLE_EQ(it->second.second, count_score.second);
-    }
-  }
+  test::ExpectSameAnswers(got, want,
+                          "at " + std::to_string(devices) + " devices");
 }
 
 /// Runs `make_config` at every device count of the sweep and checks the

@@ -105,6 +105,46 @@ TEST(IndexIoTest, CompressedLoadBalancedRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(IndexIoTest, FullDiskReportsIOError) {
+  // /dev/full accepts the fopen and buffers writes, then fails the flush
+  // with ENOSPC — exactly the "truncated-but-OK" hazard the save path must
+  // catch by verifying stream health through the final flush.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  auto workload = test::MakeRandomWorkload(100, 20, 4, 1, 2, 77);
+  EXPECT_EQ(SaveIndex(workload.index, "/dev/full").code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(SaveIndexCompressed(workload.index, "/dev/full").code(),
+            StatusCode::kIOError);
+}
+
+TEST(IndexIoTest, UnwritablePathReportsIOError) {
+  auto workload = test::MakeRandomWorkload(50, 10, 3, 1, 2, 78);
+  EXPECT_EQ(
+      SaveIndex(workload.index, "/nonexistent-dir/genie.idx").code(),
+      StatusCode::kIOError);
+}
+
+TEST(IndexIoTest, RoundTripThroughBuffer) {
+  auto workload = test::MakeRandomWorkload(200, 30, 5, 2, 3, 79);
+  for (const bool compressed : {false, true}) {
+    std::string buffer_bytes;
+    ASSERT_TRUE(
+        SaveIndexToBuffer(workload.index, compressed, &buffer_bytes).ok());
+    // The buffer is the exact file image.
+    const std::string path = TempPath("genie_buffer.idx");
+    ASSERT_TRUE((compressed ? SaveIndexCompressed(workload.index, path)
+                            : SaveIndex(workload.index, path))
+                    .ok());
+    std::ifstream in(path, std::ios::binary);
+    const std::string file_bytes((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+    EXPECT_EQ(buffer_bytes, file_bytes);
+    std::remove(path.c_str());
+  }
+}
+
 TEST(IndexIoTest, MissingFileIsNotFound) {
   auto loaded = LoadIndex(TempPath("genie_does_not_exist.idx"));
   EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
