@@ -1,6 +1,7 @@
 #include "api/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
@@ -19,6 +20,19 @@ constexpr uint32_t kDefaultStreamChunk = 1024;
 /// sliced in place; the points payload is materialized into `scratch`
 /// (PointMatrix has no row-range view) — a copy of chunk_size * dim floats,
 /// negligible beside the search itself.
+using SteadyClock = std::chrono::steady_clock;
+
+/// Seconds two wall-clock intervals genuinely overlapped.
+double IntervalOverlapSeconds(SteadyClock::time_point a_start,
+                              SteadyClock::time_point a_end,
+                              SteadyClock::time_point b_start,
+                              SteadyClock::time_point b_end) {
+  const auto start = std::max(a_start, b_start);
+  const auto end = std::min(a_end, b_end);
+  if (end <= start) return 0;
+  return std::chrono::duration<double>(end - start).count();
+}
+
 SearchRequest SliceRequest(const SearchRequest& request, size_t offset,
                            size_t count, data::PointMatrix* scratch) {
   SearchRequest chunk = request;
@@ -363,7 +377,20 @@ Status Engine::ValidateRequest(const SearchRequest& request) const {
 
 Result<SearchResult> Engine::Search(const SearchRequest& request) {
   GENIE_RETURN_NOT_OK(ValidateRequest(request));
-  return searcher_->Search(request);
+  Result<SearchResult> result = searcher_->Search(request);
+  if (result.ok()) {
+    // Keep the cumulative overlap total monotonic across call types: a
+    // blocking Search contributes no overlap but still reports the
+    // engine-lifetime figure, like SearchStream does.
+    result->cumulative.overlap_seconds = AddOverlapSeconds(0);
+  }
+  return result;
+}
+
+double Engine::AddOverlapSeconds(double delta) {
+  std::lock_guard<std::mutex> lock(overlap_mu_);
+  overlap_total_s_ += delta;
+  return overlap_total_s_;
 }
 
 Result<SearchResult> Engine::SearchStream(const SearchRequest& request,
@@ -373,33 +400,30 @@ Result<SearchResult> Engine::SearchStream(const SearchRequest& request,
   const size_t total = request.num_queries();
   size_t chunk_size = options.chunk_size;
   if (chunk_size == 0) {
+    // The derivation models the per-query working memory (c-PQ arenas /
+    // count tables), which is allocated only while a chunk executes and is
+    // never resident for two chunks at once — pipelining double-buffers
+    // only the small task-list staging, which fits in the derivation's
+    // free-capacity headroom (and a staging ResourceExhausted merely falls
+    // back to unpipelined execution for that chunk). So the same fraction
+    // applies with and without pipelining.
     chunk_size = searcher_->DeriveChunkSize(request, options.memory_fraction);
   }
   if (chunk_size == 0) chunk_size = kDefaultStreamChunk;
+  const size_t num_chunks = (total + chunk_size - 1) / chunk_size;
 
   SearchResult aggregate;
   aggregate.queries.reserve(total);
-  size_t index = 0;
-  for (size_t done = 0; done < total; done += chunk_size, ++index) {
-    const size_t count = std::min(chunk_size, total - done);
-    data::PointMatrix scratch;
-    const SearchRequest chunk_request =
-        SliceRequest(request, done, count, &scratch);
-    // The searcher serializes one chunk's backend execution, not the
-    // stream: concurrent streams on one engine interleave chunk-by-chunk,
-    // each chunk's profile delta is computed atomically with its batch, and
-    // a chunk's host-side result shaping overlaps the next chunk's device
-    // work.
-    Result<SearchResult> chunk = searcher_->Search(chunk_request);
-    // Cancellation on first error: remaining chunks are never submitted.
-    if (!chunk.ok()) return chunk.status();
 
+  // Folds one answered chunk into the aggregate and delivers it in order.
+  auto deliver = [&](size_t index, size_t first_query,
+                     Result<SearchResult>&& chunk) -> Status {
     aggregate.profile.Accumulate(chunk->profile);
     aggregate.cumulative = chunk->cumulative;
     if (on_chunk) {
       SearchChunk delivery;
       delivery.index = index;
-      delivery.first_query = done;
+      delivery.first_query = first_query;
       delivery.result = std::move(*chunk);
       GENIE_RETURN_NOT_OK(on_chunk(delivery));
       chunk = std::move(delivery.result);
@@ -407,7 +431,107 @@ Result<SearchResult> Engine::SearchStream(const SearchRequest& request,
     for (QueryHits& hits : chunk->queries) {
       aggregate.queries.push_back(std::move(hits));
     }
+    return Status::OK();
+  };
+
+  if (!options.pipeline || num_chunks <= 1) {
+    // Sequential path: prepare and execute each chunk back-to-back.
+    size_t index = 0;
+    for (size_t done = 0; done < total; done += chunk_size, ++index) {
+      const size_t count = std::min(chunk_size, total - done);
+      data::PointMatrix scratch;
+      const SearchRequest chunk_request =
+          SliceRequest(request, done, count, &scratch);
+      // The searcher serializes one chunk's backend execution, not the
+      // stream: concurrent streams on one engine interleave chunk-by-chunk,
+      // each chunk's profile delta is computed atomically with its batch,
+      // and a chunk's host-side result shaping overlaps the next chunk's
+      // device work.
+      Result<SearchResult> chunk = searcher_->Search(chunk_request);
+      // Cancellation on first error: remaining chunks are never submitted.
+      if (!chunk.ok()) return chunk.status();
+      GENIE_RETURN_NOT_OK(deliver(index, done, std::move(chunk)));
+    }
+    aggregate.cumulative.overlap_seconds = AddOverlapSeconds(0);
+    return aggregate;
   }
+
+  // Pipelined path: chunk k+1's prepare stage (query transform + device
+  // staging) runs on a look-ahead thread concurrently with chunk k's
+  // execute stage on this thread, double-buffered — exactly one chunk
+  // staged ahead. Results, delivery order, and error semantics match the
+  // sequential path; prepare errors surface at their chunk's turn, and any
+  // error drains the staged successor (the look-ahead future is joined and
+  // the prepared chunk destroyed, releasing its staging memory) before the
+  // status is returned.
+  struct PrepOutcome {
+    Result<std::unique_ptr<Searcher::PreparedChunk>> prepared{
+        Status::Internal("prepare never ran")};
+    SteadyClock::time_point start{};
+    SteadyClock::time_point end{};
+  };
+  struct InFlight {
+    size_t first_query = 0;
+    /// Owns the points slice the prepared chunk's request borrows.
+    std::unique_ptr<data::PointMatrix> scratch;
+    std::future<PrepOutcome> future;
+  };
+  auto launch_prepare = [&](size_t index) -> InFlight {
+    InFlight slot;
+    slot.first_query = index * chunk_size;
+    const size_t count = std::min(chunk_size, total - slot.first_query);
+    slot.scratch = std::make_unique<data::PointMatrix>();
+    const SearchRequest chunk_request =
+        SliceRequest(request, slot.first_query, count, slot.scratch.get());
+    slot.future = std::async(std::launch::async, [this, chunk_request] {
+      PrepOutcome outcome;
+      outcome.start = SteadyClock::now();
+      outcome.prepared = searcher_->PrepareChunk(chunk_request);
+      outcome.end = SteadyClock::now();
+      return outcome;
+    });
+    return slot;
+  };
+
+  double overlap_s = 0;
+  SteadyClock::time_point exec_start{}, exec_end{};
+  InFlight current = launch_prepare(0);
+  for (size_t index = 0; index < num_chunks; ++index) {
+    PrepOutcome outcome = current.future.get();
+    // Keep the points slice alive until the chunk finishes executing (the
+    // prepared request borrows it for re-ranking).
+    std::unique_ptr<data::PointMatrix> scratch = std::move(current.scratch);
+    const size_t first_query = current.first_query;
+    // A prepare error surfaces at this chunk's turn, after every earlier
+    // chunk was delivered — like the sequential path. No successor has
+    // been launched yet, so there is nothing to drain.
+    if (!outcome.prepared.ok()) return outcome.prepared.status();
+    // This chunk's prepare ran while the previous chunk executed; count
+    // the genuine overlap.
+    if (index > 0) {
+      overlap_s += IntervalOverlapSeconds(outcome.start, outcome.end,
+                                          exec_start, exec_end);
+    }
+    // Stage the successor before executing this chunk — that concurrency
+    // is the pipeline.
+    if (index + 1 < num_chunks) {
+      current = launch_prepare(index + 1);
+    } else {
+      current = InFlight{};
+    }
+
+    exec_start = SteadyClock::now();
+    Result<SearchResult> chunk =
+        searcher_->ExecutePrepared(std::move(outcome.prepared).ValueOrDie());
+    exec_end = SteadyClock::now();
+    // Cancellation on first error (from the execution or the callback):
+    // returning destroys `current`, which joins the look-ahead thread and
+    // discards the staged chunk — the drain.
+    if (!chunk.ok()) return chunk.status();
+    GENIE_RETURN_NOT_OK(deliver(index, first_query, std::move(chunk)));
+  }
+  aggregate.profile.overlap_seconds = overlap_s;
+  aggregate.cumulative.overlap_seconds = AddOverlapSeconds(overlap_s);
   return aggregate;
 }
 

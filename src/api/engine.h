@@ -237,11 +237,16 @@ class Engine {
   /// into chunks of options.chunk_size queries, answers each through the
   /// backend (composing with the single-load -> multiple-loading
   /// escalation), and delivers per-chunk results in input order through
-  /// `on_chunk` (optional). The first error — from the backend or a non-OK
-  /// callback return — cancels the remaining chunks. On success the
-  /// returned SearchResult concatenates all chunks, identical to one
-  /// blocking Search of the whole request; its `profile` sums the chunk
-  /// deltas.
+  /// `on_chunk` (optional). With options.pipeline (the default) the stream
+  /// is two-stage: chunk k+1's prepare (query transform + per-device
+  /// staging) runs concurrently with chunk k's execute (match + select +
+  /// host merge), double-buffered so at most one chunk is staged ahead;
+  /// profile.overlap_seconds reports the measured overlap. The first
+  /// error — from the backend or a non-OK callback return — cancels the
+  /// remaining chunks and drains (discards) the staged chunk. On success
+  /// the returned SearchResult concatenates all chunks, identical to one
+  /// blocking Search of the whole request — pipelined or not; its
+  /// `profile` sums the chunk deltas.
   Result<SearchResult> SearchStream(const SearchRequest& request,
                                     const SearchStreamOptions& options = {},
                                     const SearchChunkCallback& on_chunk = {});
@@ -272,6 +277,10 @@ class Engine {
   /// Shared request validation of Search / SearchStream.
   Status ValidateRequest(const SearchRequest& request) const;
 
+  /// Folds a finished stream's measured overlap into the engine-lifetime
+  /// total and returns the new total (for cumulative.overlap_seconds).
+  double AddOverlapSeconds(double delta);
+
   EngineConfig config_;
   /// Thread-safe (each implementation serializes its backend execution
   /// internally; see searcher.h).
@@ -279,6 +288,10 @@ class Engine {
   /// Counts in-flight SearchAsync tasks; shared with the tasks themselves
   /// so the destructor can wait for them without lifetime games.
   std::shared_ptr<AsyncTracker> async_;
+  /// Engine-lifetime pipelined-overlap seconds (see
+  /// SearchProfile::overlap_seconds).
+  std::mutex overlap_mu_;
+  double overlap_total_s_ = 0;
 };
 
 }  // namespace genie

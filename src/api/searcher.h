@@ -30,8 +30,33 @@ class Searcher {
   /// facade does not serialize Search calls. Each implementation holds its
   /// own mutex around exactly the backend execution and its profile-delta
   /// bookkeeping, and shapes results outside that critical section so
-  /// concurrent callers overlap host work with device work.
+  /// concurrent callers overlap host work with device work. Implemented as
+  /// ExecutePrepared(PrepareChunk(request)), so the blocking and pipelined
+  /// paths share one code path and stay byte-identical.
   virtual Result<SearchResult> Search(const SearchRequest& request) = 0;
+
+  /// One chunk of a pipelined stream, prepared ahead of execution. Holds
+  /// the chunk's compiled queries and its device staging memory; dropping
+  /// an unexecuted chunk (cancellation) releases both.
+  struct PreparedChunk {
+    virtual ~PreparedChunk() = default;
+    /// The sliced request this chunk answers. Payload spans are borrowed:
+    /// the facade keeps the backing request (and any materialized points
+    /// slice) alive until ExecutePrepared returns or the chunk is dropped.
+    SearchRequest request;
+  };
+
+  /// Prepare stage of the pipelined SearchStream: the modality's query
+  /// transform plus backend staging, deliberately outside the execute
+  /// critical section — the facade runs PrepareChunk(chunk k+1)
+  /// concurrently with ExecutePrepared(chunk k) on this searcher.
+  virtual Result<std::unique_ptr<PreparedChunk>> PrepareChunk(
+      const SearchRequest& request) = 0;
+
+  /// Execute stage: answers a prepared chunk, with results identical to
+  /// Search(chunk->request).
+  virtual Result<SearchResult> ExecutePrepared(
+      std::unique_ptr<PreparedChunk> chunk) = 0;
 
   /// Queries per stream chunk derived from the free device memory, for
   /// SearchStream's chunk_size = 0 mode. 0 = no modality-specific

@@ -85,6 +85,7 @@ std::vector<DeviceProfile> DeviceCosts(
     costs[d].query_transfer_s = devices[d].query_transfer_s;
     costs[d].match_s = devices[d].match_s;
     costs[d].select_s = devices[d].select_s;
+    costs[d].prepare_s = devices[d].prepare_s;
     costs[d].index_bytes = devices[d].index_bytes;
     costs[d].query_bytes = devices[d].query_bytes;
     costs[d].result_bytes = devices[d].result_bytes;
@@ -102,6 +103,7 @@ SearchProfile MakeProfile(const MatchProfile& p, double merge_s,
   profile.select_s = p.select_s;
   profile.merge_s = merge_s;
   profile.verify_s = verify_s;
+  profile.prepare_seconds = p.prepare_s;
   profile.index_bytes = p.index_bytes;
   profile.query_bytes = p.query_bytes;
   profile.result_bytes = p.result_bytes;
@@ -171,6 +173,27 @@ class PointsSearcherImpl : public Searcher {
   uint32_t num_objects() const override { return points_->num_points(); }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
+    GENIE_ASSIGN_OR_RETURN(std::unique_ptr<PreparedChunk> chunk,
+                           PrepareChunk(request));
+    return ExecutePrepared(std::move(chunk));
+  }
+
+  struct Prepared : PreparedChunk {
+    lsh::LshSearcher::PreparedBatch batch;
+  };
+
+  Result<std::unique_ptr<PreparedChunk>> PrepareChunk(
+      const SearchRequest& request) override {
+    auto chunk = std::make_unique<Prepared>();
+    chunk->request = request;
+    GENIE_ASSIGN_OR_RETURN(chunk->batch, searcher_->Prepare(*request.points));
+    return std::unique_ptr<PreparedChunk>(std::move(chunk));
+  }
+
+  Result<SearchResult> ExecutePrepared(
+      std::unique_ptr<PreparedChunk> chunk) override {
+    auto* prepared = static_cast<Prepared*>(chunk.get());
+    const SearchRequest& request = prepared->request;
     std::vector<std::vector<lsh::AnnMatch>> matches;
     BackendSnapshot before, after;
     {
@@ -178,8 +201,8 @@ class PointsSearcherImpl : public Searcher {
       // bookkeeping. Re-ranking and hit shaping below run outside it.
       std::lock_guard<std::mutex> lock(mu_);
       before = Snapshot(searcher_->backend());
-      GENIE_ASSIGN_OR_RETURN(matches,
-                             searcher_->MatchBatch(*request.points));
+      GENIE_ASSIGN_OR_RETURN(
+          matches, searcher_->ExecutePrepared(std::move(prepared->batch)));
       after = Snapshot(searcher_->backend());
     }
     SearchResult result;
@@ -256,12 +279,34 @@ class SetsSearcherImpl : public Searcher {
   }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
+    GENIE_ASSIGN_OR_RETURN(std::unique_ptr<PreparedChunk> chunk,
+                           PrepareChunk(request));
+    return ExecutePrepared(std::move(chunk));
+  }
+
+  struct Prepared : PreparedChunk {
+    lsh::SetLshSearcher::PreparedBatch batch;
+  };
+
+  Result<std::unique_ptr<PreparedChunk>> PrepareChunk(
+      const SearchRequest& request) override {
+    auto chunk = std::make_unique<Prepared>();
+    chunk->request = request;
+    GENIE_ASSIGN_OR_RETURN(chunk->batch, searcher_->Prepare(request.sets));
+    return std::unique_ptr<PreparedChunk>(std::move(chunk));
+  }
+
+  Result<SearchResult> ExecutePrepared(
+      std::unique_ptr<PreparedChunk> chunk) override {
+    auto* prepared = static_cast<Prepared*>(chunk.get());
+    const SearchRequest& request = prepared->request;
     std::vector<std::vector<lsh::AnnMatch>> matches;
     BackendSnapshot before, after;
     {
       std::lock_guard<std::mutex> lock(mu_);
       before = Snapshot(searcher_->backend());
-      GENIE_ASSIGN_OR_RETURN(matches, searcher_->MatchBatch(request.sets));
+      GENIE_ASSIGN_OR_RETURN(
+          matches, searcher_->ExecutePrepared(std::move(prepared->batch)));
       after = Snapshot(searcher_->backend());
     }
     SearchResult result;
@@ -337,15 +382,39 @@ class SequencesSearcherImpl : public Searcher {
   }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
+    GENIE_ASSIGN_OR_RETURN(std::unique_ptr<PreparedChunk> chunk,
+                           PrepareChunk(request));
+    return ExecutePrepared(std::move(chunk));
+  }
+
+  struct Prepared : PreparedChunk {
+    sa::SequenceSearcher::PreparedBatch batch;
+  };
+
+  Result<std::unique_ptr<PreparedChunk>> PrepareChunk(
+      const SearchRequest& request) override {
+    auto chunk = std::make_unique<Prepared>();
+    chunk->request = request;
+    GENIE_ASSIGN_OR_RETURN(chunk->batch,
+                           searcher_->Prepare(request.sequences));
+    return std::unique_ptr<PreparedChunk>(std::move(chunk));
+  }
+
+  Result<SearchResult> ExecutePrepared(
+      std::unique_ptr<PreparedChunk> chunk) override {
+    auto* prepared = static_cast<Prepared*>(chunk.get());
+    const SearchRequest& request = prepared->request;
     std::vector<sa::SequenceSearchOutcome> outcomes;
     BackendSnapshot before, after;
     {
-      // Verification (Algorithm 2) happens inside SearchBatch, so the
-      // verify-seconds bookkeeping shares the critical section.
+      // Verification (Algorithm 2) — and any escalation rounds — happen
+      // inside ExecutePrepared, so the verify-seconds bookkeeping shares
+      // the critical section.
       std::lock_guard<std::mutex> lock(mu_);
       before = Snapshot(searcher_->backend(), searcher_->verify_seconds());
-      GENIE_ASSIGN_OR_RETURN(outcomes,
-                             searcher_->SearchBatch(request.sequences));
+      GENIE_ASSIGN_OR_RETURN(
+          outcomes, searcher_->ExecutePrepared(request.sequences,
+                                               std::move(prepared->batch)));
       after = Snapshot(searcher_->backend(), searcher_->verify_seconds());
     }
     SearchResult result;
@@ -400,12 +469,34 @@ class DocumentsSearcherImpl : public Searcher {
   }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
+    GENIE_ASSIGN_OR_RETURN(std::unique_ptr<PreparedChunk> chunk,
+                           PrepareChunk(request));
+    return ExecutePrepared(std::move(chunk));
+  }
+
+  struct Prepared : PreparedChunk {
+    sa::DocumentSearcher::PreparedBatch batch;
+  };
+
+  Result<std::unique_ptr<PreparedChunk>> PrepareChunk(
+      const SearchRequest& request) override {
+    auto chunk = std::make_unique<Prepared>();
+    chunk->request = request;
+    GENIE_ASSIGN_OR_RETURN(chunk->batch,
+                           searcher_->Prepare(request.documents));
+    return std::unique_ptr<PreparedChunk>(std::move(chunk));
+  }
+
+  Result<SearchResult> ExecutePrepared(
+      std::unique_ptr<PreparedChunk> chunk) override {
+    auto* prepared = static_cast<Prepared*>(chunk.get());
     std::vector<QueryResult> raw;
     BackendSnapshot before, after;
     {
       std::lock_guard<std::mutex> lock(mu_);
       before = Snapshot(searcher_->backend());
-      GENIE_ASSIGN_OR_RETURN(raw, searcher_->SearchBatch(request.documents));
+      GENIE_ASSIGN_OR_RETURN(
+          raw, searcher_->ExecutePrepared(std::move(prepared->batch)));
       after = Snapshot(searcher_->backend());
     }
     SearchResult result;
@@ -452,12 +543,33 @@ class RelationalSearcherImpl : public Searcher {
   uint32_t num_objects() const override { return table_->num_rows(); }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
+    GENIE_ASSIGN_OR_RETURN(std::unique_ptr<PreparedChunk> chunk,
+                           PrepareChunk(request));
+    return ExecutePrepared(std::move(chunk));
+  }
+
+  struct Prepared : PreparedChunk {
+    sa::RelationalSearcher::PreparedBatch batch;
+  };
+
+  Result<std::unique_ptr<PreparedChunk>> PrepareChunk(
+      const SearchRequest& request) override {
+    auto chunk = std::make_unique<Prepared>();
+    chunk->request = request;
+    GENIE_ASSIGN_OR_RETURN(chunk->batch, searcher_->Prepare(request.ranges));
+    return std::unique_ptr<PreparedChunk>(std::move(chunk));
+  }
+
+  Result<SearchResult> ExecutePrepared(
+      std::unique_ptr<PreparedChunk> chunk) override {
+    auto* prepared = static_cast<Prepared*>(chunk.get());
     std::vector<QueryResult> raw;
     BackendSnapshot before, after;
     {
       std::lock_guard<std::mutex> lock(mu_);
       before = Snapshot(searcher_->backend());
-      GENIE_ASSIGN_OR_RETURN(raw, searcher_->SearchBatch(request.ranges));
+      GENIE_ASSIGN_OR_RETURN(
+          raw, searcher_->ExecutePrepared(std::move(prepared->batch)));
       after = Snapshot(searcher_->backend());
     }
     SearchResult result;
@@ -521,12 +633,34 @@ class CompiledSearcherImpl : public Searcher {
   uint32_t num_objects() const override { return index_->num_objects(); }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
+    GENIE_ASSIGN_OR_RETURN(std::unique_ptr<PreparedChunk> chunk,
+                           PrepareChunk(request));
+    return ExecutePrepared(std::move(chunk));
+  }
+
+  struct Prepared : PreparedChunk {
+    EngineBackend::StagedChunk staged;
+  };
+
+  Result<std::unique_ptr<PreparedChunk>> PrepareChunk(
+      const SearchRequest& request) override {
+    auto chunk = std::make_unique<Prepared>();
+    chunk->request = request;
+    GENIE_ASSIGN_OR_RETURN(chunk->staged,
+                           backend_->Prepare(request.compiled));
+    return std::unique_ptr<PreparedChunk>(std::move(chunk));
+  }
+
+  Result<SearchResult> ExecutePrepared(
+      std::unique_ptr<PreparedChunk> chunk) override {
+    auto* prepared = static_cast<Prepared*>(chunk.get());
     std::vector<QueryResult> raw;
     BackendSnapshot before, after;
     {
       std::lock_guard<std::mutex> lock(mu_);
       before = Snapshot(*backend_);
-      GENIE_ASSIGN_OR_RETURN(raw, backend_->ExecuteBatch(request.compiled));
+      GENIE_ASSIGN_OR_RETURN(raw,
+                             backend_->Execute(std::move(prepared->staged)));
       after = Snapshot(*backend_);
     }
     SearchResult result;

@@ -98,6 +98,10 @@ struct DeviceProfile {
   double query_transfer_s = 0;
   double match_s = 0;
   double select_s = 0;
+  /// Prepare-stage seconds of this device (task resolution + staging
+  /// upload); a subset of query_transfer_s, split out so the pipelined
+  /// stream's per-device overlap potential is visible.
+  double prepare_s = 0;
   uint64_t index_bytes = 0;
   uint64_t query_bytes = 0;
   uint64_t result_bytes = 0;
@@ -114,6 +118,16 @@ struct SearchProfile {
   double select_s = 0;
   double merge_s = 0;   // multi-load host merge
   double verify_s = 0;  // sequence verification (Algorithm 2)
+  /// Prepare-stage seconds (Position-Map resolution + device staging of
+  /// the task lists). Counted inside query_transfer_s as well; split out
+  /// because this is the work the pipelined SearchStream overlaps with the
+  /// previous chunk's match.
+  double prepare_seconds = 0;
+  /// Wall-clock seconds during which a chunk's prepare ran concurrently
+  /// with another chunk's execution (the pipelined SearchStream's win;
+  /// always 0 on blocking Search and on single-chunk or unpipelined
+  /// streams).
+  double overlap_seconds = 0;
   uint64_t index_bytes = 0;
   uint64_t query_bytes = 0;
   uint64_t result_bytes = 0;
@@ -144,6 +158,8 @@ struct SearchProfile {
     select_s += other.select_s;
     merge_s += other.merge_s;
     verify_s += other.verify_s;
+    prepare_seconds += other.prepare_seconds;
+    overlap_seconds += other.overlap_seconds;
     index_bytes += other.index_bytes;
     query_bytes += other.query_bytes;
     result_bytes += other.result_bytes;
@@ -158,6 +174,7 @@ struct SearchProfile {
       per_device[d].query_transfer_s += other.per_device[d].query_transfer_s;
       per_device[d].match_s += other.per_device[d].match_s;
       per_device[d].select_s += other.per_device[d].select_s;
+      per_device[d].prepare_s += other.per_device[d].prepare_s;
       per_device[d].index_bytes += other.per_device[d].index_bytes;
       per_device[d].query_bytes += other.per_device[d].query_bytes;
       per_device[d].result_bytes += other.per_device[d].result_bytes;
@@ -182,8 +199,19 @@ struct SearchStreamOptions {
   /// DeriveLargeBatchSize — oversubscription-safe), else 1024.
   uint32_t chunk_size = 1024;
   /// When chunk_size is 0: fraction of the free device capacity the
-  /// per-chunk working memory may occupy.
+  /// per-chunk working memory may occupy. Working memory is only resident
+  /// for the executing chunk (pipelining double-buffers just the small
+  /// task-list staging, covered by the remaining headroom), so the same
+  /// fraction applies with and without pipelining.
   double memory_fraction = 0.5;
+  /// Two-stage pipelining (default on): chunk k+1's prepare stage (query
+  /// transform + per-device staging of the task lists) runs concurrently
+  /// with chunk k's execute stage (match + select + host merge),
+  /// double-buffered — at most one chunk staged ahead. Results, delivery
+  /// order, and cancellation semantics are identical to the sequential
+  /// path; the first error also drains (discards) the staged chunk.
+  /// profile.overlap_seconds reports the measured overlap.
+  bool pipeline = true;
 };
 
 /// One delivered chunk of a streaming search: `result.queries` holds the

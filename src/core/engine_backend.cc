@@ -50,29 +50,30 @@ Status EngineBackend::SetUpMultiLoad(uint32_t parts) {
   }
   // Build the replacement fully before touching the live engine, so an
   // error here leaves the backend in its previous (still valid) state.
-  // Moving a ShardedIndex moves its vector buffer without relocating the
-  // InvertedIndex elements, so the IndexParts stay valid after the commit.
+  // The sharded index is shared: an in-flight staged chunk (or a Prepare
+  // racing this escalation) keeps the previous generation alive until it
+  // drains.
   GENIE_ASSIGN_OR_RETURN(
       ShardedIndex sharded,
       ShardByObjectRange(*index_, parts, backend_options_.shard_build));
+  auto shared = std::make_shared<ShardedIndex>(std::move(sharded));
   std::vector<IndexPart> index_parts;
-  index_parts.reserve(sharded.shards.size());
-  for (size_t p = 0; p < sharded.shards.size(); ++p) {
-    index_parts.push_back(IndexPart{&sharded.shards[p], sharded.offsets[p]});
+  index_parts.reserve(shared->shards.size());
+  for (size_t p = 0; p < shared->shards.size(); ++p) {
+    index_parts.push_back(IndexPart{&shared->shards[p], shared->offsets[p]});
   }
   GENIE_ASSIGN_OR_RETURN(std::unique_ptr<MultiLoadEngine> multi,
                          MultiLoadEngine::Create(index_parts, options_));
 
   // Commit: fold the retiring engine's stage costs into the carried
-  // profile, then swap. The old engine is destroyed before the shards it
-  // points into. The multi-device tier is never re-established after a
-  // fallback, so the device registry (and its worker pools) goes with it;
-  // an externally owned set is merely unreferenced.
+  // profile, then swap. The multi-device tier is never re-established
+  // after a fallback, but an owned device registry is kept until the
+  // backend dies: staged chunks prepared against the retired tier may
+  // still hold buffers on its devices.
   RetireEngines();
-  owned_devices_.reset();
-  devices_ = nullptr;
-  sharded_ = std::move(sharded);
+  sharded_ = std::move(shared);
   multi_ = std::move(multi);
+  ++generation_;
   return Status::OK();
 }
 
@@ -94,18 +95,20 @@ Status EngineBackend::SetUpMultiDevice(uint32_t parts) {
   GENIE_ASSIGN_OR_RETURN(
       ShardedIndex sharded,
       ShardByObjectRange(*index_, parts, backend_options_.shard_build));
+  auto shared = std::make_shared<ShardedIndex>(std::move(sharded));
   std::vector<IndexPart> index_parts;
-  index_parts.reserve(sharded.shards.size());
-  for (size_t p = 0; p < sharded.shards.size(); ++p) {
-    index_parts.push_back(IndexPart{&sharded.shards[p], sharded.offsets[p]});
+  index_parts.reserve(shared->shards.size());
+  for (size_t p = 0; p < shared->shards.size(); ++p) {
+    index_parts.push_back(IndexPart{&shared->shards[p], shared->offsets[p]});
   }
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<MultiDeviceEngine> multi_device,
       MultiDeviceEngine::Create(index_parts, devices_, options_));
 
   RetireEngines();
-  sharded_ = std::move(sharded);
+  sharded_ = std::move(shared);
   multi_device_ = std::move(multi_device);
+  ++generation_;
   return Status::OK();
 }
 
@@ -172,6 +175,11 @@ Result<std::unique_ptr<EngineBackend>> EngineBackend::Create(
 Result<std::vector<QueryResult>> EngineBackend::ExecuteBatch(
     std::span<const Query> queries) {
   std::lock_guard<std::mutex> lock(mu_);
+  return ExecuteBatchLocked(queries);
+}
+
+Result<std::vector<QueryResult>> EngineBackend::ExecuteBatchLocked(
+    std::span<const Query> queries) {
   if (single_ != nullptr) {
     auto results = single_->ExecuteBatch(queries);
     if (results.ok() ||
@@ -200,6 +208,11 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteBatch(
         std::max(2u, std::min(EstimateParts(), backend_options_.max_parts))));
   }
 
+  return MultiLoadLoopLocked(queries);
+}
+
+Result<std::vector<QueryResult>> EngineBackend::MultiLoadLoopLocked(
+    std::span<const Query> queries) {
   while (true) {
     auto results = multi_->ExecuteBatch(queries);
     if (results.ok()) return results;
@@ -214,6 +227,122 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteBatch(
     GENIE_RETURN_NOT_OK(
         SetUpMultiLoad(std::min(parts * 2, backend_options_.max_parts)));
   }
+}
+
+Result<EngineBackend::StagedChunk> EngineBackend::Prepare(
+    std::span<const Query> queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  StagedChunk chunk;
+  chunk.queries_ = queries;
+  std::shared_ptr<MatchEngine> single;
+  std::shared_ptr<MultiLoadEngine> multi;
+  std::shared_ptr<MultiDeviceEngine> multi_device;
+  std::shared_ptr<const ShardedIndex> shards;
+  {
+    // Snapshot the live tier; the staging work below runs outside the lock
+    // so it can overlap a chunk executing on the device. The local shared
+    // references keep the snapshotted engine (and the sharded index it
+    // reads) alive through the staging calls even if a concurrent
+    // execution escalates tiers mid-staging; they are dropped when Prepare
+    // returns — the finished chunk holds only device buffers, so it never
+    // pins a retired engine's device memory. Execute detects a tier switch
+    // via the generation and discards the staged work.
+    std::lock_guard<std::mutex> lock(mu_);
+    chunk.generation_ = generation_;
+    shards = sharded_;
+    single = single_;
+    multi = multi_;
+    multi_device = multi_device_;
+  }
+  if (single != nullptr) {
+    auto staged = single->Prepare(queries);
+    if (staged.ok()) {
+      chunk.tier_ = StagedChunk::Tier::kSingle;
+      chunk.single_staged_ = std::move(staged).ValueOrDie();
+    } else if (staged.status().code() != StatusCode::kResourceExhausted) {
+      return staged.status();
+    }
+    // ResourceExhausted: no room to double-buffer the task lists beside
+    // the in-flight chunk; the chunk executes unpipelined (which can still
+    // escalate tiers if even single-buffered execution does not fit).
+  } else if (multi_device != nullptr) {
+    auto staged = multi_device->Prepare(queries);
+    if (staged.ok()) {
+      chunk.tier_ = StagedChunk::Tier::kMultiDevice;
+      chunk.device_staged_ = std::move(staged).ValueOrDie();
+    } else if (staged.status().code() != StatusCode::kResourceExhausted) {
+      return staged.status();
+    }
+  } else if (multi != nullptr) {
+    // Host-side resolution only — the multi-load device has no room for a
+    // second chunk's buffers, so the overlappable half is the CPU work.
+    chunk.multi_staged_ = multi->Prepare(queries);
+    chunk.tier_ = StagedChunk::Tier::kMultiLoad;
+  }
+  return chunk;
+}
+
+Result<std::vector<QueryResult>> EngineBackend::Execute(StagedChunk chunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Shared tail of the resident tiers (single / multi-device): return the
+  // staged results unless they signal the multi-load escalation, which
+  // mirrors ExecuteBatchLocked. The staged buffers were already released
+  // by ExecuteStaged, and chunks hold no engine references, so the
+  // retire inside SetUpMultiLoad genuinely frees the device-resident
+  // index before the fallback needs the memory — even with a successor
+  // chunk staged ahead.
+  auto finish_resident_tier =
+      [&](Result<std::vector<QueryResult>> results,
+          std::span<const Query> queries)
+      -> Result<std::vector<QueryResult>> {
+    if (results.ok() ||
+        results.status().code() != StatusCode::kResourceExhausted ||
+        !backend_options_.allow_multi_load) {
+      return results;
+    }
+    GENIE_RETURN_NOT_OK(SetUpMultiLoad(std::max(
+        2u, std::min(EstimateParts(), backend_options_.max_parts))));
+    return MultiLoadLoopLocked(queries);
+  };
+  if (chunk.tier_ != StagedChunk::Tier::kNone &&
+      chunk.generation_ == generation_) {
+    switch (chunk.tier_) {
+      case StagedChunk::Tier::kSingle:
+        return finish_resident_tier(
+            single_->ExecuteStaged(std::move(chunk.single_staged_)),
+            chunk.queries_);
+      case StagedChunk::Tier::kMultiDevice:
+        return finish_resident_tier(
+            multi_device_->ExecuteStaged(std::move(chunk.device_staged_)),
+            chunk.queries_);
+      case StagedChunk::Tier::kMultiLoad: {
+        auto results = multi_->ExecuteStaged(std::move(chunk.multi_staged_));
+        if (results.ok() ||
+            results.status().code() != StatusCode::kResourceExhausted) {
+          return results;
+        }
+        // Part escalation invalidates the pre-resolved per-part task
+        // lists; re-enter the plain loop (which re-resolves per attempt).
+        const uint32_t parts = NumPartsLocked();
+        if (parts >= backend_options_.max_parts ||
+            parts >= index_->num_objects()) {
+          return results;
+        }
+        GENIE_RETURN_NOT_OK(
+            SetUpMultiLoad(std::min(parts * 2, backend_options_.max_parts)));
+        return MultiLoadLoopLocked(chunk.queries_);
+      }
+      case StagedChunk::Tier::kNone:
+        break;
+    }
+  }
+  // Unstaged chunk, or the backend escalated between Prepare and Execute:
+  // drop any stale staged state, then run the plain path.
+  const std::span<const Query> queries = chunk.queries_;
+  chunk = StagedChunk{};
+  return ExecuteBatchLocked(queries);
 }
 
 uint32_t EngineBackend::NumPartsLocked() const {

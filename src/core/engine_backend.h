@@ -87,7 +87,57 @@ class EngineBackend {
       const EngineBackendOptions& backend_options = {});
 
   /// Executes one batch, escalating to (more) parts on ResourceExhausted.
+  /// Equivalent to Execute(Prepare(queries)).
   Result<std::vector<QueryResult>> ExecuteBatch(std::span<const Query> queries);
+
+  /// One chunk of the streaming pipeline, prepared ahead of execution: the
+  /// queries resolved into task lists and staged onto every device the live
+  /// tier will execute on (host-side only on the multi-load tier, whose
+  /// device can hold just one part at a time). Holds device staging memory;
+  /// destroying an unexecuted chunk (cancellation) releases it. Must not
+  /// outlive the backend, and the query span must stay alive until Execute
+  /// returns.
+  class StagedChunk {
+   public:
+    StagedChunk() = default;
+    StagedChunk(StagedChunk&&) = default;
+    StagedChunk& operator=(StagedChunk&&) = default;
+
+    /// True when device/host staging actually happened (false = Execute
+    /// will run the plain unpipelined path, e.g. because staging memory
+    /// did not fit beside the in-flight chunk).
+    bool staged() const { return tier_ != Tier::kNone; }
+
+   private:
+    friend class EngineBackend;
+    enum class Tier { kNone, kSingle, kMultiLoad, kMultiDevice };
+
+    Tier tier_ = Tier::kNone;
+    std::span<const Query> queries_;
+    uint64_t generation_ = 0;
+    /// Deliberately NO reference to the staged-against engine: the staged
+    /// state below only references devices (which outlive the backend), so
+    /// a chunk in flight never pins a retiring engine's device-resident
+    /// index through a tier escalation. Execute validates the tier via the
+    /// generation and uses the backend's own engine.
+    MatchEngine::StagedBatch single_staged_;
+    MultiLoadEngine::StagedBatch multi_staged_;
+    MultiDeviceEngine::StagedBatch device_staged_;
+  };
+
+  /// Prepare stage of the pipeline: transform-side work (Position-Map
+  /// resolution) plus per-device staging for the live tier. Thread-safe
+  /// and deliberately NOT serialized with Execute — Prepare(chunk k+1) is
+  /// meant to run concurrently with Execute(chunk k). A ResourceExhausted
+  /// during staging is absorbed (the chunk comes back unstaged and Execute
+  /// runs the plain path, which can still escalate); other errors surface.
+  Result<StagedChunk> Prepare(std::span<const Query> queries);
+
+  /// Execute stage: match + select + host merge of a prepared chunk,
+  /// consuming it. Serialized under the backend mutex like ExecuteBatch,
+  /// with the same tier-escalation behavior; results are identical to
+  /// ExecuteBatch over the same queries.
+  Result<std::vector<QueryResult>> Execute(StagedChunk chunk);
 
   /// Everything profile() / merge_seconds() / device_profiles() /
   /// multi_load() / num_parts() / num_devices() report, read under a
@@ -147,6 +197,13 @@ class EngineBackend {
 
   uint32_t NumPartsLocked() const;
   ProfileSnapshot SnapshotLocked() const;
+  /// The unpipelined execution path (the body of ExecuteBatch); mu_ held.
+  Result<std::vector<QueryResult>> ExecuteBatchLocked(
+      std::span<const Query> queries);
+  /// The multi-load execute + part-escalation loop; mu_ held and multi_
+  /// live.
+  Result<std::vector<QueryResult>> MultiLoadLoopLocked(
+      std::span<const Query> queries);
 
   const InvertedIndex* index_;
   MatchEngineOptions options_;
@@ -155,14 +212,23 @@ class EngineBackend {
   /// Serializes batches, tier escalation, and profile snapshots.
   mutable std::mutex mu_;
 
-  std::unique_ptr<MatchEngine> single_;
-  ShardedIndex sharded_;
-  std::unique_ptr<MultiLoadEngine> multi_;
+  /// Bumped on every tier switch / part escalation; staged chunks carry the
+  /// generation they were prepared under and are discarded on mismatch.
+  uint64_t generation_ = 0;
+
+  /// Engines and the sharded index they read are shared so a concurrent
+  /// Prepare's snapshot keeps a retiring generation alive for the duration
+  /// of its staging calls; the backend's own references are dropped at
+  /// escalation as before, and finished StagedChunks hold no engine
+  /// references at all.
+  std::shared_ptr<MatchEngine> single_;
+  std::shared_ptr<const ShardedIndex> sharded_;
+  std::shared_ptr<MultiLoadEngine> multi_;
   /// Multi-device tier: the device registry (owned unless the caller passed
   /// one in) and the resident sharded engine.
   std::unique_ptr<sim::DeviceSet> owned_devices_;
   sim::DeviceSet* devices_ = nullptr;
-  std::unique_ptr<MultiDeviceEngine> multi_device_;
+  std::shared_ptr<MultiDeviceEngine> multi_device_;
   /// Stage costs of retired engines (single-load before a fallback, or
   /// earlier multi-load generations before a part escalation), so profile()
   /// stays cumulative across backend switches.

@@ -11,73 +11,12 @@
 
 namespace genie {
 
-namespace {
-
-/// Flattened block work list: task t owns ranges
-/// [range_offsets[t], range_offsets[t+1]) of the (begin, end) arrays and
-/// contributes to query task_query[t].
-struct TaskList {
-  std::vector<uint32_t> task_query;
-  std::vector<uint32_t> range_offsets;  // task count + 1
-  std::vector<uint32_t> range_begin;
-  std::vector<uint32_t> range_end;
-
-  uint32_t num_tasks() const {
-    return static_cast<uint32_t>(task_query.size());
-  }
-  uint64_t SizeBytes() const {
-    return (task_query.size() + range_offsets.size() + range_begin.size() +
-            range_end.size()) *
-           sizeof(uint32_t);
-  }
-};
-
-/// Resolves every query item through the Position Map (host side, as in the
-/// paper) into the block work list. One task per item, unless
-/// max_lists_per_block splits an item's lists across several blocks.
-TaskList BuildTasks(const InvertedIndex& index,
-                    std::span<const Query> queries,
-                    uint32_t max_lists_per_block) {
-  TaskList tasks;
-  tasks.range_offsets.push_back(0);
-  std::vector<InvertedIndex::ListRef> item_lists;
-  for (uint32_t q = 0; q < queries.size(); ++q) {
-    const Query& query = queries[q];
-    for (uint32_t i = 0; i < query.num_items(); ++i) {
-      item_lists.clear();
-      for (Keyword kw : query.item(i)) {
-        auto [first, count] = index.KeywordLists(kw);
-        for (uint32_t l = 0; l < count; ++l) {
-          const auto ref = index.List(first + l);
-          if (ref.length() > 0) item_lists.push_back(ref);
-        }
-      }
-      if (item_lists.empty()) continue;
-      const uint32_t chunk = max_lists_per_block > 0
-                                 ? max_lists_per_block
-                                 : static_cast<uint32_t>(item_lists.size());
-      for (size_t pos = 0; pos < item_lists.size(); pos += chunk) {
-        const size_t end = std::min(pos + chunk, item_lists.size());
-        tasks.task_query.push_back(q);
-        for (size_t l = pos; l < end; ++l) {
-          tasks.range_begin.push_back(item_lists[l].begin);
-          tasks.range_end.push_back(item_lists[l].end);
-        }
-        tasks.range_offsets.push_back(
-            static_cast<uint32_t>(tasks.range_begin.size()));
-      }
-    }
-  }
-  return tasks;
-}
-
-}  // namespace
-
 void MatchProfile::Accumulate(const MatchProfile& other) {
   index_transfer_s += other.index_transfer_s;
   query_transfer_s += other.query_transfer_s;
   match_s += other.match_s;
   select_s += other.select_s;
+  prepare_s += other.prepare_s;
   index_bytes += other.index_bytes;
   query_bytes += other.query_bytes;
   result_bytes += other.result_bytes;
@@ -93,6 +32,7 @@ void MatchProfile::Subtract(const MatchProfile& earlier) {
   query_transfer_s -= earlier.query_transfer_s;
   match_s -= earlier.match_s;
   select_s -= earlier.select_s;
+  prepare_s -= earlier.prepare_s;
   index_bytes -= earlier.index_bytes;
   query_bytes -= earlier.query_bytes;
   result_bytes -= earlier.result_bytes;
@@ -158,50 +98,125 @@ uint64_t MatchEngine::DeviceBytesPerQuery(uint32_t num_objects,
          sizeof(uint32_t);
 }
 
-Result<std::vector<QueryResult>> MatchEngine::ExecuteBatch(
+MatchTaskList MatchEngine::ResolveTasks(const InvertedIndex& index,
+                                        std::span<const Query> queries,
+                                        const MatchEngineOptions& options) {
+  MatchTaskList tasks;
+  ScopedTimer timer(&tasks.build_s);
+  tasks.num_queries = static_cast<uint32_t>(queries.size());
+  tasks.max_count =
+      options.max_count > 0 ? options.max_count : DeriveMaxCount(queries);
+  tasks.range_offsets.push_back(0);
+  std::vector<InvertedIndex::ListRef> item_lists;
+  for (uint32_t q = 0; q < queries.size(); ++q) {
+    const Query& query = queries[q];
+    for (uint32_t i = 0; i < query.num_items(); ++i) {
+      item_lists.clear();
+      for (Keyword kw : query.item(i)) {
+        auto [first, count] = index.KeywordLists(kw);
+        for (uint32_t l = 0; l < count; ++l) {
+          const auto ref = index.List(first + l);
+          if (ref.length() > 0) item_lists.push_back(ref);
+        }
+      }
+      if (item_lists.empty()) continue;
+      const uint32_t chunk = options.max_lists_per_block > 0
+                                 ? options.max_lists_per_block
+                                 : static_cast<uint32_t>(item_lists.size());
+      for (size_t pos = 0; pos < item_lists.size(); pos += chunk) {
+        const size_t end = std::min(pos + chunk, item_lists.size());
+        tasks.task_query.push_back(q);
+        for (size_t l = pos; l < end; ++l) {
+          tasks.range_begin.push_back(item_lists[l].begin);
+          tasks.range_end.push_back(item_lists[l].end);
+        }
+        tasks.range_offsets.push_back(
+            static_cast<uint32_t>(tasks.range_begin.size()));
+      }
+    }
+  }
+  return tasks;
+}
+
+Result<MatchEngine::StagedBatch> MatchEngine::Stage(
+    const MatchTaskList& tasks) {
+  if (tasks.num_queries == 0) {
+    return Status::InvalidArgument("empty query batch");
+  }
+  StagedBatch staged;
+  staged.prepare_s = tasks.build_s;
+  {
+    ScopedTimer timer(&staged.prepare_s);
+    staged.num_queries = tasks.num_queries;
+    staged.max_count = tasks.max_count;
+    staged.num_tasks = tasks.num_tasks();
+    staged.query_bytes = tasks.SizeBytes();
+    GENIE_ASSIGN_OR_RETURN(staged.task_query,
+                           sim::DeviceBuffer<uint32_t>::Allocate(
+                               device_, tasks.task_query.size()));
+    GENIE_RETURN_NOT_OK(staged.task_query.CopyFromHost(tasks.task_query));
+    GENIE_ASSIGN_OR_RETURN(staged.range_offsets,
+                           sim::DeviceBuffer<uint32_t>::Allocate(
+                               device_, tasks.range_offsets.size()));
+    GENIE_RETURN_NOT_OK(
+        staged.range_offsets.CopyFromHost(tasks.range_offsets));
+    GENIE_ASSIGN_OR_RETURN(staged.range_begin,
+                           sim::DeviceBuffer<uint32_t>::Allocate(
+                               device_, tasks.range_begin.size()));
+    GENIE_RETURN_NOT_OK(staged.range_begin.CopyFromHost(tasks.range_begin));
+    GENIE_ASSIGN_OR_RETURN(staged.range_end,
+                           sim::DeviceBuffer<uint32_t>::Allocate(
+                               device_, tasks.range_end.size()));
+    GENIE_RETURN_NOT_OK(staged.range_end.CopyFromHost(tasks.range_end));
+    staged.lease = sim::StagingLease(device_, staged.query_bytes);
+  }
+  return staged;
+}
+
+Result<MatchEngine::StagedBatch> MatchEngine::Prepare(
     std::span<const Query> queries) {
   if (queries.empty()) {
     return Status::InvalidArgument("empty query batch");
   }
+  return Stage(ResolveTasks(*index_, queries, options_));
+}
+
+Result<std::vector<QueryResult>> MatchEngine::ExecuteBatch(
+    std::span<const Query> queries) {
+  GENIE_ASSIGN_OR_RETURN(StagedBatch staged, Prepare(queries));
+  return ExecuteStaged(std::move(staged));
+}
+
+Result<std::vector<QueryResult>> MatchEngine::ExecuteStaged(
+    StagedBatch staged) {
+  if (staged.num_queries == 0) {
+    return Status::InvalidArgument("empty query batch");
+  }
   if (options_.k == 0) return Status::InvalidArgument("k must be >= 1");
-  const uint32_t num_queries = static_cast<uint32_t>(queries.size());
+  const uint32_t num_queries = staged.num_queries;
   std::vector<QueryResult> results(num_queries);
 
   const uint32_t n = index_->num_objects();
-  const uint32_t max_count =
-      options_.max_count > 0 ? options_.max_count : DeriveMaxCount(queries);
+  const uint32_t max_count = staged.max_count;
 
-  // --- Stage: query transfer (host -> device task list). -------------------
-  TaskList tasks;
-  sim::DeviceBuffer<uint32_t> d_task_query, d_range_offsets, d_range_begin,
-      d_range_end;
-  {
-    ScopedTimer timer(&profile_.query_transfer_s);
-    tasks = BuildTasks(*index_, queries, options_.max_lists_per_block);
-    profile_.query_bytes += tasks.SizeBytes();
-    GENIE_ASSIGN_OR_RETURN(d_task_query,
-                           sim::DeviceBuffer<uint32_t>::Allocate(
-                               device_, tasks.task_query.size()));
-    GENIE_RETURN_NOT_OK(d_task_query.CopyFromHost(tasks.task_query));
-    GENIE_ASSIGN_OR_RETURN(d_range_offsets,
-                           sim::DeviceBuffer<uint32_t>::Allocate(
-                               device_, tasks.range_offsets.size()));
-    GENIE_RETURN_NOT_OK(d_range_offsets.CopyFromHost(tasks.range_offsets));
-    GENIE_ASSIGN_OR_RETURN(d_range_begin,
-                           sim::DeviceBuffer<uint32_t>::Allocate(
-                               device_, tasks.range_begin.size()));
-    GENIE_RETURN_NOT_OK(d_range_begin.CopyFromHost(tasks.range_begin));
-    GENIE_ASSIGN_OR_RETURN(d_range_end,
-                           sim::DeviceBuffer<uint32_t>::Allocate(
-                               device_, tasks.range_end.size()));
-    GENIE_RETURN_NOT_OK(d_range_end.CopyFromHost(tasks.range_end));
-  }
+  // The staged prepare costs are folded in here — not at Prepare time — so
+  // a look-ahead Prepare never races the profile of an executing batch, and
+  // a cancelled (never-executed) staged chunk leaves no trace.
+  profile_.query_transfer_s += staged.prepare_s;
+  profile_.prepare_s += staged.prepare_s;
+  profile_.query_bytes += staged.query_bytes;
+
+  // The chunk is now executing, not staged: drop the staging classification
+  // (the buffers themselves stay allocated until this batch completes), so
+  // Device::staging_bytes() counts only the look-ahead chunk.
+  staged.lease = sim::StagingLease();
 
   const ObjectId* postings = device_postings_.data();
-  const uint32_t* task_query = d_task_query.data();
-  const uint32_t* range_offsets = d_range_offsets.data();
-  const uint32_t* range_begin = d_range_begin.data();
-  const uint32_t* range_end = d_range_end.data();
+  const uint32_t* task_query = staged.task_query.data();
+  const uint32_t* range_offsets = staged.range_offsets.data();
+  const uint32_t* range_begin = staged.range_begin.data();
+  const uint32_t* range_end = staged.range_end.data();
+  const uint32_t num_tasks = staged.num_tasks;
   const uint32_t block_dim = options_.block_dim;
   std::atomic<bool> overflow{false};
   HashTableStats* stats =
@@ -254,7 +269,7 @@ Result<std::vector<QueryResult>> MatchEngine::ExecuteBatch(
     {
       ScopedTimer timer(&profile_.match_s);
       GENIE_RETURN_NOT_OK(device_->Launch(
-          {tasks.num_tasks(), block_dim}, [&](const sim::ThreadCtx& ctx) {
+          {num_tasks, block_dim}, [&](const sim::ThreadCtx& ctx) {
             const uint32_t t = ctx.block_idx;
             CpqView cpq = cpq_for(task_query[t]);
             for (uint32_t r = range_offsets[t]; r < range_offsets[t + 1];
@@ -368,7 +383,7 @@ Result<std::vector<QueryResult>> MatchEngine::ExecuteBatch(
                                             num_queries));
     uint32_t* counts_base = d_counts.data();
     GENIE_RETURN_NOT_OK(device_->Launch(
-        {tasks.num_tasks(), block_dim}, [&](const sim::ThreadCtx& ctx) {
+        {num_tasks, block_dim}, [&](const sim::ThreadCtx& ctx) {
           const uint32_t t = ctx.block_idx;
           CountTableView table(
               counts_base + static_cast<uint64_t>(task_query[t]) * n, n);

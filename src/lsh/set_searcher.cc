@@ -103,12 +103,25 @@ Status SetLshSearcher::SetUpEngine() {
 
 Result<std::vector<std::vector<AnnMatch>>> SetLshSearcher::MatchBatch(
     std::span<const std::vector<uint32_t>> queries) {
-  std::vector<Query> compiled(queries.size());
+  GENIE_ASSIGN_OR_RETURN(PreparedBatch batch, Prepare(queries));
+  return ExecutePrepared(std::move(batch));
+}
+
+Result<SetLshSearcher::PreparedBatch> SetLshSearcher::Prepare(
+    std::span<const std::vector<uint32_t>> queries) {
+  PreparedBatch batch;
+  batch.compiled.resize(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    for (Keyword kw : Transform(queries[i])) compiled[i].AddItem(kw);
+    for (Keyword kw : Transform(queries[i])) batch.compiled[i].AddItem(kw);
   }
+  GENIE_ASSIGN_OR_RETURN(batch.staged, engine_->Prepare(batch.compiled));
+  return batch;
+}
+
+Result<std::vector<std::vector<AnnMatch>>> SetLshSearcher::ExecutePrepared(
+    PreparedBatch batch) {
   GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> raw,
-                         engine_->ExecuteBatch(compiled));
+                         engine_->Execute(std::move(batch.staged)));
   const double m = family_->num_functions();
   std::vector<std::vector<AnnMatch>> results(raw.size());
   for (size_t q = 0; q < raw.size(); ++q) {

@@ -47,9 +47,22 @@ class SetLshSearcher {
 
   /// Candidates per query in descending match-count order; entry 0 is the
   /// tau-ANN under the family's similarity (Jaccard for MinHash), and
-  /// count/m estimates that similarity (Eqn. 7).
+  /// count/m estimates that similarity (Eqn. 7). Equivalent to
+  /// ExecutePrepared(Prepare(queries)).
   Result<std::vector<std::vector<AnnMatch>>> MatchBatch(
       std::span<const std::vector<uint32_t>> queries);
+
+  /// Two-phase MatchBatch for the streaming pipeline (see
+  /// LshSearcher::Prepare): MinHash transform + backend staging, then
+  /// execution; Prepare may run concurrently with ExecutePrepared.
+  struct PreparedBatch {
+    std::vector<Query> compiled;
+    EngineBackend::StagedChunk staged;
+  };
+  Result<PreparedBatch> Prepare(
+      std::span<const std::vector<uint32_t>> queries);
+  Result<std::vector<std::vector<AnnMatch>>> ExecutePrepared(
+      PreparedBatch batch);
 
   /// kNN by exact Jaccard similarity over the top match-count candidates
   /// (descending similarity).

@@ -85,11 +85,24 @@ Query DocumentSearcher::Compile(const Document& query) const {
 
 Result<std::vector<QueryResult>> DocumentSearcher::SearchBatch(
     std::span<const Document> queries) {
-  std::vector<Query> compiled(queries.size());
+  GENIE_ASSIGN_OR_RETURN(PreparedBatch batch, Prepare(queries));
+  return ExecutePrepared(std::move(batch));
+}
+
+Result<DocumentSearcher::PreparedBatch> DocumentSearcher::Prepare(
+    std::span<const Document> queries) {
+  PreparedBatch batch;
+  batch.compiled.resize(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    compiled[i] = Compile(queries[i]);
+    batch.compiled[i] = Compile(queries[i]);
   }
-  return engine_->ExecuteBatch(compiled);
+  GENIE_ASSIGN_OR_RETURN(batch.staged, engine_->Prepare(batch.compiled));
+  return batch;
+}
+
+Result<std::vector<QueryResult>> DocumentSearcher::ExecutePrepared(
+    PreparedBatch batch) {
+  return engine_->Execute(std::move(batch.staged));
 }
 
 }  // namespace sa

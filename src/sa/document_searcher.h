@@ -42,8 +42,19 @@ class DocumentSearcher {
       uint32_t vocab_size, InvertedIndex index);
 
   /// Per query: top-k documents by word-overlap (inner product).
+  /// Equivalent to ExecutePrepared(Prepare(queries)).
   Result<std::vector<QueryResult>> SearchBatch(
       std::span<const Document> queries);
+
+  /// Two-phase SearchBatch for the streaming pipeline: token dedup +
+  /// compile + backend staging, then execution. Prepare may run
+  /// concurrently with ExecutePrepared.
+  struct PreparedBatch {
+    std::vector<Query> compiled;
+    EngineBackend::StagedChunk staged;
+  };
+  Result<PreparedBatch> Prepare(std::span<const Document> queries);
+  Result<std::vector<QueryResult>> ExecutePrepared(PreparedBatch batch);
 
   Query Compile(const Document& query) const;
 

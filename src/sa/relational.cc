@@ -149,11 +149,24 @@ Result<Query> RelationalSearcher::Compile(const RangeQuery& query) const {
 
 Result<std::vector<QueryResult>> RelationalSearcher::SearchBatch(
     std::span<const RangeQuery> queries) const {
-  std::vector<Query> compiled(queries.size());
+  GENIE_ASSIGN_OR_RETURN(PreparedBatch batch, Prepare(queries));
+  return ExecutePrepared(std::move(batch));
+}
+
+Result<RelationalSearcher::PreparedBatch> RelationalSearcher::Prepare(
+    std::span<const RangeQuery> queries) const {
+  PreparedBatch batch;
+  batch.compiled.resize(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    GENIE_ASSIGN_OR_RETURN(compiled[i], Compile(queries[i]));
+    GENIE_ASSIGN_OR_RETURN(batch.compiled[i], Compile(queries[i]));
   }
-  return engine_->ExecuteBatch(compiled);
+  GENIE_ASSIGN_OR_RETURN(batch.staged, engine_->Prepare(batch.compiled));
+  return batch;
+}
+
+Result<std::vector<QueryResult>> RelationalSearcher::ExecutePrepared(
+    PreparedBatch batch) const {
+  return engine_->Execute(std::move(batch.staged));
 }
 
 }  // namespace sa

@@ -101,9 +101,20 @@ class RelationalSearcher {
       const IndexBuildOptions& build_options = {},
       const EngineBackendOptions& backend_options = {});
 
-  /// Top-k rows by number of satisfied ranges.
+  /// Top-k rows by number of satisfied ranges. Equivalent to
+  /// ExecutePrepared(Prepare(queries)).
   Result<std::vector<QueryResult>> SearchBatch(
       std::span<const RangeQuery> queries) const;
+
+  /// Two-phase SearchBatch for the streaming pipeline: range lowering +
+  /// backend staging, then execution. Prepare may run concurrently with
+  /// ExecutePrepared.
+  struct PreparedBatch {
+    std::vector<Query> compiled;
+    EngineBackend::StagedChunk staged;
+  };
+  Result<PreparedBatch> Prepare(std::span<const RangeQuery> queries) const;
+  Result<std::vector<QueryResult>> ExecutePrepared(PreparedBatch batch) const;
 
   /// Lowers a range query: one item per attribute covering the bucket run.
   Result<Query> Compile(const RangeQuery& query) const;

@@ -164,12 +164,29 @@ SequenceSearchOutcome SequenceSearcher::Verify(
 
 Result<std::vector<SequenceSearchOutcome>> SequenceSearcher::SearchBatch(
     std::span<const std::string> queries) {
-  std::vector<Query> compiled(queries.size());
+  GENIE_ASSIGN_OR_RETURN(PreparedBatch batch, Prepare(queries));
+  return ExecutePrepared(queries, std::move(batch));
+}
+
+Result<SequenceSearcher::PreparedBatch> SequenceSearcher::Prepare(
+    std::span<const std::string> queries) {
+  PreparedBatch batch;
+  batch.compiled.resize(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    compiled[i] = Compile(queries[i]);
+    batch.compiled[i] = Compile(queries[i]);
+  }
+  GENIE_ASSIGN_OR_RETURN(batch.staged, engine_->Prepare(batch.compiled));
+  return batch;
+}
+
+Result<std::vector<SequenceSearchOutcome>> SequenceSearcher::ExecutePrepared(
+    std::span<const std::string> queries, PreparedBatch batch) {
+  if (batch.compiled.size() != queries.size()) {
+    return Status::InvalidArgument(
+        "prepared batch does not match the query span");
   }
   GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> raw,
-                         engine_->ExecuteBatch(compiled));
+                         engine_->Execute(std::move(batch.staged)));
   std::vector<SequenceSearchOutcome> outcomes(queries.size());
   {
     ScopedTimer timer(&verify_seconds_);

@@ -1,0 +1,325 @@
+/// Pipelined SearchStream: the two-stage (prepare chunk k+1 concurrently
+/// with execute chunk k) pipeline must be invisible in the results — every
+/// modality, at every device count, answers identically to the sequential
+/// stream — while the profile reports prepare/overlap seconds, staged
+/// chunks are drained on mid-stream cancellation, and the engine stays
+/// usable afterwards.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/genie.h"
+#include "api_test_util.h"
+#include "common/rng.h"
+#include "data/documents.h"
+#include "data/points.h"
+#include "data/relational_data.h"
+#include "data/sequences.h"
+#include "test_util.h"
+
+namespace genie {
+namespace {
+
+using test::DeviceSweep;
+
+/// Streams `request` twice — pipelined and sequential — through engines at
+/// every device count, and requires identical answers everywhere (the
+/// reference is the 1-device sequential stream).
+template <typename MakeConfig, typename MakeRequest>
+void CheckPipelineInvisible(MakeConfig make_config, MakeRequest make_request,
+                            uint32_t chunk_size) {
+  Result<SearchResult> reference = Status::Internal("unset");
+  for (uint32_t devices : DeviceSweep()) {
+    auto engine = Engine::Create(make_config().Devices(devices));
+    ASSERT_TRUE(engine.ok())
+        << devices << " devices: " << engine.status().ToString();
+
+    SearchStreamOptions sequential;
+    sequential.chunk_size = chunk_size;
+    sequential.pipeline = false;
+    auto seq = (*engine)->SearchStream(make_request(), sequential);
+    ASSERT_TRUE(seq.ok())
+        << devices << " devices: " << seq.status().ToString();
+    EXPECT_EQ(seq->profile.overlap_seconds, 0);
+
+    SearchStreamOptions pipelined;
+    pipelined.chunk_size = chunk_size;
+    pipelined.pipeline = true;
+    auto pipe = (*engine)->SearchStream(make_request(), pipelined);
+    ASSERT_TRUE(pipe.ok())
+        << devices << " devices: " << pipe.status().ToString();
+    EXPECT_GE(pipe->profile.overlap_seconds, 0);
+    EXPECT_GT(pipe->profile.prepare_seconds, 0);
+
+    const std::string label =
+        "pipelined vs sequential at " + std::to_string(devices) + " devices";
+    test::ExpectSameAnswers(*pipe, *seq, label);
+    if (devices == 1) {
+      reference = std::move(seq);
+      continue;
+    }
+    test::ExpectSameAnswers(
+        *pipe, *reference,
+        "pipelined at " + std::to_string(devices) + " devices vs 1-device");
+  }
+}
+
+TEST(PipelinedStreamTest, PointsIdenticalAcrossDeviceCounts) {
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 400;
+  data_options.dim = 6;
+  data_options.num_clusters = 8;
+  data_options.seed = 101;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  auto queries = data::MakeQueriesNear(dataset.points, 13, 0.1, 102);
+
+  CheckPipelineInvisible(
+      [&] {
+        return EngineConfig()
+            .Points(&dataset.points)
+            .K(5)
+            .HashFunctions(16)
+            .RehashDomain(64)
+            .Seed(103)
+            .Device(test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Points(queries); }, /*chunk_size=*/4);
+}
+
+TEST(PipelinedStreamTest, SetsIdenticalAcrossDeviceCounts) {
+  Rng rng(104);
+  std::vector<std::vector<uint32_t>> sets(150);
+  for (auto& set : sets) {
+    for (int i = 0; i < 10; ++i) {
+      set.push_back(static_cast<uint32_t>(rng.UniformU64(3000)));
+    }
+  }
+  std::vector<std::vector<uint32_t>> queries;
+  for (size_t i = 0; i < sets.size(); i += 15) queries.push_back(sets[i]);
+
+  CheckPipelineInvisible(
+      [&] {
+        return EngineConfig()
+            .Sets(&sets)
+            .K(4)
+            .HashFunctions(16)
+            .RehashDomain(128)
+            .Seed(105)
+            .Device(test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Sets(queries); }, /*chunk_size=*/3);
+}
+
+TEST(PipelinedStreamTest, SequencesIdenticalAcrossDeviceCounts) {
+  data::SequenceDatasetOptions data_options;
+  data_options.num_sequences = 150;
+  data_options.min_length = 15;
+  data_options.max_length = 25;
+  data_options.seed = 106;
+  auto sequences = data::MakeSequences(data_options);
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < sequences.size(); i += 12) {
+    queries.push_back(sequences[i]);
+  }
+
+  CheckPipelineInvisible(
+      [&] {
+        return EngineConfig()
+            .Sequences(&sequences)
+            .K(2)
+            .CandidateK(16)
+            .Device(test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Sequences(queries); }, /*chunk_size=*/4);
+}
+
+TEST(PipelinedStreamTest, DocumentsIdenticalAcrossDeviceCounts) {
+  data::DocumentDatasetOptions data_options;
+  data_options.num_documents = 200;
+  data_options.vocabulary = 500;
+  data_options.seed = 107;
+  auto documents = data::MakeDocuments(data_options);
+  std::vector<std::vector<uint32_t>> queries;
+  for (size_t i = 0; i < documents.size(); i += 16) {
+    queries.push_back(documents[i]);
+  }
+
+  CheckPipelineInvisible(
+      [&] {
+        return EngineConfig().Documents(&documents).K(4).Device(
+            test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Documents(queries); }, /*chunk_size=*/4);
+}
+
+TEST(PipelinedStreamTest, RelationalIdenticalAcrossDeviceCounts) {
+  data::RelationalDatasetOptions data_options;
+  data_options.num_rows = 300;
+  data_options.seed = 108;
+  auto table = data::MakeRelationalTable(data_options);
+  auto queries = data::MakeRangeQueries(table, /*count=*/14,
+                                        /*numeric_columns=*/3,
+                                        /*numeric_halfwidth=*/50, /*seed=*/109);
+
+  CheckPipelineInvisible(
+      [&] {
+        return EngineConfig().Table(&table).K(5).Device(
+            test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Ranges(queries); }, /*chunk_size=*/4);
+}
+
+TEST(PipelinedStreamTest, CompiledIdenticalAcrossDeviceCounts) {
+  auto workload = test::MakeRandomWorkload(800, 60, 6, 40, 5, 110);
+  CheckPipelineInvisible(
+      [&] {
+        return EngineConfig().Index(&workload.index).K(7).Device(
+            test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Compiled(workload.queries); },
+      /*chunk_size=*/8);
+}
+
+TEST(PipelinedStreamTest, ReportsOverlapOnMultiChunkRuns) {
+  // Chunks big enough that prepare(k+1) and execute(k) measurably coexist:
+  // the prepare stage is launched before the execute stage starts, so with
+  // per-stage work in the hundreds of microseconds the intervals intersect.
+  auto workload = test::MakeRandomWorkload(4000, 80, 10, 512, 24, 111);
+  auto engine = Engine::Create(
+      EngineConfig().Index(&workload.index).K(10).Device(
+          test::SharedTestDevice(4)));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  SearchStreamOptions options;
+  options.chunk_size = 128;  // 4 chunks
+  // Overlap is a measured wall-clock property; on an oversubscribed runner
+  // a single stream's look-ahead threads can in principle all be scheduled
+  // outside the execute windows. Retry a few times before judging.
+  double overlap = 0;
+  for (int attempt = 0; attempt < 5 && overlap == 0; ++attempt) {
+    auto streamed = (*engine)->SearchStream(
+        SearchRequest::Compiled(workload.queries), options);
+    ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+    EXPECT_GT(streamed->profile.prepare_seconds, 0);
+    // Prepare seconds are a sub-stage of query transfer, never larger.
+    EXPECT_LE(streamed->profile.prepare_seconds,
+              streamed->profile.query_transfer_s + 1e-9);
+    EXPECT_GE(streamed->cumulative.overlap_seconds,
+              streamed->profile.overlap_seconds);
+    overlap = streamed->profile.overlap_seconds;
+  }
+  EXPECT_GT(overlap, 0);
+}
+
+TEST(PipelinedStreamTest, CancellationDrainsStagedChunkWithoutDeadlock) {
+  // A consumer error on chunk 1 cancels the stream while chunk 2's staged
+  // work is in flight. The staged chunk must be discarded (device staging
+  // accounting back to zero), the error must surface unchanged, and the
+  // engine must keep serving.
+  auto workload = test::MakeRandomWorkload(600, 50, 6, 24, 4, 112);
+  sim::Device::Options device_options;
+  device_options.num_workers = 2;
+  sim::Device device(device_options);
+  auto engine = Engine::Create(
+      EngineConfig().Index(&workload.index).K(5).Device(&device));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  SearchStreamOptions options;
+  options.chunk_size = 4;  // 6 chunks
+  size_t delivered = 0;
+  auto streamed = (*engine)->SearchStream(
+      SearchRequest::Compiled(workload.queries), options,
+      [&](const SearchChunk& chunk) {
+        ++delivered;
+        if (chunk.index == 1) return Status::Internal("consumer gave up");
+        return Status::OK();
+      });
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(streamed.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(delivered, 2u);
+  // The staged successor was drained: no staging bytes left behind.
+  EXPECT_EQ(device.staging_bytes(), 0u);
+
+  // The engine still answers, and correctly.
+  auto blocking = (*engine)->Search(SearchRequest::Compiled(workload.queries));
+  ASSERT_TRUE(blocking.ok()) << blocking.status().ToString();
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    const auto counts =
+        test::BruteForceCounts(workload.index, workload.queries[q]);
+    std::vector<uint32_t> got;
+    for (const Hit& hit : blocking->queries[q].hits) {
+      got.push_back(hit.match_count);
+    }
+    EXPECT_EQ(got, test::TopKCountMultiset(counts, 5)) << "query " << q;
+  }
+  EXPECT_EQ(device.staging_bytes(), 0u);
+}
+
+TEST(PipelinedStreamTest, BackendErrorMidStreamDrainsStagedChunk) {
+  // With the multi-load fallback disabled, a late chunk whose per-query
+  // c-PQ arenas exceed device memory fails hard while its successor is
+  // staged ahead. The stream must surface ResourceExhausted (not hang,
+  // not deadlock) and leave no staging bytes behind.
+  const uint32_t kNumObjects = 3000;
+  const uint32_t kVocab = 100;
+  auto workload = test::MakeRandomWorkload(kNumObjects, kVocab, 8, 0, 0, 113);
+  const uint32_t kChunk = 8;
+  Rng rng(114);
+  std::vector<Query> queries;
+  for (uint32_t q = 0; q < 2 * kChunk; ++q) {  // chunks 0-1: 2-item queries
+    Query query;
+    query.AddItem(static_cast<Keyword>(rng.UniformU64(kVocab)));
+    query.AddItem(static_cast<Keyword>(rng.UniformU64(kVocab)));
+    queries.push_back(std::move(query));
+  }
+  for (uint32_t q = 0; q < 2 * kChunk; ++q) {  // chunks 2-3: 48-item queries
+    std::set<Keyword> keywords;
+    while (keywords.size() < 48) {
+      keywords.insert(static_cast<Keyword>(rng.UniformU64(kVocab)));
+    }
+    Query query;
+    for (Keyword kw : keywords) query.AddItem(kw);
+    queries.push_back(std::move(query));
+  }
+
+  MatchEngineOptions sizing;
+  sizing.k = 5;
+  const uint64_t per_small =
+      MatchEngine::DeviceBytesPerQuery(kNumObjects, sizing, 2);
+  const uint64_t per_big =
+      MatchEngine::DeviceBytesPerQuery(kNumObjects, sizing, 48);
+  ASSERT_LT(per_small, per_big);
+  sim::Device::Options capacity;
+  capacity.num_workers = 2;
+  // Index + the small chunks' arenas fit (with task-buffer headroom); the
+  // big chunks' arenas do not.
+  capacity.memory_capacity_bytes = workload.index.postings_bytes() +
+                                   kChunk * (per_small + per_big) / 2;
+  sim::Device device(capacity);
+
+  auto engine = Engine::Create(EngineConfig()
+                                   .Index(&workload.index)
+                                   .K(5)
+                                   .AllowMultiLoad(false)
+                                   .Device(&device));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  SearchStreamOptions options;
+  options.chunk_size = kChunk;  // 4 chunks; chunk 2 fails, chunk 3 staged
+  size_t delivered = 0;
+  auto streamed = (*engine)->SearchStream(
+      SearchRequest::Compiled(queries), options, [&](const SearchChunk&) {
+        ++delivered;
+        return Status::OK();
+      });
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(streamed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(device.staging_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validate relative markdown links in the given files.
+
+Checks every inline link/image `[text](target)` whose target has no URL
+scheme: the referenced file must exist relative to the linking file, and a
+`#fragment` pointing into a markdown file must match one of its headings
+(GitHub-style slugs). Absolute URLs (http/https/mailto) are skipped —
+this guards the repo's own cross-file references, not the internet.
+
+Usage: check_doc_links.py <file.md> [<file.md> ...]
+Exits non-zero listing every broken link. Stdlib only.
+"""
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^```")
+
+
+def github_slug(heading: str) -> str:
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\s-]", "", slug, flags=re.UNICODE)
+    return re.sub(r"\s+", "-", slug).strip("-")
+
+
+def headings_of(path: pathlib.Path):
+    slugs = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def links_of(path: pathlib.Path):
+    """Yields (line_number, target) outside code fences."""
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield number, match.group(1)
+
+
+def main() -> int:
+    errors = []
+    for name in sys.argv[1:]:
+        md = pathlib.Path(name)
+        for line, target in links_of(md):
+            if SCHEME_RE.match(target):
+                continue  # external URL
+            path_part, _, fragment = target.partition("#")
+            resolved = (
+                md.parent / path_part if path_part else md
+            )
+            if not resolved.exists():
+                errors.append(f"{md}:{line}: broken link target '{target}'")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if github_slug(fragment) not in headings_of(resolved):
+                    errors.append(
+                        f"{md}:{line}: '{target}' names a missing heading"
+                    )
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"checked {len(sys.argv) - 1} file(s): all relative links ok")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Extract compilable C++ code fences from markdown into .cc files.
+
+A fence opts in by tagging its info string:
+
+    ```cpp docs-smoke:readme_quickstart
+    ...complete program...
+    ```
+
+Each tagged fence must be a complete translation unit; it is written to
+<out_dir>/<name>.cc and compiled + run by CMake's docs-smoke targets (see
+CMakeLists.txt), so documentation code cannot rot. Names must be unique
+across all scanned files and match [A-Za-z0-9_]+.
+
+Usage: extract_doc_snippets.py --out <dir> <file.md> [<file.md> ...]
+Exits non-zero on duplicate/invalid names or unterminated fences.
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+FENCE_RE = re.compile(r"^```cpp\s+docs-smoke:([A-Za-z0-9_]+)\s*$")
+END_RE = re.compile(r"^```\s*$")
+
+
+def extract(path: pathlib.Path):
+    """Yields (name, code, line_number) per tagged fence in `path`."""
+    name = None
+    start_line = 0
+    lines = []
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if name is None:
+            match = FENCE_RE.match(line)
+            if match:
+                name = match.group(1)
+                start_line = number
+                lines = []
+        elif END_RE.match(line):
+            yield name, "\n".join(lines) + "\n", start_line
+            name = None
+        else:
+            lines.append(line)
+    if name is not None:
+        raise SystemExit(
+            f"{path}:{start_line}: unterminated docs-smoke fence '{name}'"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True, type=pathlib.Path)
+    parser.add_argument("files", nargs="+", type=pathlib.Path)
+    args = parser.parse_args()
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    seen = {}
+    count = 0
+    for md in args.files:
+        for name, code, line in extract(md):
+            if name in seen:
+                print(
+                    f"{md}:{line}: duplicate docs-smoke name '{name}' "
+                    f"(first used in {seen[name]})",
+                    file=sys.stderr,
+                )
+                return 1
+            seen[name] = f"{md}:{line}"
+            target = args.out / f"{name}.cc"
+            banner = (
+                f"// Auto-extracted from {md} (docs-smoke:{name}).\n"
+                f"// Edit the markdown, not this file.\n"
+            )
+            content = banner + code
+            # Only rewrite on change so incremental builds stay no-ops.
+            if not target.exists() or target.read_text() != content:
+                target.write_text(content)
+            count += 1
+
+    # Prune snippets whose fence was renamed or deleted, so stale docs
+    # never keep "passing" the smoke build.
+    for stale in args.out.glob("*.cc"):
+        if stale.stem not in seen:
+            stale.unlink()
+            print(f"pruned stale snippet {stale.name}")
+    print(f"extracted {count} docs-smoke snippet(s) into {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
