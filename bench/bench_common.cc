@@ -1,7 +1,11 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <string_view>
 
 #include "common/timer.h"
 #include "index/index_builder.h"
@@ -341,6 +345,93 @@ double RunEngineBatch(const InvertedIndex& index,
   auto results = (*engine)->ExecuteBatch(batch);
   GENIE_CHECK(results.ok()) << results.status().ToString();
   return timer.Seconds();
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(double v, std::string* out) {
+  if (!std::isfinite(v)) {  // NaN/inf are not JSON
+    out->append("null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+BenchJsonWriter::BenchJsonWriter(std::string tag) : tag_(std::move(tag)) {}
+
+void BenchJsonWriter::Add(
+    const std::string& name, double real_ms,
+    const std::vector<std::pair<std::string, double>>& counters) {
+  rows_.push_back(Row{name, real_ms, counters});
+}
+
+std::string BenchJsonWriter::Write() const {
+  const char* dir = std::getenv("GENIE_BENCH_JSON_DIR");
+  if (dir != nullptr && std::string_view(dir) == "off") return "";
+  std::string path = dir != nullptr && *dir != '\0' ? std::string(dir) + "/"
+                                                    : std::string();
+  path += "BENCH_" + tag_ + ".json";
+
+  std::string json = "{\n  \"bench\": ";
+  AppendJsonString(tag_, &json);
+  json += ",\n  \"scale\": ";
+  AppendJsonNumber(ScaleFactor(), &json);
+  json += ",\n  \"results\": [";
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const Row& row = rows_[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "    {\"name\": ";
+    AppendJsonString(row.name, &json);
+    json += ", \"real_ms\": ";
+    AppendJsonNumber(row.real_ms, &json);
+    for (const auto& [counter, value] : row.counters) {
+      json += ", ";
+      AppendJsonString(counter, &json);
+      json += ": ";
+      AppendJsonNumber(value, &json);
+    }
+    json += "}";
+  }
+  json += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << json;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return "";
+  }
+  return path;
 }
 
 }  // namespace bench

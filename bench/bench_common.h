@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/match_engine.h"
@@ -95,6 +96,33 @@ const std::vector<NamedWorkload>& AllWorkloads();
 double RunEngineBatch(const InvertedIndex& index,
                       const std::vector<Query>& queries, uint32_t num_queries,
                       const MatchEngineOptions& options);
+
+/// Machine-readable benchmark output: collects rows of
+/// {name, real_ms, counters} and writes them as `BENCH_<tag>.json` so the
+/// perf trajectory can be tracked across commits. The destination directory
+/// is $GENIE_BENCH_JSON_DIR when set, else the working directory; set
+/// GENIE_BENCH_JSON_DIR=off to suppress the file entirely.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string tag);
+
+  void Add(const std::string& name, double real_ms,
+           const std::vector<std::pair<std::string, double>>& counters = {});
+
+  /// Writes BENCH_<tag>.json and returns its path ("" when suppressed or on
+  /// write failure — benchmarks never fail because reporting did).
+  std::string Write() const;
+
+ private:
+  struct Row {
+    std::string name;
+    double real_ms = 0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  std::string tag_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace bench
 }  // namespace genie

@@ -12,6 +12,7 @@
 #include "baselines/gpu_lsh_engine.h"
 #include "baselines/gpu_spq_engine.h"
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace genie {
 namespace bench {
@@ -181,6 +182,7 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   genie::bench::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
+  genie::bench::JsonTeeReporter reporter("fig09");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;
 }

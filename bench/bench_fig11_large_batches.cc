@@ -9,6 +9,7 @@
 #include "api/genie.h"
 #include "baselines/gpu_lsh_engine.h"
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace genie {
 namespace bench {
@@ -121,6 +122,7 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   genie::bench::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
+  genie::bench::JsonTeeReporter reporter("fig11");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;
 }

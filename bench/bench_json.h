@@ -1,0 +1,53 @@
+#pragma once
+
+/// Google-Benchmark adapter for BenchJsonWriter: a ConsoleReporter that
+/// tees every finished iteration into BENCH_<tag>.json. Header-only and
+/// included only by the gbench-based figure benches, so the plain-main
+/// table benches (which link no benchmark library) keep building.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace genie {
+namespace bench {
+
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(std::string tag) : writer_(std::move(tag)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::vector<std::pair<std::string, double>> counters;
+      counters.reserve(run.counters.size());
+      for (const auto& [name, counter] : run.counters) {
+        counters.emplace_back(name, counter.value);
+      }
+      // GetAdjustedRealTime is per-iteration in run.time_unit; normalize to
+      // milliseconds so the JSON is uniform across benches.
+      const double ms = run.GetAdjustedRealTime() * 1e3 /
+                        benchmark::GetTimeUnitMultiplier(run.time_unit);
+      writer_.Add(run.benchmark_name(), ms, counters);
+    }
+  }
+
+  void Finalize() override {
+    ConsoleReporter::Finalize();
+    const std::string path = writer_.Write();
+    if (!path.empty()) {
+      GetOutputStream() << "benchmark json: " << path << "\n";
+    }
+  }
+
+ private:
+  BenchJsonWriter writer_;
+};
+
+}  // namespace bench
+}  // namespace genie

@@ -1,0 +1,182 @@
+/// Live-mutation benchmark: insert throughput into the delta layer, search
+/// throughput while a writer thread mutates the same engine (with background
+/// compactions firing), and the synchronous Flush() compaction cost. Writes
+/// BENCH_mutation.json so the mutation perf trajectory is tracked alongside
+/// the figure benches.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "api/genie.h"
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "index/index_builder.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+constexpr uint32_t kVocab = 2048;
+constexpr uint32_t kKeywordsPerObject = 16;
+constexpr uint32_t kNumQueries = 256;
+constexpr uint32_t kItemsPerQuery = 8;
+constexpr uint32_t kInsertBatch = 64;
+constexpr uint32_t kK = 10;
+
+std::vector<Keyword> RandomKeywords(Rng* rng, uint32_t count) {
+  std::vector<Keyword> keywords;
+  keywords.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    keywords.push_back(static_cast<Keyword>(rng->UniformU64(kVocab)));
+  }
+  return keywords;
+}
+
+InvertedIndex BuildBaseIndex(uint32_t num_objects) {
+  Rng rng(11);
+  InvertedIndexBuilder builder(kVocab);
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    builder.AddObject(static_cast<ObjectId>(i),
+                      RandomKeywords(&rng, kKeywordsPerObject));
+  }
+  auto index = std::move(builder).Build();
+  GENIE_CHECK(index.ok()) << index.status().ToString();
+  return std::move(*index);
+}
+
+std::vector<Query> MakeQueries() {
+  Rng rng(13);
+  std::vector<Query> queries(kNumQueries);
+  for (Query& q : queries) {
+    for (uint32_t i = 0; i < kItemsPerQuery; ++i) {
+      q.AddItem(static_cast<Keyword>(rng.UniformU64(kVocab)));
+    }
+  }
+  return queries;
+}
+
+std::vector<std::vector<Keyword>> MakeInsertPool(uint32_t total) {
+  Rng rng(17);
+  std::vector<std::vector<Keyword>> pool;
+  pool.reserve(total);
+  for (uint32_t i = 0; i < total; ++i) {
+    pool.push_back(RandomKeywords(&rng, kKeywordsPerObject));
+  }
+  return pool;
+}
+
+std::unique_ptr<Engine> MakeEngine(const InvertedIndex* index,
+                                   uint32_t auto_compact) {
+  auto engine = Engine::Create(EngineConfig()
+                                   .Index(index)
+                                   .K(kK)
+                                   .MaxCount(64)
+                                   .Device(BenchDevice())
+                                   .DeltaSealThreshold(256)
+                                   .AutoCompactSegments(auto_compact));
+  GENIE_CHECK(engine.ok()) << engine.status().ToString();
+  return std::move(*engine);
+}
+
+/// Inserts the whole pool in kInsertBatch-sized batches.
+void InsertAll(Engine* engine, const std::vector<std::vector<Keyword>>& pool) {
+  for (size_t at = 0; at < pool.size(); at += kInsertBatch) {
+    const size_t n = std::min<size_t>(kInsertBatch, pool.size() - at);
+    auto ids = engine->Insert(InsertRequest::Objects(
+        std::span<const std::vector<Keyword>>(pool.data() + at, n)));
+    GENIE_CHECK(ids.ok()) << ids.status().ToString();
+  }
+}
+
+int Run() {
+  const uint32_t base_objects = Scaled(20000);
+  const uint32_t insert_total = Scaled(4096);
+  const InvertedIndex index = BuildBaseIndex(base_objects);
+  const std::vector<Query> queries = MakeQueries();
+  const std::vector<std::vector<Keyword>> pool = MakeInsertPool(insert_total);
+  const SearchRequest request = SearchRequest::Compiled(
+      std::span<const Query>(queries.data(), queries.size()));
+  BenchJsonWriter json("mutation");
+
+  std::printf("Mutation benchmark: %u base objects, %u inserts\n",
+              base_objects, insert_total);
+
+  // 1. Pure insert throughput into the delta layer (no compaction).
+  {
+    auto engine = MakeEngine(&index, /*auto_compact=*/0);
+    WallTimer timer;
+    InsertAll(engine.get(), pool);
+    const double s = timer.Seconds();
+    const double per_s = insert_total / s;
+    std::printf("insert_throughput    %8.1f ms  %10.0f inserts/s\n", s * 1e3,
+                per_s);
+    json.Add("Mutation/insert_throughput", s * 1e3,
+             {{"inserts_per_s", per_s}});
+  }
+
+  // 2. Searches racing a writer thread, background compactions firing.
+  {
+    auto engine = MakeEngine(&index, /*auto_compact=*/4);
+    WallTimer timer;
+    std::thread writer([&] { InsertAll(engine.get(), pool); });
+    uint64_t searches = 0;
+    double max_search_ms = 0;
+    WallTimer search_timer;
+    // Keep searching until the writer drains, so some batches overlap the
+    // compaction hot-swap.
+    while (true) {
+      const bool writer_done = engine->num_objects() ==
+                               base_objects + insert_total;
+      search_timer.Reset();
+      auto results = engine->Search(request);
+      GENIE_CHECK(results.ok()) << results.status().ToString();
+      max_search_ms = std::max(max_search_ms, search_timer.Millis());
+      searches += queries.size();
+      if (writer_done) break;
+    }
+    writer.join();
+    const double s = timer.Seconds();
+    const MutationStats stats = engine->mutation_stats();
+    const double qps = searches / s;
+    const double inserts_per_s = insert_total / s;
+    std::printf(
+        "interleave           %8.1f ms  %10.0f search qps  %8.0f inserts/s  "
+        "%.2f ms max search  %llu compactions\n",
+        s * 1e3, qps, inserts_per_s, max_search_ms,
+        static_cast<unsigned long long>(stats.compactions));
+    json.Add("Mutation/interleave", s * 1e3,
+             {{"search_qps", qps},
+              {"inserts_per_s", inserts_per_s},
+              {"max_search_ms", max_search_ms},
+              {"compactions", static_cast<double>(stats.compactions)},
+              {"last_pause_ms", stats.last_pause_seconds * 1e3}});
+  }
+
+  // 3. Synchronous Flush: the full delta+main rebuild, plus the commit
+  //    pause (the only window where mutations — never searches — stall).
+  {
+    auto engine = MakeEngine(&index, /*auto_compact=*/0);
+    InsertAll(engine.get(), pool);
+    WallTimer timer;
+    GENIE_CHECK(engine->Flush().ok());
+    const double s = timer.Seconds();
+    const MutationStats stats = engine->mutation_stats();
+    std::printf("flush_compaction     %8.1f ms  %.3f ms commit pause\n",
+                s * 1e3, stats.last_pause_seconds * 1e3);
+    json.Add("Mutation/flush_compaction", s * 1e3,
+             {{"compact_ms", stats.last_compact_seconds * 1e3},
+              {"pause_ms", stats.last_pause_seconds * 1e3}});
+  }
+
+  const std::string path = json.Write();
+  if (!path.empty()) std::printf("benchmark json: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main() { return genie::bench::Run(); }

@@ -15,10 +15,23 @@
 ///                       reused verbatim)
 ///   | u64 checksum (chunked murmur3 over all preceding bytes)
 ///
+/// Format v2 adds one section between the meta blob and the index stream:
+///   | u64 mutation_bytes | mutation blob (delta segment manifest +
+///                          tombstone log + appended side data)
+/// A mutated engine saves as v2; a frozen (never-mutated) engine keeps
+/// writing byte-identical v1, and v1 bundles keep opening forever. See
+/// docs/FORMATS.md for the exact mutation-blob layout.
+///
+/// Save writes to `path + ".tmp"` and atomically renames over `path`, so a
+/// crash mid-save leaves the previous bundle intact — Open never sees a
+/// half-written file (and the trailing checksum would reject one anyway).
+///
 /// The trailing whole-file checksum makes corruption detection exact:
 /// every single-byte flip and every truncation fails with InvalidArgument
 /// before any section is parsed (the index stream's own checksum and the
 /// bounds checks remain as defense in depth behind it).
+
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <cstdint>
@@ -41,7 +54,10 @@ namespace genie {
 namespace {
 
 constexpr char kBundleMagic[8] = {'G', 'N', 'I', 'E', 'B', 'N', 'D', 'L'};
-constexpr uint32_t kBundleVersion = 1;
+/// v1: frozen engine. v2: adds the mutation section (delta segments +
+/// tombstones + appended side data). Frozen engines still save as v1.
+constexpr uint32_t kBundleVersionFrozen = 1;
+constexpr uint32_t kBundleVersionMutable = 2;
 /// magic + version + modality + meta_bytes + index_bytes + checksum.
 constexpr uint64_t kMinBundleBytes = 8 + 4 + 4 + 8 + 8 + 8;
 
@@ -149,24 +165,38 @@ Status VerifyBundleChecksum(std::FILE* f, uint64_t file_bytes,
 
 Status Engine::Save(const std::string& path,
                     const BundleSaveOptions& options) const {
+  // Freeze the mutation state for the whole save (a no-op guard on a
+  // never-mutated engine): the meta, mutation, and index sections must be
+  // one consistent cut, and a compaction commit must not swap the index
+  // out from under BundleIndex(). Searches keep running throughout.
+  const std::shared_ptr<void> pause = searcher_->PauseMutation();
   const InvertedIndex* index = searcher_->BundleIndex();
   if (index == nullptr) {
     return Status::Unimplemented("this engine does not support Save");
   }
   serialize::Writer meta;
   GENIE_RETURN_NOT_OK(searcher_->SerializeBundleMeta(&meta));
+  serialize::Writer mutation;
+  GENIE_RETURN_NOT_OK(searcher_->SerializeMutationState(&mutation));
   std::string index_bytes;
   GENIE_RETURN_NOT_OK(
       SaveIndexToBuffer(*index, options.compress_postings, &index_bytes));
   GENIE_ASSIGN_OR_RETURN(const uint32_t modality_tag,
                          ModalityTag(searcher_->modality()));
 
+  // An empty mutation blob means a frozen engine: stay on v1 so the file
+  // is byte-identical to what earlier builds wrote.
+  const bool mutable_bundle = !mutation.data().empty();
   serialize::Writer head;
   head.Bytes(kBundleMagic, sizeof(kBundleMagic));
-  head.U32(kBundleVersion);
+  head.U32(mutable_bundle ? kBundleVersionMutable : kBundleVersionFrozen);
   head.U32(modality_tag);
   head.U64(meta.data().size());
   head.Bytes(meta.data().data(), meta.data().size());
+  if (mutable_bundle) {
+    head.U64(mutation.data().size());
+    head.Bytes(mutation.data().data(), mutation.data().size());
+  }
   head.U64(index_bytes.size());
 
   ChunkedHasher hasher;
@@ -176,8 +206,25 @@ Status Engine::Save(const std::string& path,
   const std::string_view checksum_bytes(
       reinterpret_cast<const char*>(&checksum), sizeof(checksum));
 
-  return file_util::WriteFileChecked(
-      path, {head.data(), index_bytes, checksum_bytes});
+  // Write-then-rename: a crash mid-write leaves `path` untouched (either
+  // the previous bundle or nothing), never a torn file. When the target
+  // exists but is not a regular file (a device like /dev/null, a FIFO),
+  // renaming over it would replace the node — write through it directly
+  // instead; atomicity only makes sense for regular files.
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0 && !S_ISREG(st.st_mode)) {
+    return file_util::WriteFileChecked(path,
+                                       {head.data(), index_bytes,
+                                        checksum_bytes});
+  }
+  const std::string tmp = path + ".tmp";
+  GENIE_RETURN_NOT_OK(file_util::WriteFileChecked(
+      tmp, {head.data(), index_bytes, checksum_bytes}));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot atomically replace: " + path);
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<Engine>> Engine::Open(const std::string& path,
@@ -200,7 +247,7 @@ Result<std::unique_ptr<Engine>> Engine::Open(const std::string& path,
   uint32_t version = 0;
   uint32_t modality_tag = 0;
   GENIE_RETURN_NOT_OK(ReadPod(f.get(), &version, path));
-  if (version != kBundleVersion) {
+  if (version != kBundleVersionFrozen && version != kBundleVersionMutable) {
     return Status::InvalidArgument(
         "unsupported bundle format version " + std::to_string(version) +
         ": " + path);
@@ -228,9 +275,12 @@ Result<std::unique_ptr<Engine>> Engine::Open(const std::string& path,
 
   uint64_t meta_bytes = 0;
   GENIE_RETURN_NOT_OK(ReadPod(f.get(), &meta_bytes, path));
-  // Bytes left must still fit the index length field and the checksum.
+  // Bytes left must still fit the later length fields and the checksum
+  // (v2 carries one extra u64 for the mutation section).
   const uint64_t header_end = 8 + 4 + 4 + 8;
-  if (meta_bytes > file_bytes - header_end - 2 * sizeof(uint64_t)) {
+  const uint64_t later_fields =
+      (version >= kBundleVersionMutable ? 3 : 2) * sizeof(uint64_t);
+  if (meta_bytes > file_bytes - header_end - later_fields) {
     return Status::InvalidArgument("bundle meta exceeds file size: " + path);
   }
   std::string meta_blob(static_cast<size_t>(meta_bytes), '\0');
@@ -238,6 +288,27 @@ Result<std::unique_ptr<Engine>> Engine::Open(const std::string& path,
       std::fread(meta_blob.data(), 1, meta_blob.size(), f.get()) !=
           meta_blob.size()) {
     return Status::InvalidArgument("truncated bundle: " + path);
+  }
+
+  std::string mutation_blob;
+  if (version >= kBundleVersionMutable) {
+    uint64_t mutation_bytes = 0;
+    GENIE_RETURN_NOT_OK(ReadPod(f.get(), &mutation_bytes, path));
+    const long pos = std::ftell(f.get());
+    if (pos < 0) {
+      return Status::Internal("cannot determine read position: " + path);
+    }
+    if (mutation_bytes >
+        file_bytes - static_cast<uint64_t>(pos) - 2 * sizeof(uint64_t)) {
+      return Status::InvalidArgument(
+          "bundle mutation section exceeds file size: " + path);
+    }
+    mutation_blob.resize(static_cast<size_t>(mutation_bytes));
+    if (mutation_bytes != 0 &&
+        std::fread(mutation_blob.data(), 1, mutation_blob.size(), f.get()) !=
+            mutation_blob.size()) {
+      return Status::InvalidArgument("truncated bundle: " + path);
+    }
   }
 
   uint64_t index_bytes = 0;
@@ -260,20 +331,27 @@ Result<std::unique_ptr<Engine>> Engine::Open(const std::string& path,
                           path));
 
   serialize::Reader meta(meta_blob);
+  serialize::Reader mutation_reader(mutation_blob);
+  serialize::Reader* mutation =
+      version >= kBundleVersionMutable ? &mutation_reader : nullptr;
   Result<std::unique_ptr<Searcher>> searcher = [&] {
     switch (modality) {
       case Modality::kPoints:
-        return OpenPointsSearcher(config, &meta, std::move(index));
+        return OpenPointsSearcher(config, &meta, mutation, std::move(index));
       case Modality::kSets:
-        return OpenSetsSearcher(config, &meta, std::move(index));
+        return OpenSetsSearcher(config, &meta, mutation, std::move(index));
       case Modality::kSequences:
-        return OpenSequencesSearcher(config, &meta, std::move(index));
+        return OpenSequencesSearcher(config, &meta, mutation,
+                                     std::move(index));
       case Modality::kDocuments:
-        return OpenDocumentsSearcher(config, &meta, std::move(index));
+        return OpenDocumentsSearcher(config, &meta, mutation,
+                                     std::move(index));
       case Modality::kRelational:
-        return OpenRelationalSearcher(config, &meta, std::move(index));
+        return OpenRelationalSearcher(config, &meta, mutation,
+                                      std::move(index));
       case Modality::kCompiled:
-        return OpenCompiledSearcher(config, &meta, std::move(index));
+        return OpenCompiledSearcher(config, &meta, mutation,
+                                    std::move(index));
     }
     return Result<std::unique_ptr<Searcher>>(
         Status::InvalidArgument("unknown modality tag in bundle"));

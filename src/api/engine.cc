@@ -143,6 +143,68 @@ size_t SearchRequest::num_queries() const {
 }
 
 // ---------------------------------------------------------------------------
+// InsertRequest
+// ---------------------------------------------------------------------------
+
+InsertRequest InsertRequest::Points(const data::PointMatrix& objects) {
+  InsertRequest request;
+  request.modality = Modality::kPoints;
+  request.points = &objects;
+  return request;
+}
+
+InsertRequest InsertRequest::Sets(
+    std::span<const std::vector<uint32_t>> objects) {
+  InsertRequest request;
+  request.modality = Modality::kSets;
+  request.sets = objects;
+  return request;
+}
+
+InsertRequest InsertRequest::Sequences(std::span<const std::string> objects) {
+  InsertRequest request;
+  request.modality = Modality::kSequences;
+  request.sequences = objects;
+  return request;
+}
+
+InsertRequest InsertRequest::Documents(
+    std::span<const std::vector<uint32_t>> objects) {
+  InsertRequest request;
+  request.modality = Modality::kDocuments;
+  request.documents = objects;
+  return request;
+}
+
+InsertRequest InsertRequest::Rows(
+    std::span<const std::vector<uint32_t>> rows) {
+  InsertRequest request;
+  request.modality = Modality::kRelational;
+  request.rows = rows;
+  return request;
+}
+
+InsertRequest InsertRequest::Objects(
+    std::span<const std::vector<Keyword>> objects) {
+  InsertRequest request;
+  request.modality = Modality::kCompiled;
+  request.objects = objects;
+  return request;
+}
+
+size_t InsertRequest::num_objects() const {
+  switch (modality) {
+    case Modality::kPoints: return points != nullptr ? points->num_points() : 0;
+    case Modality::kSets: return sets.size();
+    case Modality::kSequences: return sequences.size();
+    case Modality::kDocuments: return documents.size();
+    case Modality::kRelational: return rows.size();
+    case Modality::kCompiled: return objects.size();
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // EngineConfig
 // ---------------------------------------------------------------------------
 
@@ -258,6 +320,15 @@ EngineConfig& EngineConfig::EscalateUntilExact(bool escalate) {
 }
 EngineConfig& EngineConfig::MaxCandidateK(uint32_t max_candidate_k) {
   max_candidate_k_ = max_candidate_k;
+  return *this;
+}
+
+EngineConfig& EngineConfig::DeltaSealThreshold(uint32_t objects) {
+  delta_seal_threshold_ = objects;
+  return *this;
+}
+EngineConfig& EngineConfig::AutoCompactSegments(uint32_t segments) {
+  auto_compact_segments_ = segments;
   return *this;
 }
 
@@ -385,6 +456,42 @@ Result<SearchResult> Engine::Search(const SearchRequest& request) {
     result->cumulative.overlap_seconds = AddOverlapSeconds(0);
   }
   return result;
+}
+
+Status Engine::ValidateInsertRequest(const InsertRequest& request) const {
+  if (request.modality != searcher_->modality()) {
+    return Status::InvalidArgument(
+        std::string("insert payload is '") +
+        ModalityToString(request.modality) + "' but the engine serves '" +
+        ModalityToString(searcher_->modality()) + "'");
+  }
+  if (request.num_objects() == 0) {
+    return Status::InvalidArgument("empty insert batch");
+  }
+  if (request.modality == Modality::kPoints &&
+      request.points->dim() != config_.points()->dim()) {
+    return Status::InvalidArgument(
+        "insert dimension " + std::to_string(request.points->dim()) +
+        " does not match dataset dimension " +
+        std::to_string(config_.points()->dim()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ObjectId>> Engine::Insert(const InsertRequest& request) {
+  GENIE_RETURN_NOT_OK(ValidateInsertRequest(request));
+  return searcher_->Insert(request);
+}
+
+Status Engine::Remove(std::span<const ObjectId> ids) {
+  if (ids.empty()) return Status::InvalidArgument("empty remove batch");
+  return searcher_->Remove(ids);
+}
+
+Status Engine::Flush() { return searcher_->Flush(); }
+
+MutationStats Engine::mutation_stats() const {
+  return searcher_->mutation_stats();
 }
 
 double Engine::AddOverlapSeconds(double delta) {

@@ -91,6 +91,15 @@ class EngineConfig {
   EngineConfig& EscalateUntilExact(bool escalate);
   EngineConfig& MaxCandidateK(uint32_t max_candidate_k);
 
+  // --- Mutation knobs (Engine::Insert / Remove / Flush). -------------------
+  /// Inserted objects per in-memory delta segment before the active
+  /// segment seals (default 128).
+  EngineConfig& DeltaSealThreshold(uint32_t objects);
+  /// Sealed delta segments that trigger a background compaction of
+  /// delta+main into a fresh immutable index; 0 disables the automatic
+  /// trigger — Flush() still compacts (default 4).
+  EngineConfig& AutoCompactSegments(uint32_t segments);
+
   // --- Backend knobs. ------------------------------------------------------
   /// Permit the automatic multiple-loading fallback (default true).
   EngineConfig& AllowMultiLoad(bool allow);
@@ -143,6 +152,9 @@ class EngineConfig {
   bool escalate_until_exact() const { return escalate_until_exact_; }
   uint32_t max_candidate_k() const { return max_candidate_k_; }
 
+  uint32_t delta_seal_threshold() const { return delta_seal_threshold_; }
+  uint32_t auto_compact_segments() const { return auto_compact_segments_; }
+
   bool allow_multi_load() const { return allow_multi_load_; }
   uint32_t max_parts() const { return max_parts_; }
   uint32_t force_parts() const { return force_parts_; }
@@ -181,6 +193,9 @@ class EngineConfig {
   uint32_t ngram_ = 3;
   bool escalate_until_exact_ = false;
   uint32_t max_candidate_k_ = 256;
+
+  uint32_t delta_seal_threshold_ = 128;
+  uint32_t auto_compact_segments_ = 4;
 
   bool allow_multi_load_ = true;
   uint32_t max_parts_ = 256;
@@ -261,7 +276,31 @@ class Engine {
       SearchRequest request, SearchStreamOptions options = {},
       SearchChunkCallback on_chunk = {});
 
+  /// Inserts a batch of objects (same modality as the engine) into the
+  /// live index and returns their assigned ids, in request order. Writes
+  /// land in in-memory delta segments; every subsequent Search /
+  /// SearchStream / SearchAsync — on any backend tier — sees them
+  /// immediately. Thread-safe against concurrent searches and other
+  /// mutations.
+  Result<std::vector<ObjectId>> Insert(const InsertRequest& request);
+
+  /// Removes objects by id (tombstones consulted at merge time; the ids
+  /// disappear from all subsequent search results immediately).
+  /// InvalidArgument when an id was never assigned or is already removed —
+  /// ids earlier in the span are removed regardless.
+  Status Remove(std::span<const ObjectId> ids);
+
+  /// Seals the pending delta segments and synchronously compacts
+  /// delta+main into a fresh immutable index, hot-swapped behind the
+  /// backend (in-flight streams never pause). On return the mutable layer
+  /// is empty. A no-op on engines that were never mutated.
+  Status Flush();
+
+  MutationStats mutation_stats() const;
+
   Modality modality() const;
+  /// Objects the engine serves ids for: the indexed dataset plus every
+  /// insert (removed ids stay counted — ids are never reused).
   uint32_t num_objects() const;
   const EngineConfig& config() const { return config_; }
 
@@ -276,6 +315,10 @@ class Engine {
 
   /// Shared request validation of Search / SearchStream.
   Status ValidateRequest(const SearchRequest& request) const;
+
+  /// Request validation of Insert (modality match, non-empty batch,
+  /// payload shape).
+  Status ValidateInsertRequest(const InsertRequest& request) const;
 
   /// Folds a finished stream's measured overlap into the engine-lifetime
   /// total and returns the new total (for cumulative.overlap_seconds).

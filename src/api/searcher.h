@@ -79,8 +79,44 @@ class Searcher {
   }
 
   /// The inverted index Engine::Save embeds in the bundle; nullptr when
-  /// the searcher cannot be persisted.
+  /// the searcher cannot be persisted. For mutated engines this is the
+  /// backend's current (possibly compacted) index — call under
+  /// PauseMutation so a compaction commit cannot swap it mid-save.
   virtual const InvertedIndex* BundleIndex() const { return nullptr; }
+
+  // --- Live mutation (Engine::Insert / Remove / Flush). --------------------
+
+  /// Inserts a batch (payload kind already validated); returns assigned
+  /// ids. Default: the modality does not support mutation.
+  virtual Result<std::vector<ObjectId>> Insert(const InsertRequest& request) {
+    (void)request;
+    return Status::Unimplemented("this engine does not support Insert");
+  }
+
+  /// Tombstones ids. Default: the modality does not support mutation.
+  virtual Status Remove(std::span<const ObjectId> ids) {
+    (void)ids;
+    return Status::Unimplemented("this engine does not support Remove");
+  }
+
+  /// Synchronous compaction barrier; a no-op on never-mutated engines.
+  virtual Status Flush() { return Status::OK(); }
+
+  virtual MutationStats mutation_stats() const { return {}; }
+
+  /// Stops mutations and compaction commits while the returned guard
+  /// lives (nullptr when the engine was never mutated — nothing to
+  /// pause). Engine::Save holds this across the (meta, mutation, index)
+  /// serialization so the triple is consistent.
+  virtual std::shared_ptr<void> PauseMutation() { return nullptr; }
+
+  /// GNIEBNDL v2 mutation section (segment manifest + tombstone log +
+  /// appended side data). Writing nothing means the bundle stays v1 —
+  /// exactly the frozen-engine format.
+  virtual Status SerializeMutationState(serialize::Writer* writer) const {
+    (void)writer;
+    return Status::OK();
+  }
 };
 
 /// Factory per modality; each reads its dataset binding and knobs from the
@@ -100,18 +136,27 @@ Result<std::unique_ptr<Searcher>> MakeCompiledSearcher(
 /// from the bundle's deserialized meta state + loaded index, re-binding the
 /// config's dataset for re-ranking / verification. Each factory consumes
 /// the whole meta blob (trailing bytes are InvalidArgument) and validates
-/// the rebound dataset against the saved shape.
+/// the rebound dataset against the saved shape. `mutation` is the GNIEBNDL
+/// v2 mutation section (delta segments + tombstone log + appended side
+/// data) or nullptr for a v1 bundle; when present the factory consumes it
+/// fully and reopens the engine live, with the saved delta state adopted.
 Result<std::unique_ptr<Searcher>> OpenPointsSearcher(
-    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index);
+    const EngineConfig& config, serialize::Reader* meta,
+    serialize::Reader* mutation, InvertedIndex index);
 Result<std::unique_ptr<Searcher>> OpenSetsSearcher(
-    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index);
+    const EngineConfig& config, serialize::Reader* meta,
+    serialize::Reader* mutation, InvertedIndex index);
 Result<std::unique_ptr<Searcher>> OpenSequencesSearcher(
-    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index);
+    const EngineConfig& config, serialize::Reader* meta,
+    serialize::Reader* mutation, InvertedIndex index);
 Result<std::unique_ptr<Searcher>> OpenDocumentsSearcher(
-    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index);
+    const EngineConfig& config, serialize::Reader* meta,
+    serialize::Reader* mutation, InvertedIndex index);
 Result<std::unique_ptr<Searcher>> OpenRelationalSearcher(
-    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index);
+    const EngineConfig& config, serialize::Reader* meta,
+    serialize::Reader* mutation, InvertedIndex index);
 Result<std::unique_ptr<Searcher>> OpenCompiledSearcher(
-    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index);
+    const EngineConfig& config, serialize::Reader* meta,
+    serialize::Reader* mutation, InvertedIndex index);
 
 }  // namespace genie

@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "core/batch_scheduler.h"
 #include "core/engine_backend.h"
+#include "index/delta/delta_store.h"
+#include "index/delta/mutation_controller.h"
 #include "lsh/e2lsh.h"
 #include "lsh/lsh_searcher.h"
 #include "lsh/min_hash.h"
+#include "lsh/random_binning.h"
 #include "lsh/set_searcher.h"
 #include "sa/document_searcher.h"
 #include "sa/relational.h"
@@ -25,6 +30,7 @@ constexpr uint32_t kDefaultSetsRehashDomain = 1024;
 /// Bundle meta tags for the concrete LSH family types; caller-supplied
 /// custom families cannot be persisted (Save fails with Unimplemented).
 constexpr uint8_t kVectorFamilyE2Lsh = 1;
+constexpr uint8_t kVectorFamilyRandomBinning = 2;
 constexpr uint8_t kSetFamilyMinHash = 1;
 
 MatchEngineOptions BaseEngineOptions(const EngineConfig& config) {
@@ -158,6 +164,126 @@ uint32_t KthLargestCount(const std::vector<Hit>& hits, uint32_t k) {
 }
 
 // ---------------------------------------------------------------------------
+// Live mutation plumbing shared by the modality impls
+// ---------------------------------------------------------------------------
+
+delta::MutationOptions MutationOptionsFrom(const EngineConfig& config) {
+  delta::MutationOptions options;
+  options.seal_threshold = config.delta_seal_threshold();
+  options.auto_compact_segments = config.auto_compact_segments();
+  options.build = BuildOptions(config);
+  return options;
+}
+
+MutationStats ToApiMutationStats(const delta::MutationStats& stats) {
+  MutationStats out;
+  out.inserts = stats.inserts;
+  out.removes = stats.removes;
+  out.compactions = stats.compactions;
+  out.last_compact_seconds = stats.last_compact_seconds;
+  out.last_pause_seconds = stats.last_pause_seconds;
+  return out;
+}
+
+/// Lazily attached mutation state: a frozen engine pays nothing (no delta
+/// store, no compaction thread) until the first Insert/Remove creates the
+/// controller. Impls declare the host *after* their domain searcher so it
+/// is destroyed first — the compaction worker joins before the backend it
+/// compacts dies.
+class MutationHost {
+ public:
+  explicit MutationHost(delta::MutationOptions options)
+      : options_(std::move(options)) {}
+
+  /// The controller, created on first use against `backend` with id
+  /// watermark `base`.
+  delta::MutationController& Ensure(EngineBackend* backend, ObjectId base) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (controller_ == nullptr) {
+      controller_ = std::make_unique<delta::MutationController>(backend, base,
+                                                                options_);
+    }
+    return *controller_;
+  }
+
+  delta::MutationController* get() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return controller_.get();
+  }
+
+  bool mutated() const { return get() != nullptr; }
+
+  uint32_t NumObjects(uint32_t base) const {
+    delta::MutationController* controller = get();
+    return controller == nullptr
+               ? base
+               : static_cast<uint32_t>(controller->next_id());
+  }
+
+  Status Remove(std::span<const ObjectId> ids, EngineBackend* backend,
+                ObjectId base) {
+    // Removing base objects from a never-mutated engine is valid, so the
+    // controller is created here too.
+    delta::MutationController& controller = Ensure(backend, base);
+    for (ObjectId id : ids) GENIE_RETURN_NOT_OK(controller.Remove(id));
+    return Status::OK();
+  }
+
+  Status Flush() const {
+    delta::MutationController* controller = get();
+    return controller == nullptr ? Status::OK() : controller->Flush();
+  }
+
+  MutationStats stats() const {
+    delta::MutationController* controller = get();
+    return controller == nullptr ? MutationStats{}
+                                 : ToApiMutationStats(controller->stats());
+  }
+
+  std::shared_ptr<void> Pause() const {
+    delta::MutationController* controller = get();
+    if (controller == nullptr) return nullptr;
+    return std::make_shared<delta::MutationController::Pause>(
+        controller->PauseMutation());
+  }
+
+  /// Writes the delta snapshot (segments + tombstones + watermark); the
+  /// caller appends its modality's side data after it.
+  Status SerializeDeltaState(serialize::Writer* writer) const {
+    delta::MutationController* controller = get();
+    if (controller == nullptr) {
+      return Status::Internal("serializing mutation state of a frozen engine");
+    }
+    delta::SerializeDelta(controller->delta_store()->snapshot(), writer);
+    return Status::OK();
+  }
+
+  /// Bundle-open path: adopts a restored delta snapshot. Must run before
+  /// the engine is visible to other threads.
+  void AdoptSnapshot(const delta::DeltaSnapshot& snap, EngineBackend* backend,
+                     ObjectId base) {
+    delta::MutationController& controller = Ensure(backend, base);
+    std::vector<ObjectId> tombstones = snap.tombstones == nullptr
+                                           ? std::vector<ObjectId>{}
+                                           : *snap.tombstones;
+    controller.delta_store()->Restore(snap.segments, std::move(tombstones),
+                                      snap.next_id);
+  }
+
+ private:
+  delta::MutationOptions options_;
+  mutable std::mutex mu_;
+  std::unique_ptr<delta::MutationController> controller_;
+};
+
+/// Reads the v2 mutation section's delta snapshot through a staging store.
+Result<delta::DeltaSnapshot> ReadDeltaSnapshot(serialize::Reader* mutation) {
+  delta::DeltaStore staged(0, 1);
+  GENIE_RETURN_NOT_OK(delta::DeserializeDelta(mutation, &staged));
+  return staged.snapshot();
+}
+
+// ---------------------------------------------------------------------------
 // Points (tau-ANN under an LSH family, Section IV)
 // ---------------------------------------------------------------------------
 
@@ -165,12 +291,15 @@ class PointsSearcherImpl : public Searcher {
  public:
   PointsSearcherImpl(const data::PointMatrix* points,
                      std::unique_ptr<lsh::LshSearcher> searcher, uint32_t k,
-                     bool rerank, uint32_t p)
+                     bool rerank, uint32_t p,
+                     delta::MutationOptions mutation_options)
       : points_(points), searcher_(std::move(searcher)), k_(k),
-        rerank_(rerank), p_(p) {}
+        rerank_(rerank), p_(p), host_(std::move(mutation_options)) {}
 
   Modality modality() const override { return Modality::kPoints; }
-  uint32_t num_objects() const override { return points_->num_points(); }
+  uint32_t num_objects() const override {
+    return host_.NumObjects(points_->num_points());
+  }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
     GENIE_ASSIGN_OR_RETURN(std::unique_ptr<PreparedChunk> chunk,
@@ -219,8 +348,8 @@ class PointsSearcherImpl : public Searcher {
         const auto query_row = request.points->row(static_cast<uint32_t>(q));
         for (Hit& hit : out.hits) {
           const double d =
-              p_ == 1 ? data::L1Distance(points_->row(hit.id), query_row)
-                      : data::L2Distance(points_->row(hit.id), query_row);
+              p_ == 1 ? data::L1Distance(RowAt(hit.id), query_row)
+                      : data::L2Distance(RowAt(hit.id), query_row);
           hit.score = -d;
         }
         std::sort(out.hits.begin(), out.hits.end(),
@@ -233,14 +362,19 @@ class PointsSearcherImpl : public Searcher {
   }
 
   Status SerializeBundleMeta(serialize::Writer* writer) const override {
-    const auto* e2lsh = dynamic_cast<const lsh::E2LshFamily*>(
-        &searcher_->transformer().family());
-    if (e2lsh == nullptr) {
+    const lsh::VectorLshFamily& family = searcher_->transformer().family();
+    if (const auto* e2lsh = dynamic_cast<const lsh::E2LshFamily*>(&family)) {
+      writer->U8(kVectorFamilyE2Lsh);
+      e2lsh->Serialize(writer);
+    } else if (const auto* binning =
+                   dynamic_cast<const lsh::RandomBinningFamily*>(&family)) {
+      writer->U8(kVectorFamilyRandomBinning);
+      binning->Serialize(writer);
+    } else {
       return Status::Unimplemented(
-          "only engines over the built-in E2LSH family support Save");
+          "only engines over the built-in E2LSH or random-binning families "
+          "support Save");
     }
-    writer->U8(kVectorFamilyE2Lsh);
-    e2lsh->Serialize(writer);
     searcher_->transformer().Serialize(writer);
     writer->U32(points_->num_points());
     writer->U32(points_->dim());
@@ -248,16 +382,82 @@ class PointsSearcherImpl : public Searcher {
   }
 
   const InvertedIndex* BundleIndex() const override {
-    return &searcher_->index();
+    // A compaction may have swapped the backend's index; the searcher's
+    // member still points at the build-time one. Save holds PauseMutation,
+    // so the backend accessor is stable for the duration.
+    return host_.mutated() ? &searcher_->backend().index()
+                           : &searcher_->index();
+  }
+
+  Result<std::vector<ObjectId>> Insert(const InsertRequest& request) override {
+    const data::PointMatrix& batch = *request.points;
+    delta::MutationController& controller =
+        host_.Ensure(&searcher_->backend(), points_->num_points());
+    std::vector<ObjectId> ids;
+    ids.reserve(batch.num_points());
+    for (uint32_t i = 0; i < batch.num_points(); ++i) {
+      const std::span<const float> row = batch.row(i);
+      // Keyword extraction stays outside the controller's state lock.
+      std::vector<Keyword> keywords = searcher_->transformer().Transform(row);
+      ids.push_back(controller.Insert(keywords, [&](ObjectId) {
+        std::lock_guard<std::shared_mutex> lock(data_mu_);
+        appended_rows_.emplace_back(row.begin(), row.end());
+      }));
+    }
+    return ids;
+  }
+
+  Status Remove(std::span<const ObjectId> ids) override {
+    return host_.Remove(ids, &searcher_->backend(), points_->num_points());
+  }
+
+  Status Flush() override { return host_.Flush(); }
+  MutationStats mutation_stats() const override { return host_.stats(); }
+  std::shared_ptr<void> PauseMutation() override { return host_.Pause(); }
+
+  Status SerializeMutationState(serialize::Writer* writer) const override {
+    if (!host_.mutated()) return Status::OK();
+    GENIE_RETURN_NOT_OK(host_.SerializeDeltaState(writer));
+    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    writer->U32(static_cast<uint32_t>(appended_rows_.size()));
+    for (const std::vector<float>& row : appended_rows_) writer->Vec(row);
+    return Status::OK();
+  }
+
+  /// Bundle-open: adopt the restored delta snapshot + appended rows before
+  /// the engine is visible to other threads.
+  void AdoptMutationState(const delta::DeltaSnapshot& snap,
+                          std::vector<std::vector<float>> rows) {
+    {
+      std::lock_guard<std::shared_mutex> lock(data_mu_);
+      appended_rows_ = std::move(rows);
+    }
+    host_.AdoptSnapshot(snap, &searcher_->backend(), points_->num_points());
   }
 
  private:
+  /// The row of any live id: base rows from the bound dataset, inserted
+  /// rows from the append-only log. The span survives the unlock — a
+  /// growing outer vector moves the inner vectors but never their heap
+  /// buffers, and appended rows are immutable.
+  std::span<const float> RowAt(uint32_t id) const {
+    if (id < points_->num_points()) return points_->row(id);
+    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    const std::vector<float>& row = appended_rows_[id - points_->num_points()];
+    return std::span<const float>(row.data(), row.size());
+  }
+
   const data::PointMatrix* points_;
   std::unique_ptr<lsh::LshSearcher> searcher_;
   std::mutex mu_;
   uint32_t k_;
   bool rerank_;
   uint32_t p_;
+  // Declared after searcher_: destroyed first, joining the compaction
+  // worker before the backend it compacts dies.
+  MutationHost host_;
+  mutable std::shared_mutex data_mu_;
+  std::vector<std::vector<float>> appended_rows_;
 };
 
 // ---------------------------------------------------------------------------
@@ -269,13 +469,13 @@ class SetsSearcherImpl : public Searcher {
   SetsSearcherImpl(const std::vector<std::vector<uint32_t>>* sets,
                    std::shared_ptr<const lsh::SetLshFamily> family,
                    std::unique_ptr<lsh::SetLshSearcher> searcher, uint32_t k,
-                   bool rerank)
+                   bool rerank, delta::MutationOptions mutation_options)
       : sets_(sets), family_(std::move(family)), searcher_(std::move(searcher)),
-        k_(k), rerank_(rerank) {}
+        k_(k), rerank_(rerank), host_(std::move(mutation_options)) {}
 
   Modality modality() const override { return Modality::kSets; }
   uint32_t num_objects() const override {
-    return static_cast<uint32_t>(sets_->size());
+    return host_.NumObjects(static_cast<uint32_t>(sets_->size()));
   }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
@@ -322,7 +522,7 @@ class SetsSearcherImpl : public Searcher {
       if (rerank_) {
         for (Hit& hit : out.hits) {
           hit.score =
-              family_->CollisionProbability((*sets_)[hit.id], request.sets[q]);
+              family_->CollisionProbability(SetAt(hit.id), request.sets[q]);
         }
         std::sort(out.hits.begin(), out.hits.end(),
                   [](const Hit& a, const Hit& b) { return a.score > b.score; });
@@ -353,16 +553,72 @@ class SetsSearcherImpl : public Searcher {
   }
 
   const InvertedIndex* BundleIndex() const override {
-    return &searcher_->index();
+    return host_.mutated() ? &searcher_->backend().index()
+                           : &searcher_->index();
+  }
+
+  Result<std::vector<ObjectId>> Insert(const InsertRequest& request) override {
+    delta::MutationController& controller = host_.Ensure(
+        &searcher_->backend(), static_cast<ObjectId>(sets_->size()));
+    std::vector<ObjectId> ids;
+    ids.reserve(request.sets.size());
+    for (const std::vector<uint32_t>& set : request.sets) {
+      std::vector<Keyword> keywords = searcher_->Transform(set);
+      ids.push_back(controller.Insert(keywords, [&](ObjectId) {
+        std::lock_guard<std::shared_mutex> lock(data_mu_);
+        appended_sets_.push_back(set);
+      }));
+    }
+    return ids;
+  }
+
+  Status Remove(std::span<const ObjectId> ids) override {
+    return host_.Remove(ids, &searcher_->backend(),
+                        static_cast<ObjectId>(sets_->size()));
+  }
+
+  Status Flush() override { return host_.Flush(); }
+  MutationStats mutation_stats() const override { return host_.stats(); }
+  std::shared_ptr<void> PauseMutation() override { return host_.Pause(); }
+
+  Status SerializeMutationState(serialize::Writer* writer) const override {
+    if (!host_.mutated()) return Status::OK();
+    GENIE_RETURN_NOT_OK(host_.SerializeDeltaState(writer));
+    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    writer->U32(static_cast<uint32_t>(appended_sets_.size()));
+    for (const std::vector<uint32_t>& set : appended_sets_) writer->Vec(set);
+    return Status::OK();
+  }
+
+  void AdoptMutationState(const delta::DeltaSnapshot& snap,
+                          std::vector<std::vector<uint32_t>> sets) {
+    {
+      std::lock_guard<std::shared_mutex> lock(data_mu_);
+      appended_sets_ = std::move(sets);
+    }
+    host_.AdoptSnapshot(snap, &searcher_->backend(),
+                        static_cast<ObjectId>(sets_->size()));
   }
 
  private:
+  /// The elements of any live id (see PointsSearcherImpl::RowAt for why
+  /// the span survives the unlock).
+  std::span<const uint32_t> SetAt(uint32_t id) const {
+    if (id < sets_->size()) return (*sets_)[id];
+    std::shared_lock<std::shared_mutex> lock(data_mu_);
+    const std::vector<uint32_t>& set = appended_sets_[id - sets_->size()];
+    return std::span<const uint32_t>(set.data(), set.size());
+  }
+
   const std::vector<std::vector<uint32_t>>* sets_;
   std::shared_ptr<const lsh::SetLshFamily> family_;
   std::unique_ptr<lsh::SetLshSearcher> searcher_;
   std::mutex mu_;
   uint32_t k_;
   bool rerank_;
+  MutationHost host_;
+  mutable std::shared_mutex data_mu_;
+  std::vector<std::vector<uint32_t>> appended_sets_;
 };
 
 // ---------------------------------------------------------------------------
@@ -373,12 +629,13 @@ class SequencesSearcherImpl : public Searcher {
  public:
   SequencesSearcherImpl(const std::vector<std::string>* sequences,
                         std::unique_ptr<sa::SequenceSearcher> searcher,
-                        uint32_t k)
-      : sequences_(sequences), searcher_(std::move(searcher)), k_(k) {}
+                        uint32_t k, delta::MutationOptions mutation_options)
+      : sequences_(sequences), searcher_(std::move(searcher)), k_(k),
+        host_(std::move(mutation_options)) {}
 
   Modality modality() const override { return Modality::kSequences; }
   uint32_t num_objects() const override {
-    return static_cast<uint32_t>(sequences_->size());
+    return host_.NumObjects(static_cast<uint32_t>(sequences_->size()));
   }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
@@ -437,13 +694,55 @@ class SequencesSearcherImpl : public Searcher {
 
   Status SerializeBundleMeta(serialize::Writer* writer) const override {
     writer->U32(searcher_->ngram());
-    searcher_->vocabulary().Serialize(writer);
+    GENIE_RETURN_NOT_OK(searcher_->SerializeVocabulary(writer));
     writer->U32(static_cast<uint32_t>(sequences_->size()));
     return Status::OK();
   }
 
   const InvertedIndex* BundleIndex() const override {
-    return &searcher_->index();
+    return host_.mutated() ? &searcher_->backend().index()
+                           : &searcher_->index();
+  }
+
+  Result<std::vector<ObjectId>> Insert(const InsertRequest& request) override {
+    delta::MutationController& controller = host_.Ensure(
+        &searcher_->backend(), static_cast<ObjectId>(sequences_->size()));
+    std::vector<ObjectId> ids;
+    ids.reserve(request.sequences.size());
+    for (const std::string& sequence : request.sequences) {
+      // Grows the n-gram vocabulary before the controller's state lock;
+      // harmless if the insert then fails (the frozen index maps unknown
+      // keywords to empty lists).
+      std::vector<Keyword> keywords = searcher_->ExtractKeywords(sequence);
+      ids.push_back(controller.Insert(keywords, [&](ObjectId) {
+        searcher_->AppendSequence(sequence);
+      }));
+    }
+    return ids;
+  }
+
+  Status Remove(std::span<const ObjectId> ids) override {
+    return host_.Remove(ids, &searcher_->backend(),
+                        static_cast<ObjectId>(sequences_->size()));
+  }
+
+  Status Flush() override { return host_.Flush(); }
+  MutationStats mutation_stats() const override { return host_.stats(); }
+  std::shared_ptr<void> PauseMutation() override { return host_.Pause(); }
+
+  Status SerializeMutationState(serialize::Writer* writer) const override {
+    if (!host_.mutated()) return Status::OK();
+    GENIE_RETURN_NOT_OK(host_.SerializeDeltaState(writer));
+    return searcher_->SerializeAppended(writer);
+  }
+
+  void AdoptMutationState(const delta::DeltaSnapshot& snap,
+                          std::vector<std::string> appended) {
+    for (std::string& sequence : appended) {
+      searcher_->AppendSequence(std::move(sequence));
+    }
+    host_.AdoptSnapshot(snap, &searcher_->backend(),
+                        static_cast<ObjectId>(sequences_->size()));
   }
 
  private:
@@ -451,6 +750,7 @@ class SequencesSearcherImpl : public Searcher {
   std::unique_ptr<sa::SequenceSearcher> searcher_;
   std::mutex mu_;
   uint32_t k_;
+  MutationHost host_;
 };
 
 // ---------------------------------------------------------------------------
@@ -460,12 +760,14 @@ class SequencesSearcherImpl : public Searcher {
 class DocumentsSearcherImpl : public Searcher {
  public:
   DocumentsSearcherImpl(const std::vector<std::vector<uint32_t>>* documents,
-                        std::unique_ptr<sa::DocumentSearcher> searcher)
-      : documents_(documents), searcher_(std::move(searcher)) {}
+                        std::unique_ptr<sa::DocumentSearcher> searcher,
+                        delta::MutationOptions mutation_options)
+      : documents_(documents), searcher_(std::move(searcher)),
+        host_(std::move(mutation_options)) {}
 
   Modality modality() const override { return Modality::kDocuments; }
   uint32_t num_objects() const override {
-    return static_cast<uint32_t>(documents_->size());
+    return host_.NumObjects(static_cast<uint32_t>(documents_->size()));
   }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
@@ -520,13 +822,48 @@ class DocumentsSearcherImpl : public Searcher {
   }
 
   const InvertedIndex* BundleIndex() const override {
-    return &searcher_->index();
+    return host_.mutated() ? &searcher_->backend().index()
+                           : &searcher_->index();
+  }
+
+  Result<std::vector<ObjectId>> Insert(const InsertRequest& request) override {
+    delta::MutationController& controller = host_.Ensure(
+        &searcher_->backend(), static_cast<ObjectId>(documents_->size()));
+    std::vector<ObjectId> ids;
+    ids.reserve(request.documents.size());
+    for (const std::vector<uint32_t>& doc : request.documents) {
+      // Documents need no side data: the match count is the whole answer,
+      // so only the keywords (deduped tokens) are retained, in the delta.
+      std::vector<Keyword> keywords = searcher_->ExtractKeywords(doc);
+      ids.push_back(controller.Insert(keywords));
+    }
+    return ids;
+  }
+
+  Status Remove(std::span<const ObjectId> ids) override {
+    return host_.Remove(ids, &searcher_->backend(),
+                        static_cast<ObjectId>(documents_->size()));
+  }
+
+  Status Flush() override { return host_.Flush(); }
+  MutationStats mutation_stats() const override { return host_.stats(); }
+  std::shared_ptr<void> PauseMutation() override { return host_.Pause(); }
+
+  Status SerializeMutationState(serialize::Writer* writer) const override {
+    if (!host_.mutated()) return Status::OK();
+    return host_.SerializeDeltaState(writer);
+  }
+
+  void AdoptMutationState(const delta::DeltaSnapshot& snap) {
+    host_.AdoptSnapshot(snap, &searcher_->backend(),
+                        static_cast<ObjectId>(documents_->size()));
   }
 
  private:
   const std::vector<std::vector<uint32_t>>* documents_;
   std::unique_ptr<sa::DocumentSearcher> searcher_;
   std::mutex mu_;
+  MutationHost host_;
 };
 
 // ---------------------------------------------------------------------------
@@ -536,11 +873,15 @@ class DocumentsSearcherImpl : public Searcher {
 class RelationalSearcherImpl : public Searcher {
  public:
   RelationalSearcherImpl(const sa::RelationalTable* table,
-                         std::unique_ptr<sa::RelationalSearcher> searcher)
-      : table_(table), searcher_(std::move(searcher)) {}
+                         std::unique_ptr<sa::RelationalSearcher> searcher,
+                         delta::MutationOptions mutation_options)
+      : table_(table), searcher_(std::move(searcher)),
+        host_(std::move(mutation_options)) {}
 
   Modality modality() const override { return Modality::kRelational; }
-  uint32_t num_objects() const override { return table_->num_rows(); }
+  uint32_t num_objects() const override {
+    return host_.NumObjects(table_->num_rows());
+  }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
     GENIE_ASSIGN_OR_RETURN(std::unique_ptr<PreparedChunk> chunk,
@@ -598,13 +939,63 @@ class RelationalSearcherImpl : public Searcher {
   }
 
   const InvertedIndex* BundleIndex() const override {
-    return &searcher_->index();
+    return host_.mutated() ? &searcher_->backend().index()
+                           : &searcher_->index();
+  }
+
+  Result<std::vector<ObjectId>> Insert(const InsertRequest& request) override {
+    const DimValueEncoder& encoder = searcher_->encoder();
+    // Validate the whole batch before assigning any id, so a malformed row
+    // cannot leave a partially inserted batch behind.
+    for (const std::vector<uint32_t>& row : request.rows) {
+      if (row.size() != encoder.num_dims()) {
+        return Status::InvalidArgument(
+            "inserted row does not match the table's column count");
+      }
+      for (uint32_t c = 0; c < row.size(); ++c) {
+        if (row[c] >= encoder.buckets(c)) {
+          return Status::OutOfRange(
+              "inserted row value outside the column's domain");
+        }
+      }
+    }
+    delta::MutationController& controller =
+        host_.Ensure(&searcher_->backend(), table_->num_rows());
+    std::vector<ObjectId> ids;
+    ids.reserve(request.rows.size());
+    std::vector<Keyword> keywords;
+    for (const std::vector<uint32_t>& row : request.rows) {
+      keywords.clear();
+      for (uint32_t c = 0; c < row.size(); ++c) {
+        keywords.push_back(encoder.EncodeUnchecked(c, row[c]));
+      }
+      ids.push_back(controller.Insert(keywords));
+    }
+    return ids;
+  }
+
+  Status Remove(std::span<const ObjectId> ids) override {
+    return host_.Remove(ids, &searcher_->backend(), table_->num_rows());
+  }
+
+  Status Flush() override { return host_.Flush(); }
+  MutationStats mutation_stats() const override { return host_.stats(); }
+  std::shared_ptr<void> PauseMutation() override { return host_.Pause(); }
+
+  Status SerializeMutationState(serialize::Writer* writer) const override {
+    if (!host_.mutated()) return Status::OK();
+    return host_.SerializeDeltaState(writer);
+  }
+
+  void AdoptMutationState(const delta::DeltaSnapshot& snap) {
+    host_.AdoptSnapshot(snap, &searcher_->backend(), table_->num_rows());
   }
 
  private:
   const sa::RelationalTable* table_;
   std::unique_ptr<sa::RelationalSearcher> searcher_;
   std::mutex mu_;
+  MutationHost host_;
 };
 
 // ---------------------------------------------------------------------------
@@ -614,14 +1005,18 @@ class RelationalSearcherImpl : public Searcher {
 class CompiledSearcherImpl : public Searcher {
  public:
   CompiledSearcherImpl(const InvertedIndex* index,
-                       std::unique_ptr<EngineBackend> backend)
-      : index_(index), backend_(std::move(backend)) {}
+                       std::unique_ptr<EngineBackend> backend,
+                       delta::MutationOptions mutation_options)
+      : index_(index), backend_(std::move(backend)),
+        host_(std::move(mutation_options)) {}
 
   /// Bundle-open mode: the searcher owns the loaded index (a bundle has no
   /// caller-held index to borrow). Two-phase: construct, then create the
   /// backend over index() — the member's address is stable from here on.
-  explicit CompiledSearcherImpl(InvertedIndex owned)
-      : owned_index_(std::move(owned)), index_(&owned_index_) {}
+  CompiledSearcherImpl(InvertedIndex owned,
+                       delta::MutationOptions mutation_options)
+      : owned_index_(std::move(owned)), index_(&owned_index_),
+        host_(std::move(mutation_options)) {}
 
   void AdoptBackend(std::unique_ptr<EngineBackend> backend) {
     backend_ = std::move(backend);
@@ -630,7 +1025,9 @@ class CompiledSearcherImpl : public Searcher {
   const InvertedIndex& index() const { return *index_; }
 
   Modality modality() const override { return Modality::kCompiled; }
-  uint32_t num_objects() const override { return index_->num_objects(); }
+  uint32_t num_objects() const override {
+    return host_.NumObjects(index_->num_objects());
+  }
 
   Result<SearchResult> Search(const SearchRequest& request) override {
     GENIE_ASSIGN_OR_RETURN(std::unique_ptr<PreparedChunk> chunk,
@@ -695,13 +1092,45 @@ class CompiledSearcherImpl : public Searcher {
     return Status::OK();
   }
 
-  const InvertedIndex* BundleIndex() const override { return index_; }
+  const InvertedIndex* BundleIndex() const override {
+    return host_.mutated() ? &backend_->index() : index_;
+  }
+
+  Result<std::vector<ObjectId>> Insert(const InsertRequest& request) override {
+    delta::MutationController& controller =
+        host_.Ensure(backend_.get(), index_->num_objects());
+    std::vector<ObjectId> ids;
+    ids.reserve(request.objects.size());
+    for (const std::vector<Keyword>& keywords : request.objects) {
+      ids.push_back(controller.Insert(keywords));
+    }
+    return ids;
+  }
+
+  Status Remove(std::span<const ObjectId> ids) override {
+    return host_.Remove(ids, backend_.get(), index_->num_objects());
+  }
+
+  Status Flush() override { return host_.Flush(); }
+  MutationStats mutation_stats() const override { return host_.stats(); }
+  std::shared_ptr<void> PauseMutation() override { return host_.Pause(); }
+
+  Status SerializeMutationState(serialize::Writer* writer) const override {
+    if (!host_.mutated()) return Status::OK();
+    return host_.SerializeDeltaState(writer);
+  }
+
+  void AdoptMutationState(const delta::DeltaSnapshot& snap) {
+    host_.AdoptSnapshot(snap, backend_.get(), index_->num_objects());
+  }
 
  private:
   InvertedIndex owned_index_;
   const InvertedIndex* index_;
   std::unique_ptr<EngineBackend> backend_;
   std::mutex mu_;
+  // Destroyed before backend_: the compaction worker joins first.
+  MutationHost host_;
 };
 
 /// The runtime (non-transform) LshSearchOptions shared by create and open.
@@ -787,7 +1216,7 @@ Result<std::unique_ptr<Searcher>> MakePointsSearcher(
                          lsh::LshSearcher::Create(points, family, options));
   return std::unique_ptr<Searcher>(new PointsSearcherImpl(
       points, std::move(searcher), config.k(), config.exact_rerank(),
-      config.metric_p()));
+      config.metric_p(), MutationOptionsFrom(config)));
 }
 
 Result<std::unique_ptr<Searcher>> MakeSetsSearcher(const EngineConfig& config) {
@@ -812,7 +1241,8 @@ Result<std::unique_ptr<Searcher>> MakeSetsSearcher(const EngineConfig& config) {
                          lsh::SetLshSearcher::Create(sets, family, options));
   return std::unique_ptr<Searcher>(
       new SetsSearcherImpl(sets, std::move(family), std::move(searcher),
-                           config.k(), config.exact_rerank()));
+                           config.k(), config.exact_rerank(),
+                           MutationOptionsFrom(config)));
 }
 
 Result<std::unique_ptr<Searcher>> MakeSequencesSearcher(
@@ -829,7 +1259,8 @@ Result<std::unique_ptr<Searcher>> MakeSequencesSearcher(
   GENIE_ASSIGN_OR_RETURN(std::unique_ptr<sa::SequenceSearcher> searcher,
                          sa::SequenceSearcher::Create(sequences, options));
   return std::unique_ptr<Searcher>(
-      new SequencesSearcherImpl(sequences, std::move(searcher), config.k()));
+      new SequencesSearcherImpl(sequences, std::move(searcher), config.k(),
+                                MutationOptionsFrom(config)));
 }
 
 Result<std::unique_ptr<Searcher>> MakeDocumentsSearcher(
@@ -845,8 +1276,8 @@ Result<std::unique_ptr<Searcher>> MakeDocumentsSearcher(
   sa::DocumentSearchOptions options = DocumentsRuntimeOptions(config);
   GENIE_ASSIGN_OR_RETURN(std::unique_ptr<sa::DocumentSearcher> searcher,
                          sa::DocumentSearcher::Create(documents, options));
-  return std::unique_ptr<Searcher>(
-      new DocumentsSearcherImpl(documents, std::move(searcher)));
+  return std::unique_ptr<Searcher>(new DocumentsSearcherImpl(
+      documents, std::move(searcher), MutationOptionsFrom(config)));
 }
 
 Result<std::unique_ptr<Searcher>> MakeRelationalSearcher(
@@ -859,8 +1290,8 @@ Result<std::unique_ptr<Searcher>> MakeRelationalSearcher(
                                      BaseEngineOptions(config),
                                      BuildOptions(config),
                                      BackendOptions(config)));
-  return std::unique_ptr<Searcher>(
-      new RelationalSearcherImpl(table, std::move(searcher)));
+  return std::unique_ptr<Searcher>(new RelationalSearcherImpl(
+      table, std::move(searcher), MutationOptionsFrom(config)));
 }
 
 Result<std::unique_ptr<Searcher>> MakeCompiledSearcher(
@@ -871,8 +1302,8 @@ Result<std::unique_ptr<Searcher>> MakeCompiledSearcher(
       std::unique_ptr<EngineBackend> backend,
       EngineBackend::Create(index, BaseEngineOptions(config),
                             BackendOptions(config)));
-  return std::unique_ptr<Searcher>(
-      new CompiledSearcherImpl(index, std::move(backend)));
+  return std::unique_ptr<Searcher>(new CompiledSearcherImpl(
+      index, std::move(backend), MutationOptionsFrom(config)));
 }
 
 // ---------------------------------------------------------------------------
@@ -880,7 +1311,8 @@ Result<std::unique_ptr<Searcher>> MakeCompiledSearcher(
 // ---------------------------------------------------------------------------
 
 Result<std::unique_ptr<Searcher>> OpenPointsSearcher(
-    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index) {
+    const EngineConfig& config, serialize::Reader* meta,
+    serialize::Reader* mutation, InvertedIndex index) {
   const data::PointMatrix* points = config.points();
   if (points == nullptr) {
     return Status::InvalidArgument(
@@ -889,13 +1321,21 @@ Result<std::unique_ptr<Searcher>> OpenPointsSearcher(
 
   uint8_t family_tag = 0;
   GENIE_RETURN_NOT_OK(meta->U8(&family_tag));
-  if (family_tag != kVectorFamilyE2Lsh) {
+  uint32_t family_dim = 0;
+  std::shared_ptr<const lsh::VectorLshFamily> family;
+  if (family_tag == kVectorFamilyE2Lsh) {
+    GENIE_ASSIGN_OR_RETURN(std::unique_ptr<lsh::E2LshFamily> e2lsh,
+                           lsh::E2LshFamily::Deserialize(meta));
+    family_dim = e2lsh->options().dim;
+    family = std::shared_ptr<const lsh::VectorLshFamily>(std::move(e2lsh));
+  } else if (family_tag == kVectorFamilyRandomBinning) {
+    GENIE_ASSIGN_OR_RETURN(std::unique_ptr<lsh::RandomBinningFamily> binning,
+                           lsh::RandomBinningFamily::Deserialize(meta));
+    family_dim = binning->options().dim;
+    family = std::shared_ptr<const lsh::VectorLshFamily>(std::move(binning));
+  } else {
     return Status::InvalidArgument("unknown vector LSH family in bundle");
   }
-  GENIE_ASSIGN_OR_RETURN(std::unique_ptr<lsh::E2LshFamily> e2lsh,
-                         lsh::E2LshFamily::Deserialize(meta));
-  const uint32_t family_dim = e2lsh->options().dim;
-  std::shared_ptr<const lsh::VectorLshFamily> family(std::move(e2lsh));
   GENIE_ASSIGN_OR_RETURN(lsh::LshTransformer transformer,
                          lsh::LshTransformer::Deserialize(family, meta));
   uint32_t num_objects = 0;
@@ -916,18 +1356,48 @@ Result<std::unique_ptr<Searcher>> OpenPointsSearcher(
         "rebound points dataset does not match the saved engine");
   }
 
+  delta::DeltaSnapshot snap;
+  std::vector<std::vector<float>> appended_rows;
+  uint32_t appended = 0;
+  if (mutation != nullptr) {
+    GENIE_ASSIGN_OR_RETURN(snap, ReadDeltaSnapshot(mutation));
+    uint32_t count = 0;
+    GENIE_RETURN_NOT_OK(mutation->U32(&count));
+    appended_rows.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      std::vector<float> row;
+      GENIE_RETURN_NOT_OK(mutation->Vec(&row));
+      if (row.size() != points->dim()) {
+        return Status::InvalidArgument(
+            "bundle mutation row dimension does not match the dataset");
+      }
+      appended_rows.push_back(std::move(row));
+    }
+    GENIE_RETURN_NOT_OK(mutation->ExpectEnd());
+    if (snap.next_id != static_cast<uint64_t>(num_objects) + count) {
+      return Status::InvalidArgument(
+          "bundle mutation watermark does not match its appended side data");
+    }
+    appended = count;
+  }
+
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<lsh::LshSearcher> searcher,
       lsh::LshSearcher::Restore(points, std::move(transformer),
                                 std::move(index),
-                                PointsRuntimeOptions(config)));
-  return std::unique_ptr<Searcher>(new PointsSearcherImpl(
+                                PointsRuntimeOptions(config), appended));
+  auto impl = std::make_unique<PointsSearcherImpl>(
       points, std::move(searcher), config.k(), config.exact_rerank(),
-      config.metric_p()));
+      config.metric_p(), MutationOptionsFrom(config));
+  if (mutation != nullptr) {
+    impl->AdoptMutationState(snap, std::move(appended_rows));
+  }
+  return std::unique_ptr<Searcher>(std::move(impl));
 }
 
 Result<std::unique_ptr<Searcher>> OpenSetsSearcher(
-    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index) {
+    const EngineConfig& config, serialize::Reader* meta,
+    serialize::Reader* mutation, InvertedIndex index) {
   const std::vector<std::vector<uint32_t>>* sets = config.sets();
   if (sets == nullptr) {
     return Status::InvalidArgument(
@@ -961,18 +1431,44 @@ Result<std::unique_ptr<Searcher>> OpenSetsSearcher(
         "rebound sets dataset does not match the saved engine");
   }
 
+  delta::DeltaSnapshot snap;
+  std::vector<std::vector<uint32_t>> appended_sets;
+  uint32_t appended = 0;
+  if (mutation != nullptr) {
+    GENIE_ASSIGN_OR_RETURN(snap, ReadDeltaSnapshot(mutation));
+    uint32_t count = 0;
+    GENIE_RETURN_NOT_OK(mutation->U32(&count));
+    appended_sets.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      std::vector<uint32_t> set;
+      GENIE_RETURN_NOT_OK(mutation->Vec(&set));
+      appended_sets.push_back(std::move(set));
+    }
+    GENIE_RETURN_NOT_OK(mutation->ExpectEnd());
+    if (snap.next_id != static_cast<uint64_t>(num_objects) + count) {
+      return Status::InvalidArgument(
+          "bundle mutation watermark does not match its appended side data");
+    }
+    appended = count;
+  }
+
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<lsh::SetLshSearcher> searcher,
       lsh::SetLshSearcher::Restore(sets, family, options,
                                    std::move(rehash_seeds),
-                                   std::move(index)));
-  return std::unique_ptr<Searcher>(
-      new SetsSearcherImpl(sets, std::move(family), std::move(searcher),
-                           config.k(), config.exact_rerank()));
+                                   std::move(index), appended));
+  auto impl = std::make_unique<SetsSearcherImpl>(
+      sets, std::move(family), std::move(searcher), config.k(),
+      config.exact_rerank(), MutationOptionsFrom(config));
+  if (mutation != nullptr) {
+    impl->AdoptMutationState(snap, std::move(appended_sets));
+  }
+  return std::unique_ptr<Searcher>(std::move(impl));
 }
 
 Result<std::unique_ptr<Searcher>> OpenSequencesSearcher(
-    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index) {
+    const EngineConfig& config, serialize::Reader* meta,
+    serialize::Reader* mutation, InvertedIndex index) {
   const std::vector<std::string>* sequences = config.sequences();
   if (sequences == nullptr) {
     return Status::InvalidArgument(
@@ -991,16 +1487,42 @@ Result<std::unique_ptr<Searcher>> OpenSequencesSearcher(
         "rebound sequences dataset does not match the saved engine");
   }
 
+  delta::DeltaSnapshot snap;
+  std::vector<std::string> appended_sequences;
+  uint32_t appended = 0;
+  if (mutation != nullptr) {
+    GENIE_ASSIGN_OR_RETURN(snap, ReadDeltaSnapshot(mutation));
+    uint32_t count = 0;
+    GENIE_RETURN_NOT_OK(mutation->U32(&count));
+    appended_sequences.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string sequence;
+      GENIE_RETURN_NOT_OK(mutation->String(&sequence));
+      appended_sequences.push_back(std::move(sequence));
+    }
+    GENIE_RETURN_NOT_OK(mutation->ExpectEnd());
+    if (snap.next_id != static_cast<uint64_t>(num_objects) + count) {
+      return Status::InvalidArgument(
+          "bundle mutation watermark does not match its appended side data");
+    }
+    appended = count;
+  }
+
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<sa::SequenceSearcher> searcher,
       sa::SequenceSearcher::Restore(sequences, options, std::move(vocab),
-                                    std::move(index)));
-  return std::unique_ptr<Searcher>(
-      new SequencesSearcherImpl(sequences, std::move(searcher), config.k()));
+                                    std::move(index), appended));
+  auto impl = std::make_unique<SequencesSearcherImpl>(
+      sequences, std::move(searcher), config.k(), MutationOptionsFrom(config));
+  if (mutation != nullptr) {
+    impl->AdoptMutationState(snap, std::move(appended_sequences));
+  }
+  return std::unique_ptr<Searcher>(std::move(impl));
 }
 
 Result<std::unique_ptr<Searcher>> OpenDocumentsSearcher(
-    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index) {
+    const EngineConfig& config, serialize::Reader* meta,
+    serialize::Reader* mutation, InvertedIndex index) {
   const std::vector<std::vector<uint32_t>>* documents = config.documents();
   if (documents == nullptr) {
     return Status::InvalidArgument(
@@ -1017,16 +1539,33 @@ Result<std::unique_ptr<Searcher>> OpenDocumentsSearcher(
         "rebound documents dataset does not match the saved engine");
   }
 
+  delta::DeltaSnapshot snap;
+  uint32_t appended = 0;
+  if (mutation != nullptr) {
+    GENIE_ASSIGN_OR_RETURN(snap, ReadDeltaSnapshot(mutation));
+    GENIE_RETURN_NOT_OK(mutation->ExpectEnd());
+    // Documents carry no side data: the watermark alone tells how many
+    // objects were appended.
+    if (snap.next_id < num_objects) {
+      return Status::InvalidArgument(
+          "bundle mutation watermark is below the saved dataset size");
+    }
+    appended = static_cast<uint32_t>(snap.next_id - num_objects);
+  }
+
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<sa::DocumentSearcher> searcher,
       sa::DocumentSearcher::Restore(documents, DocumentsRuntimeOptions(config),
-                                    vocab_size, std::move(index)));
-  return std::unique_ptr<Searcher>(
-      new DocumentsSearcherImpl(documents, std::move(searcher)));
+                                    vocab_size, std::move(index), appended));
+  auto impl = std::make_unique<DocumentsSearcherImpl>(
+      documents, std::move(searcher), MutationOptionsFrom(config));
+  if (mutation != nullptr) impl->AdoptMutationState(snap);
+  return std::unique_ptr<Searcher>(std::move(impl));
 }
 
 Result<std::unique_ptr<Searcher>> OpenRelationalSearcher(
-    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index) {
+    const EngineConfig& config, serialize::Reader* meta,
+    serialize::Reader* mutation, InvertedIndex index) {
   const sa::RelationalTable* table = config.table();
   if (table == nullptr) {
     return Status::InvalidArgument(
@@ -1039,26 +1578,55 @@ Result<std::unique_ptr<Searcher>> OpenRelationalSearcher(
   GENIE_RETURN_NOT_OK(meta->Vec(&cardinalities));
   GENIE_RETURN_NOT_OK(meta->ExpectEnd());
 
+  delta::DeltaSnapshot snap;
+  uint32_t appended = 0;
+  if (mutation != nullptr) {
+    GENIE_ASSIGN_OR_RETURN(snap, ReadDeltaSnapshot(mutation));
+    GENIE_RETURN_NOT_OK(mutation->ExpectEnd());
+    // Rows carry no side data (the keywords in the delta are the row).
+    if (snap.next_id < num_rows) {
+      return Status::InvalidArgument(
+          "bundle mutation watermark is below the saved table size");
+    }
+    appended = static_cast<uint32_t>(snap.next_id - num_rows);
+  }
+
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<sa::RelationalSearcher> searcher,
       sa::RelationalSearcher::Restore(table, config.k(), cardinalities,
                                       num_rows, std::move(index),
                                       BaseEngineOptions(config),
                                       BuildOptions(config),
-                                      BackendOptions(config)));
-  return std::unique_ptr<Searcher>(
-      new RelationalSearcherImpl(table, std::move(searcher)));
+                                      BackendOptions(config), appended));
+  auto impl = std::make_unique<RelationalSearcherImpl>(
+      table, std::move(searcher), MutationOptionsFrom(config));
+  if (mutation != nullptr) impl->AdoptMutationState(snap);
+  return std::unique_ptr<Searcher>(std::move(impl));
 }
 
 Result<std::unique_ptr<Searcher>> OpenCompiledSearcher(
-    const EngineConfig& config, serialize::Reader* meta, InvertedIndex index) {
+    const EngineConfig& config, serialize::Reader* meta,
+    serialize::Reader* mutation, InvertedIndex index) {
   GENIE_RETURN_NOT_OK(meta->ExpectEnd());
-  auto impl = std::make_unique<CompiledSearcherImpl>(std::move(index));
+
+  delta::DeltaSnapshot snap;
+  if (mutation != nullptr) {
+    GENIE_ASSIGN_OR_RETURN(snap, ReadDeltaSnapshot(mutation));
+    GENIE_RETURN_NOT_OK(mutation->ExpectEnd());
+    if (snap.next_id < index.num_objects()) {
+      return Status::InvalidArgument(
+          "bundle mutation watermark is below the saved index size");
+    }
+  }
+
+  auto impl = std::make_unique<CompiledSearcherImpl>(
+      std::move(index), MutationOptionsFrom(config));
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<EngineBackend> backend,
       EngineBackend::Create(&impl->index(), BaseEngineOptions(config),
                             BackendOptions(config)));
   impl->AdoptBackend(std::move(backend));
+  if (mutation != nullptr) impl->AdoptMutationState(snap);
   return std::unique_ptr<Searcher>(std::move(impl));
 }
 

@@ -64,6 +64,46 @@ struct SearchRequest {
   size_t num_queries() const;
 };
 
+/// One batch of objects to insert into a live engine (Engine::Insert).
+/// Construct with the factory matching the engine's modality; the payload
+/// spans are only borrowed for the Insert() call. Inserted objects receive
+/// monotonically increasing ids continuing the indexed dataset's id space.
+struct InsertRequest {
+  Modality modality = Modality::kPoints;
+
+  const data::PointMatrix* points = nullptr;
+  std::span<const std::vector<uint32_t>> sets;
+  std::span<const std::string> sequences;
+  std::span<const std::vector<uint32_t>> documents;
+  /// Relational rows, row-major: one entry per row, holding one value per
+  /// column (value[c] must be < the table's cardinality of column c).
+  std::span<const std::vector<uint32_t>> rows;
+  /// Compiled modality: each object's raw keyword list.
+  std::span<const std::vector<Keyword>> objects;
+
+  static InsertRequest Points(const data::PointMatrix& objects);
+  static InsertRequest Sets(std::span<const std::vector<uint32_t>> objects);
+  static InsertRequest Sequences(std::span<const std::string> objects);
+  static InsertRequest Documents(std::span<const std::vector<uint32_t>> objects);
+  static InsertRequest Rows(std::span<const std::vector<uint32_t>> rows);
+  static InsertRequest Objects(std::span<const std::vector<Keyword>> objects);
+
+  size_t num_objects() const;
+};
+
+/// Mutation counters of a live engine (Engine::mutation_stats).
+struct MutationStats {
+  uint64_t inserts = 0;
+  uint64_t removes = 0;
+  uint64_t compactions = 0;
+  /// Wall seconds of the last compaction's off-line index rebuild (runs
+  /// with no locks held — searches keep flowing).
+  double last_compact_seconds = 0;
+  /// Wall seconds the last compaction commit held the mutation lock (the
+  /// only window in which inserts/removes — never searches — stall).
+  double last_pause_seconds = 0;
+};
+
 /// One ranked answer. `score` ranks hits in descending order; its meaning
 /// per modality:
 ///   points/sets  match mode: estimated similarity c/m (Eqn. 7);

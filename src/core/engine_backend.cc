@@ -1,6 +1,7 @@
 #include "core/engine_backend.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -134,48 +135,187 @@ Result<std::unique_ptr<EngineBackend>> EngineBackend::Create(
   std::unique_ptr<EngineBackend> backend(
       new EngineBackend(index, effective_options, backend_options));
   backend->backend_options_.num_devices = num_devices;
+  backend->base_k_ = effective_options.k;
 
+  std::lock_guard<std::mutex> lock(backend->mu_);
+  GENIE_RETURN_NOT_OK(backend->SetUpTierLocked());
+  return backend;
+}
+
+Status EngineBackend::SetUpTierLocked() {
   // Tier selection: multi-device when N > 1 (space multiplexing), else
   // single load, falling back to sequential multiple loading when the
   // index (or the parts' residency) exceeds device memory.
-  if (num_devices > 1) {
+  if (backend_options_.num_devices > 1) {
     const uint32_t parts =
-        std::max(num_devices, backend_options.force_parts);
-    Status status = backend->SetUpMultiDevice(parts);
-    if (status.ok()) return backend;
+        std::max(backend_options_.num_devices, backend_options_.force_parts);
+    Status status = SetUpMultiDevice(parts);
+    if (status.ok()) return status;
     if (status.code() != StatusCode::kResourceExhausted ||
-        !backend_options.allow_multi_load) {
+        !backend_options_.allow_multi_load) {
       return status;
     }
     // Residency exceeded a device: time-multiplex the base device instead.
-    GENIE_RETURN_NOT_OK(backend->SetUpMultiLoad(
-        std::max(backend->EstimateParts(), backend_options.force_parts)));
-    return backend;
+    return SetUpMultiLoad(
+        std::max(EstimateParts(), backend_options_.force_parts));
   }
 
-  if (backend_options.force_parts > 0) {
-    GENIE_RETURN_NOT_OK(backend->SetUpMultiLoad(backend_options.force_parts));
-    return backend;
+  if (backend_options_.force_parts > 0) {
+    return SetUpMultiLoad(backend_options_.force_parts);
   }
 
-  auto single = MatchEngine::Create(index, effective_options);
+  auto single = MatchEngine::Create(index_, options_);
   if (single.ok()) {
-    backend->single_ = std::move(single).ValueOrDie();
-    return backend;
+    RetireEngines();
+    single_ = std::move(single).ValueOrDie();
+    ++generation_;
+    return Status::OK();
   }
   if (single.status().code() != StatusCode::kResourceExhausted ||
-      !backend_options.allow_multi_load) {
+      !backend_options_.allow_multi_load) {
     return single.status();
   }
   // The List Array alone exceeded device memory: shard and multiple-load.
-  GENIE_RETURN_NOT_OK(backend->SetUpMultiLoad(backend->EstimateParts()));
-  return backend;
+  return SetUpMultiLoad(EstimateParts());
+}
+
+void EngineBackend::AttachDeltaStore(const delta::DeltaStore* store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  delta_store_ = store;
+}
+
+const delta::DeltaStore* EngineBackend::delta_store() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delta_store_;
+}
+
+Status EngineBackend::SwapIndex(std::shared_ptr<const InvertedIndex> index,
+                                const std::function<void()>& on_committed) {
+  if (index == nullptr) return Status::InvalidArgument("index is null");
+  std::lock_guard<std::mutex> lock(mu_);
+  const InvertedIndex* old_index = index_;
+  std::shared_ptr<const InvertedIndex> old_owned = std::move(owned_index_);
+  index_ = index.get();
+  owned_index_ = std::move(index);
+  const Status status = SetUpTierLocked();
+  if (!status.ok()) {
+    index_ = old_index;
+    owned_index_ = std::move(old_owned);
+    return status;
+  }
+  if (old_owned != nullptr) retired_indexes_.push_back(std::move(old_owned));
+  if (on_committed) on_committed();
+  return Status::OK();
+}
+
+Status EngineBackend::MaybeGrowSlackLocked() {
+  if (delta_store_ == nullptr) return Status::OK();
+  const uint32_t tombstones = delta_store_->num_tombstones();
+  uint32_t slack = 0;
+  if (tombstones > 0) {
+    slack = 8;
+    while (slack < tombstones) slack *= 2;
+  }
+  if (base_k_ + slack <= options_.k) return Status::OK();
+  const uint32_t previous_k = options_.k;
+  options_.k = base_k_ + slack;
+  const Status status = SetUpTierLocked();
+  if (!status.ok()) {
+    options_.k = previous_k;
+    return status;
+  }
+  return Status::OK();
+}
+
+void EngineBackend::ApplyDeltaOverlay(const delta::DeltaSnapshot& snap,
+                                      std::span<const Query> queries,
+                                      uint32_t k,
+                                      std::vector<QueryResult>* results) {
+  const auto overlay_start = std::chrono::steady_clock::now();
+  std::vector<std::vector<TopKEntry>> pools =
+      delta::DeltaStore::Match(snap, queries);
+  const bool any_tombstones = snap.num_tombstones() > 0;
+  for (size_t q = 0; q < results->size(); ++q) {
+    QueryResult& result = (*results)[q];
+    if (any_tombstones) {
+      result.entries.erase(
+          std::remove_if(result.entries.begin(), result.entries.end(),
+                         [&](const TopKEntry& e) {
+                           return delta::IsTombstoned(snap, e.id);
+                         }),
+          result.entries.end());
+    }
+    if (q < pools.size() && !pools[q].empty()) {
+      result.entries.insert(result.entries.end(), pools[q].begin(),
+                            pools[q].end());
+    }
+    std::sort(result.entries.begin(), result.entries.end(),
+              [](const TopKEntry& a, const TopKEntry& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.id < b.id;
+              });
+    if (result.entries.size() > k) result.entries.resize(k);
+    result.threshold =
+        result.entries.size() >= k ? result.entries.back().count : 0;
+  }
+  const double overlay_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    overlay_start)
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  carried_merge_s_ += overlay_s;
 }
 
 Result<std::vector<QueryResult>> EngineBackend::ExecuteBatch(
     std::span<const Query> queries) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ExecuteBatchLocked(queries);
+  Result<std::vector<QueryResult>> results = std::vector<QueryResult>{};
+  delta::DeltaSnapshot snap;
+  bool overlay = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GENIE_RETURN_NOT_OK(MaybeGrowSlackLocked());
+    results = ExecuteBatchLocked(queries);
+    if (results.ok() && delta_store_ != nullptr) {
+      // Captured under the same mu_ hold as the execution: the snapshot is
+      // consistent with the executed index (a compaction swap + prune is
+      // one atomic step under this mutex).
+      snap = delta_store_->snapshot();
+      overlay = !snap.empty() || options_.k != base_k_;
+    }
+  }
+  if (overlay) ApplyDeltaOverlay(snap, queries, base_k_, &results.ValueOrDie());
+  return results;
+}
+
+Result<std::vector<QueryResult>> EngineBackend::ExecuteBatchAtK(
+    std::span<const Query> queries, uint32_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  Result<std::vector<QueryResult>> results = std::vector<QueryResult>{};
+  delta::DeltaSnapshot snap;
+  bool overlay = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GENIE_RETURN_NOT_OK(MaybeGrowSlackLocked());
+    // The requested k needs the same tombstone slack on top as base_k_
+    // does, so the k live survivors stay within the executed top-k.
+    const uint32_t slack = options_.k - base_k_;
+    if (k + slack > options_.k) {
+      const uint32_t previous_k = options_.k;
+      options_.k = k + slack;
+      const Status status = SetUpTierLocked();
+      if (!status.ok()) {
+        options_.k = previous_k;
+        return status;
+      }
+    }
+    results = ExecuteBatchLocked(queries);
+    if (results.ok()) {
+      if (delta_store_ != nullptr) snap = delta_store_->snapshot();
+      overlay = !snap.empty() || options_.k != k;
+    }
+  }
+  if (overlay) ApplyDeltaOverlay(snap, queries, k, &results.ValueOrDie());
+  return results;
 }
 
 Result<std::vector<QueryResult>> EngineBackend::ExecuteBatchLocked(
@@ -285,7 +425,27 @@ Result<EngineBackend::StagedChunk> EngineBackend::Prepare(
 }
 
 Result<std::vector<QueryResult>> EngineBackend::Execute(StagedChunk chunk) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const std::span<const Query> queries = chunk.queries_;
+  Result<std::vector<QueryResult>> results = std::vector<QueryResult>{};
+  delta::DeltaSnapshot snap;
+  bool overlay = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A slack rebuild bumps the generation, so the staged chunk falls back
+    // to the plain path below — correctness over the staging win.
+    GENIE_RETURN_NOT_OK(MaybeGrowSlackLocked());
+    results = ExecuteStagedLocked(std::move(chunk));
+    if (results.ok() && delta_store_ != nullptr) {
+      snap = delta_store_->snapshot();
+      overlay = !snap.empty() || options_.k != base_k_;
+    }
+  }
+  if (overlay) ApplyDeltaOverlay(snap, queries, base_k_, &results.ValueOrDie());
+  return results;
+}
+
+Result<std::vector<QueryResult>> EngineBackend::ExecuteStagedLocked(
+    StagedChunk chunk) {
   // Shared tail of the resident tiers (single / multi-device): return the
   // staged results unless they signal the multi-load escalation, which
   // mirrors ExecuteBatchLocked. The staged buffers were already released

@@ -11,6 +11,7 @@
 /// facade route through this class.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -20,6 +21,7 @@
 #include "core/match_engine.h"
 #include "core/multi_device_engine.h"
 #include "core/multi_load_engine.h"
+#include "index/delta/delta_store.h"
 #include "index/shard.h"
 #include "sim/device_set.h"
 
@@ -89,6 +91,16 @@ class EngineBackend {
   /// Executes one batch, escalating to (more) parts on ResourceExhausted.
   /// Equivalent to Execute(Prepare(queries)).
   Result<std::vector<QueryResult>> ExecuteBatch(std::span<const Query> queries);
+
+  /// Executes one batch answering the top `k` per query instead of the
+  /// configured k (the sequence searcher's growing-k escalation retries).
+  /// Runs on the live — possibly compacted — index with the delta overlay
+  /// applied, exactly like ExecuteBatch; when k plus the tombstone slack
+  /// exceeds the currently executed k the tier is rebuilt at the larger k
+  /// and stays there (ExecuteBatch keeps truncating to its own k via the
+  /// overlay, so results are unaffected).
+  Result<std::vector<QueryResult>> ExecuteBatchAtK(
+      std::span<const Query> queries, uint32_t k);
 
   /// One chunk of the streaming pipeline, prepared ahead of execution: the
   /// queries resolved into task lists and staged onto every device the live
@@ -174,8 +186,37 @@ class EngineBackend {
   };
   BatchBudget batch_budget() const;
 
-  const InvertedIndex& index() const { return *index_; }
+  /// The index the backend currently executes against — the creation-time
+  /// index until a SwapIndex, the freshest swapped-in one after. The
+  /// returned reference stays valid for the backend's lifetime (retired
+  /// indexes are kept alive until the backend dies).
+  const InvertedIndex& index() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return *index_;
+  }
   const MatchEngineOptions& options() const { return options_; }
+
+  /// Attaches the mutable delta layer: from now on every execution path
+  /// additionally matches the store's segments on the host and folds the
+  /// candidates into each query's top-k with tombstoned ids filtered out.
+  /// The store must outlive the backend. With no store attached (or an
+  /// empty store and no tombstone slack) execution is byte-identical to
+  /// the frozen-index behavior.
+  void AttachDeltaStore(const delta::DeltaStore* store);
+  const delta::DeltaStore* delta_store() const;
+
+  /// Hot-swaps the executed index for `index` (compaction commit): the
+  /// live tier is rebuilt over the new index under the backend mutex and
+  /// the generation is bumped, so staged chunks prepared against the old
+  /// index are discarded and re-executed — in-flight streams never pause
+  /// and never see a torn index. `on_committed` (may be empty) runs under
+  /// the same mutex hold immediately after the successful swap; the
+  /// compactor uses it to prune the delta store atomically with the swap,
+  /// so no execution can pair the new index with the unpruned delta (a
+  /// duplicate) or the old index with the pruned one (a drop). On failure
+  /// the previous index and tier stay live and `on_committed` does not run.
+  Status SwapIndex(std::shared_ptr<const InvertedIndex> index,
+                   const std::function<void()>& on_committed = {});
   /// The base device (options.device or the process default) — what the
   /// single-load and multi-load tiers run on.
   sim::Device* device() const;
@@ -183,6 +224,27 @@ class EngineBackend {
  private:
   EngineBackend(const InvertedIndex* index, const MatchEngineOptions& options,
                 const EngineBackendOptions& backend_options);
+
+  /// The creation-time tier selection (multi-device, forced multi-load, or
+  /// single load with the ResourceExhausted fallback), re-runnable: also
+  /// used to rebuild the tier over a swapped-in index or with a grown
+  /// tombstone slack. Builds the replacement fully before retiring, so a
+  /// failure leaves the previous engines live.
+  Status SetUpTierLocked();
+  /// Grows options_.k beyond base_k_ when tombstones accumulate, so the
+  /// post-filter top-k stays exact: the k live survivors of a query lie
+  /// within the top (k + tombstones) of the unfiltered order. Rebuilds the
+  /// tier on growth (rounded to powers of two so it is rare).
+  Status MaybeGrowSlackLocked();
+  /// Host-side delta merge of one executed batch: filters tombstoned ids
+  /// out of the engine results, folds in the snapshot's segment matches,
+  /// and re-truncates to `k` (base_k_ on the regular paths, the requested
+  /// k on ExecuteBatchAtK). Runs OUTSIDE mu_ (the snapshot was captured
+  /// under the same mu_ hold as the execution, which is what keeps it
+  /// consistent with the executed index).
+  void ApplyDeltaOverlay(const delta::DeltaSnapshot& snap,
+                         std::span<const Query> queries, uint32_t k,
+                         std::vector<QueryResult>* results);
 
   /// Shards the full index into `parts` and rebuilds the multi-load engine.
   Status SetUpMultiLoad(uint32_t parts);
@@ -200,14 +262,26 @@ class EngineBackend {
   /// The unpipelined execution path (the body of ExecuteBatch); mu_ held.
   Result<std::vector<QueryResult>> ExecuteBatchLocked(
       std::span<const Query> queries);
+  /// The staged-chunk execution path (the body of Execute); mu_ held.
+  Result<std::vector<QueryResult>> ExecuteStagedLocked(StagedChunk chunk);
   /// The multi-load execute + part-escalation loop; mu_ held and multi_
   /// live.
   Result<std::vector<QueryResult>> MultiLoadLoopLocked(
       std::span<const Query> queries);
 
   const InvertedIndex* index_;
+  /// Ownership of a swapped-in index (null until the first SwapIndex); the
+  /// creation-time index stays caller-owned. Retired generations are kept
+  /// until the backend dies: a concurrent Prepare (or a not-yet-executed
+  /// staged chunk) may still read them through its engine snapshot.
+  std::shared_ptr<const InvertedIndex> owned_index_;
+  std::vector<std::shared_ptr<const InvertedIndex>> retired_indexes_;
   MatchEngineOptions options_;
   EngineBackendOptions backend_options_;
+  /// The caller-visible k; options_.k = base_k_ + tombstone slack.
+  uint32_t base_k_ = 0;
+  /// Attached mutable layer (null = frozen index, classic behavior).
+  const delta::DeltaStore* delta_store_ = nullptr;
 
   /// Serializes batches, tier escalation, and profile snapshots.
   mutable std::mutex mu_;

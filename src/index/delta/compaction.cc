@@ -1,0 +1,48 @@
+#include "index/delta/compaction.h"
+
+#include <algorithm>
+
+namespace genie {
+namespace delta {
+
+Result<InvertedIndex> BuildCompactedIndex(const InvertedIndex& main,
+                                          const DeltaSnapshot& snap,
+                                          const IndexBuildOptions& options) {
+  uint32_t vocab_size = std::max(1u, main.vocab_size());
+  for (const auto& segment : snap.segments) {
+    if (!segment->keywords.empty()) {
+      vocab_size = std::max(vocab_size, segment->max_keyword + 1);
+    }
+  }
+  InvertedIndexBuilder builder(vocab_size);
+  // Main postings keyword-major: the builder's counting sort is stable, so
+  // each keyword's list keeps its ascending-id order, with the (younger,
+  // larger-id) delta postings appended after — the ascending-per-list
+  // invariant the compressed index writer relies on holds.
+  const std::span<const ObjectId> postings = main.postings();
+  for (Keyword kw = 0; kw < main.vocab_size(); ++kw) {
+    auto [first, count] = main.KeywordLists(kw);
+    for (uint32_t l = 0; l < count; ++l) {
+      const InvertedIndex::ListRef ref = main.List(first + l);
+      for (uint32_t pos = ref.begin; pos < ref.end; ++pos) {
+        const ObjectId id = postings[pos];
+        if (!IsTombstoned(snap, id)) builder.Add(id, kw);
+      }
+    }
+  }
+  for (const auto& segment : snap.segments) {
+    for (uint32_t o = 0; o < segment->num_objects(); ++o) {
+      const ObjectId id = segment->ids[o];
+      if (IsTombstoned(snap, id)) continue;
+      builder.AddObject(id, segment->object_keywords(o));
+    }
+  }
+  // Pad the id space to the insert watermark: ids are never reused, so the
+  // count-table domain must cover every id handed out even when the
+  // youngest objects were tombstoned away.
+  builder.EnsureNumObjects(std::max(snap.next_id, main.num_objects()));
+  return std::move(builder).Build(options);
+}
+
+}  // namespace delta
+}  // namespace genie

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file compaction.h
+/// Compaction of the LSM-style mutable layer: rewrite the frozen main
+/// index plus a delta snapshot (sealed segments + tombstones) into a fresh
+/// immutable InvertedIndex, preserving object ids. The result is
+/// hot-swapped behind EngineBackend by the MutationController; this file
+/// is the pure (lock-free) rebuild step.
+
+#include "common/result.h"
+#include "index/delta/delta_store.h"
+#include "index/index_builder.h"
+#include "index/inverted_index.h"
+
+namespace genie {
+namespace delta {
+
+/// Folds `snap` into `main`: tombstoned objects (main or delta) are
+/// dropped, delta objects keep their assigned ids, and the object-id space
+/// is padded to snap.next_id so later inserts stay disjoint. The snapshot
+/// must contain only sealed segments (DeltaStore::Seal first) so the
+/// caller can Prune by identity afterwards. The vocabulary grows to cover
+/// the largest delta keyword.
+Result<InvertedIndex> BuildCompactedIndex(const InvertedIndex& main,
+                                          const DeltaSnapshot& snap,
+                                          const IndexBuildOptions& options);
+
+}  // namespace delta
+}  // namespace genie

@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file delta_store.h
+/// The mutable layer of the LSM-style live-mutation design: newly inserted
+/// objects land in small in-memory delta segments (per-object keyword
+/// lists, the same postings an InvertedIndexBuilder would emit), removals
+/// become tombstones consulted at merge time. The frozen main index is
+/// never touched; searches match it as before and additionally match the
+/// active+sealed segments on the host, and a background compaction pass
+/// periodically folds delta+main into a fresh immutable index.
+///
+/// Concurrency: every member is guarded by an internal mutex, so the store
+/// can be shared between the facade's mutation path, the search overlay,
+/// and the compaction thread. Readers work on a DeltaSnapshot — immutable
+/// shared state that stays valid after the store moves on.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serialize.h"
+#include "core/query.h"
+#include "index/types.h"
+
+namespace genie {
+namespace delta {
+
+/// One batch of inserted objects: a CSR of per-object keyword lists.
+/// Keywords repeat to encode multiplicity, exactly like the postings the
+/// attribute pipeline would emit for the object. Immutable once sealed.
+struct DeltaSegment {
+  std::vector<ObjectId> ids;
+  std::vector<uint32_t> offsets;  // size ids.size() + 1; offsets[0] == 0
+  std::vector<Keyword> keywords;
+  /// Max keyword in `keywords` (0 when the segment has no postings); the
+  /// compacted index's vocabulary must cover it.
+  Keyword max_keyword = 0;
+
+  uint32_t num_objects() const { return static_cast<uint32_t>(ids.size()); }
+  std::span<const Keyword> object_keywords(uint32_t i) const {
+    return std::span<const Keyword>(keywords)
+        .subspan(offsets[i], offsets[i + 1] - offsets[i]);
+  }
+};
+
+/// An immutable view of the store at one instant. Segments and the
+/// tombstone lists are shared, never mutated in place.
+struct DeltaSnapshot {
+  std::vector<std::shared_ptr<const DeltaSegment>> segments;
+  /// Pending removals: ids the main index still contains. Searches filter
+  /// these and compaction folds them out. Sorted.
+  std::shared_ptr<const std::vector<ObjectId>> tombstones;
+  /// Removals already folded out by an earlier compaction: the ids no
+  /// longer exist anywhere, but the record must survive so re-removing
+  /// them stays an error and persistence keeps the full removal history.
+  /// Sorted, disjoint from `tombstones`. May be null.
+  std::shared_ptr<const std::vector<ObjectId>> folded;
+  /// The id the next insert would take (base + all inserts so far).
+  ObjectId next_id = 0;
+
+  bool empty() const {
+    return segments.empty() &&
+           (tombstones == nullptr || tombstones->empty());
+  }
+  uint32_t num_tombstones() const {
+    return tombstones == nullptr ? 0
+                                 : static_cast<uint32_t>(tombstones->size());
+  }
+};
+
+/// Whether `id` is tombstoned in the snapshot (binary search).
+bool IsTombstoned(const DeltaSnapshot& snap, ObjectId id);
+
+class DeltaStore {
+ public:
+  /// New ids start at `base_num_objects` (the frozen index's id space stays
+  /// untouched). The active segment auto-seals after `seal_threshold`
+  /// objects; 0 means never (manual Seal()/Flush only).
+  DeltaStore(ObjectId base_num_objects, uint32_t seal_threshold);
+
+  /// Appends one object to the active segment; returns its id. Ids are
+  /// monotonically increasing and never reused.
+  ObjectId Insert(std::span<const Keyword> keywords);
+
+  /// Tombstones `id`. False when it was ever removed before — including
+  /// removals an earlier compaction already folded out.
+  bool Remove(ObjectId id);
+
+  bool Tombstoned(ObjectId id) const;
+
+  /// Rotates a non-empty active segment into the sealed list.
+  void Seal();
+
+  DeltaSnapshot snapshot() const;
+
+  /// Drops exactly the sealed segments captured in `compacted` (pointer
+  /// identity) and retires its tombstones from the pending list into the
+  /// folded history: they are now folded into the swapped-in main index.
+  /// Anything added since the snapshot survives.
+  void Prune(const DeltaSnapshot& compacted);
+
+  /// Restore path (bundle open): adopt persisted sealed segments,
+  /// tombstones, and the id watermark.
+  void Restore(std::vector<std::shared_ptr<const DeltaSegment>> sealed,
+               std::vector<ObjectId> tombstones, ObjectId next_id);
+
+  ObjectId next_id() const;
+  uint32_t num_sealed() const;
+  /// Pending tombstones only (the folded history is not counted — those
+  /// ids are already absent from the main index).
+  uint32_t num_tombstones() const;
+  /// True when there is nothing the main index does not already cover.
+  bool empty() const;
+
+  /// Host-side match-count evaluation of the snapshot's segments: per query
+  /// the entries of every non-tombstoned delta object with a nonzero count,
+  /// sorted by count desc then id asc (the engine's candidate-pool order).
+  /// Mirrors Definition 2.1 exactly: an object's count is the number of its
+  /// postings covered by the query's items.
+  static std::vector<std::vector<TopKEntry>> Match(
+      const DeltaSnapshot& snap, std::span<const Query> queries);
+
+ private:
+  void SealLocked();
+
+  mutable std::mutex mu_;
+  uint32_t seal_threshold_;
+  ObjectId next_id_;
+  DeltaSegment active_;
+  /// Lazily built immutable copy of `active_`, shared with snapshots and
+  /// invalidated by the next insert.
+  mutable std::shared_ptr<const DeltaSegment> active_copy_;
+  std::vector<std::shared_ptr<const DeltaSegment>> sealed_;
+  std::shared_ptr<const std::vector<ObjectId>> tombstones_;
+  std::shared_ptr<const std::vector<ObjectId>> folded_;
+};
+
+/// Bundle persistence of the mutable layer (the GNIEBNDL v2 mutation
+/// section): sealed segments + tombstone log + id watermark. The caller
+/// seals the active segment first so nothing is lost. The written
+/// tombstone log is the union of the snapshot's pending and folded lists
+/// — the full removal history — and restores as pending (the next
+/// compaction re-folds the already-absent ids as a no-op).
+void SerializeDelta(const DeltaSnapshot& snap, serialize::Writer* writer);
+Status DeserializeDelta(serialize::Reader* reader, DeltaStore* store);
+
+}  // namespace delta
+}  // namespace genie

@@ -24,6 +24,13 @@ void InvertedIndexBuilder::AddObject(ObjectId object,
   for (Keyword kw : keywords) Add(object, kw);
 }
 
+void InvertedIndexBuilder::EnsureNumObjects(uint32_t num_objects) {
+  if (num_objects == 0) return;
+  max_object_ = any_ ? std::max(max_object_, num_objects - 1)
+                     : num_objects - 1;
+  any_ = true;
+}
+
 Result<InvertedIndex> InvertedIndexBuilder::Build(
     const IndexBuildOptions& options) && {
   InvertedIndex index;

@@ -35,6 +35,11 @@ class InvertedIndexBuilder {
   /// Appends all keywords of one object.
   void AddObject(ObjectId object, std::span<const Keyword> keywords);
 
+  /// Widens the built index's object-id space to at least `num_objects`
+  /// without adding postings (objects beyond the last posting simply match
+  /// nothing). Compaction uses this to keep tombstoned tail ids addressable.
+  void EnsureNumObjects(uint32_t num_objects);
+
   size_t num_postings() const { return entries_.size(); }
 
   /// Assembles the CSR index. The builder can be reused afterwards only via

@@ -24,9 +24,11 @@ Result<std::unique_ptr<LshSearcher>> LshSearcher::Create(
 
 Result<std::unique_ptr<LshSearcher>> LshSearcher::Restore(
     const data::PointMatrix* points, LshTransformer transformer,
-    InvertedIndex index, const LshSearchOptions& options) {
+    InvertedIndex index, const LshSearchOptions& options,
+    uint32_t appended_objects) {
   if (points == nullptr) return Status::InvalidArgument("points is null");
-  if (index.num_objects() != points->num_points()) {
+  if (index.num_objects() < points->num_points() ||
+      index.num_objects() > points->num_points() + appended_objects) {
     return Status::InvalidArgument(
         "index object count does not match the points dataset");
   }

@@ -50,9 +50,14 @@ class LshSearcher {
   /// dataset transform + index build and serves from the preloaded index.
   /// The transformer must be the one the index was built with; `points` is
   /// only consulted for re-ranking and must match the indexed dataset.
+  /// `appended_objects` (> 0 only on mutated v2 bundles) is the number of
+  /// objects inserted after the base dataset: the index then holds between
+  /// points->num_points() and points->num_points() + appended_objects
+  /// objects (compaction may not have caught up with the delta).
   static Result<std::unique_ptr<LshSearcher>> Restore(
       const data::PointMatrix* points, LshTransformer transformer,
-      InvertedIndex index, const LshSearchOptions& options);
+      InvertedIndex index, const LshSearchOptions& options,
+      uint32_t appended_objects = 0);
 
   /// tau-ANN by match count: per query, candidates in descending count
   /// order (entry 0 is the tau-ANN of Theorem 4.2). Equivalent to
@@ -82,6 +87,7 @@ class LshSearcher {
   const LshTransformer& transformer() const { return transformer_; }
   const InvertedIndex& index() const { return index_; }
   const EngineBackend& backend() const { return *engine_; }
+  EngineBackend& backend() { return *engine_; }
 
  private:
   LshSearcher(const data::PointMatrix* points, LshTransformer transformer,

@@ -53,6 +53,50 @@ uint64_t RandomBinningFamily::RawHash(uint32_t i,
   return digest;
 }
 
+void RandomBinningFamily::Serialize(serialize::Writer* writer) const {
+  writer->U32(options_.num_functions);
+  writer->U32(options_.dim);
+  writer->F64(options_.kernel_width);
+  writer->U64(options_.seed);
+  // The sampled grid is persisted explicitly so hashing is stable across
+  // versions even if the Rng's Gamma sampling changes.
+  writer->Vec(pitches_);
+  writer->Vec(shifts_);
+}
+
+Result<std::unique_ptr<RandomBinningFamily>> RandomBinningFamily::Deserialize(
+    serialize::Reader* reader) {
+  RandomBinningOptions options;
+  GENIE_RETURN_NOT_OK(reader->U32(&options.num_functions));
+  GENIE_RETURN_NOT_OK(reader->U32(&options.dim));
+  GENIE_RETURN_NOT_OK(reader->F64(&options.kernel_width));
+  GENIE_RETURN_NOT_OK(reader->U64(&options.seed));
+  if (options.num_functions == 0 || options.dim == 0) {
+    return Status::InvalidArgument("corrupt random-binning family header");
+  }
+  if (!(options.kernel_width > 0)) {
+    return Status::InvalidArgument(
+        "corrupt random-binning family: kernel_width must be positive");
+  }
+  std::unique_ptr<RandomBinningFamily> family(new RandomBinningFamily());
+  family->options_ = options;
+  GENIE_RETURN_NOT_OK(reader->Vec(&family->pitches_));
+  GENIE_RETURN_NOT_OK(reader->Vec(&family->shifts_));
+  const size_t total =
+      static_cast<size_t>(options.num_functions) * options.dim;
+  if (family->pitches_.size() != total || family->shifts_.size() != total) {
+    return Status::InvalidArgument(
+        "corrupt random-binning family: grid size mismatch");
+  }
+  for (size_t i = 0; i < total; ++i) {
+    if (!(family->pitches_[i] > 0)) {
+      return Status::InvalidArgument(
+          "corrupt random-binning family: non-positive pitch");
+    }
+  }
+  return family;
+}
+
 double RandomBinningFamily::CollisionProbability(
     std::span<const float> p, std::span<const float> q) const {
   GENIE_CHECK(p.size() == q.size());

@@ -23,6 +23,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "lsh/lsh_family.h"
 
 namespace genie {
@@ -49,8 +50,16 @@ class RandomBinningFamily : public VectorLshFamily {
 
   const RandomBinningOptions& options() const { return options_; }
 
+  /// Bundle persistence: the explicit grid (pitches + shifts) is written
+  /// alongside the options, so a deserialized family hashes queries
+  /// identically even if the Rng sampling ever changes.
+  void Serialize(serialize::Writer* writer) const;
+  static Result<std::unique_ptr<RandomBinningFamily>> Deserialize(
+      serialize::Reader* reader);
+
  private:
   explicit RandomBinningFamily(const RandomBinningOptions& options);
+  RandomBinningFamily() = default;
 
   RandomBinningOptions options_;
   std::vector<double> pitches_;  // num_functions x dim

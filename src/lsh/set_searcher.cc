@@ -39,7 +39,7 @@ Result<std::unique_ptr<SetLshSearcher>> SetLshSearcher::Create(
 Result<std::unique_ptr<SetLshSearcher>> SetLshSearcher::Restore(
     const SetDataset* sets, std::shared_ptr<const SetLshFamily> family,
     const SetSearchOptions& options, std::vector<uint64_t> rehash_seeds,
-    InvertedIndex index) {
+    InvertedIndex index, uint32_t appended_objects) {
   if (sets == nullptr) return Status::InvalidArgument("sets is null");
   if (family == nullptr) return Status::InvalidArgument("family is null");
   if (options.transform.rehash_domain == 0) {
@@ -48,7 +48,8 @@ Result<std::unique_ptr<SetLshSearcher>> SetLshSearcher::Restore(
   if (rehash_seeds.size() != family->num_functions()) {
     return Status::InvalidArgument("re-hash seed count mismatch");
   }
-  if (index.num_objects() != sets->size()) {
+  if (index.num_objects() < sets->size() ||
+      index.num_objects() > sets->size() + appended_objects) {
     return Status::InvalidArgument(
         "index object count does not match the sets dataset");
   }

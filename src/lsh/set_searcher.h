@@ -40,10 +40,13 @@ class SetLshSearcher {
   /// Reassembles a searcher from persisted state (bundle open): the
   /// re-hash seeds and index come from the bundle instead of being derived
   /// from options.transform.seed / rebuilt from the dataset.
+  /// `appended_objects` (> 0 only on mutated v2 bundles) is the number of
+  /// objects inserted after the base dataset; the index holds between
+  /// sets->size() and sets->size() + appended_objects objects.
   static Result<std::unique_ptr<SetLshSearcher>> Restore(
       const SetDataset* sets, std::shared_ptr<const SetLshFamily> family,
       const SetSearchOptions& options, std::vector<uint64_t> rehash_seeds,
-      InvertedIndex index);
+      InvertedIndex index, uint32_t appended_objects = 0);
 
   /// Candidates per query in descending match-count order; entry 0 is the
   /// tau-ANN under the family's similarity (Jaccard for MinHash), and
@@ -72,11 +75,17 @@ class SetLshSearcher {
   MatchProfile profile() const { return engine_->profile(); }
   const InvertedIndex& index() const { return index_; }
   const EngineBackend& backend() const { return *engine_; }
+  EngineBackend& backend() { return *engine_; }
   const SetLshFamily& family() const { return *family_; }
   const LshTransformOptions& transform_options() const {
     return options_.transform;
   }
   const std::vector<uint64_t>& rehash_seeds() const { return rehash_seeds_; }
+
+  /// MinHash + re-hash transform of one set into its m keywords — the same
+  /// transform the index was built with. Public so live insertion can
+  /// extract an inserted set's keywords.
+  std::vector<Keyword> Transform(std::span<const uint32_t> set) const;
 
  private:
   SetLshSearcher(const SetDataset* sets,
@@ -85,8 +94,6 @@ class SetLshSearcher {
   Status Init();
   /// Creates the EngineBackend over the (built or restored) index_.
   Status SetUpEngine();
-
-  std::vector<Keyword> Transform(std::span<const uint32_t> set) const;
 
   const SetDataset* sets_;
   std::shared_ptr<const SetLshFamily> family_;

@@ -31,14 +31,18 @@ Result<std::unique_ptr<DocumentSearcher>> DocumentSearcher::Create(
 
 Result<std::unique_ptr<DocumentSearcher>> DocumentSearcher::Restore(
     const std::vector<Document>* docs, const DocumentSearchOptions& options,
-    uint32_t vocab_size, InvertedIndex index) {
+    uint32_t vocab_size, InvertedIndex index, uint32_t appended_objects) {
   if (docs == nullptr) return Status::InvalidArgument("docs is null");
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
-  if (index.num_objects() != docs->size()) {
+  if (index.num_objects() < docs->size() ||
+      index.num_objects() > docs->size() + appended_objects) {
     return Status::InvalidArgument(
         "index object count does not match the documents dataset");
   }
-  if (index.vocab_size() != vocab_size) {
+  const bool vocab_ok = appended_objects > 0
+                            ? index.vocab_size() <= vocab_size
+                            : index.vocab_size() == vocab_size;
+  if (!vocab_ok) {
     return Status::InvalidArgument(
         "index vocabulary does not match the token universe");
   }
@@ -76,11 +80,27 @@ Status DocumentSearcher::SetUpEngine() {
 }
 
 Query DocumentSearcher::Compile(const Document& query) const {
+  const uint32_t vocab = vocab_size();
   Query compiled;
   for (uint32_t t : Dedup(query)) {
-    if (t < vocab_size_) compiled.AddItem(static_cast<Keyword>(t));
+    if (t < vocab) compiled.AddItem(static_cast<Keyword>(t));
   }
   return compiled;
+}
+
+std::vector<Keyword> DocumentSearcher::ExtractKeywords(const Document& doc) {
+  const Document deduped = Dedup(doc);
+  uint32_t max_token = 0;
+  for (uint32_t t : deduped) max_token = std::max(max_token, t);
+  // Grow the token universe monotonically (CAS max): later queries may
+  // carry the new tokens, which the frozen index safely ignores and the
+  // delta layer matches.
+  uint32_t current = vocab_size_.load(std::memory_order_acquire);
+  while (max_token + 1 > current &&
+         !vocab_size_.compare_exchange_weak(current, max_token + 1,
+                                            std::memory_order_acq_rel)) {
+  }
+  return std::vector<Keyword>(deduped.begin(), deduped.end());
 }
 
 Result<std::vector<QueryResult>> DocumentSearcher::SearchBatch(

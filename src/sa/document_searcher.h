@@ -6,6 +6,7 @@
 /// between a query document and an object document is exactly their inner
 /// product, so the engine's top-k is the inner-product top-k.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -37,9 +38,14 @@ class DocumentSearcher {
   /// Reassembles a searcher from persisted state (bundle open): the token
   /// universe bound and index come from the bundle instead of being
   /// re-derived / rebuilt from the dataset.
+  /// `appended_objects` (> 0 only on mutated v2 bundles) is the number of
+  /// documents inserted after the base dataset: the index then holds
+  /// between docs->size() and docs->size() + appended_objects objects and
+  /// its vocabulary may trail `vocab_size` (insertion grows the token
+  /// universe ahead of compaction).
   static Result<std::unique_ptr<DocumentSearcher>> Restore(
       const std::vector<Document>* docs, const DocumentSearchOptions& options,
-      uint32_t vocab_size, InvertedIndex index);
+      uint32_t vocab_size, InvertedIndex index, uint32_t appended_objects = 0);
 
   /// Per query: top-k documents by word-overlap (inner product).
   /// Equivalent to ExecutePrepared(Prepare(queries)).
@@ -61,8 +67,16 @@ class DocumentSearcher {
   MatchProfile profile() const { return engine_->profile(); }
   const InvertedIndex& index() const { return index_; }
   const EngineBackend& backend() const { return *engine_; }
+  EngineBackend& backend() { return *engine_; }
   /// Token universe bound (keywords are token ids in [0, vocab_size)).
-  uint32_t vocab_size() const { return vocab_size_; }
+  uint32_t vocab_size() const {
+    return vocab_size_.load(std::memory_order_acquire);
+  }
+
+  /// Live insertion: collapses duplicate tokens (binary model) and grows
+  /// the token universe past any unseen token id. Thread-safe against
+  /// concurrent Compile.
+  std::vector<Keyword> ExtractKeywords(const Document& doc);
 
  private:
   DocumentSearcher(const std::vector<Document>* docs,
@@ -73,7 +87,8 @@ class DocumentSearcher {
 
   const std::vector<Document>* docs_;
   DocumentSearchOptions options_;
-  uint32_t vocab_size_ = 0;
+  /// Atomic: Compile reads it concurrently with insertion growing it.
+  std::atomic<uint32_t> vocab_size_{0};
   InvertedIndex index_;
   std::unique_ptr<EngineBackend> engine_;
 };

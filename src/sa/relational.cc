@@ -58,7 +58,7 @@ Result<std::unique_ptr<RelationalSearcher>> RelationalSearcher::Restore(
     const std::vector<uint32_t>& cardinalities, uint32_t num_rows,
     InvertedIndex index, const MatchEngineOptions& engine_options,
     const IndexBuildOptions& build_options,
-    const EngineBackendOptions& backend_options) {
+    const EngineBackendOptions& backend_options, uint32_t appended_objects) {
   if (table == nullptr) return Status::InvalidArgument("table is null");
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   if (cardinalities.empty()) {
@@ -75,7 +75,8 @@ Result<std::unique_ptr<RelationalSearcher>> RelationalSearcher::Restore(
           "rebound table cardinalities do not match the saved index");
     }
   }
-  if (index.num_objects() != num_rows) {
+  if (index.num_objects() < num_rows ||
+      index.num_objects() > static_cast<uint64_t>(num_rows) + appended_objects) {
     return Status::InvalidArgument(
         "index object count does not match the saved table shape");
   }

@@ -93,13 +93,17 @@ class RelationalSearcher {
   /// Reassembles a searcher from persisted state (bundle open): the column
   /// layout the index was built with (`cardinalities`, `num_rows`) is
   /// validated against the rebound table, and the index is served as
-  /// loaded instead of being rebuilt.
+  /// loaded instead of being rebuilt. `appended_objects` (> 0 only on
+  /// mutated v2 bundles) is the number of rows inserted after the base
+  /// table: the index then holds between num_rows and
+  /// num_rows + appended_objects objects.
   static Result<std::unique_ptr<RelationalSearcher>> Restore(
       const RelationalTable* table, uint32_t k,
       const std::vector<uint32_t>& cardinalities, uint32_t num_rows,
       InvertedIndex index, const MatchEngineOptions& engine_options = {},
       const IndexBuildOptions& build_options = {},
-      const EngineBackendOptions& backend_options = {});
+      const EngineBackendOptions& backend_options = {},
+      uint32_t appended_objects = 0);
 
   /// Top-k rows by number of satisfied ranges. Equivalent to
   /// ExecutePrepared(Prepare(queries)).
@@ -123,6 +127,7 @@ class RelationalSearcher {
   const InvertedIndex& index() const { return index_; }
   const DimValueEncoder& encoder() const { return *encoder_; }
   const EngineBackend& backend() const { return *engine_; }
+  EngineBackend& backend() { return *engine_; }
 
  private:
   RelationalSearcher(const RelationalTable* table, uint32_t k);

@@ -34,7 +34,7 @@ Result<std::unique_ptr<SequenceSearcher>> SequenceSearcher::Create(
 Result<std::unique_ptr<SequenceSearcher>> SequenceSearcher::Restore(
     const std::vector<std::string>* sequences,
     const SequenceSearchOptions& options, StringVocabulary vocab,
-    InvertedIndex index) {
+    InvertedIndex index, uint32_t appended_objects) {
   if (sequences == nullptr) {
     return Status::InvalidArgument("sequences is null");
   }
@@ -43,12 +43,17 @@ Result<std::unique_ptr<SequenceSearcher>> SequenceSearcher::Restore(
   if (options.candidate_k < options.k) {
     return Status::InvalidArgument("candidate_k must be >= k");
   }
-  if (index.num_objects() != sequences->size()) {
+  if (index.num_objects() < sequences->size() ||
+      index.num_objects() > sequences->size() + appended_objects) {
     return Status::InvalidArgument(
         "index object count does not match the sequences dataset");
   }
-  if (index.vocab_size() !=
-      std::max<uint32_t>(1, static_cast<uint32_t>(vocab.size()))) {
+  const uint32_t vocab_cap =
+      std::max<uint32_t>(1, static_cast<uint32_t>(vocab.size()));
+  const bool vocab_ok = appended_objects > 0
+                            ? index.vocab_size() <= vocab_cap
+                            : index.vocab_size() == vocab_cap;
+  if (!vocab_ok) {
     return Status::InvalidArgument(
         "index vocabulary does not match the n-gram vocabulary");
   }
@@ -90,12 +95,54 @@ Status SequenceSearcher::SetUpEngine() {
 }
 
 Query SequenceSearcher::Compile(const std::string& query) const {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
   Query compiled;
   for (const OrderedNgram& g : OrderedNgrams(query, options_.ngram)) {
     const Keyword kw = vocab_.Find(g.ToToken());
     if (kw != kInvalidKeyword) compiled.AddItem(kw);
   }
   return compiled;
+}
+
+std::vector<Keyword> SequenceSearcher::ExtractKeywords(
+    const std::string& sequence) {
+  std::lock_guard<std::shared_mutex> lock(data_mu_);
+  std::vector<Keyword> keywords;
+  for (const OrderedNgram& g : OrderedNgrams(sequence, options_.ngram)) {
+    keywords.push_back(vocab_.GetOrAdd(g.ToToken()));
+  }
+  return keywords;
+}
+
+void SequenceSearcher::AppendSequence(std::string sequence) {
+  std::lock_guard<std::shared_mutex> lock(data_mu_);
+  appended_.push_back(std::move(sequence));
+}
+
+uint32_t SequenceSearcher::num_appended() const {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  return static_cast<uint32_t>(appended_.size());
+}
+
+const std::string& SequenceSearcher::SequenceAt(ObjectId id) const {
+  if (id < sequences_->size()) return (*sequences_)[id];
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  // Deque storage: the reference survives the unlock even if a concurrent
+  // insert grows the log.
+  return appended_[id - sequences_->size()];
+}
+
+Status SequenceSearcher::SerializeVocabulary(serialize::Writer* writer) const {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  vocab_.Serialize(writer);
+  return Status::OK();
+}
+
+Status SequenceSearcher::SerializeAppended(serialize::Writer* writer) const {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  writer->U32(static_cast<uint32_t>(appended_.size()));
+  for (const std::string& s : appended_) writer->String(s);
+  return Status::OK();
 }
 
 SequenceSearchOutcome SequenceSearcher::Verify(
@@ -112,7 +159,7 @@ SequenceSearchOutcome SequenceSearcher::Verify(
                            : best.back().edit_distance;
   };
   for (const TopKEntry& cand : candidates.entries) {
-    const std::string& seq = (*sequences_)[cand.id];
+    const std::string& seq = SequenceAt(cand.id);
     const uint32_t tau_star = worst_tau();
     if (best.size() == k && tau_star > 0) {
       // Count filter (Algorithm 2 line 5): a candidate that could improve
@@ -146,9 +193,11 @@ SequenceSearchOutcome SequenceSearcher::Verify(
   }
   outcome.knn = std::move(best);
 
-  // Theorem 5.2 certificate.
-  if (sequences_->size() <= k) {
-    outcome.certified_exact = outcome.knn.size() == sequences_->size();
+  // Theorem 5.2 certificate. `total` counts tombstoned objects too, which
+  // only makes the small-dataset branch conservative (never wrongly exact).
+  const size_t total = sequences_->size() + num_appended();
+  if (total <= k) {
+    outcome.certified_exact = outcome.knn.size() == total;
   } else if (outcome.knn.size() == k) {
     const uint32_t tau_k = outcome.knn.back().edit_distance;
     const int64_t bound = q_len - static_cast<int64_t>(n) + 1 -
@@ -205,16 +254,14 @@ Result<std::vector<SequenceSearchOutcome>> SequenceSearcher::ExecutePrepared(
       if (!outcomes[i].certified_exact) pending.push_back(i);
     }
     if (pending.empty()) break;
-    MatchEngineOptions engine_options = options_.engine;
-    engine_options.k = big_k;
-    GENIE_ASSIGN_OR_RETURN(
-        std::unique_ptr<EngineBackend> engine,
-        EngineBackend::Create(&index_, engine_options, options_.backend));
     std::vector<Query> retry;
     retry.reserve(pending.size());
     for (size_t i : pending) retry.push_back(Compile(queries[i]));
+    // Retry on the live backend at the widened K: unlike a throwaway
+    // backend over index_, this sees a compacted (swapped-in) index and
+    // the delta overlay, so escalated rounds stay consistent with round 1.
     GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> retry_raw,
-                           engine->ExecuteBatch(retry));
+                           engine_->ExecuteBatchAtK(retry, big_k));
     ScopedTimer timer(&verify_seconds_);
     const uint32_t saved_k = options_.candidate_k;
     options_.candidate_k = big_k;  // Verify() reads the current K

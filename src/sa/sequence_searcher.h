@@ -10,12 +10,15 @@
 /// search of Section VI-D3).
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/serialize.h"
 #include "core/engine_backend.h"
 #include "index/index_builder.h"
 #include "index/vocabulary.h"
@@ -62,10 +65,16 @@ class SequenceSearcher {
   /// so queries compile to exactly the saved keywords. `sequences` is
   /// still consulted for verification (Algorithm 2) and must match the
   /// indexed dataset.
+  /// `appended_objects` (> 0 only on mutated v2 bundles) is the number of
+  /// sequences inserted after the base dataset (re-attached afterwards via
+  /// AppendSequence, in id order): the index then holds between
+  /// sequences->size() and sequences->size() + appended_objects objects and
+  /// its vocabulary may be a subset of `vocab` (insertion grows the n-gram
+  /// vocabulary ahead of compaction).
   static Result<std::unique_ptr<SequenceSearcher>> Restore(
       const std::vector<std::string>* sequences,
       const SequenceSearchOptions& options, StringVocabulary vocab,
-      InvertedIndex index);
+      InvertedIndex index, uint32_t appended_objects = 0);
 
   Result<std::vector<SequenceSearchOutcome>> SearchBatch(
       std::span<const std::string> queries);
@@ -92,8 +101,33 @@ class SequenceSearcher {
   double verify_seconds() const { return verify_seconds_; }
   const InvertedIndex& index() const { return index_; }
   const EngineBackend& backend() const { return *engine_; }
+  EngineBackend& backend() { return *engine_; }
   uint32_t ngram() const { return options_.ngram; }
+  /// Only safe while no concurrent insertion can grow the vocabulary (e.g.
+  /// under the facade's PauseMutation during Save).
   const StringVocabulary& vocabulary() const { return vocab_; }
+  /// Locked vocabulary serialization for Save: safe against a concurrent
+  /// insert that is still in its ExtractKeywords phase (PauseMutation only
+  /// blocks the id-assignment phase).
+  Status SerializeVocabulary(serialize::Writer* writer) const;
+
+  // --- Live insertion support (Engine::Insert on the sequences modality).
+  // Inserted sequences live in an internal append log so verification can
+  // read them by id; the n-gram vocabulary grows as new grams appear.
+
+  /// Decomposes one sequence into its index keywords, growing the
+  /// vocabulary for unseen n-grams. Thread-safe against Compile/Verify.
+  std::vector<Keyword> ExtractKeywords(const std::string& sequence);
+  /// Appends one inserted sequence to the verification log; the caller
+  /// assigns ids contiguously after the base dataset.
+  void AppendSequence(std::string sequence);
+  uint32_t num_appended() const;
+  /// The sequence of any live id: the base dataset for
+  /// id < sequences->size(), the append log above that. The returned
+  /// reference stays valid for the searcher's lifetime (deque storage).
+  const std::string& SequenceAt(ObjectId id) const;
+  /// Writes u32 count + each appended sequence (the v2 bundle side data).
+  Status SerializeAppended(serialize::Writer* writer) const;
 
  private:
   SequenceSearcher(const std::vector<std::string>* sequences,
@@ -109,7 +143,13 @@ class SequenceSearcher {
 
   const std::vector<std::string>* sequences_;
   SequenceSearchOptions options_;
+  /// Guards vocab_ and appended_: Compile/Verify take it shared,
+  /// ExtractKeywords/AppendSequence take it exclusive. A deque keeps
+  /// references into appended_ stable across concurrent growth, so
+  /// SequenceAt can release the lock before its caller reads the string.
+  mutable std::shared_mutex data_mu_;
   StringVocabulary vocab_;
+  std::deque<std::string> appended_;
   InvertedIndex index_;
   std::unique_ptr<EngineBackend> engine_;
   double verify_seconds_ = 0;

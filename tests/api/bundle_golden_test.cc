@@ -132,5 +132,77 @@ TEST(BundleGoldenTest, V1SequencesCompressedStillOpens) {
       [&] { return SearchRequest::Sequences(queries); });
 }
 
+TEST(BundleGoldenTest, V2DocumentsMutatedStillOpens) {
+  // The v2 fixture freezes the mutable-bundle contract: a documents engine
+  // with two sealed delta segments and tombstones in both the base corpus
+  // and the delta. The mutation sequence is arithmetic and is replayed
+  // identically on the fresh engine, so answers must match bit-for-bit.
+  std::vector<std::vector<uint32_t>> corpus(50);
+  for (uint32_t d = 0; d < corpus.size(); ++d) {
+    for (uint32_t t = 0; t < 6; ++t) {
+      corpus[d].push_back((d * 5 + t * 17) % 90);
+    }
+  }
+  auto mutate = [&](Engine* engine) {
+    std::vector<std::vector<uint32_t>> inserted(8);
+    for (uint32_t d = 0; d < inserted.size(); ++d) {
+      for (uint32_t t = 0; t < 6; ++t) {
+        // Tokens 90+ exercise vocabulary growth beyond the base corpus.
+        inserted[d].push_back((d * 3 + t * 29) % 140);
+      }
+    }
+    auto ids = engine->Insert(InsertRequest::Documents(inserted));
+    ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+    // Tombstone one base document and one inserted document.
+    ASSERT_TRUE(engine->Remove(std::vector<ObjectId>{7, 52}).ok());
+  };
+  auto make_config = [&] {
+    return EngineConfig()
+        .Documents(&corpus)
+        .K(4)
+        .DeltaSealThreshold(3)  // 8 inserts -> several sealed segments
+        .AutoCompactSegments(0)
+        .Device(test::SharedTestDevice(2));
+  };
+  std::vector<std::vector<uint32_t>> queries{corpus[7], corpus[30],
+                                             {91, 92, 6, 11, 120, 33}};
+
+  const std::string path = GoldenPath("bundle_v2_documents_mutated.gnb");
+  auto fresh = Engine::Create(make_config());
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  mutate(fresh->get());
+
+  if (UpdateGolden()) {
+    std::filesystem::create_directories(GENIE_TEST_GOLDEN_DIR);
+    ASSERT_TRUE((*fresh)->Save(path).ok());
+  }
+  ASSERT_TRUE(std::filesystem::exists(path))
+      << path << " is missing; regenerate with GENIE_UPDATE_GOLDEN=1";
+
+  auto golden = Engine::Open(path, make_config());
+  ASSERT_TRUE(golden.ok())
+      << "bundle_v2_documents_mutated.gnb no longer opens — the v2 mutation "
+      << "section changed without a version bump: "
+      << golden.status().ToString();
+  EXPECT_EQ((*golden)->num_objects(), 58u);
+
+  auto want = (*fresh)->Search(SearchRequest::Documents(queries));
+  auto got = (*golden)->Search(SearchRequest::Documents(queries));
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  test::ExpectSameAnswers(*got, *want, "golden v2 documents");
+
+  // Tombstones survived the round trip...
+  for (const QueryHits& hits : got->queries) {
+    for (const Hit& hit : hits.hits) {
+      EXPECT_NE(hit.id, 7u);
+      EXPECT_NE(hit.id, 52u);
+    }
+  }
+  // ...and so did the id watermark.
+  EXPECT_EQ((*golden)->Remove(std::vector<ObjectId>{7}).code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace genie

@@ -406,7 +406,53 @@ TEST(BundleSaveValidationTest, FullDiskReportsIOError) {
   EXPECT_EQ((*engine)->Save("/dev/full").code(), StatusCode::kIOError);
 }
 
+TEST(BundleRoundTripTest, PointsRandomBinningFamily) {
+  // The OCR case study's family: Random Binning for the Laplacian kernel.
+  // Its sampled grid (pitches + shifts) must round-trip so the reopened
+  // engine hashes queries identically.
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 200;
+  data_options.dim = 4;
+  data_options.num_clusters = 4;
+  data_options.seed = 122;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  auto queries = data::MakeQueriesNear(dataset.points, 4, 0.1, 123);
+
+  CheckBundleRoundTrip(
+      "points_rbh",
+      [&] {
+        lsh::RandomBinningOptions rb_options;
+        rb_options.dim = 4;
+        rb_options.num_functions = 8;
+        rb_options.kernel_width = 2.0;
+        auto family = lsh::RandomBinningFamily::Create(rb_options);
+        GENIE_CHECK(family.ok());
+        return EngineConfig()
+            .Points(&dataset.points)
+            .K(3)
+            .MetricP(1)
+            .VectorFamily(
+                std::shared_ptr<const lsh::VectorLshFamily>(std::move(*family)))
+            .RehashDomain(64)
+            .Device(test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Points(queries); });
+}
+
 TEST(BundleSaveValidationTest, CustomLshFamilyIsUnimplemented) {
+  // A caller-supplied family the bundle format knows no tag for.
+  class FlatFamily : public lsh::VectorLshFamily {
+   public:
+    uint32_t num_functions() const override { return 4; }
+    uint64_t RawHash(uint32_t i, std::span<const float> point) const override {
+      return i + static_cast<uint64_t>(point[0]);
+    }
+    double CollisionProbability(std::span<const float>,
+                                std::span<const float>) const override {
+      return 1.0;
+    }
+  };
+
   data::ClusteredPointsOptions data_options;
   data_options.num_points = 100;
   data_options.dim = 4;
@@ -414,17 +460,10 @@ TEST(BundleSaveValidationTest, CustomLshFamilyIsUnimplemented) {
   data_options.seed = 122;
   auto dataset = data::MakeClusteredPoints(data_options);
 
-  lsh::RandomBinningOptions rb_options;
-  rb_options.dim = 4;
-  rb_options.num_functions = 8;
-  auto family = lsh::RandomBinningFamily::Create(rb_options);
-  ASSERT_TRUE(family.ok());
-  std::shared_ptr<const lsh::VectorLshFamily> shared_family(
-      std::move(*family));
   auto engine = Engine::Create(EngineConfig()
                                    .Points(&dataset.points)
                                    .K(3)
-                                   .VectorFamily(std::move(shared_family))
+                                   .VectorFamily(std::make_shared<FlatFamily>())
                                    .Device(test::SharedTestDevice(2)));
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
   const std::string path = TempPath("genie_bundle_custom_family.gnb");
