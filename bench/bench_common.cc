@@ -4,8 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string_view>
+#include <system_error>
 
 #include "common/timer.h"
 #include "index/index_builder.h"
@@ -398,8 +400,14 @@ void BenchJsonWriter::Add(
 std::string BenchJsonWriter::Write() const {
   const char* dir = std::getenv("GENIE_BENCH_JSON_DIR");
   if (dir != nullptr && std::string_view(dir) == "off") return "";
-  std::string path = dir != nullptr && *dir != '\0' ? std::string(dir) + "/"
-                                                    : std::string();
+  std::string path;
+  if (dir != nullptr && *dir != '\0') {
+    // Create the target directory (CI points this at a fresh artifact
+    // dir); on failure fall through and let the ofstream report it.
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    path = std::string(dir) + "/";
+  }
   path += "BENCH_" + tag_ + ".json";
 
   std::string json = "{\n  \"bench\": ";

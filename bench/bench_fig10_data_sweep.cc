@@ -10,6 +10,7 @@
 #include "baselines/cpu_idx_engine.h"
 #include "baselines/gpu_spq_engine.h"
 #include "bench_common.h"
+#include "bench_json.h"
 #include "index/index_builder.h"
 
 namespace genie {
@@ -123,6 +124,7 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   genie::bench::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
+  genie::bench::JsonTeeReporter reporter("fig10");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;
 }

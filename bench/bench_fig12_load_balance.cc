@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/engine_backend.h"
 #include "data/relational_data.h"
 #include "index/index_builder.h"
@@ -131,6 +132,87 @@ void BM_MultiDevice(benchmark::State& state) {
   state.counters["devices"] = num_devices;
 }
 
+/// A dataset whose postings volume is skewed across the object id space:
+/// the first tenth of the ids carries long keyword lists, the rest short
+/// ones. Uniform object-range sharding piles the heavy decile onto one
+/// device; the planner's volume-balanced boundaries spread it.
+struct SkewedWorkload {
+  InvertedIndex index;
+  std::vector<Query> queries;
+  uint32_t max_count;
+};
+
+const SkewedWorkload& SkewedVolumeWorkload() {
+  static const SkewedWorkload* workload = [] {
+    auto* w = new SkewedWorkload();
+    const uint32_t num_objects = Scaled(200000);
+    const uint32_t vocab = 4096;
+    const uint32_t heavy_end = num_objects / 10;
+    InvertedIndexBuilder builder(vocab);
+    uint64_t lcg = 9001;
+    auto next = [&lcg] {
+      lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      return static_cast<uint32_t>(lcg >> 33);
+    };
+    for (uint32_t id = 0; id < num_objects; ++id) {
+      const uint32_t len = id < heavy_end ? 48 : 4;
+      for (uint32_t i = 0; i < len; ++i) builder.Add(id, next() % vocab);
+    }
+    w->index = std::move(builder).Build().ValueOrDie();
+    for (uint32_t q = 0; q < 64; ++q) {
+      Query query;
+      for (uint32_t i = 0; i < 6; ++i) query.AddItem(next() % vocab);
+      w->queries.push_back(std::move(query));
+    }
+    w->max_count = MatchEngine::DeriveMaxCount(w->queries);
+    return w;
+  }();
+  return *workload;
+}
+
+/// Planned (volume-balanced) vs uniform (object-range) sharding of the
+/// skewed dataset over 4 devices: the counters report the per-device match
+/// seconds spread (max-min)/max — the planner's boundaries should keep it
+/// no worse than the uniform split's.
+void BM_SkewedShards(benchmark::State& state, bool planned) {
+  const SkewedWorkload& w = SkewedVolumeWorkload();
+  sim::DeviceSet::Options set_options;
+  set_options.num_devices = 4;
+  set_options.device.num_workers = std::max(
+      1u, std::thread::hardware_concurrency() / 4);
+  auto devices = sim::DeviceSet::Create(set_options);
+  GENIE_CHECK(devices.ok());
+
+  MatchEngineOptions options;
+  options.k = 8;
+  options.max_count = w.max_count;
+  EngineBackendOptions backend_options;
+  backend_options.device_set = devices->get();
+  backend_options.use_planner = planned;
+  auto backend = EngineBackend::Create(&w.index, options, backend_options);
+  GENIE_CHECK(backend.ok());
+
+  std::span<const Query> batch(w.queries.data(), w.queries.size());
+  for (auto _ : state) {
+    auto results = (*backend)->ExecuteBatch(batch);
+    GENIE_CHECK(results.ok());
+    benchmark::DoNotOptimize(results);
+  }
+
+  const std::vector<MatchProfile> per_device = (*backend)->device_profiles();
+  double max_match = 0;
+  double min_match = per_device.empty() ? 0 : per_device[0].match_s;
+  for (const MatchProfile& p : per_device) {
+    max_match = std::max(max_match, p.match_s);
+    min_match = std::min(min_match, p.match_s);
+  }
+  state.counters["devices"] = static_cast<double>(per_device.size());
+  state.counters["max_match_s"] = max_match;
+  state.counters["min_match_s"] = min_match;
+  state.counters["match_spread"] =
+      max_match > 0 ? (max_match - min_match) / max_match : 0;
+}
+
 void RegisterAll() {
   for (int64_t nq : {1, 2, 4, 8, 16}) {
     benchmark::RegisterBenchmark("Fig12/GENIE_LB", BM_LoadBalance, true)
@@ -148,6 +230,14 @@ void RegisterAll() {
         ->Unit(benchmark::kMillisecond)
         ->Iterations(2);
   }
+  benchmark::RegisterBenchmark("Fig12/SkewedShards/planned", BM_SkewedShards,
+                               true)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(2);
+  benchmark::RegisterBenchmark("Fig12/SkewedShards/uniform", BM_SkewedShards,
+                               false)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(2);
 }
 
 }  // namespace
@@ -157,6 +247,7 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   genie::bench::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
+  genie::bench::JsonTeeReporter reporter("fig12");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;
 }

@@ -13,6 +13,7 @@ namespace bench {
 namespace {
 
 int Run() {
+  BenchJsonWriter json("table1");
   std::printf(
       "Table I: per-stage time for 1024 queries (seconds; index build is a "
       "one-off host cost)\n");
@@ -55,7 +56,15 @@ int Run() {
     std::printf("%-10s %-12.4f %-14.4f %-14.4f %-10.4f %-10.4f\n",
                 w.name.c_str(), build_s, p.index_transfer_s,
                 p.query_transfer_s, p.match_s, p.select_s);
+    json.Add("Table1/" + w.name, p.total_query_s() * 1e3,
+             {{"index_build_s", build_s},
+              {"index_transfer_s", p.index_transfer_s},
+              {"query_transfer_s", p.query_transfer_s},
+              {"match_s", p.match_s},
+              {"select_s", p.select_s}});
   }
+  const std::string path = json.Write();
+  if (!path.empty()) std::printf("benchmark json: %s\n", path.c_str());
   return 0;
 }
 

@@ -18,9 +18,14 @@
 /// Format v2 adds one section between the meta blob and the index stream:
 ///   | u64 mutation_bytes | mutation blob (delta segment manifest +
 ///                          tombstone log + appended side data)
-/// A mutated engine saves as v2; a frozen (never-mutated) engine keeps
-/// writing byte-identical v1, and v1 bundles keep opening forever. See
-/// docs/FORMATS.md for the exact mutation-blob layout.
+///
+/// Format v3 makes the mutation section unconditional (0 bytes on a frozen
+/// engine) and adds the planner's index statistics behind it:
+///   | u64 stats_bytes | stats blob (IndexStats: shape fingerprint,
+///                       postings-volume histogram, keyword fan-out)
+/// so a reopened engine plans without re-scanning the index. Every save now
+/// writes v3; v1 and v2 bundles keep opening forever (their stats are
+/// recomputed at open). See docs/FORMATS.md for the exact blob layouts.
 ///
 /// Save writes to `path + ".tmp"` and atomically renames over `path`, so a
 /// crash mid-save leaves the previous bundle intact — Open never sees a
@@ -48,6 +53,7 @@
 #include "common/serialize.h"
 #include "index/index_io.h"
 #include "lsh/murmur3.h"
+#include "plan/index_stats.h"
 
 namespace genie {
 
@@ -55,9 +61,11 @@ namespace {
 
 constexpr char kBundleMagic[8] = {'G', 'N', 'I', 'E', 'B', 'N', 'D', 'L'};
 /// v1: frozen engine. v2: adds the mutation section (delta segments +
-/// tombstones + appended side data). Frozen engines still save as v1.
+/// tombstones + appended side data). v3: mutation section unconditional +
+/// persisted IndexStats. Saves always write the current version.
 constexpr uint32_t kBundleVersionFrozen = 1;
 constexpr uint32_t kBundleVersionMutable = 2;
+constexpr uint32_t kBundleVersionStats = 3;
 /// magic + version + modality + meta_bytes + index_bytes + checksum.
 constexpr uint64_t kMinBundleBytes = 8 + 4 + 4 + 8 + 8 + 8;
 
@@ -184,19 +192,24 @@ Status Engine::Save(const std::string& path,
   GENIE_ASSIGN_OR_RETURN(const uint32_t modality_tag,
                          ModalityTag(searcher_->modality()));
 
-  // An empty mutation blob means a frozen engine: stay on v1 so the file
-  // is byte-identical to what earlier builds wrote.
-  const bool mutable_bundle = !mutation.data().empty();
+  // Stats are recomputed from the exact index image being saved (not
+  // copied from the live backend) so the persisted blob always fingerprints
+  // the bundle's own index, even mid-mutation.
+  serialize::Writer stats;
+  plan::SerializeIndexStats(plan::ComputeIndexStats(*index), &stats);
+
   serialize::Writer head;
   head.Bytes(kBundleMagic, sizeof(kBundleMagic));
-  head.U32(mutable_bundle ? kBundleVersionMutable : kBundleVersionFrozen);
+  head.U32(kBundleVersionStats);
   head.U32(modality_tag);
   head.U64(meta.data().size());
   head.Bytes(meta.data().data(), meta.data().size());
-  if (mutable_bundle) {
-    head.U64(mutation.data().size());
-    head.Bytes(mutation.data().data(), mutation.data().size());
-  }
+  // v3: the mutation section is always present — 0 bytes on a frozen
+  // engine (Open only reopens the engine live when the blob is non-empty).
+  head.U64(mutation.data().size());
+  head.Bytes(mutation.data().data(), mutation.data().size());
+  head.U64(stats.data().size());
+  head.Bytes(stats.data().data(), stats.data().size());
   head.U64(index_bytes.size());
 
   ChunkedHasher hasher;
@@ -247,7 +260,7 @@ Result<std::unique_ptr<Engine>> Engine::Open(const std::string& path,
   uint32_t version = 0;
   uint32_t modality_tag = 0;
   GENIE_RETURN_NOT_OK(ReadPod(f.get(), &version, path));
-  if (version != kBundleVersionFrozen && version != kBundleVersionMutable) {
+  if (version < kBundleVersionFrozen || version > kBundleVersionStats) {
     return Status::InvalidArgument(
         "unsupported bundle format version " + std::to_string(version) +
         ": " + path);
@@ -276,10 +289,12 @@ Result<std::unique_ptr<Engine>> Engine::Open(const std::string& path,
   uint64_t meta_bytes = 0;
   GENIE_RETURN_NOT_OK(ReadPod(f.get(), &meta_bytes, path));
   // Bytes left must still fit the later length fields and the checksum
-  // (v2 carries one extra u64 for the mutation section).
+  // (v2 adds a u64 for the mutation section, v3 another for the stats).
   const uint64_t header_end = 8 + 4 + 4 + 8;
-  const uint64_t later_fields =
-      (version >= kBundleVersionMutable ? 3 : 2) * sizeof(uint64_t);
+  const uint64_t later_fields = (version >= kBundleVersionStats       ? 4
+                                 : version >= kBundleVersionMutable   ? 3
+                                                                      : 2) *
+                                sizeof(uint64_t);
   if (meta_bytes > file_bytes - header_end - later_fields) {
     return Status::InvalidArgument("bundle meta exceeds file size: " + path);
   }
@@ -298,8 +313,10 @@ Result<std::unique_ptr<Engine>> Engine::Open(const std::string& path,
     if (pos < 0) {
       return Status::Internal("cannot determine read position: " + path);
     }
+    const uint64_t fields_after_mutation =
+        (version >= kBundleVersionStats ? 3 : 2) * sizeof(uint64_t);
     if (mutation_bytes >
-        file_bytes - static_cast<uint64_t>(pos) - 2 * sizeof(uint64_t)) {
+        file_bytes - static_cast<uint64_t>(pos) - fields_after_mutation) {
       return Status::InvalidArgument(
           "bundle mutation section exceeds file size: " + path);
     }
@@ -309,6 +326,34 @@ Result<std::unique_ptr<Engine>> Engine::Open(const std::string& path,
             mutation_blob.size()) {
       return Status::InvalidArgument("truncated bundle: " + path);
     }
+  }
+
+  // v3: persisted planner statistics. Deserialization is strict — the
+  // whole-file checksum already passed, so a malformed blob means a buggy
+  // writer, not bit rot.
+  plan::IndexStats stats;
+  bool have_stats = false;
+  if (version >= kBundleVersionStats) {
+    uint64_t stats_bytes = 0;
+    GENIE_RETURN_NOT_OK(ReadPod(f.get(), &stats_bytes, path));
+    const long pos = std::ftell(f.get());
+    if (pos < 0) {
+      return Status::Internal("cannot determine read position: " + path);
+    }
+    if (stats_bytes >
+        file_bytes - static_cast<uint64_t>(pos) - 2 * sizeof(uint64_t)) {
+      return Status::InvalidArgument(
+          "bundle stats section exceeds file size: " + path);
+    }
+    std::string stats_blob(static_cast<size_t>(stats_bytes), '\0');
+    if (stats_bytes != 0 &&
+        std::fread(stats_blob.data(), 1, stats_blob.size(), f.get()) !=
+            stats_blob.size()) {
+      return Status::InvalidArgument("truncated bundle: " + path);
+    }
+    serialize::Reader stats_reader(stats_blob);
+    GENIE_RETURN_NOT_OK(plan::DeserializeIndexStats(&stats_reader, &stats));
+    have_stats = true;
   }
 
   uint64_t index_bytes = 0;
@@ -332,26 +377,31 @@ Result<std::unique_ptr<Engine>> Engine::Open(const std::string& path,
 
   serialize::Reader meta(meta_blob);
   serialize::Reader mutation_reader(mutation_blob);
+  // v3 always carries the section but an empty blob means a frozen engine
+  // (same as a v1 bundle): only a non-empty blob reopens the engine live.
   serialize::Reader* mutation =
-      version >= kBundleVersionMutable ? &mutation_reader : nullptr;
+      !mutation_blob.empty() ? &mutation_reader : nullptr;
+  const plan::IndexStats* stats_ptr = have_stats ? &stats : nullptr;
   Result<std::unique_ptr<Searcher>> searcher = [&] {
     switch (modality) {
       case Modality::kPoints:
-        return OpenPointsSearcher(config, &meta, mutation, std::move(index));
+        return OpenPointsSearcher(config, &meta, mutation, std::move(index),
+                                  stats_ptr);
       case Modality::kSets:
-        return OpenSetsSearcher(config, &meta, mutation, std::move(index));
+        return OpenSetsSearcher(config, &meta, mutation, std::move(index),
+                                stats_ptr);
       case Modality::kSequences:
         return OpenSequencesSearcher(config, &meta, mutation,
-                                     std::move(index));
+                                     std::move(index), stats_ptr);
       case Modality::kDocuments:
         return OpenDocumentsSearcher(config, &meta, mutation,
-                                     std::move(index));
+                                     std::move(index), stats_ptr);
       case Modality::kRelational:
         return OpenRelationalSearcher(config, &meta, mutation,
-                                      std::move(index));
+                                      std::move(index), stats_ptr);
       case Modality::kCompiled:
         return OpenCompiledSearcher(config, &meta, mutation,
-                                    std::move(index));
+                                    std::move(index), stats_ptr);
     }
     return Result<std::unique_ptr<Searcher>>(
         Status::InvalidArgument("unknown modality tag in bundle"));

@@ -348,6 +348,10 @@ EngineConfig& EngineConfig::Devices(uint32_t n) {
   num_devices_ = n;
   return *this;
 }
+EngineConfig& EngineConfig::UsePlanner(bool use) {
+  use_planner_ = use;
+  return *this;
+}
 
 // ---------------------------------------------------------------------------
 // Engine
@@ -494,6 +498,8 @@ MutationStats Engine::mutation_stats() const {
   return searcher_->mutation_stats();
 }
 
+std::string Engine::ExplainPlan() const { return searcher_->ExplainPlan(); }
+
 double Engine::AddOverlapSeconds(double delta) {
   std::lock_guard<std::mutex> lock(overlap_mu_);
   overlap_total_s_ += delta;
@@ -516,6 +522,9 @@ Result<SearchResult> Engine::SearchStream(const SearchRequest& request,
     // applies with and without pipelining.
     chunk_size = searcher_->DeriveChunkSize(request, options.memory_fraction);
   }
+  // Next preference: the chunk size the backend's ExecutionPlan derived
+  // from the residency headroom (0 when no plan is live).
+  if (chunk_size == 0) chunk_size = searcher_->PlannedChunkSize();
   if (chunk_size == 0) chunk_size = kDefaultStreamChunk;
   const size_t num_chunks = (total + chunk_size - 1) / chunk_size;
 

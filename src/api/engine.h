@@ -113,6 +113,11 @@ class EngineConfig {
   /// with Device() — or the process default — with its own worker pool and
   /// memory accounting. Results are identical for every n.
   EngineConfig& Devices(uint32_t n);
+  /// Decide tier / part boundaries / placement / chunk size through the
+  /// cost-model query planner (default true). false = the legacy
+  /// try-and-escalate decisions with uniform object-range sharding; results
+  /// are identical either way — only the schedule differs.
+  EngineConfig& UsePlanner(bool use);
 
   // --- Getters. ------------------------------------------------------------
   bool has_modality() const { return has_modality_; }
@@ -159,6 +164,7 @@ class EngineConfig {
   uint32_t max_parts() const { return max_parts_; }
   uint32_t force_parts() const { return force_parts_; }
   uint32_t num_devices() const { return num_devices_; }
+  bool use_planner() const { return use_planner_; }
 
  private:
   EngineConfig& Bind(Modality modality);
@@ -201,6 +207,7 @@ class EngineConfig {
   uint32_t max_parts_ = 256;
   uint32_t force_parts_ = 0;
   uint32_t num_devices_ = 1;
+  bool use_planner_ = true;
 };
 
 /// The facade. One Engine serves one indexed dataset; Search() accepts
@@ -297,6 +304,13 @@ class Engine {
   Status Flush();
 
   MutationStats mutation_stats() const;
+
+  /// Human-readable report of the execution plan the engine's backend runs
+  /// under: planner on/off, how the index stats were obtained (persisted in
+  /// the bundle vs computed), the plan's tier / part boundaries / placement
+  /// / chunk size, the live tier, the stats summary and the cost-model
+  /// state. Purely informational — the schedule, not the answers.
+  std::string ExplainPlan() const;
 
   Modality modality() const;
   /// Objects the engine serves ids for: the indexed dataset plus every

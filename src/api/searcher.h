@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "common/serialize.h"
 #include "index/inverted_index.h"
+#include "plan/index_stats.h"
 
 namespace genie {
 
@@ -104,6 +105,16 @@ class Searcher {
 
   virtual MutationStats mutation_stats() const { return {}; }
 
+  /// Planner report of the wrapped backend (Engine::ExplainPlan). Default:
+  /// the searcher has no planning backend.
+  virtual std::string ExplainPlan() const { return "planner: unavailable"; }
+
+  /// Stream chunk size the backend's ExecutionPlan recommends; 0 when no
+  /// plan is live (planner off, legacy path). Second step of SearchStream's
+  /// chunk_size = 0 fallback chain, between the modality derivation and
+  /// the fixed 1024 default.
+  virtual uint32_t PlannedChunkSize() const { return 0; }
+
   /// Stops mutations and compaction commits while the returned guard
   /// lives (nullptr when the engine was never mutated — nothing to
   /// pause). Engine::Save holds this across the (meta, mutation, index)
@@ -140,23 +151,32 @@ Result<std::unique_ptr<Searcher>> MakeCompiledSearcher(
 /// v2 mutation section (delta segments + tombstone log + appended side
 /// data) or nullptr for a v1 bundle; when present the factory consumes it
 /// fully and reopens the engine live, with the saved delta state adopted.
+/// `stats` is the bundle's persisted IndexStats (GNIEBNDL v3) or nullptr
+/// for older bundles — borrowed only for the call; when present and still
+/// matching the loaded index, the backend skips its stats pass.
 Result<std::unique_ptr<Searcher>> OpenPointsSearcher(
     const EngineConfig& config, serialize::Reader* meta,
-    serialize::Reader* mutation, InvertedIndex index);
+    serialize::Reader* mutation, InvertedIndex index,
+    const plan::IndexStats* stats = nullptr);
 Result<std::unique_ptr<Searcher>> OpenSetsSearcher(
     const EngineConfig& config, serialize::Reader* meta,
-    serialize::Reader* mutation, InvertedIndex index);
+    serialize::Reader* mutation, InvertedIndex index,
+    const plan::IndexStats* stats = nullptr);
 Result<std::unique_ptr<Searcher>> OpenSequencesSearcher(
     const EngineConfig& config, serialize::Reader* meta,
-    serialize::Reader* mutation, InvertedIndex index);
+    serialize::Reader* mutation, InvertedIndex index,
+    const plan::IndexStats* stats = nullptr);
 Result<std::unique_ptr<Searcher>> OpenDocumentsSearcher(
     const EngineConfig& config, serialize::Reader* meta,
-    serialize::Reader* mutation, InvertedIndex index);
+    serialize::Reader* mutation, InvertedIndex index,
+    const plan::IndexStats* stats = nullptr);
 Result<std::unique_ptr<Searcher>> OpenRelationalSearcher(
     const EngineConfig& config, serialize::Reader* meta,
-    serialize::Reader* mutation, InvertedIndex index);
+    serialize::Reader* mutation, InvertedIndex index,
+    const plan::IndexStats* stats = nullptr);
 Result<std::unique_ptr<Searcher>> OpenCompiledSearcher(
     const EngineConfig& config, serialize::Reader* meta,
-    serialize::Reader* mutation, InvertedIndex index);
+    serialize::Reader* mutation, InvertedIndex index,
+    const plan::IndexStats* stats = nullptr);
 
 }  // namespace genie

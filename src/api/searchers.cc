@@ -54,6 +54,7 @@ EngineBackendOptions BackendOptions(const EngineConfig& config) {
   options.force_parts = config.force_parts();
   options.shard_build.max_list_length = config.max_list_length();
   options.num_devices = config.num_devices();
+  options.use_planner = config.use_planner();
   return options;
 }
 
@@ -116,6 +117,10 @@ SearchProfile MakeProfile(const MatchProfile& p, double merge_s,
   profile.used_multi_load = facts.multi_load;
   profile.parts = facts.parts;
   profile.devices = facts.num_devices;
+  profile.planned = facts.plan.planned;
+  profile.plan_tier = plan::TierToString(facts.plan.tier);
+  profile.planned_chunk_size = facts.plan.chunk_size;
+  profile.planned_pipeline_depth = facts.plan.pipeline_depth;
   return profile;
 }
 
@@ -414,6 +419,14 @@ class PointsSearcherImpl : public Searcher {
   Status Flush() override { return host_.Flush(); }
   MutationStats mutation_stats() const override { return host_.stats(); }
   std::shared_ptr<void> PauseMutation() override { return host_.Pause(); }
+  std::string ExplainPlan() const override {
+    return searcher_->backend().ExplainPlan();
+  }
+
+  uint32_t PlannedChunkSize() const override {
+    const plan::ExecutionPlan plan = searcher_->backend().execution_plan();
+    return plan.planned ? plan.chunk_size : 0;
+  }
 
   Status SerializeMutationState(serialize::Writer* writer) const override {
     if (!host_.mutated()) return Status::OK();
@@ -580,6 +593,14 @@ class SetsSearcherImpl : public Searcher {
   Status Flush() override { return host_.Flush(); }
   MutationStats mutation_stats() const override { return host_.stats(); }
   std::shared_ptr<void> PauseMutation() override { return host_.Pause(); }
+  std::string ExplainPlan() const override {
+    return searcher_->backend().ExplainPlan();
+  }
+
+  uint32_t PlannedChunkSize() const override {
+    const plan::ExecutionPlan plan = searcher_->backend().execution_plan();
+    return plan.planned ? plan.chunk_size : 0;
+  }
 
   Status SerializeMutationState(serialize::Writer* writer) const override {
     if (!host_.mutated()) return Status::OK();
@@ -729,6 +750,14 @@ class SequencesSearcherImpl : public Searcher {
   Status Flush() override { return host_.Flush(); }
   MutationStats mutation_stats() const override { return host_.stats(); }
   std::shared_ptr<void> PauseMutation() override { return host_.Pause(); }
+  std::string ExplainPlan() const override {
+    return searcher_->backend().ExplainPlan();
+  }
+
+  uint32_t PlannedChunkSize() const override {
+    const plan::ExecutionPlan plan = searcher_->backend().execution_plan();
+    return plan.planned ? plan.chunk_size : 0;
+  }
 
   Status SerializeMutationState(serialize::Writer* writer) const override {
     if (!host_.mutated()) return Status::OK();
@@ -848,6 +877,15 @@ class DocumentsSearcherImpl : public Searcher {
   Status Flush() override { return host_.Flush(); }
   MutationStats mutation_stats() const override { return host_.stats(); }
   std::shared_ptr<void> PauseMutation() override { return host_.Pause(); }
+
+  std::string ExplainPlan() const override {
+    return searcher_->backend().ExplainPlan();
+  }
+
+  uint32_t PlannedChunkSize() const override {
+    const plan::ExecutionPlan plan = searcher_->backend().execution_plan();
+    return plan.planned ? plan.chunk_size : 0;
+  }
 
   Status SerializeMutationState(serialize::Writer* writer) const override {
     if (!host_.mutated()) return Status::OK();
@@ -982,6 +1020,15 @@ class RelationalSearcherImpl : public Searcher {
   MutationStats mutation_stats() const override { return host_.stats(); }
   std::shared_ptr<void> PauseMutation() override { return host_.Pause(); }
 
+  std::string ExplainPlan() const override {
+    return searcher_->backend().ExplainPlan();
+  }
+
+  uint32_t PlannedChunkSize() const override {
+    const plan::ExecutionPlan plan = searcher_->backend().execution_plan();
+    return plan.planned ? plan.chunk_size : 0;
+  }
+
   Status SerializeMutationState(serialize::Writer* writer) const override {
     if (!host_.mutated()) return Status::OK();
     return host_.SerializeDeltaState(writer);
@@ -1114,6 +1161,13 @@ class CompiledSearcherImpl : public Searcher {
   Status Flush() override { return host_.Flush(); }
   MutationStats mutation_stats() const override { return host_.stats(); }
   std::shared_ptr<void> PauseMutation() override { return host_.Pause(); }
+
+  std::string ExplainPlan() const override { return backend_->ExplainPlan(); }
+
+  uint32_t PlannedChunkSize() const override {
+    const plan::ExecutionPlan plan = backend_->execution_plan();
+    return plan.planned ? plan.chunk_size : 0;
+  }
 
   Status SerializeMutationState(serialize::Writer* writer) const override {
     if (!host_.mutated()) return Status::OK();
@@ -1312,7 +1366,8 @@ Result<std::unique_ptr<Searcher>> MakeCompiledSearcher(
 
 Result<std::unique_ptr<Searcher>> OpenPointsSearcher(
     const EngineConfig& config, serialize::Reader* meta,
-    serialize::Reader* mutation, InvertedIndex index) {
+    serialize::Reader* mutation, InvertedIndex index,
+    const plan::IndexStats* stats) {
   const data::PointMatrix* points = config.points();
   if (points == nullptr) {
     return Status::InvalidArgument(
@@ -1381,11 +1436,12 @@ Result<std::unique_ptr<Searcher>> OpenPointsSearcher(
     appended = count;
   }
 
+  lsh::LshSearchOptions options = PointsRuntimeOptions(config);
+  options.backend.index_stats = stats;
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<lsh::LshSearcher> searcher,
       lsh::LshSearcher::Restore(points, std::move(transformer),
-                                std::move(index),
-                                PointsRuntimeOptions(config), appended));
+                                std::move(index), options, appended));
   auto impl = std::make_unique<PointsSearcherImpl>(
       points, std::move(searcher), config.k(), config.exact_rerank(),
       config.metric_p(), MutationOptionsFrom(config));
@@ -1397,7 +1453,8 @@ Result<std::unique_ptr<Searcher>> OpenPointsSearcher(
 
 Result<std::unique_ptr<Searcher>> OpenSetsSearcher(
     const EngineConfig& config, serialize::Reader* meta,
-    serialize::Reader* mutation, InvertedIndex index) {
+    serialize::Reader* mutation, InvertedIndex index,
+    const plan::IndexStats* stats) {
   const std::vector<std::vector<uint32_t>>* sets = config.sets();
   if (sets == nullptr) {
     return Status::InvalidArgument(
@@ -1452,6 +1509,7 @@ Result<std::unique_ptr<Searcher>> OpenSetsSearcher(
     appended = count;
   }
 
+  options.backend.index_stats = stats;
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<lsh::SetLshSearcher> searcher,
       lsh::SetLshSearcher::Restore(sets, family, options,
@@ -1468,7 +1526,8 @@ Result<std::unique_ptr<Searcher>> OpenSetsSearcher(
 
 Result<std::unique_ptr<Searcher>> OpenSequencesSearcher(
     const EngineConfig& config, serialize::Reader* meta,
-    serialize::Reader* mutation, InvertedIndex index) {
+    serialize::Reader* mutation, InvertedIndex index,
+    const plan::IndexStats* stats) {
   const std::vector<std::string>* sequences = config.sequences();
   if (sequences == nullptr) {
     return Status::InvalidArgument(
@@ -1508,6 +1567,7 @@ Result<std::unique_ptr<Searcher>> OpenSequencesSearcher(
     appended = count;
   }
 
+  options.backend.index_stats = stats;
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<sa::SequenceSearcher> searcher,
       sa::SequenceSearcher::Restore(sequences, options, std::move(vocab),
@@ -1522,7 +1582,8 @@ Result<std::unique_ptr<Searcher>> OpenSequencesSearcher(
 
 Result<std::unique_ptr<Searcher>> OpenDocumentsSearcher(
     const EngineConfig& config, serialize::Reader* meta,
-    serialize::Reader* mutation, InvertedIndex index) {
+    serialize::Reader* mutation, InvertedIndex index,
+    const plan::IndexStats* stats) {
   const std::vector<std::vector<uint32_t>>* documents = config.documents();
   if (documents == nullptr) {
     return Status::InvalidArgument(
@@ -1553,10 +1614,12 @@ Result<std::unique_ptr<Searcher>> OpenDocumentsSearcher(
     appended = static_cast<uint32_t>(snap.next_id - num_objects);
   }
 
+  sa::DocumentSearchOptions options = DocumentsRuntimeOptions(config);
+  options.backend.index_stats = stats;
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<sa::DocumentSearcher> searcher,
-      sa::DocumentSearcher::Restore(documents, DocumentsRuntimeOptions(config),
-                                    vocab_size, std::move(index), appended));
+      sa::DocumentSearcher::Restore(documents, options, vocab_size,
+                                    std::move(index), appended));
   auto impl = std::make_unique<DocumentsSearcherImpl>(
       documents, std::move(searcher), MutationOptionsFrom(config));
   if (mutation != nullptr) impl->AdoptMutationState(snap);
@@ -1565,7 +1628,8 @@ Result<std::unique_ptr<Searcher>> OpenDocumentsSearcher(
 
 Result<std::unique_ptr<Searcher>> OpenRelationalSearcher(
     const EngineConfig& config, serialize::Reader* meta,
-    serialize::Reader* mutation, InvertedIndex index) {
+    serialize::Reader* mutation, InvertedIndex index,
+    const plan::IndexStats* stats) {
   const sa::RelationalTable* table = config.table();
   if (table == nullptr) {
     return Status::InvalidArgument(
@@ -1591,13 +1655,15 @@ Result<std::unique_ptr<Searcher>> OpenRelationalSearcher(
     appended = static_cast<uint32_t>(snap.next_id - num_rows);
   }
 
+  EngineBackendOptions backend_options = BackendOptions(config);
+  backend_options.index_stats = stats;
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<sa::RelationalSearcher> searcher,
       sa::RelationalSearcher::Restore(table, config.k(), cardinalities,
                                       num_rows, std::move(index),
                                       BaseEngineOptions(config),
                                       BuildOptions(config),
-                                      BackendOptions(config), appended));
+                                      backend_options, appended));
   auto impl = std::make_unique<RelationalSearcherImpl>(
       table, std::move(searcher), MutationOptionsFrom(config));
   if (mutation != nullptr) impl->AdoptMutationState(snap);
@@ -1606,7 +1672,8 @@ Result<std::unique_ptr<Searcher>> OpenRelationalSearcher(
 
 Result<std::unique_ptr<Searcher>> OpenCompiledSearcher(
     const EngineConfig& config, serialize::Reader* meta,
-    serialize::Reader* mutation, InvertedIndex index) {
+    serialize::Reader* mutation, InvertedIndex index,
+    const plan::IndexStats* stats) {
   GENIE_RETURN_NOT_OK(meta->ExpectEnd());
 
   delta::DeltaSnapshot snap;
@@ -1621,10 +1688,12 @@ Result<std::unique_ptr<Searcher>> OpenCompiledSearcher(
 
   auto impl = std::make_unique<CompiledSearcherImpl>(
       std::move(index), MutationOptionsFrom(config));
+  EngineBackendOptions backend_options = BackendOptions(config);
+  backend_options.index_stats = stats;
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<EngineBackend> backend,
       EngineBackend::Create(&impl->index(), BaseEngineOptions(config),
-                            BackendOptions(config)));
+                            backend_options));
   impl->AdoptBackend(std::move(backend));
   if (mutation != nullptr) impl->AdoptMutationState(snap);
   return std::unique_ptr<Searcher>(std::move(impl));

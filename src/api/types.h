@@ -183,6 +183,16 @@ struct SearchProfile {
   /// Per-device stage costs, indexed by device ordinal (empty on the
   /// single-device tiers).
   std::vector<DeviceProfile> per_device;
+  /// True when the live tier was built from a QueryPlanner ExecutionPlan
+  /// (false = legacy decision path, or the escalation safety net replaced
+  /// the plan mid-way).
+  bool planned = false;
+  /// Tier the plan named ("single-device" / "multi-device" / "multi-load";
+  /// empty on searchers without a planning backend).
+  std::string plan_tier;
+  /// Stream chunk size / pipeline depth the plan recommends.
+  uint32_t planned_chunk_size = 1;
+  uint32_t planned_pipeline_depth = 1;
 
   double total_query_s() const {
     return query_transfer_s + match_s + select_s + merge_s + verify_s;
@@ -206,6 +216,10 @@ struct SearchProfile {
     used_multi_load = used_multi_load || other.used_multi_load;
     parts = other.parts;
     devices = std::max(devices, other.devices);
+    planned = other.planned;
+    plan_tier = other.plan_tier;
+    planned_chunk_size = other.planned_chunk_size;
+    planned_pipeline_depth = other.planned_pipeline_depth;
     if (per_device.size() < other.per_device.size()) {
       per_device.resize(other.per_device.size());
     }

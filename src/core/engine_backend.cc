@@ -44,7 +44,24 @@ void EngineBackend::RetireEngines() {
   }
 }
 
-Status EngineBackend::SetUpMultiLoad(uint32_t parts) {
+Result<ShardedIndex> EngineBackend::ShardLocked(
+    uint32_t parts, std::span<const ObjectId> boundaries) {
+  if (!boundaries.empty()) {
+    return ShardByBoundaries(*index_, boundaries,
+                             backend_options_.shard_build);
+  }
+  if (backend_options_.use_planner && stats_.MatchesIndex(*index_)) {
+    // Escalations re-shard through the same volume-balanced cut a re-plan
+    // would emit, so planned and escalated part layouts agree.
+    return ShardByBoundaries(*index_,
+                             plan::BalancedBoundaries(stats_, parts),
+                             backend_options_.shard_build);
+  }
+  return ShardByObjectRange(*index_, parts, backend_options_.shard_build);
+}
+
+Status EngineBackend::SetUpMultiLoad(uint32_t parts,
+                                     std::span<const ObjectId> boundaries) {
   if (parts > backend_options_.max_parts) {
     return Status::ResourceExhausted(
         "index does not fit in device memory even at max_parts");
@@ -54,9 +71,8 @@ Status EngineBackend::SetUpMultiLoad(uint32_t parts) {
   // The sharded index is shared: an in-flight staged chunk (or a Prepare
   // racing this escalation) keeps the previous generation alive until it
   // drains.
-  GENIE_ASSIGN_OR_RETURN(
-      ShardedIndex sharded,
-      ShardByObjectRange(*index_, parts, backend_options_.shard_build));
+  GENIE_ASSIGN_OR_RETURN(ShardedIndex sharded,
+                         ShardLocked(parts, boundaries));
   auto shared = std::make_shared<ShardedIndex>(std::move(sharded));
   std::vector<IndexPart> index_parts;
   index_parts.reserve(shared->shards.size());
@@ -75,10 +91,21 @@ Status EngineBackend::SetUpMultiLoad(uint32_t parts) {
   sharded_ = std::move(shared);
   multi_ = std::move(multi);
   ++generation_;
+  // Record the layout that actually went live (an escalation diverges from
+  // the plan; ApplyPlanLocked overwrites this with the planned version).
+  plan_.planned = false;
+  plan_.tier = plan::ExecutionPlan::Tier::kMultiLoad;
+  plan_.num_parts = static_cast<uint32_t>(sharded_->shards.size());
+  plan_.part_boundaries.assign(sharded_->offsets.begin(),
+                               sharded_->offsets.end());
+  plan_.part_boundaries.push_back(index_->num_objects());
+  plan_.device_of_part.clear();
   return Status::OK();
 }
 
-Status EngineBackend::SetUpMultiDevice(uint32_t parts) {
+Status EngineBackend::SetUpMultiDevice(uint32_t parts,
+                                       std::span<const ObjectId> boundaries,
+                                       std::span<const uint32_t> placement) {
   if (devices_ == nullptr) {
     if (backend_options_.device_set != nullptr) {
       devices_ = backend_options_.device_set;
@@ -93,9 +120,7 @@ Status EngineBackend::SetUpMultiDevice(uint32_t parts) {
       devices_ = owned_devices_.get();
     }
   }
-  GENIE_ASSIGN_OR_RETURN(
-      ShardedIndex sharded,
-      ShardByObjectRange(*index_, parts, backend_options_.shard_build));
+  GENIE_ASSIGN_OR_RETURN(ShardedIndex sharded, ShardLocked(parts, boundaries));
   auto shared = std::make_shared<ShardedIndex>(std::move(sharded));
   std::vector<IndexPart> index_parts;
   index_parts.reserve(shared->shards.size());
@@ -104,12 +129,19 @@ Status EngineBackend::SetUpMultiDevice(uint32_t parts) {
   }
   GENIE_ASSIGN_OR_RETURN(
       std::unique_ptr<MultiDeviceEngine> multi_device,
-      MultiDeviceEngine::Create(index_parts, devices_, options_));
+      MultiDeviceEngine::Create(index_parts, devices_, options_, placement));
 
   RetireEngines();
   sharded_ = std::move(shared);
   multi_device_ = std::move(multi_device);
   ++generation_;
+  plan_.planned = false;
+  plan_.tier = plan::ExecutionPlan::Tier::kMultiDevice;
+  plan_.num_parts = static_cast<uint32_t>(sharded_->shards.size());
+  plan_.part_boundaries.assign(sharded_->offsets.begin(),
+                               sharded_->offsets.end());
+  plan_.part_boundaries.push_back(index_->num_objects());
+  plan_.device_of_part.assign(placement.begin(), placement.end());
   return Status::OK();
 }
 
@@ -137,12 +169,110 @@ Result<std::unique_ptr<EngineBackend>> EngineBackend::Create(
   backend->backend_options_.num_devices = num_devices;
   backend->base_k_ = effective_options.k;
 
+  if (backend_options.use_planner && backend_options.index_stats != nullptr &&
+      backend_options.index_stats->MatchesIndex(*index)) {
+    // Persisted stats (a bundle's stats section): adopt them and skip the
+    // stats pass entirely. The pointer is borrowed only for this copy.
+    backend->stats_ = *backend_options.index_stats;
+    backend->stats_persisted_ = true;
+  }
+  backend->backend_options_.index_stats = nullptr;
+
   std::lock_guard<std::mutex> lock(backend->mu_);
   GENIE_RETURN_NOT_OK(backend->SetUpTierLocked());
   return backend;
 }
 
+void EngineBackend::RefreshStatsLocked() {
+  if (!backend_options_.use_planner) return;
+  if (stats_.MatchesIndex(*index_)) return;
+  stats_ = plan::ComputeIndexStats(*index_);
+  stats_persisted_ = false;
+}
+
+plan::PlannerInputs EngineBackend::PlannerInputsLocked() const {
+  plan::PlannerInputs inputs;
+  const sim::Device* base = device();
+  inputs.capacity_bytes = base->memory_capacity_bytes();
+  inputs.allocated_bytes = base->allocated_bytes();
+  if (backend_options_.num_devices > 1) {
+    const sim::DeviceSet* set =
+        devices_ != nullptr ? devices_ : backend_options_.device_set;
+    if (set != nullptr) {
+      // Budget against the tightest device of the set: every device must
+      // hold its residency share beside the batch working memory.
+      uint64_t min_free = std::numeric_limits<uint64_t>::max();
+      for (size_t d = 0; d < set->size(); ++d) {
+        const sim::Device* dev = set->device(d);
+        const uint64_t capacity = dev->memory_capacity_bytes();
+        const uint64_t allocated = dev->allocated_bytes();
+        const uint64_t free_bytes =
+            capacity > allocated ? capacity - allocated : 0;
+        if (free_bytes < min_free) {
+          min_free = free_bytes;
+          inputs.capacity_bytes = capacity;
+          inputs.allocated_bytes = allocated;
+        }
+      }
+    } else {
+      // The backend will clone the base device's configuration onto fresh
+      // devices, so each starts with its full capacity free.
+      inputs.allocated_bytes = 0;
+    }
+  }
+  inputs.bytes_per_query = MatchEngine::DeviceBytesPerQuery(
+      index_->num_objects(), options_,
+      options_.max_count > 0 ? options_.max_count : 16);
+  inputs.num_devices = backend_options_.num_devices;
+  inputs.force_parts = backend_options_.force_parts;
+  inputs.max_parts = backend_options_.max_parts;
+  inputs.allow_multi_load = backend_options_.allow_multi_load;
+  inputs.part_capacity_fraction = backend_options_.part_capacity_fraction;
+  return inputs;
+}
+
+Status EngineBackend::ApplyPlanLocked(const plan::ExecutionPlan& p) {
+  switch (p.tier) {
+    case plan::ExecutionPlan::Tier::kSingleDevice: {
+      GENIE_ASSIGN_OR_RETURN(std::unique_ptr<MatchEngine> single,
+                             MatchEngine::Create(index_, options_));
+      RetireEngines();
+      single_ = std::move(single);
+      ++generation_;
+      return Status::OK();
+    }
+    case plan::ExecutionPlan::Tier::kMultiDevice:
+      return SetUpMultiDevice(p.num_parts, p.part_boundaries,
+                              p.device_of_part);
+    case plan::ExecutionPlan::Tier::kMultiLoad:
+      return SetUpMultiLoad(p.num_parts, p.part_boundaries);
+  }
+  return Status::InvalidArgument("unknown plan tier");
+}
+
 Status EngineBackend::SetUpTierLocked() {
+  if (!backend_options_.use_planner) return SetUpTierLegacyLocked();
+  RefreshStatsLocked();
+  const plan::QueryPlanner planner(stats_);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    plan::ExecutionPlan candidate =
+        planner.Plan(PlannerInputsLocked(), cost_model_);
+    const Status status = ApplyPlanLocked(candidate);
+    if (status.ok()) {
+      plan_ = std::move(candidate);
+      return status;
+    }
+    if (status.code() != StatusCode::kResourceExhausted) return status;
+    // The plan was optimistic: record the miss (shrinking the residency
+    // margin) and re-plan against the tightened model.
+    cost_model_.RecordEscalation();
+  }
+  // Three tightened plans in a row still missed — the classic
+  // try-and-escalate ladder is the last-resort safety net.
+  return SetUpTierLegacyLocked();
+}
+
+Status EngineBackend::SetUpTierLegacyLocked() {
   // Tier selection: multi-device when N > 1 (space multiplexing), else
   // single load, falling back to sequential multiple loading when the
   // index (or the parts' residency) exceeds device memory.
@@ -156,6 +286,7 @@ Status EngineBackend::SetUpTierLocked() {
       return status;
     }
     // Residency exceeded a device: time-multiplex the base device instead.
+    cost_model_.RecordEscalation();
     return SetUpMultiLoad(
         std::max(EstimateParts(), backend_options_.force_parts));
   }
@@ -169,6 +300,11 @@ Status EngineBackend::SetUpTierLocked() {
     RetireEngines();
     single_ = std::move(single).ValueOrDie();
     ++generation_;
+    plan_.planned = false;
+    plan_.tier = plan::ExecutionPlan::Tier::kSingleDevice;
+    plan_.num_parts = 1;
+    plan_.part_boundaries.clear();
+    plan_.device_of_part.clear();
     return Status::OK();
   }
   if (single.status().code() != StatusCode::kResourceExhausted ||
@@ -176,6 +312,7 @@ Status EngineBackend::SetUpTierLocked() {
     return single.status();
   }
   // The List Array alone exceeded device memory: shard and multiple-load.
+  cost_model_.RecordEscalation();
   return SetUpMultiLoad(EstimateParts());
 }
 
@@ -274,7 +411,9 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteBatch(
   {
     std::lock_guard<std::mutex> lock(mu_);
     GENIE_RETURN_NOT_OK(MaybeGrowSlackLocked());
+    const ProfileSnapshot before = SnapshotLocked();
     results = ExecuteBatchLocked(queries);
+    if (results.ok()) ObserveExecutionLocked(before, queries);
     if (results.ok() && delta_store_ != nullptr) {
       // Captured under the same mu_ hold as the execution: the snapshot is
       // consistent with the executed index (a compaction swap + prune is
@@ -308,8 +447,10 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteBatchAtK(
         return status;
       }
     }
+    const ProfileSnapshot before = SnapshotLocked();
     results = ExecuteBatchLocked(queries);
     if (results.ok()) {
+      ObserveExecutionLocked(before, queries);
       if (delta_store_ != nullptr) snap = delta_store_->snapshot();
       overlay = !snap.empty() || options_.k != k;
     }
@@ -330,6 +471,7 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteBatchLocked(
     // Batch working memory did not fit beside the index (or the per-query
     // hash table overflowed): retire the single engine — freeing the
     // device-resident index — and escalate through multiple loading.
+    cost_model_.RecordEscalation();
     GENIE_RETURN_NOT_OK(SetUpMultiLoad(
         std::max(2u, std::min(EstimateParts(), backend_options_.max_parts))));
   }
@@ -344,6 +486,7 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteBatchLocked(
     // Working memory did not fit beside the resident parts on some device;
     // sharding finer does not reduce per-device residency, so fall back to
     // time-multiplexing the base device.
+    cost_model_.RecordEscalation();
     GENIE_RETURN_NOT_OK(SetUpMultiLoad(
         std::max(2u, std::min(EstimateParts(), backend_options_.max_parts))));
   }
@@ -364,6 +507,7 @@ Result<std::vector<QueryResult>> EngineBackend::MultiLoadLoopLocked(
         parts >= index_->num_objects()) {
       return results;
     }
+    cost_model_.RecordEscalation();
     GENIE_RETURN_NOT_OK(
         SetUpMultiLoad(std::min(parts * 2, backend_options_.max_parts)));
   }
@@ -434,7 +578,9 @@ Result<std::vector<QueryResult>> EngineBackend::Execute(StagedChunk chunk) {
     // A slack rebuild bumps the generation, so the staged chunk falls back
     // to the plain path below — correctness over the staging win.
     GENIE_RETURN_NOT_OK(MaybeGrowSlackLocked());
+    const ProfileSnapshot before = SnapshotLocked();
     results = ExecuteStagedLocked(std::move(chunk));
+    if (results.ok()) ObserveExecutionLocked(before, queries);
     if (results.ok() && delta_store_ != nullptr) {
       snap = delta_store_->snapshot();
       overlay = !snap.empty() || options_.k != base_k_;
@@ -462,6 +608,7 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteStagedLocked(
         !backend_options_.allow_multi_load) {
       return results;
     }
+    cost_model_.RecordEscalation();
     GENIE_RETURN_NOT_OK(SetUpMultiLoad(std::max(
         2u, std::min(EstimateParts(), backend_options_.max_parts))));
     return MultiLoadLoopLocked(queries);
@@ -490,6 +637,7 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteStagedLocked(
             parts >= index_->num_objects()) {
           return results;
         }
+        cost_model_.RecordEscalation();
         GENIE_RETURN_NOT_OK(
             SetUpMultiLoad(std::min(parts * 2, backend_options_.max_parts)));
         return MultiLoadLoopLocked(chunk.queries_);
@@ -503,6 +651,35 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteStagedLocked(
   const std::span<const Query> queries = chunk.queries_;
   chunk = StagedChunk{};
   return ExecuteBatchLocked(queries);
+}
+
+uint64_t EngineBackend::ScannedPostingsLocked(
+    std::span<const Query> queries) const {
+  uint64_t scanned = 0;
+  for (const Query& query : queries) {
+    for (uint32_t i = 0; i < query.num_items(); ++i) {
+      for (const Keyword kw : query.item(i)) {
+        scanned += index_->KeywordFrequency(kw);
+      }
+    }
+  }
+  return scanned;
+}
+
+void EngineBackend::ObserveExecutionLocked(const ProfileSnapshot& before,
+                                           std::span<const Query> queries) {
+  if (!backend_options_.use_planner || queries.empty()) return;
+  const ProfileSnapshot after = SnapshotLocked();
+  MatchProfile delta = after.match;
+  delta.Subtract(before.match);
+  cost_model_.ObserveExecution(delta, ScannedPostingsLocked(queries),
+                               static_cast<uint32_t>(queries.size()));
+  const double merge_delta = after.merge_s - before.merge_s;
+  if (merge_delta > 0) {
+    cost_model_.ObserveMerge(merge_delta,
+                             static_cast<uint32_t>(queries.size()),
+                             after.parts);
+  }
 }
 
 uint32_t EngineBackend::NumPartsLocked() const {
@@ -531,6 +708,7 @@ EngineBackend::ProfileSnapshot EngineBackend::SnapshotLocked() const {
     snapshot.multi_load = true;
   }
   snapshot.parts = NumPartsLocked();
+  snapshot.plan = plan_;
   return snapshot;
 }
 
@@ -591,6 +769,45 @@ double EngineBackend::merge_seconds() const {
 std::vector<MatchProfile> EngineBackend::device_profiles() const {
   std::lock_guard<std::mutex> lock(mu_);
   return SnapshotLocked().devices;
+}
+
+plan::ExecutionPlan EngineBackend::execution_plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_;
+}
+
+plan::IndexStats EngineBackend::index_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string EngineBackend::ExplainPlan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "planner: ";
+  out += backend_options_.use_planner ? "on" : "off";
+  if (backend_options_.use_planner) {
+    out += stats_persisted_ ? " (stats: persisted)" : " (stats: computed)";
+  }
+  out += "\nplan: ";
+  out += plan_.DebugString();
+  out += "\nlive: tier=";
+  if (single_ != nullptr) {
+    out += "single-device";
+  } else if (multi_device_ != nullptr) {
+    out += "multi-device devices=" +
+           std::to_string(multi_device_->num_devices());
+  } else if (multi_ != nullptr) {
+    out += "multi-load";
+  } else {
+    out += "none";
+  }
+  out += " parts=" + std::to_string(NumPartsLocked());
+  out += " k=" + std::to_string(options_.k);
+  out += "\nstats: ";
+  out += stats_.DebugString();
+  out += "\ncost-model: ";
+  out += cost_model_.DebugString();
+  return out;
 }
 
 }  // namespace genie

@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -23,6 +24,9 @@
 #include "core/multi_load_engine.h"
 #include "index/delta/delta_store.h"
 #include "index/shard.h"
+#include "plan/cost_model.h"
+#include "plan/index_stats.h"
+#include "plan/query_planner.h"
 #include "sim/device_set.h"
 
 namespace genie {
@@ -59,6 +63,20 @@ struct EngineBackendOptions {
   /// default). When set, its size overrides num_devices; a one-device set
   /// runs the classic single-device tiers on its device(0).
   sim::DeviceSet* device_set = nullptr;
+
+  /// Decide tier / part boundaries / placement through the cost-model
+  /// query planner (the default): an IndexStats pass feeds a QueryPlanner
+  /// whose ExecutionPlan the backend executes, with the try-and-escalate
+  /// path kept only as a safety net that feeds misses back into the model.
+  /// false = the legacy hard-coded decisions (uniform object-range
+  /// sharding, try-and-escalate tier selection) — kept bit-for-bit for the
+  /// plan-vs-escalation equality tests.
+  bool use_planner = true;
+  /// Precomputed stats of the creation-time index (e.g. persisted in a
+  /// bundle), so Create skips the stats pass. Borrowed only during Create
+  /// (the backend copies them); ignored — and recomputed — when they do
+  /// not match the index.
+  const plan::IndexStats* index_stats = nullptr;
 };
 
 /// A MatchEngine-shaped executor that owns the backend decision. Exposes an
@@ -81,6 +99,9 @@ class EngineBackend {
     bool multi_load = false;
     uint32_t parts = 1;
     uint32_t num_devices = 1;
+    /// The execution plan the live tier runs under (plan.planned == false
+    /// when the legacy / escalation fallback path set the tier up).
+    plan::ExecutionPlan plan;
   };
 
   /// `index` must outlive the backend.
@@ -174,6 +195,16 @@ class EngineBackend {
   /// Devices batches execute on (1 unless the multi-device tier is active).
   uint32_t num_devices() const;
 
+  /// The plan the live tier executes (planned == false when the legacy
+  /// path or an escalation set it up).
+  plan::ExecutionPlan execution_plan() const;
+  /// Stats of the executed index: persisted (bundle) or computed at
+  /// create/swap time. Empty default when the planner is disabled.
+  plan::IndexStats index_stats() const;
+  /// Human-readable planner report: stats summary + cost-model state + the
+  /// live plan + how the stats were obtained. For Engine::ExplainPlan().
+  std::string ExplainPlan() const;
+
   /// Capacity / allocation of the device that bounds the next batch's
   /// working memory: the base device on the single-device tiers, the
   /// tightest (least-free) device of the set on the multi-device tier —
@@ -225,12 +256,31 @@ class EngineBackend {
   EngineBackend(const InvertedIndex* index, const MatchEngineOptions& options,
                 const EngineBackendOptions& backend_options);
 
-  /// The creation-time tier selection (multi-device, forced multi-load, or
-  /// single load with the ResourceExhausted fallback), re-runnable: also
-  /// used to rebuild the tier over a swapped-in index or with a grown
-  /// tombstone slack. Builds the replacement fully before retiring, so a
-  /// failure leaves the previous engines live.
+  /// The creation-time tier selection, re-runnable: also used to rebuild
+  /// the tier over a swapped-in index or with a grown tombstone slack.
+  /// With use_planner it plans first and applies the plan (escalating
+  /// through re-plans on a memory miss, feeding the cost model); without,
+  /// it runs the legacy hard-coded selection. Builds the replacement fully
+  /// before retiring, so a failure leaves the previous engines live.
   Status SetUpTierLocked();
+  /// The legacy decision path (multi-device when N > 1, forced multi-load,
+  /// or single load with the ResourceExhausted fallback) — also the
+  /// planner's last-resort safety net.
+  Status SetUpTierLegacyLocked();
+  /// Recomputes stats_ when they no longer describe index_ (index swap) —
+  /// persisted bundle stats survive until the first swap.
+  void RefreshStatsLocked();
+  /// Machine budget + knobs snapshot the planner consumes.
+  plan::PlannerInputs PlannerInputsLocked() const;
+  /// Builds the tier `p` names. ResourceExhausted = the plan was
+  /// optimistic (the caller records the miss and re-plans or falls back).
+  Status ApplyPlanLocked(const plan::ExecutionPlan& p);
+  /// Postings the match stage scans for this batch (cost-model work
+  /// volume): sum of the queries' keyword frequencies in the live index.
+  uint64_t ScannedPostingsLocked(std::span<const Query> queries) const;
+  /// Feeds one executed batch's profile delta into the cost model.
+  void ObserveExecutionLocked(const ProfileSnapshot& before,
+                              std::span<const Query> queries);
   /// Grows options_.k beyond base_k_ when tombstones accumulate, so the
   /// post-filter top-k stays exact: the k live survivors of a query lie
   /// within the top (k + tombstones) of the unfiltered order. Rebuilds the
@@ -246,11 +296,22 @@ class EngineBackend {
                          std::span<const Query> queries, uint32_t k,
                          std::vector<QueryResult>* results);
 
-  /// Shards the full index into `parts` and rebuilds the multi-load engine.
-  Status SetUpMultiLoad(uint32_t parts);
-  /// Shards into `parts` round-robin across the device set and builds the
-  /// resident multi-device engine.
-  Status SetUpMultiDevice(uint32_t parts);
+  /// Shards the full index into `parts` and rebuilds the multi-load
+  /// engine. Non-empty `boundaries` (a planner cut) override the uniform
+  /// object-range split.
+  Status SetUpMultiLoad(uint32_t parts,
+                        std::span<const ObjectId> boundaries = {});
+  /// Shards into `parts` across the device set and builds the resident
+  /// multi-device engine. Non-empty `boundaries` / `placement` (a planner
+  /// cut) override the uniform split and the round-robin assignment.
+  Status SetUpMultiDevice(uint32_t parts,
+                          std::span<const ObjectId> boundaries = {},
+                          std::span<const uint32_t> placement = {});
+  /// The sharding the escalation safety net uses: volume-balanced when the
+  /// planner owns decisions (so escalated parts match what a re-plan would
+  /// cut), uniform on the legacy path.
+  Result<ShardedIndex> ShardLocked(uint32_t parts,
+                                   std::span<const ObjectId> boundaries);
   /// Folds the live engine's stage costs into carried_profile_ and retires
   /// it (before a tier switch).
   void RetireEngines();
@@ -308,6 +369,16 @@ class EngineBackend {
   /// stays cumulative across backend switches.
   MatchProfile carried_profile_;
   double carried_merge_s_ = 0;
+
+  /// Planner state (all guarded by mu_): the data-shape stats of the
+  /// executed index, the calibrated machine model, and the plan the live
+  /// tier was built from. stats_persisted_ records whether stats_ came
+  /// from a bundle (ExplainPlan reports it; a SwapIndex recompute clears
+  /// it).
+  plan::IndexStats stats_;
+  bool stats_persisted_ = false;
+  plan::CostModel cost_model_;
+  plan::ExecutionPlan plan_;
 };
 
 }  // namespace genie

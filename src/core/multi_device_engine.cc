@@ -1,5 +1,6 @@
 #include "core/multi_device_engine.h"
 
+#include <string>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -15,7 +16,8 @@ MatchProfile MultiDeviceProfile::Combined() const {
 
 Result<std::unique_ptr<MultiDeviceEngine>> MultiDeviceEngine::Create(
     std::vector<IndexPart> parts, sim::DeviceSet* devices,
-    const MatchEngineOptions& options) {
+    const MatchEngineOptions& options,
+    std::span<const uint32_t> device_of_part) {
   if (devices == nullptr || devices->size() == 0) {
     return Status::InvalidArgument("multi-device execution needs a device set");
   }
@@ -23,16 +25,32 @@ Result<std::unique_ptr<MultiDeviceEngine>> MultiDeviceEngine::Create(
     return Status::InvalidArgument("multi-device execution needs >= 1 part");
   }
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (!device_of_part.empty()) {
+    if (device_of_part.size() != parts.size()) {
+      return Status::InvalidArgument(
+          "device placement must name one device per part");
+    }
+    for (const uint32_t d : device_of_part) {
+      if (d >= devices->size()) {
+        return Status::InvalidArgument("device placement names device " +
+                                       std::to_string(d) + " of a " +
+                                       std::to_string(devices->size()) +
+                                       "-device set");
+      }
+    }
+  }
   GENIE_RETURN_NOT_OK(ValidateDisjointParts(parts));
 
   std::unique_ptr<MultiDeviceEngine> engine(
       new MultiDeviceEngine(devices, options));
-  // Round-robin assignment; engine construction transfers each part's List
-  // Array to its device, where it stays resident. A failure (typically
-  // ResourceExhausted on an overcommitted device) unwinds the already-built
-  // engines, releasing their device memory.
+  // Planner-supplied placement, or round-robin; engine construction
+  // transfers each part's List Array to its device, where it stays
+  // resident. A failure (typically ResourceExhausted on an overcommitted
+  // device) unwinds the already-built engines, releasing their device
+  // memory.
   for (size_t p = 0; p < parts.size(); ++p) {
-    const size_t d = p % devices->size();
+    const size_t d = device_of_part.empty() ? p % devices->size()
+                                            : device_of_part[p];
     MatchEngineOptions part_options = options;
     part_options.device = devices->device(d);
     GENIE_ASSIGN_OR_RETURN(

@@ -38,15 +38,19 @@ struct MultiDeviceProfile {
 class MultiDeviceEngine {
  public:
   /// The parts must have disjoint global id ranges (validated, shared with
-  /// MultiLoadEngine). Part p is assigned to device p % devices->size() and
+  /// MultiLoadEngine). Part p is assigned to device device_of_part[p] — or
+  /// round-robin p % devices->size() when `device_of_part` is empty — and
   /// its index is transferred there immediately; every part must fit on its
   /// device *simultaneously* with the other parts assigned to that device,
   /// or Create fails with ResourceExhausted (the caller's signal to fall
-  /// back to sequential multiple loading). `devices` and the part indexes
-  /// must outlive the engine.
+  /// back to sequential multiple loading). A non-empty `device_of_part`
+  /// must name one in-range device per part (the query planner emits
+  /// volume-balanced placements). `devices` and the part indexes must
+  /// outlive the engine.
   static Result<std::unique_ptr<MultiDeviceEngine>> Create(
       std::vector<IndexPart> parts, sim::DeviceSet* devices,
-      const MatchEngineOptions& options);
+      const MatchEngineOptions& options,
+      std::span<const uint32_t> device_of_part = {});
 
   /// Runs the batch on every device in parallel and merges the per-part
   /// top-k sets on the host. Not internally serialized: concurrent calls

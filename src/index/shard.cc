@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "index/index_builder.h"
+#include "plan/index_stats.h"
 
 namespace genie {
 
@@ -42,6 +43,71 @@ Result<ShardedIndex> ShardByObjectRange(
     sharded.offsets.push_back(static_cast<ObjectId>(p) * per);
   }
   return sharded;
+}
+
+Result<ShardedIndex> ShardByBoundaries(
+    const InvertedIndex& index, std::span<const ObjectId> boundaries,
+    const IndexBuildOptions& build_options) {
+  if (boundaries.size() < 2) {
+    return Status::InvalidArgument("need at least 2 shard boundaries");
+  }
+  if (boundaries.front() != 0 || boundaries.back() != index.num_objects()) {
+    return Status::InvalidArgument(
+        "shard boundaries must cover [0, num_objects)");
+  }
+  const uint32_t num_parts = static_cast<uint32_t>(boundaries.size() - 1);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    if (boundaries[p] >= boundaries[p + 1]) {
+      return Status::InvalidArgument(
+          "shard boundaries must be strictly ascending");
+    }
+  }
+
+  std::vector<InvertedIndexBuilder> builders;
+  builders.reserve(num_parts);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    builders.emplace_back(index.vocab_size());
+  }
+  for (Keyword kw = 0; kw < index.vocab_size(); ++kw) {
+    auto [first, count] = index.KeywordLists(kw);
+    for (uint32_t l = 0; l < count; ++l) {
+      const auto ref = index.List(first + l);
+      for (uint32_t pos = ref.begin; pos < ref.end; ++pos) {
+        const ObjectId oid = index.postings()[pos];
+        // First boundary strictly greater than oid bounds oid's shard.
+        const uint32_t p = static_cast<uint32_t>(
+            std::upper_bound(boundaries.begin() + 1, boundaries.end(), oid) -
+            (boundaries.begin() + 1));
+        builders[p].Add(oid - boundaries[p], kw);
+      }
+    }
+  }
+
+  ShardedIndex sharded;
+  sharded.shards.reserve(num_parts);
+  sharded.offsets.reserve(num_parts);
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    GENIE_ASSIGN_OR_RETURN(InvertedIndex shard,
+                           std::move(builders[p]).Build(build_options));
+    sharded.shards.push_back(std::move(shard));
+    sharded.offsets.push_back(boundaries[p]);
+  }
+  return sharded;
+}
+
+Result<ShardedIndex> ShardByPostingsVolume(
+    const InvertedIndex& index, uint32_t num_parts,
+    const IndexBuildOptions& build_options) {
+  if (num_parts == 0) {
+    return Status::InvalidArgument("num_parts must be >= 1");
+  }
+  // Exact per-object volumes (bucket width 1), so the cut points are as
+  // balanced as contiguous ranges allow.
+  const plan::IndexStats stats =
+      plan::ComputeIndexStats(index, 0, std::max(1u, index.num_objects()));
+  const std::vector<ObjectId> boundaries =
+      plan::BalancedBoundaries(stats, num_parts);
+  return ShardByBoundaries(index, boundaries, build_options);
 }
 
 }  // namespace genie

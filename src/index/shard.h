@@ -8,6 +8,7 @@
 /// IndexPart contract of MultiLoadEngine.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -28,6 +29,24 @@ struct ShardedIndex {
 /// (postings are re-added verbatim; pass `build_options` to re-split long
 /// lists per shard). `num_parts` is clamped to the number of objects.
 Result<ShardedIndex> ShardByObjectRange(
+    const InvertedIndex& index, uint32_t num_parts,
+    const IndexBuildOptions& build_options = {});
+
+/// Splits `index` at explicit object-id boundaries: shard p covers global
+/// ids [boundaries[p], boundaries[p+1]). `boundaries` must be strictly
+/// ascending, start at 0 and end at num_objects (so every object belongs to
+/// exactly one non-empty shard) — the query planner emits such boundary
+/// vectors balanced by postings volume.
+Result<ShardedIndex> ShardByBoundaries(
+    const InvertedIndex& index, std::span<const ObjectId> boundaries,
+    const IndexBuildOptions& build_options = {});
+
+/// Splits `index` into at most `num_parts` contiguous object ranges of
+/// near-equal postings volume (the skew-proof counterpart of
+/// ShardByObjectRange: a range holding the hot objects comes out narrower
+/// instead of overloading its part). `num_parts` is clamped to the number
+/// of objects.
+Result<ShardedIndex> ShardByPostingsVolume(
     const InvertedIndex& index, uint32_t num_parts,
     const IndexBuildOptions& build_options = {});
 

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file cost_model.h
+/// The "how fast is this machine" half of the query planner: per-stage cost
+/// rates (seconds per posting scanned, per query selected, per byte moved)
+/// seeded with priors and calibrated online from the measured MatchProfile
+/// deltas the backend already collects. ResourceExhausted escalations feed
+/// back as a shrinking residency margin, so a machine whose memory estimates
+/// proved optimistic plans more conservatively from then on — the
+/// try-and-escalate path becomes training data instead of the decision
+/// maker.
+
+#include <cstdint>
+#include <string>
+
+#include "core/match_engine.h"
+
+namespace genie {
+namespace plan {
+
+/// Calibrated seconds-per-unit-of-work rates. Exposed as a plain struct so
+/// tests and ExplainPlan can read the model state.
+struct StageCostRates {
+  double match_s_per_posting = 0;
+  double select_s_per_query = 0;
+  double transfer_s_per_byte = 0;
+  double prepare_s_per_query = 0;
+  double merge_s_per_query_part = 0;
+};
+
+/// Not internally synchronized: EngineBackend owns one and serializes all
+/// observation/estimation under its own mutex.
+class CostModel {
+ public:
+  CostModel();
+
+  /// Folds one executed batch's measured stage costs into the rates
+  /// (exponentially weighted, so drifting load conditions re-calibrate).
+  /// `postings_scanned` is the match work volume behind `delta.match_s`.
+  void ObserveExecution(const MatchProfile& delta, uint64_t postings_scanned,
+                        uint32_t num_queries);
+
+  /// Folds one host-merge observation (multi-part tiers).
+  void ObserveMerge(double merge_s, uint32_t num_queries, uint32_t parts);
+
+  /// A memory-estimate miss (ResourceExhausted where the plan said "fits"):
+  /// shrinks the residency margin multiplicatively, so the next plan
+  /// assumes proportionally less usable memory.
+  void RecordEscalation();
+
+  /// Fraction of device memory the planner may assume usable (1.0 until
+  /// the first escalation, floored so the model never plans with zero).
+  double residency_margin() const { return residency_margin_; }
+  uint32_t escalations() const { return escalations_; }
+  /// Executed batches folded in so far (0 = rates are still the priors).
+  uint64_t observations() const { return observations_; }
+
+  const StageCostRates& rates() const { return rates_; }
+
+  /// Predicted execute-stage seconds of a batch: match over
+  /// `postings_scanned` plus selection of `num_queries` queries.
+  double EstimateExecuteSeconds(uint64_t postings_scanned,
+                                uint32_t num_queries) const;
+  /// Predicted prepare-stage seconds (the pipeline's overlappable half).
+  double EstimatePrepareSeconds(uint32_t num_queries) const;
+
+  std::string DebugString() const;
+
+ private:
+  StageCostRates rates_;
+  double residency_margin_ = 1.0;
+  uint32_t escalations_ = 0;
+  uint64_t observations_ = 0;
+};
+
+}  // namespace plan
+}  // namespace genie

@@ -1,0 +1,189 @@
+#include "plan/index_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace genie {
+namespace plan {
+
+namespace {
+
+/// Stats blob layout version (bumping it invalidates persisted stats, which
+/// Open then recomputes — never a correctness problem).
+constexpr uint8_t kStatsBlobVersion = 1;
+
+}  // namespace
+
+uint64_t IndexStats::PrefixVolume(ObjectId end) const {
+  if (bucket_width == 0 || bucket_postings.empty() || end == 0) return 0;
+  if (end >= num_objects) return total_postings;
+  const uint32_t full = end / bucket_width;
+  uint64_t volume = 0;
+  for (uint32_t b = 0; b < full && b < bucket_postings.size(); ++b) {
+    volume += bucket_postings[b];
+  }
+  const uint32_t rem = end % bucket_width;
+  if (rem != 0 && full < bucket_postings.size()) {
+    // Ids inside a bucket are indistinguishable at this granularity;
+    // apportion its volume linearly.
+    const uint32_t bucket_begin = full * bucket_width;
+    const uint32_t bucket_ids =
+        std::min(bucket_width, num_objects - bucket_begin);
+    volume += bucket_postings[full] * rem / std::max(1u, bucket_ids);
+  }
+  return volume;
+}
+
+double IndexStats::VolumeSkew() const {
+  if (bucket_postings.empty() || total_postings == 0) return 1.0;
+  const uint64_t max_bucket =
+      *std::max_element(bucket_postings.begin(), bucket_postings.end());
+  const double mean = static_cast<double>(total_postings) /
+                      static_cast<double>(bucket_postings.size());
+  return mean > 0 ? static_cast<double>(max_bucket) / mean : 1.0;
+}
+
+bool IndexStats::MatchesIndex(const InvertedIndex& index) const {
+  return num_objects == index.num_objects() &&
+         vocab_size == index.vocab_size() &&
+         num_lists == index.num_lists() &&
+         max_list_length == index.max_list_length() &&
+         total_postings == index.postings().size();
+}
+
+std::string IndexStats::DebugString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "objects=%u vocab=%u lists=%u postings=%llu fanout=%.2f "
+                "buckets=%zu(width %u) skew=%.2f payload=%lluB/obj",
+                num_objects, vocab_size, num_lists,
+                static_cast<unsigned long long>(total_postings),
+                keyword_fanout, bucket_postings.size(), bucket_width,
+                VolumeSkew(),
+                static_cast<unsigned long long>(
+                    rerank_payload_bytes_per_object));
+  return buffer;
+}
+
+IndexStats ComputeIndexStats(const InvertedIndex& index,
+                             uint64_t rerank_payload_bytes_per_object,
+                             uint32_t max_buckets) {
+  IndexStats stats;
+  stats.num_objects = index.num_objects();
+  stats.vocab_size = index.vocab_size();
+  stats.num_lists = index.num_lists();
+  stats.max_list_length = index.max_list_length();
+  stats.total_postings = index.postings().size();
+  stats.rerank_payload_bytes_per_object = rerank_payload_bytes_per_object;
+
+  max_buckets = std::max(1u, max_buckets);
+  stats.bucket_width =
+      std::max(1u, (index.num_objects() + max_buckets - 1) / max_buckets);
+  const uint32_t buckets =
+      index.num_objects() == 0
+          ? 0
+          : (index.num_objects() + stats.bucket_width - 1) /
+                stats.bucket_width;
+  stats.bucket_postings.assign(buckets, 0);
+  for (const ObjectId oid : index.postings()) {
+    const uint32_t b = oid / stats.bucket_width;
+    if (b < buckets) ++stats.bucket_postings[b];
+  }
+
+  uint64_t sublists = 0;
+  for (Keyword kw = 0; kw < index.vocab_size(); ++kw) {
+    const auto [first, count] = index.KeywordLists(kw);
+    (void)first;
+    if (count == 0) continue;
+    ++stats.nonempty_keywords;
+    sublists += count;
+  }
+  stats.keyword_fanout =
+      stats.nonempty_keywords > 0
+          ? static_cast<double>(sublists) / stats.nonempty_keywords
+          : 0;
+  return stats;
+}
+
+std::vector<ObjectId> BalancedBoundaries(const IndexStats& stats,
+                                         uint32_t parts) {
+  const uint32_t n = stats.num_objects;
+  parts = std::max(1u, std::min(parts, std::max(1u, n)));
+  std::vector<ObjectId> boundaries;
+  boundaries.reserve(parts + 1);
+  boundaries.push_back(0);
+  if (n == 0) {
+    boundaries.push_back(0);
+    return boundaries;
+  }
+  // Walk the histogram once, cutting where the prefix volume crosses each
+  // p/parts share of the total. Cuts land on bucket edges (id-exact when
+  // bucket_width == 1); empty ranges are forced non-empty so every part
+  // holds at least one object — the ShardedIndex contract.
+  uint64_t prefix = 0;
+  uint32_t bucket = 0;
+  const uint64_t total = std::max<uint64_t>(1, stats.total_postings);
+  for (uint32_t p = 1; p < parts; ++p) {
+    const uint64_t target = total * p / parts;
+    while (bucket < stats.bucket_postings.size() &&
+           prefix + stats.bucket_postings[bucket] <= target) {
+      prefix += stats.bucket_postings[bucket];
+      ++bucket;
+    }
+    ObjectId cut = std::min<uint64_t>(
+        static_cast<uint64_t>(bucket) * stats.bucket_width, n);
+    // Keep boundaries strictly increasing and leave room for the remaining
+    // parts (each at least one id wide).
+    cut = std::max<ObjectId>(cut, boundaries.back() + 1);
+    cut = std::min<ObjectId>(cut, n - (parts - p));
+    boundaries.push_back(cut);
+  }
+  boundaries.push_back(n);
+  return boundaries;
+}
+
+void SerializeIndexStats(const IndexStats& stats, serialize::Writer* writer) {
+  writer->U8(kStatsBlobVersion);
+  writer->U32(stats.num_objects);
+  writer->U32(stats.vocab_size);
+  writer->U32(stats.num_lists);
+  writer->U32(stats.max_list_length);
+  writer->U64(stats.total_postings);
+  writer->U32(stats.nonempty_keywords);
+  writer->F64(stats.keyword_fanout);
+  writer->U32(stats.bucket_width);
+  writer->Vec(stats.bucket_postings);
+  writer->U64(stats.rerank_payload_bytes_per_object);
+}
+
+Status DeserializeIndexStats(serialize::Reader* reader, IndexStats* stats) {
+  uint8_t version = 0;
+  GENIE_RETURN_NOT_OK(reader->U8(&version));
+  if (version != kStatsBlobVersion) {
+    return Status::InvalidArgument("unsupported index-stats blob version");
+  }
+  GENIE_RETURN_NOT_OK(reader->U32(&stats->num_objects));
+  GENIE_RETURN_NOT_OK(reader->U32(&stats->vocab_size));
+  GENIE_RETURN_NOT_OK(reader->U32(&stats->num_lists));
+  GENIE_RETURN_NOT_OK(reader->U32(&stats->max_list_length));
+  GENIE_RETURN_NOT_OK(reader->U64(&stats->total_postings));
+  GENIE_RETURN_NOT_OK(reader->U32(&stats->nonempty_keywords));
+  GENIE_RETURN_NOT_OK(reader->F64(&stats->keyword_fanout));
+  GENIE_RETURN_NOT_OK(reader->U32(&stats->bucket_width));
+  GENIE_RETURN_NOT_OK(reader->Vec(&stats->bucket_postings));
+  GENIE_RETURN_NOT_OK(reader->U64(&stats->rerank_payload_bytes_per_object));
+  if (stats->bucket_width == 0) {
+    return Status::InvalidArgument("index-stats bucket width must be >= 1");
+  }
+  uint64_t histogram_total = 0;
+  for (const uint64_t v : stats->bucket_postings) histogram_total += v;
+  if (histogram_total != stats->total_postings) {
+    return Status::InvalidArgument(
+        "index-stats histogram does not sum to the postings total");
+  }
+  return Status::OK();
+}
+
+}  // namespace plan
+}  // namespace genie

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file index_stats.h
+/// The "what does the data look like" half of the query planner: a one-pass
+/// summary of an inverted index — postings-volume histogram over the object
+/// id space, Position-Map fan-out, rerank payload weight — computed at
+/// build/open time and persisted in bundles so reopening an engine skips
+/// the recompute. Everything the planner decides (tier, volume-balanced
+/// part boundaries, device placement, chunk size) derives from this plus
+/// the calibrated CostModel; the index itself is never consulted at plan
+/// time.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serialize.h"
+#include "index/inverted_index.h"
+#include "index/types.h"
+
+namespace genie {
+namespace plan {
+
+/// Summary statistics of one InvertedIndex. Cheap to copy relative to the
+/// index (at most ~kDefaultStatsBuckets histogram buckets), exact when the
+/// object count is small enough for one bucket per object.
+struct IndexStats {
+  // --- Shape (also the fingerprint that ties stats to their index). --------
+  uint32_t num_objects = 0;
+  uint32_t vocab_size = 0;
+  uint32_t num_lists = 0;
+  uint32_t max_list_length = 0;
+  uint64_t total_postings = 0;
+
+  // --- Position-Map fan-out. ----------------------------------------------
+  /// Keywords with at least one posting.
+  uint32_t nonempty_keywords = 0;
+  /// Mean (sub)lists per nonempty keyword: 1.0 with no load-balance
+  /// splitting, > 1 after Fig. 4 long-list splits.
+  double keyword_fanout = 0;
+
+  // --- Postings-volume histogram over the object id space. -----------------
+  /// Object ids per histogram bucket (>= 1; 1 means the histogram is exact).
+  uint32_t bucket_width = 1;
+  /// bucket_postings[b] = postings whose object id falls in
+  /// [b * bucket_width, (b + 1) * bucket_width). Sums to total_postings.
+  std::vector<uint64_t> bucket_postings;
+
+  // --- Rerank payload weight. ----------------------------------------------
+  /// Mean host-side payload bytes the rerank/verify stage reads per
+  /// candidate (0 for modalities without a rerank stage, e.g. compiled).
+  uint64_t rerank_payload_bytes_per_object = 0;
+
+  bool operator==(const IndexStats&) const = default;
+
+  /// Postings volume of object ids [0, end), at bucket granularity: ids of
+  /// a partially covered bucket contribute proportionally.
+  uint64_t PrefixVolume(ObjectId end) const;
+
+  /// Max bucket volume over the mean (1.0 = perfectly uniform). The
+  /// skew the volume-balanced sharding flattens.
+  double VolumeSkew() const;
+
+  /// True when these stats describe `index` (shape fingerprint match) —
+  /// the guard that keeps stale persisted stats from steering the planner
+  /// after a mutation/compaction changed the index.
+  bool MatchesIndex(const InvertedIndex& index) const;
+
+  std::string DebugString() const;
+};
+
+inline constexpr uint32_t kDefaultStatsBuckets = 1024;
+
+/// One pass over the index (postings + Position Map).
+/// `rerank_payload_bytes_per_object` is supplied by the caller — the index
+/// does not know its modality's payload.
+IndexStats ComputeIndexStats(const InvertedIndex& index,
+                             uint64_t rerank_payload_bytes_per_object = 0,
+                             uint32_t max_buckets = kDefaultStatsBuckets);
+
+/// Splits [0, num_objects) into `parts` contiguous ranges of near-equal
+/// postings volume (bucket-granular; exact when bucket_width == 1).
+/// Returns parts + 1 ascending boundaries with boundaries[0] == 0 and
+/// boundaries.back() == num_objects; every part is non-empty. `parts` is
+/// clamped to [1, num_objects].
+std::vector<ObjectId> BalancedBoundaries(const IndexStats& stats,
+                                         uint32_t parts);
+
+/// Bundle persistence of the stats blob (see docs/FORMATS.md).
+void SerializeIndexStats(const IndexStats& stats, serialize::Writer* writer);
+Status DeserializeIndexStats(serialize::Reader* reader, IndexStats* stats);
+
+}  // namespace plan
+}  // namespace genie

@@ -204,5 +204,35 @@ TEST(BundleGoldenTest, V2DocumentsMutatedStillOpens) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(BundleGoldenTest, V3DocumentsWithStatsStillOpens) {
+  // The v3 fixture freezes the stats-bearing container: an unconditional
+  // (here empty) mutation section followed by the persisted IndexStats
+  // blob. The reopened engine must answer identically AND plan from the
+  // persisted stats instead of re-scanning the index.
+  std::vector<std::vector<uint32_t>> corpus(70);
+  for (uint32_t d = 0; d < corpus.size(); ++d) {
+    for (uint32_t t = 0; t < 7; ++t) {
+      corpus[d].push_back((d * 11 + t * 19) % 100);
+    }
+  }
+  std::vector<std::vector<uint32_t>> queries{corpus[3], corpus[35],
+                                             corpus[69]};
+  auto make_config = [&] {
+    return EngineConfig().Documents(&corpus).K(5).Device(
+        test::SharedTestDevice(2));
+  };
+
+  CheckGolden(
+      "bundle_v3_documents_stats.gnb", /*compressed=*/true, make_config,
+      [&] { return SearchRequest::Documents(queries); });
+
+  auto golden = Engine::Open(GoldenPath("bundle_v3_documents_stats.gnb"),
+                             make_config());
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  EXPECT_NE((*golden)->ExplainPlan().find("stats: persisted"),
+            std::string::npos)
+      << (*golden)->ExplainPlan();
+}
+
 }  // namespace
 }  // namespace genie

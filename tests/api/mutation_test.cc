@@ -669,7 +669,7 @@ TEST(MutationTest, FlushHotSwapUnderConcurrentStreams) {
 // GNIEBNDL v2: mutated-engine persistence and crash recovery.
 // ---------------------------------------------------------------------------
 
-TEST(MutationTest, MutatedCompiledEngineRoundTripsAsV2) {
+TEST(MutationTest, MutatedCompiledEngineRoundTripsAsV3) {
   auto workload = test::MakeRandomWorkload(300, 50, 6, 8, 5, 218);
   auto engine = Engine::Create(EngineConfig()
                                    .Index(&workload.index)
@@ -690,7 +690,7 @@ TEST(MutationTest, MutatedCompiledEngineRoundTripsAsV2) {
 
   const std::string path = TempPath("genie_mutation_v2_compiled.gnb");
   ASSERT_TRUE((*engine)->Save(path).ok());
-  EXPECT_EQ(BundleVersion(path), 2u);
+  EXPECT_EQ(BundleVersion(path), 3u);
 
   auto reopened = Engine::Open(path, EngineConfig().K(5).Device(
                                          test::SharedTestDevice(2)));
@@ -711,7 +711,7 @@ TEST(MutationTest, MutatedCompiledEngineRoundTripsAsV2) {
   std::remove(path.c_str());
 }
 
-TEST(MutationTest, MutatedPointsEngineRoundTripsAsV2) {
+TEST(MutationTest, MutatedPointsEngineRoundTripsAsV3) {
   data::ClusteredPointsOptions data_options;
   data_options.num_points = 200;
   data_options.dim = 6;
@@ -743,7 +743,7 @@ TEST(MutationTest, MutatedPointsEngineRoundTripsAsV2) {
 
   const std::string path = TempPath("genie_mutation_v2_points.gnb");
   ASSERT_TRUE((*engine)->Save(path).ok());
-  EXPECT_EQ(BundleVersion(path), 2u);
+  EXPECT_EQ(BundleVersion(path), 3u);
 
   auto reopened = Engine::Open(path, make_config());
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
@@ -764,7 +764,7 @@ TEST(MutationTest, MutatedPointsEngineRoundTripsAsV2) {
   std::remove(path.c_str());
 }
 
-TEST(MutationTest, MutatedSequencesEngineRoundTripsAsV2) {
+TEST(MutationTest, MutatedSequencesEngineRoundTripsAsV3) {
   data::SequenceDatasetOptions data_options;
   data_options.num_sequences = 150;
   data_options.min_length = 20;
@@ -793,7 +793,7 @@ TEST(MutationTest, MutatedSequencesEngineRoundTripsAsV2) {
 
   const std::string path = TempPath("genie_mutation_v2_sequences.gnb");
   ASSERT_TRUE((*engine)->Save(path).ok());
-  EXPECT_EQ(BundleVersion(path), 2u);
+  EXPECT_EQ(BundleVersion(path), 3u);
 
   auto reopened = Engine::Open(path, make_config());
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
@@ -808,16 +808,27 @@ TEST(MutationTest, MutatedSequencesEngineRoundTripsAsV2) {
   std::remove(path.c_str());
 }
 
-TEST(MutationTest, FrozenEnginesKeepWritingV1) {
+TEST(MutationTest, FrozenEnginesSaveAsV3WithEmptyMutationSection) {
   auto workload = test::MakeRandomWorkload(100, 20, 4, 2, 3, 224);
   auto engine = Engine::Create(EngineConfig()
                                    .Index(&workload.index)
                                    .K(3)
                                    .Device(test::SharedTestDevice(2)));
   ASSERT_TRUE(engine.ok());
-  const std::string path = TempPath("genie_mutation_frozen_v1.gnb");
+  const std::string path = TempPath("genie_mutation_frozen_v3.gnb");
   ASSERT_TRUE((*engine)->Save(path).ok());
-  EXPECT_EQ(BundleVersion(path), 1u);
+  EXPECT_EQ(BundleVersion(path), 3u);
+
+  // The empty mutation section must reopen as a frozen engine whose
+  // answers match, not as a live engine with a broken delta state.
+  auto reference = (*engine)->Search(SearchRequest::Compiled(workload.queries));
+  ASSERT_TRUE(reference.ok());
+  auto reopened = Engine::Open(path, EngineConfig().K(3).Device(
+                                         test::SharedTestDevice(2)));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto result = (*reopened)->Search(SearchRequest::Compiled(workload.queries));
+  ASSERT_TRUE(result.ok());
+  ExpectSameAnswers(*result, *reference, "frozen v3 reopen");
   std::remove(path.c_str());
 }
 

@@ -57,5 +57,96 @@ TEST(ShardTest, ClampsPartsToObjectCount) {
   EXPECT_FALSE(ShardByObjectRange(workload.index, 0).ok());
 }
 
+TEST(ShardTest, BoundariesShardCoversExactRanges) {
+  auto workload = test::MakeRandomWorkload(400, 30, 5, 4, 4, 54);
+  const std::vector<ObjectId> boundaries{0, 50, 300, 400};
+  auto sharded = ShardByBoundaries(workload.index, boundaries);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_EQ(sharded->shards.size(), 3u);
+  for (size_t p = 0; p < sharded->shards.size(); ++p) {
+    EXPECT_EQ(sharded->offsets[p], boundaries[p]);
+    EXPECT_EQ(sharded->shards[p].num_objects(),
+              boundaries[p + 1] - boundaries[p]);
+  }
+
+  // Merged brute-force counts equal the unsharded counts.
+  for (const Query& query : workload.queries) {
+    const auto full_counts = test::BruteForceCounts(workload.index, query);
+    std::vector<uint32_t> merged(workload.index.num_objects(), 0);
+    for (size_t p = 0; p < sharded->shards.size(); ++p) {
+      const auto part_counts =
+          test::BruteForceCounts(sharded->shards[p], query);
+      for (size_t local = 0; local < part_counts.size(); ++local) {
+        merged[sharded->offsets[p] + local] += part_counts[local];
+      }
+    }
+    EXPECT_EQ(merged, full_counts);
+  }
+}
+
+TEST(ShardTest, BoundariesShardRejectsMalformedCuts) {
+  auto workload = test::MakeRandomWorkload(100, 20, 4, 1, 1, 55);
+  const std::vector<std::vector<ObjectId>> bad{
+      {},               // no ranges at all
+      {0},              // single edge
+      {5, 100},         // does not start at 0
+      {0, 50},          // does not end at num_objects
+      {0, 50, 50, 100}, // empty middle part
+      {0, 60, 40, 100}, // not ascending
+  };
+  for (const auto& boundaries : bad) {
+    EXPECT_FALSE(ShardByBoundaries(workload.index, boundaries).ok());
+  }
+}
+
+TEST(ShardTest, PostingsVolumeShardBalancesSkewAndPreservesAnswers) {
+  // First tenth of the id space heavy: uniform ranges overload part 0,
+  // volume-balanced ranges equalize postings while answers stay equal.
+  constexpr uint32_t kObjects = 2000;
+  constexpr uint32_t kVocab = 300;
+  InvertedIndexBuilder builder(kVocab);
+  Rng rng(56);
+  for (uint32_t id = 0; id < kObjects; ++id) {
+    const uint32_t len = id < kObjects / 10 ? 40 : 4;
+    std::set<Keyword> keywords;
+    while (keywords.size() < len) {
+      keywords.insert(static_cast<Keyword>(rng.UniformU64(kVocab)));
+    }
+    for (Keyword kw : keywords) builder.Add(id, kw);
+  }
+  auto index = std::move(builder).Build().ValueOrDie();
+
+  auto sharded = ShardByPostingsVolume(index, 4);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_EQ(sharded->shards.size(), 4u);
+
+  size_t max_postings = 0, min_postings = SIZE_MAX;
+  size_t total = 0;
+  for (const InvertedIndex& shard : sharded->shards) {
+    max_postings = std::max(max_postings, shard.postings().size());
+    min_postings = std::min(min_postings, shard.postings().size());
+    total += shard.postings().size();
+  }
+  EXPECT_EQ(total, index.postings().size());
+  EXPECT_LE(static_cast<double>(max_postings) /
+                static_cast<double>(min_postings),
+            1.25);
+
+  // Answer-equality against the unsharded index.
+  Query query;
+  for (uint32_t i = 0; i < 4; ++i) {
+    query.AddItem(static_cast<Keyword>(rng.UniformU64(kVocab)));
+  }
+  const auto full_counts = test::BruteForceCounts(index, query);
+  std::vector<uint32_t> merged(index.num_objects(), 0);
+  for (size_t p = 0; p < sharded->shards.size(); ++p) {
+    const auto part_counts = test::BruteForceCounts(sharded->shards[p], query);
+    for (size_t local = 0; local < part_counts.size(); ++local) {
+      merged[sharded->offsets[p] + local] += part_counts[local];
+    }
+  }
+  EXPECT_EQ(merged, full_counts);
+}
+
 }  // namespace
 }  // namespace genie

@@ -1,0 +1,173 @@
+#include "plan/index_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "index/index_builder.h"
+#include "test_util.h"
+
+namespace genie {
+namespace plan {
+namespace {
+
+/// Postings volume (in postings, not bytes) of global ids [begin, end),
+/// counted the slow way straight off the index.
+uint64_t RangeVolume(const InvertedIndex& index, ObjectId begin,
+                     ObjectId end) {
+  uint64_t volume = 0;
+  for (ObjectId id : index.postings()) {
+    if (id >= begin && id < end) ++volume;
+  }
+  return volume;
+}
+
+/// An index whose first tenth of the id space holds most of the postings
+/// (48 keywords per heavy object vs 4 per light one).
+InvertedIndex MakeSkewedIndex(uint32_t num_objects, uint32_t vocab) {
+  InvertedIndexBuilder builder(vocab);
+  const uint32_t heavy_end = num_objects / 10;
+  Rng rng(4242);
+  for (uint32_t id = 0; id < num_objects; ++id) {
+    const uint32_t len = id < heavy_end ? 48 : 4;
+    std::set<Keyword> keywords;
+    while (keywords.size() < len) {
+      keywords.insert(static_cast<Keyword>(rng.UniformU64(vocab)));
+    }
+    for (Keyword kw : keywords) builder.Add(id, kw);
+  }
+  return std::move(builder).Build().ValueOrDie();
+}
+
+TEST(IndexStatsTest, ComputeMatchesIndexShape) {
+  auto workload = test::MakeRandomWorkload(700, 60, 5, 1, 1, 71);
+  const IndexStats stats = ComputeIndexStats(workload.index);
+
+  EXPECT_EQ(stats.num_objects, workload.index.num_objects());
+  EXPECT_EQ(stats.vocab_size, workload.index.vocab_size());
+  EXPECT_EQ(stats.total_postings, workload.index.postings().size());
+  EXPECT_TRUE(stats.MatchesIndex(workload.index));
+
+  uint64_t histogram_total = 0;
+  for (uint64_t b : stats.bucket_postings) histogram_total += b;
+  EXPECT_EQ(histogram_total, stats.total_postings);
+  EXPECT_EQ(stats.PrefixVolume(stats.num_objects), stats.total_postings);
+  EXPECT_EQ(stats.PrefixVolume(0), 0u);
+}
+
+TEST(IndexStatsTest, ExactHistogramWhenObjectsFitBuckets) {
+  auto workload = test::MakeRandomWorkload(200, 40, 4, 1, 1, 72);
+  const IndexStats stats = ComputeIndexStats(workload.index);
+  ASSERT_EQ(stats.bucket_width, 1u);
+  for (uint32_t id = 0; id < stats.num_objects; ++id) {
+    EXPECT_EQ(stats.bucket_postings[id],
+              RangeVolume(workload.index, id, id + 1))
+        << "object " << id;
+  }
+}
+
+TEST(IndexStatsTest, SerializeRoundTripsExactly) {
+  const InvertedIndex index = MakeSkewedIndex(3000, 500);
+  const IndexStats stats = ComputeIndexStats(index, /*rerank=*/24);
+
+  serialize::Writer writer;
+  SerializeIndexStats(stats, &writer);
+  serialize::Reader reader(writer.data());
+  IndexStats restored;
+  ASSERT_TRUE(DeserializeIndexStats(&reader, &restored).ok());
+  EXPECT_EQ(restored, stats);
+  EXPECT_TRUE(restored.MatchesIndex(index));
+}
+
+TEST(IndexStatsTest, DeserializeRejectsTruncation) {
+  const IndexStats stats = ComputeIndexStats(MakeSkewedIndex(500, 100));
+  serialize::Writer writer;
+  SerializeIndexStats(stats, &writer);
+  for (size_t cut : {size_t{0}, size_t{4}, writer.data().size() - 3}) {
+    serialize::Reader reader(std::string_view(writer.data()).substr(0, cut));
+    IndexStats restored;
+    EXPECT_FALSE(DeserializeIndexStats(&reader, &restored).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(IndexStatsTest, MatchesIndexRejectsDifferentIndex) {
+  auto a = test::MakeRandomWorkload(300, 40, 4, 1, 1, 73);
+  auto b = test::MakeRandomWorkload(301, 40, 4, 1, 1, 74);
+  const IndexStats stats = ComputeIndexStats(a.index);
+  EXPECT_TRUE(stats.MatchesIndex(a.index));
+  EXPECT_FALSE(stats.MatchesIndex(b.index));
+}
+
+TEST(IndexStatsTest, VolumeSkewSeesTheHotDecile) {
+  const IndexStats uniform =
+      ComputeIndexStats(test::MakeRandomWorkload(2000, 300, 6, 1, 1, 75).index);
+  const IndexStats skewed = ComputeIndexStats(MakeSkewedIndex(2000, 300));
+  EXPECT_LT(uniform.VolumeSkew(), skewed.VolumeSkew());
+  EXPECT_GE(skewed.VolumeSkew(), 3.0);
+}
+
+TEST(IndexStatsTest, BalancedBoundariesEqualizeSkewedVolume) {
+  const InvertedIndex index = MakeSkewedIndex(20000, 2000);
+  const IndexStats stats = ComputeIndexStats(index);
+
+  for (uint32_t parts : {2u, 4u, 8u}) {
+    const std::vector<ObjectId> boundaries = BalancedBoundaries(stats, parts);
+    ASSERT_EQ(boundaries.size(), parts + 1);
+    EXPECT_EQ(boundaries.front(), 0u);
+    EXPECT_EQ(boundaries.back(), index.num_objects());
+    for (size_t p = 0; p + 1 < boundaries.size(); ++p) {
+      ASSERT_LT(boundaries[p], boundaries[p + 1]);
+    }
+
+    // Uniform object-range splitting piles the heavy decile onto the first
+    // part (> 3x the lightest); the volume-balanced cut stays within 25%.
+    uint64_t balanced_max = 0, balanced_min = UINT64_MAX;
+    for (uint32_t p = 0; p < parts; ++p) {
+      const uint64_t v =
+          RangeVolume(index, boundaries[p], boundaries[p + 1]);
+      balanced_max = std::max(balanced_max, v);
+      balanced_min = std::min(balanced_min, v);
+    }
+    const uint32_t width = index.num_objects() / parts;
+    uint64_t uniform_max = 0, uniform_min = UINT64_MAX;
+    for (uint32_t p = 0; p < parts; ++p) {
+      const ObjectId begin = p * width;
+      const ObjectId end =
+          p + 1 == parts ? index.num_objects() : (p + 1) * width;
+      const uint64_t v = RangeVolume(index, begin, end);
+      uniform_max = std::max(uniform_max, v);
+      uniform_min = std::min(uniform_min, v);
+    }
+    EXPECT_GT(static_cast<double>(uniform_max) /
+                  static_cast<double>(uniform_min),
+              3.0)
+        << parts << " parts";
+    EXPECT_LE(static_cast<double>(balanced_max) /
+                  static_cast<double>(balanced_min),
+              1.25)
+        << parts << " parts";
+  }
+}
+
+TEST(IndexStatsTest, BalancedBoundariesClampDegenerateParts) {
+  const IndexStats stats =
+      ComputeIndexStats(test::MakeRandomWorkload(5, 10, 3, 1, 1, 76).index);
+  const std::vector<ObjectId> one = BalancedBoundaries(stats, 1);
+  ASSERT_EQ(one.size(), 2u);
+  EXPECT_EQ(one[0], 0u);
+  EXPECT_EQ(one[1], 5u);
+  // More parts than objects: clamped, every part still non-empty.
+  const std::vector<ObjectId> many = BalancedBoundaries(stats, 50);
+  ASSERT_LE(many.size(), 6u);
+  for (size_t p = 0; p + 1 < many.size(); ++p) {
+    ASSERT_LT(many[p], many[p + 1]);
+  }
+}
+
+}  // namespace
+}  // namespace plan
+}  // namespace genie
