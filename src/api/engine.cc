@@ -9,6 +9,7 @@
 #include "api/searcher.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "serve/request_scheduler.h"
 
 namespace genie {
 
@@ -352,6 +353,11 @@ EngineConfig& EngineConfig::UsePlanner(bool use) {
   use_planner_ = use;
   return *this;
 }
+EngineConfig& EngineConfig::Serving(ServingOptions options) {
+  serving_enabled_ = true;
+  serving_ = std::move(options);
+  return *this;
+}
 
 // ---------------------------------------------------------------------------
 // Engine
@@ -367,7 +373,12 @@ struct Engine::AsyncTracker {
 
 Engine::Engine(EngineConfig config, std::unique_ptr<Searcher> searcher)
     : config_(std::move(config)), searcher_(std::move(searcher)),
-      async_(std::make_shared<AsyncTracker>()) {}
+      async_(std::make_shared<AsyncTracker>()) {
+  if (config_.serving_enabled()) {
+    scheduler_ = std::make_unique<serve::RequestScheduler>(searcher_.get(),
+                                                           config_.serving());
+  }
+}
 
 Engine::~Engine() {
   // A queued or running SearchAsync task dereferences this engine; freeing
@@ -452,7 +463,13 @@ Status Engine::ValidateRequest(const SearchRequest& request) const {
 
 Result<SearchResult> Engine::Search(const SearchRequest& request) {
   GENIE_RETURN_NOT_OK(ValidateRequest(request));
-  Result<SearchResult> result = searcher_->Search(request);
+  // Serving path: admit into the scheduler, which coalesces this call with
+  // concurrent submissions (or answers it from the hot-query cache) and
+  // blocks until the answer is demuxed back. Same answers, same Status
+  // contract; only the schedule and the profile's serving fields differ.
+  Result<SearchResult> result = scheduler_ != nullptr
+                                    ? scheduler_->Submit(request)
+                                    : searcher_->Search(request);
   if (result.ok()) {
     // Keep the cumulative overlap total monotonic across call types: a
     // blocking Search contributes no overlap but still reports the
@@ -499,6 +516,10 @@ MutationStats Engine::mutation_stats() const {
 }
 
 std::string Engine::ExplainPlan() const { return searcher_->ExplainPlan(); }
+
+ServingStats Engine::serving_stats() const {
+  return scheduler_ != nullptr ? scheduler_->stats() : ServingStats{};
+}
 
 double Engine::AddOverlapSeconds(double delta) {
   std::lock_guard<std::mutex> lock(overlap_mu_);
@@ -549,6 +570,49 @@ Result<SearchResult> Engine::SearchStream(const SearchRequest& request,
     }
     return Status::OK();
   };
+
+  if (scheduler_ != nullptr) {
+    // Serving path: chunks are admitted to the scheduler with a window of
+    // two outstanding submissions — chunk k+1 queues (and may coalesce with
+    // chunk k or with other callers' submissions) while chunk k's answer is
+    // awaited. Delivery order and error semantics match the legacy paths.
+    struct Outstanding {
+      size_t first_query = 0;
+      /// Owns the points slice the submitted request borrows; the scheduler
+      /// borrows the payload until the future resolves.
+      std::unique_ptr<data::PointMatrix> scratch;
+      std::future<Result<SearchResult>> future;
+    };
+    auto submit = [&](size_t index) -> Outstanding {
+      Outstanding slot;
+      slot.first_query = index * chunk_size;
+      const size_t count = std::min(chunk_size, total - slot.first_query);
+      slot.scratch = std::make_unique<data::PointMatrix>();
+      const SearchRequest chunk_request =
+          SliceRequest(request, slot.first_query, count, slot.scratch.get());
+      slot.future = scheduler_->SubmitAsync(chunk_request);
+      return slot;
+    };
+    Outstanding current = submit(0);
+    for (size_t index = 0; index < num_chunks; ++index) {
+      Outstanding next;
+      if (index + 1 < num_chunks) next = submit(index + 1);
+      Result<SearchResult> chunk = current.future.get();
+      // Any early return must first drain the look-ahead submission — its
+      // payload borrows `next.scratch` / the caller's request until the
+      // future resolves.
+      Status status =
+          chunk.ok() ? deliver(index, current.first_query, std::move(chunk))
+                     : chunk.status();
+      if (!status.ok()) {
+        if (next.future.valid()) next.future.wait();
+        return status;
+      }
+      current = std::move(next);
+    }
+    aggregate.cumulative.overlap_seconds = AddOverlapSeconds(0);
+    return aggregate;
+  }
 
   if (!options.pipeline || num_chunks <= 1) {
     // Sequential path: prepare and execute each chunk back-to-back.

@@ -26,6 +26,9 @@
 namespace genie {
 
 class Searcher;
+namespace serve {
+class RequestScheduler;
+}  // namespace serve
 
 /// Knobs of Engine::Save.
 struct BundleSaveOptions {
@@ -119,6 +122,18 @@ class EngineConfig {
   /// are identical either way — only the schedule differs.
   EngineConfig& UsePlanner(bool use);
 
+  // --- Serving knobs. ------------------------------------------------------
+  /// Route Search / SearchStream / SearchAsync through the serving layer:
+  /// concurrent submissions are coalesced into device-sized super-batches
+  /// (continuous batching under options.max_queue_delay_s), answers of hot
+  /// queries come from a generation-checked result cache, and tenants
+  /// (SearchRequest::Tenant) share the device under weighted deficit
+  /// round-robin with ResourceExhausted backpressure. Off (the default)
+  /// keeps the legacy per-call path bit-for-bit; on, the answers are still
+  /// identical — only latency, throughput and the SearchProfile serving
+  /// fields change.
+  EngineConfig& Serving(ServingOptions options);
+
   // --- Getters. ------------------------------------------------------------
   bool has_modality() const { return has_modality_; }
   Modality modality() const { return modality_; }
@@ -166,6 +181,9 @@ class EngineConfig {
   uint32_t num_devices() const { return num_devices_; }
   bool use_planner() const { return use_planner_; }
 
+  bool serving_enabled() const { return serving_enabled_; }
+  const ServingOptions& serving() const { return serving_; }
+
  private:
   EngineConfig& Bind(Modality modality);
 
@@ -208,6 +226,9 @@ class EngineConfig {
   uint32_t force_parts_ = 0;
   uint32_t num_devices_ = 1;
   bool use_planner_ = true;
+
+  bool serving_enabled_ = false;
+  ServingOptions serving_;
 };
 
 /// The facade. One Engine serves one indexed dataset; Search() accepts
@@ -312,6 +333,12 @@ class Engine {
   /// state. Purely informational — the schedule, not the answers.
   std::string ExplainPlan() const;
 
+  /// Serving-layer counters since engine creation: admissions, backpressure
+  /// rejections, cache hits / misses, dedup joins, super-batches and their
+  /// coalesced request / query totals, queue-wait aggregates. All zero when
+  /// EngineConfig::Serving was not set.
+  ServingStats serving_stats() const;
+
   Modality modality() const;
   /// Objects the engine serves ids for: the indexed dataset plus every
   /// insert (removed ids stay counted — ids are never reused).
@@ -342,6 +369,10 @@ class Engine {
   /// Thread-safe (each implementation serializes its backend execution
   /// internally; see searcher.h).
   std::unique_ptr<Searcher> searcher_;
+  /// Serving layer (EngineConfig::Serving); nullptr when serving is off.
+  /// Declared after searcher_ so it is destroyed first — its dispatcher
+  /// thread may be mid-Search on the searcher.
+  std::unique_ptr<serve::RequestScheduler> scheduler_;
   /// Counts in-flight SearchAsync tasks; shared with the tasks themselves
   /// so the destructor can wait for them without lifetime games.
   std::shared_ptr<AsyncTracker> async_;

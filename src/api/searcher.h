@@ -115,6 +115,13 @@ class Searcher {
   /// the fixed 1024 default.
   virtual uint32_t PlannedChunkSize() const { return 0; }
 
+  /// Monotone counter of answer-changing index mutations (Insert / Remove /
+  /// the compaction hot-swap), from EngineBackend::data_generation. The
+  /// serving layer's ResultCache keys entries on it so a cached answer is
+  /// never served across a mutation. Internal tier switches do not bump it
+  /// — they change the schedule, not the answers.
+  virtual uint64_t DataGeneration() const { return 0; }
+
   /// Stops mutations and compaction commits while the returned guard
   /// lives (nullptr when the engine was never mutated — nothing to
   /// pause). Engine::Save holds this across the (meta, mutation, index)

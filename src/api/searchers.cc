@@ -428,6 +428,10 @@ class PointsSearcherImpl : public Searcher {
     return plan.planned ? plan.chunk_size : 0;
   }
 
+  uint64_t DataGeneration() const override {
+    return searcher_->backend().data_generation();
+  }
+
   Status SerializeMutationState(serialize::Writer* writer) const override {
     if (!host_.mutated()) return Status::OK();
     GENIE_RETURN_NOT_OK(host_.SerializeDeltaState(writer));
@@ -602,6 +606,10 @@ class SetsSearcherImpl : public Searcher {
     return plan.planned ? plan.chunk_size : 0;
   }
 
+  uint64_t DataGeneration() const override {
+    return searcher_->backend().data_generation();
+  }
+
   Status SerializeMutationState(serialize::Writer* writer) const override {
     if (!host_.mutated()) return Status::OK();
     GENIE_RETURN_NOT_OK(host_.SerializeDeltaState(writer));
@@ -759,6 +767,10 @@ class SequencesSearcherImpl : public Searcher {
     return plan.planned ? plan.chunk_size : 0;
   }
 
+  uint64_t DataGeneration() const override {
+    return searcher_->backend().data_generation();
+  }
+
   Status SerializeMutationState(serialize::Writer* writer) const override {
     if (!host_.mutated()) return Status::OK();
     GENIE_RETURN_NOT_OK(host_.SerializeDeltaState(writer));
@@ -885,6 +897,10 @@ class DocumentsSearcherImpl : public Searcher {
   uint32_t PlannedChunkSize() const override {
     const plan::ExecutionPlan plan = searcher_->backend().execution_plan();
     return plan.planned ? plan.chunk_size : 0;
+  }
+
+  uint64_t DataGeneration() const override {
+    return searcher_->backend().data_generation();
   }
 
   Status SerializeMutationState(serialize::Writer* writer) const override {
@@ -1029,6 +1045,10 @@ class RelationalSearcherImpl : public Searcher {
     return plan.planned ? plan.chunk_size : 0;
   }
 
+  uint64_t DataGeneration() const override {
+    return searcher_->backend().data_generation();
+  }
+
   Status SerializeMutationState(serialize::Writer* writer) const override {
     if (!host_.mutated()) return Status::OK();
     return host_.SerializeDeltaState(writer);
@@ -1167,6 +1187,10 @@ class CompiledSearcherImpl : public Searcher {
   uint32_t PlannedChunkSize() const override {
     const plan::ExecutionPlan plan = backend_->execution_plan();
     return plan.planned ? plan.chunk_size : 0;
+  }
+
+  uint64_t DataGeneration() const override {
+    return backend_->data_generation();
   }
 
   Status SerializeMutationState(serialize::Writer* writer) const override {

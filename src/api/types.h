@@ -47,12 +47,22 @@ enum class SelectorKind {
 struct SearchRequest {
   Modality modality = Modality::kPoints;
 
+  /// Caller identity for the serving layer's per-tenant fairness and
+  /// backpressure (EngineConfig::Serving). Ignored — results are identical
+  /// for every value — when serving is off.
+  uint64_t tenant = 0;
+
   const data::PointMatrix* points = nullptr;
   std::span<const std::vector<uint32_t>> sets;
   std::span<const std::string> sequences;
   std::span<const std::vector<uint32_t>> documents;
   std::span<const sa::RangeQuery> ranges;
   std::span<const Query> compiled;
+
+  SearchRequest& Tenant(uint64_t id) {
+    tenant = id;
+    return *this;
+  }
 
   static SearchRequest Points(const data::PointMatrix& queries);
   static SearchRequest Sets(std::span<const std::vector<uint32_t>> queries);
@@ -193,6 +203,17 @@ struct SearchProfile {
   /// Stream chunk size / pipeline depth the plan recommends.
   uint32_t planned_chunk_size = 1;
   uint32_t planned_pipeline_depth = 1;
+  /// Serving layer (EngineConfig::Serving): seconds this request waited in
+  /// its tenant queue before its super-batch executed. 0 on the legacy path
+  /// and on cache hits.
+  double queue_seconds = 0;
+  /// Requests coalesced into the super-batch that answered this one (1 =
+  /// the request executed alone; 0 = the serving layer was off or the
+  /// answer came from the cache).
+  uint32_t coalesced_batch = 0;
+  /// Queries of this request answered from the hot-query ResultCache
+  /// without touching the backend.
+  uint64_t cache_hits = 0;
 
   double total_query_s() const {
     return query_transfer_s + match_s + select_s + merge_s + verify_s;
@@ -220,6 +241,9 @@ struct SearchProfile {
     plan_tier = other.plan_tier;
     planned_chunk_size = other.planned_chunk_size;
     planned_pipeline_depth = other.planned_pipeline_depth;
+    queue_seconds += other.queue_seconds;
+    coalesced_batch = std::max(coalesced_batch, other.coalesced_batch);
+    cache_hits += other.cache_hits;
     if (per_device.size() < other.per_device.size()) {
       per_device.resize(other.per_device.size());
     }
@@ -281,5 +305,56 @@ struct SearchChunk {
 /// Returning a non-OK status cancels the remaining chunks and surfaces that
 /// status from SearchStream / the SearchAsync future.
 using SearchChunkCallback = std::function<Status(const SearchChunk&)>;
+
+/// Knobs of the serving layer (EngineConfig::Serving): continuous batching
+/// of small concurrent submissions into device-sized super-batches, a
+/// hot-query result cache with in-flight dedup, and weighted-DRR per-tenant
+/// fairness with queue-bound backpressure. Results are identical to the
+/// legacy path for every knob setting; only latency, throughput, and the
+/// new SearchProfile serving fields differ.
+struct ServingOptions {
+  /// Target queries per coalesced super-batch. 0 = the live ExecutionPlan's
+  /// chunk size when the planner produced one, else 1024 (the resolution
+  /// order of BatchAssembler::ResolveTargetBatch).
+  uint32_t target_batch = 0;
+  /// Latency-deadline knob of continuous batching: a pending request is
+  /// dispatched no later than this many seconds after it was admitted, even
+  /// if the super-batch has not filled.
+  double max_queue_delay_s = 0.001;
+  /// Backpressure: pending requests one tenant may queue before further
+  /// submissions fail with ResourceExhausted. 0 = unbounded.
+  uint32_t max_pending_per_tenant = 1024;
+  /// Hot-query result-cache capacity in entries (one entry = one submitted
+  /// request's answers). 0 disables caching.
+  uint32_t cache_capacity = 1024;
+  /// Seconds a cached answer stays servable. Generation invalidation (any
+  /// Insert / Remove / compaction hot-swap) applies regardless of TTL;
+  /// <= 0 means entries never expire by age.
+  double cache_ttl_s = 60.0;
+  /// Collapse identical concurrent submissions: followers attach to the
+  /// queued leader and share its answer, so N identical pending queries run
+  /// the backend once.
+  bool dedup_inflight = true;
+  /// Weighted deficit round-robin: queries one unit-weight tenant may
+  /// dequeue per scheduling round.
+  uint32_t fairness_quantum = 64;
+  /// Per-tenant DRR weights; unlisted tenants weigh 1.0.
+  std::vector<std::pair<uint64_t, double>> tenant_weights;
+};
+
+/// Counters of the serving layer since engine creation
+/// (Engine::ServingStats; all zero when serving is off).
+struct ServingStats {
+  uint64_t submitted = 0;         // requests admitted (incl. cache/dedup hits)
+  uint64_t rejected = 0;          // backpressure ResourceExhausted rejections
+  uint64_t cache_hits = 0;        // requests answered wholly from the cache
+  uint64_t cache_misses = 0;      // requests that had to execute
+  uint64_t dedup_followers = 0;   // requests attached to an identical leader
+  uint64_t batches = 0;           // super-batches executed
+  uint64_t coalesced_requests = 0;  // requests answered via super-batches
+  uint64_t executed_queries = 0;  // queries the backend actually ran
+  double total_queue_seconds = 0;   // summed per-request queue wait
+  double max_queue_seconds = 0;     // worst per-request queue wait
+};
 
 }  // namespace genie

@@ -2,22 +2,16 @@
 
 #include <algorithm>
 
+#include "core/batch_assembler.h"
+
 namespace genie {
 
 uint32_t DeriveLargeBatchSize(uint64_t capacity_bytes,
                               uint64_t allocated_bytes,
                               uint64_t per_query_bytes,
                               double memory_fraction) {
-  // Oversubscribed device: capacity - allocated would underflow (both are
-  // unsigned), deriving an absurd batch size. Treat it as no free memory
-  // and degrade to one query per batch.
-  const uint64_t free_bytes =
-      capacity_bytes > allocated_bytes ? capacity_bytes - allocated_bytes : 0;
-  const uint64_t budget = static_cast<uint64_t>(
-      static_cast<double>(free_bytes) * std::clamp(memory_fraction, 0.0, 1.0));
-  return static_cast<uint32_t>(
-      std::clamp<uint64_t>(budget / std::max<uint64_t>(per_query_bytes, 1), 1,
-                           1u << 20));
+  return BatchAssembler::DeriveFromMemory(capacity_bytes, allocated_bytes,
+                                          per_query_bytes, memory_fraction);
 }
 
 Result<std::vector<QueryResult>> ExecuteLargeBatch(
@@ -27,17 +21,10 @@ Result<std::vector<QueryResult>> ExecuteLargeBatch(
   if (queries.empty()) return Status::InvalidArgument("empty query batch");
   uint32_t batch_size = options.batch_size;
   if (batch_size == 0) {
-    // Size batches from the remaining device memory.
-    const uint32_t max_count =
-        backend->options().max_count > 0
-            ? backend->options().max_count
-            : MatchEngine::DeriveMaxCount(queries);
-    const uint64_t per_query = MatchEngine::DeviceBytesPerQuery(
-        backend->index().num_objects(), backend->options(), max_count);
-    const EngineBackend::BatchBudget budget = backend->batch_budget();
+    // Batch-formation policy lives in BatchAssembler: the live plan's chunk
+    // size when the planner produced one, the memory derivation otherwise.
     batch_size =
-        DeriveLargeBatchSize(budget.capacity_bytes, budget.allocated_bytes,
-                             per_query, options.memory_fraction);
+        BatchAssembler::BatchSizeFor(*backend, queries, options.memory_fraction);
   }
   std::vector<QueryResult> results;
   results.reserve(queries.size());

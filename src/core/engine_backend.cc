@@ -342,6 +342,9 @@ Status EngineBackend::SwapIndex(std::shared_ptr<const InvertedIndex> index,
   }
   if (old_owned != nullptr) retired_indexes_.push_back(std::move(old_owned));
   if (on_committed) on_committed();
+  // The swapped-in index may answer differently (compaction folded delta
+  // segments in); invalidate every serving-layer cached result.
+  BumpDataGeneration();
   return Status::OK();
 }
 

@@ -10,6 +10,7 @@
 /// multiple-loading dance; every domain searcher and the genie::Engine
 /// facade route through this class.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -236,6 +237,20 @@ class EngineBackend {
   void AttachDeltaStore(const delta::DeltaStore* store);
   const delta::DeltaStore* delta_store() const;
 
+  /// Monotonic data-visibility generation: bumped by every change that can
+  /// alter answers — delta inserts/removes (the MutationController bumps on
+  /// each) and the compaction hot-swap commit (SwapIndex bumps itself). The
+  /// serving layer's ResultCache keys entries on this value, so any bump
+  /// invalidates every cached answer. Distinct from the internal staging
+  /// generation, which tracks tier rebuilds (a tier switch does not change
+  /// answers and must not evict the cache).
+  uint64_t data_generation() const {
+    return data_generation_.load(std::memory_order_acquire);
+  }
+  void BumpDataGeneration() {
+    data_generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   /// Hot-swaps the executed index for `index` (compaction commit): the
   /// live tier is rebuilt over the new index under the backend mutex and
   /// the generation is bumped, so staged chunks prepared against the old
@@ -350,6 +365,10 @@ class EngineBackend {
   /// Bumped on every tier switch / part escalation; staged chunks carry the
   /// generation they were prepared under and are discarded on mismatch.
   uint64_t generation_ = 0;
+
+  /// See data_generation(). Atomic so the serving layer reads it without
+  /// taking mu_ (it is checked on every cache lookup).
+  std::atomic<uint64_t> data_generation_{0};
 
   /// Engines and the sharded index they read are shared so a concurrent
   /// Prepare's snapshot keeps a retiring generation alive for the duration

@@ -49,6 +49,9 @@ ObjectId MutationController::Insert(
                       delta_.num_sealed() >= options_.auto_compact_segments;
     if (request_compact) compact_requested_ = true;
   }
+  // The new object is visible to every subsequent search (delta overlay),
+  // so cached serving-layer answers are stale from this point on.
+  backend_->BumpDataGeneration();
   if (request_compact) work_cv_.notify_all();
   return id;
 }
@@ -62,6 +65,8 @@ Status MutationController::Remove(ObjectId id) {
     return Status::InvalidArgument("cannot remove: id is already removed");
   }
   ++stats_.removes;
+  // Tombstoned ids disappear from all subsequent results immediately.
+  backend_->BumpDataGeneration();
   return Status::OK();
 }
 

@@ -1,0 +1,98 @@
+#include "serve/fairness.h"
+
+#include <algorithm>
+
+namespace genie {
+namespace serve {
+
+FairnessPolicy::FairnessPolicy(const FairnessOptions& options)
+    : options_(options) {}
+
+double FairnessPolicy::WeightOf(uint64_t tenant) const {
+  for (const auto& [id, weight] : options_.weights) {
+    if (id == tenant) return std::max(weight, 1e-6);
+  }
+  return 1.0;
+}
+
+Status FairnessPolicy::Admit(uint64_t tenant, uint64_t handle,
+                             uint32_t queries) {
+  TenantQueue& q = queues_[tenant];
+  if (options_.max_pending_per_tenant > 0 &&
+      q.items.size() >= options_.max_pending_per_tenant) {
+    return Status::ResourceExhausted(
+        "tenant queue full: " + std::to_string(q.items.size()) +
+        " pending submissions (max_pending_per_tenant)");
+  }
+  // Invariant: a tenant is in the DRR rotation iff its queue is non-empty.
+  if (q.items.empty()) active_.push_back(tenant);
+  q.items.push_back(Item{handle, std::max<uint32_t>(queries, 1)});
+  ++total_pending_;
+  return Status::OK();
+}
+
+bool FairnessPolicy::Remove(uint64_t tenant, uint64_t handle) {
+  auto qit = queues_.find(tenant);
+  if (qit == queues_.end()) return false;
+  TenantQueue& q = qit->second;
+  auto it = std::find_if(q.items.begin(), q.items.end(),
+                         [&](const Item& i) { return i.handle == handle; });
+  if (it == q.items.end()) return false;
+  q.items.erase(it);
+  --total_pending_;
+  if (q.items.empty()) {
+    q.deficit = 0;
+    auto ait = std::find(active_.begin(), active_.end(), tenant);
+    if (ait != active_.end()) active_.erase(ait);
+  }
+  return true;
+}
+
+std::vector<uint64_t> FairnessPolicy::NextBatch(uint32_t budget) {
+  std::vector<uint64_t> batch;
+  if (budget == 0) budget = 1;
+  uint32_t taken = 0;
+  while (!active_.empty() && taken < budget) {
+    const size_t tenants_this_round = active_.size();
+    bool progressed = false;
+    for (size_t i = 0; i < tenants_this_round && taken < budget; ++i) {
+      const uint64_t tenant = active_.front();
+      active_.pop_front();
+      TenantQueue& q = queues_[tenant];
+      q.deficit += options_.quantum * WeightOf(tenant);
+      while (!q.items.empty() && taken < budget) {
+        const Item& head = q.items.front();
+        // Keep super-batches near the budget: a submission that would push
+        // past it waits for the next batch — unless it would be the only
+        // member, in which case it must run alone or nothing ever runs.
+        if (taken > 0 && taken + head.queries > budget) break;
+        // Progress guarantee: a head larger than any accrued deficit is
+        // still taken when the batch is otherwise empty; its cost is
+        // charged (deficit may go negative), so the tenant repays the
+        // overdraft across later rounds.
+        if (head.queries > q.deficit && !batch.empty()) break;
+        q.deficit -= head.queries;
+        batch.push_back(head.handle);
+        taken += head.queries;
+        q.items.pop_front();
+        --total_pending_;
+        progressed = true;
+      }
+      if (q.items.empty()) {
+        q.deficit = 0;  // an emptied queue forfeits leftover credit
+      } else {
+        active_.push_back(tenant);
+      }
+    }
+    if (!progressed) break;  // every head oversize: wait for the next call
+  }
+  return batch;
+}
+
+size_t FairnessPolicy::pending(uint64_t tenant) const {
+  auto it = queues_.find(tenant);
+  return it == queues_.end() ? 0 : it->second.items.size();
+}
+
+}  // namespace serve
+}  // namespace genie

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file fairness.h
+/// Per-tenant admission and scheduling policy of the serving layer:
+/// weighted deficit round-robin (DRR) over tenant queues, with a per-tenant
+/// pending bound enforced as ResourceExhausted backpressure at admission.
+/// A flooding tenant therefore costs itself latency (its own queue grows
+/// until it is rejected) while light tenants keep draining every round.
+///
+/// Not internally synchronized — the RequestScheduler serializes all calls
+/// under its own lock.
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace genie {
+namespace serve {
+
+struct FairnessOptions {
+  /// Queries a unit-weight tenant may dequeue per DRR round.
+  uint32_t quantum = 64;
+  /// Pending submissions per tenant before Admit rejects. 0 = unbounded.
+  uint32_t max_pending_per_tenant = 0;
+  /// Tenant weights; unlisted tenants weigh 1.0. Weights scale the quantum,
+  /// so a weight-2 tenant drains twice the queries per round.
+  std::vector<std::pair<uint64_t, double>> weights;
+};
+
+class FairnessPolicy {
+ public:
+  explicit FairnessPolicy(const FairnessOptions& options);
+
+  /// Queues submission `handle` (an opaque id of the scheduler) carrying
+  /// `queries` queries for `tenant`. Fails with ResourceExhausted when the
+  /// tenant's queue is at its bound.
+  Status Admit(uint64_t tenant, uint64_t handle, uint32_t queries);
+
+  /// Removes a queued submission (dedup leaders cancelled by the scheduler,
+  /// shutdown drains). Returns true when found.
+  bool Remove(uint64_t tenant, uint64_t handle);
+
+  /// Dequeues the next super-batch: whole submissions, FIFO within a
+  /// tenant, tenants served deficit-round-robin, stopping near `budget`
+  /// queries. Progress is guaranteed — when the first eligible submission
+  /// alone exceeds the budget or its tenant's deficit, it is taken anyway
+  /// (a super-batch is never smaller than one submission, never empty while
+  /// work is pending).
+  std::vector<uint64_t> NextBatch(uint32_t budget);
+
+  size_t pending(uint64_t tenant) const;
+  size_t total_pending() const { return total_pending_; }
+
+ private:
+  struct Item {
+    uint64_t handle = 0;
+    uint32_t queries = 0;
+  };
+  struct TenantQueue {
+    std::deque<Item> items;
+    double deficit = 0;
+  };
+
+  double WeightOf(uint64_t tenant) const;
+
+  const FairnessOptions options_;
+  std::unordered_map<uint64_t, TenantQueue> queues_;
+  /// DRR rotation order of tenants with pending work.
+  std::deque<uint64_t> active_;
+  size_t total_pending_ = 0;
+};
+
+}  // namespace serve
+}  // namespace genie

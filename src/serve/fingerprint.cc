@@ -1,0 +1,71 @@
+#include "serve/fingerprint.h"
+
+#include "lsh/murmur3.h"
+
+namespace genie {
+namespace serve {
+namespace {
+
+constexpr uint64_t kSeed = 0x9e113ull;  // arbitrary fixed chain seed
+
+uint64_t MixBytes(uint64_t h, const void* data, size_t len) {
+  // Length first: a payload boundary must never be ambiguous when two
+  // adjacent variable-length fields are chained.
+  h = lsh::Murmur3_64(static_cast<uint64_t>(len), h);
+  return lsh::Murmur3_64(data, len, h);
+}
+
+template <typename T>
+uint64_t MixVector(uint64_t h, const std::vector<T>& values) {
+  return MixBytes(h, values.data(), values.size() * sizeof(T));
+}
+
+}  // namespace
+
+uint64_t FingerprintRequest(const SearchRequest& request) {
+  uint64_t h = lsh::Murmur3_64(static_cast<uint64_t>(request.modality), kSeed);
+  switch (request.modality) {
+    case Modality::kPoints: {
+      if (request.points == nullptr) return h;
+      h = lsh::Murmur3_64(request.points->dim(), h);
+      const std::span<const float> values = request.points->values();
+      h = MixBytes(h, values.data(), values.size_bytes());
+      return h;
+    }
+    case Modality::kSets:
+      for (const std::vector<uint32_t>& set : request.sets)
+        h = MixVector(h, set);
+      return h;
+    case Modality::kSequences:
+      for (const std::string& seq : request.sequences)
+        h = MixBytes(h, seq.data(), seq.size());
+      return h;
+    case Modality::kDocuments:
+      for (const std::vector<uint32_t>& doc : request.documents)
+        h = MixVector(h, doc);
+      return h;
+    case Modality::kRelational:
+      for (const sa::RangeQuery& range : request.ranges) {
+        h = lsh::Murmur3_64(static_cast<uint64_t>(range.items.size()), h);
+        for (const sa::RangeQuery::Item& item : range.items) {
+          h = lsh::Murmur3_64(item.column, h);
+          h = lsh::Murmur3_64(item.lo, h);
+          h = lsh::Murmur3_64(item.hi, h);
+        }
+      }
+      return h;
+    case Modality::kCompiled:
+      for (const Query& query : request.compiled) {
+        h = lsh::Murmur3_64(query.num_items(), h);
+        for (uint32_t i = 0; i < query.num_items(); ++i) {
+          const std::span<const Keyword> item = query.item(i);
+          h = MixBytes(h, item.data(), item.size_bytes());
+        }
+      }
+      return h;
+  }
+  return h;
+}
+
+}  // namespace serve
+}  // namespace genie

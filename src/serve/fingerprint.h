@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file fingerprint.h
+/// Content fingerprint of a SearchRequest, keying the serving layer's
+/// hot-query ResultCache and its in-flight dedup. Two requests with the
+/// same modality and byte-identical query payloads fingerprint equal; the
+/// tenant id is deliberately excluded so identical queries from different
+/// tenants share cache entries and leaders.
+
+#include <cstdint>
+
+#include "api/types.h"
+
+namespace genie {
+namespace serve {
+
+/// 64-bit Murmur3 chain over the request's modality and query payload.
+/// Collisions are possible in principle (64-bit digest) but never produce
+/// wrong answers silently in practice: payloads of different lengths mix
+/// their lengths into the chain, and the digest space dwarfs any realistic
+/// cache population.
+uint64_t FingerprintRequest(const SearchRequest& request);
+
+}  // namespace serve
+}  // namespace genie

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file request_scheduler.h
+/// The serving layer's continuous-batching scheduler. Individual Search
+/// submissions are admitted into per-tenant queues (FairnessPolicy), and a
+/// dedicated dispatcher thread coalesces compatible pending submissions
+/// into device-sized super-batches — dispatching when the plan-informed
+/// target batch fills or the oldest admission hits the max_queue_delay
+/// deadline, whichever comes first — executes them through the engine's
+/// Searcher, and demuxes per-submission results back to their futures.
+///
+/// Two short-circuits run at admission, before a submission ever queues:
+///   - hot-query ResultCache hit (generation- and TTL-checked): the cached
+///     answers are returned immediately, profile.cache_hits set;
+///   - in-flight dedup: a submission identical to a still-QUEUED leader
+///     attaches as a follower and shares the leader's answer. Only queued
+///     leaders are joined — a batch already executing may straddle a
+///     mutation, so late identical arrivals become fresh leaders.
+///
+/// Results are bit-identical to the legacy per-request path: coalescing
+/// concatenates query payloads in admission order and slices the batch
+/// answer back apart; the backend sees one batch whose per-query answers
+/// do not depend on batch composition.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "api/searcher.h"
+#include "api/types.h"
+#include "common/result.h"
+#include "serve/fairness.h"
+#include "serve/result_cache.h"
+
+namespace genie {
+namespace serve {
+
+class RequestScheduler {
+ public:
+  /// `searcher` must outlive the scheduler (Engine guarantees it: the
+  /// scheduler member is declared after — so destroyed before — the
+  /// searcher).
+  RequestScheduler(Searcher* searcher, const ServingOptions& options);
+
+  /// Fails every pending submission, stops the dispatcher, joins.
+  ~RequestScheduler();
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Admits one request and blocks until its answer is ready. The request's
+  /// payload spans are borrowed until return. Fails with ResourceExhausted
+  /// when the tenant's queue is at its bound.
+  Result<SearchResult> Submit(const SearchRequest& request);
+
+  /// Non-blocking admission; the payload spans must stay alive until the
+  /// future resolves. Backpressure rejections resolve the future with
+  /// ResourceExhausted (admission itself never blocks).
+  std::future<Result<SearchResult>> SubmitAsync(const SearchRequest& request);
+
+  ServingStats stats() const;
+  ResultCache::Stats cache_stats() const { return cache_.stats(); }
+
+  using Clock = std::chrono::steady_clock;
+
+  /// One admitted request (public only for the .cc's merge helpers).
+  struct Submission {
+    uint64_t handle = 0;
+    uint64_t fingerprint = 0;
+    /// Shallow copy of the caller's request: payload spans stay borrowed
+    /// from the caller, which Submit / SubmitAsync's contract keeps alive.
+    SearchRequest request;
+    uint32_t num_queries = 0;
+    Clock::time_point enqueued;
+    std::promise<Result<SearchResult>> promise;
+    /// Dedup followers awaiting this leader's answer.
+    std::vector<std::promise<Result<SearchResult>>> followers;
+  };
+
+ private:
+  void DispatcherLoop();
+  /// Executes one super-batch (no scheduler lock held) and fulfills its
+  /// submissions' promises.
+  void ExecuteBatch(std::vector<std::unique_ptr<Submission>> batch);
+  uint32_t TargetBatch() const;
+
+  Searcher* const searcher_;
+  const ServingOptions options_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  FairnessPolicy fairness_;
+  std::unordered_map<uint64_t, std::unique_ptr<Submission>> pending_;
+  /// fingerprint -> handle of the QUEUED leader identical submissions join.
+  std::unordered_map<uint64_t, uint64_t> inflight_;
+  uint64_t next_handle_ = 1;
+  uint32_t pending_queries_ = 0;
+  ServingStats stats_;
+  bool stop_ = false;
+
+  std::thread dispatcher_;  // started last, so everything above is ready
+};
+
+}  // namespace serve
+}  // namespace genie

@@ -1,0 +1,78 @@
+#include "serve/result_cache.h"
+
+#include <chrono>
+
+namespace genie {
+namespace serve {
+
+ResultCache::ResultCache(const ResultCacheOptions& options)
+    : options_(options) {}
+
+double ResultCache::NowSeconds() const {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::optional<std::vector<QueryHits>> ResultCache::Lookup(
+    uint64_t key, uint64_t generation) {
+  if (options_.capacity == 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Entry& entry = *it->second;
+  const bool expired =
+      options_.ttl_s > 0 && NowSeconds() - entry.inserted_s > options_.ttl_s;
+  if (entry.generation != generation || expired) {
+    // Stale: the index mutated since this answer was computed (or the entry
+    // aged out). Drop it so it cannot be served at any later generation.
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to MRU
+  ++stats_.hits;
+  return entry.hits;
+}
+
+void ResultCache::Insert(uint64_t key, uint64_t generation,
+                         const std::vector<QueryHits>& hits) {
+  if (options_.capacity == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh in place (a re-execution after invalidation, or a racing
+    // duplicate execution — latest answer wins).
+    it->second->generation = generation;
+    it->second->inserted_s = NowSeconds();
+    it->second->hits = hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (lru_.size() >= options_.capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, generation, NowSeconds(), hits});
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace serve
+}  // namespace genie

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file result_cache.h
+/// Hot-query result cache of the serving layer. Keys are request content
+/// fingerprints (serve/fingerprint.h); values are the per-query answers of
+/// one request. Entries are invalidated two ways:
+///   - generation: every entry records the engine's data generation at
+///     execution time (EngineBackend::data_generation, bumped by Insert /
+///     Remove / the compaction hot-swap). A lookup under a newer generation
+///     misses, so a query after any mutation can never observe a stale
+///     cached answer.
+///   - TTL: entries older than the configured age miss and are dropped.
+/// Capacity is bounded with LRU eviction. Thread-safe.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "api/types.h"
+
+namespace genie {
+namespace serve {
+
+struct ResultCacheOptions {
+  uint32_t capacity = 1024;  // entries; 0 disables the cache entirely
+  double ttl_s = 60.0;       // <= 0: no age expiry (generation still applies)
+};
+
+class ResultCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;      // LRU capacity evictions
+    uint64_t invalidations = 0;  // generation / TTL drops observed on lookup
+  };
+
+  explicit ResultCache(const ResultCacheOptions& options);
+
+  /// Returns the cached answers when an entry for `key` exists, carries
+  /// `generation`, and is within TTL; nullopt (and drops any stale entry)
+  /// otherwise.
+  std::optional<std::vector<QueryHits>> Lookup(uint64_t key,
+                                               uint64_t generation);
+
+  /// Caches `hits` under `key` at `generation`, evicting the least recently
+  /// used entry when full. No-op when the cache is disabled.
+  void Insert(uint64_t key, uint64_t generation,
+              const std::vector<QueryHits>& hits);
+
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t generation = 0;
+    double inserted_s = 0;  // steady-clock seconds
+    std::vector<QueryHits> hits;
+  };
+
+  double NowSeconds() const;
+
+  const ResultCacheOptions options_;
+  mutable std::mutex mu_;
+  // LRU: most recently used at the front; map values point into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace genie

@@ -1,0 +1,104 @@
+#include "serve/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace genie {
+namespace serve {
+namespace {
+
+TEST(FairnessTest, BoundedQueueRejectsWithResourceExhausted) {
+  FairnessPolicy policy(FairnessOptions{64, 2, {}});
+  EXPECT_TRUE(policy.Admit(1, 100, 1).ok());
+  EXPECT_TRUE(policy.Admit(1, 101, 1).ok());
+  const Status third = policy.Admit(1, 102, 1);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kResourceExhausted);
+  // Another tenant is unaffected by tenant 1's full queue.
+  EXPECT_TRUE(policy.Admit(2, 103, 1).ok());
+  EXPECT_EQ(policy.pending(1), 2u);
+  EXPECT_EQ(policy.pending(2), 1u);
+}
+
+TEST(FairnessTest, FloodingTenantCannotStarveLightTenant) {
+  FairnessPolicy policy(FairnessOptions{4, 0, {}});
+  // Tenant 1 floods 100 single-query submissions (handles 0..99); tenant 2
+  // queues two (handles 1000, 1001).
+  for (uint64_t h = 0; h < 100; ++h) {
+    ASSERT_TRUE(policy.Admit(1, h, 1).ok());
+  }
+  ASSERT_TRUE(policy.Admit(2, 1000, 1).ok());
+  ASSERT_TRUE(policy.Admit(2, 1001, 1).ok());
+  // The very first 8-query super-batch must already contain tenant 2's
+  // work — round-robin interleaves the tenants instead of draining the
+  // flood first.
+  const std::vector<uint64_t> batch = policy.NextBatch(8);
+  EXPECT_TRUE(std::find(batch.begin(), batch.end(), 1000u) != batch.end())
+      << "light tenant starved out of the first batch";
+}
+
+TEST(FairnessTest, WeightsScaleTenantShare) {
+  FairnessPolicy policy(FairnessOptions{2, 0, {{1, 3.0}, {2, 1.0}}});
+  for (uint64_t h = 0; h < 40; ++h) {
+    ASSERT_TRUE(policy.Admit(1, h, 1).ok());
+    ASSERT_TRUE(policy.Admit(2, 1000 + h, 1).ok());
+  }
+  // One DRR round at budget 8: tenant 1 (weight 3, deficit 6) sends ~3x
+  // what tenant 2 (deficit 2) sends.
+  const std::vector<uint64_t> batch = policy.NextBatch(8);
+  const size_t heavy = std::count_if(batch.begin(), batch.end(),
+                                     [](uint64_t h) { return h < 1000; });
+  const size_t light = batch.size() - heavy;
+  EXPECT_GT(heavy, light);
+  EXPECT_GE(light, 1u) << "weight 1 tenant must still progress";
+}
+
+TEST(FairnessTest, OversizeHeadStillDispatches) {
+  FairnessPolicy policy(FairnessOptions{4, 0, {}});
+  // A single 1000-query submission dwarfs both the quantum and the budget;
+  // it must still be dispatched (alone) rather than deadlock.
+  ASSERT_TRUE(policy.Admit(1, 7, 1000).ok());
+  const std::vector<uint64_t> batch = policy.NextBatch(16);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 7u);
+  EXPECT_EQ(policy.total_pending(), 0u);
+}
+
+TEST(FairnessTest, BatchStopsNearBudget) {
+  FairnessPolicy policy(FairnessOptions{64, 0, {}});
+  for (uint64_t h = 0; h < 10; ++h) {
+    ASSERT_TRUE(policy.Admit(1, h, 4).ok());
+  }
+  // Budget 10 holds two 4-query submissions; the third would overshoot and
+  // waits for the next batch.
+  const std::vector<uint64_t> batch = policy.NextBatch(10);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(policy.total_pending(), 8u);
+}
+
+TEST(FairnessTest, RemoveDropsQueuedSubmission) {
+  FairnessPolicy policy(FairnessOptions{64, 0, {}});
+  ASSERT_TRUE(policy.Admit(1, 5, 1).ok());
+  ASSERT_TRUE(policy.Admit(1, 6, 1).ok());
+  EXPECT_TRUE(policy.Remove(1, 5));
+  EXPECT_FALSE(policy.Remove(1, 5));  // already gone
+  EXPECT_FALSE(policy.Remove(9, 5));  // unknown tenant
+  const std::vector<uint64_t> batch = policy.NextBatch(16);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], 6u);
+}
+
+TEST(FairnessTest, FifoWithinTenant) {
+  FairnessPolicy policy(FairnessOptions{64, 0, {}});
+  for (uint64_t h = 0; h < 5; ++h) {
+    ASSERT_TRUE(policy.Admit(1, h, 1).ok());
+  }
+  const std::vector<uint64_t> batch = policy.NextBatch(64);
+  ASSERT_EQ(batch.size(), 5u);
+  for (uint64_t h = 0; h < 5; ++h) EXPECT_EQ(batch[h], h);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace genie

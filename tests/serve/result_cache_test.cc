@@ -1,0 +1,106 @@
+#include "serve/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "serve/fingerprint.h"
+
+namespace genie {
+namespace serve {
+namespace {
+
+std::vector<QueryHits> MakeHits(uint32_t seed) {
+  QueryHits hits;
+  hits.threshold = seed;
+  hits.hits.push_back(Hit{seed, seed + 1, static_cast<double>(seed)});
+  return {hits};
+}
+
+TEST(ResultCacheTest, RoundTrip) {
+  ResultCache cache(ResultCacheOptions{4, 0});
+  EXPECT_FALSE(cache.Lookup(1, 0).has_value());
+  cache.Insert(1, 0, MakeHits(7));
+  auto found = cache.Lookup(1, 0);
+  ASSERT_TRUE(found.has_value());
+  ASSERT_EQ(found->size(), 1u);
+  EXPECT_EQ((*found)[0].threshold, 7u);
+  ASSERT_EQ((*found)[0].hits.size(), 1u);
+  EXPECT_EQ((*found)[0].hits[0].id, 7u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCacheTest, GenerationMismatchInvalidates) {
+  ResultCache cache(ResultCacheOptions{4, 0});
+  cache.Insert(1, 3, MakeHits(1));
+  // Mutation bumped the engine generation: the entry must not be served.
+  EXPECT_FALSE(cache.Lookup(1, 4).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  // The stale entry was dropped — even the old generation misses now.
+  EXPECT_FALSE(cache.Lookup(1, 3).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCacheTest, TtlExpiry) {
+  ResultCache cache(ResultCacheOptions{4, 1e-4});
+  cache.Insert(1, 0, MakeHits(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(cache.Lookup(1, 0).has_value());
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(ResultCacheTest, LruEvictionAtCapacity) {
+  ResultCache cache(ResultCacheOptions{2, 0});
+  cache.Insert(1, 0, MakeHits(1));
+  cache.Insert(2, 0, MakeHits(2));
+  ASSERT_TRUE(cache.Lookup(1, 0).has_value());  // touch: 1 becomes MRU
+  cache.Insert(3, 0, MakeHits(3));              // evicts 2, the LRU
+  EXPECT_TRUE(cache.Lookup(1, 0).has_value());
+  EXPECT_FALSE(cache.Lookup(2, 0).has_value());
+  EXPECT_TRUE(cache.Lookup(3, 0).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(ResultCacheOptions{0, 0});
+  cache.Insert(1, 0, MakeHits(1));
+  EXPECT_FALSE(cache.Lookup(1, 0).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ResultCacheTest, ReinsertRefreshesGeneration) {
+  ResultCache cache(ResultCacheOptions{4, 0});
+  cache.Insert(1, 0, MakeHits(1));
+  cache.Insert(1, 5, MakeHits(9));  // re-executed after mutations
+  auto found = cache.Lookup(1, 5);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ((*found)[0].threshold, 9u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, FingerprintDistinguishesPayloadBoundaries) {
+  // Same flattened keywords, different per-query split: the length mixing
+  // must keep the fingerprints apart.
+  std::vector<std::vector<uint32_t>> a{{1, 2}, {3}};
+  std::vector<std::vector<uint32_t>> b{{1}, {2, 3}};
+  const uint64_t fa = FingerprintRequest(SearchRequest::Sets(a));
+  const uint64_t fb = FingerprintRequest(SearchRequest::Sets(b));
+  EXPECT_NE(fa, fb);
+  // Identical payloads fingerprint identically, regardless of tenant.
+  SearchRequest t1 = SearchRequest::Sets(a);
+  t1.Tenant(1);
+  SearchRequest t2 = SearchRequest::Sets(a);
+  t2.Tenant(2);
+  EXPECT_EQ(FingerprintRequest(t1), FingerprintRequest(t2));
+  // Modality participates: the same bytes under a different modality differ.
+  EXPECT_NE(FingerprintRequest(SearchRequest::Sets(a)),
+            FingerprintRequest(SearchRequest::Documents(a)));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace genie

@@ -1,0 +1,248 @@
+/// Scheduler stress suite (runs under TSan in CI): many concurrent tenants
+/// hammering one serving engine, first on a frozen index — where every
+/// coalesced answer must equal its per-request sequential execution — then
+/// racing a mutator thread running Insert / Remove / Flush, where answers
+/// must stay well-formed throughout and converge, post-quiesce, to a
+/// reference engine that applied the same mutation sequence.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "api/genie.h"
+#include "api/api_test_util.h"
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace genie {
+namespace {
+
+using test::ExpectSameAnswers;
+
+ServingOptions StressServing() {
+  ServingOptions serving;
+  serving.max_queue_delay_s = 0.002;
+  serving.cache_capacity = 64;
+  return serving;
+}
+
+/// Thread-safe (gtest-free) flavor of ExpectSameAnswers, for checks inside
+/// worker threads: thresholds and the descending count multiset must match
+/// (boundary-tie ids are exempt, as in the gtest helper).
+bool SameCountProfile(const SearchResult& got, const SearchResult& want) {
+  if (got.queries.size() != want.queries.size()) return false;
+  for (size_t q = 0; q < want.queries.size(); ++q) {
+    if (got.queries[q].threshold != want.queries[q].threshold) return false;
+    if (got.queries[q].hits.size() != want.queries[q].hits.size()) return false;
+    auto counts_of = [](const QueryHits& hits) {
+      std::vector<uint32_t> counts;
+      for (const Hit& hit : hits.hits) counts.push_back(hit.match_count);
+      std::sort(counts.begin(), counts.end(), std::greater<>());
+      return counts;
+    };
+    if (counts_of(got.queries[q]) != counts_of(want.queries[q])) return false;
+  }
+  return true;
+}
+
+TEST(SchedulerStressTest, ManyTenantsOnFrozenIndexMatchSequential) {
+  auto workload = test::MakeRandomWorkload(600, 60, 6, 32, 5, 401);
+  auto serving = Engine::Create(
+      EngineConfig().Index(&workload.index).K(5).Device(
+          test::SharedTestDevice(4)).Serving(StressServing()));
+  ASSERT_TRUE(serving.ok()) << serving.status().ToString();
+  auto legacy = Engine::Create(EngineConfig().Index(&workload.index).K(5).Device(
+      test::SharedTestDevice(4)));
+  ASSERT_TRUE(legacy.ok());
+
+  // Per-request sequential reference: one answer per query, computed once.
+  std::vector<SearchResult> want(workload.queries.size());
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    std::vector<Query> one{workload.queries[q]};
+    auto result = (*legacy)->Search(SearchRequest::Compiled(one));
+    ASSERT_TRUE(result.ok());
+    want[q] = std::move(*result);
+  }
+
+  // 64 tenants, 8 threads of 8: each submits every query as its own
+  // single-query request; the scheduler coalesces across tenants.
+  constexpr int kThreads = 8, kTenantsPerThread = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int u = 0; u < kTenantsPerThread; ++u) {
+        const uint64_t tenant = static_cast<uint64_t>(t * kTenantsPerThread + u);
+        for (size_t q = 0; q < workload.queries.size(); ++q) {
+          std::vector<Query> one{workload.queries[q]};
+          auto got = (*serving)->Search(
+              SearchRequest::Compiled(one).Tenant(tenant));
+          if (!got.ok() || !SameCountProfile(*got, want[q])) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const ServingStats stats = (*serving)->serving_stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<uint64_t>(kThreads * kTenantsPerThread) *
+                workload.queries.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  // 64 tenants repeating 32 hot queries: the cache and dedup must have
+  // absorbed most of the load, and coalescing must have batched the rest.
+  EXPECT_GT(stats.cache_hits + stats.dedup_followers, 0u);
+  EXPECT_LE(stats.batches, stats.coalesced_requests);
+
+  // Detailed single-threaded equality pass on top of the concurrent sweep.
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    std::vector<Query> one{workload.queries[q]};
+    auto got = (*serving)->Search(SearchRequest::Compiled(one));
+    ASSERT_TRUE(got.ok());
+    ExpectSameAnswers(*got, want[q], "post-sweep query " + std::to_string(q));
+  }
+}
+
+TEST(SchedulerStressTest, SubmittersRacingMutatorStayConsistent) {
+  auto workload = test::MakeRandomWorkload(500, 120, 5, 16, 4, 402);
+  auto serving = Engine::Create(
+      EngineConfig().Index(&workload.index).K(4).Device(
+          test::SharedTestDevice(4)).Serving(StressServing()));
+  ASSERT_TRUE(serving.ok()) << serving.status().ToString();
+
+  const uint32_t base_objects = (*serving)->num_objects();
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_results{0};
+
+  // 6 submitter threads: every answer must be well-formed at whatever
+  // mutation state it observed (ids within the ever-grown id space, one
+  // answer per query).
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 6; ++t) {
+    submitters.emplace_back([&, t] {
+      Rng rng(500 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t q = rng.UniformU64(workload.queries.size());
+        std::vector<Query> one{workload.queries[q]};
+        auto got = (*serving)->Search(
+            SearchRequest::Compiled(one).Tenant(static_cast<uint64_t>(t)));
+        if (!got.ok()) {
+          ++bad_results;
+          continue;
+        }
+        if (got->queries.size() != 1) {
+          ++bad_results;
+          continue;
+        }
+        for (const Hit& hit : got->queries[0].hits) {
+          // num_objects only grows; racing reads may lag the newest insert
+          // but can never produce an id outside the final id space.
+          if (hit.id >= base_objects + 1024) ++bad_results;
+        }
+      }
+    });
+  }
+
+  // One mutator thread: insert bursts, remove some of its own inserts,
+  // Flush (synchronous compaction + hot-swap) periodically. The mutation
+  // sequence is recorded for the reference replay.
+  std::vector<std::vector<Keyword>> inserted_objects;
+  std::vector<ObjectId> removed_ids;
+  {
+    Rng rng(777);
+    std::vector<ObjectId> my_ids;
+    for (int round = 0; round < 10; ++round) {
+      std::vector<std::vector<Keyword>> batch(4);
+      for (auto& object : batch) {
+        std::set<Keyword> distinct;
+        while (distinct.size() < 5) {
+          distinct.insert(static_cast<Keyword>(rng.UniformU64(120)));
+        }
+        object.assign(distinct.begin(), distinct.end());
+      }
+      auto ids = (*serving)->Insert(InsertRequest::Objects(batch));
+      ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+      my_ids.insert(my_ids.end(), ids->begin(), ids->end());
+      inserted_objects.insert(inserted_objects.end(), batch.begin(),
+                              batch.end());
+      if (round % 3 == 2 && !my_ids.empty()) {
+        const ObjectId victim = my_ids.front();
+        my_ids.erase(my_ids.begin());
+        ASSERT_TRUE((*serving)->Remove({&victim, 1}).ok());
+        removed_ids.push_back(victim);
+      }
+      if (round % 4 == 3) {
+        ASSERT_TRUE((*serving)->Flush().ok());
+      }
+    }
+  }
+  stop.store(true);
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(bad_results.load(), 0);
+
+  // Post-quiesce: a fresh reference engine that applies the same mutation
+  // sequence (serving off) must agree on every query.
+  auto reference = Engine::Create(EngineConfig().Index(&workload.index).K(4).Device(
+      test::SharedTestDevice(4)));
+  ASSERT_TRUE(reference.ok());
+  ASSERT_TRUE(
+      (*reference)->Insert(InsertRequest::Objects(inserted_objects)).ok());
+  for (const ObjectId id : removed_ids) {
+    ASSERT_TRUE((*reference)->Remove({&id, 1}).ok());
+  }
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    std::vector<Query> one{workload.queries[q]};
+    auto want = (*reference)->Search(SearchRequest::Compiled(one));
+    ASSERT_TRUE(want.ok());
+    auto got = (*serving)->Search(SearchRequest::Compiled(one));
+    ASSERT_TRUE(got.ok());
+    ExpectSameAnswers(*got, *want, "post-quiesce query " + std::to_string(q));
+  }
+}
+
+TEST(SchedulerStressTest, DestructionWithConcurrentCallersFailsCleanly) {
+  auto workload = test::MakeRandomWorkload(300, 30, 5, 8, 3, 403);
+  ServingOptions serving;
+  serving.max_queue_delay_s = 5.0;   // requests sit queued...
+  serving.target_batch = 1u << 20;   // ...until destruction aborts them
+  serving.cache_capacity = 0;
+  serving.dedup_inflight = false;
+  auto engine = Engine::Create(
+      EngineConfig().Index(&workload.index).K(3).Device(
+          test::SharedTestDevice(4)).Serving(serving));
+  ASSERT_TRUE(engine.ok());
+
+  // Callers hold the raw pointer: the unique_ptr itself is reset by the
+  // main thread below and must not be read concurrently.
+  Engine* raw = engine->get();
+  std::atomic<int> resolved{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&, c] {
+      std::vector<Query> one{workload.queries[c]};
+      auto result = raw->Search(SearchRequest::Compiled(one));
+      // Either answered (dispatcher raced ahead) or failed with the
+      // shutdown status — never a hang, never a crash.
+      ++resolved;
+      (void)result;
+    });
+  }
+  // Wait until every caller has been admitted into the scheduler (they are
+  // then blocked on their futures), then tear the engine down under them.
+  while (raw->serving_stats().submitted < 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  engine->reset();
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(resolved.load(), 4);
+}
+
+}  // namespace
+}  // namespace genie
