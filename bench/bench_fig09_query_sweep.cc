@@ -34,6 +34,7 @@ void BM_Genie(benchmark::State& state, const NamedWorkload* w) {
     GENIE_CHECK(results.ok()) << results.status().ToString();
     benchmark::DoNotOptimize(results);
   }
+  AddSimdCounters(state);
 }
 
 void BM_GpuSpq(benchmark::State& state, const NamedWorkload* w) {

@@ -63,6 +63,7 @@ void BM_Genie(benchmark::State& state, const NamedWorkload* w) {
     GENIE_CHECK(results.ok());
     benchmark::DoNotOptimize(results);
   }
+  AddSimdCounters(state);
 }
 
 void BM_GpuSpq(benchmark::State& state, const NamedWorkload* w) {

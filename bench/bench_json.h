@@ -12,9 +12,20 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/simd.h"
 
 namespace genie {
 namespace bench {
+
+/// Tags a GENIE row with the match kernel's live dispatch arm, so snapshot
+/// diffs can tell an ISA change from a code regression: simd_lanes is the
+/// arm's vector width (1 = scalar) and simd_arch its simd::Arch ordinal
+/// (0 scalar, 1 AVX2, 2 NEON; see BENCHMARKS.md).
+inline void AddSimdCounters(benchmark::State& state) {
+  const simd::Ops& ops = simd::ActiveOps();
+  state.counters["simd_lanes"] = static_cast<double>(ops.lanes);
+  state.counters["simd_arch"] = static_cast<double>(ops.arch);
+}
 
 class JsonTeeReporter : public benchmark::ConsoleReporter {
  public:

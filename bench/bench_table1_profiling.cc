@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/simd.h"
 #include "common/timer.h"
 #include "index/index_builder.h"
 
@@ -56,12 +57,15 @@ int Run() {
     std::printf("%-10s %-12.4f %-14.4f %-14.4f %-10.4f %-10.4f\n",
                 w.name.c_str(), build_s, p.index_transfer_s,
                 p.query_transfer_s, p.match_s, p.select_s);
+    const simd::Ops& ops = simd::ActiveOps();
     json.Add("Table1/" + w.name, p.total_query_s() * 1e3,
              {{"index_build_s", build_s},
               {"index_transfer_s", p.index_transfer_s},
               {"query_transfer_s", p.query_transfer_s},
               {"match_s", p.match_s},
-              {"select_s", p.select_s}});
+              {"select_s", p.select_s},
+              {"simd_lanes", static_cast<double>(ops.lanes)},
+              {"simd_arch", static_cast<double>(ops.arch)}});
   }
   const std::string path = json.Write();
   if (!path.empty()) std::printf("benchmark json: %s\n", path.c_str());

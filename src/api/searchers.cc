@@ -37,9 +37,17 @@ MatchEngineOptions BaseEngineOptions(const EngineConfig& config) {
   MatchEngineOptions options;
   options.k = config.k();
   options.max_count = config.max_count();
-  options.selector = config.selector() == SelectorKind::kCpq
-                         ? MatchEngineOptions::Selector::kCpq
-                         : MatchEngineOptions::Selector::kCountTableSpq;
+  switch (config.selector()) {
+    case SelectorKind::kCpq:
+      options.selector = MatchEngineOptions::Selector::kCpq;
+      break;
+    case SelectorKind::kCountTableSpq:
+      options.selector = MatchEngineOptions::Selector::kCountTableSpq;
+      break;
+    case SelectorKind::kBucketSelect:
+      options.selector = MatchEngineOptions::Selector::kBucketSelect;
+      break;
+  }
   options.block_dim = config.block_dim();
   options.max_lists_per_block = config.max_lists_per_block();
   options.collect_ht_stats = config.collect_ht_stats();

@@ -40,6 +40,8 @@ const char* ModalityToString(Modality modality);
 enum class SelectorKind {
   kCpq,            // GENIE: c-PQ + single hash-table scan (Algorithm 1)
   kCountTableSpq,  // GEN-SPQ: full Count Table + bucket k-selection
+  kBucketSelect,   // packed Bitmap Counter + bucket k-selection (no gate /
+                   // hash table; overflow-immune)
 };
 
 /// One batch of queries. Construct with the factory matching the engine's

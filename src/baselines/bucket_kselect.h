@@ -6,11 +6,16 @@
 /// range into buckets, keeps everything above the bucket holding the k-th
 /// value, and recurses into that bucket until k items are isolated
 /// (Fig. 15). One block handles one count array; the GEN-SPQ and GPU-SPQ
-/// configurations run it as their selection stage.
+/// configurations run it as their selection stage, and the match engine's
+/// kBucketSelect configuration runs it directly over the packed Bitmap
+/// Counter (through the accessor-functor overload below).
 
+#include <algorithm>
 #include <cstdint>
+#include <numeric>
 #include <vector>
 
+#include "common/logging.h"
 #include "core/query.h"
 #include "index/types.h"
 
@@ -28,9 +33,111 @@ struct BucketKSelectStats {
   uint64_t elements_scanned = 0;
 };
 
-/// Returns the k largest (id, count) pairs of counts[0..n), sorted by
-/// descending count (ties by ascending id). Zero counts are still eligible,
-/// matching a raw selection over the count table.
+/// Returns the k largest (id, count) pairs of count_of(0..n), sorted by
+/// descending count (ties by ascending id). Zero counts are still
+/// eligible, matching a raw selection over a count table. `count_of` is
+/// any callable mapping ObjectId -> uint32_t — a raw count-table row, or a
+/// packed BitmapCounterView::Get.
+template <typename CountFn>
+std::vector<TopKEntry> BucketKSelectWith(CountFn&& count_of, uint32_t n,
+                                         uint32_t k,
+                                         const BucketKSelectOptions& options = {},
+                                         BucketKSelectStats* stats = nullptr) {
+  std::vector<TopKEntry> saved;  // items strictly above the pivot bucket
+  if (k == 0 || n == 0) return saved;
+  if (k >= n) {
+    saved.reserve(n);
+    for (ObjectId i = 0; i < n; ++i) saved.push_back({i, count_of(i)});
+    std::sort(saved.begin(), saved.end(),
+              [](const TopKEntry& a, const TopKEntry& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.id < b.id;
+              });
+    return saved;
+  }
+
+  // Candidate set starts as the whole array; each iteration narrows it to
+  // the bucket containing the k-th element (Step 1-3 of Appendix A).
+  std::vector<ObjectId> candidates(n);
+  std::iota(candidates.begin(), candidates.end(), 0);
+  uint32_t remaining = k;
+  const uint32_t num_buckets = std::max<uint32_t>(2, options.num_buckets);
+
+  for (uint32_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (stats != nullptr) {
+      ++stats->iterations;
+      stats->elements_scanned += candidates.size();
+    }
+    uint32_t min_v = count_of(candidates[0]);
+    uint32_t max_v = min_v;
+    for (ObjectId id : candidates) {
+      const uint32_t v = count_of(id);
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+    }
+    if (min_v == max_v || candidates.size() <= remaining) {
+      // All ties (or nothing left to separate): take any `remaining`.
+      for (uint32_t i = 0; i < remaining; ++i) {
+        saved.push_back({candidates[i], count_of(candidates[i])});
+      }
+      remaining = 0;
+      break;
+    }
+    // Step (1): histogram into buckets; bucket 0 holds the largest values
+    // so the "before the selected bucket" prefix is the saved set.
+    const double scale =
+        static_cast<double>(num_buckets) / (max_v - min_v + 1);
+    std::vector<uint32_t> histogram(num_buckets, 0);
+    auto bucket_of = [&](uint32_t v) {
+      uint32_t b = static_cast<uint32_t>((max_v - v) * scale);
+      return std::min(b, num_buckets - 1);
+    };
+    for (ObjectId id : candidates) ++histogram[bucket_of(count_of(id))];
+    // Step (2): find the bucket containing the k-th object.
+    uint32_t pivot_bucket = 0;
+    uint32_t above = 0;
+    while (above + histogram[pivot_bucket] < remaining) {
+      above += histogram[pivot_bucket];
+      ++pivot_bucket;
+    }
+    // Step (3): save items above the pivot bucket; recurse into it.
+    std::vector<ObjectId> next;
+    next.reserve(histogram[pivot_bucket]);
+    for (ObjectId id : candidates) {
+      const uint32_t b = bucket_of(count_of(id));
+      if (b < pivot_bucket) {
+        saved.push_back({id, count_of(id)});
+      } else if (b == pivot_bucket) {
+        next.push_back(id);
+      }
+    }
+    remaining -= above;
+    candidates.swap(next);
+    if (remaining == 0) break;
+  }
+  if (remaining > 0) {
+    // Iteration cap hit (degenerate distributions): finish with a partial
+    // sort of the surviving candidates.
+    GENIE_CHECK(candidates.size() >= remaining);
+    std::nth_element(candidates.begin(), candidates.begin() + remaining - 1,
+                     candidates.end(), [&](ObjectId a, ObjectId b) {
+                       if (count_of(a) != count_of(b))
+                         return count_of(a) > count_of(b);
+                       return a < b;
+                     });
+    for (uint32_t i = 0; i < remaining; ++i) {
+      saved.push_back({candidates[i], count_of(candidates[i])});
+    }
+  }
+  std::sort(saved.begin(), saved.end(),
+            [](const TopKEntry& a, const TopKEntry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.id < b.id;
+            });
+  return saved;
+}
+
+/// The classic raw-array form (GEN-SPQ / GPU-SPQ count tables).
 std::vector<TopKEntry> BucketKSelect(const uint32_t* counts, uint32_t n,
                                      uint32_t k,
                                      const BucketKSelectOptions& options = {},

@@ -12,6 +12,7 @@
 
 #include "common/bit_util.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "index/types.h"
 
 namespace genie {
@@ -75,6 +76,13 @@ class BitmapCounterView {
 
   uint32_t bits() const { return bits_; }
   uint32_t max_value() const { return cap_; }
+
+  /// Packing parameters for the batched SIMD increment kernels
+  /// (simd::Ops::bitmap_increment_batch), which must see exactly this
+  /// view's layout so batch and scalar updates stay bit-identical.
+  simd::BitmapParams SimdParams() const {
+    return {words_, bits_, log_per_word_, mask_, cap_};
+  }
 
  private:
   uint32_t* words_ = nullptr;

@@ -6,7 +6,8 @@
 namespace genie {
 
 CpqLayout CpqLayout::Make(uint32_t num_objects, uint32_t k,
-                          uint32_t max_count, uint32_t ht_slack) {
+                          uint32_t max_count, uint32_t ht_slack,
+                          uint32_t ht_capacity_cap) {
   GENIE_CHECK(k >= 1);
   GENIE_CHECK(max_count >= 1);
   CpqLayout layout;
@@ -19,12 +20,16 @@ CpqLayout CpqLayout::Make(uint32_t num_objects, uint32_t k,
   layout.zipper_entries = GateView::ZipperEntries(max_count);
   layout.ht_capacity =
       CpqHashTableView::CapacityFor(k, max_count, num_objects, ht_slack);
+  if (ht_capacity_cap != 0) {
+    layout.ht_capacity = std::min<uint32_t>(
+        layout.ht_capacity,
+        static_cast<uint32_t>(bit_util::NextPow2(ht_capacity_cap)));
+  }
   return layout;
 }
 
 QueryResult ExtractTopK(const CpqView& cpq) {
-  const uint32_t at = cpq.gate().audit_threshold();
-  const uint32_t threshold = at > 0 ? at - 1 : 0;
+  const uint32_t threshold = cpq.gate().SelectThreshold();
   const CpqHashTableView& ht = cpq.table();
 
   // Combine duplicate keys (possible under concurrent displacement) by max.

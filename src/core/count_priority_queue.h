@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/simd.h"
 #include "core/bitmap_counter.h"
 #include "core/gate.h"
 #include "core/hash_table.h"
@@ -31,8 +32,12 @@ struct CpqLayout {
   uint64_t zipper_entries = 0;  // uint32 entries (incl. sentinel)
   uint32_t ht_capacity = 0;     // uint64 slots
 
+  /// `ht_capacity_cap` (0 = none) clamps the CapacityFor-derived hash-table
+  /// size, rounded to a power of two — the only way to exercise the c-PQ
+  /// overflow path deterministically, since CapacityFor covers the Gate's
+  /// k-per-level promotion bound by construction.
   static CpqLayout Make(uint32_t num_objects, uint32_t k, uint32_t max_count,
-                        uint32_t ht_slack);
+                        uint32_t ht_slack, uint32_t ht_capacity_cap = 0);
 
   /// Device bytes of one query's c-PQ (bitmap + gate + hash table).
   uint64_t DeviceBytes() const {
@@ -69,10 +74,61 @@ class CpqView {
     return true;
   }
 
-  /// Entries with count < AT - 1 are expired (Theorem 3.1).
-  uint32_t ExpireThreshold() const {
-    const uint32_t at = gate_.audit_threshold();
-    return at > 0 ? at - 1 : 0;
+  /// Entries with count < AT - 1 are expired (Theorem 3.1); delegates to
+  /// the Gate's single threshold definition.
+  uint32_t ExpireThreshold() const { return gate_.SelectThreshold(); }
+
+  /// Batched Algorithm 1 over `n` postings: all bitmap increments run
+  /// through `ops` (one CAS per touched counter word — or plain stores when
+  /// `exclusive`, legal only while this thread is the arena's sole writer),
+  /// then the gate check runs per lane in order. Single-threaded this is
+  /// bit-identical to n sequential Update calls — the bitmap increments
+  /// commute and the gate's AT only advances through this thread's own
+  /// promotions, so each lane sees exactly the AT it would have seen
+  /// interleaved. `vals` is caller scratch of at least n entries. Returns
+  /// false on hash-table overflow.
+  bool UpdateBatch(const simd::Ops& ops, const ObjectId* oids, uint32_t n,
+                   uint32_t* vals, HashTableStats* stats = nullptr,
+                   bool exclusive = false) {
+    (exclusive ? ops.bitmap_increment_batch_exclusive
+               : ops.bitmap_increment_batch)(bitmap_.SimdParams(), oids, n,
+                                             vals);
+    if (exclusive) {
+      // Sole-writer gate pass: promotion is the hot path on low-count
+      // workloads (AT stays near 1, so most postings qualify). Non-atomic
+      // Upsert/OnPromoted drop the CAS cost, and prefetching each lane's
+      // home slot a fixed distance ahead hides the cold-miss latency of
+      // the hash-table scatter — the dominant per-promotion cost.
+      constexpr uint32_t kPrefetchAhead = 16;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (i + kPrefetchAhead < n) {
+          table_.PrefetchSlot(oids[i + kPrefetchAhead]);
+        }
+        const uint32_t val = vals[i];
+        if (val == 0) continue;  // saturated: count bound was undersized
+        if (val >= gate_.audit_threshold()) {
+          if (!table_.UpsertExclusive(oids[i], val, ExpireThreshold(),
+                                      robin_hood_expire_, stats)) {
+            return false;
+          }
+          gate_.OnPromotedExclusive(val);
+        }
+      }
+      return true;
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint32_t val = vals[i];
+      if (val == 0) continue;  // saturated: count bound was undersized
+      const uint32_t at = gate_.audit_threshold();
+      if (val >= at) {
+        if (!table_.Upsert(oids[i], val, ExpireThreshold(),
+                           robin_hood_expire_, stats)) {
+          return false;
+        }
+        gate_.OnPromoted(val);
+      }
+    }
+    return true;
   }
 
   const BitmapCounterView& bitmap() const { return bitmap_; }

@@ -10,7 +10,10 @@ namespace genie {
 EngineBackend::EngineBackend(const InvertedIndex* index,
                              const MatchEngineOptions& options,
                              const EngineBackendOptions& backend_options)
-    : index_(index), options_(options), backend_options_(backend_options) {}
+    : index_(index),
+      options_(options),
+      backend_options_(backend_options),
+      base_selector_(options.selector) {}
 
 sim::Device* EngineBackend::device() const {
   return options_.device != nullptr ? options_.device : sim::Device::Default();
@@ -95,6 +98,7 @@ Status EngineBackend::SetUpMultiLoad(uint32_t parts,
   // the plan; ApplyPlanLocked overwrites this with the planned version).
   plan_.planned = false;
   plan_.tier = plan::ExecutionPlan::Tier::kMultiLoad;
+  plan_.selector = options_.selector;
   plan_.num_parts = static_cast<uint32_t>(sharded_->shards.size());
   plan_.part_boundaries.assign(sharded_->offsets.begin(),
                                sharded_->offsets.end());
@@ -137,6 +141,7 @@ Status EngineBackend::SetUpMultiDevice(uint32_t parts,
   ++generation_;
   plan_.planned = false;
   plan_.tier = plan::ExecutionPlan::Tier::kMultiDevice;
+  plan_.selector = options_.selector;
   plan_.num_parts = static_cast<uint32_t>(sharded_->shards.size());
   plan_.part_boundaries.assign(sharded_->offsets.begin(),
                                sharded_->offsets.end());
@@ -223,6 +228,7 @@ plan::PlannerInputs EngineBackend::PlannerInputsLocked() const {
   inputs.bytes_per_query = MatchEngine::DeviceBytesPerQuery(
       index_->num_objects(), options_,
       options_.max_count > 0 ? options_.max_count : 16);
+  inputs.selector = base_selector_;
   inputs.num_devices = backend_options_.num_devices;
   inputs.force_parts = backend_options_.force_parts;
   inputs.max_parts = backend_options_.max_parts;
@@ -232,6 +238,10 @@ plan::PlannerInputs EngineBackend::PlannerInputsLocked() const {
 }
 
 Status EngineBackend::ApplyPlanLocked(const plan::ExecutionPlan& p) {
+  // The plan owns the select stage: every engine the tier builds below
+  // reads options_, so the promotion (or a revert on re-plan) takes effect
+  // on all tiers uniformly.
+  options_.selector = p.selector;
   switch (p.tier) {
     case plan::ExecutionPlan::Tier::kSingleDevice: {
       GENIE_ASSIGN_OR_RETURN(std::unique_ptr<MatchEngine> single,
@@ -273,6 +283,9 @@ Status EngineBackend::SetUpTierLocked() {
 }
 
 Status EngineBackend::SetUpTierLegacyLocked() {
+  // The legacy path runs the configured selector bit-for-bit (no planner
+  // promotion).
+  options_.selector = base_selector_;
   // Tier selection: multi-device when N > 1 (space multiplexing), else
   // single load, falling back to sequential multiple loading when the
   // index (or the parts' residency) exceeds device memory.
@@ -302,6 +315,7 @@ Status EngineBackend::SetUpTierLegacyLocked() {
     ++generation_;
     plan_.planned = false;
     plan_.tier = plan::ExecutionPlan::Tier::kSingleDevice;
+    plan_.selector = options_.selector;
     plan_.num_parts = 1;
     plan_.part_boundaries.clear();
     plan_.device_of_part.clear();
@@ -474,7 +488,20 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteBatchLocked(
     // Batch working memory did not fit beside the index (or the per-query
     // hash table overflowed): retire the single engine — freeing the
     // device-resident index — and escalate through multiple loading.
-    cost_model_.RecordEscalation();
+    if (MatchEngine::IsCpqOverflow(results.status())) {
+      cost_model_.RecordCpqOverflow();
+      if (backend_options_.use_planner &&
+          options_.selector == MatchEngineOptions::Selector::kCpq) {
+        // Re-plan: with the overflow recorded the planner promotes the
+        // batch to kBucketSelect, whose select stage cannot overflow.
+        GENIE_RETURN_NOT_OK(SetUpTierLocked());
+        if (options_.selector != MatchEngineOptions::Selector::kCpq) {
+          return ExecuteBatchLocked(queries);
+        }
+      }
+    } else {
+      cost_model_.RecordEscalation();
+    }
     GENIE_RETURN_NOT_OK(SetUpMultiLoad(
         std::max(2u, std::min(EstimateParts(), backend_options_.max_parts))));
   }
@@ -488,8 +515,20 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteBatchLocked(
     }
     // Working memory did not fit beside the resident parts on some device;
     // sharding finer does not reduce per-device residency, so fall back to
-    // time-multiplexing the base device.
-    cost_model_.RecordEscalation();
+    // time-multiplexing the base device. A c-PQ overflow instead re-plans
+    // onto the overflow-immune selector and keeps the resident tier.
+    if (MatchEngine::IsCpqOverflow(results.status())) {
+      cost_model_.RecordCpqOverflow();
+      if (backend_options_.use_planner &&
+          options_.selector == MatchEngineOptions::Selector::kCpq) {
+        GENIE_RETURN_NOT_OK(SetUpTierLocked());
+        if (options_.selector != MatchEngineOptions::Selector::kCpq) {
+          return ExecuteBatchLocked(queries);
+        }
+      }
+    } else {
+      cost_model_.RecordEscalation();
+    }
     GENIE_RETURN_NOT_OK(SetUpMultiLoad(
         std::max(2u, std::min(EstimateParts(), backend_options_.max_parts))));
   }
@@ -505,12 +544,24 @@ Result<std::vector<QueryResult>> EngineBackend::MultiLoadLoopLocked(
     if (results.status().code() != StatusCode::kResourceExhausted) {
       return results;
     }
+    if (MatchEngine::IsCpqOverflow(results.status())) {
+      cost_model_.RecordCpqOverflow();
+      if (backend_options_.use_planner &&
+          options_.selector == MatchEngineOptions::Selector::kCpq) {
+        GENIE_RETURN_NOT_OK(SetUpTierLocked());
+        if (options_.selector != MatchEngineOptions::Selector::kCpq) {
+          return ExecuteBatchLocked(queries);
+        }
+      }
+    }
     const uint32_t parts = NumPartsLocked();
     if (parts >= backend_options_.max_parts ||
         parts >= index_->num_objects()) {
       return results;
     }
-    cost_model_.RecordEscalation();
+    if (!MatchEngine::IsCpqOverflow(results.status())) {
+      cost_model_.RecordEscalation();
+    }
     GENIE_RETURN_NOT_OK(
         SetUpMultiLoad(std::min(parts * 2, backend_options_.max_parts)));
   }
@@ -611,7 +662,18 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteStagedLocked(
         !backend_options_.allow_multi_load) {
       return results;
     }
-    cost_model_.RecordEscalation();
+    if (MatchEngine::IsCpqOverflow(results.status())) {
+      cost_model_.RecordCpqOverflow();
+      if (backend_options_.use_planner &&
+          options_.selector == MatchEngineOptions::Selector::kCpq) {
+        GENIE_RETURN_NOT_OK(SetUpTierLocked());
+        if (options_.selector != MatchEngineOptions::Selector::kCpq) {
+          return ExecuteBatchLocked(queries);
+        }
+      }
+    } else {
+      cost_model_.RecordEscalation();
+    }
     GENIE_RETURN_NOT_OK(SetUpMultiLoad(std::max(
         2u, std::min(EstimateParts(), backend_options_.max_parts))));
     return MultiLoadLoopLocked(queries);
@@ -635,12 +697,24 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteStagedLocked(
         }
         // Part escalation invalidates the pre-resolved per-part task
         // lists; re-enter the plain loop (which re-resolves per attempt).
+        if (MatchEngine::IsCpqOverflow(results.status())) {
+          cost_model_.RecordCpqOverflow();
+          if (backend_options_.use_planner &&
+              options_.selector == MatchEngineOptions::Selector::kCpq) {
+            GENIE_RETURN_NOT_OK(SetUpTierLocked());
+            if (options_.selector != MatchEngineOptions::Selector::kCpq) {
+              return ExecuteBatchLocked(chunk.queries_);
+            }
+          }
+        }
         const uint32_t parts = NumPartsLocked();
         if (parts >= backend_options_.max_parts ||
             parts >= index_->num_objects()) {
           return results;
         }
-        cost_model_.RecordEscalation();
+        if (!MatchEngine::IsCpqOverflow(results.status())) {
+          cost_model_.RecordEscalation();
+        }
         GENIE_RETURN_NOT_OK(
             SetUpMultiLoad(std::min(parts * 2, backend_options_.max_parts)));
         return MultiLoadLoopLocked(chunk.queries_);
@@ -676,7 +750,8 @@ void EngineBackend::ObserveExecutionLocked(const ProfileSnapshot& before,
   MatchProfile delta = after.match;
   delta.Subtract(before.match);
   cost_model_.ObserveExecution(delta, ScannedPostingsLocked(queries),
-                               static_cast<uint32_t>(queries.size()));
+                               static_cast<uint32_t>(queries.size()),
+                               options_.selector);
   const double merge_delta = after.merge_s - before.merge_s;
   if (merge_delta > 0) {
     cost_model_.ObserveMerge(merge_delta,
@@ -806,6 +881,8 @@ std::string EngineBackend::ExplainPlan() const {
   }
   out += " parts=" + std::to_string(NumPartsLocked());
   out += " k=" + std::to_string(options_.k);
+  out += " selector=";
+  out += plan::SelectorToString(options_.selector);
   out += "\nstats: ";
   out += stats_.DebugString();
   out += "\ncost-model: ";

@@ -202,6 +202,12 @@ class EngineBackend {
   /// Stats of the executed index: persisted (bundle) or computed at
   /// create/swap time. Empty default when the planner is disabled.
   plan::IndexStats index_stats() const;
+  /// Copy of the calibrated cost model (tests / diagnostics: overflow
+  /// counts, per-selector rates).
+  plan::CostModel cost_model_snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cost_model_;
+  }
   /// Human-readable planner report: stats summary + cost-model state + the
   /// live plan + how the stats were obtained. For Engine::ExplainPlan().
   std::string ExplainPlan() const;
@@ -356,6 +362,12 @@ class EngineBackend {
   EngineBackendOptions backend_options_;
   /// The caller-visible k; options_.k = base_k_ + tombstone slack.
   uint32_t base_k_ = 0;
+  /// The caller-configured select stage. options_.selector is what the live
+  /// tier actually runs — the planner may promote a kCpq configuration to
+  /// kBucketSelect (hash-table overflow / observed rates); re-plans always
+  /// start from this configured value.
+  MatchEngineOptions::Selector base_selector_ =
+      MatchEngineOptions::Selector::kCpq;
   /// Attached mutable layer (null = frozen index, classic behavior).
   const delta::DeltaStore* delta_store_ = nullptr;
 

@@ -37,6 +37,18 @@ class GateView {
   /// Initial AT value (counts start passing the gate at 1).
   static constexpr uint32_t kInitialAuditThreshold = 1;
 
+  /// Theorem 3.1: at quiescence the k-th match count equals AT - 1, so
+  /// selection keeps entries with count >= AT - 1 and expiry drops entries
+  /// below it. This is the single definition of that boundary — the device
+  /// select kernel, the host ExtractTopK and hash-table expiry must all use
+  /// it so the threshold cannot drift between them.
+  static constexpr uint32_t SelectThreshold(uint32_t audit_threshold) {
+    return audit_threshold > 0 ? audit_threshold - 1 : 0;
+  }
+  uint32_t SelectThreshold() const {
+    return SelectThreshold(audit_threshold());
+  }
+
   uint32_t audit_threshold() const {
     return std::atomic_ref<const uint32_t>(*audit_threshold_)
         .load(std::memory_order_relaxed);
@@ -67,6 +79,17 @@ class GateView {
       // On CAS failure another thread advanced AT; `cur` was reloaded by
       // compare_exchange_weak and the loop re-checks ZA at the new AT.
     }
+  }
+
+  /// Single-writer OnPromoted: the identical ZA/AT transition with plain
+  /// loads/stores. Legal only while the calling thread is this Gate's sole
+  /// writer (the engine's unsplit schedule).
+  void OnPromotedExclusive(uint32_t value) {
+    GENIE_DCHECK(value >= 1 && value <= max_count_);
+    ++zipper_[value];
+    uint32_t cur = *audit_threshold_;
+    while (cur <= max_count_ && zipper_[cur] >= k_) ++cur;
+    *audit_threshold_ = cur;
   }
 
   uint32_t k() const { return k_; }

@@ -148,6 +148,56 @@ class CpqHashTableView {
     return false;
   }
 
+  /// Single-writer Upsert: identical placement decisions and result, plain
+  /// loads/stores instead of CAS retry loops. Legal only while the calling
+  /// thread is this table's sole writer (the engine's unsplit schedule);
+  /// `stats` stays safe to share — it is updated atomically either way.
+  bool UpsertExclusive(ObjectId id, uint32_t count, uint32_t expire_below,
+                       bool allow_expired_overwrite = true,
+                       HashTableStats* stats = nullptr) {
+    uint64_t carry = MakeEntry(id, count);
+    uint32_t carry_age = 0;
+    uint32_t slot = Hash(EntryId(carry)) & mask_;
+    if (stats != nullptr) stats->Add(&stats->upserts);
+    for (uint32_t probes = 0; probes <= mask_; ++probes) {
+      if (stats != nullptr) stats->Add(&stats->probes);
+      const uint64_t cur = slots_[slot];
+      if (cur == kEmpty) {
+        slots_[slot] = carry;
+        return true;
+      }
+      if (EntryId(cur) == EntryId(carry)) {
+        if (EntryCount(cur) < EntryCount(carry)) slots_[slot] = carry;
+        return true;
+      }
+      if (allow_expired_overwrite && EntryCount(cur) < expire_below) {
+        slots_[slot] = carry;
+        if (stats != nullptr) stats->Add(&stats->expired_overwrites);
+        return true;
+      }
+      const uint32_t cur_age = ProbeDistance(EntryId(cur), slot);
+      if (cur_age < carry_age) {
+        slots_[slot] = carry;
+        if (stats != nullptr) stats->Add(&stats->displacements);
+        carry = cur;
+        carry_age = cur_age;
+      }
+      slot = (slot + 1) & mask_;
+      ++carry_age;
+    }
+    if (stats != nullptr) stats->Add(&stats->overflows);
+    return false;
+  }
+
+  /// Prefetch the home slot of `id` into cache with write intent. The
+  /// per-query table is far larger than L1 and touched in hash order, so
+  /// an Upsert's first probe is usually a cold miss; issuing this a fixed
+  /// distance ahead of the gate pass hides that latency (Robin Hood keeps
+  /// probe runs short, so the home line covers almost every probe).
+  void PrefetchSlot(ObjectId id) const {
+    __builtin_prefetch(&slots_[Hash(id) & mask_], 1, 3);
+  }
+
   /// Probe distance ("age") of a key if it were resident at `slot`.
   uint32_t ProbeDistance(ObjectId id, uint32_t slot) const {
     return (slot - (Hash(id) & mask_)) & mask_;

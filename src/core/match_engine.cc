@@ -2,12 +2,88 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <string_view>
 #include <unordered_map>
 
 #include "baselines/bucket_kselect.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/count_table.h"
+
+namespace genie {
+namespace {
+
+/// Postings consumed per batched counter-update call inside the match
+/// kernel: several of the batch kernels' internal staging chunks, so their
+/// compute-ahead-and-prefetch pipelining covers most lanes, while the
+/// per-lane value scratch (1 KiB) stays comfortably on the stack. The gate
+/// check runs once per batch's values, so AT observed by lane i can lag
+/// in-order processing by at most kMatchBatch promotions — AT is monotone,
+/// so that only admits extra (never missed) hash-table candidates.
+constexpr uint32_t kMatchBatch = 256;
+
+constexpr std::string_view kCpqOverflowMessage =
+    "c-PQ hash table overflow; increase MatchEngineOptions::ht_slack";
+
+/// Shared select stage for the full-scan selectors (GEN-SPQ count table and
+/// kBucketSelect packed counters): one block per query runs bucket
+/// k-selection over that query's counters, entries ship back packed as
+/// (id, count) words, and trailing zero-count padding is dropped so the
+/// result semantics match the c-PQ path. `make_count_for_query(q)` returns
+/// the ObjectId -> count accessor for query q's counter row.
+template <typename MakeCountFn>
+Status BucketSelectAndFinalize(sim::Device* device, uint32_t num_queries,
+                               uint32_t n, uint32_t k,
+                               MakeCountFn&& make_count_for_query,
+                               std::vector<QueryResult>* results,
+                               MatchProfile* profile) {
+  sim::DeviceBuffer<uint64_t> d_out;
+  sim::DeviceBuffer<uint32_t> d_out_size;
+  GENIE_ASSIGN_OR_RETURN(
+      d_out, sim::DeviceBuffer<uint64_t>::Allocate(
+                 device, static_cast<uint64_t>(k) * num_queries,
+                 /*zero_init=*/false));
+  GENIE_ASSIGN_OR_RETURN(
+      d_out_size, sim::DeviceBuffer<uint32_t>::Allocate(device, num_queries));
+  uint64_t* out_base = d_out.data();
+  uint32_t* out_size_base = d_out_size.data();
+  GENIE_RETURN_NOT_OK(
+      device->Launch({num_queries, 1}, [&](const sim::ThreadCtx& ctx) {
+        const uint32_t q = ctx.block_idx;
+        auto count_of = make_count_for_query(q);
+        auto top = baselines::BucketKSelectWith(count_of, n, k);
+        uint64_t* out = out_base + static_cast<uint64_t>(q) * k;
+        for (size_t i = 0; i < top.size(); ++i) {
+          out[i] = CpqHashTableView::MakeEntry(top[i].id, top[i].count);
+        }
+        out_size_base[q] = static_cast<uint32_t>(top.size());
+      }));
+  std::vector<uint32_t> sizes(num_queries);
+  GENIE_RETURN_NOT_OK(d_out_size.CopyToHost(sizes.data(), num_queries));
+  std::vector<uint64_t> row(k);
+  for (uint32_t q = 0; q < num_queries; ++q) {
+    GENIE_RETURN_NOT_OK(d_out.CopyToHost(row.data(), sizes[q],
+                                         static_cast<uint64_t>(q) * k));
+    profile->result_bytes += sizes[q] * sizeof(uint64_t);
+    QueryResult& result = (*results)[q];
+    for (uint32_t i = 0; i < sizes[q]; ++i) {
+      result.entries.push_back({CpqHashTableView::EntryId(row[i]),
+                                CpqHashTableView::EntryCount(row[i])});
+    }
+    // Drop trailing zero-count padding so semantics match the c-PQ path
+    // (objects that matched nothing are not results).
+    while (!result.entries.empty() && result.entries.back().count == 0) {
+      result.entries.pop_back();
+    }
+    result.threshold = result.entries.empty() ? 0 : result.entries.back().count;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace genie
 
 namespace genie {
 
@@ -86,16 +162,30 @@ uint64_t MatchEngine::DeviceBytesPerQuery(uint32_t num_objects,
                                           uint32_t max_count) {
   if (options.selector == MatchEngineOptions::Selector::kCpq) {
     const CpqLayout layout =
-        CpqLayout::Make(num_objects, options.k, max_count, options.ht_slack);
+        CpqLayout::Make(num_objects, options.k, max_count, options.ht_slack,
+                        options.ht_capacity_cap);
     // Selection also stages candidates + a cursor on the device.
     return layout.DeviceBytes() +
            static_cast<uint64_t>(layout.ht_capacity) * sizeof(uint64_t) +
+           sizeof(uint32_t);
+  }
+  if (options.selector == MatchEngineOptions::Selector::kBucketSelect) {
+    // Packed counters plus the k output slots and their size word.
+    const uint32_t bits = BitmapCounterView::ChooseBits(max_count);
+    return BitmapCounterView::WordsRequired(num_objects, bits) *
+               sizeof(uint32_t) +
+           static_cast<uint64_t>(options.k) * sizeof(uint64_t) +
            sizeof(uint32_t);
   }
   // GEN-SPQ: a full count-table row plus the k output slots.
   return CountTableView::DeviceBytes(num_objects) +
          static_cast<uint64_t>(options.k) * sizeof(uint64_t) +
          sizeof(uint32_t);
+}
+
+bool MatchEngine::IsCpqOverflow(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted &&
+         status.message() == kCpqOverflowMessage;
 }
 
 MatchTaskList MatchEngine::ResolveTasks(const InvertedIndex& index,
@@ -107,9 +197,56 @@ MatchTaskList MatchEngine::ResolveTasks(const InvertedIndex& index,
   tasks.max_count =
       options.max_count > 0 ? options.max_count : DeriveMaxCount(queries);
   tasks.range_offsets.push_back(0);
+  // Unsplit default: ONE task per query, covering every item's lists. That
+  // makes the query's counter arena single-writer (a block's threads run on
+  // one worker), so the kernels can take the non-atomic SIMD arms — match
+  // counts are sums over the same posting multiset regardless of task
+  // grouping. Load balancing (max_lists_per_block > 0, paper Fig. 12)
+  // splits an item's lists across blocks and keeps the atomic arms.
+  tasks.single_writer = options.max_lists_per_block == 0;
+  const auto postings = index.postings();
   std::vector<InvertedIndex::ListRef> item_lists;
+  const auto sort_by_first_posting = [&](std::vector<InvertedIndex::ListRef>&
+                                             lists) {
+    // Cache-block the match traversal: order the lists a block scans
+    // back-to-back by their first posting's object id, so consecutive
+    // lists touch neighbouring counter words and the per-query counter
+    // working set stays cache-resident. Deterministic (stable,
+    // value-keyed), so every dispatch arm sees the identical traversal.
+    std::stable_sort(lists.begin(), lists.end(),
+                     [&](const InvertedIndex::ListRef& a,
+                         const InvertedIndex::ListRef& b) {
+                       return postings[a.begin] < postings[b.begin];
+                     });
+  };
+  const auto emit_task = [&](uint32_t q,
+                             std::span<const InvertedIndex::ListRef> lists) {
+    tasks.task_query.push_back(q);
+    for (const auto& ref : lists) {
+      tasks.range_begin.push_back(ref.begin);
+      tasks.range_end.push_back(ref.end);
+    }
+    tasks.range_offsets.push_back(
+        static_cast<uint32_t>(tasks.range_begin.size()));
+  };
   for (uint32_t q = 0; q < queries.size(); ++q) {
     const Query& query = queries[q];
+    if (tasks.single_writer) {
+      item_lists.clear();
+      for (uint32_t i = 0; i < query.num_items(); ++i) {
+        for (Keyword kw : query.item(i)) {
+          auto [first, count] = index.KeywordLists(kw);
+          for (uint32_t l = 0; l < count; ++l) {
+            const auto ref = index.List(first + l);
+            if (ref.length() > 0) item_lists.push_back(ref);
+          }
+        }
+      }
+      if (item_lists.empty()) continue;
+      sort_by_first_posting(item_lists);
+      emit_task(q, item_lists);
+      continue;
+    }
     for (uint32_t i = 0; i < query.num_items(); ++i) {
       item_lists.clear();
       for (Keyword kw : query.item(i)) {
@@ -120,18 +257,12 @@ MatchTaskList MatchEngine::ResolveTasks(const InvertedIndex& index,
         }
       }
       if (item_lists.empty()) continue;
-      const uint32_t chunk = options.max_lists_per_block > 0
-                                 ? options.max_lists_per_block
-                                 : static_cast<uint32_t>(item_lists.size());
+      sort_by_first_posting(item_lists);
+      const uint32_t chunk = options.max_lists_per_block;
       for (size_t pos = 0; pos < item_lists.size(); pos += chunk) {
         const size_t end = std::min(pos + chunk, item_lists.size());
-        tasks.task_query.push_back(q);
-        for (size_t l = pos; l < end; ++l) {
-          tasks.range_begin.push_back(item_lists[l].begin);
-          tasks.range_end.push_back(item_lists[l].end);
-        }
-        tasks.range_offsets.push_back(
-            static_cast<uint32_t>(tasks.range_begin.size()));
+        emit_task(q, std::span<const InvertedIndex::ListRef>(
+                         item_lists.data() + pos, end - pos));
       }
     }
   }
@@ -150,6 +281,7 @@ Result<MatchEngine::StagedBatch> MatchEngine::Stage(
     staged.num_queries = tasks.num_queries;
     staged.max_count = tasks.max_count;
     staged.num_tasks = tasks.num_tasks();
+    staged.single_writer = tasks.single_writer;
     staged.query_bytes = tasks.SizeBytes();
     GENIE_ASSIGN_OR_RETURN(staged.task_query,
                            sim::DeviceBuffer<uint32_t>::Allocate(
@@ -224,7 +356,8 @@ Result<std::vector<QueryResult>> MatchEngine::ExecuteStaged(
 
   if (options_.selector == MatchEngineOptions::Selector::kCpq) {
     const CpqLayout layout =
-        CpqLayout::Make(n, options_.k, max_count, options_.ht_slack);
+        CpqLayout::Make(n, options_.k, max_count, options_.ht_slack,
+                        options_.ht_capacity_cap);
 
     // Per-query c-PQ arenas, carved from batch-wide device buffers.
     sim::DeviceBuffer<uint32_t> d_bitmap, d_zipper, d_audit;
@@ -265,18 +398,30 @@ Result<std::vector<QueryResult>> MatchEngine::ExecuteStaged(
           rh_expire);
     };
 
-    // --- Stage: match (scan postings lists, Algorithm 1 per posting). ------
+    // --- Stage: match (scan postings lists, Algorithm 1 per posting,
+    // batched through the runtime-dispatched SIMD counter kernels). -------
+    const simd::Ops& ops = simd::ActiveOps();
+    const bool exclusive = staged.single_writer;
     {
       ScopedTimer timer(&profile_.match_s);
       GENIE_RETURN_NOT_OK(device_->Launch(
           {num_tasks, block_dim}, [&](const sim::ThreadCtx& ctx) {
+            // Threads of a sim block run sequentially on one worker, so
+            // one contiguous pass by a single thread beats splitting the
+            // range: full-length batches for the vector arms, an unbroken
+            // postings read stream, and uninterrupted prefetch pipelining.
+            if (ctx.thread_idx != 0) return;
             const uint32_t t = ctx.block_idx;
             CpqView cpq = cpq_for(task_query[t]);
+            uint32_t vals[kMatchBatch];
             for (uint32_t r = range_offsets[t]; r < range_offsets[t + 1];
                  ++r) {
-              for (uint32_t pos = range_begin[r] + ctx.thread_idx;
-                   pos < range_end[r]; pos += ctx.block_dim) {
-                if (!cpq.Update(postings[pos], stats)) {
+              for (uint32_t pos = range_begin[r]; pos < range_end[r];
+                   pos += kMatchBatch) {
+                const uint32_t len =
+                    std::min(kMatchBatch, range_end[r] - pos);
+                if (!cpq.UpdateBatch(ops, postings + pos, len, vals, stats,
+                                     exclusive)) {
                   overflow.store(true, std::memory_order_relaxed);
                 }
               }
@@ -284,8 +429,7 @@ Result<std::vector<QueryResult>> MatchEngine::ExecuteStaged(
           }));
     }
     if (overflow.load()) {
-      return Status::ResourceExhausted(
-          "c-PQ hash table overflow; increase MatchEngineOptions::ht_slack");
+      return Status::ResourceExhausted(std::string(kCpqOverflowMessage));
     }
 
     // --- Stage: select (single scan of each hash table, Theorem 3.1). ------
@@ -307,8 +451,7 @@ Result<std::vector<QueryResult>> MatchEngine::ExecuteStaged(
           {num_queries, block_dim}, [&](const sim::ThreadCtx& ctx) {
             const uint32_t q = ctx.block_idx;
             CpqView cpq = cpq_for(q);
-            const uint32_t at = cpq.gate().audit_threshold();
-            const uint32_t threshold = at > 0 ? at - 1 : 0;
+            const uint32_t threshold = cpq.gate().SelectThreshold();
             const CpqHashTableView& ht = cpq.table();
             uint64_t* out =
                 cand_base + static_cast<uint64_t>(q) * layout.ht_capacity;
@@ -329,13 +472,25 @@ Result<std::vector<QueryResult>> MatchEngine::ExecuteStaged(
       profile_.result_bytes += num_queries * sizeof(uint32_t);
       std::atomic<uint64_t> result_bytes{0};
       const uint32_t engine_k = options_.k;
+      // A device copy can fail (a real cudaMemcpy can; the sim injects
+      // faults); collect the FIRST failure across the pool's workers and
+      // propagate it as a Status instead of aborting the process. Later
+      // workers bail out early once a failure is recorded.
+      std::mutex error_mu;
+      Status first_error;
+      std::atomic<bool> failed{false};
       DefaultThreadPool()->ParallelFor(num_queries, [&](size_t q) {
+        if (failed.load(std::memory_order_acquire)) return;
         std::vector<uint64_t> cand(cursors[q]);
-        GENIE_CHECK(d_cand
-                        .CopyToHost(cand.data(), cursors[q],
-                                    static_cast<uint64_t>(q) *
-                                        layout.ht_capacity)
-                        .ok());
+        const Status copy_status = d_cand.CopyToHost(
+            cand.data(), cursors[q],
+            static_cast<uint64_t>(q) * layout.ht_capacity);
+        if (!copy_status.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = copy_status;
+          failed.store(true, std::memory_order_release);
+          return;
+        }
         result_bytes.fetch_add(cursors[q] * sizeof(uint64_t),
                                std::memory_order_relaxed);
         std::unordered_map<ObjectId, uint32_t> best;
@@ -363,12 +518,67 @@ Result<std::vector<QueryResult>> MatchEngine::ExecuteStaged(
         std::atomic_ref<uint32_t> at_ref(audit_base[q]);
         const uint32_t at = at_ref.load(std::memory_order_relaxed);
         result.threshold = result.entries.size() == engine_k
-                               ? at - 1
+                               ? GateView::SelectThreshold(at)
                                : (result.entries.empty()
                                       ? 0
                                       : result.entries.back().count);
       });
+      GENIE_RETURN_NOT_OK(first_error);
       profile_.result_bytes += result_bytes.load();
+    }
+    return results;
+  }
+
+  if (options_.selector == MatchEngineOptions::Selector::kBucketSelect) {
+    // ---- Bucket-select configuration: packed Bitmap Counter (no gate, no
+    // hash table) + bucket k-selection directly over the packed counters. --
+    const uint32_t bits = BitmapCounterView::ChooseBits(max_count);
+    const uint64_t bitmap_words = BitmapCounterView::WordsRequired(n, bits);
+    const simd::Ops& ops = simd::ActiveOps();
+    const auto bitmap_increment = staged.single_writer
+                                      ? ops.bitmap_increment_batch_exclusive
+                                      : ops.bitmap_increment_batch;
+    sim::DeviceBuffer<uint32_t> d_bitmap;
+    {
+      ScopedTimer timer(&profile_.match_s);
+      GENIE_ASSIGN_OR_RETURN(d_bitmap,
+                             sim::DeviceBuffer<uint32_t>::Allocate(
+                                 device_, bitmap_words * num_queries));
+      uint32_t* bitmap_base = d_bitmap.data();
+      GENIE_RETURN_NOT_OK(device_->Launch(
+          {num_tasks, block_dim}, [&](const sim::ThreadCtx& ctx) {
+            // Single contiguous pass per block, as in the c-PQ kernel.
+            if (ctx.thread_idx != 0) return;
+            const uint32_t t = ctx.block_idx;
+            const BitmapCounterView counter(
+                bitmap_base +
+                    static_cast<uint64_t>(task_query[t]) * bitmap_words,
+                bits, max_count);
+            const simd::BitmapParams params = counter.SimdParams();
+            uint32_t vals[kMatchBatch];
+            for (uint32_t r = range_offsets[t]; r < range_offsets[t + 1];
+                 ++r) {
+              for (uint32_t pos = range_begin[r]; pos < range_end[r];
+                   pos += kMatchBatch) {
+                bitmap_increment(params, postings + pos,
+                                 std::min(kMatchBatch, range_end[r] - pos),
+                                 vals);
+              }
+            }
+          }));
+    }
+    {
+      ScopedTimer timer(&profile_.select_s);
+      uint32_t* bitmap_base = d_bitmap.data();
+      GENIE_RETURN_NOT_OK(BucketSelectAndFinalize(
+          device_, num_queries, n, options_.k,
+          [&](uint32_t q) {
+            const BitmapCounterView counter(
+                bitmap_base + static_cast<uint64_t>(q) * bitmap_words, bits,
+                max_count);
+            return [counter](ObjectId id) { return counter.Get(id); };
+          },
+          &results, &profile_));
     }
     return results;
   }
@@ -382,15 +592,21 @@ Result<std::vector<QueryResult>> MatchEngine::ExecuteStaged(
                                device_, static_cast<uint64_t>(n) *
                                             num_queries));
     uint32_t* counts_base = d_counts.data();
+    const simd::Ops& ops = simd::ActiveOps();
+    const auto count_increment = staged.single_writer
+                                     ? ops.count_increment_batch_exclusive
+                                     : ops.count_increment_batch;
     GENIE_RETURN_NOT_OK(device_->Launch(
         {num_tasks, block_dim}, [&](const sim::ThreadCtx& ctx) {
+          // Single contiguous pass per block, as in the c-PQ kernel.
+          if (ctx.thread_idx != 0) return;
           const uint32_t t = ctx.block_idx;
-          CountTableView table(
-              counts_base + static_cast<uint64_t>(task_query[t]) * n, n);
+          uint32_t* counts_row =
+              counts_base + static_cast<uint64_t>(task_query[t]) * n;
           for (uint32_t r = range_offsets[t]; r < range_offsets[t + 1]; ++r) {
-            for (uint32_t pos = range_begin[r] + ctx.thread_idx;
-                 pos < range_end[r]; pos += ctx.block_dim) {
-              table.Increment(postings[pos]);
+            if (range_begin[r] < range_end[r]) {
+              count_increment(counts_row, postings + range_begin[r],
+                              range_end[r] - range_begin[r]);
             }
           }
         }));
@@ -399,49 +615,15 @@ Result<std::vector<QueryResult>> MatchEngine::ExecuteStaged(
   {
     ScopedTimer timer(&profile_.select_s);
     // SPQ: one block per count table (Appendix A).
-    sim::DeviceBuffer<uint64_t> d_out;
-    sim::DeviceBuffer<uint32_t> d_out_size;
-    GENIE_ASSIGN_OR_RETURN(
-        d_out, sim::DeviceBuffer<uint64_t>::Allocate(
-                   device_, static_cast<uint64_t>(options_.k) * num_queries,
-                   /*zero_init=*/false));
-    GENIE_ASSIGN_OR_RETURN(
-        d_out_size, sim::DeviceBuffer<uint32_t>::Allocate(device_, num_queries));
     uint32_t* counts_base = d_counts.data();
-    uint64_t* out_base = d_out.data();
-    uint32_t* out_size_base = d_out_size.data();
-    const uint32_t k = options_.k;
-    GENIE_RETURN_NOT_OK(
-        device_->Launch({num_queries, 1}, [&](const sim::ThreadCtx& ctx) {
-          const uint32_t q = ctx.block_idx;
-          auto top = baselines::BucketKSelect(
-              counts_base + static_cast<uint64_t>(q) * n, n, k);
-          uint64_t* out = out_base + static_cast<uint64_t>(q) * k;
-          for (size_t i = 0; i < top.size(); ++i) {
-            out[i] = CpqHashTableView::MakeEntry(top[i].id, top[i].count);
-          }
-          out_size_base[q] = static_cast<uint32_t>(top.size());
-        }));
-    std::vector<uint32_t> sizes(num_queries);
-    GENIE_RETURN_NOT_OK(d_out_size.CopyToHost(sizes.data(), num_queries));
-    std::vector<uint64_t> row(options_.k);
-    for (uint32_t q = 0; q < num_queries; ++q) {
-      GENIE_RETURN_NOT_OK(d_out.CopyToHost(
-          row.data(), sizes[q], static_cast<uint64_t>(q) * options_.k));
-      profile_.result_bytes += sizes[q] * sizeof(uint64_t);
-      QueryResult& result = results[q];
-      for (uint32_t i = 0; i < sizes[q]; ++i) {
-        result.entries.push_back({CpqHashTableView::EntryId(row[i]),
-                                  CpqHashTableView::EntryCount(row[i])});
-      }
-      // Drop trailing zero-count padding so semantics match the c-PQ path
-      // (objects that matched nothing are not results).
-      while (!result.entries.empty() && result.entries.back().count == 0) {
-        result.entries.pop_back();
-      }
-      result.threshold =
-          result.entries.empty() ? 0 : result.entries.back().count;
-    }
+    GENIE_RETURN_NOT_OK(BucketSelectAndFinalize(
+        device_, num_queries, n, options_.k,
+        [&](uint32_t q) {
+          const uint32_t* counts_row =
+              counts_base + static_cast<uint64_t>(q) * n;
+          return [counts_row](ObjectId id) { return counts_row[id]; };
+        },
+        &results, &profile_));
   }
   return results;
 }

@@ -37,11 +37,22 @@ struct MatchEngineOptions {
   enum class Selector {
     kCpq,            // GENIE: c-PQ + single hash-table scan
     kCountTableSpq,  // GEN-SPQ: full Count Table + bucket k-selection
+    /// Packed Bitmap Counter + bucket k-selection directly over the packed
+    /// counters: no gate, no hash table — immune to c-PQ hash-table
+    /// pressure/overflow at the cost of a full counter scan per query.
+    /// The planner promotes a kCpq configuration to this when observed
+    /// overflows or per-selector select rates say the hash table dominates.
+    kBucketSelect,
   };
   Selector selector = Selector::kCpq;
 
   /// Hash-table capacity multiplier over k * max_count (c-PQ only).
   uint32_t ht_slack = 2;
+  /// Hard cap on the per-query hash-table slot count, rounded to a power of
+  /// two (c-PQ only; testing/ablation). CapacityFor sizes the table past
+  /// the Gate's k-per-level promotion bound, so without a cap the overflow
+  /// escalation path cannot be reached deterministically. 0 = no cap.
+  uint32_t ht_capacity_cap = 0;
   /// The modified-Robin-Hood expired-entry overwrite (ablation switch).
   bool robin_hood_expire = true;
 
@@ -98,6 +109,11 @@ struct MatchTaskList {
   /// The per-batch count bound (options.max_count, or derived from the
   /// batch when that is 0).
   uint32_t max_count = 0;
+  /// True when every query maps to at most one task (the unsplit default
+  /// schedule). Each query's counter arena then has exactly one writer
+  /// block, so the match kernels may use the non-atomic (exclusive) SIMD
+  /// arms. Load-balance splitting (max_lists_per_block > 0) clears it.
+  bool single_writer = false;
   /// Host-side resolution seconds (folded into the profile at execute).
   double build_s = 0;
 
@@ -139,6 +155,7 @@ class MatchEngine {
     uint32_t num_queries = 0;
     uint32_t max_count = 0;
     uint32_t num_tasks = 0;
+    bool single_writer = false;
     sim::DeviceBuffer<uint32_t> task_query;
     sim::DeviceBuffer<uint32_t> range_offsets;
     sim::DeviceBuffer<uint32_t> range_begin;
@@ -185,6 +202,12 @@ class MatchEngine {
 
   /// The per-batch count bound used when options.max_count == 0.
   static uint32_t DeriveMaxCount(std::span<const Query> queries);
+
+  /// True when `status` is the c-PQ hash-table overflow signal (a
+  /// ResourceExhausted distinct from memory exhaustion): the cost model
+  /// records it so the planner can promote the batch to kBucketSelect,
+  /// whose select stage has no hash table to overflow.
+  static bool IsCpqOverflow(const Status& status);
 
  private:
   MatchEngine(const InvertedIndex* index, const MatchEngineOptions& options,

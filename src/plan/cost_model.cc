@@ -19,6 +19,11 @@ constexpr double kObservationWeight = 0.25;
 constexpr double kEscalationShrink = 0.75;
 constexpr double kMarginFloor = 0.25;
 
+/// An observed selector only displaces the configured one when it is
+/// decisively cheaper — a 20% margin keeps the planner from flapping
+/// between selectors on measurement noise.
+constexpr double kSelectorSwitchRatio = 0.8;
+
 double Blend(double current, double observed) {
   if (observed <= 0) return current;
   if (current <= 0) return observed;
@@ -40,7 +45,8 @@ CostModel::CostModel() {
 
 void CostModel::ObserveExecution(const MatchProfile& delta,
                                  uint64_t postings_scanned,
-                                 uint32_t num_queries) {
+                                 uint32_t num_queries,
+                                 MatchEngineOptions::Selector selector) {
   if (num_queries == 0) return;
   if (postings_scanned > 0 && delta.match_s > 0) {
     rates_.match_s_per_posting = Blend(
@@ -50,6 +56,9 @@ void CostModel::ObserveExecution(const MatchProfile& delta,
   if (delta.select_s > 0) {
     rates_.select_s_per_query =
         Blend(rates_.select_s_per_query, delta.select_s / num_queries);
+    double& selector_rate =
+        select_rate_of_selector_[static_cast<int>(selector)];
+    selector_rate = Blend(selector_rate, delta.select_s / num_queries);
   }
   if (delta.prepare_s > 0) {
     rates_.prepare_s_per_query =
@@ -75,6 +84,24 @@ void CostModel::ObserveMerge(double merge_s, uint32_t num_queries,
             merge_s / static_cast<double>(query_parts));
 }
 
+double CostModel::SelectRate(MatchEngineOptions::Selector selector) const {
+  return select_rate_of_selector_[static_cast<int>(selector)];
+}
+
+MatchEngineOptions::Selector CostModel::PreferredSelector(
+    MatchEngineOptions::Selector configured) const {
+  if (configured != MatchEngineOptions::Selector::kCpq) return configured;
+  if (cpq_overflows_ > 0) return MatchEngineOptions::Selector::kBucketSelect;
+  const double cpq_rate = SelectRate(MatchEngineOptions::Selector::kCpq);
+  const double bucket_rate =
+      SelectRate(MatchEngineOptions::Selector::kBucketSelect);
+  if (cpq_rate > 0 && bucket_rate > 0 &&
+      bucket_rate < kSelectorSwitchRatio * cpq_rate) {
+    return MatchEngineOptions::Selector::kBucketSelect;
+  }
+  return configured;
+}
+
 void CostModel::RecordEscalation() {
   ++escalations_;
   residency_margin_ =
@@ -95,10 +122,11 @@ std::string CostModel::DebugString() const {
   char buffer[256];
   std::snprintf(
       buffer, sizeof(buffer),
-      "observations=%llu escalations=%u margin=%.2f match=%.3gs/posting "
-      "select=%.3gs/query prepare=%.3gs/query merge=%.3gs/(query*part)",
+      "observations=%llu escalations=%u cpq_overflows=%u margin=%.2f "
+      "match=%.3gs/posting select=%.3gs/query prepare=%.3gs/query "
+      "merge=%.3gs/(query*part)",
       static_cast<unsigned long long>(observations_), escalations_,
-      residency_margin_, rates_.match_s_per_posting,
+      cpq_overflows_, residency_margin_, rates_.match_s_per_posting,
       rates_.select_s_per_query, rates_.prepare_s_per_query,
       rates_.merge_s_per_query_part);
   return buffer;

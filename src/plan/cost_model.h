@@ -36,9 +36,13 @@ class CostModel {
 
   /// Folds one executed batch's measured stage costs into the rates
   /// (exponentially weighted, so drifting load conditions re-calibrate).
-  /// `postings_scanned` is the match work volume behind `delta.match_s`.
+  /// `postings_scanned` is the match work volume behind `delta.match_s`;
+  /// `selector` is the select stage the batch actually ran, so the model
+  /// keeps one select rate per selector alongside the blended aggregate.
   void ObserveExecution(const MatchProfile& delta, uint64_t postings_scanned,
-                        uint32_t num_queries);
+                        uint32_t num_queries,
+                        MatchEngineOptions::Selector selector =
+                            MatchEngineOptions::Selector::kCpq);
 
   /// Folds one host-merge observation (multi-part tiers).
   void ObserveMerge(double merge_s, uint32_t num_queries, uint32_t parts);
@@ -47,6 +51,26 @@ class CostModel {
   /// shrinks the residency margin multiplicatively, so the next plan
   /// assumes proportionally less usable memory.
   void RecordEscalation();
+
+  /// A c-PQ hash-table overflow (Theorem 3.1's capacity bound violated by
+  /// the workload): distinct from a memory-estimate miss — it does not
+  /// shrink the residency margin, it tells the planner the configured
+  /// selector's select stage is unsafe on this workload.
+  void RecordCpqOverflow() { ++cpq_overflows_; }
+  uint32_t cpq_overflows() const { return cpq_overflows_; }
+
+  /// Observed select-stage seconds per query for one selector; 0 until a
+  /// batch has run under it.
+  double SelectRate(MatchEngineOptions::Selector selector) const;
+
+  /// The selector the planner should schedule given the caller's configured
+  /// base selector. Explicit non-default configurations (kCountTableSpq,
+  /// kBucketSelect) are honored as-is; a kCpq configuration is promoted to
+  /// kBucketSelect once an overflow has been recorded (bucket selection has
+  /// no hash table to overflow) or once both selectors have observed rates
+  /// and bucket selection is decisively cheaper.
+  MatchEngineOptions::Selector PreferredSelector(
+      MatchEngineOptions::Selector configured) const;
 
   /// Fraction of device memory the planner may assume usable (1.0 until
   /// the first escalation, floored so the model never plans with zero).
@@ -68,8 +92,11 @@ class CostModel {
 
  private:
   StageCostRates rates_;
+  /// Observed select s/query indexed by MatchEngineOptions::Selector.
+  double select_rate_of_selector_[3] = {0, 0, 0};
   double residency_margin_ = 1.0;
   uint32_t escalations_ = 0;
+  uint32_t cpq_overflows_ = 0;
   uint64_t observations_ = 0;
 };
 

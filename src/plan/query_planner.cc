@@ -59,6 +59,15 @@ const char* TierToString(ExecutionPlan::Tier tier) {
   return "unknown";
 }
 
+const char* SelectorToString(MatchEngineOptions::Selector selector) {
+  switch (selector) {
+    case MatchEngineOptions::Selector::kCpq: return "cpq";
+    case MatchEngineOptions::Selector::kCountTableSpq: return "count-table";
+    case MatchEngineOptions::Selector::kBucketSelect: return "bucket-select";
+  }
+  return "unknown";
+}
+
 double ExecutionPlan::PartVolumeRatio(const IndexStats& stats) const {
   if (part_boundaries.size() < 2) return 1.0;
   uint64_t min_volume = std::numeric_limits<uint64_t>::max();
@@ -79,9 +88,10 @@ double ExecutionPlan::PartVolumeRatio(const IndexStats& stats) const {
 std::string ExecutionPlan::DebugString() const {
   char buffer[192];
   std::snprintf(buffer, sizeof(buffer),
-                "%s tier=%s parts=%u chunk=%u pipeline_depth=%u",
+                "%s tier=%s selector=%s parts=%u chunk=%u pipeline_depth=%u",
                 planned ? "planned" : "fallback", TierToString(tier),
-                num_parts, chunk_size, pipeline_depth);
+                SelectorToString(selector), num_parts, chunk_size,
+                pipeline_depth);
   std::string out = buffer;
   if (part_boundaries.size() >= 2) {
     out += " boundaries=[";
@@ -107,6 +117,7 @@ ExecutionPlan QueryPlanner::Plan(const PlannerInputs& inputs,
   const IndexStats& stats = *stats_;
   ExecutionPlan plan;
   plan.planned = true;
+  plan.selector = model.PreferredSelector(inputs.selector);
 
   const uint64_t volume_bytes = stats.total_postings * sizeof(ObjectId);
   const uint64_t free_bytes = inputs.capacity_bytes > inputs.allocated_bytes

@@ -32,6 +32,9 @@ struct PlannerInputs {
   /// Working bytes one query occupies in a batch at the configured k
   /// (MatchEngine::DeviceBytesPerQuery).
   uint64_t bytes_per_query = 0;
+  /// The caller's configured select stage; the planner may promote kCpq to
+  /// kBucketSelect based on the model's overflow / rate observations.
+  MatchEngineOptions::Selector selector = MatchEngineOptions::Selector::kCpq;
 
   // Backend knobs (EngineBackendOptions semantics).
   uint32_t num_devices = 1;
@@ -53,6 +56,9 @@ struct ExecutionPlan {
   };
 
   Tier tier = Tier::kSingleDevice;
+  /// The select stage the engines are built with
+  /// (CostModel::PreferredSelector of the configured selector).
+  MatchEngineOptions::Selector selector = MatchEngineOptions::Selector::kCpq;
   uint32_t num_parts = 1;
   /// Contiguous part boundaries over the object id space, balanced by
   /// postings volume: part p covers ids
@@ -78,6 +84,7 @@ struct ExecutionPlan {
 };
 
 const char* TierToString(ExecutionPlan::Tier tier);
+const char* SelectorToString(MatchEngineOptions::Selector selector);
 
 /// Stateless given its inputs: Plan() is a pure function of
 /// (stats, model, inputs), so identical inputs yield identical plans —

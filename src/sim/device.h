@@ -23,6 +23,7 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -130,6 +131,30 @@ class Device {
   void RecordH2D(uint64_t bytes) { bytes_h2d_.fetch_add(bytes); }
   void RecordD2H(uint64_t bytes) { bytes_d2h_.fetch_add(bytes); }
 
+  /// Fault injection (tests only): arms a single device-to-host copy
+  /// failure. The next `after_copies` D2H copies succeed, then exactly one
+  /// copy fails with `status`, after which copies succeed again. Mirrors a
+  /// real cudaMemcpy error so error-propagation paths can be exercised
+  /// without aborting the process.
+  void InjectD2HFault(Status status, uint64_t after_copies = 0) {
+    d2h_fault_status_ = std::move(status);
+    d2h_fault_countdown_.store(static_cast<int64_t>(after_copies),
+                               std::memory_order_release);
+  }
+  void ClearD2HFault() {
+    d2h_fault_countdown_.store(-1, std::memory_order_release);
+  }
+  /// Consulted by DeviceBuffer::CopyToHost; OK unless an armed fault fires.
+  Status NextD2HStatus() {
+    if (d2h_fault_countdown_.load(std::memory_order_acquire) < 0) {
+      return Status::OK();  // disarmed: the common fast path
+    }
+    if (d2h_fault_countdown_.fetch_sub(1, std::memory_order_acq_rel) == 0) {
+      return d2h_fault_status_;
+    }
+    return Status::OK();
+  }
+
   /// Staging accounting (called by StagingLease): classifies a slice of the
   /// already-allocated bytes as belonging to a staged-but-not-yet-executing
   /// chunk, so residency checks can tell the pipeline's double buffer apart
@@ -162,6 +187,11 @@ class Device {
   std::atomic<uint64_t> peak_allocated_bytes_{0};
   std::atomic<uint64_t> staging_bytes_{0};
   std::atomic<uint64_t> peak_staging_bytes_{0};
+  /// -1 = disarmed; >= 0 = D2H copies remaining before the armed fault
+  /// fires once. The status is written before arming (release) and read
+  /// only by the copy that observes the countdown hit zero (acquire).
+  std::atomic<int64_t> d2h_fault_countdown_{-1};
+  Status d2h_fault_status_;
 };
 
 /// RAII classification of device bytes as chunk-staging memory (the
@@ -275,6 +305,7 @@ class DeviceBuffer {
       return Status::OutOfRange("CopyToHost past end of device buffer");
     }
     if (n == 0) return Status::OK();  // memcpy forbids null dst even for 0
+    GENIE_RETURN_NOT_OK(device_->NextD2HStatus());
     std::memcpy(dst, data_.get() + src_offset, n * sizeof(T));
     device_->RecordD2H(n * sizeof(T));
     return Status::OK();

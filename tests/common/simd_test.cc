@@ -1,0 +1,188 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/bitmap_counter.h"
+
+namespace genie {
+namespace {
+
+using simd::Arch;
+using simd::BitmapParams;
+using simd::Ops;
+
+/// Posting streams shaped like real match-kernel input: sorted runs of
+/// neighbouring ids (inverted lists) with repeats, so the vector arms'
+/// same-word run combining actually triggers.
+std::vector<uint32_t> MakePostings(uint32_t n, uint32_t num_objects,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> postings;
+  postings.reserve(n);
+  while (postings.size() < n) {
+    uint32_t id = static_cast<uint32_t>(rng.UniformU64(num_objects));
+    const uint32_t run = 1 + static_cast<uint32_t>(rng.UniformU64(12));
+    for (uint32_t i = 0; i < run && postings.size() < n; ++i) {
+      postings.push_back(std::min(id, num_objects - 1));
+      if (rng.UniformU64(3) != 0) ++id;  // mostly ascending, some repeats
+    }
+  }
+  return postings;
+}
+
+class SimdWidthTest : public ::testing::TestWithParam<uint32_t> {};
+
+/// The tentpole's gating invariant: every dispatch arm must leave the word
+/// array AND the per-lane post values bit-identical to in-order scalar
+/// increments, across all counter widths.
+TEST_P(SimdWidthTest, BitmapBatchMatchesScalarReference) {
+  const uint32_t bits = GetParam();
+  const uint32_t n = 257;  // not word- or lane-aligned
+  const uint32_t num_postings = 4096;
+  for (const Arch arch : {Arch::kScalar, simd::BestSupportedArch()}) {
+    const Ops& ops = simd::OpsForArch(arch);
+    // The exclusive (single-writer) arm promises the same results as the
+    // shared arm when uncontended, so both must match the reference.
+    for (const bool exclusive : {false, true}) {
+      const auto batch = exclusive ? ops.bitmap_increment_batch_exclusive
+                                   : ops.bitmap_increment_batch;
+      std::vector<uint32_t> ref_words(
+          BitmapCounterView::WordsRequired(n, bits), 0);
+      std::vector<uint32_t> got_words(ref_words.size(), 0);
+      BitmapCounterView ref_view(ref_words.data(), bits);
+      BitmapCounterView got_view(got_words.data(), bits);
+      const std::vector<uint32_t> postings =
+          MakePostings(num_postings, n, /*seed=*/bits);
+      std::vector<uint32_t> ref_vals(num_postings);
+      std::vector<uint32_t> got_vals(num_postings);
+      const BitmapParams ref_params = ref_view.SimdParams();
+      for (uint32_t i = 0; i < num_postings; ++i) {
+        ref_vals[i] = simd::detail::ScalarIncrement(ref_params, postings[i]);
+      }
+      // Feed the batch kernel in irregular chunks (like the match kernel's
+      // kMatchBatch tail) to exercise every vector-tail path.
+      const BitmapParams got_params = got_view.SimdParams();
+      uint32_t pos = 0;
+      for (const uint32_t chunk : {64u, 7u, 1u, 64u, 13u}) {
+        batch(got_params, postings.data() + pos, chunk,
+              got_vals.data() + pos);
+        pos += chunk;
+      }
+      batch(got_params, postings.data() + pos, num_postings - pos,
+            got_vals.data() + pos);
+      EXPECT_EQ(ref_words, got_words)
+          << "arch=" << simd::ArchName(arch) << " bits=" << bits
+          << " exclusive=" << exclusive;
+      EXPECT_EQ(ref_vals, got_vals)
+          << "arch=" << simd::ArchName(arch) << " bits=" << bits
+          << " exclusive=" << exclusive;
+    }
+  }
+}
+
+TEST_P(SimdWidthTest, SaturationCapMatchesScalar) {
+  const uint32_t bits = GetParam();
+  if (bits < 2) GTEST_SKIP() << "1-bit fields saturate at 1 trivially";
+  const uint32_t n = 16;
+  // Cap strictly below the field max, so saturation (vals == 0, counter
+  // frozen) happens mid-field rather than at wraparound. Clamped small:
+  // the view honours any cap, and driving ~2^32 increments for the wide
+  // fields would take minutes and gigabytes for no extra coverage.
+  const uint32_t field_max = bits == 32 ? ~0u : (1u << bits) - 1u;
+  const uint32_t cap = std::min(field_max - 1, 100u);
+  for (const Arch arch : {Arch::kScalar, simd::BestSupportedArch()}) {
+    const Ops& ops = simd::OpsForArch(arch);
+    for (const bool exclusive : {false, true}) {
+      std::vector<uint32_t> words(BitmapCounterView::WordsRequired(n, bits),
+                                  0);
+      BitmapCounterView view(words.data(), bits, cap);
+      // Hammer one id past the cap within a single batch.
+      std::vector<uint32_t> oids(cap + 5, 3);
+      std::vector<uint32_t> vals(oids.size());
+      (exclusive ? ops.bitmap_increment_batch_exclusive
+                 : ops.bitmap_increment_batch)(
+          view.SimdParams(), oids.data(), static_cast<uint32_t>(oids.size()),
+          vals.data());
+      for (uint32_t i = 0; i < cap; ++i) EXPECT_EQ(vals[i], i + 1);
+      for (size_t i = cap; i < vals.size(); ++i) EXPECT_EQ(vals[i], 0u);
+      EXPECT_EQ(view.Get(3), cap)
+          << "arch=" << simd::ArchName(arch) << " exclusive=" << exclusive;
+      EXPECT_EQ(view.Get(2), 0u);
+      EXPECT_EQ(view.Get(4), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, SimdWidthTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+TEST(SimdTest, CountBatchMatchesScalarReference) {
+  const uint32_t n = 333;
+  const std::vector<uint32_t> postings = MakePostings(5000, n, /*seed=*/7);
+  std::vector<uint32_t> ref_counts(n, 0);
+  for (const uint32_t oid : postings) ++ref_counts[oid];
+  for (const Arch arch : {Arch::kScalar, simd::BestSupportedArch()}) {
+    const Ops& ops = simd::OpsForArch(arch);
+    for (const bool exclusive : {false, true}) {
+      const auto batch = exclusive ? ops.count_increment_batch_exclusive
+                                   : ops.count_increment_batch;
+      std::vector<uint32_t> counts(n, 0);
+      uint32_t pos = 0;
+      for (const uint32_t chunk : {64u, 5u, 64u, 64u, 2u, 64u}) {
+        batch(counts.data(), postings.data() + pos, chunk);
+        pos += chunk;
+      }
+      batch(counts.data(), postings.data() + pos,
+            static_cast<uint32_t>(postings.size()) - pos);
+      EXPECT_EQ(ref_counts, counts)
+          << "arch=" << simd::ArchName(arch) << " exclusive=" << exclusive;
+    }
+  }
+}
+
+TEST(SimdTest, DispatchTableIsWellFormed) {
+  for (const Arch arch : {Arch::kScalar, Arch::kAvx2, Arch::kNeon}) {
+    const Ops& ops = simd::OpsForArch(arch);
+    EXPECT_NE(ops.bitmap_increment_batch, nullptr);
+    EXPECT_NE(ops.count_increment_batch, nullptr);
+    EXPECT_NE(ops.bitmap_increment_batch_exclusive, nullptr);
+    EXPECT_NE(ops.count_increment_batch_exclusive, nullptr);
+    EXPECT_GE(ops.lanes, 1u);
+    // Unsupported requests clamp to scalar rather than crashing.
+    if (ops.arch != arch) {
+      EXPECT_EQ(ops.arch, Arch::kScalar);
+    }
+  }
+  EXPECT_EQ(simd::OpsForArch(Arch::kScalar).lanes, 1u);
+}
+
+TEST(SimdTest, ScopedForceArchOverridesActiveOps) {
+  {
+    simd::ScopedForceArch force(Arch::kScalar);
+    EXPECT_EQ(simd::ActiveOps().arch, Arch::kScalar);
+    EXPECT_EQ(simd::ActiveOps().lanes, 1u);
+  }
+  {
+    simd::ScopedForceArch force(simd::BestSupportedArch());
+    EXPECT_EQ(simd::ActiveOps().arch, simd::BestSupportedArch());
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+TEST(SimdTest, Avx2ArmIsExercisedWhenSupported) {
+  // On the CI runners (and any AVX2 box) the equality sweeps above must
+  // have compared a real vector arm, not scalar-vs-scalar.
+  if (simd::BestSupportedArch() != Arch::kAvx2) {
+    GTEST_SKIP() << "CPU lacks AVX2";
+  }
+  EXPECT_EQ(simd::OpsForArch(Arch::kAvx2).arch, Arch::kAvx2);
+  EXPECT_EQ(simd::OpsForArch(Arch::kAvx2).lanes, 8u);
+}
+#endif
+
+}  // namespace
+}  // namespace genie

@@ -250,5 +250,76 @@ TEST(EngineBackendTest, ExecuteDiscardsStaleChunkAfterTierEscalation) {
   EXPECT_EQ(device.staging_bytes(), 0u);
 }
 
+TEST(EngineBackendTest, CpqOverflowPromotesSelectorThroughThePlanner) {
+  // A workload that genuinely overflows the c-PQ hash table: k above the
+  // matched-object count pins AT at 1 so every matched object is promoted,
+  // and the capacity cap makes the resident set unfittable. With the
+  // planner on, the overflow is recorded in the cost model, the re-plan
+  // promotes the batch to the overflow-immune bucket selector, and the
+  // batch succeeds on the still-resident single-load tier.
+  auto workload = test::MakeRandomWorkload(3000, 10, 5, 2, 8, 51);
+  MatchEngineOptions options;
+  options.k = 4000;
+  options.ht_slack = 1;
+  options.ht_capacity_cap = 256;
+  options.device = test::SharedTestDevice(4);
+
+  auto backend = EngineBackend::Create(&workload.index, options);
+  ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+  EXPECT_EQ((*backend)->execution_plan().selector,
+            MatchEngineOptions::Selector::kCpq);
+
+  auto results = (*backend)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_GE((*backend)->cost_model_snapshot().cpq_overflows(), 1u);
+  EXPECT_EQ((*backend)->execution_plan().selector,
+            MatchEngineOptions::Selector::kBucketSelect);
+  // Promotion kept the index resident: no multiple-loading detour.
+  EXPECT_FALSE((*backend)->multi_load());
+  EXPECT_NE((*backend)->ExplainPlan().find("selector=bucket-select"),
+            std::string::npos)
+      << (*backend)->ExplainPlan();
+
+  // Answers equal an explicitly bucket-select-configured backend.
+  MatchEngineOptions bucket_options = options;
+  bucket_options.selector = MatchEngineOptions::Selector::kBucketSelect;
+  auto reference = EngineBackend::Create(&workload.index, bucket_options);
+  ASSERT_TRUE(reference.ok());
+  auto want = (*reference)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  ASSERT_EQ(results->size(), want->size());
+  for (size_t q = 0; q < want->size(); ++q) {
+    EXPECT_EQ(test::EntryCountMultiset((*results)[q]),
+              test::EntryCountMultiset((*want)[q]))
+        << "query " << q;
+    EXPECT_EQ((*results)[q].threshold, (*want)[q].threshold);
+  }
+}
+
+TEST(EngineBackendTest, CpqOverflowSurfacesWhenPlannerIsOff) {
+  // The legacy path keeps the configured selector pinned: the overflow is
+  // a caller-visible ResourceExhausted (with multi-load escalation off),
+  // exactly the pre-planner contract.
+  auto workload = test::MakeRandomWorkload(3000, 10, 5, 2, 8, 52);
+  MatchEngineOptions options;
+  options.k = 4000;
+  options.ht_slack = 1;
+  options.ht_capacity_cap = 256;
+  options.device = test::SharedTestDevice(4);
+  EngineBackendOptions backend_options;
+  backend_options.use_planner = false;
+  backend_options.allow_multi_load = false;
+
+  auto backend =
+      EngineBackend::Create(&workload.index, options, backend_options);
+  ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+  auto results = (*backend)->ExecuteBatch(workload.queries);
+  ASSERT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(MatchEngine::IsCpqOverflow(results.status()));
+  EXPECT_EQ((*backend)->execution_plan().selector,
+            MatchEngineOptions::Selector::kCpq);
+}
+
 }  // namespace
 }  // namespace genie

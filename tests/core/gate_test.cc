@@ -94,6 +94,27 @@ TEST(GateTest, Lemma31InvariantAfterRandomPromotions) {
   }
 }
 
+TEST(GateTest, SelectThresholdBoundaries) {
+  // Theorem 3.1's boundary, pinned at the edges so the single definition
+  // shared by the device select kernel, host ExtractTopK and hash-table
+  // expiry cannot drift: AT=0 (never reached in practice) must not wrap,
+  // AT=1 (initial: nothing promoted yet) keeps everything, and AT past the
+  // count bound keeps counts >= max_count.
+  EXPECT_EQ(GateView::SelectThreshold(0u), 0u);
+  EXPECT_EQ(GateView::SelectThreshold(1u), 0u);
+  const uint32_t max_count = 16;
+  EXPECT_EQ(GateView::SelectThreshold(max_count), max_count - 1);
+  EXPECT_EQ(GateView::SelectThreshold(max_count + 1), max_count);
+
+  // The instance form reads the live AT: initial gate state maps to 0.
+  GateFixture g(2, max_count);
+  EXPECT_EQ(g.view.SelectThreshold(), 0u);
+  g.view.OnPromoted(1);
+  g.view.OnPromoted(1);  // ZA[1] = 2 >= k: AT -> 2
+  EXPECT_EQ(g.view.audit_threshold(), 2u);
+  EXPECT_EQ(g.view.SelectThreshold(), 1u);
+}
+
 TEST(GateTest, ConcurrentPromotionsKeepInvariant) {
   GateFixture g(8, 16);
   const int threads = 8;

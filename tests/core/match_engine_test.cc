@@ -1,10 +1,12 @@
 #include "core/match_engine.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 
 #include <gtest/gtest.h>
 
+#include "common/simd.h"
 #include "index/index_builder.h"
 #include "index/vocabulary.h"
 #include "test_util.h"
@@ -196,6 +198,10 @@ INSTANTIATE_TEST_SUITE_P(
                     MatchEngineOptions::Selector::kCpq, 2, 13},
         EngineSweep{500, 20, 6, 8, 8, 20,
                     MatchEngineOptions::Selector::kCountTableSpq, 2, 13},
+        EngineSweep{1000, 200, 12, 16, 10, 10,
+                    MatchEngineOptions::Selector::kBucketSelect, 0, 12},
+        EngineSweep{500, 20, 6, 8, 8, 20,
+                    MatchEngineOptions::Selector::kBucketSelect, 2, 13},
         EngineSweep{50, 10, 4, 4, 3, 1,
                     MatchEngineOptions::Selector::kCpq, 0, 14},
         EngineSweep{2000, 500, 16, 32, 12, 100,
@@ -235,6 +241,34 @@ TEST(MatchEngineTest, LoadBalancedIndexSameResults) {
   for (size_t q = 0; q < queries.size(); ++q) {
     EXPECT_EQ(test::EntryCountMultiset((*r1)[q]),
               test::EntryCountMultiset((*r2)[q]));
+  }
+}
+
+TEST(MatchEngineTest, SplitAndUnsplitSchedulesAgree) {
+  // The unsplit schedule (one task per query) routes through the
+  // single-writer non-atomic SIMD arms; list splitting shares each query's
+  // arena across blocks and uses the atomic arms. Same index, same
+  // queries: the two schedules must produce identical top-k count
+  // multisets and exact per-object counts for every selector.
+  auto workload = test::MakeRandomWorkload(800, 60, 8, 12, 6, 91);
+  for (const auto selector : {MatchEngineOptions::Selector::kCpq,
+                              MatchEngineOptions::Selector::kCountTableSpq,
+                              MatchEngineOptions::Selector::kBucketSelect}) {
+    MatchEngineOptions unsplit = BaseOptions(10);
+    unsplit.selector = selector;
+    MatchEngineOptions split = unsplit;
+    split.max_lists_per_block = 1;
+    auto e1 = MatchEngine::Create(&workload.index, unsplit);
+    auto e2 = MatchEngine::Create(&workload.index, split);
+    ASSERT_TRUE(e1.ok() && e2.ok());
+    auto r1 = (*e1)->ExecuteBatch(workload.queries);
+    auto r2 = (*e2)->ExecuteBatch(workload.queries);
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    for (size_t q = 0; q < workload.queries.size(); ++q) {
+      EXPECT_EQ(test::EntryCountMultiset((*r1)[q]),
+                test::EntryCountMultiset((*r2)[q]))
+          << "selector=" << static_cast<int>(selector) << " query " << q;
+    }
   }
 }
 
@@ -304,6 +338,133 @@ TEST(MatchEngineTest, ExplicitMaxCountOverride) {
     EXPECT_EQ(test::EntryCountMultiset((*results)[q]),
               test::TopKCountMultiset(counts, 5));
   }
+}
+
+TEST(MatchEngineTest, DeviceCopyFailurePropagatesAsStatus) {
+  // A failing device-to-host copy in the host finalize stage (which runs
+  // under ThreadPool::ParallelFor) must surface as the injected Status —
+  // not abort the process, and not be swallowed into a torn result.
+  auto workload = test::MakeRandomWorkload(400, 80, 8, 6, 6, 31);
+  sim::Device::Options device_options;
+  device_options.num_workers = 4;
+  sim::Device device(device_options);  // private: fault state is per-device
+  MatchEngineOptions options;
+  options.k = 5;
+  options.device = &device;
+  auto engine = MatchEngine::Create(&workload.index, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // The kCpq finalize does one cursor D2H copy, then one candidate copy
+  // per query inside the worker pool; after_copies=2 lands the fault on a
+  // worker's candidate copy.
+  device.InjectD2HFault(Status::Internal("injected d2h fault"),
+                        /*after_copies=*/2);
+  auto failed = (*engine)->ExecuteBatch(workload.queries);
+  device.ClearD2HFault();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(failed.status().message(), "injected d2h fault");
+
+  // The engine stays usable once the fault clears, with correct results.
+  auto results = (*engine)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  for (size_t q = 0; q < workload.queries.size(); ++q) {
+    const auto counts =
+        test::BruteForceCounts(workload.index, workload.queries[q]);
+    EXPECT_EQ(test::EntryCountMultiset((*results)[q]),
+              test::TopKCountMultiset(counts, 5));
+  }
+}
+
+TEST(MatchEngineTest, FaultOnFirstD2HCopyAlsoPropagates) {
+  auto workload = test::MakeRandomWorkload(200, 40, 6, 4, 5, 32);
+  sim::Device::Options device_options;
+  device_options.num_workers = 2;
+  sim::Device device(device_options);
+  MatchEngineOptions options;
+  options.k = 3;
+  options.device = &device;
+  auto engine = MatchEngine::Create(&workload.index, options);
+  ASSERT_TRUE(engine.ok());
+  device.InjectD2HFault(Status::Internal("first copy fails"));
+  auto failed = (*engine)->ExecuteBatch(workload.queries);
+  device.ClearD2HFault();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+}
+
+TEST(MatchEngineTest, ScalarAndSimdArmsBitIdentical) {
+  // The tentpole's gate: forcing the dispatch arm must not change what the
+  // match-count model determines. The full-scan selectors are deterministic
+  // end to end, so they must agree entry for entry (ids, counts, order,
+  // thresholds). The c-PQ races blocks of one query across workers, so
+  // boundary-tie membership and slot order legitimately vary between ANY
+  // two runs; there the arms must agree on everything the model pins:
+  // thresholds, the count profile, and every above-boundary id+count.
+  auto workload = test::MakeRandomWorkload(1500, 300, 14, 12, 10, 33);
+  for (const auto selector : {MatchEngineOptions::Selector::kCpq,
+                              MatchEngineOptions::Selector::kCountTableSpq,
+                              MatchEngineOptions::Selector::kBucketSelect}) {
+    MatchEngineOptions options = BaseOptions(10);
+    options.selector = selector;
+    std::vector<std::vector<QueryResult>> per_arm;
+    for (const auto arch :
+         {simd::Arch::kScalar, simd::BestSupportedArch()}) {
+      simd::ScopedForceArch force(arch);
+      auto engine = MatchEngine::Create(&workload.index, options);
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      auto results = (*engine)->ExecuteBatch(workload.queries);
+      ASSERT_TRUE(results.ok()) << results.status().ToString();
+      per_arm.push_back(*std::move(results));
+    }
+    ASSERT_EQ(per_arm.size(), 2u);
+    const bool deterministic =
+        selector != MatchEngineOptions::Selector::kCpq;
+    for (size_t q = 0; q < per_arm[0].size(); ++q) {
+      const QueryResult& scalar = per_arm[0][q];
+      const QueryResult& simd = per_arm[1][q];
+      EXPECT_EQ(scalar.threshold, simd.threshold);
+      ASSERT_EQ(scalar.entries.size(), simd.entries.size());
+      if (deterministic) {
+        for (size_t e = 0; e < scalar.entries.size(); ++e) {
+          EXPECT_EQ(scalar.entries[e].id, simd.entries[e].id);
+          EXPECT_EQ(scalar.entries[e].count, simd.entries[e].count);
+        }
+      } else {
+        EXPECT_EQ(test::EntryCountMultiset(scalar),
+                  test::EntryCountMultiset(simd));
+        auto above = [](const QueryResult& r) {
+          std::map<ObjectId, uint32_t> ids;
+          for (const TopKEntry& e : r.entries) {
+            if (e.count > r.threshold) ids.emplace(e.id, e.count);
+          }
+          return ids;
+        };
+        EXPECT_EQ(above(scalar), above(simd));
+      }
+    }
+  }
+}
+
+TEST(MatchEngineTest, IsCpqOverflowMatchesOnlyTheOverflowSignal) {
+  EXPECT_FALSE(MatchEngine::IsCpqOverflow(Status::OK()));
+  EXPECT_FALSE(
+      MatchEngine::IsCpqOverflow(Status::ResourceExhausted("out of memory")));
+  EXPECT_FALSE(MatchEngine::IsCpqOverflow(Status::Internal("boom")));
+  // Force a real overflow and check the classifier accepts exactly it.
+  // k above the matched-object count pins AT at 1 (ZA[1] never reaches k),
+  // so every matched object is promoted; the capacity cap then guarantees
+  // the resident set cannot fit and Upsert hits its probe limit.
+  auto workload = test::MakeRandomWorkload(3000, 10, 5, 2, 8, 34);
+  MatchEngineOptions options = BaseOptions(4000);
+  options.ht_slack = 1;
+  options.ht_capacity_cap = 256;
+  auto engine = MatchEngine::Create(&workload.index, options);
+  ASSERT_TRUE(engine.ok());
+  auto results = (*engine)->ExecuteBatch(workload.queries);
+  ASSERT_FALSE(results.ok());
+  ASSERT_EQ(results.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(MatchEngine::IsCpqOverflow(results.status()));
 }
 
 TEST(MatchEngineTest, RobinHoodExpireOffStillCorrect) {

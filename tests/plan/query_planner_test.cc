@@ -33,6 +33,7 @@ InvertedIndex MakeSkewedIndex(uint32_t num_objects, uint32_t vocab) {
 
 void ExpectSamePlan(const ExecutionPlan& a, const ExecutionPlan& b) {
   EXPECT_EQ(a.tier, b.tier);
+  EXPECT_EQ(a.selector, b.selector);
   EXPECT_EQ(a.num_parts, b.num_parts);
   EXPECT_EQ(a.part_boundaries, b.part_boundaries);
   EXPECT_EQ(a.device_of_part, b.device_of_part);
@@ -171,6 +172,84 @@ TEST(PlannerTest, ForcedPartsOverrideTierSelection) {
   const ExecutionPlan plan = QueryPlanner(stats).Plan(inputs, model);
   EXPECT_EQ(plan.tier, ExecutionPlan::Tier::kMultiLoad);
   EXPECT_EQ(plan.num_parts, 3u);
+}
+
+TEST(PlannerTest, PreferredSelectorHonorsConfigAndOverflowSignal) {
+  CostModel model;
+  using Selector = MatchEngineOptions::Selector;
+  // No signals yet: the configured selector stands.
+  EXPECT_EQ(model.PreferredSelector(Selector::kCpq), Selector::kCpq);
+  EXPECT_EQ(model.cpq_overflows(), 0u);
+
+  // One hash-table overflow is decisive: the c-PQ select stage is unsafe
+  // on this workload, so a kCpq configuration promotes to bucket select.
+  model.RecordCpqOverflow();
+  EXPECT_EQ(model.cpq_overflows(), 1u);
+  EXPECT_EQ(model.PreferredSelector(Selector::kCpq), Selector::kBucketSelect);
+  // Overflows are not memory-estimate misses: the residency margin holds.
+  EXPECT_DOUBLE_EQ(model.residency_margin(), 1.0);
+  EXPECT_EQ(model.escalations(), 0u);
+
+  // Explicit non-default configurations are never overridden.
+  EXPECT_EQ(model.PreferredSelector(Selector::kCountTableSpq),
+            Selector::kCountTableSpq);
+  EXPECT_EQ(model.PreferredSelector(Selector::kBucketSelect),
+            Selector::kBucketSelect);
+}
+
+TEST(PlannerTest, PreferredSelectorPromotesOnDecisivelyCheaperRate) {
+  using Selector = MatchEngineOptions::Selector;
+  const auto observe = [](CostModel* model, Selector selector,
+                          double select_s) {
+    MatchProfile delta;
+    delta.select_s = select_s;
+    model->ObserveExecution(delta, /*postings_scanned=*/0,
+                            /*num_queries=*/64, selector);
+  };
+
+  CostModel close;
+  observe(&close, Selector::kCpq, 1.0);
+  observe(&close, Selector::kBucketSelect, 0.9);
+  EXPECT_GT(close.SelectRate(Selector::kCpq), 0.0);
+  EXPECT_GT(close.SelectRate(Selector::kBucketSelect), 0.0);
+  EXPECT_EQ(close.SelectRate(Selector::kCountTableSpq), 0.0);
+  // Within the 20% hysteresis band: no flapping onto the marginal winner.
+  EXPECT_EQ(close.PreferredSelector(Selector::kCpq), Selector::kCpq);
+
+  CostModel decisive;
+  observe(&decisive, Selector::kCpq, 1.0);
+  observe(&decisive, Selector::kBucketSelect, 0.5);
+  EXPECT_EQ(decisive.PreferredSelector(Selector::kCpq),
+            Selector::kBucketSelect);
+
+  // One-sided observations never promote: both rates must be measured.
+  CostModel one_sided;
+  observe(&one_sided, Selector::kCpq, 1.0);
+  EXPECT_EQ(one_sided.PreferredSelector(Selector::kCpq), Selector::kCpq);
+}
+
+TEST(PlannerTest, PlanCarriesThePreferredSelector) {
+  using Selector = MatchEngineOptions::Selector;
+  const IndexStats stats =
+      ComputeIndexStats(test::MakeRandomWorkload(1000, 100, 6, 1, 1, 85).index);
+  PlannerInputs inputs;
+  inputs.capacity_bytes = 64 << 20;
+  inputs.bytes_per_query = 4096;
+
+  CostModel model;
+  const QueryPlanner planner(stats);
+  EXPECT_EQ(planner.Plan(inputs, model).selector, Selector::kCpq);
+
+  model.RecordCpqOverflow();
+  const ExecutionPlan promoted = planner.Plan(inputs, model);
+  EXPECT_EQ(promoted.selector, Selector::kBucketSelect);
+  EXPECT_NE(promoted.DebugString().find("selector=bucket-select"),
+            std::string::npos)
+      << promoted.DebugString();
+
+  // An explicitly configured selector rides through the overflowed model.
+  inputs.selector = Selector::kCountTableSpq;
+  EXPECT_EQ(planner.Plan(inputs, model).selector, Selector::kCountTableSpq);
 }
 
 TEST(PlannerTest, ObservationsCalibrateTheCostModel) {

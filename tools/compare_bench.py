@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json snapshots and fail on per-stage regressions.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--max-regress 0.10]
+        [--keys match_s,select_s] [--min-speedup 1.5]
+
+Rows are matched by their "name" field; for every row present in both
+files, each requested key that both rows carry is compared. The script
+exits non-zero when CURRENT is more than --max-regress slower than
+BASELINE on any compared value (default: 10% on match_s/select_s), or —
+when --min-speedup is given — if no compared value improved by at least
+that factor. Rows or keys present on only one side are reported but never
+fail the run, so snapshots from different bench revisions stay
+comparable.
+
+Both files must come from the same GENIE_BENCH_SCALE; the script refuses
+to compare snapshots taken at different scales.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("results", []):
+        name = row.get("name")
+        if name:
+            rows[name] = row
+    return doc, rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown per compared value (default 0.10)",
+    )
+    parser.add_argument(
+        "--keys",
+        default="match_s,select_s",
+        help="comma-separated row keys to compare (default match_s,select_s; "
+        "use real_ms for benches without stage counters)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="additionally require at least one compared value to improve "
+        "by this factor (baseline/current)",
+    )
+    args = parser.parse_args()
+
+    base_doc, base_rows = load(args.baseline)
+    cur_doc, cur_rows = load(args.current)
+    if base_doc.get("scale") != cur_doc.get("scale"):
+        print(
+            f"FAIL: scale mismatch: baseline scale={base_doc.get('scale')} "
+            f"vs current scale={cur_doc.get('scale')}"
+        )
+        return 1
+
+    keys = [k.strip() for k in args.keys.split(",") if k.strip()]
+    regressions = []
+    best_speedup = None
+    compared = 0
+    for name in sorted(base_rows.keys() & cur_rows.keys()):
+        for key in keys:
+            base_val = base_rows[name].get(key)
+            cur_val = cur_rows[name].get(key)
+            if not isinstance(base_val, (int, float)) or not isinstance(
+                cur_val, (int, float)
+            ):
+                continue
+            compared += 1
+            if base_val > 0:
+                ratio = cur_val / base_val
+                speedup = base_val / cur_val if cur_val > 0 else float("inf")
+            else:
+                ratio, speedup = 1.0, 1.0
+            if best_speedup is None or speedup > best_speedup:
+                best_speedup = speedup
+            marker = ""
+            if ratio > 1.0 + args.max_regress:
+                marker = "  <-- REGRESSION"
+                regressions.append((name, key, base_val, cur_val, ratio))
+            print(
+                f"{name:50s} {key:10s} {base_val:12.6f} -> {cur_val:12.6f}"
+                f"  ({speedup:5.2f}x){marker}"
+            )
+
+    only_base = sorted(base_rows.keys() - cur_rows.keys())
+    only_cur = sorted(cur_rows.keys() - base_rows.keys())
+    for name in only_base:
+        print(f"note: row only in baseline: {name}")
+    for name in only_cur:
+        print(f"note: row only in current:  {name}")
+
+    if compared == 0:
+        print(f"FAIL: no comparable values for keys {keys}")
+        return 1
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} value(s) regressed more than "
+            f"{args.max_regress:.0%}:"
+        )
+        for name, key, base_val, cur_val, ratio in regressions:
+            print(f"  {name} {key}: {base_val:.6f} -> {cur_val:.6f} ({ratio:.2f}x)")
+        return 1
+    if args.min_speedup is not None and (
+        best_speedup is None or best_speedup < args.min_speedup
+    ):
+        print(
+            f"FAIL: best speedup {best_speedup:.2f}x is below the required "
+            f"{args.min_speedup:.2f}x"
+        )
+        return 1
+    print(
+        f"OK: {compared} values compared, best speedup "
+        f"{best_speedup:.2f}x, no regression beyond {args.max_regress:.0%}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
