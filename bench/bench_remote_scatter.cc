@@ -1,0 +1,133 @@
+/// Multi-node scatter-gather benchmark: one compiled workload executed
+/// through EngineConfig::Remote over in-process loopback workers, swept
+/// across shard counts (1 = the degenerate single-worker scatter). Reports
+/// coalesced batch QPS (queries answered per wall second across repeated
+/// batches) and per-batch p50/p99 latency, plus the per-worker network
+/// seconds the SearchProfile attributes, so the scatter/merge overhead
+/// trajectory is tracked in BENCH_remote.json alongside the figure
+/// benches. Loopback keeps the numbers deterministic and hermetic — this
+/// measures the coordinator (serialization, scatter threads, merge), not a
+/// NIC.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "api/genie.h"
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "index/index_builder.h"
+
+namespace genie {
+namespace bench {
+namespace {
+
+constexpr uint32_t kVocab = 2048;
+constexpr uint32_t kKeywordsPerObject = 16;
+constexpr uint32_t kItemsPerQuery = 8;
+constexpr uint32_t kK = 10;
+constexpr uint32_t kBatchQueries = 64;
+
+InvertedIndex BuildIndex(uint32_t num_objects) {
+  Rng rng(37);
+  InvertedIndexBuilder builder(kVocab);
+  for (uint32_t i = 0; i < num_objects; ++i) {
+    std::vector<Keyword> keywords;
+    keywords.reserve(kKeywordsPerObject);
+    for (uint32_t k = 0; k < kKeywordsPerObject; ++k) {
+      keywords.push_back(static_cast<Keyword>(rng.UniformU64(kVocab)));
+    }
+    builder.AddObject(static_cast<ObjectId>(i), std::move(keywords));
+  }
+  auto index = std::move(builder).Build();
+  GENIE_CHECK(index.ok()) << index.status().ToString();
+  return std::move(*index);
+}
+
+std::vector<Query> MakeBatch() {
+  Rng rng(41);
+  std::vector<Query> batch(kBatchQueries);
+  for (Query& q : batch) {
+    for (uint32_t i = 0; i < kItemsPerQuery; ++i) {
+      q.AddItem(static_cast<Keyword>(rng.UniformU64(kVocab)));
+    }
+  }
+  return batch;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t at = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return values[std::min(at, values.size() - 1)];
+}
+
+int Run() {
+  const uint32_t num_objects = Scaled(20000);
+  const uint32_t num_batches = std::max(8u, Scaled(32));
+  const InvertedIndex index = BuildIndex(num_objects);
+  const std::vector<Query> batch = MakeBatch();
+  BenchJsonWriter json("remote");
+
+  std::printf(
+      "Remote scatter benchmark: %u objects, %u batches x %u queries\n",
+      num_objects, num_batches, kBatchQueries);
+
+  for (const uint32_t shards : {1u, 2u, 4u, 8u}) {
+    auto engine = Engine::Create(
+        EngineConfig()
+            .Index(&index)
+            .K(kK)
+            .MaxCount(64)
+            .Device(BenchDevice())
+            .Remote(net::RemoteOptions::Loopback(shards)));
+    GENIE_CHECK(engine.ok()) << engine.status().ToString();
+
+    // Warm-up: the first batch pays the workers' lazy engine build.
+    auto warm = (*engine)->Search(SearchRequest::Compiled(batch));
+    GENIE_CHECK(warm.ok()) << warm.status().ToString();
+
+    std::vector<double> batch_ms(num_batches);
+    double network_s = 0;
+    double scatter_s = 0;
+    WallTimer wall;
+    for (uint32_t b = 0; b < num_batches; ++b) {
+      WallTimer timer;
+      auto result = (*engine)->Search(SearchRequest::Compiled(batch));
+      GENIE_CHECK(result.ok()) << result.status().ToString();
+      batch_ms[b] = timer.Seconds() * 1e3;
+      scatter_s += result->profile.scatter_seconds;
+      for (const WorkerProfile& worker : result->profile.per_worker) {
+        network_s += worker.network_s;
+      }
+    }
+    const double wall_s = wall.Seconds();
+    const double qps =
+        static_cast<double>(num_batches) * kBatchQueries / wall_s;
+    const double p50 = Percentile(batch_ms, 0.50);
+    const double p99 = Percentile(batch_ms, 0.99);
+
+    std::printf(
+        "%u shard(s): %8.0f qps  p50 %7.2f ms  p99 %7.2f ms  "
+        "scatter %6.1f ms  network %6.1f ms\n",
+        shards, qps, p50, p99, scatter_s * 1e3, network_s * 1e3);
+    json.Add("RemoteScatter/shards:" + std::to_string(shards), wall_s * 1e3,
+             {{"qps", qps},
+              {"p50_ms", p50},
+              {"p99_ms", p99},
+              {"shards", static_cast<double>(shards)},
+              {"scatter_ms", scatter_s * 1e3},
+              {"network_ms", network_s * 1e3}});
+  }
+
+  const std::string path = json.Write();
+  if (!path.empty()) std::printf("benchmark json: %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace genie
+
+int main() { return genie::bench::Run(); }

@@ -353,6 +353,10 @@ EngineConfig& EngineConfig::UsePlanner(bool use) {
   use_planner_ = use;
   return *this;
 }
+EngineConfig& EngineConfig::Remote(net::RemoteOptions remote) {
+  remote_ = std::move(remote);
+  return *this;
+}
 EngineConfig& EngineConfig::Serving(ServingOptions options) {
   serving_enabled_ = true;
   serving_ = std::move(options);
@@ -408,6 +412,10 @@ Status Engine::ValidateCommonKnobs(const EngineConfig& config) {
   }
   if (config.num_devices() == 0) {
     return Status::InvalidArgument("num_devices must be >= 1");
+  }
+  if (config.remote().enabled() && config.num_devices() > 1) {
+    return Status::InvalidArgument(
+        "Remote(endpoints) and Devices(n > 1) are mutually exclusive");
   }
   return Status::OK();
 }

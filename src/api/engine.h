@@ -21,6 +21,7 @@
 #include "common/result.h"
 #include "index/inverted_index.h"
 #include "lsh/lsh_family.h"
+#include "net/remote_options.h"
 #include "sim/device.h"
 
 namespace genie {
@@ -121,6 +122,14 @@ class EngineConfig {
   /// try-and-escalate decisions with uniform object-range sharding; results
   /// are identical either way — only the schedule differs.
   EngineConfig& UsePlanner(bool use);
+  /// Scatter the index across remote worker processes (one shard per
+  /// endpoint, postings-volume balanced) and answer batches by
+  /// scatter-gather over the RPC protocol in src/net/. Loopback addresses
+  /// ("loopback/<n>", net::RemoteOptions::Loopback) run in-process workers
+  /// — deterministic and CI-friendly; "host:port" addresses dial real
+  /// genie_worker processes. Mutually exclusive with Devices(n > 1).
+  /// Results are identical to the local tiers for every shard count.
+  EngineConfig& Remote(net::RemoteOptions remote);
 
   // --- Serving knobs. ------------------------------------------------------
   /// Route Search / SearchStream / SearchAsync through the serving layer:
@@ -180,6 +189,7 @@ class EngineConfig {
   uint32_t force_parts() const { return force_parts_; }
   uint32_t num_devices() const { return num_devices_; }
   bool use_planner() const { return use_planner_; }
+  const net::RemoteOptions& remote() const { return remote_; }
 
   bool serving_enabled() const { return serving_enabled_; }
   const ServingOptions& serving() const { return serving_; }
@@ -226,6 +236,7 @@ class EngineConfig {
   uint32_t force_parts_ = 0;
   uint32_t num_devices_ = 1;
   bool use_planner_ = true;
+  net::RemoteOptions remote_;
 
   bool serving_enabled_ = false;
   ServingOptions serving_;

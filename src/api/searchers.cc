@@ -63,6 +63,7 @@ EngineBackendOptions BackendOptions(const EngineConfig& config) {
   options.shard_build.max_list_length = config.max_list_length();
   options.num_devices = config.num_devices();
   options.use_planner = config.use_planner();
+  options.remote = config.remote();
   return options;
 }
 
@@ -108,6 +109,51 @@ std::vector<DeviceProfile> DeviceCosts(
   return costs;
 }
 
+std::vector<WorkerProfile> WorkerCosts(
+    const std::vector<RemoteWorkerStats>& workers) {
+  std::vector<WorkerProfile> costs(workers.size());
+  for (size_t w = 0; w < workers.size(); ++w) {
+    costs[w].address = workers[w].address;
+    costs[w].calls = workers[w].calls;
+    costs[w].wins = workers[w].wins;
+    costs[w].failures = workers[w].failures;
+    costs[w].hedged = workers[w].hedged;
+    costs[w].request_bytes = workers[w].request_bytes;
+    costs[w].response_bytes = workers[w].response_bytes;
+    costs[w].call_s = workers[w].call_s;
+    costs[w].network_s =
+        std::max(0.0, workers[w].call_s - workers[w].worker_execute_s);
+    costs[w].worker_match_s = workers[w].worker_match_s;
+    costs[w].worker_select_s = workers[w].worker_select_s;
+  }
+  return costs;
+}
+
+/// Per-call worker delta: `after` minus the matching-address entry of
+/// `before` (workers are keyed by address; the set only grows).
+std::vector<RemoteWorkerStats> RemoteDelta(
+    const std::vector<RemoteWorkerStats>& before,
+    const std::vector<RemoteWorkerStats>& after) {
+  std::vector<RemoteWorkerStats> delta = after;
+  for (RemoteWorkerStats& worker : delta) {
+    for (const RemoteWorkerStats& base : before) {
+      if (base.address != worker.address) continue;
+      worker.calls -= base.calls;
+      worker.wins -= base.wins;
+      worker.failures -= base.failures;
+      worker.hedged -= base.hedged;
+      worker.request_bytes -= base.request_bytes;
+      worker.response_bytes -= base.response_bytes;
+      worker.call_s -= base.call_s;
+      worker.worker_match_s -= base.worker_match_s;
+      worker.worker_select_s -= base.worker_select_s;
+      worker.worker_execute_s -= base.worker_execute_s;
+      break;
+    }
+  }
+  return delta;
+}
+
 SearchProfile MakeProfile(const MatchProfile& p, double merge_s,
                           double verify_s,
                           const EngineBackend::ProfileSnapshot& facts) {
@@ -143,6 +189,20 @@ void FillProfiles(SearchResult* result, const BackendSnapshot& before,
                   after.verify_s - before.verify_s, after.backend);
   result->cumulative = MakeProfile(after.backend.match, after.backend.merge_s,
                                    after.verify_s, after.backend);
+  if (after.backend.remote) {
+    result->cumulative.workers =
+        static_cast<uint32_t>(after.backend.remote_profile.workers.size());
+    result->cumulative.scatter_seconds = after.backend.remote_profile.scatter_s;
+    result->cumulative.per_worker =
+        WorkerCosts(after.backend.remote_profile.workers);
+    result->profile.workers = result->cumulative.workers;
+    result->profile.scatter_seconds =
+        after.backend.remote_profile.scatter_s -
+        before.backend.remote_profile.scatter_s;
+    result->profile.per_worker = WorkerCosts(
+        RemoteDelta(before.backend.remote_profile.workers,
+                    after.backend.remote_profile.workers));
+  }
   result->cumulative.per_device = DeviceCosts(after.backend.devices);
   if (before.backend.devices.size() == after.backend.devices.size()) {
     std::vector<MatchProfile> device_delta = after.backend.devices;

@@ -159,6 +159,24 @@ struct DeviceProfile {
   uint64_t result_bytes = 0;
 };
 
+/// Per-worker network + stage costs of the multi-node tier (empty unless
+/// the engine runs on EngineConfig::Remote endpoints). Keyed by worker
+/// address; replica addresses report separately, which is how hedges and
+/// failovers become visible.
+struct WorkerProfile {
+  std::string address;
+  uint64_t calls = 0;     // match attempts shipped to this worker
+  uint64_t wins = 0;      // attempts whose response was used
+  uint64_t failures = 0;  // attempts that errored
+  uint64_t hedged = 0;    // attempts launched as hedges
+  uint64_t request_bytes = 0;
+  uint64_t response_bytes = 0;
+  double network_s = 0;        // transport wall seconds minus worker execute
+  double call_s = 0;           // transport wall seconds (round trip)
+  double worker_match_s = 0;   // worker-reported stage seconds
+  double worker_select_s = 0;
+};
+
 /// Stage costs and backend facts (Table I / Table III shapes, unified
 /// across single-load, multi-load and multi-device). SearchResult carries
 /// two of these: the costs of that Search call alone (`profile`) and the
@@ -195,6 +213,12 @@ struct SearchProfile {
   /// Per-device stage costs, indexed by device ordinal (empty on the
   /// single-device tiers).
   std::vector<DeviceProfile> per_device;
+  /// Multi-node tier: workers the engine scattered to (empty otherwise).
+  uint32_t workers = 0;
+  /// Per-worker network/stage costs, keyed by address (empty off-remote).
+  std::vector<WorkerProfile> per_worker;
+  /// Coordinator-side scatter wall seconds (remote tier only).
+  double scatter_seconds = 0;
   /// True when the live tier was built from a QueryPlanner ExecutionPlan
   /// (false = legacy decision path, or the escalation safety net replaced
   /// the plan mid-way).
@@ -258,6 +282,32 @@ struct SearchProfile {
       per_device[d].index_bytes += other.per_device[d].index_bytes;
       per_device[d].query_bytes += other.per_device[d].query_bytes;
       per_device[d].result_bytes += other.per_device[d].result_bytes;
+    }
+    workers = std::max(workers, other.workers);
+    scatter_seconds += other.scatter_seconds;
+    for (const WorkerProfile& worker : other.per_worker) {
+      WorkerProfile* slot = nullptr;
+      for (WorkerProfile& existing : per_worker) {
+        if (existing.address == worker.address) {
+          slot = &existing;
+          break;
+        }
+      }
+      if (slot == nullptr) {
+        per_worker.push_back(WorkerProfile{});
+        slot = &per_worker.back();
+        slot->address = worker.address;
+      }
+      slot->calls += worker.calls;
+      slot->wins += worker.wins;
+      slot->failures += worker.failures;
+      slot->hedged += worker.hedged;
+      slot->request_bytes += worker.request_bytes;
+      slot->response_bytes += worker.response_bytes;
+      slot->network_s += worker.network_s;
+      slot->call_s += worker.call_s;
+      slot->worker_match_s += worker.worker_match_s;
+      slot->worker_select_s += worker.worker_select_s;
     }
   }
 };

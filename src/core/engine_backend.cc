@@ -29,7 +29,46 @@ uint32_t EngineBackend::EstimateParts() const {
   return std::clamp(parts, 2u, backend_options_.max_parts);
 }
 
+namespace {
+
+void AccumulateRemoteProfile(RemoteProfile* into, const RemoteProfile& from) {
+  into->batches += from.batches;
+  into->scatter_s += from.scatter_s;
+  into->merge_s += from.merge_s;
+  for (const RemoteWorkerStats& worker : from.workers) {
+    RemoteWorkerStats* slot = nullptr;
+    for (RemoteWorkerStats& existing : into->workers) {
+      if (existing.address == worker.address) {
+        slot = &existing;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      into->workers.push_back(RemoteWorkerStats{});
+      slot = &into->workers.back();
+      slot->address = worker.address;
+    }
+    slot->calls += worker.calls;
+    slot->wins += worker.wins;
+    slot->failures += worker.failures;
+    slot->hedged += worker.hedged;
+    slot->request_bytes += worker.request_bytes;
+    slot->response_bytes += worker.response_bytes;
+    slot->call_s += worker.call_s;
+    slot->worker_match_s += worker.worker_match_s;
+    slot->worker_select_s += worker.worker_select_s;
+    slot->worker_execute_s += worker.worker_execute_s;
+  }
+}
+
+}  // namespace
+
 void EngineBackend::RetireEngines() {
+  if (remote_ != nullptr) {
+    AccumulateRemoteProfile(&carried_remote_, remote_->profile());
+    remote_.reset();
+    remote_index_ = nullptr;
+  }
   if (single_ != nullptr) {
     carried_profile_.Accumulate(single_->profile());
     single_.reset();
@@ -158,6 +197,13 @@ Result<std::unique_ptr<EngineBackend>> EngineBackend::Create(
   if (backend_options.num_devices == 0) {
     return Status::InvalidArgument("num_devices must be >= 1");
   }
+  if (backend_options.remote.enabled() &&
+      (backend_options.num_devices > 1 ||
+       backend_options.device_set != nullptr)) {
+    return Status::InvalidArgument(
+        "remote endpoints and a multi-device configuration are mutually "
+        "exclusive: pick one parallelism axis");
+  }
   const uint32_t num_devices =
       backend_options.device_set != nullptr
           ? static_cast<uint32_t>(backend_options.device_set->size())
@@ -230,6 +276,8 @@ plan::PlannerInputs EngineBackend::PlannerInputsLocked() const {
       options_.max_count > 0 ? options_.max_count : 16);
   inputs.selector = base_selector_;
   inputs.num_devices = backend_options_.num_devices;
+  inputs.num_remote_workers =
+      static_cast<uint32_t>(backend_options_.remote.endpoints.size());
   inputs.force_parts = backend_options_.force_parts;
   inputs.max_parts = backend_options_.max_parts;
   inputs.allow_multi_load = backend_options_.allow_multi_load;
@@ -256,11 +304,57 @@ Status EngineBackend::ApplyPlanLocked(const plan::ExecutionPlan& p) {
                               p.device_of_part);
     case plan::ExecutionPlan::Tier::kMultiLoad:
       return SetUpMultiLoad(p.num_parts, p.part_boundaries);
+    case plan::ExecutionPlan::Tier::kRemote:
+      return SetUpRemote();
   }
   return Status::InvalidArgument("unknown plan tier");
 }
 
+Status EngineBackend::SetUpRemote() {
+  const net::RemoteOptions& remote = backend_options_.remote;
+  if (remote_ != nullptr && remote_index_ == index_) {
+    // Same index, new options (k growth, selector promotion): the workers
+    // rebuild their engines lazily from the wire options — no re-push.
+    remote_->UpdateOptions(options_);
+    return Status::OK();
+  }
+  RefreshStatsLocked();
+  const uint32_t workers =
+      static_cast<uint32_t>(remote.endpoints.size());
+  const uint32_t parts =
+      std::min(workers, std::max(1u, index_->num_objects()));
+  if (parts < workers) {
+    return Status::InvalidArgument(
+        "remote engine: more endpoints than objects to shard");
+  }
+  GENIE_ASSIGN_OR_RETURN(ShardedIndex sharded, ShardLocked(parts, {}));
+  std::vector<IndexPart> index_parts;
+  index_parts.reserve(sharded.shards.size());
+  for (size_t p = 0; p < sharded.shards.size(); ++p) {
+    index_parts.push_back(
+        IndexPart{&sharded.shards[p], sharded.offsets[p]});
+  }
+  // Workers deserialize and own their shard, so the sharded copy here is
+  // free to die with this scope.
+  GENIE_ASSIGN_OR_RETURN(std::unique_ptr<RemoteEngine> engine,
+                         RemoteEngine::Create(index_parts, options_, remote));
+  RetireEngines();
+  remote_ = std::move(engine);
+  remote_index_ = index_;
+  ++generation_;
+  plan_.planned = backend_options_.use_planner;
+  plan_.tier = plan::ExecutionPlan::Tier::kRemote;
+  plan_.selector = options_.selector;
+  plan_.num_parts = parts;
+  plan_.part_boundaries.assign(sharded.offsets.begin(),
+                               sharded.offsets.end());
+  plan_.part_boundaries.push_back(index_->num_objects());
+  plan_.device_of_part.clear();
+  return Status::OK();
+}
+
 Status EngineBackend::SetUpTierLocked() {
+  if (backend_options_.remote.enabled()) return SetUpRemote();
   if (!backend_options_.use_planner) return SetUpTierLegacyLocked();
   RefreshStatsLocked();
   const plan::QueryPlanner planner(stats_);
@@ -478,6 +572,13 @@ Result<std::vector<QueryResult>> EngineBackend::ExecuteBatchAtK(
 
 Result<std::vector<QueryResult>> EngineBackend::ExecuteBatchLocked(
     std::span<const Query> queries) {
+  if (remote_ != nullptr) {
+    // The multi-node tier has no local escalation ladder: a shard that
+    // cannot execute (every replica failed) fails the batch with the
+    // workers' Status — sharding finer is a deployment decision, not a
+    // runtime fallback.
+    return remote_->ExecuteBatch(queries);
+  }
   if (single_ != nullptr) {
     auto results = single_->ExecuteBatch(queries);
     if (results.ok() ||
@@ -761,6 +862,7 @@ void EngineBackend::ObserveExecutionLocked(const ProfileSnapshot& before,
 }
 
 uint32_t EngineBackend::NumPartsLocked() const {
+  if (remote_ != nullptr) return remote_->num_shards();
   if (multi_ != nullptr) return static_cast<uint32_t>(multi_->num_parts());
   if (multi_device_ != nullptr) {
     return static_cast<uint32_t>(multi_device_->num_parts());
@@ -780,6 +882,22 @@ EngineBackend::ProfileSnapshot EngineBackend::SnapshotLocked() const {
     snapshot.merge_s += p.merge_s;
     snapshot.devices = p.per_device;
     snapshot.num_devices = static_cast<uint32_t>(multi_device_->num_devices());
+  } else if (remote_ != nullptr) {
+    snapshot.remote = true;
+    snapshot.remote_profile = carried_remote_;
+    AccumulateRemoteProfile(&snapshot.remote_profile, remote_->profile());
+    // Fold the workers' reported stage seconds into the aggregated match
+    // profile so existing profile consumers (cost model, SearchProfile)
+    // see the real match/select work, wherever it ran.
+    MatchProfile remote_match;
+    for (const RemoteWorkerStats& worker : snapshot.remote_profile.workers) {
+      remote_match.match_s += worker.worker_match_s;
+      remote_match.select_s += worker.worker_select_s;
+      remote_match.query_bytes += worker.request_bytes;
+      remote_match.result_bytes += worker.response_bytes;
+    }
+    snapshot.match.Accumulate(remote_match);
+    snapshot.merge_s += snapshot.remote_profile.merge_s;
   } else {
     snapshot.match.Accumulate(multi_->profile().per_part);
     snapshot.merge_s += multi_->profile().merge_s;
@@ -876,6 +994,8 @@ std::string EngineBackend::ExplainPlan() const {
            std::to_string(multi_device_->num_devices());
   } else if (multi_ != nullptr) {
     out += "multi-load";
+  } else if (remote_ != nullptr) {
+    out += "remote workers=" + std::to_string(remote_->num_shards());
   } else {
     out += "none";
   }

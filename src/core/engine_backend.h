@@ -23,6 +23,7 @@
 #include "core/match_engine.h"
 #include "core/multi_device_engine.h"
 #include "core/multi_load_engine.h"
+#include "core/remote_engine.h"
 #include "index/delta/delta_store.h"
 #include "index/shard.h"
 #include "plan/cost_model.h"
@@ -78,6 +79,13 @@ struct EngineBackendOptions {
   /// (the backend copies them); ignored — and recomputed — when they do
   /// not match the index.
   const plan::IndexStats* index_stats = nullptr;
+
+  /// The multi-node tier: when endpoints are configured the backend shards
+  /// the index across them (postings-volume-balanced cut when the planner
+  /// is on) and executes every batch through a RemoteEngine scatter-gather
+  /// instead of the local tiers. Mutually exclusive with num_devices > 1 /
+  /// device_set (one machine-parallelism axis at a time).
+  net::RemoteOptions remote;
 };
 
 /// A MatchEngine-shaped executor that owns the backend decision. Exposes an
@@ -103,6 +111,9 @@ class EngineBackend {
     /// The execution plan the live tier runs under (plan.planned == false
     /// when the legacy / escalation fallback path set the tier up).
     plan::ExecutionPlan plan;
+    /// Multi-node tier only: per-worker transport/stage accounting.
+    bool remote = false;
+    RemoteProfile remote_profile;
   };
 
   /// `index` must outlive the backend.
@@ -317,6 +328,12 @@ class EngineBackend {
                          std::span<const Query> queries, uint32_t k,
                          std::vector<QueryResult>* results);
 
+  /// Builds (or rebuilds) the remote tier: shards the index across the
+  /// configured endpoints (volume-balanced when the planner owns stats)
+  /// and pushes each shard to its workers. Skipped — only the options are
+  /// refreshed — when the live RemoteEngine already serves this index, so
+  /// k growth does not re-push shards over the wire.
+  Status SetUpRemote();
   /// Shards the full index into `parts` and rebuilds the multi-load
   /// engine. Non-empty `boundaries` (a planner cut) override the uniform
   /// object-range split.
@@ -395,6 +412,13 @@ class EngineBackend {
   std::unique_ptr<sim::DeviceSet> owned_devices_;
   sim::DeviceSet* devices_ = nullptr;
   std::shared_ptr<MultiDeviceEngine> multi_device_;
+  /// Multi-node tier (exclusive with the three local tiers) and the index
+  /// its workers currently hold, so a rebuild that does not change the
+  /// index skips the shard re-push.
+  std::shared_ptr<RemoteEngine> remote_;
+  const InvertedIndex* remote_index_ = nullptr;
+  /// Accumulated profile of retired RemoteEngines (index swaps).
+  RemoteProfile carried_remote_;
   /// Stage costs of retired engines (single-load before a fallback, or
   /// earlier multi-load generations before a part escalation), so profile()
   /// stays cumulative across backend switches.

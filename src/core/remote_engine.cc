@@ -1,0 +1,421 @@
+#include "core/remote_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/timer.h"
+#include "index/index_io.h"
+#include "net/frame.h"
+#include "net/socket_transport.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "net/worker_service.h"
+
+namespace genie {
+namespace {
+
+/// Decodes a response frame into the payload type `AckPayload`, translating
+/// kError frames back into their carried Status.
+template <typename AckPayload>
+Result<AckPayload> DecodeAck(std::string_view response_bytes,
+                             net::FrameType want_type,
+                             const std::string& address) {
+  GENIE_ASSIGN_OR_RETURN(net::Frame frame, net::DecodeFrame(response_bytes));
+  if (frame.type == net::FrameType::kError) {
+    GENIE_ASSIGN_OR_RETURN(net::ErrorPayload error,
+                           net::ErrorPayload::Decode(frame.payload));
+    Status status = error.ToStatus();
+    if (status.ok()) {
+      return Status::InvalidArgument("rpc: " + address +
+                                     " sent an error frame carrying OK");
+    }
+    return status;
+  }
+  if (frame.type != want_type) {
+    return Status::InvalidArgument(
+        std::string("rpc: ") + address + " answered with " +
+        net::FrameTypeToString(frame.type) + ", want " +
+        net::FrameTypeToString(want_type));
+  }
+  return AckPayload::Decode(frame.payload);
+}
+
+struct EmptyAck {
+  static Result<EmptyAck> Decode(std::string_view bytes) {
+    if (!bytes.empty()) {
+      return Status::InvalidArgument("rpc: ack payload should be empty");
+    }
+    return EmptyAck{};
+  }
+};
+
+}  // namespace
+
+/// One in-flight attempt's shared hedging state. Attempt threads may
+/// outlive the batch (stragglers), so the state is reference-counted and
+/// owns everything the threads touch.
+struct RemoteEngine::ShardState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;                    // a winner was gathered
+  std::vector<QueryResult> winner;
+  Status last_error = Status::OK();
+  size_t launched = 0;
+  size_t resolved = 0;                  // attempts that succeeded or failed
+};
+
+struct RemoteEngine::ShardClient {
+  /// replica 0 is the endpoint's primary address.
+  std::vector<std::string> addresses;
+  std::vector<std::unique_ptr<net::Transport>> transports;
+};
+
+RemoteEngine::RemoteEngine(MatchEngineOptions options,
+                           net::RemoteOptions remote)
+    : options_(std::move(options)), remote_(std::move(remote)) {}
+
+RemoteEngine::~RemoteEngine() {
+  std::unique_lock<std::mutex> lock(threads_mu_);
+  shutting_down_ = true;
+  // Wait out ExecuteBatch calls still running on other threads, then join
+  // every attempt thread (including stragglers whose hedge already won).
+  threads_cv_.wait(lock, [&] { return outstanding_batches_ == 0; });
+  std::vector<TrackedThread> threads = std::move(pending_threads_);
+  lock.unlock();
+  for (TrackedThread& tracked : threads) {
+    if (tracked.thread.joinable()) tracked.thread.join();
+  }
+}
+
+Result<std::unique_ptr<RemoteEngine>> RemoteEngine::Create(
+    std::span<const IndexPart> parts, const MatchEngineOptions& options,
+    const net::RemoteOptions& remote) {
+  if (!remote.enabled()) {
+    return Status::InvalidArgument("remote engine: no endpoints configured");
+  }
+  if (parts.size() != remote.endpoints.size()) {
+    return Status::InvalidArgument(
+        "remote engine: " + std::to_string(parts.size()) + " shards but " +
+        std::to_string(remote.endpoints.size()) + " endpoints");
+  }
+  GENIE_RETURN_NOT_OK(ValidateDisjointParts(parts));
+
+  std::unique_ptr<RemoteEngine> engine(new RemoteEngine(options, remote));
+  for (size_t s = 0; s < parts.size(); ++s) {
+    const net::RemoteEndpoint& endpoint = remote.endpoints[s];
+    auto shard = std::make_unique<ShardClient>();
+    shard->addresses.push_back(endpoint.address);
+    for (const std::string& replica : endpoint.replicas) {
+      shard->addresses.push_back(replica);
+    }
+    // Loopback replicas of one endpoint share one in-process worker — the
+    // analogue of replica processes that each loaded the same shard, minus
+    // the duplicated memory.
+    std::shared_ptr<net::WorkerService> service;
+    for (const std::string& address : shard->addresses) {
+      if (net::IsLoopbackAddress(address)) {
+        if (service == nullptr) {
+          net::WorkerService::Options worker_options;
+          worker_options.name = address;
+          if (options.device != nullptr) {
+            // Private worker device matching the coordinator's device
+            // configuration, as a real worker host would be provisioned.
+            worker_options.device_options = options.device->options();
+          }
+          service = std::make_shared<net::WorkerService>(worker_options);
+          engine->services_.push_back(service);
+        }
+        shard->transports.push_back(std::make_unique<net::LoopbackTransport>(
+            address, service, remote.fault_injector));
+      } else {
+        shard->transports.push_back(std::make_unique<net::SocketTransport>(
+            address, remote.call_timeout_s));
+      }
+    }
+
+    // Push the shard to every replica: Hello (version handshake), then
+    // LoadShard with the serialized index. The serialized blob is built
+    // once and shared across replicas.
+    net::LoadShardPayload load;
+    load.id_offset = parts[s].id_offset;
+    GENIE_RETURN_NOT_OK(SaveIndexToBuffer(*parts[s].index,
+                                          /*compressed=*/false,
+                                          &load.index_bytes));
+    const std::string load_frame =
+        net::EncodeFrame(net::FrameType::kLoadShard, load.Encode());
+    net::HelloPayload hello;
+    hello.peer = "coordinator";
+    const std::string hello_frame =
+        net::EncodeFrame(net::FrameType::kHello, hello.Encode());
+    for (size_t r = 0; r < shard->transports.size(); ++r) {
+      const std::string& address = shard->addresses[r];
+      GENIE_ASSIGN_OR_RETURN(std::string hello_bytes,
+                             shard->transports[r]->Call(hello_frame));
+      GENIE_ASSIGN_OR_RETURN(
+          net::HelloPayload hello_ack,
+          DecodeAck<net::HelloPayload>(hello_bytes, net::FrameType::kHelloAck,
+                                       address));
+      (void)hello_ack;
+      GENIE_ASSIGN_OR_RETURN(std::string load_bytes,
+                             shard->transports[r]->Call(load_frame));
+      GENIE_ASSIGN_OR_RETURN(
+          EmptyAck load_ack,
+          DecodeAck<EmptyAck>(load_bytes, net::FrameType::kLoadShardAck,
+                              address));
+      (void)load_ack;
+    }
+    engine->shards_.push_back(std::move(shard));
+  }
+  return engine;
+}
+
+void RemoteEngine::UpdateOptions(const MatchEngineOptions& options) {
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  options_ = options;
+}
+
+RemoteProfile RemoteEngine::profile() const {
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  return profile_;
+}
+
+void RemoteEngine::ResetProfile() {
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  profile_ = RemoteProfile{};
+}
+
+RemoteWorkerStats& RemoteEngine::StatsForLocked(const std::string& address) {
+  for (RemoteWorkerStats& stats : profile_.workers) {
+    if (stats.address == address) return stats;
+  }
+  profile_.workers.push_back(RemoteWorkerStats{});
+  profile_.workers.back().address = address;
+  return profile_.workers.back();
+}
+
+void RemoteEngine::ReapFinishedThreads() {
+  std::vector<TrackedThread> finished;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    auto it = pending_threads_.begin();
+    while (it != pending_threads_.end()) {
+      if (it->finished->load()) {
+        finished.push_back(std::move(*it));
+        it = pending_threads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (TrackedThread& tracked : finished) {
+    if (tracked.thread.joinable()) tracked.thread.join();
+  }
+}
+
+void RemoteEngine::LaunchAttempt(ShardClient& shard, size_t replica,
+                                 const std::string& request_frame,
+                                 uint64_t request_id, size_t num_queries,
+                                 std::shared_ptr<ShardState> state) {
+  const std::string address = shard.addresses[replica];
+  net::Transport* transport = shard.transports[replica].get();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    ++state->launched;
+  }
+  {
+    std::lock_guard<std::mutex> lock(profile_mu_);
+    RemoteWorkerStats& stats = StatsForLocked(address);
+    ++stats.calls;
+    if (replica > 0) ++stats.hedged;
+    stats.request_bytes += request_frame.size();
+  }
+  auto finished = std::make_shared<std::atomic<bool>>(false);
+  std::thread attempt([this, transport, address, replica, request_frame,
+                       request_id, num_queries, state, finished] {
+    WallTimer timer;
+    Result<std::string> bytes = transport->Call(request_frame);
+    const double call_s = timer.Seconds();
+
+    Result<net::MatchResponsePayload> response = [&]() ->
+        Result<net::MatchResponsePayload> {
+      GENIE_RETURN_NOT_OK(bytes.status());
+      return DecodeAck<net::MatchResponsePayload>(
+          *bytes, net::FrameType::kMatchAck, address);
+    }();
+    Status status = response.status();
+    if (status.ok() && response->request_id != request_id) {
+      status = Status::Internal(
+          "rpc: " + address + " echoed request id " +
+          std::to_string(response->request_id) + ", want " +
+          std::to_string(request_id));
+    }
+    if (status.ok() && response->results.size() != num_queries) {
+      status = Status::Internal(
+          "rpc: " + address + " answered " +
+          std::to_string(response->results.size()) + " results for " +
+          std::to_string(num_queries) + " queries");
+    }
+
+    bool won = false;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->resolved;
+      if (status.ok()) {
+        // First OK response wins; a slower duplicate (the hedged pair of a
+        // winner) is discarded here, which is what guarantees exactly one
+        // result set per shard per batch.
+        if (!state->done) {
+          state->done = true;
+          state->winner = std::move(response->results);
+          won = true;
+        }
+      } else {
+        state->last_error = status;
+      }
+      state->cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(profile_mu_);
+      RemoteWorkerStats& stats = StatsForLocked(address);
+      stats.call_s += call_s;
+      if (bytes.ok()) stats.response_bytes += bytes->size();
+      if (status.ok()) {
+        stats.worker_match_s += response->worker_match_s;
+        stats.worker_select_s += response->worker_select_s;
+        stats.worker_execute_s += response->worker_execute_s;
+        if (won) ++stats.wins;
+      } else {
+        ++stats.failures;
+      }
+    }
+    finished->store(true);
+    {
+      std::lock_guard<std::mutex> lock(threads_mu_);
+      threads_cv_.notify_all();
+    }
+  });
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  pending_threads_.push_back(TrackedThread{std::move(attempt), finished});
+}
+
+void RemoteEngine::RunShard(ShardClient& shard,
+                            const std::string& request_frame,
+                            uint64_t request_id, size_t num_queries,
+                            std::shared_ptr<ShardState> state) {
+  const size_t num_replicas = shard.addresses.size();
+  const auto hedge_delay =
+      std::chrono::duration<double>(std::max(0.0, remote_.hedge_delay_s));
+  for (size_t replica = 0; replica < num_replicas; ++replica) {
+    LaunchAttempt(shard, replica, request_frame, request_id, num_queries,
+                  state);
+    std::unique_lock<std::mutex> lock(state->mu);
+    if (replica + 1 == num_replicas) {
+      // Last replica: nothing left to hedge to — wait until a winner lands
+      // or every attempt has resolved without one.
+      state->cv.wait(lock, [&] {
+        return state->done || state->resolved == state->launched;
+      });
+      return;
+    }
+    // Hedge trigger: the next replica is launched as soon as every attempt
+    // so far has failed (error-failover) or after hedge_delay_s of silence
+    // (tail-latency hedge).
+    state->cv.wait_for(lock, hedge_delay, [&] {
+      return state->done || state->resolved == state->launched;
+    });
+    if (state->done) return;
+    // else: all failed so far, or the delay expired — fall through and
+    // launch the next replica.
+  }
+}
+
+Result<std::vector<QueryResult>> RemoteEngine::ExecuteBatch(
+    std::span<const Query> queries) {
+  if (queries.empty()) return std::vector<QueryResult>{};
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    if (shutting_down_) {
+      return Status::Internal("remote engine: shutting down");
+    }
+    ++outstanding_batches_;
+  }
+  ReapFinishedThreads();
+
+  net::MatchRequestPayload request;
+  request.request_id = next_request_id_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(profile_mu_);
+    request.options = net::WireMatchOptions::From(options_);
+  }
+  request.queries.assign(queries.begin(), queries.end());
+  const std::string request_frame =
+      net::EncodeFrame(net::FrameType::kMatch, request.Encode());
+
+  WallTimer scatter_timer;
+  std::vector<std::shared_ptr<ShardState>> states(shards_.size());
+  std::vector<std::thread> shard_threads;
+  shard_threads.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    states[s] = std::make_shared<ShardState>();
+    shard_threads.emplace_back([this, s, &request_frame, &states,
+                                request_id = request.request_id,
+                                num_queries = queries.size()] {
+      RunShard(*shards_[s], request_frame, request_id, num_queries,
+               states[s]);
+    });
+  }
+  for (std::thread& thread : shard_threads) thread.join();
+  const double scatter_s = scatter_timer.Seconds();
+
+  // Gather: a shard with no winner fails the whole batch — a partial
+  // answer would silently drop that shard's objects from the top-k.
+  Status failure = Status::OK();
+  for (size_t s = 0; s < shards_.size() && failure.ok(); ++s) {
+    std::lock_guard<std::mutex> lock(states[s]->mu);
+    if (!states[s]->done) {
+      failure = states[s]->last_error.ok()
+                    ? Status::IOError("remote engine: shard " +
+                                      std::to_string(s) + " returned nothing")
+                    : states[s]->last_error;
+    }
+  }
+
+  std::vector<QueryResult> merged;
+  double merge_s = 0;
+  if (failure.ok()) {
+    WallTimer merge_timer;
+    std::vector<std::vector<TopKEntry>> pools(queries.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> lock(states[s]->mu);
+      for (size_t q = 0; q < queries.size(); ++q) {
+        std::vector<TopKEntry>& pool = pools[q];
+        const std::vector<TopKEntry>& entries = states[s]->winner[q].entries;
+        pool.insert(pool.end(), entries.begin(), entries.end());
+      }
+    }
+    uint32_t k = 0;
+    {
+      std::lock_guard<std::mutex> lock(profile_mu_);
+      k = options_.k;
+    }
+    merged = MergeCandidatePools(std::move(pools), k);
+    merge_s = merge_timer.Seconds();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(profile_mu_);
+    ++profile_.batches;
+    profile_.scatter_s += scatter_s;
+    profile_.merge_s += merge_s;
+  }
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    --outstanding_batches_;
+    threads_cv_.notify_all();
+  }
+  GENIE_RETURN_NOT_OK(failure);
+  return merged;
+}
+
+}  // namespace genie

@@ -1,0 +1,44 @@
+#include "net/fault_injector.h"
+
+namespace genie {
+namespace net {
+
+void FaultInjector::Arm(const std::string& address, uint64_t call_index,
+                        const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[{address, call_index}] = spec;
+}
+
+void FaultInjector::KillWorker(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_.insert(address);
+}
+
+void FaultInjector::ReviveWorker(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_.erase(address);
+}
+
+bool FaultInjector::IsDead(const std::string& address) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_.count(address) != 0;
+}
+
+FaultSpec FaultInjector::NextCall(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t index = call_counts_[address]++;
+  auto it = armed_.find({address, index});
+  if (it == armed_.end()) return FaultSpec{};
+  FaultSpec spec = it->second;
+  armed_.erase(it);
+  return spec;
+}
+
+uint64_t FaultInjector::calls(const std::string& address) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = call_counts_.find(address);
+  return it == call_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace net
+}  // namespace genie

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file fault_injector.h
+/// Deterministic failure orchestration for the loopback transport: tests
+/// arm a fault for the Nth call to a given worker address and the transport
+/// consults the injector at each call boundary. No randomness anywhere —
+/// every fault-matrix scenario (worker death mid-batch, slow worker forcing
+/// a hedged retry, truncated or corrupted response, disconnect mid-response)
+/// replays identically, which is what makes the matrix CI-runnable under
+/// the sanitizers.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace genie {
+namespace net {
+
+struct FaultSpec {
+  enum class Kind {
+    kNone,
+    /// The request never reaches the worker: immediate IOError.
+    kDropRequest,
+    /// The worker answers, but only after delay_s (hedging trigger).
+    kDelay,
+    /// The response is cut to at_byte bytes (decode must fail cleanly).
+    kTruncateResponse,
+    /// One response byte (at_byte) is XORed with xor_mask.
+    kCorruptResponse,
+    /// The connection dies after at_byte response bytes were sent: the
+    /// caller sees an IOError, not a short frame.
+    kDisconnectMidResponse,
+  };
+
+  Kind kind = Kind::kNone;
+  double delay_s = 0;
+  size_t at_byte = 0;
+  uint8_t xor_mask = 0xff;
+};
+
+class FaultInjector {
+ public:
+  /// Arms `spec` for the call with 0-based index `call_index` to `address`.
+  /// Calls are counted per address across the injector's lifetime. Arming
+  /// the same (address, call_index) twice replaces the earlier spec.
+  void Arm(const std::string& address, uint64_t call_index,
+           const FaultSpec& spec);
+
+  /// Every subsequent call to `address` fails with IOError until revived.
+  void KillWorker(const std::string& address);
+  void ReviveWorker(const std::string& address);
+  bool IsDead(const std::string& address) const;
+
+  /// Consumes the next call slot for `address`: bumps the per-address call
+  /// counter and returns the armed spec for that slot (kind kNone when the
+  /// slot is clean). Called once per transport call, dead or not.
+  FaultSpec NextCall(const std::string& address);
+
+  uint64_t calls(const std::string& address) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, uint64_t>, FaultSpec> armed_;
+  std::map<std::string, uint64_t> call_counts_;
+  std::set<std::string> dead_;
+};
+
+}  // namespace net
+}  // namespace genie

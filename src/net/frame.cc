@@ -1,0 +1,172 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "lsh/murmur3.h"
+
+namespace genie {
+namespace net {
+namespace {
+
+// Seed for the frame checksum; any fixed value works, but a non-zero seed
+// keeps an all-zero frame from checksumming to a value an all-zero
+// corruption could reproduce.
+constexpr uint64_t kChecksumSeed = 0x474E5250u;  // "GNRP"
+
+uint64_t FrameChecksum(uint8_t type, std::string_view payload) {
+  // The type byte is prepended so flips in the header's type field fail the
+  // checksum too (not only payload flips).
+  std::string buf;
+  buf.reserve(1 + payload.size());
+  buf.push_back(static_cast<char>(type));
+  buf.append(payload);
+  return lsh::Murmur3_64(buf.data(), buf.size(), kChecksumSeed);
+}
+
+void PutU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const char* p) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint16_t>(static_cast<uint8_t>(p[1])) << 8;
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+bool IsKnownType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kHello) &&
+         type <= static_cast<uint8_t>(FrameType::kError);
+}
+
+}  // namespace
+
+const char* FrameTypeToString(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "hello";
+    case FrameType::kHelloAck:
+      return "hello_ack";
+    case FrameType::kLoadShard:
+      return "load_shard";
+    case FrameType::kLoadShardAck:
+      return "load_shard_ack";
+    case FrameType::kMatch:
+      return "match";
+    case FrameType::kMatchAck:
+      return "match_ack";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPingAck:
+      return "ping_ack";
+    case FrameType::kShutdown:
+      return "shutdown";
+    case FrameType::kShutdownAck:
+      return "shutdown_ack";
+    case FrameType::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(out, kFrameMagic);
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(type));
+  PutU16(out, 0);  // reserved
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU64(out, FrameChecksum(static_cast<uint8_t>(type), payload));
+  out.append(payload);
+  return out;
+}
+
+Result<uint32_t> ParseFrameHeader(std::string_view header) {
+  if (header.size() != kFrameHeaderBytes) {
+    return Status::InvalidArgument("rpc frame: header is " +
+                                   std::to_string(header.size()) +
+                                   " bytes, want " +
+                                   std::to_string(kFrameHeaderBytes));
+  }
+  const char* p = header.data();
+  if (GetU32(p) != kFrameMagic) {
+    return Status::InvalidArgument("rpc frame: bad magic");
+  }
+  const uint8_t version = static_cast<uint8_t>(p[4]);
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("rpc frame: protocol version " +
+                                   std::to_string(version) + ", want " +
+                                   std::to_string(kProtocolVersion));
+  }
+  if (!IsKnownType(static_cast<uint8_t>(p[5]))) {
+    return Status::InvalidArgument("rpc frame: unknown frame type " +
+                                   std::to_string(static_cast<uint8_t>(p[5])));
+  }
+  if (GetU16(p + 6) != 0) {
+    return Status::InvalidArgument("rpc frame: reserved bytes set");
+  }
+  const uint32_t payload_len = GetU32(p + 8);
+  if (payload_len > kMaxPayloadBytes) {
+    return Status::InvalidArgument("rpc frame: payload length " +
+                                   std::to_string(payload_len) +
+                                   " exceeds cap");
+  }
+  return payload_len;
+}
+
+Result<Frame> DecodeFrame(std::string_view bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status::InvalidArgument("rpc frame: " +
+                                   std::to_string(bytes.size()) +
+                                   " bytes is shorter than the header");
+  }
+  GENIE_ASSIGN_OR_RETURN(
+      const uint32_t payload_len,
+      ParseFrameHeader(bytes.substr(0, kFrameHeaderBytes)));
+  if (bytes.size() - kFrameHeaderBytes != payload_len) {
+    return Status::InvalidArgument(
+        "rpc frame: payload length field says " + std::to_string(payload_len) +
+        ", frame carries " + std::to_string(bytes.size() - kFrameHeaderBytes));
+  }
+  const uint8_t type = static_cast<uint8_t>(bytes[5]);
+  const std::string_view payload = bytes.substr(kFrameHeaderBytes);
+  const uint64_t want_checksum = GetU64(bytes.data() + 12);
+  if (FrameChecksum(type, payload) != want_checksum) {
+    return Status::InvalidArgument("rpc frame: checksum mismatch");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload = payload;
+  return frame;
+}
+
+}  // namespace net
+}  // namespace genie

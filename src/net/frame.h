@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file frame.h
+/// The multi-node tier's wire unit: a compact length-prefixed frame with a
+/// fixed 20-byte header and a murmur-checksummed payload (see
+/// docs/FORMATS.md "RPC frame layout"). Every coordinator<->worker exchange
+/// is one request frame answered by one response frame. Decoding is fully
+/// bounds-checked and never trusts a length field: a corrupted or truncated
+/// frame fails with InvalidArgument / IOError, never a crash — the
+/// protocol-corruption sweep test flips every byte to pin this down.
+///
+/// Header (little-endian):
+///   offset 0  u32  magic "GNRP" (0x50524E47)
+///   offset 4  u8   protocol version (kProtocolVersion)
+///   offset 5  u8   frame type (FrameType)
+///   offset 6  u16  reserved, must be zero
+///   offset 8  u32  payload length in bytes
+///   offset 12 u64  murmur3-64 checksum over (type byte + payload)
+///   offset 20 ...  payload
+///
+/// The checksum covers the type byte as well as the payload so a bit flip
+/// anywhere in a captured frame — including one that would turn a Match
+/// request into an otherwise-valid Ping — is rejected deterministically.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace genie {
+namespace net {
+
+inline constexpr uint32_t kFrameMagic = 0x50524E47u;  // "GNRP" little-endian
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+/// Upper bound on one frame's payload (a pushed shard index dominates).
+/// Decoders reject larger claims before allocating anything.
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+enum class FrameType : uint8_t {
+  kHello = 1,           // version handshake
+  kHelloAck = 2,
+  kLoadShard = 3,       // coordinator pushes one shard index + id offset
+  kLoadShardAck = 4,
+  kMatch = 5,           // one scattered batch of compiled queries
+  kMatchAck = 6,        // per-query candidate pools + worker stage costs
+  kPing = 7,
+  kPingAck = 8,
+  kShutdown = 9,        // worker server exits after acking
+  kShutdownAck = 10,
+  kError = 11,          // Status carried back (response direction only)
+};
+
+const char* FrameTypeToString(FrameType type);
+
+/// One decoded frame: the type plus its payload bytes (payload views into
+/// the decode input; copy before the input goes away).
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string_view payload;
+};
+
+/// Encodes header + payload into one contiguous byte string.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Decodes a frame that must occupy `bytes` exactly (trailing bytes are a
+/// format violation — the transports deliver one frame per call). Verifies
+/// magic, version, reserved bytes, length and checksum; any mismatch is
+/// InvalidArgument. The returned payload view borrows `bytes`.
+Result<Frame> DecodeFrame(std::string_view bytes);
+
+/// Header-only validation for streaming reads (sockets): checks magic /
+/// version / reserved / payload bound and returns the payload length, so
+/// the reader knows how many bytes to await. `header` must hold exactly
+/// kFrameHeaderBytes.
+Result<uint32_t> ParseFrameHeader(std::string_view header);
+
+}  // namespace net
+}  // namespace genie

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file remote_options.h
+/// Configuration for the multi-node scatter-gather tier, shared between the
+/// api layer (EngineConfig::Remote) and core::RemoteEngine without pulling
+/// either into the other's headers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace genie {
+namespace net {
+
+class FaultInjector;  // net/fault_injector.h
+
+/// One logical shard slot: a primary worker address plus optional replicas
+/// holding the same shard. Addresses are either "host:port" (TCP worker
+/// processes) or the literal prefix "loopback" (in-process WorkerService —
+/// the test/CI mode; distinct loopback addresses of one endpoint share the
+/// shard but are independent fault-injection targets).
+struct RemoteEndpoint {
+  std::string address;
+  std::vector<std::string> replicas;
+
+  RemoteEndpoint() = default;
+  explicit RemoteEndpoint(std::string addr) : address(std::move(addr)) {}
+};
+
+struct RemoteOptions {
+  /// One endpoint per shard; empty = remote tier disabled.
+  std::vector<RemoteEndpoint> endpoints;
+
+  /// Seconds an outstanding attempt may run before the next replica is
+  /// hedged in parallel. A replica-less shard never hedges on slowness
+  /// (there is nothing to hedge to).
+  double hedge_delay_s = 0.05;
+
+  /// Per-call socket timeout (TCP transports only; 0 = none).
+  double call_timeout_s = 10.0;
+
+  /// Deterministic fault orchestration for loopback transports (tests).
+  /// Not owned; may be nullptr. Must outlive the engine.
+  FaultInjector* fault_injector = nullptr;
+
+  /// Convenience: n loopback shards ("loopback/0" .. "loopback/n-1"), each
+  /// with `replicas` additional loopback replica addresses.
+  static RemoteOptions Loopback(uint32_t shards, uint32_t replicas = 0) {
+    RemoteOptions options;
+    for (uint32_t s = 0; s < shards; ++s) {
+      RemoteEndpoint endpoint("loopback/" + std::to_string(s));
+      for (uint32_t r = 0; r < replicas; ++r) {
+        endpoint.replicas.push_back("loopback/" + std::to_string(s) +
+                                    "/replica" + std::to_string(r));
+      }
+      options.endpoints.push_back(std::move(endpoint));
+    }
+    return options;
+  }
+
+  bool enabled() const { return !endpoints.empty(); }
+};
+
+/// True when `address` selects the in-process loopback transport.
+inline bool IsLoopbackAddress(const std::string& address) {
+  return address.rfind("loopback", 0) == 0;
+}
+
+}  // namespace net
+}  // namespace genie

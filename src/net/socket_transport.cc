@@ -1,0 +1,214 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "net/frame.h"
+
+namespace genie {
+namespace net {
+namespace {
+
+Status LastErrno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+void SetTimeouts(int fd, double timeout_s) {
+  if (timeout_s <= 0) return;
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_s - std::floor(timeout_s)) * 1e6);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Splits "host:port" and connects. Numeric IPv4 hosts only — the tier's
+/// deployment story is workers on known addresses; name resolution stays
+/// out of the hot path.
+Result<int> ConnectTo(const std::string& address, double timeout_s) {
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == address.size()) {
+    return Status::InvalidArgument("rpc socket: address '" + address +
+                                   "' is not host:port");
+  }
+  const std::string host = address.substr(0, colon);
+  const int port = std::atoi(address.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("rpc socket: bad port in '" + address +
+                                   "'");
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("rpc socket: host '" + host +
+                                   "' is not a numeric IPv4 address");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return LastErrno("rpc socket: socket()");
+  SetTimeouts(fd, timeout_s);
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = LastErrno("rpc socket: connect to " + address);
+    close(fd);
+    return status;
+  }
+  return fd;
+}
+
+/// Reads exactly n bytes; NotFound on EOF at byte 0 when allow_eof,
+/// IOError on any other short read.
+Status ReadExactly(int fd, char* buf, size_t n, bool allow_eof) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = read(fd, buf + got, n - got);
+    if (r == 0) {
+      if (got == 0 && allow_eof) {
+        return Status::NotFound("rpc socket: peer closed");
+      }
+      return Status::IOError("rpc socket: connection closed after " +
+                             std::to_string(got) + " of " +
+                             std::to_string(n) + " bytes");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return LastErrno("rpc socket: read");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE ->
+    // IOError, not kill the process with SIGPIPE (workers see this on
+    // every coordinator disconnect under the connection-per-call scheme).
+    const ssize_t w =
+        send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return LastErrno("rpc socket: write");
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status ReadFrameBytes(int fd, std::string* out) {
+  out->resize(kFrameHeaderBytes);
+  GENIE_RETURN_NOT_OK(
+      ReadExactly(fd, out->data(), kFrameHeaderBytes, /*allow_eof=*/true));
+  GENIE_ASSIGN_OR_RETURN(const uint32_t payload_len, ParseFrameHeader(*out));
+  out->resize(kFrameHeaderBytes + payload_len);
+  return ReadExactly(fd, out->data() + kFrameHeaderBytes, payload_len,
+                     /*allow_eof=*/false);
+}
+
+SocketTransport::SocketTransport(std::string address, double timeout_s)
+    : address_(std::move(address)), timeout_s_(timeout_s) {}
+
+Result<std::string> SocketTransport::Call(std::string_view request_frame) {
+  GENIE_ASSIGN_OR_RETURN(const int fd, ConnectTo(address_, timeout_s_));
+  Status status = WriteAll(fd, request_frame);
+  std::string response;
+  if (status.ok()) {
+    status = ReadFrameBytes(fd, &response);
+    if (status.code() == StatusCode::kNotFound) {
+      status = Status::IOError("rpc socket: " + address_ +
+                               " closed before responding");
+    }
+  }
+  close(fd);
+  GENIE_RETURN_NOT_OK(status);
+  return response;
+}
+
+Result<std::unique_ptr<WorkerServer>> WorkerServer::Listen(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return LastErrno("rpc server: socket()");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = LastErrno("rpc server: bind port " +
+                                    std::to_string(port));
+    close(fd);
+    return status;
+  }
+  if (listen(fd, 16) != 0) {
+    const Status status = LastErrno("rpc server: listen");
+    close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const Status status = LastErrno("rpc server: getsockname");
+    close(fd);
+    return status;
+  }
+  return std::unique_ptr<WorkerServer>(
+      new WorkerServer(fd, ntohs(addr.sin_port)));
+}
+
+WorkerServer::WorkerServer(int listen_fd, uint16_t bound_port)
+    : listen_fd_(listen_fd), bound_port_(bound_port) {}
+
+WorkerServer::~WorkerServer() {
+  if (listen_fd_ >= 0) close(listen_fd_);
+}
+
+Status WorkerServer::Serve(WorkerService& service) {
+  while (!service.shutdown_requested()) {
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return LastErrno("rpc server: accept");
+    }
+    int one = 1;
+    setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // One connection = a sequence of request frames; the client closing is
+    // the normal end of the sequence.
+    for (;;) {
+      std::string request;
+      const Status status = ReadFrameBytes(conn, &request);
+      if (status.code() == StatusCode::kNotFound) break;  // clean EOF
+      if (!status.ok()) {
+        // A torn request (short read / bad header) still gets an answer if
+        // the socket survives — the client's decode will surface the real
+        // error; a broken pipe just drops the connection.
+        const std::string reply = service.HandleFrameBytes(request);
+        (void)WriteAll(conn, reply);
+        break;
+      }
+      const std::string reply = service.HandleFrameBytes(request);
+      if (!WriteAll(conn, reply).ok()) break;
+      if (service.shutdown_requested()) break;
+    }
+    close(conn);
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace genie

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file socket_transport.h
+/// POSIX TCP realization of the RPC protocol: SocketTransport is the
+/// coordinator-side client (one connection per call — hedged attempts to
+/// the same worker never share a stream), WorkerServer is the blocking
+/// accept loop tools/genie_worker runs around a WorkerService. Framing on
+/// the wire is exactly the net/frame.h byte layout: the reader pulls the
+/// fixed header, validates it, then pulls the announced payload. All
+/// transport-level failures (connect refused, short read, timeout) are
+/// IOError; malformed frames decode to InvalidArgument downstream.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "net/transport.h"
+#include "net/worker_service.h"
+
+namespace genie {
+namespace net {
+
+class SocketTransport : public Transport {
+ public:
+  /// `address` is "host:port". `timeout_s` bounds each socket send/receive
+  /// (0 = no timeout).
+  SocketTransport(std::string address, double timeout_s);
+
+  Result<std::string> Call(std::string_view request_frame) override;
+  const std::string& address() const override { return address_; }
+
+ private:
+  std::string address_;
+  double timeout_s_;
+};
+
+/// Blocking serve loop: accepts connections one at a time, answers frames
+/// until the peer closes, exits after a kShutdown request was acked (or
+/// Stop() flips the flag and a final connection pokes the loop).
+class WorkerServer {
+ public:
+  /// Binds and listens on `port` (0 = kernel-assigned; bound_port() tells).
+  /// Fails with IOError when the port cannot be bound.
+  static Result<std::unique_ptr<WorkerServer>> Listen(uint16_t port);
+
+  ~WorkerServer();
+  WorkerServer(const WorkerServer&) = delete;
+  WorkerServer& operator=(const WorkerServer&) = delete;
+
+  uint16_t bound_port() const { return bound_port_; }
+
+  /// Runs the accept loop on the calling thread until the service acks a
+  /// kShutdown request. Returns the first unexpected IOError, or OK on a
+  /// clean shutdown.
+  Status Serve(WorkerService& service);
+
+ private:
+  WorkerServer(int listen_fd, uint16_t bound_port);
+
+  int listen_fd_;
+  uint16_t bound_port_;
+};
+
+/// Reads one full frame (header + payload) from a connected socket into
+/// `out`. Returns NotFound on clean EOF before any byte, IOError on a short
+/// or failed read, InvalidArgument on a bad header. Shared by the server
+/// loop and the client.
+Status ReadFrameBytes(int fd, std::string* out);
+
+/// Writes all of `bytes` to a connected socket (IOError on failure).
+Status WriteAll(int fd, std::string_view bytes);
+
+}  // namespace net
+}  // namespace genie

@@ -1,0 +1,61 @@
+#include "net/transport.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace genie {
+namespace net {
+
+LoopbackTransport::LoopbackTransport(std::string address,
+                                     std::shared_ptr<WorkerService> service,
+                                     FaultInjector* injector)
+    : address_(std::move(address)),
+      service_(std::move(service)),
+      injector_(injector) {}
+
+Result<std::string> LoopbackTransport::Call(std::string_view request_frame) {
+  FaultSpec fault;
+  if (injector_ != nullptr) {
+    fault = injector_->NextCall(address_);
+    if (injector_->IsDead(address_)) {
+      return Status::IOError("rpc transport: worker " + address_ +
+                             " is unreachable");
+    }
+  }
+  switch (fault.kind) {
+    case FaultSpec::Kind::kDropRequest:
+      return Status::IOError("rpc transport: request to " + address_ +
+                             " was dropped");
+    case FaultSpec::Kind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(fault.delay_s));
+      break;
+    default:
+      break;
+  }
+  std::string response = service_->HandleFrameBytes(request_frame);
+  switch (fault.kind) {
+    case FaultSpec::Kind::kTruncateResponse:
+      response.resize(std::min(fault.at_byte, response.size()));
+      break;
+    case FaultSpec::Kind::kCorruptResponse:
+      if (!response.empty()) {
+        const size_t at = std::min(fault.at_byte, response.size() - 1);
+        response[at] = static_cast<char>(response[at] ^ fault.xor_mask);
+      }
+      break;
+    case FaultSpec::Kind::kDisconnectMidResponse:
+      return Status::IOError("rpc transport: " + address_ +
+                             " disconnected after " +
+                             std::to_string(
+                                 std::min(fault.at_byte, response.size())) +
+                             " response bytes");
+    default:
+      break;
+  }
+  return response;
+}
+
+}  // namespace net
+}  // namespace genie

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file transport.h
+/// The coordinator-side transport seam: one virtual Call that ships an
+/// encoded request frame and returns the encoded response frame bytes.
+/// LoopbackTransport routes calls to an in-process WorkerService through
+/// real frame bytes — the full encode/decode path runs, and a FaultInjector
+/// can drop/delay/truncate/corrupt the exchange deterministically — so
+/// every protocol and failure path is testable without sockets. The TCP
+/// implementation lives in net/socket_transport.h.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "net/fault_injector.h"
+#include "net/worker_service.h"
+
+namespace genie {
+namespace net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Ships one request frame, returns the response frame bytes. Transport
+  /// failures (dead worker, dropped request, disconnect) are IOError;
+  /// whatever bytes do arrive are returned as-is for the caller to decode.
+  virtual Result<std::string> Call(std::string_view request_frame) = 0;
+
+  /// The worker address this transport reaches, e.g. "loopback/0" or
+  /// "127.0.0.1:4401" (diagnostics + fault-injection key).
+  virtual const std::string& address() const = 0;
+};
+
+/// In-process transport: encodes nothing away — the request bytes are
+/// (optionally faulted and) handed to the service, and the response bytes
+/// come back the same way. The service is shared, matching a worker process
+/// reachable over several replica addresses.
+class LoopbackTransport : public Transport {
+ public:
+  /// `injector` may be nullptr (no faults). Both pointers must outlive the
+  /// transport.
+  LoopbackTransport(std::string address,
+                    std::shared_ptr<WorkerService> service,
+                    FaultInjector* injector);
+
+  Result<std::string> Call(std::string_view request_frame) override;
+  const std::string& address() const override { return address_; }
+
+ private:
+  std::string address_;
+  std::shared_ptr<WorkerService> service_;
+  FaultInjector* injector_;
+};
+
+}  // namespace net
+}  // namespace genie

@@ -1,0 +1,223 @@
+#include "net/wire.h"
+
+#include "common/serialize.h"
+
+namespace genie {
+namespace net {
+namespace {
+
+constexpr uint64_t kMaxQueriesPerRequest = 1u << 22;
+
+Status DecodeStatusFrom(serialize::Reader& reader, uint8_t* code,
+                        std::string* message) {
+  GENIE_RETURN_NOT_OK(reader.U8(code));
+  if (*code > static_cast<uint8_t>(StatusCode::kIOError)) {
+    return Status::InvalidArgument("rpc error payload: unknown status code " +
+                                   std::to_string(*code));
+  }
+  return reader.String(message);
+}
+
+}  // namespace
+
+std::string HelloPayload::Encode() const {
+  serialize::Writer writer;
+  writer.String(peer);
+  return writer.data();
+}
+
+Result<HelloPayload> HelloPayload::Decode(std::string_view bytes) {
+  serialize::Reader reader(bytes);
+  HelloPayload payload;
+  GENIE_RETURN_NOT_OK(reader.String(&payload.peer));
+  GENIE_RETURN_NOT_OK(reader.ExpectEnd());
+  return payload;
+}
+
+std::string LoadShardPayload::Encode() const {
+  serialize::Writer writer;
+  writer.U64(id_offset);
+  writer.String(index_bytes);
+  return writer.data();
+}
+
+Result<LoadShardPayload> LoadShardPayload::Decode(std::string_view bytes) {
+  serialize::Reader reader(bytes);
+  LoadShardPayload payload;
+  GENIE_RETURN_NOT_OK(reader.U64(&payload.id_offset));
+  GENIE_RETURN_NOT_OK(reader.String(&payload.index_bytes));
+  GENIE_RETURN_NOT_OK(reader.ExpectEnd());
+  return payload;
+}
+
+WireMatchOptions WireMatchOptions::From(const MatchEngineOptions& options) {
+  WireMatchOptions wire;
+  wire.k = options.k;
+  wire.max_count = options.max_count;
+  wire.selector = static_cast<uint8_t>(options.selector);
+  wire.ht_slack = options.ht_slack;
+  wire.ht_capacity_cap = options.ht_capacity_cap;
+  wire.robin_hood_expire = options.robin_hood_expire ? 1 : 0;
+  wire.block_dim = options.block_dim;
+  wire.max_lists_per_block = options.max_lists_per_block;
+  return wire;
+}
+
+Result<MatchEngineOptions> WireMatchOptions::Apply(
+    MatchEngineOptions base) const {
+  if (k == 0) {
+    return Status::InvalidArgument("rpc match options: k must be positive");
+  }
+  if (selector >
+      static_cast<uint8_t>(MatchEngineOptions::Selector::kBucketSelect)) {
+    return Status::InvalidArgument("rpc match options: unknown selector " +
+                                   std::to_string(selector));
+  }
+  base.k = k;
+  base.max_count = max_count;
+  base.selector = static_cast<MatchEngineOptions::Selector>(selector);
+  base.ht_slack = ht_slack;
+  base.ht_capacity_cap = ht_capacity_cap;
+  base.robin_hood_expire = robin_hood_expire != 0;
+  base.block_dim = block_dim;
+  base.max_lists_per_block = max_lists_per_block;
+  return base;
+}
+
+std::string MatchRequestPayload::Encode() const {
+  serialize::Writer writer;
+  writer.U64(request_id);
+  writer.U32(options.k);
+  writer.U32(options.max_count);
+  writer.U8(options.selector);
+  writer.U32(options.ht_slack);
+  writer.U32(options.ht_capacity_cap);
+  writer.U8(options.robin_hood_expire);
+  writer.U32(options.block_dim);
+  writer.U32(options.max_lists_per_block);
+  writer.U64(queries.size());
+  for (const Query& query : queries) {
+    writer.U32(query.num_items());
+    for (uint32_t i = 0; i < query.num_items(); ++i) {
+      const auto item = query.item(i);
+      std::vector<Keyword> keywords(item.begin(), item.end());
+      writer.Vec(keywords);
+    }
+  }
+  return writer.data();
+}
+
+Result<MatchRequestPayload> MatchRequestPayload::Decode(
+    std::string_view bytes) {
+  serialize::Reader reader(bytes);
+  MatchRequestPayload payload;
+  GENIE_RETURN_NOT_OK(reader.U64(&payload.request_id));
+  GENIE_RETURN_NOT_OK(reader.U32(&payload.options.k));
+  GENIE_RETURN_NOT_OK(reader.U32(&payload.options.max_count));
+  GENIE_RETURN_NOT_OK(reader.U8(&payload.options.selector));
+  GENIE_RETURN_NOT_OK(reader.U32(&payload.options.ht_slack));
+  GENIE_RETURN_NOT_OK(reader.U32(&payload.options.ht_capacity_cap));
+  GENIE_RETURN_NOT_OK(reader.U8(&payload.options.robin_hood_expire));
+  GENIE_RETURN_NOT_OK(reader.U32(&payload.options.block_dim));
+  GENIE_RETURN_NOT_OK(reader.U32(&payload.options.max_lists_per_block));
+  uint64_t num_queries = 0;
+  GENIE_RETURN_NOT_OK(reader.U64(&num_queries));
+  // A query costs at least one u32 (its item count); bounding against the
+  // remaining bytes keeps a forged count from pre-allocating terabytes.
+  if (num_queries > kMaxQueriesPerRequest ||
+      num_queries > reader.remaining() / sizeof(uint32_t)) {
+    return Status::InvalidArgument("rpc match request: query count " +
+                                   std::to_string(num_queries) +
+                                   " exceeds payload");
+  }
+  payload.queries.reserve(static_cast<size_t>(num_queries));
+  for (uint64_t q = 0; q < num_queries; ++q) {
+    uint32_t num_items = 0;
+    GENIE_RETURN_NOT_OK(reader.U32(&num_items));
+    // Each item carries a u64 keyword count.
+    if (num_items > reader.remaining() / sizeof(uint64_t)) {
+      return Status::InvalidArgument("rpc match request: item count " +
+                                     std::to_string(num_items) +
+                                     " exceeds payload");
+    }
+    Query query;
+    std::vector<Keyword> keywords;
+    for (uint32_t i = 0; i < num_items; ++i) {
+      GENIE_RETURN_NOT_OK(reader.Vec(&keywords));
+      query.AddItem(keywords);
+    }
+    payload.queries.push_back(std::move(query));
+  }
+  GENIE_RETURN_NOT_OK(reader.ExpectEnd());
+  return payload;
+}
+
+std::string MatchResponsePayload::Encode() const {
+  serialize::Writer writer;
+  writer.U64(request_id);
+  writer.F64(worker_match_s);
+  writer.F64(worker_select_s);
+  writer.F64(worker_execute_s);
+  writer.U64(results.size());
+  for (const QueryResult& result : results) {
+    writer.U32(result.threshold);
+    writer.Vec(result.entries);
+  }
+  return writer.data();
+}
+
+Result<MatchResponsePayload> MatchResponsePayload::Decode(
+    std::string_view bytes) {
+  serialize::Reader reader(bytes);
+  MatchResponsePayload payload;
+  GENIE_RETURN_NOT_OK(reader.U64(&payload.request_id));
+  GENIE_RETURN_NOT_OK(reader.F64(&payload.worker_match_s));
+  GENIE_RETURN_NOT_OK(reader.F64(&payload.worker_select_s));
+  GENIE_RETURN_NOT_OK(reader.F64(&payload.worker_execute_s));
+  uint64_t num_results = 0;
+  GENIE_RETURN_NOT_OK(reader.U64(&num_results));
+  // Each result costs at least a u32 threshold + u64 entry count.
+  if (num_results > reader.remaining() / (sizeof(uint32_t) + sizeof(uint64_t))) {
+    return Status::InvalidArgument("rpc match response: result count " +
+                                   std::to_string(num_results) +
+                                   " exceeds payload");
+  }
+  payload.results.resize(static_cast<size_t>(num_results));
+  for (QueryResult& result : payload.results) {
+    GENIE_RETURN_NOT_OK(reader.U32(&result.threshold));
+    GENIE_RETURN_NOT_OK(reader.Vec(&result.entries));
+  }
+  GENIE_RETURN_NOT_OK(reader.ExpectEnd());
+  return payload;
+}
+
+std::string ErrorPayload::Encode() const {
+  serialize::Writer writer;
+  writer.U8(code);
+  writer.String(message);
+  return writer.data();
+}
+
+Result<ErrorPayload> ErrorPayload::Decode(std::string_view bytes) {
+  serialize::Reader reader(bytes);
+  ErrorPayload payload;
+  GENIE_RETURN_NOT_OK(DecodeStatusFrom(reader, &payload.code,
+                                       &payload.message));
+  GENIE_RETURN_NOT_OK(reader.ExpectEnd());
+  return payload;
+}
+
+ErrorPayload ErrorPayload::FromStatus(const Status& status) {
+  ErrorPayload payload;
+  payload.code = static_cast<uint8_t>(status.code());
+  payload.message = status.message();
+  return payload;
+}
+
+Status ErrorPayload::ToStatus() const {
+  if (code == static_cast<uint8_t>(StatusCode::kOk)) return Status::OK();
+  return Status(static_cast<StatusCode>(code), message);
+}
+
+}  // namespace net
+}  // namespace genie

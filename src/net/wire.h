@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file wire.h
+/// Payload schemas for the frame types in net/frame.h, built on
+/// common/serialize.h so every decode path is bounds-checked against the
+/// payload and rejects hostile bytes with InvalidArgument. The schema for
+/// each type is documented in docs/FORMATS.md; versioning rides on the
+/// frame header's protocol version (payloads themselves are unversioned —
+/// bumping any schema bumps kProtocolVersion).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/match_engine.h"
+#include "core/query.h"
+#include "index/types.h"
+
+namespace genie {
+namespace net {
+
+/// kHello / kHelloAck: version handshake + worker identity echo.
+struct HelloPayload {
+  std::string peer;  // coordinator/worker display name, diagnostics only
+
+  std::string Encode() const;
+  static Result<HelloPayload> Decode(std::string_view bytes);
+};
+
+/// kLoadShard: one shard index (a GNIEBNDL byte blob from SaveIndexToBuffer)
+/// plus the global-id offset of its first object. The worker deserializes
+/// and owns the index; subsequent kMatch requests run against it.
+struct LoadShardPayload {
+  uint64_t id_offset = 0;
+  std::string index_bytes;
+
+  std::string Encode() const;
+  static Result<LoadShardPayload> Decode(std::string_view bytes);
+};
+
+/// The MatchEngineOptions fields a worker needs to execute a batch exactly
+/// like a local tier would (device choice stays worker-local).
+struct WireMatchOptions {
+  uint32_t k = 100;
+  uint32_t max_count = 0;
+  uint8_t selector = 0;  // MatchEngineOptions::Selector ordinal
+  uint32_t ht_slack = 2;
+  uint32_t ht_capacity_cap = 0;
+  uint8_t robin_hood_expire = 1;
+  uint32_t block_dim = 8;
+  uint32_t max_lists_per_block = 0;
+
+  bool operator==(const WireMatchOptions&) const = default;
+
+  static WireMatchOptions From(const MatchEngineOptions& options);
+  /// Applies onto `base` (preserving device and other worker-local fields).
+  Result<MatchEngineOptions> Apply(MatchEngineOptions base) const;
+};
+
+/// kMatch: one scattered batch of compiled queries. request_id is echoed in
+/// the response so a hedged coordinator can discard stale replies.
+struct MatchRequestPayload {
+  uint64_t request_id = 0;
+  WireMatchOptions options;
+  std::vector<Query> queries;
+
+  std::string Encode() const;
+  static Result<MatchRequestPayload> Decode(std::string_view bytes);
+};
+
+/// kMatchAck: per-query candidate pools in global-id space (the worker adds
+/// its shard's id_offset before replying) plus the worker's stage costs for
+/// this call, so SearchProfile can attribute per-worker time.
+struct MatchResponsePayload {
+  uint64_t request_id = 0;
+  std::vector<QueryResult> results;
+  double worker_match_s = 0;
+  double worker_select_s = 0;
+  double worker_execute_s = 0;
+
+  std::string Encode() const;
+  static Result<MatchResponsePayload> Decode(std::string_view bytes);
+};
+
+/// kError: a Status carried back over the wire.
+struct ErrorPayload {
+  uint8_t code = 0;  // StatusCode ordinal
+  std::string message;
+
+  std::string Encode() const;
+  static Result<ErrorPayload> Decode(std::string_view bytes);
+
+  static ErrorPayload FromStatus(const Status& status);
+  Status ToStatus() const;
+};
+
+}  // namespace net
+}  // namespace genie

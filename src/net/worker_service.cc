@@ -1,0 +1,151 @@
+#include "net/worker_service.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/timer.h"
+#include "index/index_io.h"
+#include "net/frame.h"
+#include "net/wire.h"
+
+namespace genie {
+namespace net {
+namespace {
+
+std::string ErrorFrame(const Status& status) {
+  return EncodeFrame(FrameType::kError,
+                     ErrorPayload::FromStatus(status).Encode());
+}
+
+}  // namespace
+
+WorkerService::WorkerService(Options options) : options_(std::move(options)) {
+  if (options_.device != nullptr) {
+    device_ = options_.device;
+  } else {
+    owned_device_ = std::make_unique<sim::Device>(options_.device_options);
+    device_ = owned_device_.get();
+  }
+}
+
+bool WorkerService::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_requested_;
+}
+
+bool WorkerService::has_shard() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shard_ != nullptr;
+}
+
+uint64_t WorkerService::id_offset() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return id_offset_;
+}
+
+uint64_t WorkerService::requests_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_served_;
+}
+
+std::string WorkerService::HandleFrameBytes(std::string_view request_bytes) {
+  Result<Frame> frame = DecodeFrame(request_bytes);
+  if (!frame.ok()) return ErrorFrame(frame.status());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_served_;
+  switch (frame->type) {
+    case FrameType::kHello: {
+      Result<HelloPayload> hello = HelloPayload::Decode(frame->payload);
+      if (!hello.ok()) return ErrorFrame(hello.status());
+      HelloPayload ack;
+      ack.peer = options_.name;
+      return EncodeFrame(FrameType::kHelloAck, ack.Encode());
+    }
+    case FrameType::kLoadShard: {
+      Status status = HandleLoadShard(frame->payload);
+      if (!status.ok()) return ErrorFrame(status);
+      return EncodeFrame(FrameType::kLoadShardAck, {});
+    }
+    case FrameType::kMatch: {
+      Result<std::string> response = HandleMatch(frame->payload);
+      if (!response.ok()) return ErrorFrame(response.status());
+      return EncodeFrame(FrameType::kMatchAck, *response);
+    }
+    case FrameType::kPing:
+      return EncodeFrame(FrameType::kPingAck, {});
+    case FrameType::kShutdown:
+      shutdown_requested_ = true;
+      return EncodeFrame(FrameType::kShutdownAck, {});
+    default:
+      return ErrorFrame(Status::InvalidArgument(
+          std::string("rpc worker: unexpected request frame type ") +
+          FrameTypeToString(frame->type)));
+  }
+}
+
+Status WorkerService::HandleLoadShard(std::string_view payload) {
+  GENIE_ASSIGN_OR_RETURN(LoadShardPayload shard,
+                         LoadShardPayload::Decode(payload));
+  // fmemopen gives LoadIndexFromStream a FILE* over the in-memory blob, so
+  // the shard push reuses the bundle loader's hardened parse path verbatim.
+  std::FILE* f = fmemopen(
+      const_cast<char*>(shard.index_bytes.data()), shard.index_bytes.size(),
+      "rb");
+  if (f == nullptr) {
+    return Status::Internal("rpc worker: fmemopen failed for shard blob");
+  }
+  Result<InvertedIndex> index =
+      LoadIndexFromStream(f, shard.index_bytes.size(), "rpc-shard");
+  std::fclose(f);
+  GENIE_RETURN_NOT_OK(index.status());
+  // The engine borrows the shard, so it must be torn down before the shard
+  // is replaced.
+  engine_.reset();
+  shard_ = std::make_unique<InvertedIndex>(std::move(*index));
+  id_offset_ = shard.id_offset;
+  return Status::OK();
+}
+
+Result<std::string> WorkerService::HandleMatch(std::string_view payload) {
+  GENIE_ASSIGN_OR_RETURN(MatchRequestPayload request,
+                         MatchRequestPayload::Decode(payload));
+  if (shard_ == nullptr) {
+    return Status::InvalidArgument(
+        "rpc worker: match request before any shard was loaded");
+  }
+  MatchEngineOptions base = engine_options_;
+  base.device = device_;
+  GENIE_ASSIGN_OR_RETURN(MatchEngineOptions options,
+                         request.options.Apply(base));
+  if (engine_ == nullptr ||
+      WireMatchOptions::From(engine_options_) != request.options) {
+    GENIE_ASSIGN_OR_RETURN(engine_, MatchEngine::Create(shard_.get(), options));
+    engine_options_ = options;
+  }
+
+  const MatchProfile before = engine_->profile();
+  WallTimer timer;
+  GENIE_ASSIGN_OR_RETURN(std::vector<QueryResult> results,
+                         engine_->ExecuteBatch(request.queries));
+  MatchResponsePayload response;
+  response.request_id = request.request_id;
+  response.worker_execute_s = timer.Seconds();
+  MatchProfile delta = engine_->profile();
+  delta.Subtract(before);
+  response.worker_match_s = delta.match_s;
+  response.worker_select_s = delta.select_s;
+  // Lift shard-local object ids into the global id space so the coordinator
+  // can merge pools without knowing shard boundaries.
+  const ObjectId offset = static_cast<ObjectId>(id_offset_);
+  for (QueryResult& result : results) {
+    for (TopKEntry& entry : result.entries) {
+      if (entry.id != kInvalidObjectId) entry.id += offset;
+    }
+  }
+  response.results = std::move(results);
+  return response.Encode();
+}
+
+}  // namespace net
+}  // namespace genie

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file worker_service.h
+/// The worker half of the scatter-gather tier, transport-agnostic: one
+/// shard index + one sim device, answering the RPC request types. The
+/// loopback transport calls HandleFrameBytes directly in-process; the
+/// socket server (tools/genie_worker) feeds it frames read from a TCP
+/// stream. Every response is itself a well-formed frame — handler errors
+/// come back as a kError frame, never as a dropped connection — so the
+/// coordinator can always map a worker failure to a Status.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/match_engine.h"
+#include "index/inverted_index.h"
+#include "sim/device.h"
+
+namespace genie {
+namespace net {
+
+class WorkerService {
+ public:
+  struct Options {
+    std::string name = "worker";
+    /// Device the worker executes on; nullptr = a private device created
+    /// with `device_options`.
+    sim::Device* device = nullptr;
+    sim::Device::Options device_options = {};
+  };
+
+  explicit WorkerService(Options options);
+
+  /// Handles one encoded request frame and returns the encoded response
+  /// frame. Malformed input or handler failure yields a kError frame; this
+  /// function itself never fails (the transport decides how to ship the
+  /// bytes back). Thread-safe: requests are serialized on an internal
+  /// mutex, matching one worker process owning one device.
+  std::string HandleFrameBytes(std::string_view request_bytes);
+
+  /// True once a kShutdown request was acked; the socket server's accept
+  /// loop exits when it sees this.
+  bool shutdown_requested() const;
+
+  /// Diagnostics for tests: shard state after LoadShard.
+  bool has_shard() const;
+  uint64_t id_offset() const;
+  uint64_t requests_served() const;
+
+ private:
+  Status HandleLoadShard(std::string_view payload);
+  Result<std::string> HandleMatch(std::string_view payload);
+
+  Options options_;
+  std::unique_ptr<sim::Device> owned_device_;
+  sim::Device* device_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<InvertedIndex> shard_;
+  uint64_t id_offset_ = 0;
+  std::unique_ptr<MatchEngine> engine_;
+  MatchEngineOptions engine_options_;
+  bool shutdown_requested_ = false;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace net
+}  // namespace genie

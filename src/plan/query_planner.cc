@@ -55,6 +55,7 @@ const char* TierToString(ExecutionPlan::Tier tier) {
     case ExecutionPlan::Tier::kSingleDevice: return "single-device";
     case ExecutionPlan::Tier::kMultiDevice: return "multi-device";
     case ExecutionPlan::Tier::kMultiLoad: return "multi-load";
+    case ExecutionPlan::Tier::kRemote: return "remote";
   }
   return "unknown";
 }
@@ -145,6 +146,23 @@ ExecutionPlan QueryPlanner::Plan(const PlannerInputs& inputs,
     parts = std::max(parts, at_least);
     return std::min(parts, std::max(2u, max_useful_parts));
   };
+
+  if (inputs.num_remote_workers > 0) {
+    // Remote endpoints configured: the tier is forced; the planning freedom
+    // left is the shard->worker cut, balanced by postings volume so no
+    // worker becomes the scatter's straggler.
+    uint32_t parts = std::min(inputs.num_remote_workers, max_useful_parts);
+    parts = std::max(parts, 1u);
+    plan.tier = ExecutionPlan::Tier::kRemote;
+    plan.part_boundaries = BalancedBoundaries(stats, parts);
+    plan.num_parts = static_cast<uint32_t>(plan.part_boundaries.size() - 1);
+    // The coordinator holds no device residency: chunk large so the RPC
+    // fan-out is amortized, no pipeline (workers own their own staging).
+    plan.chunk_size = kMaxPlannedChunk;
+    plan.pipeline_depth = 1;
+    plan.planned = true;
+    return plan;
+  }
 
   if (inputs.num_devices > 1) {
     // Space multiplexing requested: shard across the devices with

@@ -38,6 +38,10 @@ struct PlannerInputs {
 
   // Backend knobs (EngineBackendOptions semantics).
   uint32_t num_devices = 1;
+  /// Remote worker endpoints configured (EngineBackendOptions::remote).
+  /// Non-zero forces the remote tier: the planner's job reduces to cutting
+  /// postings-volume-balanced shard boundaries, one shard per worker.
+  uint32_t num_remote_workers = 0;
   uint32_t force_parts = 0;
   uint32_t max_parts = 256;
   bool allow_multi_load = true;
@@ -53,6 +57,7 @@ struct ExecutionPlan {
     kSingleDevice,  // whole index resident on one device
     kMultiDevice,   // parts resident across N devices, parallel execution
     kMultiLoad,     // parts time-multiplexed through one device
+    kRemote,        // shards scattered across worker processes (src/net/)
   };
 
   Tier tier = Tier::kSingleDevice;

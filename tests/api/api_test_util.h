@@ -35,6 +35,24 @@ inline std::vector<uint32_t> DeviceSweep() {
   return sweep;
 }
 
+/// Shard-count ceiling for the remote (multi-node) sweeps. Default 4 so
+/// the everyday suite covers the acceptance sweep {1, 2, 4}; CI may widen
+/// with GENIE_TEST_NUM_SHARDS.
+inline uint32_t MaxTestShards() {
+  const char* env = std::getenv("GENIE_TEST_NUM_SHARDS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v >= 1) return static_cast<uint32_t>(v);
+  }
+  return 4;
+}
+
+inline std::vector<uint32_t> ShardSweep() {
+  std::vector<uint32_t> sweep{1};
+  for (uint32_t s = 2; s <= MaxTestShards(); s *= 2) sweep.push_back(s);
+  return sweep;
+}
+
 /// Equality of everything the match-count model determines uniquely:
 /// per-query count profiles, MC_k thresholds, and the identity + score of
 /// every hit strictly above the threshold. Ties at count == MC_k are kept

@@ -1,0 +1,270 @@
+/// Multi-node execution through the facade: EngineConfig::Remote over N
+/// in-process loopback workers must be invisible in the results — every
+/// modality answers identically to the plain single-engine run, swept at
+/// 1, 2 and 4 shards (GENIE_TEST_NUM_SHARDS can widen the sweep). Also
+/// pins the remote slice of SearchProfile (worker count, per-worker
+/// transport accounting, scatter seconds) and the facade-level validation
+/// around the tier.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/genie.h"
+#include "api_test_util.h"
+#include "common/rng.h"
+#include "data/documents.h"
+#include "data/points.h"
+#include "data/relational_data.h"
+#include "data/sequences.h"
+#include "test_util.h"
+
+namespace genie {
+namespace {
+
+using test::ShardSweep;
+
+void ExpectSameAnswers(const SearchResult& got, const SearchResult& want,
+                       uint32_t shards) {
+  test::ExpectSameAnswers(got, want,
+                          "at " + std::to_string(shards) + " shards");
+}
+
+/// Runs `make_config` locally (the reference) and over every shard count
+/// of the sweep, requiring identical answers each time.
+template <typename MakeConfig, typename MakeRequest>
+void CheckDeterministicAcrossShards(MakeConfig make_config,
+                                    MakeRequest make_request) {
+  auto local = Engine::Create(make_config());
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  auto reference = (*local)->Search(make_request());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  for (uint32_t shards : ShardSweep()) {
+    auto engine = Engine::Create(
+        make_config().Remote(net::RemoteOptions::Loopback(shards)));
+    ASSERT_TRUE(engine.ok())
+        << shards << " shards: " << engine.status().ToString();
+    auto result = (*engine)->Search(make_request());
+    ASSERT_TRUE(result.ok())
+        << shards << " shards: " << result.status().ToString();
+    EXPECT_EQ(result->profile.workers, shards);
+    EXPECT_EQ(result->profile.per_worker.size(), shards);
+    EXPECT_EQ(result->profile.plan_tier, std::string("remote"));
+    ExpectSameAnswers(*result, *reference, shards);
+  }
+}
+
+TEST(RemoteApiTest, PointsEqualLocalAcrossShardCounts) {
+  data::ClusteredPointsOptions data_options;
+  data_options.num_points = 400;
+  data_options.dim = 6;
+  data_options.num_clusters = 8;
+  data_options.seed = 181;
+  auto dataset = data::MakeClusteredPoints(data_options);
+  auto queries = data::MakeQueriesNear(dataset.points, 4, 0.1, 182);
+
+  CheckDeterministicAcrossShards(
+      [&] {
+        return EngineConfig()
+            .Points(&dataset.points)
+            .K(5)
+            .HashFunctions(16)
+            .RehashDomain(64)
+            .Seed(183)
+            .Device(test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Points(queries); });
+}
+
+TEST(RemoteApiTest, SetsEqualLocalAcrossShardCounts) {
+  Rng rng(184);
+  std::vector<std::vector<uint32_t>> sets(150);
+  for (auto& set : sets) {
+    for (int i = 0; i < 10; ++i) {
+      set.push_back(static_cast<uint32_t>(rng.UniformU64(3000)));
+    }
+  }
+  std::vector<std::vector<uint32_t>> queries{sets[0], sets[75], sets[149]};
+
+  CheckDeterministicAcrossShards(
+      [&] {
+        return EngineConfig()
+            .Sets(&sets)
+            .K(4)
+            .HashFunctions(16)
+            .RehashDomain(128)
+            .Seed(185)
+            .Device(test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Sets(queries); });
+}
+
+TEST(RemoteApiTest, SequencesEqualLocalAcrossShardCounts) {
+  data::SequenceDatasetOptions data_options;
+  data_options.num_sequences = 150;
+  data_options.min_length = 15;
+  data_options.max_length = 25;
+  data_options.seed = 186;
+  auto sequences = data::MakeSequences(data_options);
+  std::vector<std::string> queries{sequences[3], sequences[70],
+                                   sequences[149]};
+
+  CheckDeterministicAcrossShards(
+      [&] {
+        return EngineConfig()
+            .Sequences(&sequences)
+            .K(2)
+            .CandidateK(16)
+            .Ngram(3)
+            .Device(test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Sequences(queries); });
+}
+
+TEST(RemoteApiTest, DocumentsEqualLocalAcrossShardCounts) {
+  data::DocumentDatasetOptions data_options;
+  data_options.num_documents = 200;
+  data_options.vocabulary = 1000;
+  data_options.seed = 187;
+  auto corpus = data::MakeDocuments(data_options);
+  std::vector<std::vector<uint32_t>> queries{corpus[7], corpus[100],
+                                             corpus[199]};
+
+  CheckDeterministicAcrossShards(
+      [&] {
+        return EngineConfig().Documents(&corpus).K(3).Device(
+            test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Documents(queries); });
+}
+
+TEST(RemoteApiTest, RelationalEqualLocalAcrossShardCounts) {
+  data::RelationalDatasetOptions data_options;
+  data_options.num_rows = 600;
+  data_options.numeric_columns = 3;
+  data_options.numeric_buckets = 32;
+  data_options.categorical_columns = 2;
+  data_options.categorical_cardinality = 5;
+  data_options.seed = 188;
+  auto table = data::MakeRelationalTable(data_options);
+  auto queries = data::MakeRangeQueries(table, 4, 3, 5, 189);
+
+  CheckDeterministicAcrossShards(
+      [&] {
+        return EngineConfig().Table(&table).K(5).Device(
+            test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Ranges(queries); });
+}
+
+TEST(RemoteApiTest, CompiledEqualLocalAcrossShardCounts) {
+  auto workload = test::MakeRandomWorkload(600, 60, 6, 8, 5, 190);
+
+  CheckDeterministicAcrossShards(
+      [&] {
+        return EngineConfig()
+            .Index(&workload.index)
+            .K(7)
+            .Device(test::SharedTestDevice(2));
+      },
+      [&] { return SearchRequest::Compiled(workload.queries); });
+}
+
+TEST(RemoteApiTest, ProfileReportsPerWorkerCosts) {
+  auto workload = test::MakeRandomWorkload(600, 60, 6, 8, 5, 191);
+  auto engine = Engine::Create(EngineConfig()
+                                   .Index(&workload.index)
+                                   .K(7)
+                                   .Device(test::SharedTestDevice(2))
+                                   .Remote(net::RemoteOptions::Loopback(2)));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto result = (*engine)->Search(SearchRequest::Compiled(workload.queries));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->profile.workers, 2u);
+  EXPECT_EQ(result->profile.parts, 2u);
+  ASSERT_EQ(result->profile.per_worker.size(), 2u);
+  for (const WorkerProfile& worker : result->profile.per_worker) {
+    EXPECT_EQ(worker.calls, 1u) << worker.address;
+    EXPECT_EQ(worker.wins, 1u) << worker.address;
+    EXPECT_EQ(worker.failures, 0u) << worker.address;
+    EXPECT_EQ(worker.hedged, 0u) << worker.address;
+    EXPECT_GT(worker.request_bytes, 0u) << worker.address;
+    EXPECT_GT(worker.response_bytes, 0u) << worker.address;
+    EXPECT_GE(worker.call_s, 0.0) << worker.address;
+  }
+  EXPECT_GT(result->profile.scatter_seconds, 0.0);
+  // The per-call delta and the running totals agree after one call.
+  EXPECT_EQ(result->cumulative.workers, 2u);
+  ASSERT_EQ(result->cumulative.per_worker.size(), 2u);
+
+  // A second batch doubles the per-address call counts in the totals but
+  // not in the per-call delta.
+  auto again = (*engine)->Search(SearchRequest::Compiled(workload.queries));
+  ASSERT_TRUE(again.ok());
+  for (const WorkerProfile& worker : again->profile.per_worker) {
+    EXPECT_EQ(worker.calls, 1u) << worker.address;
+  }
+  for (const WorkerProfile& worker : again->cumulative.per_worker) {
+    EXPECT_EQ(worker.calls, 2u) << worker.address;
+  }
+}
+
+TEST(RemoteApiTest, RemoteAndMultiDeviceAreMutuallyExclusive) {
+  auto workload = test::MakeRandomWorkload(100, 30, 4, 2, 3, 192);
+  auto engine = Engine::Create(EngineConfig()
+                                   .Index(&workload.index)
+                                   .Devices(2)
+                                   .Device(test::SharedTestDevice(2))
+                                   .Remote(net::RemoteOptions::Loopback(2)));
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RemoteApiTest, MoreShardsThanObjectsRejected) {
+  auto workload = test::MakeRandomWorkload(2, 30, 4, 2, 3, 193);
+  auto engine = Engine::Create(EngineConfig()
+                                   .Index(&workload.index)
+                                   .Device(test::SharedTestDevice(2))
+                                   .Remote(net::RemoteOptions::Loopback(8)));
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// k growth via EscalateUntilExact reuses the pushed shards (UpdateOptions,
+/// no re-push) and still matches the local escalation answers.
+TEST(RemoteApiTest, SequenceEscalationOverRemoteShards) {
+  data::SequenceDatasetOptions data_options;
+  data_options.num_sequences = 120;
+  data_options.min_length = 12;
+  data_options.max_length = 20;
+  data_options.seed = 194;
+  auto sequences = data::MakeSequences(data_options);
+  std::vector<std::string> queries{sequences[5], sequences[60]};
+
+  auto make_config = [&] {
+    return EngineConfig()
+        .Sequences(&sequences)
+        .K(2)
+        .CandidateK(4)
+        .EscalateUntilExact(true)
+        .Ngram(3)
+        .Device(test::SharedTestDevice(2));
+  };
+  auto local = Engine::Create(make_config());
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  auto want = (*local)->Search(SearchRequest::Sequences(queries));
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+  auto remote = Engine::Create(
+      make_config().Remote(net::RemoteOptions::Loopback(2)));
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  auto got = (*remote)->Search(SearchRequest::Sequences(queries));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ExpectSameAnswers(*got, *want, 2);
+}
+
+}  // namespace
+}  // namespace genie

@@ -1,0 +1,149 @@
+/// Concurrent-caller stress suite for the multi-node tier (runs under TSan
+/// in CI, mirroring scheduler_stress_test.cc): many threads hammering one
+/// remote engine — plain scatters, then scatters racing hedged retries on
+/// a deliberately slow primary — where every answer must equal the
+/// sequential reference and the per-worker accounting must stay coherent.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "api/genie.h"
+#include "api_test_util.h"
+#include "core/remote_engine.h"
+#include "index/shard.h"
+#include "net/fault_injector.h"
+#include "test_util.h"
+
+namespace genie {
+namespace {
+
+/// Thread-safe (gtest-free) answer check: thresholds and descending count
+/// multisets must match (boundary-tie ids exempt, as everywhere).
+bool SameCountProfile(const SearchResult& got, const SearchResult& want) {
+  if (got.queries.size() != want.queries.size()) return false;
+  for (size_t q = 0; q < want.queries.size(); ++q) {
+    if (got.queries[q].threshold != want.queries[q].threshold) return false;
+    if (got.queries[q].hits.size() != want.queries[q].hits.size()) return false;
+    auto counts_of = [](const QueryHits& hits) {
+      std::vector<uint32_t> counts;
+      for (const Hit& hit : hits.hits) counts.push_back(hit.match_count);
+      std::sort(counts.begin(), counts.end(), std::greater<>());
+      return counts;
+    };
+    if (counts_of(got.queries[q]) != counts_of(want.queries[q])) return false;
+  }
+  return true;
+}
+
+TEST(RemoteStressTest, ConcurrentCallersMatchSequential) {
+  auto workload = test::MakeRandomWorkload(500, 60, 6, 24, 5, 421);
+  auto engine = Engine::Create(EngineConfig()
+                                   .Index(&workload.index)
+                                   .K(5)
+                                   .Device(test::SharedTestDevice(4))
+                                   .Remote(net::RemoteOptions::Loopback(2)));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto reference = (*engine)->Search(SearchRequest::Compiled(workload.queries));
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  constexpr int kThreads = 6;
+  constexpr int kBatchesPerThread = 4;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int b = 0; b < kBatchesPerThread; ++b) {
+        auto result =
+            (*engine)->Search(SearchRequest::Compiled(workload.queries));
+        if (!result.ok()) {
+          ++failures;
+          continue;
+        }
+        if (!SameCountProfile(*result, *reference)) ++mismatches;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Accounting stayed coherent: every worker answered every batch exactly
+  // once (1 reference + kThreads * kBatchesPerThread stress batches).
+  auto final_result =
+      (*engine)->Search(SearchRequest::Compiled(workload.queries));
+  ASSERT_TRUE(final_result.ok());
+  const uint64_t expected_calls = 1 + kThreads * kBatchesPerThread + 1;
+  ASSERT_EQ(final_result->cumulative.per_worker.size(), 2u);
+  for (const WorkerProfile& worker : final_result->cumulative.per_worker) {
+    EXPECT_EQ(worker.calls, expected_calls) << worker.address;
+    EXPECT_EQ(worker.failures, 0u) << worker.address;
+  }
+}
+
+TEST(RemoteStressTest, ConcurrentCallersRacingHedgedRetries) {
+  auto workload = test::MakeRandomWorkload(200, 48, 5, 8, 4, 422);
+  auto sharded = ShardByPostingsVolume(workload.index, 2).ValueOrDie();
+  std::vector<IndexPart> parts;
+  for (size_t p = 0; p < sharded.shards.size(); ++p) {
+    parts.push_back(IndexPart{&sharded.shards[p], sharded.offsets[p]});
+  }
+  MatchEngineOptions options;
+  options.k = 5;
+
+  net::FaultInjector injector;
+  net::RemoteOptions remote = net::RemoteOptions::Loopback(2, /*replicas=*/1);
+  remote.fault_injector = &injector;
+  remote.hedge_delay_s = 0.002;
+  // Every 3rd call to shard 0's primary is slow, so hedges fire while
+  // other callers' scatters are running against the same workers.
+  for (uint64_t call = RemoteEngine::kCallsDuringCreate; call < 60;
+       call += 3) {
+    net::FaultSpec slow;
+    slow.kind = net::FaultSpec::Kind::kDelay;
+    slow.delay_s = 0.02;
+    injector.Arm("loopback/0", call, slow);
+  }
+
+  auto engine = RemoteEngine::Create(parts, options, remote);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto reference = (*engine)->ExecuteBatch(workload.queries);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  constexpr int kThreads = 4;
+  constexpr int kBatchesPerThread = 5;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int b = 0; b < kBatchesPerThread; ++b) {
+        auto result = (*engine)->ExecuteBatch(workload.queries);
+        if (!result.ok() || result->size() != reference->size()) {
+          ++bad;
+          continue;
+        }
+        for (size_t q = 0; q < result->size(); ++q) {
+          if (test::EntryCountMultiset((*result)[q]) !=
+              test::EntryCountMultiset((*reference)[q])) {
+            ++bad;
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+  // Destruction joins every straggler the hedges left behind.
+  engine->reset();
+}
+
+}  // namespace
+}  // namespace genie

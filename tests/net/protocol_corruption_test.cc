@@ -1,0 +1,218 @@
+/// Corruption / truncation fuzz harness for the RPC protocol, mirroring
+/// bundle_corruption_test.cc at the wire layer: a full captured
+/// coordinator<->worker exchange (Hello, LoadShard, Match, and every
+/// response) is swept with every single-byte flip and every truncation
+/// length; each mutation must fail DecodeFrame with InvalidArgument and
+/// must come back from WorkerService as a clean kError frame — never a
+/// crash, hang, or huge allocation. The frame checksum (murmur over type +
+/// payload) makes the frame sweep exact; the payload-level sweep bypasses
+/// the checksum to pin the bounds-checked wire.h parsers as defense in
+/// depth. Runs in the ASan/UBSan CI job, where an out-of-bounds read in a
+/// parser would abort the test.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "index/index_io.h"
+#include "net/frame.h"
+#include "net/wire.h"
+#include "net/worker_service.h"
+#include "test_util.h"
+
+namespace genie {
+namespace net {
+namespace {
+
+/// One captured request/response exchange against a real WorkerService
+/// holding a real (small) shard.
+struct CapturedExchange {
+  std::vector<std::pair<std::string, std::string>> frames;  // (name, bytes)
+  std::vector<std::pair<std::string, std::string>> payloads;
+};
+
+CapturedExchange CaptureExchange() {
+  CapturedExchange captured;
+  auto workload = test::MakeRandomWorkload(40, 64, 4, 3, 2, 271);
+
+  WorkerService::Options options;
+  options.name = "corruption-target";
+  WorkerService service(options);
+
+  HelloPayload hello;
+  hello.peer = "sweeper";
+  LoadShardPayload shard;
+  shard.id_offset = 7;
+  EXPECT_TRUE(
+      SaveIndexToBuffer(workload.index, false, &shard.index_bytes).ok());
+  MatchRequestPayload match;
+  match.request_id = 1;
+  match.options.k = 5;
+  match.queries = workload.queries;
+
+  const std::string hello_frame = EncodeFrame(FrameType::kHello,
+                                              hello.Encode());
+  const std::string load_frame = EncodeFrame(FrameType::kLoadShard,
+                                             shard.Encode());
+  const std::string match_frame = EncodeFrame(FrameType::kMatch,
+                                              match.Encode());
+  const std::string hello_ack = service.HandleFrameBytes(hello_frame);
+  const std::string load_ack = service.HandleFrameBytes(load_frame);
+  const std::string match_ack = service.HandleFrameBytes(match_frame);
+  EXPECT_TRUE(service.has_shard());
+
+  captured.frames = {{"hello", hello_frame},   {"hello_ack", hello_ack},
+                     {"load_shard", load_frame}, {"load_ack", load_ack},
+                     {"match", match_frame},   {"match_ack", match_ack}};
+  captured.payloads = {{"hello", hello.Encode()},
+                       {"load_shard", shard.Encode()},
+                       {"match", match.Encode()}};
+  // Response payloads, for the parser-level sweep of the coordinator side.
+  auto match_response = DecodeFrame(match_ack);
+  EXPECT_TRUE(match_response.ok());
+  if (match_response.ok()) {
+    captured.payloads.emplace_back("match_ack",
+                                   std::string(match_response->payload));
+  }
+  return captured;
+}
+
+/// The two flip patterns of the bundle sweep: lowest and highest bit.
+constexpr char kMasks[] = {char(0x01), char(0x80)};
+
+TEST(ProtocolCorruptionTest, EveryByteFlipRejectedByDecodeFrame) {
+  const CapturedExchange captured = CaptureExchange();
+  for (const auto& [name, pristine] : captured.frames) {
+    ASSERT_GE(pristine.size(), kFrameHeaderBytes) << name;
+    for (size_t i = 0; i < pristine.size(); ++i) {
+      for (const char mask : kMasks) {
+        std::string corrupted = pristine;
+        corrupted[i] = static_cast<char>(corrupted[i] ^ mask);
+        auto frame = DecodeFrame(corrupted);
+        ASSERT_FALSE(frame.ok())
+            << name << ": flip of byte " << i << " was accepted";
+        EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument)
+            << name << ": flip of byte " << i << " -> "
+            << frame.status().ToString();
+      }
+    }
+  }
+}
+
+TEST(ProtocolCorruptionTest, EveryTruncationRejectedByDecodeFrame) {
+  const CapturedExchange captured = CaptureExchange();
+  for (const auto& [name, pristine] : captured.frames) {
+    for (size_t cut = 0; cut < pristine.size(); ++cut) {
+      auto frame = DecodeFrame(pristine.substr(0, cut));
+      ASSERT_FALSE(frame.ok())
+          << name << ": truncation at " << cut << " was accepted";
+      EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument)
+          << name << ": truncation at " << cut;
+    }
+  }
+}
+
+/// Every mutated request frame fed to a live worker must yield a clean,
+/// decodable kError response — the worker never crashes, never replies
+/// with a non-frame, and stays serviceable afterwards.
+TEST(ProtocolCorruptionTest, WorkerAnswersEveryMutationWithErrorFrame) {
+  const CapturedExchange captured = CaptureExchange();
+  WorkerService::Options options;
+  options.name = "mutation-target";
+  WorkerService service(options);
+
+  auto expect_error_frame = [&](const std::string& bytes,
+                                const std::string& what) {
+    const std::string response = service.HandleFrameBytes(bytes);
+    auto frame = DecodeFrame(response);
+    ASSERT_TRUE(frame.ok()) << what << ": response not a frame";
+    ASSERT_EQ(frame->type, FrameType::kError) << what;
+    auto error = ErrorPayload::Decode(frame->payload);
+    ASSERT_TRUE(error.ok()) << what;
+    const Status status = error->ToStatus();
+    EXPECT_TRUE(status.code() == StatusCode::kInvalidArgument ||
+                status.code() == StatusCode::kIOError)
+        << what << " -> " << status.ToString();
+  };
+
+  for (const auto& [name, pristine] : captured.frames) {
+    // Requests only: the worker never receives ack frames (and an ack
+    // type is itself an InvalidArgument to the service — checked below).
+    for (size_t i = 0; i < pristine.size();
+         i += (pristine.size() > 4096 ? 7 : 1)) {
+      for (const char mask : kMasks) {
+        std::string corrupted = pristine;
+        corrupted[i] = static_cast<char>(corrupted[i] ^ mask);
+        expect_error_frame(corrupted,
+                           name + ": flip of byte " + std::to_string(i));
+      }
+    }
+    for (size_t cut = 0; cut < pristine.size();
+         cut += (pristine.size() > 4096 ? 7 : 1)) {
+      expect_error_frame(pristine.substr(0, cut),
+                         name + ": truncation at " + std::to_string(cut));
+    }
+  }
+
+  // The worker survived the sweep: the pristine exchange still works.
+  const std::string hello_ack = service.HandleFrameBytes(
+      captured.frames[0].second);
+  auto frame = DecodeFrame(hello_ack);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, FrameType::kHelloAck);
+}
+
+/// Defense in depth: the wire.h payload parsers are swept *without* the
+/// frame checksum in front of them. A mutation may decode successfully
+/// (flips inside opaque strings or doubles are semantically invisible) but
+/// must never crash, and every rejection must be InvalidArgument.
+TEST(ProtocolCorruptionTest, PayloadParsersSurviveEveryMutation) {
+  const CapturedExchange captured = CaptureExchange();
+
+  auto sweep = [](const std::string& name, const std::string& pristine,
+                  auto decode) {
+    for (size_t i = 0; i < pristine.size();
+         i += (pristine.size() > 4096 ? 7 : 1)) {
+      for (const char mask : kMasks) {
+        std::string corrupted = pristine;
+        corrupted[i] = static_cast<char>(corrupted[i] ^ mask);
+        auto decoded = decode(corrupted);
+        if (!decoded.ok()) {
+          EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument)
+              << name << ": flip of byte " << i << " -> "
+              << decoded.status().ToString();
+        }
+      }
+    }
+    for (size_t cut = 0; cut < pristine.size();
+         cut += (pristine.size() > 4096 ? 7 : 1)) {
+      auto decoded = decode(pristine.substr(0, cut));
+      if (!decoded.ok()) {
+        EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument)
+            << name << ": truncation at " << cut;
+      }
+    }
+  };
+
+  for (const auto& [name, payload] : captured.payloads) {
+    if (name == "hello") {
+      sweep(name, payload,
+            [](std::string_view b) { return HelloPayload::Decode(b); });
+    } else if (name == "load_shard") {
+      sweep(name, payload,
+            [](std::string_view b) { return LoadShardPayload::Decode(b); });
+    } else if (name == "match") {
+      sweep(name, payload,
+            [](std::string_view b) { return MatchRequestPayload::Decode(b); });
+    } else if (name == "match_ack") {
+      sweep(name, payload, [](std::string_view b) {
+        return MatchResponsePayload::Decode(b);
+      });
+    }
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace genie

@@ -14,6 +14,13 @@ that factor. Rows or keys present on only one side are reported but never
 fail the run, so snapshots from different bench revisions stay
 comparable.
 
+Comparison direction is per key: most keys are costs (seconds, bytes —
+smaller is better), but throughput keys (qps, *_per_s, *_rate, ops) are
+bigger-is-better and are compared inverted, so a QPS drop is the
+regression and a QPS gain is the speedup. Without this, a 2x throughput
+improvement would have tripped the regression gate and a 2x collapse
+would have sailed through.
+
 Both files must come from the same GENIE_BENCH_SCALE; the script refuses
 to compare snapshots taken at different scales.
 """
@@ -21,6 +28,17 @@ to compare snapshots taken at different scales.
 import argparse
 import json
 import sys
+
+
+# Key-name fragments marking a bigger-is-better value. Everything else is
+# treated as a cost (smaller is better).
+BIGGER_IS_BETTER_HINTS = ("qps", "per_s", "throughput", "ops", "_rate",
+                          "speedup")
+
+
+def bigger_is_better(key):
+    lowered = key.lower()
+    return any(hint in lowered for hint in BIGGER_IS_BETTER_HINTS)
 
 
 def load(path):
@@ -81,7 +99,18 @@ def main():
             ):
                 continue
             compared += 1
-            if base_val > 0:
+            if bigger_is_better(key):
+                # Throughput-style: regression = current fell below baseline.
+                if cur_val > 0:
+                    ratio = base_val / cur_val
+                    speedup = (
+                        cur_val / base_val if base_val > 0 else float("inf")
+                    )
+                elif base_val > 0:
+                    ratio, speedup = float("inf"), 0.0
+                else:
+                    ratio, speedup = 1.0, 1.0
+            elif base_val > 0:
                 ratio = cur_val / base_val
                 speedup = base_val / cur_val if cur_val > 0 else float("inf")
             else:

@@ -1,0 +1,228 @@
+/// Socket-transport smoke driver for the multi-node tier: launches N real
+/// genie_worker subprocesses, points EngineConfig::Remote at their TCP
+/// ports, and asserts the scatter-gather answers equal a single local
+/// engine's on the same dataset. This is the piece the in-process loopback
+/// tests cannot cover — real fork/exec, real sockets, real frame streaming
+/// — so CI runs it as its own job.
+///
+///   ./genie_remote_smoke [--workers=4] [--worker-bin=PATH]
+///
+/// Exit 0 = answers equal and every worker shut down cleanly.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/genie.h"
+#include "data/points.h"
+#include "net/frame.h"
+#include "net/socket_transport.h"
+
+namespace {
+
+struct Worker {
+  pid_t pid = -1;
+  uint16_t port = 0;
+};
+
+/// Forks one genie_worker with stdout piped back, and parses the
+/// GENIE_WORKER_PORT handshake line. Exits the smoke on any failure —
+/// there is no partial success to salvage.
+Worker LaunchWorker(const std::string& worker_bin, uint32_t ordinal) {
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe, then exec the worker on a kernel-chosen port.
+    close(pipe_fds[0]);
+    dup2(pipe_fds[1], STDOUT_FILENO);
+    close(pipe_fds[1]);
+    const std::string name = "--name=smoke" + std::to_string(ordinal);
+    execl(worker_bin.c_str(), worker_bin.c_str(), "--port=0", name.c_str(),
+          static_cast<char*>(nullptr));
+    std::fprintf(stderr, "exec %s failed: %s\n", worker_bin.c_str(),
+                 std::strerror(errno));
+    _exit(127);
+  }
+  close(pipe_fds[1]);
+
+  // Read the handshake line byte-wise; the worker flushes it before serving.
+  std::string line;
+  char ch;
+  while (read(pipe_fds[0], &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+  close(pipe_fds[0]);
+  const char* kPrefix = "GENIE_WORKER_PORT=";
+  if (line.rfind(kPrefix, 0) != 0) {
+    std::fprintf(stderr, "worker %u handshake garbled: '%s'\n", ordinal,
+                 line.c_str());
+    std::exit(1);
+  }
+  Worker worker;
+  worker.pid = pid;
+  worker.port = static_cast<uint16_t>(std::atoi(line.c_str() +
+                                                std::strlen(kPrefix)));
+  return worker;
+}
+
+/// gtest-free version of the api_test_util.h answer-equality contract:
+/// same thresholds, same sorted count profiles, and identical
+/// (id, count, score) for every hit strictly above the threshold.
+bool SameAnswers(const genie::SearchResult& got,
+                 const genie::SearchResult& want) {
+  if (got.queries.size() != want.queries.size()) return false;
+  for (size_t q = 0; q < want.queries.size(); ++q) {
+    const genie::QueryHits& g = got.queries[q];
+    const genie::QueryHits& w = want.queries[q];
+    if (g.threshold != w.threshold || g.hits.size() != w.hits.size()) {
+      std::fprintf(stderr, "query %zu: threshold/size mismatch\n", q);
+      return false;
+    }
+    std::multimap<uint32_t, bool> counts;  // count -> (from got?)
+    for (const genie::Hit& hit : g.hits) counts.emplace(hit.match_count, true);
+    for (const genie::Hit& hit : w.hits) {
+      auto it = counts.find(hit.match_count);
+      if (it == counts.end()) {
+        std::fprintf(stderr, "query %zu: count profile mismatch\n", q);
+        return false;
+      }
+      counts.erase(it);
+    }
+    std::map<genie::ObjectId, std::pair<uint32_t, double>> want_above;
+    for (const genie::Hit& hit : w.hits) {
+      if (hit.match_count > w.threshold) {
+        want_above[hit.id] = {hit.match_count, hit.score};
+      }
+    }
+    for (const genie::Hit& hit : g.hits) {
+      if (hit.match_count <= g.threshold) continue;
+      auto it = want_above.find(hit.id);
+      if (it == want_above.end() || it->second.first != hit.match_count ||
+          it->second.second != hit.score) {
+        std::fprintf(stderr, "query %zu: above-threshold hit %u differs\n", q,
+                     hit.id);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint32_t num_workers = 4;
+  std::string worker_bin;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--workers=", 10) == 0) {
+      num_workers = static_cast<uint32_t>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--worker-bin=", 13) == 0) {
+      worker_bin = arg + 13;
+    } else {
+      std::fprintf(stderr, "usage: %s [--workers=N] [--worker-bin=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (num_workers == 0) num_workers = 1;
+  if (worker_bin.empty()) {
+    // Default: genie_worker next to this binary.
+    std::string self = argv[0];
+    const size_t slash = self.find_last_of('/');
+    worker_bin = (slash == std::string::npos ? std::string(".")
+                                             : self.substr(0, slash)) +
+                 "/genie_worker";
+  }
+
+  std::vector<Worker> workers;
+  genie::net::RemoteOptions remote;
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    workers.push_back(LaunchWorker(worker_bin, w));
+    remote.endpoints.emplace_back("127.0.0.1:" +
+                                  std::to_string(workers.back().port));
+    std::printf("worker %u up on port %u (pid %d)\n", w, workers.back().port,
+                static_cast<int>(workers.back().pid));
+  }
+
+  // Small but non-trivial dataset: enough objects that every shard is
+  // populated and the merge is exercised across count ties.
+  genie::data::ClusteredPointsOptions data_options;
+  data_options.num_points = 4096;
+  data_options.dim = 16;
+  data_options.num_clusters = 32;
+  data_options.seed = 29;
+  auto dataset = genie::data::MakeClusteredPoints(data_options);
+  auto queries = genie::data::MakeQueriesNear(dataset.points, 16, 0.2, 31);
+
+  auto local = genie::Engine::Create(
+      genie::EngineConfig().Points(&dataset.points).K(10).Seed(5));
+  auto scattered = genie::Engine::Create(genie::EngineConfig()
+                                             .Points(&dataset.points)
+                                             .K(10)
+                                             .Seed(5)
+                                             .Remote(remote));
+  int exit_code = 0;
+  if (!local.ok() || !scattered.ok()) {
+    std::fprintf(stderr, "engine creation failed: %s\n",
+                 (!local.ok() ? local.status() : scattered.status())
+                     .ToString()
+                     .c_str());
+    exit_code = 1;
+  } else {
+    auto want = (*local)->Search(genie::SearchRequest::Points(queries));
+    auto got = (*scattered)->Search(genie::SearchRequest::Points(queries));
+    if (!want.ok() || !got.ok()) {
+      std::fprintf(stderr, "search failed: %s\n",
+                   (!want.ok() ? want.status() : got.status())
+                       .ToString()
+                       .c_str());
+      exit_code = 1;
+    } else if (!SameAnswers(*got, *want)) {
+      std::fprintf(stderr, "remote answers diverge from local\n");
+      exit_code = 1;
+    } else {
+      std::printf("answers equal across %u socket workers "
+                  "(%zu queries, scatter %.1f ms)\n",
+                  num_workers, got->queries.size(),
+                  got->profile.scatter_seconds * 1e3);
+    }
+    // Engines (and their open transports) must be gone before shutdown.
+    (*scattered).reset();
+  }
+
+  // Ask every worker to exit, then reap it; a worker that doesn't shut
+  // down cleanly fails the smoke.
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    genie::net::SocketTransport transport(
+        "127.0.0.1:" + std::to_string(workers[w].port), 5.0);
+    auto ack = transport.Call(
+        genie::net::EncodeFrame(genie::net::FrameType::kShutdown, {}));
+    if (!ack.ok()) {
+      std::fprintf(stderr, "worker %u shutdown call failed: %s\n", w,
+                   ack.status().ToString().c_str());
+      exit_code = 1;
+    }
+    int wait_status = 0;
+    if (waitpid(workers[w].pid, &wait_status, 0) != workers[w].pid ||
+        !WIFEXITED(wait_status) || WEXITSTATUS(wait_status) != 0) {
+      std::fprintf(stderr, "worker %u did not exit cleanly (status %d)\n", w,
+                   wait_status);
+      exit_code = 1;
+    }
+  }
+  if (exit_code == 0) std::printf("remote smoke PASS\n");
+  return exit_code;
+}

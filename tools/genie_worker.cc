@@ -1,0 +1,65 @@
+/// Standalone worker process of the multi-node scatter-gather tier: binds
+/// a TCP port, announces it on stdout (`GENIE_WORKER_PORT=<port>`, one
+/// line, flushed — launchers parse this to learn a kernel-assigned port),
+/// then serves the net/frame.h RPC protocol until a coordinator sends
+/// kShutdown. One worker owns one shard and one simulated device; the
+/// coordinator (core::RemoteEngine behind EngineConfig::Remote) ships the
+/// shard bytes over LoadShard before any match traffic.
+///
+///   ./genie_worker --port=0 --name=shard3
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/socket_transport.h"
+#include "net/worker_service.h"
+
+int main(int argc, char** argv) {
+  // A coordinator disconnecting mid-write must be an IOError on that
+  // connection, never process death; launchers may also close our stdout
+  // pipe after the port handshake.
+  std::signal(SIGPIPE, SIG_IGN);
+  uint16_t port = 0;
+  std::string name = "worker";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--port=", 7) == 0) {
+      port = static_cast<uint16_t>(std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--name=", 7) == 0) {
+      name = arg + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--port=N (0 = kernel-assigned)] "
+                   "[--name=STR]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  auto server = genie::net::WorkerServer::Listen(port);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("GENIE_WORKER_PORT=%u\n",
+              static_cast<unsigned>((*server)->bound_port()));
+  std::fflush(stdout);
+
+  genie::net::WorkerService::Options options;
+  options.name = name;
+  genie::net::WorkerService service(options);
+  const genie::Status status = (*server)->Serve(service);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: serve failed: %s\n", name.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  // stderr: stdout may be a pipe the launcher stopped reading after the
+  // port handshake.
+  std::fprintf(stderr, "%s: clean shutdown after %llu requests\n",
+               name.c_str(),
+               static_cast<unsigned long long>(service.requests_served()));
+  return 0;
+}
